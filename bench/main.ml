@@ -1,0 +1,463 @@
+(* The experiment harness: regenerates every table/figure-level claim of the
+   paper (see DESIGN.md's experiment index E1-E8) and times the library's
+   core kernels with bechamel.
+
+   Run with:  dune exec bench/main.exe            (full run)
+              dune exec bench/main.exe -- quick   (skip the slowest series) *)
+
+module G = Dda_graph.Graph
+module M = Dda_multiset.Multiset
+module Machine = Dda_machine.Machine
+module N = Dda_machine.Neighbourhood
+module Config = Dda_runtime.Config
+module Run = Dda_runtime.Run
+module Scheduler = Dda_scheduler.Scheduler
+module Space = Dda_verify.Space
+module Decide = Dda_verify.Decide
+module WB = Dda_extensions.Weak_broadcast
+module Pop = Dda_extensions.Population
+module SB = Dda_extensions.Strong_broadcast
+module H = Dda_protocols.Homogeneous
+module Cov = Dda_wsts.Coverability
+module Listx = Dda_util.Listx
+
+let quick = Array.exists (fun a -> a = "quick") Sys.argv
+
+let section title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* E1 / E2: the Figure 1 decision-power tables                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_figure1 () =
+  section "E1  Figure 1 (middle): decision power on arbitrary graphs";
+  let t = Dda_core.Figure1.arbitrary_table () in
+  Format.printf "%a@." Dda_core.Figure1.pp_table t;
+  section "E2  Figure 1 (right): decision power on bounded-degree graphs";
+  let t' = Dda_core.Figure1.bounded_table () in
+  Format.printf "%a@." Dda_core.Figure1.pp_table t';
+  let all = t @ t' in
+  let ok = List.length (List.filter (fun c -> c.Dda_core.Figure1.agrees) all) in
+  Format.printf "summary: %d/%d cells agree with the paper@." ok (List.length all)
+
+(* ------------------------------------------------------------------ *)
+(* E3: Figure 2 — weak broadcasts and the Lemma 4.7 simulation overhead  *)
+(* ------------------------------------------------------------------ *)
+
+type abx = Xa | Xb | Xx
+
+let example_4_6 : (char, abx) WB.t =
+  let base =
+    Machine.create ~name:"ex4.6" ~beta:1
+      ~init:(fun l -> if l = 'b' then Xb else Xx)
+      ~delta:(fun q n -> if q = Xx && N.present n Xa then Xa else q)
+      ~accepting:(fun _ -> true)
+      ~rejecting:(fun _ -> false)
+      ()
+  in
+  let initiate = function Xa -> Some (Xa, 0) | Xb -> Some (Xb, 1) | Xx -> None in
+  let respond f q =
+    if f = 0 then (if q = Xx then Xa else q)
+    else match q with Xb -> Xa | Xa -> Xx | Xx -> Xx
+  in
+  WB.create ~base ~initiate ~respond ~response_count:2
+
+let threshold_wb k =
+  Dda_protocols.Cutoff_broadcast.weak_broadcast_machine ~alphabet:[ "a"; "b" ] ~k
+    (Dda_presburger.Predicate.at_least "a" k)
+
+let experiment_broadcast_overhead () =
+  section "E3  Figure 2: weak broadcasts; native vs Lemma 4.7-compiled cost";
+  (* Example 4.6 does not converge (its broadcasts fire forever), so its
+     Figure 2 metric is the cost of one simulated broadcast round: the mean
+     number of fine-grained steps between consecutive configurations with
+     all agents back in phase 0. *)
+  Format.printf "%-28s %10s %14s %8s@." "instance" "rounds" "steps/round" "";
+  List.iter
+    (fun (name, labels) ->
+      let g = G.line labels in
+      let n = G.nodes g in
+      let compiled = WB.compile example_4_6 in
+      let rounds = ref 0 in
+      let total = ref 0 in
+      let phase0 c =
+        Array.for_all (function WB.Base _ -> true | WB.Mid _ -> false) (Config.to_array c)
+      in
+      let was_mid = ref false in
+      let on_step ~step:_ ~selection:_ ~before:_ ~after =
+        incr total;
+        if phase0 after then begin
+          if !was_mid then incr rounds;
+          was_mid := false
+        end
+        else was_mid := true
+      in
+      ignore
+        (Run.simulate ~on_step ~max_steps:50_000 compiled g (Scheduler.random_exclusive ~n ~seed:9));
+      Format.printf "%-28s %10d %14.1f@." name !rounds
+        (float_of_int !total /. float_of_int (max 1 !rounds)))
+    [
+      ("ex4.6 line n=5", [ 'b'; 'x'; 'x'; 'x'; 'b' ]);
+      ("ex4.6 line n=9", [ 'b'; 'x'; 'x'; 'x'; 'x'; 'x'; 'x'; 'x'; 'b' ]);
+    ];
+  Format.printf "%-28s %10s %14s %8s@." "instance" "native" "compiled" "ratio";
+  (* threshold protocol: steps for the verdict to settle *)
+  List.iter
+    (fun k ->
+      let wb = threshold_wb k in
+      let labels = List.init (2 * k) (fun i -> if i mod 2 = 0 then "a" else "b") in
+      let g = G.cycle labels in
+      let n = G.nodes g in
+      let _, native = WB.simulate_random ~seed:5 ~max_steps:500_000 wb g in
+      let compiled = WB.compile wb in
+      let r = Run.simulate ~max_steps:5_000_000 compiled g (Scheduler.random_exclusive ~n ~seed:5) in
+      let settled = match r.Run.settled_at with Some t -> t | None -> r.Run.steps_taken in
+      Format.printf "%-28s %10d %14d %7.1fx@."
+        (Printf.sprintf "threshold a>=%d cycle n=%d" k n)
+        native settled
+        (float_of_int settled /. float_of_int (max 1 native)))
+    [ 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* E4: Lemma 3.1 — the chain construction defeats halting automata       *)
+(* ------------------------------------------------------------------ *)
+
+type halt = Fresh of char | AccH | RejH
+
+let naive_halting : (char, halt) Machine.t =
+  Machine.halting
+    (Machine.create ~name:"naive-halting" ~beta:1
+       ~init:(fun l -> Fresh l)
+       ~delta:(fun q n ->
+         match q with
+         | Fresh 'a'
+           when not (N.exists_where (function Fresh c -> c <> 'a' | RejH -> true | AccH -> false) n)
+           -> AccH
+         | Fresh _ -> RejH
+         | other -> other)
+       ~accepting:(fun q -> q = AccH)
+       ~rejecting:(fun q -> q = RejH)
+       ())
+
+let experiment_chain () =
+  section "E4  Lemma 3.1 / Figure 3: halting automata on the chained graph GH";
+  let g = G.cycle [ 'a'; 'a'; 'a' ] and h = G.cycle [ 'b'; 'b'; 'b' ] in
+  let verdict graph =
+    let r = Run.simulate ~max_steps:50_000 naive_halting graph (Scheduler.round_robin ~n:(G.nodes graph)) in
+    match r.Run.verdict with `Accepting -> "accept" | `Rejecting -> "reject" | `Mixed -> "MIXED"
+  in
+  let gh, _ =
+    G.chain_of_copies ~g ~g_edge:(Option.get (G.find_cycle_edge g)) ~g_copies:3 ~h
+      ~h_edge:(Option.get (G.find_cycle_edge h)) ~h_copies:3
+  in
+  Format.printf "G(aaa): %s   H(bbb): %s   GH(%d nodes): %s   -- paper predicts MIXED@."
+    (verdict g) (verdict h) (G.nodes gh) (verdict gh)
+
+(* ------------------------------------------------------------------ *)
+(* E5: Lemmas 3.2/3.4 — covering and cutoff indistinguishability          *)
+(* ------------------------------------------------------------------ *)
+
+let mixer : (char, int) Machine.t =
+  Machine.create ~name:"mixer" ~beta:2
+    ~init:(fun l -> if l = 'a' then 1 else 0)
+    ~delta:(fun q n ->
+      let weighted = List.fold_left (fun acc (s, c) -> acc + (s * c)) 0 n in
+      (q + weighted) mod 5)
+    ~accepting:(fun q -> q < 3)
+    ~rejecting:(fun q -> q >= 3)
+    ()
+
+let experiment_indistinguishability () =
+  section "E5  Lemmas 3.2/3.4: coverings and cutoffs are invisible";
+  let labels = [ 'a'; 'b'; 'b'; 'a' ] in
+  let base = G.cycle labels in
+  List.iter
+    (fun fold ->
+      let cover = G.cycle_cover ~fold labels in
+      let f = G.cycle_cover_map ~fold labels in
+      let steps = 20 in
+      let run graph =
+        let c = ref (Config.initial mixer graph) in
+        let all = Listx.range (G.nodes graph) in
+        for _ = 1 to steps do
+          c := Config.step mixer graph !c all
+        done;
+        !c
+      in
+      let cb = run base and cc = run cover in
+      let agree =
+        List.for_all (fun v -> Config.state cc v = Config.state cb (f v)) (Listx.range (G.nodes cover))
+      in
+      Format.printf "covering fold=%d: synchronous runs agree along the covering map? %b@." fold agree)
+    [ 2; 3; 5 ];
+  let trace graph =
+    let c = ref (Config.initial mixer graph) in
+    let all = Listx.range (G.nodes graph) in
+    List.map
+      (fun _ ->
+        let counts = M.cutoff 3 (Config.state_count !c) in
+        c := Config.step mixer graph !c all;
+        counts)
+      (Listx.range 12)
+  in
+  let agree =
+    List.for_all2 M.equal
+      (trace (G.clique [ 'a'; 'a'; 'a'; 'b' ]))
+      (trace (G.clique [ 'a'; 'a'; 'a'; 'a'; 'a'; 'b' ]))
+  in
+  Format.printf "cliques (3a,1b) vs (5a,1b), β=2: capped state counts agree for 12 steps? %b@." agree
+
+(* ------------------------------------------------------------------ *)
+(* E6: Lemma 3.5 — computed cutoff bounds                                 *)
+(* ------------------------------------------------------------------ *)
+
+type yn = Yes | No
+
+let exists_a_yn : (char, yn) Machine.t =
+  Machine.create ~name:"exists-a" ~beta:1
+    ~init:(fun l -> if l = 'a' then Yes else No)
+    ~delta:(fun q n -> if q = No && N.present n Yes then Yes else q)
+    ~accepting:(fun q -> q = Yes)
+    ~rejecting:(fun q -> q = No)
+    ()
+
+let climber : (unit, int) Machine.t =
+  Machine.create ~name:"climber" ~beta:1
+    ~init:(fun () -> 0)
+    ~delta:(fun q n -> if q < 2 && (N.present n (q + 1) || N.present n 2) then q + 1 else q)
+    ~accepting:(fun q -> q = 2)
+    ~rejecting:(fun q -> q < 2)
+    ()
+
+let experiment_cutoff_bounds () =
+  section "E6  Lemma 3.5: cutoff bounds by backward coverability on stars";
+  Format.printf "%-22s %8s %14s@." "automaton" "|Q|" "bound K";
+  Format.printf "%-22s %8d %14d@." "exists-a" 2 (Cov.cutoff_bound ~states:[ Yes; No ] exists_a_yn);
+  Format.printf "%-22s %8d %14d@." "climber" 3 (Cov.cutoff_bound ~states:[ 0; 1; 2 ] climber)
+
+(* ------------------------------------------------------------------ *)
+(* E7: Lemma 4.10 — population protocols vs their DAF simulations          *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_population_overhead () =
+  section "E7  Lemma 4.10: rendez-vous vs search/answer/confirm handshakes";
+  let epidemic = Dda_protocols.Pop_examples.epidemic ~target:'a' in
+  Format.printf "%-24s %10s %14s %8s@." "graph" "native" "compiled" "ratio";
+  List.iter
+    (fun n ->
+      let labels = List.init n (fun i -> if i = 0 then 'a' else 'b') in
+      let g = G.cycle labels in
+      let _, native = Pop.simulate_random ~seed:3 ~max_steps:500_000 epidemic g in
+      let compiled = Pop.compile epidemic in
+      let r = Run.simulate ~max_steps:5_000_000 compiled g (Scheduler.random_exclusive ~n ~seed:3) in
+      let settled = match r.Run.settled_at with Some t -> t | None -> r.Run.steps_taken in
+      Format.printf "%-24s %10d %14d %7.1fx@."
+        (Printf.sprintf "epidemic cycle n=%d" n)
+        native settled
+        (float_of_int settled /. float_of_int (max 1 native)))
+    [ 5; 9; 13 ]
+
+(* ------------------------------------------------------------------ *)
+(* E8: convergence of the majority algorithms                             *)
+(* ------------------------------------------------------------------ *)
+
+let median l =
+  let sorted = List.sort compare l in
+  List.nth sorted (List.length sorted / 2)
+
+let experiment_convergence () =
+  section "E8  Convergence: steps to a settled majority verdict vs n";
+  let sizes = if quick then [ 5; 9; 13 ] else [ 5; 9; 13; 17; 21; 33; 45 ] in
+  Format.printf "%-6s %16s %16s %18s %14s@." "n" "§6.1 DAf" "population" "§6.1 (synchronous)"
+    "double-rounds";
+  List.iter
+    (fun n ->
+      (* a-minority, so the §6.1 weak-majority machine freezes (rejects) *)
+      let labels = List.init n (fun i -> if i mod 3 = 0 then "a" else "b") in
+      let g = G.cycle labels in
+      let hom = H.weak_majority ~degree_bound:2 in
+      let hom_steps =
+        median
+          (List.map
+             (fun seed ->
+               let r = Run.simulate ~max_steps:20_000_000 hom g (Scheduler.random_exclusive ~n ~seed) in
+               r.Run.steps_taken)
+             [ 1; 2; 3 ])
+      in
+      let sync_steps =
+        let r = Run.simulate ~max_steps:20_000_000 hom g (Scheduler.synchronous ~n) in
+        r.Run.steps_taken
+      in
+      let pop = Dda_protocols.Pop_examples.majority_4state in
+      let pop_g = G.cycle (List.map (fun l -> if l = "a" then 'a' else 'b') labels) in
+      (* the walking tokens keep permuting forever, so convergence is the
+         step after which the global verdict never changed *)
+      let pop_settle seed =
+        match Pop.settle_time ~seed ~max_steps:200_000 pop pop_g with
+        | Some (t, _) -> t
+        | None -> 200_000
+      in
+      let pop_steps = median (List.map pop_settle [ 1; 2; 3 ]) in
+      let double_rounds =
+        let samples =
+          Dda_analysis.Census.collect ~project:H.carried_dstate ~every:10
+            ~max_steps:20_000_000 hom g (Scheduler.random_exclusive ~n ~seed:1)
+        in
+        Dda_analysis.Census.rising_edges
+          ~present:(function H.C (_, H.LDouble) -> true | _ -> false)
+          samples
+      in
+      Format.printf "%-6d %16d %16d %18d %14d@." n hom_steps pop_steps sync_steps double_rounds)
+    sizes;
+  Format.printf "@.token-construction DAF (Lemma 5.1), odd-#a on cycles:@.";
+  Format.printf "%-6s %16s@." "n" "settled at";
+  List.iter
+    (fun n ->
+      let labels = List.init n (fun i -> if i mod 2 = 0 then 'a' else 'b') in
+      let g = G.cycle labels in
+      let m = SB.to_daf Dda_protocols.Strong_examples.odd_a in
+      let r = Run.simulate ~max_steps:20_000_000 m g (Scheduler.random_exclusive ~n ~seed:4) in
+      Format.printf "%-6d %16s@." n
+        (match r.Run.settled_at with Some t -> string_of_int t | None -> "-"))
+    (if quick then [ 3; 4 ] else [ 3; 4; 5; 6 ])
+
+(* ------------------------------------------------------------------ *)
+(* E9: primality of n (the NL showcase)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_primality () =
+  section "E9  prime(n) by broadcast counter machine";
+  let module CB = Dda_protocols.Counter_broadcast in
+  let protocol = CB.protocol CB.primality in
+  Format.printf "%-6s %-8s %-10s %s@." "n" "prime?" "verdict" "method";
+  List.iter
+    (fun n ->
+      let g = G.clique (List.init n (fun _ -> "x")) in
+      let space = SB.space ~max_configs:2_000_000 protocol g in
+      Format.printf "%-6d %-8b %-10s exact, %d configurations@." n
+        (Dda_presburger.Predicate.eval (Dda_presburger.Predicate.size_prime [ "x" ]) (fun _ -> n))
+        (Format.asprintf "%a" Decide.pp_verdict (Decide.pseudo_stochastic space))
+        space.Space.size)
+    (if quick then [ 3; 4; 5 ] else [ 3; 4; 5; 6 ]);
+  let priority_run g =
+    let c = ref (SB.initial protocol g) in
+    let steps = ref 0 in
+    let pick () =
+      let arr = Config.to_array !c in
+      let best = ref 0 in
+      Array.iteri
+        (fun i s -> if CB.select_priority s > CB.select_priority arr.(!best) then best := i)
+        arr;
+      !best
+    in
+    while (not (SB.quiescent protocol !c)) && !steps < 2_000_000 do
+      c := SB.step protocol !c (pick ());
+      incr steps
+    done;
+    (!c, !steps)
+  in
+  List.iter
+    (fun n ->
+      let g = G.cycle (List.init n (fun _ -> "x")) in
+      let final, steps = priority_run g in
+      let verdict =
+        if Array.for_all protocol.SB.accepting (Config.to_array final) then "accepts"
+        else if Array.for_all protocol.SB.rejecting (Config.to_array final) then "rejects"
+        else "mixed"
+      in
+      Format.printf "%-6d %-8b %-10s priority simulation, %d steps@." n
+        (Dda_presburger.Predicate.eval (Dda_presburger.Predicate.size_prime [ "x" ]) (fun _ -> n))
+        verdict steps)
+    (if quick then [ 7; 9 ] else [ 7; 9; 11; 13; 17; 19 ])
+
+(* ------------------------------------------------------------------ *)
+(* E10: exact adversarial verification of the §6.1 automaton              *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_exact_adversarial () =
+  section "E10  §6.1 automaton: complete fair-SCC verification under adversarial scheduling";
+  let m = H.weak_majority ~degree_bound:2 in
+  Format.printf "%-10s %-10s %12s %-12s %-12s@." "line" "expect" "configs" "adversarial" "pseudo-stoch";
+  List.iter
+    (fun labels ->
+      let g = G.line labels in
+      let expected = if 2 * List.length (List.filter (fun l -> l = "a") labels) >= List.length labels then "accept" else "reject" in
+      match Space.explore ~max_configs:1_200_000 m g with
+      | exception Space.Too_large n ->
+        Format.printf "%-10s %-10s %12s@." (String.concat "" labels) expected
+          (Printf.sprintf "> %d" n)
+      | space ->
+        Format.printf "%-10s %-10s %12d %-12s %-12s@." (String.concat "" labels) expected
+          space.Space.size
+          (Format.asprintf "%a" Decide.pp_verdict (Decide.adversarial space))
+          (Format.asprintf "%a" Decide.pp_verdict (Decide.pseudo_stochastic space)))
+    ([ [ "a"; "b"; "b" ]; [ "a"; "b"; "a" ]; [ "a"; "b"; "a"; "b" ]; [ "a"; "b"; "b"; "a"; "b" ] ]
+    @ if quick then [] else [ [ "a"; "b"; "a"; "b"; "a" ] ])
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing of the core kernels                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_suite () =
+  section "Timings (bechamel, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  let g21 = G.cycle (List.init 21 (fun i -> if i mod 3 = 0 then "a" else "b")) in
+  let hom = H.weak_majority ~degree_bound:2 in
+  let exists_m = Dda_protocols.Cutoff_one.exists_label ~alphabet:[ "a"; "b" ] "a" in
+  let g9 = G.cycle (List.init 9 (fun i -> if i mod 3 = 0 then "a" else "b")) in
+  let pop = Dda_protocols.Pop_examples.majority_4state in
+  let pop_g = G.cycle (List.init 15 (fun i -> if i mod 3 = 0 then 'a' else 'b')) in
+  let tests =
+    [
+      Test.make ~name:"s6.1 step, n=21 ring"
+        (Staged.stage (fun () ->
+             let c = Config.initial hom g21 in
+             ignore (Config.step hom g21 c [ 0; 5; 10 ])));
+      Test.make ~name:"explicit space exists-a, n=9 ring"
+        (Staged.stage (fun () -> ignore (Space.explore ~max_configs:100_000 exists_m g9)));
+      Test.make ~name:"counted clique space exists-a, n=40"
+        (Staged.stage (fun () ->
+             ignore
+               (Space.explore_clique ~max_configs:100_000 exists_m
+                  (M.of_counts [ ("a", 10); ("b", 30) ]))));
+      Test.make ~name:"pre-star climber"
+        (Staged.stage (fun () ->
+             let states = [ 0; 1; 2 ] in
+             ignore (Cov.pre_star ~states climber (Cov.non_rejecting_targets ~states climber))));
+      Test.make ~name:"population majority run, n=15 ring"
+        (Staged.stage (fun () -> ignore (Pop.simulate_random ~seed:1 ~max_steps:50_000 pop pop_g)));
+      Test.make ~name:"s6.1 run 10k steps, n=21 ring"
+        (Staged.stage (fun () ->
+             ignore
+               (Run.simulate ~max_steps:10_000 hom g21 (Scheduler.random_exclusive ~n:21 ~seed:1))));
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second (if quick then 0.25 else 1.0)) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"dda" ~fmt:"%s %s" tests) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Format.printf "%-50s %12.0f ns/run@." name est
+      | _ -> Format.printf "%-50s %12s@." name "n/a")
+    (List.sort compare rows)
+
+let () =
+  Format.printf "Decision Power of Weak Asynchronous Models — experiment harness%s@."
+    (if quick then " (quick mode)" else "");
+  experiment_figure1 ();
+  experiment_broadcast_overhead ();
+  experiment_chain ();
+  experiment_indistinguishability ();
+  experiment_cutoff_bounds ();
+  experiment_population_overhead ();
+  experiment_convergence ();
+  experiment_primality ();
+  experiment_exact_adversarial ();
+  bechamel_suite ();
+  Format.printf "@.done.@."

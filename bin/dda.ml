@@ -1,0 +1,389 @@
+(* dda — command-line front end.
+
+   $ dda tables                             # regenerate the Figure 1 tables
+   $ dda decide -p 'exists:a'    -g cycle:abb          # exact verification
+   $ dda decide -p 'threshold:a,2' -g clique:aab -f F
+   $ dda simulate -p 'majority-bounded:2' -g cycle:ababa -s round-robin
+   $ dda cutoff                             # Lemma 3.5 coverability demo
+   $ dda graph -g star:baa                  # inspect a graph spec *)
+
+module G = Dda_graph.Graph
+module M = Dda_multiset.Multiset
+module Machine = Dda_machine.Machine
+module P = Dda_presburger.Predicate
+module Scheduler = Dda_scheduler.Scheduler
+module Run = Dda_runtime.Run
+module Decide = Dda_verify.Decide
+module Classes = Dda_core.Classes
+module Decision = Dda_core.Decision
+
+(* ------------------------------------------------------------------ *)
+(* Parsers for the little spec languages                                *)
+(* ------------------------------------------------------------------ *)
+
+let split_on c s = String.split_on_char c s
+
+let parse_graph spec =
+  match split_on ':' spec with
+  | [ topo; labels ] when String.length labels > 0 ->
+    let ls = List.init (String.length labels) (fun i -> String.make 1 labels.[i]) in
+    (match topo with
+    | "cycle" -> Ok (G.cycle ls)
+    | "line" -> Ok (G.line ls)
+    | "clique" -> Ok (G.clique ls)
+    | "star" -> (
+      match ls with
+      | centre :: (_ :: _ as leaves) -> Ok (G.star ~centre ~leaves)
+      | _ -> Error "star needs at least three labels")
+    | _ -> Error (Printf.sprintf "unknown topology %S (cycle|line|clique|star)" topo))
+  | [ "grid"; dims; labels ] -> (
+    match split_on 'x' dims with
+    | [ w; h ] -> (
+      match (int_of_string_opt w, int_of_string_opt h) with
+      | Some w, Some h when w >= 1 && h >= 1 && String.length labels = w * h ->
+        Ok (G.grid ~width:w ~height:h (fun x y -> String.make 1 labels.[(y * w) + x]))
+      | Some w, Some h ->
+        Error (Printf.sprintf "grid %dx%d needs exactly %d labels" w h (w * h))
+      | _ -> Error "grid dimensions must be integers")
+    | _ -> Error "grid spec: grid:WxH:labels")
+  | _ -> Error "graph spec: (cycle|line|clique|star):<labels> or grid:WxH:<labels>"
+
+let alphabet_of g =
+  Dda_util.Listx.dedup_sorted Stdlib.compare (Array.to_list (G.labels g))
+
+(* Protocols are packed existentially so one table covers all state types. *)
+type packed = Packed : (string, 's) Machine.t -> packed
+
+let parse_protocol spec g =
+  let alphabet = alphabet_of g in
+  match split_on ':' spec with
+  | [ "exists"; l ] -> Ok (Packed (Dda_protocols.Cutoff_one.exists_label ~alphabet l))
+  | [ "cutoff1"; l ] ->
+    (* boolean example: label l occurs but label "b" does not *)
+    Ok
+      (Packed
+         (Dda_protocols.Cutoff_one.machine ~alphabet
+            (P.And (P.exists_label l, P.Not (P.exists_label "b")))))
+  | [ "threshold"; args ] -> (
+    match split_on ',' args with
+    | [ l; k ] -> (
+      match int_of_string_opt k with
+      | Some k when k >= 1 ->
+        Ok (Packed (Dda_protocols.Cutoff_broadcast.threshold ~alphabet ~label:l ~k))
+      | _ -> Error "threshold:<label>,<k>= needs k >= 1")
+    | _ -> Error "threshold spec: threshold:<label>,<k>")
+  | [ "majority-bounded"; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k >= 1 -> Ok (Packed (Dda_protocols.Homogeneous.majority ~degree_bound:k))
+    | _ -> Error "majority-bounded:<degree bound>")
+  | [ "weak-majority-bounded"; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k >= 1 ->
+      Ok (Packed (Dda_protocols.Homogeneous.weak_majority ~degree_bound:k))
+    | _ -> Error "weak-majority-bounded:<degree bound>")
+  | [ "majority-pop" ] ->
+    Ok
+      (Packed
+         (Machine.relabel
+            (fun l -> if l = "a" then 'a' else 'b')
+            (Dda_extensions.Population.compile Dda_protocols.Pop_examples.majority_4state)))
+  | [ "slp-majority" ] ->
+    Ok
+      (Packed
+         (Dda_extensions.Population.compile
+            (Dda_protocols.Semilinear_pop.threshold ~coeffs:[ ("a", 1); ("b", -1) ] ~c:1)))
+  | [ "slp-mod"; args ] -> (
+    match List.map int_of_string_opt (split_on ',' args) with
+    | [ Some m; Some r ] when m >= 1 ->
+      Ok
+        (Packed
+           (Dda_extensions.Population.compile
+              (Dda_protocols.Semilinear_pop.remainder ~coeffs:[ ("a", 1); ("b", 1) ] ~m ~r)))
+    | _ -> Error "slp-mod:<m>,<r>")
+  | [ "odd-a-token" ] ->
+    Ok
+      (Packed
+         (Machine.relabel
+            (fun l -> if l = "a" then 'a' else 'b')
+            (Dda_extensions.Strong_broadcast.to_daf Dda_protocols.Strong_examples.odd_a)))
+  | _ ->
+    Error
+      "protocol spec: exists:<l> | cutoff1:<l> | threshold:<l>,<k> | \
+       majority-bounded:<k> | weak-majority-bounded:<k> | majority-pop | \
+       slp-majority | slp-mod:<m>,<r> | odd-a-token"
+
+let parse_scheduler spec n =
+  match split_on ':' spec with
+  | [ "round-robin" ] -> Ok (Scheduler.round_robin ~n)
+  | [ "synchronous" ] | [ "sync" ] -> Ok (Scheduler.synchronous ~n)
+  | [ "random" ] -> Ok (Scheduler.random_exclusive ~n ~seed:1)
+  | [ "random"; seed ] -> (
+    match int_of_string_opt seed with
+    | Some seed -> Ok (Scheduler.random_exclusive ~n ~seed)
+    | None -> Error "random:<seed>")
+  | [ "adversary"; seed ] -> (
+    match int_of_string_opt seed with
+    | Some seed -> Ok (Scheduler.random_adversary ~n ~seed)
+    | None -> Error "adversary:<seed>")
+  | [ "burst"; w ] -> (
+    match int_of_string_opt w with
+    | Some w when w >= 1 -> Ok (Scheduler.burst ~n ~width:w)
+    | _ -> Error "burst:<width>")
+  | [ "starve"; args ] -> (
+    match List.map int_of_string_opt (split_on ',' args) with
+    | [ Some v; Some p ] when v >= 0 && v < n && p >= 2 ->
+      Ok (Scheduler.starve ~n ~victim:v ~period:p)
+    | _ -> Error "starve:<victim>,<period>")
+  | _ ->
+    Error "scheduler: round-robin | synchronous | random[:seed] | adversary:seed | burst:w | starve:v,p"
+
+let parse_fairness = function
+  | "f" | "adversarial" -> Ok Classes.Adversarial
+  | "F" | "pseudo-stochastic" -> Ok Classes.Pseudo_stochastic
+  | s -> Error (Printf.sprintf "unknown fairness %S (f | F)" s)
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    exit 2
+
+let cmd_tables bounded max_nodes =
+  if not bounded then begin
+    Format.printf "Figure 1 (middle): arbitrary communication graphs@.";
+    Format.printf "%a@." Dda_core.Figure1.pp_table (Dda_core.Figure1.arbitrary_table ~max_nodes ())
+  end
+  else begin
+    Format.printf "Figure 1 (right): degree-bounded communication graphs@.";
+    Format.printf "%a@." Dda_core.Figure1.pp_table (Dda_core.Figure1.bounded_table ~max_nodes ())
+  end
+
+let cmd_graph spec dot =
+  let g = or_die (parse_graph spec) in
+  if dot then begin
+    Format.printf "%a@." (G.to_dot Format.pp_print_string) g;
+    exit 0
+  end;
+  Format.printf "%a@." (G.pp Format.pp_print_string) g;
+  Format.printf "label count: %a@." (M.pp Format.pp_print_string) (G.label_count g);
+  Format.printf "max degree:  %d@." (G.max_degree g);
+  match G.validate g with
+  | Ok () -> Format.printf "valid (connected, >= 3 nodes)@."
+  | Error e -> Format.printf "INVALID: %s@." e
+
+let cmd_decide proto_spec graph_spec fairness_str max_configs witness =
+  let g = or_die (parse_graph graph_spec) in
+  let (Packed m) = or_die (parse_protocol proto_spec g) in
+  let fairness = or_die (parse_fairness fairness_str) in
+  let budget = { Decision.default_budget with Decision.max_configs } in
+  Format.printf "automaton: %s   graph: %s (n=%d)   fairness: %s@." m.Machine.name graph_spec
+    (G.nodes g)
+    (match fairness with Classes.Adversarial -> "adversarial" | _ -> "pseudo-stochastic");
+  match Decision.decide ~budget ~fairness m g with
+  | Ok v ->
+    Format.printf "verdict: %a@." Decide.pp_verdict v;
+    if witness then begin
+      match Dda_verify.Space.explore ~max_configs m g with
+      | exception Dda_verify.Space.Too_large _ -> ()
+      | space -> (
+        let target =
+          match Decide.verdict_bool v with
+          | Some true -> Some `Accepting
+          | Some false -> Some `Rejecting
+          | None -> None
+        in
+        match Option.map (Decide.certificate_path space) target with
+        | Some (Some (schedule, _)) ->
+          Format.printf "witness schedule (select one node per step): %a@."
+            (Fmt.list ~sep:(Fmt.any " ") Fmt.int)
+            schedule
+        | _ -> Format.printf "no witness path found@.")
+    end
+  | Error (`Too_large n) ->
+    Format.printf "state space exceeds %d configurations; try `dda simulate` instead@." n;
+    exit 1
+  | Error `No_cycle -> Format.printf "no decision@."
+
+let cmd_simulate proto_spec graph_spec sched_spec max_steps =
+  let g = or_die (parse_graph graph_spec) in
+  let (Packed m) = or_die (parse_protocol proto_spec g) in
+  let sched = or_die (parse_scheduler sched_spec (G.nodes g)) in
+  let r = Run.simulate ~max_steps m g sched in
+  Format.printf "automaton: %s   graph: %s (n=%d)   scheduler: %s@." m.Machine.name graph_spec
+    (G.nodes g) (Scheduler.name sched);
+  Format.printf "verdict: %s after %d steps%s%s@."
+    (match r.Run.verdict with `Accepting -> "accept" | `Rejecting -> "reject" | `Mixed -> "mixed")
+    r.Run.steps_taken
+    (if r.Run.quiescent then " (reached a global fixpoint)" else "")
+    (match r.Run.settled_at with
+    | Some t -> Printf.sprintf ", verdict settled at step %d" t
+    | None -> "")
+
+let cmd_auto pred_src graph_spec degree_bound =
+  let g = or_die (parse_graph graph_spec) in
+  let p =
+    match P.parse pred_src with
+    | Ok p -> p
+    | Error e -> or_die (Error (Printf.sprintf "predicate: %s" e))
+  in
+  let alphabet = alphabet_of g in
+  (match
+     Dda_core.Synthesis.synthesise ~alphabet ?degree_bound:(if degree_bound > 0 then Some degree_bound else None) p
+   with
+  | Error e -> or_die (Error e)
+  | Ok plan ->
+    Format.printf "predicate:  %a@." P.pp p;
+    Format.printf "synthesis:  class %s — %s@." plan.Dda_core.Synthesis.class_name
+      plan.Dda_core.Synthesis.description;
+    Format.printf "holds on the label count: %b@."
+      (P.holds p (G.label_count g));
+    (match Dda_core.Synthesis.decide_plan plan g with
+    | Ok v -> Format.printf "verified:   %a@." Decide.pp_verdict v
+    | Error (`Too_large n) ->
+      let (Dda_core.Synthesis.Packed m) = plan.Dda_core.Synthesis.machine in
+      let sched =
+        match plan.Dda_core.Synthesis.fairness with
+        | Classes.Adversarial -> Scheduler.random_adversary ~n:(G.nodes g) ~seed:1
+        | Classes.Pseudo_stochastic -> Scheduler.random_exclusive ~n:(G.nodes g) ~seed:1
+      in
+      let r = Run.simulate ~max_steps:4_000_000 m g sched in
+      Format.printf "space too large (> %d configs); simulated: %s after %d steps@." n
+        (match r.Run.verdict with `Accepting -> "accept" | `Rejecting -> "reject" | `Mixed -> "mixed")
+        r.Run.steps_taken
+    | Error `No_cycle -> Format.printf "no decision@."))
+
+let cmd_program which =
+  let module CB = Dda_protocols.Counter_broadcast in
+  let prog =
+    match which with
+    | "prime" -> Ok CB.primality
+    | "divides" -> Ok CB.divides
+    | "majority" -> Ok CB.majority
+    | "pow2" -> Ok CB.power_of_two
+    | other -> Error (Printf.sprintf "unknown program %S (prime|divides|majority|pow2)" other)
+  in
+  let prog = or_die prog in
+  Format.printf "%a@." CB.pp_program prog
+
+let cmd_cutoff () =
+  let module C = Dda_wsts.Coverability in
+  let module N = Dda_machine.Neighbourhood in
+  let exists_a =
+    Machine.create ~name:"exists-a" ~beta:1
+      ~init:(fun l -> l = 'a')
+      ~delta:(fun q n -> q || N.present n true)
+      ~accepting:(fun q -> q)
+      ~rejecting:(fun q -> not q)
+      ()
+  in
+  let states = [ false; true ] in
+  let targets = C.non_rejecting_targets ~states exists_a in
+  let pre = C.pre_star ~states exists_a targets in
+  Format.printf "∃a automaton: Pre*(non-rejecting) has %d minimal star configurations@."
+    (List.length (C.basis_elements pre));
+  Format.printf "Lemma 3.5 cutoff bound: K = %d@." (C.cutoff_bound ~states exists_a)
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner wiring                                                       *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let graph_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "g"; "graph" ] ~docv:"SPEC" ~doc:"Graph spec, e.g. cycle:aabb or grid:3x2:aabbab.")
+
+let proto_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "p"; "protocol" ] ~docv:"SPEC"
+        ~doc:
+          "Protocol spec: exists:<l>, threshold:<l>,<k>, majority-bounded:<k>, majority-pop, \
+           odd-a-token, ...")
+
+let tables_cmd =
+  let bounded = Arg.(value & flag & info [ "bounded" ] ~doc:"The degree-bounded table.") in
+  let max_nodes =
+    Arg.(value & opt int 4 & info [ "max-nodes" ] ~doc:"Suite size bound (default 4).")
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the Figure 1 decision-power tables")
+    Term.(const cmd_tables $ bounded $ max_nodes)
+
+let graph_cmd =
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.") in
+  Cmd.v (Cmd.info "graph" ~doc:"Inspect a graph spec") Term.(const cmd_graph $ graph_arg $ dot)
+
+let decide_cmd =
+  let fairness =
+    Arg.(value & opt string "F" & info [ "f"; "fairness" ] ~docv:"f|F" ~doc:"Fairness regime.")
+  in
+  let max_configs =
+    Arg.(
+      value & opt int 500_000
+      & info [ "max-configs" ] ~doc:"Configuration-space budget for exact verification.")
+  in
+  let witness =
+    Arg.(value & flag & info [ "witness" ] ~doc:"Print a schedule driving the verdict.")
+  in
+  Cmd.v
+    (Cmd.info "decide" ~doc:"Decide acceptance exactly by state-space analysis")
+    Term.(const cmd_decide $ proto_arg $ graph_arg $ fairness $ max_configs $ witness)
+
+let simulate_cmd =
+  let sched =
+    Arg.(
+      value & opt string "round-robin"
+      & info [ "s"; "scheduler" ] ~docv:"SPEC" ~doc:"Scheduler spec.")
+  in
+  let max_steps =
+    Arg.(value & opt int 2_000_000 & info [ "max-steps" ] ~doc:"Step budget.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a protocol under a concrete scheduler")
+    Term.(const cmd_simulate $ proto_arg $ graph_arg $ sched $ max_steps)
+
+let auto_cmd =
+  let pred =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "P"; "predicate" ] ~docv:"PRED"
+          ~doc:"Labelling predicate, e.g. 'a > b && a + b % 2 == 0'.")
+  in
+  let bound =
+    Arg.(
+      value & opt int 0
+      & info [ "k"; "degree-bound" ]
+          ~doc:"Known degree bound (enables the Section 6.1 adversarial route).")
+  in
+  Cmd.v
+    (Cmd.info "auto" ~doc:"Synthesise an automaton for a predicate and verify it")
+    Term.(const cmd_auto $ pred $ graph_arg $ bound)
+
+let program_cmd =
+  let which =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "p"; "program" ] ~docv:"NAME" ~doc:"prime | divides | majority | pow2")
+  in
+  Cmd.v
+    (Cmd.info "program" ~doc:"Show a broadcast counter program listing")
+    Term.(const cmd_program $ which)
+
+let cutoff_cmd =
+  Cmd.v
+    (Cmd.info "cutoff" ~doc:"Lemma 3.5 coverability demo")
+    Term.(const cmd_cutoff $ const ())
+
+let () =
+  let info = Cmd.info "dda" ~version:"1.0.0" ~doc:"Distributed automata decision power toolkit" in
+  exit (Cmd.eval (Cmd.group info [ tables_cmd; graph_cmd; decide_cmd; simulate_cmd; auto_cmd; program_cmd; cutoff_cmd ]))

@@ -1,0 +1,73 @@
+(* "DAF-automata can decide majority, or whether the graph has a prime
+   number of nodes." (Section 1)
+
+   Primality of n is the paper's flagship NL example.  This demo runs the
+   counter-machine-over-broadcasts protocol: a leader performs trial
+   division, with divisor and remainder stored as sets of marked agents —
+   the population itself is the memory, which is exactly why broadcast
+   protocols (and hence DAF-automata, via the Lemma 5.1 token construction)
+   reach all of NL.
+
+   Run with:  dune exec examples/prime_network.exe *)
+
+module G = Dda_graph.Graph
+module SB = Dda_extensions.Strong_broadcast
+module CB = Dda_protocols.Counter_broadcast
+module Space = Dda_verify.Space
+module Decide = Dda_verify.Decide
+module Config = Dda_runtime.Config
+
+let protocol = CB.protocol CB.primality
+
+(* A scheduling policy that always lets raised hands and objectors speak
+   first; under it every guess is verified before the leader moves on, so a
+   single pass of trial division completes with no resets. *)
+let priority_run g =
+  let c = ref (SB.initial protocol g) in
+  let steps = ref 0 in
+  let pick () =
+    let arr = Config.to_array !c in
+    let best = ref 0 in
+    Array.iteri
+      (fun i s -> if CB.select_priority s > CB.select_priority arr.(!best) then best := i)
+      arr;
+    !best
+  in
+  while (not (SB.quiescent protocol !c)) && !steps < 2_000_000 do
+    c := SB.step protocol !c (pick ());
+    incr steps
+  done;
+  (!c, !steps)
+
+let () =
+  Format.printf "Is the number of nodes prime?  (trial division by broadcast)@.@.";
+  Format.printf "%-6s %-10s %-12s %s@." "n" "verdict" "steps" "method";
+  (* exact verification on small cliques: every pseudo-stochastic fair run
+     of the protocol stabilises to the correct frozen consensus *)
+  List.iter
+    (fun n ->
+      let g = G.clique (List.init n (fun _ -> "x")) in
+      let space = SB.space ~max_configs:2_000_000 protocol g in
+      let v = Decide.pseudo_stochastic space in
+      Format.printf "%-6d %-10s %-12s exact (%d configurations)@." n
+        (Format.asprintf "%a" Decide.pp_verdict v)
+        "-" space.Space.size)
+    [ 3; 4; 5; 6 ];
+  (* larger networks by simulation with the hand-priority policy *)
+  List.iter
+    (fun n ->
+      let g = G.cycle (List.init n (fun _ -> "x")) in
+      let final, steps = priority_run g in
+      let verdict =
+        if Array.for_all (fun s -> protocol.SB.accepting s) (Config.to_array final) then "accepts"
+        else if Array.for_all (fun s -> protocol.SB.rejecting s) (Config.to_array final) then
+          "rejects"
+        else "mixed"
+      in
+      Format.printf "%-6d %-10s %-12d simulation (priority policy)@." n verdict steps)
+    [ 7; 9; 11; 13; 15; 17; 23; 24 ];
+  Format.printf
+    "@.The same protocol runs as a plain DAF-automaton after the Lemma 5.1@.\
+     token construction (Strong_broadcast.to_daf) — see the test suite for@.\
+     the compiled version; its states nest the population-protocol handshake@.\
+     of Lemma 4.10 inside two layers of the Lemma 4.7 phase protocol.@."

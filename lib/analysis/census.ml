@@ -1,0 +1,56 @@
+module M = Dda_multiset.Multiset
+module Config = Dda_runtime.Config
+module Run = Dda_runtime.Run
+
+type 'a sample = {
+  step : int;
+  census : 'a M.t;
+  verdict : [ `Accepting | `Rejecting | `Mixed ];
+}
+
+let snapshot ~project m step c =
+  {
+    step;
+    census = M.of_list (List.map project (Array.to_list (Config.to_array c)));
+    verdict = Config.verdict m c;
+  }
+
+let collect ~project ~every ~max_steps m g sched =
+  if every < 1 then invalid_arg "Census.collect: sampling period must be >= 1";
+  let samples = ref [ snapshot ~project m 0 (Config.initial m g) ] in
+  let on_step ~step ~selection:_ ~before:_ ~after =
+    if (step + 1) mod every = 0 then samples := snapshot ~project m (step + 1) after :: !samples
+  in
+  let r = Run.simulate ~on_step ~max_steps m g sched in
+  let last = snapshot ~project m r.Run.steps_taken r.Run.final in
+  let rest = match !samples with s :: _ when s.step = last.step -> !samples | l -> last :: l in
+  List.rev rest
+
+let rising_edges ~present samples =
+  let active s = List.exists (fun (a, _) -> present a) (M.to_counts s.census) in
+  let rec go prev = function
+    | [] -> 0
+    | s :: rest ->
+      let now = active s in
+      (if now && not prev then 1 else 0) + go now rest
+  in
+  match samples with [] -> 0 | s :: rest -> go (active s) rest
+
+let settled_verdict = function
+  | [] -> `Mixed
+  | samples -> (List.nth samples (List.length samples - 1)).verdict
+
+let pp_series pp_a fmt samples =
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%8d  %a  %s@." s.step (M.pp pp_a) s.census
+        (match s.verdict with `Accepting -> "acc" | `Rejecting -> "rej" | `Mixed -> "mix"))
+    samples
+
+let distinct_states m g sched ~max_steps =
+  let seen = Hashtbl.create 256 in
+  let record c = Array.iter (fun s -> Hashtbl.replace seen s ()) (Config.to_array c) in
+  record (Config.initial m g);
+  let on_step ~step:_ ~selection:_ ~before:_ ~after = record after in
+  ignore (Run.simulate ~on_step ~max_steps m g sched);
+  Hashtbl.length seen

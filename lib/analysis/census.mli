@@ -1,0 +1,45 @@
+(** Run instrumentation: state-census time series and event counting.
+
+    A census samples, every [every] steps, the number of agents in each
+    state (projected through a caller-supplied abstraction, since the
+    compiled automata of this library have deeply nested state types).
+    Event counting detects {e rising edges} of a predicate — e.g. "a
+    ⟨double⟩ broadcast is armed" for the Section 6.1 automaton — which turns
+    simulated runs into phase-level measurements. *)
+
+type 'a sample = {
+  step : int;
+  census : 'a Dda_multiset.Multiset.t;
+  verdict : [ `Accepting | `Rejecting | `Mixed ];
+}
+
+val collect :
+  project:('s -> 'a) ->
+  every:int ->
+  max_steps:int ->
+  ('l, 's) Dda_machine.Machine.t ->
+  'l Dda_graph.Graph.t ->
+  Dda_scheduler.Scheduler.t ->
+  'a sample list
+(** Simulate and sample the projected census (including the initial
+    configuration and the final one). *)
+
+val rising_edges : present:('a -> bool) -> 'a sample list -> int
+(** Number of transitions from "no agent satisfies [present]" to "some agent
+    does" along the series — an event count at the sampling resolution. *)
+
+val settled_verdict : 'a sample list -> [ `Accepting | `Rejecting | `Mixed ]
+(** Verdict of the last sample. *)
+
+val distinct_states :
+  ('l, 's) Dda_machine.Machine.t ->
+  'l Dda_graph.Graph.t ->
+  Dda_scheduler.Scheduler.t ->
+  max_steps:int ->
+  int
+(** Number of distinct per-agent states observed along a run — a measure of
+    how much of a compiled automaton's (astronomical) syntactic state space
+    is actually inhabited. *)
+
+val pp_series :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a sample list -> unit

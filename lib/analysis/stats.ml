@@ -1,0 +1,32 @@
+let check = function [] -> invalid_arg "Stats: empty series" | l -> l
+
+let mean l =
+  let l = check l in
+  List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let sorted l = List.sort compare (check l)
+
+let percentile p l =
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p must be in [0,100]";
+  let s = Array.of_list (sorted l) in
+  let n = Array.length s in
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  s.(max 0 (min (n - 1) (rank - 1)))
+
+let median l = percentile 50. l
+
+let stddev l =
+  let m = mean l in
+  let var = mean (List.map (fun x -> (x -. m) ** 2.) l) in
+  sqrt var
+
+let min_max l =
+  let s = sorted l in
+  (List.hd s, List.nth s (List.length s - 1))
+
+let of_ints = List.map float_of_int
+
+let pp_summary fmt l =
+  let lo, hi = min_max l in
+  Format.fprintf fmt "mean %.1f ± %.1f (median %.1f, min %.0f, max %.0f, n=%d)" (mean l)
+    (stddev l) (median l) lo hi (List.length l)

@@ -1,0 +1,18 @@
+(** Summary statistics for experiment series. *)
+
+val mean : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val median : float list -> float
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val percentile : float -> float list -> float
+(** [percentile p l] for [p ∈ [0, 100]], nearest-rank. *)
+
+val min_max : float list -> float * float
+
+val of_ints : int list -> float list
+
+val pp_summary : Format.formatter -> float list -> unit
+(** "mean 12.3 ± 4.5 (median 11, min 3, max 25, n=10)". *)

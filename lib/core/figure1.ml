@@ -1,0 +1,405 @@
+module G = Dda_graph.Graph
+module M = Dda_multiset.Multiset
+module P = Dda_presburger.Predicate
+module Machine = Dda_machine.Machine
+module Decide = Dda_verify.Decide
+module Scheduler = Dda_scheduler.Scheduler
+module Run = Dda_runtime.Run
+module Space = Dda_verify.Space
+
+type method_ = Exact | Simulated | Witness
+
+type cell = {
+  class_name : string;
+  property : string;
+  theory_decidable : bool;
+  method_ : method_;
+  detail : string;
+  agrees : bool;
+}
+
+(* --- machines ------------------------------------------------------------ *)
+
+let alphabet = [ "a"; "b" ]
+
+let const_true : (string, unit) Machine.t =
+  Machine.create ~name:"always-true" ~beta:1
+    ~init:(fun _ -> ())
+    ~delta:(fun s _ -> s)
+    ~accepting:(fun _ -> true)
+    ~rejecting:(fun _ -> false)
+    ()
+
+let exists_a = Dda_protocols.Cutoff_one.exists_label ~alphabet "a"
+let threshold2 () = Dda_protocols.Cutoff_broadcast.threshold ~alphabet ~label:"a" ~k:2
+
+let pop_majority () =
+  Machine.relabel
+    (fun l -> if l = "a" then 'a' else 'b')
+    (Dda_extensions.Population.compile Dda_protocols.Pop_examples.majority_4state)
+
+let majority = P.majority "a" "b"
+
+(* --- helpers ------------------------------------------------------------- *)
+
+let summarise cases =
+  let total = List.length cases in
+  let good = List.length (List.filter Evaluate.correct cases) in
+  (good = total, Printf.sprintf "%d/%d suite graphs decided correctly" good total)
+
+let exact_cell ~budget ~class_name ~property ~fairness ~machine ~predicate ~graphs =
+  let cases = Evaluate.against_predicate ~budget ~fairness ~machine ~predicate ~graphs () in
+  let ok, detail = summarise cases in
+  { class_name; property; theory_decidable = true; method_ = Exact; detail; agrees = ok }
+
+(* --- the arbitrary-graph table (middle of Figure 1) ----------------------- *)
+
+let arbitrary_table ?(max_nodes = 4) () =
+  let budget = { Decision.max_configs = 500_000; max_steps = 1_000_000 } in
+  let graphs = Evaluate.suite ~alphabet ~max_nodes () in
+  let halting_rows =
+    (* halting classes decide only trivial properties (Lemma 3.1) *)
+    let trivial =
+      exact_cell ~budget ~class_name:"xa· (halting)" ~property:"always-true"
+        ~fairness:Classes.Adversarial ~machine:(Machine.halting const_true) ~predicate:P.True
+        ~graphs
+    in
+    let halted_exists = Machine.halting exists_a in
+    let witness =
+      let g = G.cycle [ "a"; "b"; "b" ] in
+      match Decision.decide ~budget ~fairness:Classes.Adversarial halted_exists g with
+      | Ok v when Decide.verdict_bool v = Some true ->
+        ("halting ∃a-automaton unexpectedly still decides", false)
+      | Ok v ->
+        ( Format.asprintf
+            "forcing the ∃a-automaton to halt freezes the initial verdicts: %a on a(bb)-cycle"
+            Decide.pp_verdict v,
+          true )
+      | Error _ -> ("space too large", false)
+    in
+    [
+      trivial;
+      {
+        class_name = "xa· (halting)";
+        property = "∃a";
+        theory_decidable = false;
+        method_ = Witness;
+        detail = fst witness;
+        agrees = snd witness;
+      };
+    ]
+  in
+  let exists_rows =
+    List.map
+      (fun (cname, fairness) ->
+        exact_cell ~budget ~class_name:cname ~property:"∃a" ~fairness ~machine:exists_a
+          ~predicate:(P.exists_label "a") ~graphs)
+      [
+        ("dAf", Classes.Adversarial);
+        ("DAf", Classes.Adversarial);
+        ("dAF", Classes.Pseudo_stochastic);
+        ("DAF", Classes.Pseudo_stochastic);
+      ]
+  in
+  let threshold_rows =
+    let decidable =
+      List.map
+        (fun cname ->
+          exact_cell ~budget ~class_name:cname ~property:"#a ≥ 2"
+            ~fairness:Classes.Pseudo_stochastic ~machine:(threshold2 ())
+            ~predicate:(P.at_least "a" 2) ~graphs)
+        [ "dAF"; "DAF" ]
+    in
+    let witness =
+      (* a natural counting candidate fails on the line a-b-b-a (Lemma 3.4) *)
+      let m =
+        Machine.create ~name:"clique-two-a" ~beta:2
+          ~init:(fun l -> if l = "a" then 1 else 0)
+          ~delta:(fun q n ->
+            let visible_a = Dda_machine.Neighbourhood.count n 1 in
+            match q with
+            | 1 -> if visible_a >= 1 || Dda_machine.Neighbourhood.present n 2 then 2 else 1
+            | 0 -> if visible_a >= 2 || Dda_machine.Neighbourhood.present n 2 then 2 else 0
+            | other -> other)
+          ~accepting:(fun q -> q = 2)
+          ~rejecting:(fun q -> q < 2)
+          ()
+      in
+      let g = G.line [ "a"; "b"; "b"; "a" ] in
+      match Decision.decide ~budget ~fairness:Classes.Adversarial m g with
+      | Ok Decide.Rejects ->
+        ("candidate counting automaton wrongly rejects the line a-b-b-a (cutoff β+1)", true)
+      | _ -> ("witness did not behave as predicted", false)
+    in
+    decidable
+    @ List.map
+        (fun cname ->
+          {
+            class_name = cname;
+            property = "#a ≥ 2";
+            theory_decidable = false;
+            method_ = Witness;
+            detail = fst witness;
+            agrees = snd witness;
+          })
+        [ "dAf"; "DAf" ]
+  in
+  let majority_rows =
+    let daf =
+      exact_cell ~budget ~class_name:"DAF" ~property:"majority a>b"
+        ~fairness:Classes.Pseudo_stochastic ~machine:(pop_majority ()) ~predicate:majority ~graphs
+    in
+    let adversarial_witness =
+      (* the same automaton is inconsistent under adversarial fairness *)
+      let g = G.cycle [ "a"; "a"; "b" ] in
+      match Decision.decide ~budget ~fairness:Classes.Adversarial (pop_majority ()) g with
+      | Ok (Decide.Inconsistent _) ->
+        ("the Lemma 4.10 majority automaton has non-converging fair runs under f", true)
+      | Ok v -> (Format.asprintf "unexpectedly %a under f" Decide.pp_verdict v, false)
+      | Error _ -> ("space too large", false)
+    in
+    let cutoff_witness =
+      (* any dAF automaton decides only a cutoff approximation: the K=2
+         machine confuses (3,2) with (2,2) *)
+      let m = Dda_protocols.Cutoff_broadcast.machine ~alphabet ~k:2 majority in
+      let g = G.cycle [ "a"; "a"; "a"; "b"; "b" ] in
+      match Decision.decide ~budget ~fairness:Classes.Pseudo_stochastic m g with
+      | Ok Decide.Rejects ->
+        ("the cutoff-2 majority automaton wrongly rejects 3a2b (⌈(3,2)⌉₂ = (2,2))", true)
+      | Ok v -> (Format.asprintf "unexpectedly %a" Decide.pp_verdict v, false)
+      | Error (`Too_large n) -> (Printf.sprintf "space too large (%d)" n, false)
+      | Error `No_cycle -> ("no cycle", false)
+    in
+    daf
+    :: List.map
+         (fun cname ->
+           {
+             class_name = cname;
+             property = "majority a>b";
+             theory_decidable = false;
+             method_ = Witness;
+             detail = fst adversarial_witness;
+             agrees = snd adversarial_witness;
+           })
+         [ "dAf"; "DAf" ]
+    @ [
+        {
+          class_name = "dAF";
+          property = "majority a>b";
+          theory_decidable = false;
+          method_ = Witness;
+          detail = fst cutoff_witness;
+          agrees = snd cutoff_witness;
+        };
+      ]
+  in
+  let nl_rows =
+    (* beyond semilinear: primality of n and divisibility #a | #b are NL, so
+       DAF decides them; we verify the strong-broadcast protocols exactly
+       (Lemma 5.1's verified token construction carries them into DAF) *)
+    let module CB = Dda_protocols.Counter_broadcast in
+    let module SB = Dda_extensions.Strong_broadcast in
+    let exact_protocol name prog cases =
+      let total = List.length cases in
+      let good =
+        List.length
+          (List.filter
+             (fun (labels, expected) ->
+               match
+                 Decide.pseudo_stochastic
+                   (SB.space ~max_configs:2_000_000 (CB.protocol prog) (G.clique labels))
+               with
+               | Decide.Accepts -> expected
+               | Decide.Rejects -> not expected
+               | Decide.Inconsistent _ -> false)
+             cases)
+      in
+      {
+        class_name = "DAF";
+        property = name;
+        theory_decidable = true;
+        method_ = Exact;
+        detail =
+          Printf.sprintf "broadcast counter program: %d/%d inputs decided correctly" good total;
+        agrees = good = total;
+      }
+    in
+    [
+      exact_protocol "prime(n)  (NL)" CB.primality
+        (List.map (fun n -> (List.init n (fun _ -> "x"), P.eval (P.size_prime [ "x" ]) (fun _ -> n)))
+           [ 3; 4; 5 ]);
+      exact_protocol "#a | #b  (ISM, NL)" CB.divides
+        [
+          ([ "a"; "b"; "b" ], true);
+          ([ "a"; "a"; "b" ], false);
+          ([ "a"; "a"; "b"; "b" ], true);
+          ([ "a"; "a"; "b"; "b"; "b" ], false);
+        ];
+    ]
+  in
+  halting_rows @ exists_rows @ threshold_rows @ majority_rows @ nl_rows
+
+(* --- the bounded-degree table (right of Figure 1) -------------------------- *)
+
+let simulate_majority_cell ~class_name ~schedulers_of =
+  let m = Dda_protocols.Homogeneous.majority ~degree_bound:2 in
+  let cases =
+    [
+      (G.cycle [ "a"; "b"; "a" ], true);
+      (G.cycle [ "a"; "b"; "b" ], false);
+      (G.cycle [ "a"; "b"; "a"; "b" ], false);
+      (G.line [ "a"; "b"; "a"; "b"; "a" ], true);
+      (G.line [ "b"; "a"; "b"; "b"; "a" ], false);
+    ]
+  in
+  (* Exact fair-SCC verification under adversarial fairness on the smallest
+     instances — the full content of Proposition 6.3 ... *)
+  let exact_total = ref 0 and exact_good = ref 0 in
+  List.iter
+    (fun (g, expected) ->
+      if G.nodes g <= 4 then begin
+        incr exact_total;
+        match Space.explore ~max_configs:600_000 m g with
+        | exception Space.Too_large _ -> ()
+        | space ->
+          if Decide.verdict_bool (Decide.adversarial space) = Some expected then incr exact_good
+      end)
+    cases;
+  (* ... plus scheduler-family simulation on the rest. *)
+  let total = ref 0 and good = ref 0 in
+  List.iter
+    (fun (g, expected) ->
+      List.iter
+        (fun sched ->
+          incr total;
+          let r = Run.simulate ~max_steps:600_000 m g sched in
+          let got =
+            match r.Run.verdict with `Accepting -> Some true | `Rejecting -> Some false | `Mixed -> None
+          in
+          if got = Some expected then incr good)
+        (schedulers_of (G.nodes g)))
+    cases;
+  {
+    class_name;
+    property = "majority a>b";
+    theory_decidable = true;
+    method_ = Exact;
+    detail =
+      Printf.sprintf
+        "§6.1 automaton: %d/%d exact adversarial fair-SCC verifications, %d/%d scheduler runs"
+        !exact_good !exact_total !good !total;
+    agrees = !exact_good = !exact_total && !good = !total;
+  }
+
+let bounded_table ?(max_nodes = 4) () =
+  let budget = { Decision.max_configs = 500_000; max_steps = 1_000_000 } in
+  let graphs = Evaluate.suite ~alphabet ~max_nodes ~bounded_degree:(Some 3) () in
+  let exists_rows =
+    List.map
+      (fun (cname, fairness) ->
+        exact_cell ~budget ~class_name:cname ~property:"∃a" ~fairness ~machine:exists_a
+          ~predicate:(P.exists_label "a") ~graphs)
+      [ ("dAf", Classes.Adversarial); ("DAF", Classes.Pseudo_stochastic) ]
+  in
+  let daf_majority =
+    simulate_majority_cell ~class_name:"DAf"
+      ~schedulers_of:(fun n ->
+        [
+          Scheduler.round_robin ~n;
+          Scheduler.synchronous ~n;
+          Scheduler.burst ~n ~width:3;
+          Scheduler.random_adversary ~n ~seed:7;
+        ])
+  in
+  let dAF_majority =
+    exact_cell ~budget ~class_name:"dAF/DAF" ~property:"majority a>b"
+      ~fairness:Classes.Pseudo_stochastic ~machine:(pop_majority ()) ~predicate:majority ~graphs
+  in
+  let dAf_witness =
+    let g = G.cycle [ "a"; "a"; "b" ] in
+    match Decision.decide ~budget ~fairness:Classes.Adversarial (pop_majority ()) g with
+    | Ok (Decide.Inconsistent _) ->
+      {
+        class_name = "dAf";
+        property = "majority a>b";
+        theory_decidable = false;
+        method_ = Witness;
+        detail = "non-counting candidates stay within Cutoff(1); the F-automaton diverges under f";
+        agrees = true;
+      }
+    | _ ->
+      {
+        class_name = "dAf";
+        property = "majority a>b";
+        theory_decidable = false;
+        method_ = Witness;
+        detail = "witness did not behave as predicted";
+        agrees = false;
+      }
+  in
+  let degree_violation =
+    (* the §6.1 automaton for k=2 run on a K5 (degree 4): the knowledge
+       assumption is load-bearing *)
+    let m = Dda_protocols.Homogeneous.weak_majority ~degree_bound:2 in
+    let g = G.clique [ "a"; "a"; "b"; "b"; "b" ] in
+    let wrong = ref false in
+    List.iter
+      (fun seed ->
+        let r = Run.simulate ~max_steps:1_000_000 m g (Scheduler.random_exclusive ~n:5 ~seed) in
+        if r.Run.verdict = `Accepting then wrong := true)
+      [ 1; 2; 5 ];
+    {
+      class_name = "DAf (k=2)";
+      property = "majority beyond the degree bound";
+      theory_decidable = false;
+      method_ = Witness;
+      detail =
+        (if !wrong then "the k=2 automaton wrongly accepts 2a3b on K5 (degree 4 > k)"
+         else "no violation observed (witness is scheduler-dependent)");
+      agrees = !wrong;
+    }
+  in
+  let nspace_cell =
+    (* the NSPACE(n) side beyond thresholds: parity of #a via the Lemma 5.1
+       token construction, verified exactly on a degree-2 line *)
+    let m =
+      Machine.relabel
+        (fun l -> if l = "a" then 'a' else 'b')
+        (Dda_extensions.Strong_broadcast.to_daf Dda_protocols.Strong_examples.odd_a)
+    in
+    let cases = [ (G.line [ "a"; "b"; "a" ], false); (G.line [ "a"; "b"; "b" ], true) ] in
+    let good =
+      List.length
+        (List.filter
+           (fun (g, expected) ->
+             match Decision.decide ~budget ~fairness:Classes.Pseudo_stochastic m g with
+             | Ok v -> Decide.verdict_bool v = Some expected
+             | Error _ -> false)
+           cases)
+    in
+    {
+      class_name = "dAF/DAF";
+      property = "odd #a  (NSPACE side)";
+      theory_decidable = true;
+      method_ = Exact;
+      detail =
+        Printf.sprintf "Lemma 5.1 token automaton: %d/%d exact verifications" good
+          (List.length cases);
+      agrees = good = List.length cases;
+    }
+  in
+  exists_rows @ [ daf_majority; dAF_majority; nspace_cell; dAf_witness; degree_violation ]
+
+let pp_table fmt cells =
+  Format.fprintf fmt "@[<v>%-14s %-28s %-8s %-10s %-5s detail@," "class" "property" "theory"
+    "method" "ok?";
+  Format.fprintf fmt "%s@," (String.make 110 '-');
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "%-14s %-28s %-8s %-10s %-5s %s@," c.class_name c.property
+        (if c.theory_decidable then "yes" else "no")
+        (match c.method_ with Exact -> "exact" | Simulated -> "simulated" | Witness -> "witness")
+        (if c.agrees then "OK" else "FAIL")
+        c.detail)
+    cells;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,45 @@
+(** Regenerating the decision-power tables of Figure 1.
+
+    For each (equivalence class, labelling property) cell the paper predicts
+    decidability or impossibility.  This module re-derives each cell
+    {e experimentally}:
+
+    - for a decidable cell, the canonical automaton built by this library
+      for that class (Props C.4/C.6, Lemma 4.10, Lemma 5.1, §6.1) is run
+      through the exact verifier on a suite of small graphs and must decide
+      the property on all of them;
+    - for an impossible cell, a natural candidate automaton is exhibited and
+      shown to fail on a witness input (the generic impossibility is the
+      paper's theorem; an executable system can only demonstrate witnesses).
+
+    Properties exercised, one per complexity level of the figure:
+    always-true (Trivial), [∃a] (Cutoff(1)), [#a >= 2] (Cutoff), strict
+    majority [#a > #b] (NL / homogeneous-threshold complement). *)
+
+type method_ = Exact | Simulated | Witness
+(** How the cell was checked: exact state-space verification, scheduler
+    simulation (for automata whose spaces are too large), or an
+    impossibility witness. *)
+
+type cell = {
+  class_name : string;
+  property : string;
+  theory_decidable : bool;  (** Figure 1's prediction. *)
+  method_ : method_;
+  detail : string;  (** What was run and what happened. *)
+  agrees : bool;  (** The experiment agrees with the prediction. *)
+}
+
+val arbitrary_table : ?max_nodes:int -> unit -> cell list
+(** The middle table of Figure 1 (arbitrary communication graphs), checked
+    on the exhaustive suite of labelled graphs with up to [max_nodes]
+    (default 4) nodes.  Classes: halting (collapsed), dAf, DAf, dAF, DAF. *)
+
+val bounded_table : ?max_nodes:int -> unit -> cell list
+(** The right table (degree-bounded graphs): the headline cells are
+    DAf-majority (decidable via the Section 6.1 automaton, checked by
+    simulation under adversarial schedulers) and dAf-majority (still
+    impossible). *)
+
+val pp_table : Format.formatter -> cell list -> unit
+(** Render as an aligned text table. *)

@@ -1,0 +1,100 @@
+module P = Dda_presburger.Predicate
+module Machine = Dda_machine.Machine
+module Population = Dda_extensions.Population
+module SLP = Dda_protocols.Semilinear_pop
+module Listx = Dda_util.Listx
+
+type packed = Packed : (string, 's) Machine.t -> packed
+
+type plan = {
+  class_name : string;
+  fairness : Classes.fairness;
+  description : string;
+  machine : packed;
+}
+
+(* --- the semilinear route -------------------------------------------------- *)
+
+type ppacked = PPacked : (string, 's) Population.t -> ppacked
+
+let constant_protocol verdict =
+  Population.create
+    ~init:(fun _ -> ())
+    ~delta:(fun a b -> (a, b))
+    ~accepting:(fun () -> verdict)
+    ~rejecting:(fun () -> not verdict)
+    ~pp_state:(fun fmt () -> Format.pp_print_string fmt "·")
+    ()
+
+let rec population_of = function
+  | P.True -> Ok (PPacked (constant_protocol true))
+  | P.False -> Ok (PPacked (constant_protocol false))
+  | P.Ge { P.coeffs; const } -> Ok (PPacked (SLP.threshold ~coeffs ~c:(-const)))
+  | P.Mod ({ P.coeffs; const }, r, m) ->
+    Ok (PPacked (SLP.remainder ~coeffs ~m ~r:(r - const)))
+  | P.Not q ->
+    Result.map (fun (PPacked p) -> PPacked (SLP.complement p)) (population_of q)
+  | P.And (q1, q2) ->
+    Result.bind (population_of q1) (fun (PPacked a) ->
+        Result.map (fun (PPacked b) -> PPacked (SLP.conjunction a b)) (population_of q2))
+  | P.Or (q1, q2) ->
+    Result.bind (population_of q1) (fun (PPacked a) ->
+        Result.map (fun (PPacked b) -> PPacked (SLP.disjunction a b)) (population_of q2))
+  | P.Opaque (name, _) ->
+    Error
+      (Printf.sprintf
+         "predicate %S is opaque: not in the synthesisable quantifier-free linear fragment \
+          (see Counter_broadcast for primality/divisibility programs)"
+         name)
+
+(* --- plan selection -------------------------------------------------------- *)
+
+let synthesise ?alphabet ?degree_bound p =
+  let alphabet =
+    match alphabet with
+    | Some a -> a
+    | None -> Listx.dedup_sorted Stdlib.compare (P.vars p @ [ "a"; "b" ])
+  in
+  match P.syntactic_cutoff p with
+  | Some 1 ->
+    Ok
+      {
+        class_name = "dAf";
+        fairness = Classes.Adversarial;
+        description = "Prop C.4: non-counting support tracking; adversarial-safe on any graph";
+        machine = Packed (Dda_protocols.Cutoff_one.machine ~alphabet p);
+      }
+  | Some k ->
+    Ok
+      {
+        class_name = "dAF";
+        fairness = Classes.Pseudo_stochastic;
+        description =
+          Printf.sprintf "Prop C.6: level protocol with cutoff %d via weak broadcasts" k;
+        machine = Packed (Dda_protocols.Cutoff_broadcast.machine ~alphabet ~k p);
+      }
+  | None -> (
+    match (P.as_homogeneous_threshold p, degree_bound) with
+    | Some coeffs, Some k ->
+      Ok
+        {
+          class_name = Printf.sprintf "DAf (degree <= %d)" k;
+          fairness = Classes.Adversarial;
+          description = "Section 6.1: cancel/detect/double with resets; adversarial-safe";
+          machine = Packed (Dda_protocols.Homogeneous.machine ~coeffs ~degree_bound:k);
+        }
+    | _ ->
+      Result.map
+        (fun (PPacked proto) ->
+          {
+            class_name = "DAF";
+            fairness = Classes.Pseudo_stochastic;
+            description =
+              "semilinear population protocol (Angluin et al.) compiled by Lemma 4.10";
+            machine = Packed (Population.compile proto);
+          })
+        (population_of p))
+
+let decide_plan ?budget plan g =
+  let (Packed m) = plan.machine in
+  Decision.decide ?budget ~fairness:plan.fairness m g

@@ -1,0 +1,45 @@
+(** Automatic protocol synthesis: from a labelling predicate to an automaton
+    of the weakest class this library can offer for it.
+
+    The choice mirrors Figure 1, preferring weaker machinery:
+
+    + predicates with syntactic cutoff 1 (boolean combinations of [x >= 1])
+      → the Prop C.4 dAf-automaton: non-counting, correct under adversarial
+      scheduling on every connected graph;
+    + predicates with a syntactic cutoff K → the Prop C.6 dAF-automaton
+      (weak-broadcast levels, compiled by Lemma 4.7): needs
+      pseudo-stochastic fairness;
+    + homogeneous thresholds with a known degree bound → the Section 6.1
+      DAf-automaton: counting, correct under adversarial scheduling on
+      graphs of bounded degree;
+    + any other quantifier-free linear/modulo predicate (the semilinear
+      fragment) → a population protocol built compositionally
+      ({!Dda_protocols.Semilinear_pop}) and compiled to a DAF-automaton by
+      Lemma 4.10: needs pseudo-stochastic fairness.
+
+    Opaque predicates (primality, divisibility) are out of scope here — see
+    {!Dda_protocols.Counter_broadcast} for their dedicated programs. *)
+
+type packed = Packed : (string, 's) Dda_machine.Machine.t -> packed
+
+type plan = {
+  class_name : string;  (** e.g. "dAf", "dAF", "DAf (degree <= k)", "DAF". *)
+  fairness : Classes.fairness;  (** The fairness the machine needs. *)
+  description : string;
+  machine : packed;
+}
+
+val synthesise :
+  ?alphabet:string list ->
+  ?degree_bound:int ->
+  Dda_presburger.Predicate.t ->
+  (plan, string) result
+(** [alphabet] defaults to the predicate's variables (plus ["a"; "b"]);
+    [degree_bound] enables the Section 6.1 route. *)
+
+val decide_plan :
+  ?budget:Decision.budget ->
+  plan ->
+  string Dda_graph.Graph.t ->
+  Decision.outcome
+(** Decide with the plan's machine under its required fairness. *)

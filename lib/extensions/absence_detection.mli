@@ -1,0 +1,94 @@
+(** Machines with weak absence detection (Definition 4.8) and their
+    simulation by DAf-automata on bounded-degree graphs (Lemma 4.9).
+
+    An absence-detection transition lets an initiating agent observe the
+    {e support} of (a subset of) the current configuration — the set of
+    states occupied by at least one agent — and move accordingly.  The weak
+    variant allows several initiators at once: each initiator [v] sees the
+    support of a subset [S_v ∋ v], and the subsets jointly cover all
+    agents.
+
+    Scheduling is synchronous (the DA$ classes): a step is a synchronous
+    neighbourhood transition followed by an absence detection fired by every
+    agent that is then in an initiating state.  If no agent initiates, the
+    computation hangs and the whole step is discarded (the configuration is
+    unchanged), exactly as in Definition 4.8.
+
+    {!compile} is the Lemma 4.9 construction: a three-phase protocol in
+    which initiators take the [root] distance label, every other agent picks
+    a child label of a neighbour such that no neighbour holds a child of its
+    own label (possible for labels in [Z_{2k+1} ∪ {root}] when the degree is
+    at most [k], Lemma B.14), and the observed supports propagate back up
+    the induced forest in phase 2. *)
+
+type ('l, 's) t = {
+  base : ('l, 's) Dda_machine.Machine.t;
+  initiating : 's -> bool;  (** The set [Q_A]. *)
+  detect : 's -> 's list -> 's;
+      (** [detect q support] is [A(q, support)]; [support] is sorted and
+          duplicate-free. *)
+}
+
+val create :
+  base:('l, 's) Dda_machine.Machine.t ->
+  initiating:('s -> bool) ->
+  detect:('s -> 's list -> 's) ->
+  ('l, 's) t
+
+(** {1 Direct (native) semantics} *)
+
+val step :
+  assign:(initiators:int list -> int -> int) ->
+  ('l, 's) t ->
+  'l Dda_graph.Graph.t ->
+  's Dda_runtime.Config.t ->
+  's Dda_runtime.Config.t
+(** One synchronous macro-step.  [assign ~initiators u] places agent [u] in
+    the subset of the returned initiator (each initiator's subset implicitly
+    contains itself); it must return a member of [initiators]. *)
+
+val simulate_random :
+  seed:int ->
+  max_steps:int ->
+  ('l, 's) t ->
+  'l Dda_graph.Graph.t ->
+  's Dda_runtime.Config.t * int
+(** Synchronous run with uniformly random cover assignments; stops early on
+    configurations that no assignment can change. *)
+
+val space :
+  max_configs:int -> ('l, 's) t -> 'l Dda_graph.Graph.t -> Dda_verify.Space.t
+(** Exact space over all cover assignments (exponential; tiny graphs only).
+    Steps that change nothing are recorded as self-loops, so
+    [Dda_verify.Decide.unconditional] applies. *)
+
+(** {1 The Lemma 4.9 compilation} *)
+
+type dist = Root | Lab of int
+(** Distance labels [D = Z_{2k+1} ∪ {root}]. *)
+
+type 's state =
+  | D0 of 's  (** Phase 0: plain state. *)
+  | D1 of 's * 's * dist
+      (** Phase 1: (post-transition state, pre-transition state, label). *)
+  | D2 of 's * 's * 's list
+      (** Phase 2: (state, pre-transition state, set of states seen below). *)
+
+val last : 's state -> 's
+(** The plain state an interrupted agent should be yanked to: identity on
+    [D0], and the {e committed} post-transition state on [D1]/[D2].  This is
+    the mapping [last] used by the Section 6.1 broadcasts (they compose
+    their response functions with it to interrupt half-finished
+    detections).  Committing the neighbourhood update at join time is
+    essential: every agent of a round computes its ⟨cancel⟩ update from the
+    same pre-round snapshot, so yanking stragglers to the committed state
+    reproduces the full synchronous step and preserves the global sum of
+    contributions — yanking them to the pre-round state would mix pre- and
+    post-round contributions and let the sum drift, which breaks ties. *)
+
+val compile : k:int -> ('l, 's) t -> ('l, 's state) Dda_machine.Machine.t
+(** The DAf-automaton of Lemma 4.9 for graphs of degree at most [k].
+    @raise Invalid_argument if [k < 1]. *)
+
+val pp_state :
+  (Format.formatter -> 's -> unit) -> Format.formatter -> 's state -> unit

@@ -1,0 +1,121 @@
+module Graph = Dda_graph.Graph
+module Config = Dda_runtime.Config
+module Run = Dda_runtime.Run
+module Scheduler = Dda_scheduler.Scheduler
+module Listx = Dda_util.Listx
+
+type report = {
+  fine_steps : int;
+  snapshots : int;
+  macro_steps : int;
+  max_depth_used : int;
+}
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "%d fine steps, %d snapshots, %d macro steps validated (max native depth %d)" r.fine_steps
+    r.snapshots r.macro_steps r.max_depth_used
+
+(* Generic engine: run the compiled machine, extract intermediate-free
+   snapshots, and check consecutive snapshots are connected by at most
+   [depth] native steps. *)
+let validate ~max_steps ~depth ~seed ~compiled ~graph ~project ~native_successors
+    ~describe =
+  let n = Graph.nodes graph in
+  let snapshots = ref [] in
+  let record c =
+    match project c with
+    | Some native -> (
+      match !snapshots with
+      | last :: _ when last = native -> ()
+      | _ -> snapshots := native :: !snapshots)
+    | None -> ()
+  in
+  record (Config.initial compiled graph);
+  let on_step ~step:_ ~selection:_ ~before:_ ~after = record after in
+  let r =
+    Run.simulate ~on_step ~max_steps compiled graph (Scheduler.random_exclusive ~n ~seed)
+  in
+  let chain = List.rev !snapshots in
+  let max_depth_used = ref 0 in
+  let macro = ref 0 in
+  let rec reachable source target d frontier =
+    if List.exists (fun c -> c = target) frontier then Some d
+    else if d >= depth then None
+    else begin
+      let next =
+        Listx.dedup_sorted Stdlib.compare
+          (List.concat_map
+             (fun c -> List.map Config.to_array (native_successors (Config.of_states c)))
+             frontier)
+      in
+      if next = [] then None else reachable source target (d + 1) next
+    end
+  in
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+      if a = b then walk rest
+      else begin
+        match reachable a b 1 (List.map Config.to_array (native_successors (Config.of_states a))) with
+        | Some d ->
+          incr macro;
+          max_depth_used := max !max_depth_used d;
+          walk rest
+        | None ->
+          Error
+            (Format.asprintf
+               "snapshot transition not explained by <= %d native steps:@ %s  -/->  %s" depth
+               (describe a) (describe b))
+      end
+    | _ ->
+      Ok
+        {
+          fine_steps = r.Run.steps_taken;
+          snapshots = List.length chain;
+          macro_steps = !macro;
+          max_depth_used = !max_depth_used;
+        }
+  in
+  walk chain
+
+let array_describe pp arr =
+  Format.asprintf "[%a]" (Listx.pp_list ~sep:" " pp) (Array.to_list arr)
+
+let check_weak_broadcast ?(max_steps = 20_000) ?(depth = 3) ~seed wb graph =
+  let compiled = Weak_broadcast.compile wb in
+  let project c =
+    let arr = Config.to_array c in
+    if Array.for_all (function Weak_broadcast.Base _ -> true | _ -> false) arr then
+      Some
+        (Array.map (function Weak_broadcast.Base q -> q | Weak_broadcast.Mid (q, _, _) -> q) arr)
+    else None
+  in
+  validate ~max_steps ~depth ~seed ~compiled ~graph ~project
+    ~native_successors:(fun c -> Weak_broadcast.successors wb graph c)
+    ~describe:(array_describe wb.Weak_broadcast.base.Dda_machine.Machine.pp_state)
+
+let check_population ?(max_steps = 20_000) ?(depth = 3) ~seed pop graph =
+  let compiled = Population.compile pop in
+  let project c =
+    let arr = Config.to_array c in
+    if Array.for_all (function Population.Plain _ -> true | _ -> false) arr then
+      Some
+        (Array.map
+           (function
+             | Population.Plain q | Population.Search q | Population.Answer q -> q
+             | Population.Confirm (q, _) -> q)
+           arr)
+    else None
+  in
+  let pairs = List.concat_map (fun (u, v) -> [ (u, v); (v, u) ]) (Graph.edges graph) in
+  let native_successors c =
+    List.map Config.of_states
+      (Listx.dedup_sorted Stdlib.compare
+         (List.filter_map
+            (fun pair ->
+              let c' = Population.step pop graph c pair in
+              if Config.equal c c' then None else Some (Config.to_array c'))
+            pairs))
+  in
+  validate ~max_steps ~depth ~seed ~compiled ~graph ~project ~native_successors
+    ~describe:(array_describe pop.Population.pp_state)

@@ -1,0 +1,52 @@
+(** Mechanical validation of the simulation theorems (Definitions 4.1–4.3).
+
+    Lemmas 4.7 and 4.10 assert that every run of a compiled automaton is
+    (after reordering) an {e extension} of a run of the original extended
+    automaton: deleting the intermediate-state snapshots leaves a legal
+    native run.  This module checks that property on concrete observed runs:
+
+    - simulate the compiled automaton for a number of steps;
+    - project out the {e snapshots} — configurations in which no agent is in
+      an intermediate state;
+    - verify that each consecutive pair of distinct snapshots is connected
+      by at most [depth] native steps (one, unless rounds pipeline — under
+      exclusive scheduling several broadcast waves can overlap, which the
+      paper handles by reordering; a bounded multi-step search absorbs the
+      same slack).
+
+    A successful report is strong evidence that the compiled automaton
+    really simulates the native one on this input; a failure pinpoints the
+    first snapshot transition that no short native execution explains. *)
+
+type report = {
+  fine_steps : int;  (** Steps of the compiled run examined. *)
+  snapshots : int;  (** Intermediate-free configurations observed. *)
+  macro_steps : int;  (** Distinct consecutive snapshot transitions. *)
+  max_depth_used : int;
+      (** Largest number of native steps needed for one transition (1 unless
+          rounds pipelined). *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val check_weak_broadcast :
+  ?max_steps:int ->
+  ?depth:int ->
+  seed:int ->
+  ('l, 's) Weak_broadcast.t ->
+  'l Dda_graph.Graph.t ->
+  (report, string) result
+(** Validate the Lemma 4.7 compilation of the given weak-broadcast automaton
+    against its native semantics, on a random exclusive schedule
+    ([max_steps] defaults to 20_000, [depth] to 3). *)
+
+val check_population :
+  ?max_steps:int ->
+  ?depth:int ->
+  seed:int ->
+  ('l, 's) Population.t ->
+  'l Dda_graph.Graph.t ->
+  (report, string) result
+(** Validate the Lemma 4.10 compilation of a graph population protocol:
+    snapshots are the handshake-free configurations, and consecutive
+    snapshots must be connected by at most [depth] rendez-vous steps. *)

@@ -1,0 +1,310 @@
+module Multiset = Dda_multiset.Multiset
+module Listx = Dda_util.Listx
+module Prng = Dda_util.Prng
+
+type 'l t = { labels : 'l array; adj : int list array }
+
+let nodes g = Array.length g.labels
+let label g v = g.labels.(v)
+let labels g = Array.copy g.labels
+let neighbours g v = g.adj.(v)
+let degree g v = List.length g.adj.(v)
+
+let max_degree g =
+  Array.fold_left (fun acc l -> max acc (List.length l)) 0 g.adj
+
+let edges g =
+  let acc = ref [] in
+  for v = nodes g - 1 downto 0 do
+    List.iter (fun u -> if v < u then acc := (v, u) :: !acc) g.adj.(v)
+  done;
+  !acc
+
+let adjacent g u v = List.mem v g.adj.(u)
+
+let label_count g = Multiset.of_list (Array.to_list g.labels)
+
+let of_edges ~labels edge_list =
+  let n = Array.length labels in
+  let check v = if v < 0 || v >= n then invalid_arg "Graph.of_edges: node out of range" in
+  let sets = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      check u;
+      check v;
+      if u = v then invalid_arg "Graph.of_edges: self-loop";
+      if not (List.mem v sets.(u)) then begin
+        sets.(u) <- v :: sets.(u);
+        sets.(v) <- u :: sets.(v)
+      end)
+    edge_list;
+  { labels = Array.copy labels; adj = Array.map (List.sort Stdlib.compare) sets }
+
+let is_connected g =
+  let n = nodes g in
+  if n = 0 then false
+  else begin
+    let seen = Array.make n false in
+    let rec dfs v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        List.iter dfs g.adj.(v)
+      end
+    in
+    dfs 0;
+    Array.for_all (fun b -> b) seen
+  end
+
+let validate g =
+  if nodes g < 3 then Error "graph has fewer than three nodes"
+  else if not (is_connected g) then Error "graph is not connected"
+  else Ok ()
+
+let relabel f g = { g with labels = Array.map f g.labels }
+
+(* --- Families --------------------------------------------------------- *)
+
+let clique label_list =
+  let labels = Array.of_list label_list in
+  let n = Array.length labels in
+  let edge_list =
+    List.concat_map (fun u -> List.map (fun v -> (u, v)) (Listx.range_in (u + 1) (n - 1))) (Listx.range n)
+  in
+  of_edges ~labels edge_list
+
+let star ~centre ~leaves =
+  let labels = Array.of_list (centre :: leaves) in
+  of_edges ~labels (List.map (fun i -> (0, i + 1)) (Listx.range (List.length leaves)))
+
+let line label_list =
+  let labels = Array.of_list label_list in
+  let n = Array.length labels in
+  if n < 2 then invalid_arg "Graph.line: need at least two nodes";
+  of_edges ~labels (List.map (fun i -> (i, i + 1)) (Listx.range (n - 1)))
+
+let cycle label_list =
+  let labels = Array.of_list label_list in
+  let n = Array.length labels in
+  if n < 3 then invalid_arg "Graph.cycle: need at least three nodes";
+  of_edges ~labels (List.map (fun i -> (i, (i + 1) mod n)) (Listx.range n))
+
+let grid ~width ~height f =
+  if width < 1 || height < 1 then invalid_arg "Graph.grid: empty";
+  let idx x y = (y * width) + x in
+  let labels = Array.init (width * height) (fun i -> f (i mod width) (i / width)) in
+  let edge_list =
+    List.concat_map
+      (fun y ->
+        List.concat_map
+          (fun x ->
+            let right = if x + 1 < width then [ (idx x y, idx (x + 1) y) ] else [] in
+            let down = if y + 1 < height then [ (idx x y, idx x (y + 1)) ] else [] in
+            right @ down)
+          (Listx.range width))
+      (Listx.range height)
+  in
+  of_edges ~labels edge_list
+
+let torus ~width ~height f =
+  if width < 3 || height < 3 then invalid_arg "Graph.torus: dimensions must be >= 3";
+  let idx x y = (y * width) + x in
+  let labels = Array.init (width * height) (fun i -> f (i mod width) (i / width)) in
+  let edge_list =
+    List.concat_map
+      (fun y ->
+        List.concat_map
+          (fun x -> [ (idx x y, idx ((x + 1) mod width) y); (idx x y, idx x ((y + 1) mod height)) ])
+          (Listx.range width))
+      (Listx.range height)
+  in
+  of_edges ~labels edge_list
+
+let random_connected rng ~degree_bound label_list =
+  if degree_bound < 2 then invalid_arg "Graph.random_connected: degree bound must be >= 2";
+  let labels = Array.of_list (Prng.shuffle_list rng label_list) in
+  let n = Array.length labels in
+  if n < 1 then invalid_arg "Graph.random_connected: empty label list";
+  let deg = Array.make n 0 in
+  (* Random spanning structure: attach node i to a previous node with spare
+     degree capacity; fall back to i-1 (a line always fits bound >= 2). *)
+  let tree_edges =
+    List.filter_map
+      (fun i ->
+        if i = 0 then None
+        else begin
+          let candidates =
+            List.filter (fun j -> deg.(j) < degree_bound - (if i < n - 1 then 1 else 0)) (Listx.range i)
+          in
+          let parent = match candidates with [] -> i - 1 | l -> Prng.pick rng l in
+          deg.(parent) <- deg.(parent) + 1;
+          deg.(i) <- deg.(i) + 1;
+          Some (parent, i)
+        end)
+      (Listx.range n)
+  in
+  (* Extra edges: a few random attempts, kept when the degree bound allows. *)
+  let extra = ref [] in
+  let attempts = 2 * n in
+  let have u v =
+    List.exists (fun (a, b) -> (a = u && b = v) || (a = v && b = u)) (tree_edges @ !extra)
+  in
+  for _ = 1 to attempts do
+    if n >= 2 then begin
+      let u = Prng.int rng n and v = Prng.int rng n in
+      if u <> v && deg.(u) < degree_bound && deg.(v) < degree_bound && not (have u v) then begin
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1;
+        extra := (u, v) :: !extra
+      end
+    end
+  done;
+  of_edges ~labels (tree_edges @ !extra)
+
+let hypercube ~dim f =
+  if dim < 2 then invalid_arg "Graph.hypercube: dimension must be >= 2";
+  let n = 1 lsl dim in
+  let labels = Array.init n f in
+  let edge_list =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun b ->
+            let j = i lxor (1 lsl b) in
+            if i < j then Some (i, j) else None)
+          (Listx.range dim))
+      (Listx.range n)
+  in
+  of_edges ~labels edge_list
+
+let complete_bipartite left right =
+  let m = List.length left and n = List.length right in
+  if m < 1 || n < 1 || m + n < 3 then
+    invalid_arg "Graph.complete_bipartite: parts too small";
+  let labels = Array.of_list (left @ right) in
+  let edge_list =
+    List.concat_map (fun i -> List.map (fun j -> (i, m + j)) (Listx.range n)) (Listx.range m)
+  in
+  of_edges ~labels edge_list
+
+let binary_tree label_list =
+  let labels = Array.of_list label_list in
+  let n = Array.length labels in
+  if n < 3 then invalid_arg "Graph.binary_tree: need at least three nodes";
+  let edge_list =
+    List.filter_map (fun i -> if i = 0 then None else Some ((i - 1) / 2, i)) (Listx.range n)
+  in
+  of_edges ~labels edge_list
+
+let barbell left ~bridge right =
+  let m = List.length left and b = List.length bridge and n = List.length right in
+  if m < 2 || n < 2 then invalid_arg "Graph.barbell: cliques need at least two nodes";
+  let labels = Array.of_list (left @ bridge @ right) in
+  let clique_edges off size =
+    List.concat_map
+      (fun i -> List.map (fun j -> (off + i, off + j)) (Listx.range_in (i + 1) (size - 1)))
+      (Listx.range size)
+  in
+  let path_edges =
+    (* last-left — bridge nodes — first-right *)
+    let chain = (m - 1) :: List.map (fun i -> m + i) (Listx.range b) @ [ m + b ] in
+    let rec pairs = function a :: (b :: _ as rest) -> (a, b) :: pairs rest | _ -> [] in
+    pairs chain
+  in
+  of_edges ~labels (clique_edges 0 m @ clique_edges (m + b) n @ path_edges)
+
+(* --- Coverings -------------------------------------------------------- *)
+
+let cycle_cover ~fold label_list =
+  if fold < 1 then invalid_arg "Graph.cycle_cover: fold must be >= 1";
+  let repeated = List.concat (List.init fold (fun _ -> label_list)) in
+  cycle repeated
+
+let cycle_cover_map ~fold label_list =
+  let base = List.length label_list in
+  if fold < 1 || base < 1 then invalid_arg "Graph.cycle_cover_map";
+  fun i -> i mod base
+
+let is_covering_map ~covering ~base f =
+  let n_h = nodes covering and n_g = nodes base in
+  let image = Array.make n_g false in
+  let ok_node v =
+    let fv = f v in
+    if fv < 0 || fv >= n_g then false
+    else begin
+      image.(fv) <- true;
+      (* labels preserved *)
+      label covering v = label base fv
+      &&
+      (* neighbourhood of v maps bijectively onto neighbourhood of f v *)
+      let nb_images = List.map f (neighbours covering v) in
+      let sorted = List.sort Stdlib.compare nb_images in
+      sorted = neighbours base fv
+    end
+  in
+  List.for_all ok_node (Listx.range n_h) && Array.for_all (fun b -> b) image
+
+(* --- Lemma 3.1 chain construction ------------------------------------- *)
+
+let remove_edge g (u, v) =
+  let strip w l = List.filter (fun x -> x <> w) l in
+  let adj = Array.copy g.adj in
+  adj.(u) <- strip v adj.(u);
+  adj.(v) <- strip u adj.(v);
+  { g with adj }
+
+let find_cycle_edge g =
+  List.find_opt (fun e -> is_connected (remove_edge g e)) (edges g)
+
+let chain_of_copies ~g ~g_edge:(ug, vg) ~g_copies ~h ~h_edge:(uh, vh) ~h_copies =
+  if not (adjacent g ug vg) then invalid_arg "Graph.chain_of_copies: g_edge is not an edge";
+  if not (adjacent h uh vh) then invalid_arg "Graph.chain_of_copies: h_edge is not an edge";
+  if g_copies < 1 || h_copies < 1 then invalid_arg "Graph.chain_of_copies: need >= 1 copies";
+  let ng = nodes g and nh = nodes h in
+  let g_base i = i * ng in
+  let h_base i = (g_copies * ng) + (i * nh) in
+  let total = (g_copies * ng) + (h_copies * nh) in
+  let labels =
+    Array.init total (fun x ->
+        if x < g_copies * ng then label g (x mod ng) else label h ((x - (g_copies * ng)) mod nh))
+  in
+  let g_cut = edges (remove_edge g (ug, vg)) in
+  let h_cut = edges (remove_edge h (uh, vh)) in
+  let internal =
+    List.concat_map
+      (fun i -> List.map (fun (a, b) -> (g_base i + a, g_base i + b)) g_cut)
+      (Listx.range g_copies)
+    @ List.concat_map
+        (fun i -> List.map (fun (a, b) -> (h_base i + a, h_base i + b)) h_cut)
+        (Listx.range h_copies)
+  in
+  (* Splice: v_G^i -- u_G^{i+1}, then v_G^{last} -- u_H^0, then v_H^i -- u_H^{i+1}. *)
+  let splice =
+    List.map (fun i -> (g_base i + vg, g_base (i + 1) + ug)) (Listx.range (g_copies - 1))
+    @ [ (g_base (g_copies - 1) + vg, h_base 0 + uh) ]
+    @ List.map (fun i -> (h_base i + vh, h_base (i + 1) + uh)) (Listx.range (h_copies - 1))
+  in
+  let chained = of_edges ~labels (internal @ splice) in
+  let back x =
+    if x < g_copies * ng then `G (x / ng, x mod ng)
+    else
+      let y = x - (g_copies * ng) in
+      `H (y / nh, y mod nh)
+  in
+  (chained, back)
+
+let pp pp_label fmt g =
+  Format.fprintf fmt "@[<v>graph with %d nodes:@," (nodes g);
+  for v = 0 to nodes g - 1 do
+    Format.fprintf fmt "  %d[%a] -- {%a}@," v pp_label (label g v)
+      (Listx.pp_list ~sep:", " Format.pp_print_int)
+      (neighbours g v)
+  done;
+  Format.fprintf fmt "@]"
+
+let to_dot ?(name = "g") pp_label fmt g =
+  Format.fprintf fmt "@[<v>graph %s {@," name;
+  for v = 0 to nodes g - 1 do
+    Format.fprintf fmt "  n%d [label=\"%d:%a\"];@," v v pp_label (label g v)
+  done;
+  List.iter (fun (u, v) -> Format.fprintf fmt "  n%d -- n%d;@," u v) (edges g);
+  Format.fprintf fmt "}@]"

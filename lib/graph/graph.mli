@@ -1,0 +1,143 @@
+(** Labelled, undirected communication graphs.
+
+    Following the paper's convention (Section 2), graphs are finite, simple,
+    undirected, labelled, connected, and have at least three nodes.  The
+    constructors in this module enforce simplicity; {!validate} additionally
+    checks the paper convention, and {!is_connected} / {!max_degree} are
+    available separately for tests.
+
+    Nodes are integers [0 .. n-1]; ['l] is the label type. *)
+
+type 'l t
+
+(** {1 Accessors} *)
+
+val nodes : 'l t -> int
+(** Number of nodes. *)
+
+val label : 'l t -> int -> 'l
+val labels : 'l t -> 'l array
+val neighbours : 'l t -> int -> int list
+(** Sorted list of neighbours. *)
+
+val degree : 'l t -> int -> int
+val max_degree : 'l t -> int
+val edges : 'l t -> (int * int) list
+(** Each undirected edge once, as [(u, v)] with [u < v], sorted. *)
+
+val adjacent : 'l t -> int -> int -> bool
+
+val label_count : 'l t -> 'l Dda_multiset.Multiset.t
+(** The label count [L_G] of Section 2: how many nodes carry each label. *)
+
+val is_connected : 'l t -> bool
+
+val validate : 'l t -> (unit, string) result
+(** Checks the paper convention: at least three nodes and connected. *)
+
+val relabel : ('l -> 'm) -> 'l t -> 'm t
+
+(** {1 Construction} *)
+
+val of_edges : labels:'l array -> (int * int) list -> 'l t
+(** [of_edges ~labels edges] builds a graph on [Array.length labels] nodes.
+    Self-loops and node indices out of range raise [Invalid_argument];
+    duplicate edges are merged. *)
+
+(** {1 Families}
+
+    Each family takes the node labels explicitly, so any label count can be
+    placed on any topology — the key move in the paper's lower-bound proofs
+    ("since φ is a labelling property, we can choose the underlying graph"). *)
+
+val clique : 'l list -> 'l t
+(** Complete graph; the canonical topology for labelling properties
+    (Lemma 3.4, Lemma 5.1). *)
+
+val star : centre:'l -> leaves:'l list -> 'l t
+(** Star graph: the topology of the Lemma 3.5 cutoff argument. *)
+
+val line : 'l list -> 'l t
+(** Path graph, in list order. *)
+
+val cycle : 'l list -> 'l t
+(** Cycle, in list order; needs at least 3 labels. *)
+
+val grid : width:int -> height:int -> (int -> int -> 'l) -> 'l t
+(** [grid ~width ~height f] is the king-free (4-neighbour) grid with label
+    [f x y] at column [x], row [y]; degree bound 4. *)
+
+val torus : width:int -> height:int -> (int -> int -> 'l) -> 'l t
+(** Like {!grid} with wrap-around; regular of degree 4 (requires
+    [width, height >= 3]). *)
+
+val hypercube : dim:int -> (int -> 'l) -> 'l t
+(** The [dim]-dimensional hypercube on [2^dim] nodes ([dim >= 2]); node [i]
+    is labelled [f i] and joined to every [i lxor (1 lsl b)].  Regular of
+    degree [dim]. *)
+
+val complete_bipartite : 'l list -> 'l list -> 'l t
+(** [K_{m,n}] with the given part labels (both parts non-empty; at least
+    three nodes total). *)
+
+val binary_tree : 'l list -> 'l t
+(** Complete binary tree in heap layout: node [i]'s children are [2i+1] and
+    [2i+2].  Degree bound 3; needs at least three labels. *)
+
+val barbell : 'l list -> bridge:'l list -> 'l list -> 'l t
+(** Two cliques joined by a path of [bridge] nodes — high-degree clusters
+    with a low-degree bottleneck, a stress shape for token-style
+    protocols.  Both cliques need at least two nodes. *)
+
+val random_connected :
+  Dda_util.Prng.t -> degree_bound:int -> 'l list -> 'l t
+(** Random connected graph with the given node labels (shuffled) and maximum
+    degree at most [degree_bound >= 2]: a random spanning tree with bounded
+    degrees plus random extra edges that respect the bound. *)
+
+(** {1 Coverings (Lemma 3.2, Corollary 3.3)} *)
+
+val cycle_cover : fold:int -> 'l list -> 'l t
+(** [cycle_cover ~fold l] is the cycle on [fold * length l] nodes whose label
+    sequence repeats [l] [fold] times — the λ-fold covering of [cycle l] used
+    in Corollary 3.3.  Requires [fold >= 1] and [fold * length l >= 3]. *)
+
+val cycle_cover_map : fold:int -> 'l list -> int -> int
+(** The covering map from [cycle_cover ~fold l] onto [cycle l]
+    (node [i] maps to [i mod length l]). *)
+
+val is_covering_map : covering:'l t -> base:'l t -> (int -> int) -> bool
+(** [is_covering_map ~covering:h ~base:g f] checks that [f] is a covering map
+    from [h] onto [g]: surjective, label-preserving, and mapping the
+    neighbourhood of each node of [h] bijectively onto the neighbourhood of
+    its image. *)
+
+(** {1 The chain construction of Lemma 3.1}
+
+    Given graphs [g] and [h], an edge on a cycle of each, and copy counts,
+    build the connected graph [GH] that strings [2g+1] copies of [G] and
+    [2h+1] copies of [H] along the broken cycle edges.  In [GH], nodes far
+    from the splice points behave exactly as in [G] resp. [H] for the first
+    [g] resp. [h] steps — defeating any automaton that halts. *)
+
+val chain_of_copies :
+  g:'l t -> g_edge:int * int -> g_copies:int ->
+  h:'l t -> h_edge:int * int -> h_copies:int ->
+  'l t * (int -> [ `G of int * int | `H of int * int ])
+(** [chain_of_copies ~g ~g_edge:(u,v) ~g_copies ~h ~h_edge ~h_copies] returns
+    the chained graph and a map from its nodes back to [(`G (copy, node))] or
+    [`H (copy, node)].  [g_edge] (resp. [h_edge]) must be an edge of [g]
+    (resp. [h]) lying on a cycle, i.e. the graph must stay connected after its
+    removal. *)
+
+val find_cycle_edge : 'l t -> (int * int) option
+(** An edge whose removal keeps the graph connected (i.e. an edge on a
+    cycle), if any. *)
+
+(** {1 Pretty-printing} *)
+
+val pp : (Format.formatter -> 'l -> unit) -> Format.formatter -> 'l t -> unit
+
+val to_dot :
+  ?name:string -> (Format.formatter -> 'l -> unit) -> Format.formatter -> 'l t -> unit
+(** Graphviz rendering: one node per agent, labelled "id:label". *)

@@ -1,0 +1,85 @@
+module Listx = Dda_util.Listx
+
+type ('l, 's) t = {
+  name : string;
+  beta : int;
+  init : 'l -> 's;
+  delta : 's -> 's Neighbourhood.t -> 's;
+  accepting : 's -> bool;
+  rejecting : 's -> bool;
+  pp_state : Format.formatter -> 's -> unit;
+}
+
+let default_pp fmt _ = Format.pp_print_string fmt "<state>"
+
+let create ~name ~beta ~init ~delta ~accepting ~rejecting ?(pp_state = default_pp) () =
+  if beta < 1 then invalid_arg "Machine.create: counting bound must be >= 1";
+  { name; beta; init; delta; accepting; rejecting; pp_state }
+
+let non_counting m = m.beta = 1
+
+let observe m neighbour_states = Neighbourhood.of_states ~beta:m.beta neighbour_states
+
+let verdict_of_state m s =
+  match (m.accepting s, m.rejecting s) with
+  | true, true -> invalid_arg (m.name ^ ": accepting and rejecting states intersect")
+  | true, false -> `Accepting
+  | false, true -> `Rejecting
+  | false, false -> `Undecided
+
+let rename name m = { m with name }
+
+let halting m =
+  let delta q n = if m.accepting q || m.rejecting q then q else m.delta q n in
+  { m with name = m.name ^ "/halting"; delta }
+
+let relabel f m = { m with init = (fun l -> m.init (f l)) }
+
+let project_neighbourhood ~beta f n =
+  let images = List.map (fun (s, c) -> (f s, c)) n in
+  let keys = Listx.dedup_sorted Stdlib.compare (List.map fst images) in
+  List.map
+    (fun k ->
+      let total =
+        List.fold_left (fun acc (k', c) -> if Stdlib.compare k k' = 0 then acc + c else acc) 0 images
+      in
+      (k, min total beta))
+    keys
+
+let map_states ?name ~into ~back ?pp_state m =
+  let name = match name with Some n -> n | None -> m.name in
+  let pp_state =
+    match pp_state with
+    | Some pp -> pp
+    | None -> fun fmt t -> m.pp_state fmt (back t)
+  in
+  {
+    name;
+    beta = m.beta;
+    init = (fun l -> into (m.init l));
+    delta =
+      (fun t n ->
+        let n' = project_neighbourhood ~beta:m.beta back n in
+        into (m.delta (back t) n'));
+    accepting = (fun t -> m.accepting (back t));
+    rejecting = (fun t -> m.rejecting (back t));
+    pp_state;
+  }
+
+let product_frozen ?name ~snd_init ?pp_snd m =
+  let name = match name with Some n -> n | None -> m.name ^ "×frozen" in
+  let pp_snd = match pp_snd with Some pp -> pp | None -> default_pp in
+  {
+    name;
+    beta = m.beta;
+    init = (fun l -> (m.init l, snd_init l));
+    delta =
+      (fun (s, q) n ->
+        let n' = project_neighbourhood ~beta:m.beta fst n in
+        (m.delta s n', q));
+    accepting = (fun (s, _) -> m.accepting s);
+    rejecting = (fun (s, _) -> m.rejecting s);
+    pp_state = (fun fmt (s, q) -> Format.fprintf fmt "(%a, %a)" m.pp_state s pp_snd q);
+  }
+
+let with_acceptance ~accepting ~rejecting m = { m with accepting; rejecting }

@@ -1,0 +1,88 @@
+(** Distributed machines (Section 2.1).
+
+    A machine [M = (Q, δ₀, δ, Y, N)] with input alphabet [Λ] and counting
+    bound [β]: every node starts in [δ₀(label)], and when selected moves to
+    [δ(q, N)] where [N] is its neighbourhood observation capped at [β]
+    (see {!Neighbourhood}).  [Y] and [N] are disjoint sets of accepting and
+    rejecting states, represented as predicates.
+
+    Machines are polymorphic in the label type ['l] and the state type ['s];
+    states must be pure data (no functions inside), so that structural
+    equality, [Stdlib.compare] and hashing are valid on states and on
+    configurations.  All constructions in the library (the three-phase
+    broadcast compilation of Lemma 4.7, the products [P × Q'] of Section 5,
+    ...) preserve this invariant by storing indices instead of functions. *)
+
+type ('l, 's) t = private {
+  name : string;  (** Human-readable name, used in traces and tables. *)
+  beta : int;  (** Counting bound [β >= 1]; [β = 1] is non-counting. *)
+  init : 'l -> 's;
+  delta : 's -> 's Neighbourhood.t -> 's;
+  accepting : 's -> bool;
+  rejecting : 's -> bool;
+  pp_state : Format.formatter -> 's -> unit;
+}
+
+val create :
+  name:string ->
+  beta:int ->
+  init:('l -> 's) ->
+  delta:('s -> 's Neighbourhood.t -> 's) ->
+  accepting:('s -> bool) ->
+  rejecting:('s -> bool) ->
+  ?pp_state:(Format.formatter -> 's -> unit) ->
+  unit ->
+  ('l, 's) t
+(** @raise Invalid_argument if [beta < 1]. *)
+
+val non_counting : ('l, 's) t -> bool
+(** [beta = 1]. *)
+
+val observe : ('l, 's) t -> 's list -> 's Neighbourhood.t
+(** Cap a list of neighbour states at this machine's [β]. *)
+
+val verdict_of_state : ('l, 's) t -> 's -> [ `Accepting | `Rejecting | `Undecided ]
+(** @raise Invalid_argument if the state is both accepting and rejecting
+    ([Y] and [N] must be disjoint). *)
+
+(** {1 Combinators} *)
+
+val rename : string -> ('l, 's) t -> ('l, 's) t
+
+val halting : ('l, 's) t -> ('l, 's) t
+(** Force the halting discipline (Section 2.2): accepting and rejecting
+    states become absorbing ([δ(q, N) = q] for [q ∈ Y ∪ N]). *)
+
+val relabel : ('m -> 'l) -> ('l, 's) t -> ('m, 's) t
+(** Precompose the initialisation function with a label translation. *)
+
+val map_states :
+  ?name:string ->
+  into:('s -> 't) ->
+  back:('t -> 's) ->
+  ?pp_state:(Format.formatter -> 't -> unit) ->
+  ('l, 's) t ->
+  ('l, 't) t
+(** Transport a machine along a state bijection ([into] and [back] must be
+    mutually inverse). *)
+
+val product_frozen :
+  ?name:string ->
+  snd_init:('l -> 'q) ->
+  ?pp_snd:(Format.formatter -> 'q -> unit) ->
+  ('l, 's) t ->
+  ('l, 's * 'q) t
+(** The paper's [P × Q'] (Section 5): attach a second state component that is
+    initialised from the label and never modified by neighbourhood
+    transitions.  The first component evolves as in [P], observing the
+    projection of the neighbourhood (capping commutes with the projection, so
+    the projected observation is exactly what [P] would see). *)
+
+val with_acceptance :
+  accepting:('s -> bool) -> rejecting:('s -> bool) -> ('l, 's) t -> ('l, 's) t
+(** Replace the accepting/rejecting sets. *)
+
+val project_neighbourhood :
+  beta:int -> ('t -> 's) -> 't Neighbourhood.t -> 's Neighbourhood.t
+(** Observation through a (non-injective) state mapping, re-capped at
+    [beta]; exposed for the extension compilers. *)

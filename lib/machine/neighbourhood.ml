@@ -1,0 +1,29 @@
+module Listx = Dda_util.Listx
+
+type 's t = ('s * int) list
+
+let of_states ~beta neighbour_states =
+  if beta < 1 then invalid_arg "Neighbourhood.of_states: beta must be >= 1";
+  List.map
+    (fun (s, c) -> (s, min c beta))
+    (Listx.group_counts Stdlib.compare neighbour_states)
+
+let count n q = try List.assoc q n with Not_found -> 0
+let present n q = count n q > 0
+let states n = List.map fst n
+
+let count_where p n =
+  List.fold_left (fun acc (s, c) -> if p s then acc + c else acc) 0 n
+
+let exists_where p n = List.exists (fun (s, _) -> p s) n
+let for_all p n = List.for_all (fun (s, _) -> p s) n
+let is_empty n = n = []
+
+let map f n =
+  Listx.dedup_sorted Stdlib.compare (List.map (fun (s, c) -> (f s, c)) n)
+  |> List.map (fun (s', _) ->
+         (s', List.fold_left (fun acc (s, c) -> if f s = s' then acc + c else acc) 0 n))
+
+let pp pp_state fmt n =
+  let pp_pair fmt (s, c) = Format.fprintf fmt "%a×%d" pp_state s c in
+  Format.fprintf fmt "⟨%a⟩" (Listx.pp_list ~sep:", " pp_pair) n

@@ -1,0 +1,43 @@
+(** Neighbourhood observations.
+
+    A node taking a neighbourhood transition observes, for each state [q], the
+    number of its neighbours currently in [q] — {e capped at the machine's
+    counting bound β} (Section 2.1).  A neighbourhood is therefore an
+    association list of present states with capped positive counts; a
+    non-counting machine (β = 1) can only observe presence.
+
+    The helpers below match the paper's notations [N(q)], [N(S)],
+    [N\[a,b\]] and [|N| = N\[0\] + N\[1\] + N\[2\]]-style aggregates. *)
+
+type 's t = ('s * int) list
+(** Sorted by state ([Stdlib.compare]); counts in [\[1, β\]]. *)
+
+val of_states : beta:int -> 's list -> 's t
+(** Build the observation of a list of neighbour states, capping at [beta].
+    @raise Invalid_argument if [beta < 1]. *)
+
+val count : 's t -> 's -> int
+(** [N(q)], the capped count (0 if absent). *)
+
+val present : 's t -> 's -> bool
+val states : 's t -> 's list
+(** Present states, sorted. *)
+
+val count_where : ('s -> bool) -> 's t -> int
+(** [N(S)] = sum of capped counts over states satisfying the predicate.
+    Beware: a sum of capped counts, as in the paper's [N\[i\]]. *)
+
+val exists_where : ('s -> bool) -> 's t -> bool
+val for_all : ('s -> bool) -> 's t -> bool
+(** [for_all p n] holds iff every {e present} state satisfies [p]. *)
+
+val is_empty : 's t -> bool
+(** True on isolated nodes (cannot happen on connected graphs with >= 2
+    nodes, but total functions want an answer). *)
+
+val map : ('s -> 't) -> 's t -> 't t
+(** Observation through a state mapping; counts of colliding images are
+    summed and re-capped requires knowing β, so this sums without
+    re-capping — use only with injective mappings or re-cap explicitly. *)
+
+val pp : (Format.formatter -> 's -> unit) -> Format.formatter -> 's t -> unit

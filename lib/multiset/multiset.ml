@@ -1,0 +1,104 @@
+type 'a t = ('a * int) list
+(* Invariant: strictly sorted by Stdlib.compare on elements; all counts > 0. *)
+
+let empty = []
+let is_empty m = m = []
+
+let singleton x = [ (x, 1) ]
+
+let rec insert x k m =
+  if k = 0 then m
+  else
+    match m with
+    | [] -> [ (x, k) ]
+    | (y, c) :: rest ->
+      let cmp = Stdlib.compare x y in
+      if cmp < 0 then (x, k) :: m
+      else if cmp = 0 then
+        let c' = c + k in
+        if c' = 0 then rest
+        else if c' < 0 then invalid_arg "Multiset: negative count"
+        else (y, c') :: rest
+      else (y, c) :: insert x k rest
+
+let add ?(times = 1) x m =
+  if times < 0 then invalid_arg "Multiset.add: negative times";
+  insert x times m
+
+let of_list l = List.fold_left (fun m x -> add x m) empty l
+
+let of_counts l =
+  List.fold_left
+    (fun m (x, k) ->
+      if k < 0 then invalid_arg "Multiset.of_counts: negative count" else insert x k m)
+    empty l
+
+let to_counts m = m
+
+let to_list m = List.concat_map (fun (x, c) -> List.init c (fun _ -> x)) m
+
+let count m x = try List.assoc x m with Not_found -> 0
+
+let support m = List.map fst m
+
+let size m = List.fold_left (fun acc (_, c) -> acc + c) 0 m
+
+let remove ?(times = 1) x m =
+  if times < 0 then invalid_arg "Multiset.remove: negative times";
+  let present = count m x in
+  insert x (-min times present) m
+
+let sum m1 m2 = List.fold_left (fun acc (x, c) -> insert x c acc) m1 m2
+
+let scale k m =
+  if k < 0 then invalid_arg "Multiset.scale: negative factor"
+  else if k = 0 then empty
+  else List.map (fun (x, c) -> (x, k * c)) m
+
+let map f m = List.fold_left (fun acc (x, c) -> insert (f x) c acc) empty m
+
+let fold f m acc = List.fold_left (fun acc (x, c) -> f x c acc) acc m
+
+let equal m1 m2 = m1 = m2
+let compare m1 m2 = Stdlib.compare m1 m2
+
+let cutoff beta m =
+  if beta < 0 then invalid_arg "Multiset.cutoff: negative bound";
+  if beta = 0 then empty else List.map (fun (x, c) -> (x, min c beta)) m
+
+let leq m1 m2 = List.for_all (fun (x, c) -> c <= count m2 x) m1
+
+let star_leq m1 m2 = leq m1 m2 && List.length m1 = List.length m2
+
+let to_vector alphabet m =
+  let v = Array.make (List.length alphabet) 0 in
+  List.iter
+    (fun (x, c) ->
+      match Dda_util.Listx.find_index_opt (fun y -> Stdlib.compare x y = 0) alphabet with
+      | Some i -> v.(i) <- v.(i) + c
+      | None -> invalid_arg "Multiset.to_vector: element outside alphabet")
+    m;
+  v
+
+let of_vector alphabet v =
+  if Array.length v <> List.length alphabet then invalid_arg "Multiset.of_vector: length";
+  of_counts (List.mapi (fun i x -> (x, v.(i))) alphabet)
+
+let enumerate alphabet ~max_count =
+  let choices = List.map (fun x -> List.map (fun c -> (x, c)) (Dda_util.Listx.range_in 0 max_count)) alphabet in
+  List.map of_counts (Dda_util.Listx.cartesian_n choices)
+
+let enumerate_of_size alphabet ~size =
+  let rec go alphabet size =
+    match alphabet with
+    | [] -> if size = 0 then [ [] ] else []
+    | x :: rest ->
+      List.concat_map
+        (fun c -> List.map (fun tl -> (x, c) :: tl) (go rest (size - c)))
+        (Dda_util.Listx.range_in 0 size)
+  in
+  List.map of_counts (go alphabet size)
+
+let pp pp_elt fmt m =
+  let pp_pair fmt (x, c) = Format.fprintf fmt "%a:%d" pp_elt x c in
+  Format.fprintf fmt "{%a}" (Dda_util.Listx.pp_list ~sep:", " pp_pair) m

@@ -1,0 +1,83 @@
+(** Finite multisets over an ordered element type.
+
+    A multiset [M : X -> nat] is the central object of the paper: the {e label
+    count} [L_G] of a graph is a multiset over labels, a configuration of an
+    automaton on a clique is a multiset over states, and the cutoff function
+    [⌈M⌉_β] (replace every count [>= β] by [β]) drives the characterisations of
+    the classes [DAf], [dAf] and [dAF].
+
+    Representation: strictly sorted association list with positive counts, so
+    structural equality coincides with multiset equality and polymorphic
+    [compare] is a total order. *)
+
+type 'a t
+(** A multiset over ['a].  ['a] must be comparable with [Stdlib.compare]. *)
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+val singleton : 'a -> 'a t
+val of_list : 'a list -> 'a t
+val of_counts : ('a * int) list -> 'a t
+(** [of_counts l] builds a multiset from (element, count) pairs; counts of the
+    same element are summed.  @raise Invalid_argument on a negative count. *)
+
+val to_counts : 'a t -> ('a * int) list
+(** Sorted (element, positive count) pairs. *)
+
+val to_list : 'a t -> 'a list
+(** Each element repeated by its multiplicity, sorted. *)
+
+val count : 'a t -> 'a -> int
+val support : 'a t -> 'a list
+val size : 'a t -> int
+(** Total number of elements, counted with multiplicity. *)
+
+val add : ?times:int -> 'a -> 'a t -> 'a t
+val remove : ?times:int -> 'a -> 'a t -> 'a t
+(** [remove x m] removes up to [times] (default 1) copies of [x]. *)
+
+val sum : 'a t -> 'a t -> 'a t
+val scale : int -> 'a t -> 'a t
+(** [scale k m] multiplies every count by [k >= 0]; this is the [λ·L] of
+    Corollary 3.3 (invariance under scalar multiplication). *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Image multiset: multiplicities of colliding images are summed. *)
+
+val fold : ('a -> int -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+
+val equal : 'a t -> 'a t -> bool
+val compare : 'a t -> 'a t -> int
+
+val cutoff : int -> 'a t -> 'a t
+(** [cutoff beta m] is [⌈m⌉_β]: every count [> beta] is replaced by [beta].
+    @raise Invalid_argument if [beta < 0]. *)
+
+val leq : 'a t -> 'a t -> bool
+(** Pointwise [<=] (the Dickson order on [nat^X]). *)
+
+val star_leq : 'a t -> 'a t -> bool
+(** The leaf-count part of the star order [⪯] of Lemma 3.5: [star_leq m m']
+    iff [m <= m'] pointwise {e and} [m] and [m'] have the same support (so
+    [m'] is obtained from [m] by adding elements in states that already
+    occur).  Note: the paper's Definition in Appendix A has the inequality of
+    condition (b) reversed, which contradicts its own use in claim (1); we
+    implement the intended order. *)
+
+val to_vector : 'a list -> 'a t -> int array
+(** [to_vector alphabet m] is the count vector of [m] in alphabet order.
+    Elements of [m] outside [alphabet] raise [Invalid_argument]. *)
+
+val of_vector : 'a list -> int array -> 'a t
+(** Inverse of {!to_vector}. *)
+
+val enumerate : 'a list -> max_count:int -> 'a t list
+(** All multisets over the alphabet with every count in [\[0, max_count\]];
+    used for exhaustive checks on boxes of label counts. *)
+
+val enumerate_of_size : 'a list -> size:int -> 'a t list
+(** All multisets over the alphabet with total size exactly [size]. *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+(** e.g. [{a:3, b:1}]. *)

@@ -1,0 +1,331 @@
+module Multiset = Dda_multiset.Multiset
+module Listx = Dda_util.Listx
+
+type linear = { coeffs : (string * int) list; const : int }
+
+type t =
+  | True
+  | False
+  | Ge of linear
+  | Mod of linear * int * int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Opaque of string * ((string -> int) -> bool)
+
+let linear ?(const = 0) coeffs = { coeffs; const }
+let var x = linear [ (x, 1) ]
+
+let shift l d = { l with const = l.const + d }
+let negate l = { coeffs = List.map (fun (x, c) -> (x, -c)) l.coeffs; const = -l.const }
+
+let ge l = Ge l
+let gt l = Ge (shift l (-1))
+let lt l = Ge (shift (negate l) (-1))
+let le l = Ge (negate l)
+let eq l = And (ge l, le l)
+
+let at_least x k = Ge (linear ~const:(-k) [ (x, 1) ])
+let exists_label x = at_least x 1
+let majority a b = gt (linear [ (a, 1); (b, -1) ])
+let weak_majority a b = ge (linear [ (a, 1); (b, -1) ])
+let homogeneous_threshold coeffs = ge (linear coeffs)
+
+let divides x y =
+  let f env =
+    let vx = env x and vy = env y in
+    if vx = 0 then vy = 0 else vy mod vx = 0
+  in
+  Opaque (Printf.sprintf "%s | %s" x y, f)
+
+let is_prime n =
+  if n < 2 then false
+  else begin
+    let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+    go 2
+  end
+
+let size_prime names =
+  let f env = is_prime (Listx.sum (List.map env names)) in
+  Opaque (Printf.sprintf "prime(%s)" (String.concat "+" names), f)
+
+let conj = function [] -> True | p :: rest -> List.fold_left (fun a b -> And (a, b)) p rest
+let disj = function [] -> False | p :: rest -> List.fold_left (fun a b -> Or (a, b)) p rest
+
+let eval_linear l env =
+  List.fold_left (fun acc (x, c) -> acc + (c * env x)) l.const l.coeffs
+
+let rec eval p env =
+  match p with
+  | True -> true
+  | False -> false
+  | Ge l -> eval_linear l env >= 0
+  | Mod (l, r, m) ->
+    if m < 1 then invalid_arg "Predicate: modulus must be >= 1";
+    let v = eval_linear l env in
+    ((v mod m) + m) mod m = ((r mod m) + m) mod m
+  | Not q -> not (eval q env)
+  | And (q1, q2) -> eval q1 env && eval q2 env
+  | Or (q1, q2) -> eval q1 env || eval q2 env
+  | Opaque (_, f) -> f env
+
+let holds p l = eval p (Multiset.count l)
+
+let rec vars_acc p acc =
+  match p with
+  | True | False -> acc
+  | Ge l | Mod (l, _, _) -> List.map fst l.coeffs @ acc
+  | Not q -> vars_acc q acc
+  | And (q1, q2) | Or (q1, q2) -> vars_acc q1 (vars_acc q2 acc)
+  | Opaque _ -> acc
+
+let vars p = Listx.dedup_sorted Stdlib.compare (vars_acc p [])
+
+(* --- Classifiers -------------------------------------------------------- *)
+
+let env_of_counts alphabet counts x =
+  let rec go names values =
+    match (names, values) with
+    | [], _ -> 0
+    | n :: _, v :: _ when n = x -> v
+    | _ :: ns, _ :: vs -> go ns vs
+    | _, [] -> 0
+  in
+  go alphabet counts
+
+let all_boxes alphabet box =
+  Listx.cartesian_n (List.map (fun _ -> Listx.range_in 0 box) alphabet)
+
+let is_trivial ~alphabet ~box p =
+  match all_boxes alphabet box with
+  | [] -> true
+  | first :: rest ->
+    let v0 = eval p (env_of_counts alphabet first) in
+    List.for_all (fun counts -> eval p (env_of_counts alphabet counts) = v0) rest
+
+let respects_cutoff ~alphabet ~box ~k p =
+  List.for_all
+    (fun counts ->
+      let cut = List.map (fun c -> min c k) counts in
+      eval p (env_of_counts alphabet counts) = eval p (env_of_counts alphabet cut))
+    (all_boxes alphabet box)
+
+let find_cutoff ~alphabet ~box p =
+  (* [k = box] would pass vacuously (no count in the box exceeds it), so the
+     search stops at [box - 1], where the box still contains witnesses. *)
+  List.find_opt (fun k -> respects_cutoff ~alphabet ~box ~k p) (Listx.range_in 0 (box - 1))
+
+let is_ism ~alphabet ~box ~factors p =
+  List.for_all
+    (fun counts ->
+      let v = eval p (env_of_counts alphabet counts) in
+      List.for_all
+        (fun lambda ->
+          lambda <= 0
+          || eval p (env_of_counts alphabet (List.map (fun c -> lambda * c) counts)) = v)
+        factors)
+    (all_boxes alphabet box)
+
+let rec syntactic_cutoff = function
+  | True | False -> Some 1
+  | Ge { coeffs = [ (_, 1) ]; const } -> Some (max 1 (-const))
+  | Ge _ | Mod _ | Opaque _ -> None
+  | Not q -> syntactic_cutoff q
+  | And (q1, q2) | Or (q1, q2) -> (
+    match (syntactic_cutoff q1, syntactic_cutoff q2) with
+    | Some a, Some b -> Some (max a b)
+    | _ -> None)
+
+let as_homogeneous_threshold = function
+  | Ge { coeffs; const = 0 } -> Some coeffs
+  | _ -> None
+
+(* --- Printing ------------------------------------------------------------ *)
+
+let pp_linear fmt l =
+  let pp_term first fmt (x, c) =
+    if c = 1 then Format.fprintf fmt "%s%s" (if first then "" else " + ") x
+    else if c = -1 then Format.fprintf fmt "%s%s" (if first then "-" else " - ") x
+    else if c >= 0 then Format.fprintf fmt "%s%d·%s" (if first then "" else " + ") c x
+    else Format.fprintf fmt "%s%d·%s" (if first then "-" else " - ") (abs c) x
+  in
+  (match l.coeffs with
+  | [] -> Format.pp_print_string fmt "0"
+  | (x, c) :: rest ->
+    pp_term true fmt (x, c);
+    List.iter (fun term -> pp_term false fmt term) rest);
+  if l.const > 0 then Format.fprintf fmt " + %d" l.const
+  else if l.const < 0 then Format.fprintf fmt " - %d" (abs l.const)
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Ge l -> Format.fprintf fmt "%a >= 0" pp_linear l
+  | Mod (l, r, m) -> Format.fprintf fmt "%a ≡ %d (mod %d)" pp_linear l r m
+  | Not q -> Format.fprintf fmt "¬(%a)" pp q
+  | And (q1, q2) -> Format.fprintf fmt "(%a ∧ %a)" pp q1 pp q2
+  | Or (q1, q2) -> Format.fprintf fmt "(%a ∨ %a)" pp q1 pp q2
+  | Opaque (name, _) -> Format.pp_print_string fmt name
+
+let to_string p = Format.asprintf "%a" pp p
+
+(* --- Parser --------------------------------------------------------------- *)
+
+(* A hand-rolled recursive-descent parser over a token list. *)
+type token =
+  | T_num of int
+  | T_var of string
+  | T_lpar
+  | T_rpar
+  | T_not
+  | T_and
+  | T_or
+  | T_plus
+  | T_minus
+  | T_star
+  | T_percent
+  | T_cmp of string
+  | T_true
+  | T_false
+
+exception Parse_error of string
+
+let tokenize input =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' -> go (i + 1) acc
+      | '(' -> go (i + 1) (T_lpar :: acc)
+      | ')' -> go (i + 1) (T_rpar :: acc)
+      | '+' -> go (i + 1) (T_plus :: acc)
+      | '-' -> go (i + 1) (T_minus :: acc)
+      | '*' -> go (i + 1) (T_star :: acc)
+      | '%' -> go (i + 1) (T_percent :: acc)
+      | '&' ->
+        if i + 1 < n && input.[i + 1] = '&' then go (i + 2) (T_and :: acc)
+        else raise (Parse_error (Printf.sprintf "stray '&' at %d" i))
+      | '|' ->
+        if i + 1 < n && input.[i + 1] = '|' then go (i + 2) (T_or :: acc)
+        else raise (Parse_error (Printf.sprintf "stray '|' at %d" i))
+      | '!' ->
+        if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (T_cmp "!=" :: acc)
+        else go (i + 1) (T_not :: acc)
+      | '>' ->
+        if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (T_cmp ">=" :: acc)
+        else go (i + 1) (T_cmp ">" :: acc)
+      | '<' ->
+        if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (T_cmp "<=" :: acc)
+        else go (i + 1) (T_cmp "<" :: acc)
+      | '=' ->
+        if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (T_cmp "==" :: acc)
+        else raise (Parse_error (Printf.sprintf "single '=' at %d (use '==')" i))
+      | '0' .. '9' ->
+        let j = ref i in
+        while !j < n && input.[!j] >= '0' && input.[!j] <= '9' do
+          incr j
+        done;
+        go !j (T_num (int_of_string (String.sub input i (!j - i))) :: acc)
+      | ('a' .. 'z' | 'A' .. 'Z' | '_') ->
+        let j = ref i in
+        let ident c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' in
+        while !j < n && ident input.[!j] do
+          incr j
+        done;
+        let word = String.sub input i (!j - i) in
+        let tok =
+          match word with "true" -> T_true | "false" -> T_false | v -> T_var v
+        in
+        go !j (tok :: acc)
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %C at %d" c i))
+  in
+  go 0 []
+
+(* linear := ["-"] term (("+"|"-") term)* ; term := NUM | VAR | NUM "*"? VAR *)
+let parse_linear tokens =
+  let rec term sign = function
+    | T_num k :: T_star :: T_var v :: rest | T_num k :: T_var v :: rest ->
+      (`Coeff (v, sign * k), rest)
+    | T_num k :: rest -> (`Const (sign * k), rest)
+    | T_var v :: rest -> (`Coeff (v, sign), rest)
+    | _ -> raise (Parse_error "expected a number or label name")
+  and loop acc_coeffs acc_const tokens =
+    match tokens with
+    | T_plus :: rest -> after 1 acc_coeffs acc_const rest
+    | T_minus :: rest -> after (-1) acc_coeffs acc_const rest
+    | rest -> ({ coeffs = List.rev acc_coeffs; const = acc_const }, rest)
+  and after sign acc_coeffs acc_const tokens =
+    match term sign tokens with
+    | `Coeff (v, k), rest -> loop ((v, k) :: acc_coeffs) acc_const rest
+    | `Const k, rest -> loop acc_coeffs (acc_const + k) rest
+  in
+  let sign, tokens = match tokens with T_minus :: rest -> (-1, rest) | _ -> (1, tokens) in
+  after sign [] 0 tokens
+
+let sub_linear l1 l2 =
+  let neg = negate l2 in
+  {
+    coeffs =
+      List.fold_left
+        (fun acc (v, k) -> Dda_util.Listx.assoc_update v (fun c -> c + k) 0 acc)
+        l1.coeffs neg.coeffs
+      |> List.filter (fun (_, k) -> k <> 0);
+    const = l1.const + neg.const;
+  }
+
+let rec parse_or tokens =
+  let left, rest = parse_and tokens in
+  match rest with
+  | T_or :: more ->
+    let right, rest' = parse_or more in
+    (Or (left, right), rest')
+  | _ -> (left, rest)
+
+and parse_and tokens =
+  let left, rest = parse_unary tokens in
+  match rest with
+  | T_and :: more ->
+    let right, rest' = parse_and more in
+    (And (left, right), rest')
+  | _ -> (left, rest)
+
+and parse_unary = function
+  | T_not :: rest ->
+    let p, rest' = parse_unary rest in
+    (Not p, rest')
+  | T_lpar :: rest -> (
+    let p, rest' = parse_or rest in
+    match rest' with
+    | T_rpar :: more -> (p, more)
+    | _ -> raise (Parse_error "expected ')'"))
+  | T_true :: rest -> (True, rest)
+  | T_false :: rest -> (False, rest)
+  | tokens -> parse_atom tokens
+
+and parse_atom tokens =
+  let l1, rest = parse_linear tokens in
+  match rest with
+  | T_percent :: T_num m :: T_cmp "==" :: T_num r :: rest' -> (Mod (l1, r, m), rest')
+  | T_cmp op :: rest' -> (
+    let l2, rest'' = parse_linear rest' in
+    let d = sub_linear l1 l2 in
+    match op with
+    | ">=" -> (ge d, rest'')
+    | ">" -> (gt d, rest'')
+    | "<=" -> (le d, rest'')
+    | "<" -> (lt d, rest'')
+    | "==" -> (eq d, rest'')
+    | "!=" -> (Not (eq d), rest'')
+    | _ -> raise (Parse_error ("unknown comparison " ^ op)))
+  | _ -> raise (Parse_error "expected a comparison or '% m == r'")
+
+let parse input =
+  match
+    let tokens = tokenize input in
+    let p, rest = parse_or tokens in
+    if rest <> [] then raise (Parse_error "trailing tokens after the predicate");
+    p
+  with
+  | p -> Ok p
+  | exception Parse_error msg -> Error msg

@@ -1,0 +1,135 @@
+(** Labelling properties.
+
+    A labelling property (Section 1 of the paper) is a predicate on label
+    counts [L : Λ -> nat].  This module gives them a syntax — quantifier-free
+    linear (Presburger) formulas plus opaque OCaml predicates for
+    non-Presburger properties such as divisibility and primality — together
+    with the semantic classifiers used throughout the paper:
+
+    - [Trivial]: always true or always false;
+    - [Cutoff(1)]: depends only on [⌈L⌉_1] (which labels occur);
+    - [Cutoff]: depends only on [⌈L⌉_K] for some K;
+    - [ISM]: invariant under scalar multiplication, [φ(L) = φ(λL)];
+    - homogeneous threshold: [a₁x₁ + ... + a_l x_l >= 0].
+
+    Classifiers that quantify over all label counts are implemented as
+    exhaustive checks on a finite box plus the relevant closure laws; they are
+    exact for the atoms of this syntax on sufficiently large boxes (see each
+    function's documentation for the precise guarantee). *)
+
+type linear = { coeffs : (string * int) list; const : int }
+(** [Σᵢ cᵢ·xᵢ + const], over label names. *)
+
+type t =
+  | True
+  | False
+  | Ge of linear  (** [linear >= 0] *)
+  | Mod of linear * int * int  (** [linear ≡ r (mod m)], [m >= 1] *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Opaque of string * ((string -> int) -> bool)
+      (** Escape hatch for non-Presburger properties; the string names it. *)
+
+(** {1 Construction helpers} *)
+
+val linear : ?const:int -> (string * int) list -> linear
+val var : string -> linear
+
+val ge : linear -> t
+val gt : linear -> t
+val le : linear -> t
+val lt : linear -> t
+val eq : linear -> t
+(** Comparisons of a linear term against 0, e.g. [gt l] is [l >= 1]. *)
+
+val at_least : string -> int -> t
+(** [at_least x k] is [x >= k]. *)
+
+val exists_label : string -> t
+(** [x >= 1]: the "graph contains a node labelled x" property of Prop C.4. *)
+
+val majority : string -> string -> t
+(** [majority a b] is [#a > #b] — the paper's running example. *)
+
+val weak_majority : string -> string -> t
+(** [#a >= #b]: the homogeneous threshold [x_a - x_b >= 0] of Section 6.1. *)
+
+val homogeneous_threshold : (string * int) list -> t
+(** [Σ aᵢxᵢ >= 0]. *)
+
+val divides : string -> string -> t
+(** [divides x y]: x divides y (with [0 | 0] true).  ISM but not a
+    homogeneous threshold — the paper's witness for the gap in Section 6. *)
+
+val size_prime : string list -> t
+(** The total number of nodes (sum over the listed labels) is prime — the
+    paper's NL example for DAF. *)
+
+val conj : t list -> t
+val disj : t list -> t
+
+(** {1 Evaluation} *)
+
+val eval : t -> (string -> int) -> bool
+val holds : t -> string Dda_multiset.Multiset.t -> bool
+(** [holds p l] evaluates [p] on a label count (missing labels count 0). *)
+
+val vars : t -> string list
+(** Free label names, sorted, without duplicates. *)
+
+(** {1 Classifiers}
+
+    All classifiers take an [alphabet] (the labels to quantify over — it must
+    cover {!vars}) and check label counts exhaustively over the box
+    [\[0, box\]^alphabet]. *)
+
+val is_trivial : alphabet:string list -> box:int -> t -> bool
+
+val respects_cutoff : alphabet:string list -> box:int -> k:int -> t -> bool
+(** [respects_cutoff ~alphabet ~box ~k p] checks [φ(L) = φ(⌈L⌉_k)] for all
+    [L] in the box.  Exact for predicates that actually admit cutoff [<= box];
+    a sound "no" in general. *)
+
+val find_cutoff : alphabet:string list -> box:int -> t -> int option
+(** Least [k <= box] passing {!respects_cutoff}, if any. *)
+
+val syntactic_cutoff : t -> int option
+(** An exact cutoff derived from the syntax, for the fragment built from
+    boolean combinations of single-variable atoms [x >= k] (i.e. [Ge] atoms
+    whose linear part is [1·x + c]): the property depends only on
+    [⌈L⌉_K] for [K] the largest threshold (at least 1).  [None] outside the
+    fragment — multi-variable or modulo atoms may have no cutoff at all. *)
+
+val is_ism : alphabet:string list -> box:int -> factors:int list -> t -> bool
+(** Checks [φ(L) = φ(λL)] for all [L] in the box and [λ] in [factors]. *)
+
+val as_homogeneous_threshold : t -> (string * int) list option
+(** Syntactic recogniser: [Some coeffs] iff the predicate is literally
+    [Σ aᵢxᵢ >= 0]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Parsing}
+
+    A small concrete syntax for the quantifier-free fragment:
+
+    {v
+    expr   ::= or
+    or     ::= and ("||" and)*
+    and    ::= unary ("&&" unary)*
+    unary  ::= "!" unary | "(" expr ")" | "true" | "false" | atom
+    atom   ::= linear cmp linear
+             | linear "%" NUM "==" NUM
+    cmp    ::= ">=" | ">" | "<=" | "<" | "==" | "!="
+    linear ::= ["-"] term (("+" | "-") term)*
+    term   ::= NUM | VAR | NUM "*"? VAR
+    v}
+
+    Variables are label names (letters, digits, underscores).  Examples:
+    ["a > b"], ["2a - 3b >= 0 && !(c >= 1)"], ["a + b % 2 == 0"]
+    (the modulo binds the whole linear term on its left). *)
+
+val parse : string -> (t, string) result
+(** Parse the syntax above; the error string reports the position. *)

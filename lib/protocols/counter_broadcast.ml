@@ -1,0 +1,344 @@
+module SB = Dda_extensions.Strong_broadcast
+
+type counter = { cname : string; flag : int option; domain : int list; preset : string -> bool }
+
+let counter ?flag ?(domain = []) ?(preset = fun _ -> false) cname = { cname; flag; domain; preset }
+
+type instr =
+  | Inc of int * int * int
+  | Dec of int * int * int
+  | Clear of int * int
+  | Goto of int
+  | Accept
+  | Reject
+
+type program = { counters : counter array; code : instr array }
+
+let validate p =
+  let n_counters = Array.length p.counters in
+  let n_code = Array.length p.code in
+  let check_target t = if t < 0 || t >= n_code then Error (Printf.sprintf "jump target %d out of range" t) else Ok () in
+  let check_counter c =
+    if c < 0 || c >= n_counters then Error (Printf.sprintf "counter %d out of range" c) else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () =
+    Array.to_seq p.counters
+    |> Seq.fold_left
+         (fun acc c ->
+           let* () = acc in
+           let* () =
+             match c.flag with
+             | Some f when f < 0 || f >= n_counters ->
+               Error (Printf.sprintf "aliased flag %d of counter %s out of range" f c.cname)
+             | _ -> Ok ()
+           in
+           List.fold_left
+             (fun acc d ->
+               let* () = acc in
+               if d < 0 || d >= n_counters then
+                 Error (Printf.sprintf "domain flag %d of counter %s out of range" d c.cname)
+               else Ok ())
+             (Ok ()) c.domain)
+         (Ok ())
+  in
+  Array.to_seq p.code
+  |> Seq.fold_left
+       (fun acc instr ->
+         let* () = acc in
+         match instr with
+         | Inc (c, a, b) | Dec (c, a, b) ->
+           let* () = check_counter c in
+           let* () = check_target a in
+           check_target b
+         | Clear (c, a) ->
+           let* () = check_counter c in
+           check_target a
+         | Goto a -> check_target a
+         | Accept | Reject -> Ok ())
+       (Ok ())
+
+let pp_program fmt p =
+  Format.fprintf fmt "@[<v>counters:@,";
+  Array.iteri
+    (fun i c ->
+      Format.fprintf fmt "  %d: %-6s flag=%d%s@," i c.cname
+        (match c.flag with Some f -> f | None -> i)
+        (match c.domain with
+        | [] -> ""
+        | d ->
+          Printf.sprintf " domain={%s}"
+            (String.concat "," (List.map (fun j -> p.counters.(j).cname) d))))
+    p.counters;
+  Format.fprintf fmt "code:@,";
+  Array.iteri
+    (fun i instr ->
+      let name c = p.counters.(c).cname in
+      Format.fprintf fmt "  %2d: %s@," i
+        (match instr with
+        | Inc (c, ok, full) -> Printf.sprintf "Inc %-6s ok→%d full→%d" (name c) ok full
+        | Dec (c, ok, zero) -> Printf.sprintf "Dec %-6s ok→%d zero→%d" (name c) ok zero
+        | Clear (c, t) -> Printf.sprintf "Clear %-4s →%d" (name c) t
+        | Goto t -> Printf.sprintf "Goto %d" t
+        | Accept -> "Accept"
+        | Reject -> "Reject"))
+    p.code;
+  Format.fprintf fmt "@]"
+
+(* --- Compiled states ------------------------------------------------------ *)
+
+(* Every state carries the node label so that ⟨reset⟩ can rebuild the initial
+   configuration. *)
+(* The leader carries its own flag vector and serves Inc/Dec from itself when
+   it can, so counters uniformly range over all n agents — otherwise the
+   elected agent's label would silently vanish from the input. *)
+type state =
+  | Init of string
+  | Leader of string * int * int  (** label, flags, program counter *)
+  | Await of string * int * int  (** hands raised, waiting for take or claim *)
+  | Follower of string * int  (** flag bitset *)
+  | HandInc of string * int * int  (** flags, counter *)
+  | HandDec of string * int * int
+  | Objector of string
+  | Acc of string
+  | Rej of string
+
+let label_of = function
+  | Init l | Leader (l, _, _) | Await (l, _, _) | Follower (l, _) | HandInc (l, _, _)
+  | HandDec (l, _, _) | Objector l | Acc l | Rej l -> l
+
+let pp_state _p fmt s =
+  match s with
+  | Init _ -> Format.pp_print_string fmt "I"
+  | Leader (_, flags, pc) -> Format.fprintf fmt "L%d.%x" pc flags
+  | Await (_, flags, pc) -> Format.fprintf fmt "W%d.%x" pc flags
+  | Follower (_, flags) -> Format.fprintf fmt "f%x" flags
+  | HandInc (_, _, c) -> Format.fprintf fmt "h+%d" c
+  | HandDec (_, _, c) -> Format.fprintf fmt "h-%d" c
+  | Objector _ -> Format.pp_print_string fmt "!"
+  | Acc _ -> Format.pp_print_string fmt "✔"
+  | Rej _ -> Format.pp_print_string fmt "✘"
+
+let select_priority = function
+  | HandInc _ | HandDec _ -> 3
+  | Objector _ -> 2
+  | Init _ | Leader _ | Await _ -> 1
+  | Follower _ | Acc _ | Rej _ -> 0
+
+(* Response-function ids. *)
+let fid_id = 0
+let fid_election = 1
+let fid_claim = 2
+let fid_take = 3
+let fid_reset = 4
+let fid_accept = 5
+let fid_reject = 6
+let fid_clear c = 7 + (3 * c)
+let fid_raise_inc c = 8 + (3 * c)
+let fid_raise_dec c = 9 + (3 * c)
+
+let bit c = 1 lsl c
+let has flags c = flags land bit c <> 0
+let set flags c = flags lor bit c
+let unset flags c = flags land lnot (bit c)
+
+let protocol p =
+  (match validate p with Ok () -> () | Error e -> invalid_arg ("Counter_broadcast: " ^ e));
+  let cdef c = p.counters.(c) in
+  let flag_of c = match (cdef c).flag with Some f -> f | None -> c in
+  let eligible_domain flags c = List.for_all (fun d -> has flags (flag_of d)) (cdef c).domain in
+  let preset_flags l =
+    let acc = ref 0 in
+    Array.iteri (fun i c -> if c.preset l then acc := set !acc (flag_of i)) p.counters;
+    !acc
+  in
+  let ok_target pc = match p.code.(pc) with Inc (_, ok, _) | Dec (_, ok, _) -> ok | _ -> pc in
+  let fail_target pc = match p.code.(pc) with Inc (_, _, t) | Dec (_, _, t) -> t | _ -> pc in
+  let broadcast s =
+    match s with
+    | Init l -> (Leader (l, preset_flags l, 0), fid_election)
+    | Leader (l, flags, pc) -> (
+      match p.code.(pc) with
+      | Goto t -> (Leader (l, flags, t), fid_id)
+      | Clear (c, t) -> (Leader (l, unset flags (flag_of c), t), fid_clear c)
+      | Inc (c, ok, _) ->
+        if eligible_domain flags c && not (has flags (flag_of c)) then
+          (Leader (l, set flags (flag_of c), ok), fid_id) (* serve from the leader itself *)
+        else (Await (l, flags, pc), fid_raise_inc c)
+      | Dec (c, ok, _) ->
+        if eligible_domain flags c && has flags (flag_of c) then
+          (Leader (l, unset flags (flag_of c), ok), fid_id)
+        else (Await (l, flags, pc), fid_raise_dec c)
+      | Accept -> (Acc l, fid_accept)
+      | Reject -> (Rej l, fid_reject))
+    | Await (l, flags, pc) ->
+      (* guess the empty branch; any remaining hand becomes an objector *)
+      (Leader (l, flags, fail_target pc), fid_claim)
+    | HandInc (l, flags, c) -> (Follower (l, set flags (flag_of c)), fid_take)
+    | HandDec (l, flags, c) -> (Follower (l, unset flags (flag_of c)), fid_take)
+    | Objector l -> (Init l, fid_reset)
+    | Follower _ | Acc _ | Rej _ -> (s, fid_id)
+  in
+  let respond f s =
+    if f = fid_id then s
+    else if f = fid_election then
+      match s with Init l -> Follower (l, preset_flags l) | other -> other
+    else if f = fid_claim then
+      match s with HandInc (l, _, _) | HandDec (l, _, _) -> Objector l | other -> other
+    else if f = fid_take then begin
+      match s with
+      | HandInc (l, flags, _) | HandDec (l, flags, _) -> Follower (l, flags) (* retract *)
+      | Await (l, flags, pc) -> Leader (l, flags, ok_target pc)
+      | other -> other
+    end
+    else if f = fid_reset then Init (label_of s)
+    else if f = fid_accept then begin
+      match s with
+      | Objector _ -> s (* evidence of a wrong guess must survive *)
+      | HandInc (l, _, _) | HandDec (l, _, _) -> Objector l (* cannot happen; be safe *)
+      | _ -> Acc (label_of s)
+    end
+    else if f = fid_reject then begin
+      match s with
+      | Objector _ -> s
+      | HandInc (l, _, _) | HandDec (l, _, _) -> Objector l
+      | _ -> Rej (label_of s)
+    end
+    else begin
+      let c = (f - 7) / 3 in
+      let kind = (f - 7) mod 3 in
+      match (kind, s) with
+      | 0, Follower (l, flags) -> Follower (l, unset flags (flag_of c)) (* clear *)
+      | 0, (HandInc (l, _, _) | HandDec (l, _, _)) -> Objector l
+      | 1, Follower (l, flags) when eligible_domain flags c && not (has flags (flag_of c)) ->
+        HandInc (l, flags, c) (* raise for Inc *)
+      | 2, Follower (l, flags) when eligible_domain flags c && has flags (flag_of c) ->
+        HandDec (l, flags, c) (* raise for Dec *)
+      | _, other -> other
+    end
+  in
+  SB.create
+    ~init:(fun l -> Init l)
+    ~broadcast ~respond
+    ~response_count:(7 + (3 * Array.length p.counters))
+    ~accepting:(function Acc _ -> true | _ -> false)
+    ~rejecting:(function Rej _ -> true | _ -> false)
+    ~pp_state:(pp_state p) ()
+
+(* --- Programs -------------------------------------------------------------- *)
+
+let no_preset _ = false
+let plain ?(domain = []) ?(preset = no_preset) cname = { cname; flag = None; domain; preset }
+
+let primality =
+  (* counters: 0 = D (divisor set), 1 = R (remainder, a subset of D),
+     2 = P (processed followers).  The leader accounts for the node that
+     followers-only counters miss, via the initial unit at instruction 4. *)
+  let counters = [| plain "D"; plain ~domain:[ 0 ] "R"; plain "P" |] in
+  (* Divisors run over d = 2, ..., n-1 only: before each scan a probe
+     increments D once more and undoes it — if the probe finds everyone
+     D-marked, d = n and no proper divisor was found, so n is prime. *)
+  let code =
+    [|
+      (* 0 *) Inc (0, 1, 10) (* d := 1; full impossible for n >= 2 *);
+      (* 1 *) Inc (0, 15, 11) (* d := 2; full → n = 2 → prime *);
+      (* 2 *) Clear (2, 3);
+      (* 3 *) Clear (1, 4);
+      (* 4 *) Goto 5;
+      (* 5 *) Inc (2, 6, 8) (* next agent (leader included); full → scan done *);
+      (* 6 *) Inc (1, 5, 7) (* r++; full → r = d: wrap *);
+      (* 7 *) Clear (1, 12);
+      (* 8 *) Inc (1, 9, 10) (* test: r < d → next divisor; r = d → d | n *);
+      (* 9 *) Inc (0, 15, 11) (* d++; full → d = n → prime *);
+      (* 10 *) Reject;
+      (* 11 *) Accept;
+      (* 12 *) Inc (1, 5, 10) (* retry the wrapped unit; full impossible *);
+      (* 13 *) Goto 13 (* unused *);
+      (* 14 *) Dec (0, 2, 10) (* undo the probe; zero impossible *);
+      (* 15 *) Inc (0, 14, 11) (* probe: full → d = n → prime *);
+    |]
+  in
+  { counters; code }
+
+let majority =
+  (* cancel one 'a' against one 'b' until one side is exhausted *)
+  let counters =
+    [| plain ~preset:(fun l -> l = "a") "A"; plain ~preset:(fun l -> l = "b") "B" |]
+  in
+  let code =
+    [|
+      (* 0 *) Dec (1, 1, 3) (* take a 'b'; none left → check for leftover a *);
+      (* 1 *) Dec (0, 0, 2) (* take an 'a'; none left → a < b *);
+      (* 2 *) Reject;
+      (* 3 *) Dec (0, 4, 5) (* b exhausted: any 'a' left? *);
+      (* 4 *) Accept;
+      (* 5 *) Reject (* exact tie *);
+    |]
+  in
+  { counters; code }
+
+let divides =
+  (* #a | #b.  Immutable label flags keep restores honest:
+     0 = A (mutable, preset a), 1 = B (mutable, preset b),
+     2 = P (scans b-agents), 3 = R (remainder ⊆ A),
+     4 = is_b (immutable), 5 = is_a (immutable). *)
+  let counters =
+    [|
+      plain ~domain:[ 5 ] ~preset:(fun l -> l = "a") "A";
+      plain ~domain:[ 4 ] ~preset:(fun l -> l = "b") "B";
+      plain ~domain:[ 4 ] "P";
+      plain ~domain:[ 0 ] "R";
+      plain ~preset:(fun l -> l = "b") "is_b";
+      plain ~preset:(fun l -> l = "a") "is_a";
+    |]
+  in
+  let code =
+    [|
+      (* 0 *) Dec (1, 1, 2) (* b = 0 → anything divides 0 *);
+      (* 1 *) Inc (1, 4, 4) (* restore the probed b *);
+      (* 2 *) Accept;
+      (* 3 *) Goto 3 (* unused *);
+      (* 4 *) Dec (0, 5, 6) (* a = 0 (and b > 0) → 0 does not divide b *);
+      (* 5 *) Inc (0, 7, 7) (* restore the probed a *);
+      (* 6 *) Reject;
+      (* 7 *) Clear (2, 8);
+      (* 8 *) Clear (3, 9);
+      (* 9 *) Inc (2, 10, 12) (* next b-agent; full → scan done *);
+      (* 10 *) Inc (3, 9, 11) (* r++; full → wrap *);
+      (* 11 *) Clear (3, 14);
+      (* 12 *) Inc (3, 13, 15) (* r < a → remainder nonzero; r = a → divisible *);
+      (* 13 *) Reject;
+      (* 14 *) Inc (3, 9, 13) (* retry wrapped unit; full impossible *);
+      (* 15 *) Accept;
+    |]
+  in
+  { counters; code }
+
+let power_of_two =
+  (* counters: 0 = A (flag "alive", preset true, unrestricted),
+     1 = P (processed this round, alive agents only),
+     2 = AK (ALIASES the alive flag, restricted to processed agents: the
+         per-pair kill handle). *)
+  let counters =
+    [|
+      { cname = "A"; flag = None; domain = []; preset = (fun _ -> true) };
+      { cname = "P"; flag = None; domain = [ 0 ]; preset = no_preset };
+      { cname = "AK"; flag = Some 0; domain = [ 1 ]; preset = no_preset };
+    |]
+  in
+  let code =
+    [|
+      (* 0 *) Clear (1, 1) (* new round: clear the processed marks *);
+      (* 1 *) Dec (0, 2, 10) (* live >= 1 always; zero is impossible *);
+      (* 2 *) Dec (0, 3, 8) (* zero → exactly one survivor → power of two *);
+      (* 3 *) Inc (0, 4, 4) (* restore the two probes *);
+      (* 4 *) Inc (0, 5, 5);
+      (* 5 *) Inc (1, 6, 0) (* pair, first member; none left → round done *);
+      (* 6 *) Inc (1, 7, 10) (* second member; none → odd survivor count *);
+      (* 7 *) Dec (2, 5, 10) (* kill one processed live agent *);
+      (* 8 *) Inc (0, 9, 9) (* restore the single survivor *);
+      (* 9 *) Accept;
+      (* 10 *) Reject;
+    |]
+  in
+  { counters; code }

@@ -1,0 +1,123 @@
+(** Counter programs compiled to strong broadcast protocols — the machinery
+    behind [DAF = NL] (Lemma 5.1 and the paper's flagship example: deciding
+    whether the number of nodes is {e prime}).
+
+    Broadcast consensus protocols decide exactly NL because the population
+    itself can serve as memory: a counter with values in [0, n] is a set of
+    marked agents.  This module provides a tiny counter-machine language and
+    compiles it to a strong broadcast protocol:
+
+    - a {e leader} is elected by the first broadcast (atomicity makes the
+      winner unique) and then walks a program counter;
+    - [Inc]/[Dec] use the {e pick-one} gadget: the leader broadcasts
+      "raise hands", every eligible agent raises its hand, and the first
+      hand to broadcast takes the token while its response retracts every
+      other hand;
+    - the empty branches of [Inc] (counter full) and [Dec] (counter zero)
+      use {e guess-and-verify}: the leader may claim the branch at any time,
+      but the claim's response turns every still-raised hand into an
+      {e objector}, and an objector's broadcast resets the whole computation
+      to the initial configuration (with fresh leader election).  Wrong
+      guesses therefore never stabilise, while the run in which every guess
+      is correct terminates and freezes — under pseudo-stochastic fairness
+      this is the consensus.
+
+    Counters are flag bits on agents, with an optional {e domain}: a counter
+    may count only agents that carry some other flag (e.g. the remainder
+    counter [R] of the primality program counts only members of the divisor
+    set [D], so "R is full" means [|R| = |D|] — a counter comparison for
+    free).  Flags may be preset from node labels, which turns label counts
+    into program inputs (majority, divisibility). *)
+
+type counter = {
+  cname : string;
+  flag : int option;
+      (** The flag bit this counter marks; [None] means the counter's own
+          index.  Two counters may {e alias} the same flag with different
+          domains — e.g. "alive" restricted to processed agents gives a kill
+          handle while "alive" unrestricted counts survivors. *)
+  domain : int list;  (** Indices of flags an agent must carry to be eligible. *)
+  preset : string -> bool;  (** Initial value of the counter's flag. *)
+}
+
+val counter :
+  ?flag:int -> ?domain:int list -> ?preset:(string -> bool) -> string -> counter
+(** Convenience constructor; [preset] defaults to constantly false. *)
+
+type instr =
+  | Inc of int * int * int
+      (** [Inc (c, ok, full)]: mark one eligible unmarked agent and jump to
+          [ok]; if none exists, jump to [full]. *)
+  | Dec of int * int * int
+      (** [Dec (c, ok, zero)]: unmark one marked (eligible) agent → [ok];
+          if none, → [zero]. *)
+  | Clear of int * int  (** Unmark every agent's flag [c] and jump. *)
+  | Goto of int
+  | Accept
+  | Reject
+
+type program = { counters : counter array; code : instr array }
+
+val validate : program -> (unit, string) result
+(** Check jump targets, counter indices, and domain indices. *)
+
+val pp_program : Format.formatter -> program -> unit
+(** Listing of the counters (with flags, domains, presets shown by name)
+    and the instruction array. *)
+
+(** {1 Compilation} *)
+
+type state =
+  | Init of string
+  | Leader of string * int * int  (** label, own flags, program counter *)
+  | Await of string * int * int  (** hands are raised; waiting for take/claim *)
+  | Follower of string * int  (** label, flag bitset *)
+  | HandInc of string * int * int  (** label, flags, counter *)
+  | HandDec of string * int * int
+  | Objector of string  (** witnessed a wrong guess; will eventually reset *)
+  | Acc of string
+  | Rej of string
+      (** States of the compiled protocol.  Exposed so that experiment
+          drivers can implement scheduling policies (e.g. prefer raised
+          hands); under a uniformly random scheduler the protocol is still
+          almost-surely correct, but each Await resolves by a coin flip
+          between the hand and the leader's claim, so complete runs without
+          a reset are exponentially rare — the price of guess-and-verify. *)
+
+val select_priority : state -> int
+(** A helpful scheduling policy for simulations: hands (3) before objectors
+    (2) before the leader/initials (1) before inert agents (0).  Selecting a
+    maximal-priority agent at every step yields a reset-free run. *)
+
+val pp_state : program -> Format.formatter -> state -> unit
+
+val protocol : program -> (string, state) Dda_extensions.Strong_broadcast.t
+(** The strong broadcast protocol executing the program.  Acceptance is by
+    stable consensus on the [Accept]/[Reject] sinks; every other state is
+    neither accepting nor rejecting, so the consensus is reached exactly
+    when the program terminates with all guesses verified.
+    @raise Invalid_argument if the program does not {!validate}. *)
+
+(** {1 Programs} *)
+
+val primality : program
+(** Accepts iff the {e number of nodes} is prime: the leader tests every
+    divisor d = 2, ..., n-1 by scanning all agents and counting modulo d
+    (the divisor set [D] holds d agents; the remainder [R] is a subset of
+    [D]; the leader carries its own flags, so it is counted like everyone
+    else).  Trial division in a network of constant-memory agents. *)
+
+val majority : program
+(** Accepts iff [#"a" > #"b"]: repeatedly cancel one 'a' against one 'b'. *)
+
+val power_of_two : program
+(** Accepts iff the number of nodes is a power of two: repeated pair-and-kill
+    rounds — each round marks live agents in pairs and kills one per pair,
+    rejecting on an odd leftover, accepting when a single live agent
+    remains.  Uses flag aliasing: "alive" doubles as the survivor count and,
+    restricted to processed agents, as the kill handle. *)
+
+val divides : program
+(** Accepts iff [#"a"] divides [#"b"] (with the convention that 0 divides
+    only 0) — the paper's example of an ISM predicate that is not a
+    homogeneous threshold; on arbitrary graphs it is NL, hence DAF. *)

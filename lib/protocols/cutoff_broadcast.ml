@@ -1,0 +1,59 @@
+module Machine = Dda_machine.Machine
+module Predicate = Dda_presburger.Predicate
+module Weak_broadcast = Dda_extensions.Weak_broadcast
+module Listx = Dda_util.Listx
+
+type state = { own : int; level : int; known : int list }
+
+let index_of alphabet l =
+  match Listx.find_index_opt (fun x -> x = l) alphabet with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Cutoff_broadcast: label %S outside the alphabet" l)
+
+let holds alphabet p known =
+  Predicate.eval p (fun x ->
+      match Listx.find_index_opt (fun y -> y = x) alphabet with
+      | Some i -> List.nth known i
+      | None -> 0)
+
+let bump_known known idx value =
+  List.mapi (fun i v -> if i = idx then max v value else v) known
+
+let weak_broadcast_machine ~alphabet ~k p =
+  if k < 1 then invalid_arg "Cutoff_broadcast: k must be >= 1";
+  List.iter (fun v -> ignore (index_of alphabet v)) (Predicate.vars p);
+  let size = List.length alphabet in
+  let pp_state fmt s =
+    Format.fprintf fmt "%s@%d[%s]" (List.nth alphabet s.own) s.level
+      (String.concat "," (List.map string_of_int s.known))
+  in
+  let base =
+    Machine.create
+      ~name:(Printf.sprintf "cutoff%d[%s]" k (Predicate.to_string p))
+      ~beta:1
+      ~init:(fun l ->
+        let i = index_of alphabet l in
+        { own = i; level = 1; known = List.init size (fun j -> if j = i then 1 else 0) })
+      ~delta:(fun s _ -> s) (* broadcasts only; no neighbourhood transitions *)
+      ~accepting:(fun s -> holds alphabet p s.known)
+      ~rejecting:(fun s -> not (holds alphabet p s.known))
+      ~pp_state ()
+  in
+  (* Response id (ℓ, i): "label ℓ announces that level i is occupied"; a
+     responder at (ℓ, i) with i < k is additionally bumped to i+1. *)
+  let fid (label, level) = (label * k) + (level - 1) in
+  let decode f = (f / k, (f mod k) + 1) in
+  let initiate s =
+    Some ({ s with known = bump_known s.known s.own s.level }, fid (s.own, s.level))
+  in
+  let respond f s =
+    let label, level = decode f in
+    if s.own = label && s.level = level && level < k then
+      { s with level = level + 1; known = bump_known s.known label (level + 1) }
+    else { s with known = bump_known s.known label level }
+  in
+  Weak_broadcast.create ~base ~initiate ~respond ~response_count:(size * k)
+
+let machine ~alphabet ~k p = Weak_broadcast.compile (weak_broadcast_machine ~alphabet ~k p)
+
+let threshold ~alphabet ~label ~k = machine ~alphabet ~k (Predicate.at_least label k)

@@ -1,0 +1,50 @@
+(** dAF-automata (via weak broadcasts) for Cutoff properties
+    (Lemma C.5 and Proposition C.6).
+
+    Lemma C.5 decides [x >= k] with the level protocol: agents carrying the
+    target label hold a {e level} starting at 1; a level-[i] agent may
+    broadcast, staying at [i] while every {e responding} agent at level [i]
+    (same label) moves to [i+1].  Because the initiator stays put, level
+    [i+1] can only be occupied while level [i] is, so the maximal occupied
+    level is exactly [min(count, K)] in every terminal configuration, and it
+    keeps rising under pseudo-stochastic fairness while two agents share a
+    level below [K].
+
+    We generalise to arbitrary [Cutoff(K)] properties (Proposition C.6)
+    instead of building the boolean-combination product: levels are tracked
+    {e per label} simultaneously, and every broadcast also {e announces} the
+    initiator's own level, which responders fold into a monotone
+    [known : label -> level] estimate.  Every agent's estimate converges to
+    [⌈L⌉_K], and agents accept while the property holds of their estimate.
+
+    The result is a dAF-automaton with weak broadcasts (no neighbourhood
+    transitions, β = 1); {!machine} compiles it with Lemma 4.7. *)
+
+type state = { own : int; level : int; known : int list }
+(** [own]: alphabet index of the agent's label; [level ∈ [1, K]]: its level
+    in the counting race for its own label; [known]: for each alphabet
+    index, the highest announced level (a lower bound on [⌈L⌉_K]). *)
+
+val weak_broadcast_machine :
+  alphabet:string list ->
+  k:int ->
+  Dda_presburger.Predicate.t ->
+  (string, state) Dda_extensions.Weak_broadcast.t
+(** The native weak-broadcast automaton.  @raise Invalid_argument if
+    [k < 1] or the alphabet does not cover the predicate's variables. *)
+
+val machine :
+  alphabet:string list ->
+  k:int ->
+  Dda_presburger.Predicate.t ->
+  (string, state Dda_extensions.Weak_broadcast.state) Dda_machine.Machine.t
+(** The Lemma 4.7 compilation of {!weak_broadcast_machine}: a plain
+    dAF-automaton deciding [L ↦ p(⌈L⌉_k)] under pseudo-stochastic
+    fairness — i.e. deciding [p] itself whenever [p ∈ Cutoff(k)]. *)
+
+val threshold :
+  alphabet:string list ->
+  label:string ->
+  k:int ->
+  (string, state Dda_extensions.Weak_broadcast.state) Dda_machine.Machine.t
+(** Lemma C.5: the dAF-automaton for [#label >= k]. *)

@@ -1,0 +1,46 @@
+module Machine = Dda_machine.Machine
+module Predicate = Dda_presburger.Predicate
+module Listx = Dda_util.Listx
+
+type state = { own : int; known : int }
+
+let index_of alphabet l =
+  match Listx.find_index_opt (fun x -> x = l) alphabet with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Cutoff_one: label %S outside the alphabet" l)
+
+let machine ~alphabet p =
+  if List.length alphabet > 62 then invalid_arg "Cutoff_one.machine: alphabet too large";
+  List.iter
+    (fun v -> ignore (index_of alphabet v))
+    (Predicate.vars p);
+  let holds known =
+    (* evaluate p on the 0/1 vector encoded by the bitset *)
+    Predicate.eval p (fun x ->
+        match Listx.find_index_opt (fun y -> y = x) alphabet with
+        | Some i -> (known lsr i) land 1
+        | None -> 0)
+  in
+  let delta s n =
+    let union =
+      List.fold_left (fun acc ({ known; _ }, _) -> acc lor known) s.known n
+    in
+    { s with known = union }
+  in
+  Machine.create
+    ~name:(Printf.sprintf "cutoff1[%s]" (Predicate.to_string p))
+    ~beta:1
+    ~init:(fun l ->
+      let i = index_of alphabet l in
+      { own = i; known = 1 lsl i })
+    ~delta
+    ~accepting:(fun s -> holds s.known)
+    ~rejecting:(fun s -> not (holds s.known))
+    ~pp_state:(fun fmt s ->
+      let names =
+        List.filteri (fun i _ -> (s.known lsr i) land 1 = 1) alphabet
+      in
+      Format.fprintf fmt "%s{%s}" (List.nth alphabet s.own) (String.concat "," names))
+    ()
+
+let exists_label ~alphabet l = machine ~alphabet (Predicate.exists_label l)

@@ -1,0 +1,29 @@
+(** dAf-automata for Cutoff(1) properties (Proposition C.4).
+
+    A Cutoff(1) property depends only on {e which} labels occur.  The
+    construction generalises the black-node automaton of [16, Prop 12]: each
+    node maintains the set of labels it knows to occur somewhere (initially
+    its own), and adds every label known by a neighbour.  On a connected
+    graph this epidemic converges — monotonically, so under adversarial
+    scheduling and without counting — to the exact support of the label
+    count at every node; nodes accept when the property holds of their
+    current knowledge. *)
+
+type state = { own : int; known : int }
+(** [own]: index of the node's label in the alphabet.  [known]: bitset of
+    alphabet indices known to occur. *)
+
+val machine :
+  alphabet:string list ->
+  Dda_presburger.Predicate.t ->
+  (string, state) Dda_machine.Machine.t
+(** [machine ~alphabet p] is a dAf-automaton (β = 1) deciding [p] on
+    connected graphs labelled over [alphabet], {e provided} [p ∈ Cutoff(1)]
+    over that alphabet.  For predicates outside Cutoff(1) the automaton
+    still stabilises, but decides the Cutoff(1) approximation
+    [L ↦ p(⌈L⌉₁)].
+    @raise Invalid_argument if the alphabet has more than 62 labels or does
+    not cover the predicate's variables. *)
+
+val exists_label : alphabet:string list -> string -> (string, state) Dda_machine.Machine.t
+(** The "some node carries label x" automaton ([16, Prop 12]). *)

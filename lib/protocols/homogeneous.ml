@@ -1,0 +1,185 @@
+module Machine = Dda_machine.Machine
+module Neighbourhood = Dda_machine.Neighbourhood
+module Absence_detection = Dda_extensions.Absence_detection
+module Weak_broadcast = Dda_extensions.Weak_broadcast
+module Listx = Dda_util.Listx
+
+type lstate = L0 | LL | LDouble | LBox
+type dstate = C of int * lstate | Bot | Box
+
+type detect_state = dstate Absence_detection.state
+type bc_state = detect_state Weak_broadcast.state
+type state = (bc_state * int) Weak_broadcast.state
+
+let pp_lstate fmt m =
+  Format.pp_print_string fmt
+    (match m with L0 -> "" | LL -> "L" | LDouble -> "L2" | LBox -> "L□")
+
+let pp_dstate fmt = function
+  | C (x, m) -> Format.fprintf fmt "%d%a" x pp_lstate m
+  | Bot -> Format.pp_print_string fmt "⊥"
+  | Box -> Format.pp_print_string fmt "□"
+
+let check_coeffs coeffs degree_bound =
+  if degree_bound < 1 then invalid_arg "Homogeneous: degree bound must be >= 1";
+  if coeffs = [] then invalid_arg "Homogeneous: empty coefficient list";
+  let labels = List.map fst coeffs in
+  if List.length (Listx.dedup_sorted Stdlib.compare labels) <> List.length labels then
+    invalid_arg "Homogeneous: repeated label"
+
+let contribution_bound ~coeffs ~degree_bound =
+  check_coeffs coeffs degree_bound;
+  List.fold_left (fun acc (_, a) -> max acc (abs a)) (2 * degree_bound) coeffs
+
+let coeff_of coeffs l =
+  match List.assoc_opt l coeffs with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Homogeneous: label %S has no coefficient" l)
+
+(* ⟨cancel⟩ on a contribution, given the contributions of the neighbours
+   (weighted count list, exact because β = k >= degree). *)
+let cancel_contribution ~k ~e x contribs =
+  let in_range lo hi =
+    List.fold_left (fun acc (y, c) -> if lo <= y && y <= hi then acc + c else acc) 0 contribs
+  in
+  let x' =
+    if -k <= x && x <= k then x - in_range (-e) (-k - 1) + in_range (k + 1) e
+    else if x > k then x - in_range (-e) k
+    else x + in_range (-k) e
+  in
+  (* On graphs respecting the degree bound, x' ∈ [-E, E] (E >= 2k).  The
+     transition function must still be total on arbitrary graphs, where the
+     automaton is allowed to be wrong (Figure 1: bounded-degree knowledge is
+     what buys the power), so out-of-contract inputs are clamped. *)
+  max (-e) (min e x')
+
+(* --- P_cancel alone (Lemma 6.1 experiments) ------------------------------ *)
+
+let cancel_machine ~coeffs ~degree_bound =
+  let k = degree_bound in
+  let e = contribution_bound ~coeffs ~degree_bound in
+  Machine.create ~name:"P_cancel" ~beta:k
+    ~init:(coeff_of coeffs)
+    ~delta:(fun x n -> cancel_contribution ~k ~e x n)
+    ~accepting:(fun x -> x >= -k)
+    ~rejecting:(fun x -> x < -k)
+    ~pp_state:Format.pp_print_int ()
+
+(* --- P_detect: cancellation × leaders + weak absence detection ----------- *)
+
+let detect_machine ~coeffs ~degree_bound =
+  let k = degree_bound in
+  let e = contribution_bound ~coeffs ~degree_bound in
+  let delta s n =
+    match s with
+    | C (x, m) ->
+      let contribs =
+        List.filter_map (function C (y, _), c -> Some (y, c) | _ -> None) n
+      in
+      C (cancel_contribution ~k ~e x contribs, m)
+    | Bot | Box -> s
+  in
+  let base =
+    Machine.create ~name:"P_detect" ~beta:k
+      ~init:(fun l -> C (coeff_of coeffs l, LL))
+      ~delta
+      ~accepting:(fun s -> s <> Box)
+      ~rejecting:(fun s -> s = Box)
+      ~pp_state:pp_dstate ()
+  in
+  let initiating = function C (_, LL) -> true | _ -> false in
+  let small = function C (y, (L0 | LL)) -> -k <= y && y <= k | _ -> false in
+  let negative = function C (y, (L0 | LL)) -> -e <= y && y <= -1 | _ -> false in
+  let detect q support =
+    match q with
+    | C (x, LL) ->
+      if List.mem Box support then Bot
+      else if List.mem Bot support then C (x, L0) (* resign: a reset is coming *)
+      else if List.for_all small support then C (x, LDouble)
+      else if List.for_all negative support then C (x, LBox)
+      else q
+    | other -> other
+  in
+  Absence_detection.create ~base ~initiating ~detect
+
+(* --- P_bc: the ⟨double⟩ and ⟨reject⟩ broadcasts --------------------------- *)
+
+let fid_double = 0
+let fid_reject = 1
+
+let bc_machine ~coeffs ~degree_bound =
+  let k = degree_bound in
+  let p'_detect = Absence_detection.compile ~k (detect_machine ~coeffs ~degree_bound) in
+  let initiate = function
+    | Absence_detection.D0 (C (x, LDouble)) ->
+      Some (Absence_detection.D0 (C (2 * x, LL)), fid_double)
+    | Absence_detection.D0 (C (_, LBox)) -> Some (Absence_detection.D0 Box, fid_reject)
+    | _ -> None
+  in
+  (* Response functions are composed with `last`, interrupting any
+     half-finished simulated detection (Section 6.1). *)
+  (* Crucial (Lemma D.5): only LEADER components may be mapped to the error
+     state ⊥ — resets turn ⊥-agents into leaders, so sending a follower to ⊥
+     would let the leader count grow and the reset sequence cycle forever,
+     which an adversarial scheduler can exploit into a fair non-converging
+     run.  Follower states outside the listed ranges are left unchanged, as
+     in the paper (unlisted mappings are the identity); they only arise in
+     multi-leader epochs, which always end in a reset that rebuilds every
+     contribution from the frozen input. *)
+  let double_f = function
+    | C (y, L0) when -k <= y && y <= k -> C (2 * y, L0)
+    | C (_, (LL | LDouble | LBox)) -> Bot (* a conflicting leader: eliminate *)
+    | (C (_, L0) | Box | Bot) as other -> other
+  in
+  let reject_f = function
+    | C (y, L0) when y < 0 -> Box
+    | C (_, (LL | LDouble | LBox)) -> Bot
+    | (C (_, L0) | Box | Bot) as other -> other
+  in
+  let respond fid s =
+    let plain = Absence_detection.last s in
+    Absence_detection.D0 (if fid = fid_double then double_f plain else reject_f plain)
+  in
+  Weak_broadcast.create ~base:p'_detect ~initiate ~respond ~response_count:2
+
+(* --- P_reset and the final automaton -------------------------------------- *)
+
+let machine ~coeffs ~degree_bound =
+  check_coeffs coeffs degree_bound;
+  let p'_bc = Weak_broadcast.compile (bc_machine ~coeffs ~degree_bound) in
+  let base =
+    Machine.product_frozen ~name:"P_reset" ~snd_init:(coeff_of coeffs)
+      ~pp_snd:Format.pp_print_int p'_bc
+  in
+  let initiate = function
+    | Weak_broadcast.Base (Absence_detection.D0 Bot), q0 ->
+      Some ((Weak_broadcast.Base (Absence_detection.D0 (C (q0, LL))), q0), 0)
+    | _ -> None
+  in
+  let respond _fid (_, r0) = (Weak_broadcast.Base (Absence_detection.D0 (C (r0, L0))), r0) in
+  let reset = Weak_broadcast.create ~base ~initiate ~respond ~response_count:1 in
+  let name =
+    Printf.sprintf "DAf[%s>=0,k=%d]"
+      (String.concat "+" (List.map (fun (l, a) -> Printf.sprintf "%d·%s" a l) coeffs))
+      degree_bound
+  in
+  Machine.rename name (Weak_broadcast.compile reset)
+
+let carried_dstate (s : state) =
+  let bc =
+    match s with
+    | Weak_broadcast.Base (b, _) | Weak_broadcast.Mid ((b, _), _, _) -> b
+  in
+  let detect =
+    match bc with Weak_broadcast.Base d | Weak_broadcast.Mid (d, _, _) -> d
+  in
+  match detect with
+  | Absence_detection.D0 q | Absence_detection.D1 (q, _, _) | Absence_detection.D2 (q, _, _) -> q
+
+let weak_majority ~degree_bound = machine ~coeffs:[ ("a", 1); ("b", -1) ] ~degree_bound
+
+let majority ~degree_bound =
+  (* #a > #b  ⟺  ¬(#b >= #a): complement by swapping Y and N. *)
+  let m = machine ~coeffs:[ ("a", -1); ("b", 1) ] ~degree_bound in
+  Machine.rename "DAf[majority a>b]"
+    (Machine.with_acceptance ~accepting:m.Machine.rejecting ~rejecting:m.Machine.accepting m)

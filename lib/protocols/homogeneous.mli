@@ -1,0 +1,91 @@
+(** The Section 6.1 construction: a bounded-degree DAf-automaton for every
+    homogeneous threshold predicate [a₁x₁ + ... + a_l x_l >= 0]
+    (Proposition 6.3) — in particular for majority.
+
+    This is the paper's headline algorithm: majority is undecidable by
+    adversarial-scheduling automata on arbitrary graphs (Corollary 3.6), but
+    becomes decidable — even under a synchronous or fully adversarial
+    scheduler — once nodes know a bound [k] on their degree.
+
+    The automaton is built by the same chain of constructions as in the
+    paper, each arrow being a library combinator:
+
+    {v
+    P_cancel    contributions in [-E, E] diffuse towards their neighbours
+                (⟨cancel⟩), preserving the sum Σ_v C(v); E = max(|aᵢ|, 2k)
+    P_detect    = P_cancel × {0, L, L_double, L_□} ∪ {⊥, □}
+                + weak absence detection by leaders (⟨detect⟩)
+    P'_detect   = Absence_detection.compile ~k P_detect       (Lemma 4.9)
+    P_bc        = P'_detect + ⟨double⟩/⟨reject⟩ weak broadcasts, composed
+                with `last` to interrupt half-finished detections
+    P'_bc       = Weak_broadcast.compile P_bc                  (Lemma 4.7)
+    P_reset     = P'_bc × Q_cancel + ⟨reset⟩ fired from the error state ⊥
+    result      = Weak_broadcast.compile P_reset               (Lemma 4.7)
+    v}
+
+    Leaders alternately wait for the cancellation to converge (all
+    contributions small, or all negative), detected with weak absence
+    detection, then either double all contributions (⟨double⟩) or reject
+    (⟨reject⟩); leader conflicts funnel into the error state [⊥], whose
+    ⟨reset⟩ restarts the computation with strictly fewer leaders. *)
+
+type lstate = L0 | LL | LDouble | LBox
+(** Leader components: follower, leader, leader about to double, leader
+    about to reject. *)
+
+type dstate = C of int * lstate | Bot | Box
+(** States of [P_detect]: a contribution paired with a leader component, the
+    error state [⊥], or the rejecting sink [□]. *)
+
+type detect_state = dstate Dda_extensions.Absence_detection.state
+type bc_state = detect_state Dda_extensions.Weak_broadcast.state
+type state = (bc_state * int) Dda_extensions.Weak_broadcast.state
+(** States of the final automaton; the [int] is the frozen input
+    contribution used by ⟨reset⟩. *)
+
+val machine :
+  coeffs:(string * int) list ->
+  degree_bound:int ->
+  (string, state) Dda_machine.Machine.t
+(** [machine ~coeffs ~degree_bound] decides
+    [Σ coeffs(ℓ)·#ℓ >= 0] on connected graphs of degree at most
+    [degree_bound], labelled by the domain of [coeffs], under {e any} fair
+    scheduler (adversarial, synchronous, or pseudo-stochastic).
+    @raise Invalid_argument if [degree_bound < 1], [coeffs] is empty, or a
+    label repeats. *)
+
+val weak_majority : degree_bound:int -> (string, state) Dda_machine.Machine.t
+(** [#"a" >= #"b"] over the alphabet [{"a"; "b"}]. *)
+
+val majority : degree_bound:int -> (string, state) Dda_machine.Machine.t
+(** Strict majority [#"a" > #"b"]: the complement automaton of
+    [#"b" >= #"a"] (stable-consensus classes are closed under complement by
+    swapping the accepting and rejecting sets). *)
+
+(** {1 Building blocks exposed for experiments} *)
+
+val cancel_machine :
+  coeffs:(string * int) list ->
+  degree_bound:int ->
+  (string, int) Dda_machine.Machine.t
+(** [P_cancel] alone (states are bare contributions, no leader bookkeeping):
+    the synchronous local-cancellation process of Lemma 6.1.  Run it with
+    the synchronous scheduler to reproduce the convergence experiment: from
+    a negative sum it reaches configurations that stay in [{-E..-1}] or in
+    [{-k..k}] forever. *)
+
+val contribution_bound : coeffs:(string * int) list -> degree_bound:int -> int
+(** The bound [E = max(maxᵢ |aᵢ|, 2k)]. *)
+
+val carried_dstate : state -> dstate
+(** Project a (deeply nested) state of the final automaton to the
+    [P_detect]-level state it carries — through both Lemma 4.7 phase layers
+    and the Lemma 4.9 distance-label layer.  Used by run instrumentation to
+    observe contributions, leader phases, errors and rejections. *)
+
+val detect_machine :
+  coeffs:(string * int) list ->
+  degree_bound:int ->
+  (string, dstate) Dda_extensions.Absence_detection.t
+(** [P_detect]: the absence-detection layer before compilation, for direct
+    (macro-step) simulation experiments. *)

@@ -1,0 +1,60 @@
+module Population = Dda_extensions.Population
+
+type epidemic = Infected | Susceptible
+
+let epidemic ~target =
+  Population.create
+    ~init:(fun l -> if l = target then Infected else Susceptible)
+    ~delta:(fun a b ->
+      match (a, b) with
+      | Infected, Susceptible -> (Infected, Infected)
+      | Susceptible, Infected -> (Infected, Infected)
+      | other -> other)
+    ~accepting:(fun s -> s = Infected)
+    ~rejecting:(fun s -> s = Susceptible)
+    ~pp_state:(fun fmt s ->
+      Format.pp_print_string fmt (match s with Infected -> "I" | Susceptible -> "S"))
+    ()
+
+type majority = Active_a | Active_b | Passive_a | Passive_b
+
+let majority_output = function
+  | Active_a | Passive_a -> true
+  | Active_b | Passive_b -> false
+
+let majority_4state =
+  Population.create
+    ~init:(fun l -> if l = 'a' then Active_a else Active_b)
+    ~delta:(fun p q ->
+      match (p, q) with
+      (* actives cancel; the residue leans 'no', so exact ties reject *)
+      | Active_a, Active_b | Active_b, Active_a -> (Passive_b, Passive_b)
+      (* actives walk over passives (swapping positions), converting them:
+         without movement a surviving active cannot reach distant passives
+         on sparse graphs and the protocol deadlocks *)
+      | Active_a, (Passive_a | Passive_b) -> (Passive_a, Active_a)
+      | (Passive_a | Passive_b), Active_a -> (Active_a, Passive_a)
+      | Active_b, (Passive_a | Passive_b) -> (Passive_b, Active_b)
+      | (Passive_a | Passive_b), Active_b -> (Active_b, Passive_b)
+      (* tie-break among passives once no active remains *)
+      | Passive_a, Passive_b -> (Passive_b, Passive_b)
+      | Passive_b, Passive_a -> (Passive_b, Passive_b)
+      | other -> other)
+    ~accepting:majority_output
+    ~rejecting:(fun s -> not (majority_output s))
+    ~pp_state:(fun fmt s ->
+      Format.pp_print_string fmt
+        (match s with Active_a -> "A" | Active_b -> "B" | Passive_a -> "a" | Passive_b -> "b"))
+    ()
+
+type leader = Lead | Follow
+
+let leader_election =
+  Population.create
+    ~init:(fun _ -> Lead)
+    ~delta:(fun p q -> match (p, q) with Lead, Lead -> (Lead, Follow) | other -> other)
+    ~accepting:(fun _ -> true)
+    ~rejecting:(fun _ -> false)
+    ~pp_state:(fun fmt s ->
+      Format.pp_print_string fmt (match s with Lead -> "L" | Follow -> "F"))
+    ()

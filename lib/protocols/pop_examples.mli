@@ -1,0 +1,36 @@
+(** Graph population protocols used as baselines and test subjects.
+
+    Population protocols on graphs [3] are the rendez-vous comparison point
+    of the paper (Lemma 4.10 embeds them into DAF); these concrete protocols
+    serve as baselines in the benchmark experiments and as inputs to the
+    compilation tests. *)
+
+type epidemic = Infected | Susceptible
+
+val epidemic : target:char -> (char, epidemic) Dda_extensions.Population.t
+(** Decides "some node carries [target]": infection spreads along edges.
+    Correct on every connected graph under pseudo-stochastic pair
+    selection. *)
+
+type majority = Active_a | Active_b | Passive_a | Passive_b
+
+val majority_4state : (char, majority) Dda_extensions.Population.t
+(** A 4-state majority protocol for arbitrary connected graphs, deciding the
+    {e strict} majority [#'a' > #'b'] (ties reject).  Active tokens cancel
+    pairwise into 'no'-leaning passives, {e walk} across passives by
+    swapping positions (on sparse graphs immobile actives would deadlock
+    away from the passives they must convert), convert the passives they
+    step over, and the passive tie-break [(a, b) ↦ (b, b)] resolves exact
+    ties once no active remains.  Nodes labelled ['a'] start [Active_a],
+    every other node starts [Active_b]. *)
+
+val majority_output : majority -> bool
+(** The output convention: [Active_a]/[Passive_a] vote yes. *)
+
+type leader = Lead | Follow
+
+val leader_election : (char, leader) Dda_extensions.Population.t
+(** Pairwise elimination [(L, L) ↦ (L, F)]: every configuration keeps at
+    least one leader, and the bottom configurations have exactly one.  Not a
+    decider (its accepting set is everything); used to test reachability
+    structure. *)

@@ -1,0 +1,94 @@
+module Population = Dda_extensions.Population
+
+type 'v agent = Holder of 'v * bool | Carrier of bool
+
+let out = function Holder (_, o) | Carrier o -> o
+
+let pp_agent pp_v fmt = function
+  | Holder (v, o) -> Format.fprintf fmt "%a%s" pp_v v (if o then "+" else "-")
+  | Carrier o -> Format.pp_print_string fmt (if o then ".+" else ".-")
+
+let coeff coeffs l = match List.assoc_opt l coeffs with Some a -> a | None -> 0
+
+(* Holders walk across carriers (swapping roles) and inform them, so any two
+   holders eventually become adjacent on a connected graph, and the last
+   holder's opinion reaches every agent. *)
+let walk_rules delta p q =
+  match (p, q) with
+  | Holder (u, o), Carrier _ -> (Carrier o, Holder (u, o))
+  | Carrier _, Holder (u, o) -> (Holder (u, o), Carrier o)
+  | (Carrier _ as a), (Carrier _ as b) -> (a, b)
+  | Holder _, Holder _ -> delta p q
+
+let threshold ~coeffs ~c =
+  let s = List.fold_left (fun acc (_, a) -> max acc (abs a)) (max (abs c) 1) coeffs in
+  let clamp t = max (-s) (min s t) in
+  let merge p q =
+    match (p, q) with
+    | Holder (u, _), Holder (v, _) ->
+      let t = u + v in
+      if abs t <= s then begin
+        let o = t >= c in
+        (Holder (t, o), Carrier o)
+      end
+      else begin
+        (* Overflow past the clamp: both residues get the sign of t, every
+           later merge among same-sign holders keeps overflowing, and with
+           |c| <= s the comparison is already decided by the sign. *)
+        let o = t >= c in
+        (Holder (clamp t, o), Holder (t - clamp t, o))
+      end
+    | _ -> (p, q)
+  in
+  Population.create
+    ~init:(fun l ->
+      let v = clamp (coeff coeffs l) in
+      Holder (v, v >= c))
+    ~delta:(walk_rules merge)
+    ~accepting:out
+    ~rejecting:(fun a -> not (out a))
+    ~pp_state:(pp_agent Format.pp_print_int) ()
+
+let remainder ~coeffs ~m ~r =
+  if m < 1 then invalid_arg "Semilinear_pop.remainder: modulus must be >= 1";
+  let r = ((r mod m) + m) mod m in
+  let norm v = ((v mod m) + m) mod m in
+  let merge p q =
+    match (p, q) with
+    | Holder (u, _), Holder (v, _) ->
+      let t = norm (u + v) in
+      let o = t = r in
+      (Holder (t, o), Carrier o)
+    | _ -> (p, q)
+  in
+  Population.create
+    ~init:(fun l ->
+      let v = norm (coeff coeffs l) in
+      Holder (v, v = r))
+    ~delta:(walk_rules merge)
+    ~accepting:out
+    ~rejecting:(fun a -> not (out a))
+    ~pp_state:(pp_agent Format.pp_print_int) ()
+
+let complement p =
+  Population.create ~init:p.Population.init ~delta:p.Population.delta
+    ~accepting:p.Population.rejecting ~rejecting:p.Population.accepting
+    ~pp_state:p.Population.pp_state ()
+
+let product ~combine p1 p2 =
+  let delta (s1, t1) (s2, t2) =
+    let s1', s2' = p1.Population.delta s1 s2 in
+    let t1', t2' = p2.Population.delta t1 t2 in
+    ((s1', t1'), (s2', t2'))
+  in
+  let verdict (s, t) = combine (p1.Population.accepting s) (p2.Population.accepting t) in
+  Population.create
+    ~init:(fun l -> (p1.Population.init l, p2.Population.init l))
+    ~delta ~accepting:verdict
+    ~rejecting:(fun st -> not (verdict st))
+    ~pp_state:(fun fmt (s, t) ->
+      Format.fprintf fmt "(%a,%a)" p1.Population.pp_state s p2.Population.pp_state t)
+    ()
+
+let conjunction p1 p2 = product ~combine:( && ) p1 p2
+let disjunction p1 p2 = product ~combine:( || ) p1 p2

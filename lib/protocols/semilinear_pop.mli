@@ -1,0 +1,65 @@
+(** Population protocols for semilinear predicates (the Angluin et al.
+    baseline the paper builds on).
+
+    Standard population protocols compute exactly the semilinear predicates
+    [6]; on connected communication graphs the same protocols still work
+    [3].  Lemma 4.10 then carries them into DAF.  This module provides the
+    classic constructions as graph population protocols:
+
+    - {!threshold}: [Σ aᵢ·#lᵢ >= c] by pairwise redistribution with
+      saturation (values clamped to [±s]; the clamped-sum holder's opinion
+      is copied by its partner);
+    - {!remainder}: [Σ aᵢ·#lᵢ ≡ r (mod m)] by pairwise merging modulo [m]
+      (one partner keeps the sum, the other becomes a passive carrier that
+      copies opinions);
+    - {!conjunction} / {!disjunction} / {!complement}: the semilinear sets
+      are a boolean algebra, realised by running protocols as a product.
+
+    Together with {!Dda_presburger.Predicate} this gives an executable form
+    of "population protocols = semilinear": any quantifier-free combination
+    of threshold and modulo atoms yields a protocol, which the exact
+    verifier can check against the predicate. *)
+
+type 'v agent = Holder of 'v * bool | Carrier of bool
+    (** [Holder (v, out)]: an agent still carrying a piece of the running
+        sum; [Carrier out]: a passive agent that only relays the opinion.
+        Holders walk across carriers (swapping roles), so any two holders
+        eventually meet on a connected graph. *)
+
+val threshold :
+  coeffs:(string * int) list -> c:int -> (string, int agent) Dda_extensions.Population.t
+(** Decides [Σ coeffs(l)·#l >= c].  Holders merge pairwise; a merge whose
+    sum fits within the clamp [±s] leaves a single holder, an overflowing
+    merge leaves two same-sign holders and (since overflow past [±s]
+    already determines the comparison with [|c| <= s]) the correct opinion.
+    Labels outside [coeffs] contribute 0. *)
+
+val remainder :
+  coeffs:(string * int) list -> m:int -> r:int ->
+  (string, int agent) Dda_extensions.Population.t
+(** Decides [Σ coeffs(l)·#l ≡ r (mod m)]; [m >= 1].  Holders merge modulo
+    [m] down to a single holder whose opinion spreads. *)
+
+val complement :
+  ('l, 's) Dda_extensions.Population.t -> ('l, 's) Dda_extensions.Population.t
+(** Swap accepting and rejecting states. *)
+
+val product :
+  combine:(bool -> bool -> bool) ->
+  ('l, 's) Dda_extensions.Population.t ->
+  ('l, 't) Dda_extensions.Population.t ->
+  ('l, 's * 't) Dda_extensions.Population.t
+(** Run two protocols in lockstep on the same interactions; a state accepts
+    iff [combine] of the components' verdicts does.  (Population protocols
+    are closed under product because a rendez-vous can update both
+    components at once.) *)
+
+val conjunction :
+  ('l, 's) Dda_extensions.Population.t ->
+  ('l, 't) Dda_extensions.Population.t ->
+  ('l, 's * 't) Dda_extensions.Population.t
+
+val disjunction :
+  ('l, 's) Dda_extensions.Population.t ->
+  ('l, 't) Dda_extensions.Population.t ->
+  ('l, 's * 't) Dda_extensions.Population.t

@@ -1,0 +1,52 @@
+module Strong_broadcast = Dda_extensions.Strong_broadcast
+
+type two_a = Z | A | W | Y
+
+(* Response ids for at_least_two_a. *)
+let fid_id = 0
+let fid_announce = 1
+let fid_flood = 2
+
+let at_least_two_a =
+  Strong_broadcast.create
+    ~init:(fun l -> if l = 'a' then A else Z)
+    ~broadcast:(fun q ->
+      match q with
+      | A -> (W, fid_announce)
+      | Y -> (Y, fid_flood)
+      | Z | W -> (q, fid_id))
+    ~respond:(fun f s ->
+      if f = fid_announce then (match s with A | W | Y -> Y | Z -> Z)
+      else if f = fid_flood then Y
+      else s)
+    ~response_count:3
+    ~accepting:(fun s -> s = Y)
+    ~rejecting:(fun s -> s <> Y)
+    ~pp_state:(fun fmt s ->
+      Format.pp_print_string fmt (match s with Z -> "z" | A -> "A" | W -> "w" | Y -> "Y"))
+    ()
+
+type parity_role = Uncounted | Counted | Bystander
+type parity = { bit : bool; role : parity_role }
+
+let parity_output s = s.bit
+
+let fid_keep = 0
+let fid_flip = 1
+
+let odd_a =
+  Strong_broadcast.create
+    ~init:(fun l -> { bit = false; role = (if l = 'a' then Uncounted else Bystander) })
+    ~broadcast:(fun s ->
+      match s.role with
+      | Uncounted -> ({ bit = not s.bit; role = Counted }, fid_flip)
+      | Counted | Bystander -> (s, fid_keep))
+    ~respond:(fun f s -> if f = fid_flip then { s with bit = not s.bit } else s)
+    ~response_count:2
+    ~accepting:parity_output
+    ~rejecting:(fun s -> not (parity_output s))
+    ~pp_state:(fun fmt s ->
+      Format.fprintf fmt "%s%s"
+        (if s.bit then "1" else "0")
+        (match s.role with Uncounted -> "u" | Counted -> "c" | Bystander -> "-"))
+    ()

@@ -1,0 +1,31 @@
+(** Concrete strong broadcast protocols (inputs to the Lemma 5.1 token
+    construction).
+
+    Strong broadcast protocols decide exactly NL; these examples exercise
+    the atomicity of strong broadcasts, which the token construction must
+    reproduce with weak ones. *)
+
+type two_a = Z | A | W | Y
+
+val at_least_two_a : (char, two_a) Dda_extensions.Strong_broadcast.t
+(** Decides [#'a' >= 2].  The first 'a'-agent to broadcast announces itself
+    ([A → W]); every {e other} 'a'-agent learns that at least two exist and
+    moves to [Y]; a [Y]-agent's broadcast floods [Y].  Atomicity is
+    essential: with two simultaneous announcements neither would see the
+    other. *)
+
+type parity_role = Uncounted | Counted | Bystander
+type parity = { bit : bool; role : parity_role }
+
+val odd_a : (char, parity) Dda_extensions.Strong_broadcast.t
+(** Decides "the number of 'a'-labelled nodes is odd".  Every 'a'-agent
+    broadcasts exactly once ([Uncounted → Counted]), atomically flipping
+    {e everyone's} parity bit (including its own); because strong broadcasts
+    are serialised, all agents hold identical bits at all times, and the
+    final common bit is the parity of [#'a'].  A representative of the
+    modulo predicates; its correctness collapses immediately if two flips
+    can overlap, which is what the Lemma 5.1 token machinery must
+    prevent. *)
+
+val parity_output : parity -> bool
+(** The bit itself: [true] on odd counts. *)

@@ -1,0 +1,47 @@
+module Graph = Dda_graph.Graph
+module Machine = Dda_machine.Machine
+module Neighbourhood = Dda_machine.Neighbourhood
+module Multiset = Dda_multiset.Multiset
+
+type 's t = 's array
+
+let initial m g = Array.init (Graph.nodes g) (fun v -> m.Machine.init (Graph.label g v))
+
+let of_states a = Array.copy a
+let to_array c = Array.copy c
+let state c v = c.(v)
+let size = Array.length
+
+let neighbourhood m g c v =
+  Machine.observe m (List.map (fun u -> c.(u)) (Graph.neighbours g v))
+
+let step m g c selection =
+  let c' = Array.copy c in
+  List.iter (fun v -> c'.(v) <- m.Machine.delta c.(v) (neighbourhood m g c v)) selection;
+  c'
+
+let is_silent_for m g c v = m.Machine.delta c.(v) (neighbourhood m g c v) = c.(v)
+
+let is_quiescent m g c =
+  let n = Array.length c in
+  let rec go v = v >= n || (is_silent_for m g c v && go (v + 1)) in
+  go 0
+
+let verdict m c =
+  let n = Array.length c in
+  let rec go v all_acc all_rej =
+    if (not all_acc) && not all_rej then `Mixed
+    else if v >= n then if all_acc then `Accepting else `Rejecting
+    else go (v + 1) (all_acc && m.Machine.accepting c.(v)) (all_rej && m.Machine.rejecting c.(v))
+  in
+  go 0 true true
+
+let state_count c = Multiset.of_list (Array.to_list c)
+
+let equal c1 c2 = c1 = c2
+let compare c1 c2 = Stdlib.compare c1 c2
+
+let pp pp_state fmt c =
+  Format.fprintf fmt "[%a]"
+    (Dda_util.Listx.pp_list ~sep:" " pp_state)
+    (Array.to_list c)

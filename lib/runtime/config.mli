@@ -1,0 +1,52 @@
+(** Configurations of a machine on a graph (Section 2.1).
+
+    A configuration [C : V -> Q] maps every node to its current state.  The
+    successor configuration via a selection [S] lets every node of [S]
+    evaluate δ simultaneously on its (capped) neighbourhood observation, and
+    keeps the other nodes idle. *)
+
+type 's t
+(** Immutable configuration.  Stepping shares structure where possible. *)
+
+val initial : ('l, 's) Dda_machine.Machine.t -> 'l Dda_graph.Graph.t -> 's t
+(** [C₀(v) = δ₀(λ(v))]. *)
+
+val of_states : 's array -> 's t
+val to_array : 's t -> 's array
+val state : 's t -> int -> 's
+val size : 's t -> int
+
+val neighbourhood :
+  ('l, 's) Dda_machine.Machine.t -> 'l Dda_graph.Graph.t -> 's t -> int ->
+  's Dda_machine.Neighbourhood.t
+(** [N_v^C], capped at the machine's β. *)
+
+val step :
+  ('l, 's) Dda_machine.Machine.t -> 'l Dda_graph.Graph.t -> 's t ->
+  Dda_scheduler.Scheduler.selection -> 's t
+(** [succ_δ(C, S)]: all nodes of the selection move simultaneously, reading
+    the {e pre-step} configuration. *)
+
+val is_silent_for :
+  ('l, 's) Dda_machine.Machine.t -> 'l Dda_graph.Graph.t -> 's t -> int -> bool
+(** Selecting this single node would not change its state. *)
+
+val is_quiescent :
+  ('l, 's) Dda_machine.Machine.t -> 'l Dda_graph.Graph.t -> 's t -> bool
+(** Every node is silent: the configuration is a fixpoint under every
+    selection (synchronous, exclusive or liberal). *)
+
+val verdict :
+  ('l, 's) Dda_machine.Machine.t -> 's t -> [ `Accepting | `Rejecting | `Mixed ]
+(** [`Accepting] if all nodes are in accepting states, [`Rejecting] if all
+    are rejecting, [`Mixed] otherwise. *)
+
+val state_count : 's t -> 's Dda_multiset.Multiset.t
+(** Number of nodes in each state — the counted abstraction used by the
+    verifier on cliques. *)
+
+val equal : 's t -> 's t -> bool
+val compare : 's t -> 's t -> int
+
+val pp :
+  (Format.formatter -> 's -> unit) -> Format.formatter -> 's t -> unit

@@ -1,0 +1,180 @@
+module Prng = Dda_util.Prng
+module Listx = Dda_util.Listx
+
+type selection = int list
+
+type kind = Synchronous | Exclusive | Liberal
+
+type t = {
+  name : string;
+  kind : kind;
+  n : int;
+  gen : unit -> selection;
+  restart : unit -> unit;
+}
+
+let name t = t.name
+let kind t = t.kind
+let node_count t = t.n
+
+let next t = t.gen ()
+let reset t = t.restart ()
+
+let prefix t k = List.map (fun _ -> next t) (Listx.range k)
+
+let check_n n = if n < 1 then invalid_arg "Scheduler: node count must be >= 1"
+
+let synchronous ~n =
+  check_n n;
+  let all = Listx.range n in
+  { name = "synchronous"; kind = Synchronous; n; gen = (fun () -> all); restart = (fun () -> ()) }
+
+let round_robin ~n =
+  check_n n;
+  let i = ref 0 in
+  let gen () =
+    let v = !i in
+    i := (v + 1) mod n;
+    [ v ]
+  in
+  { name = "round-robin"; kind = Exclusive; n; gen; restart = (fun () -> i := 0) }
+
+let random_exclusive ~n ~seed =
+  check_n n;
+  let rng = ref (Prng.create seed) in
+  {
+    name = Printf.sprintf "random-exclusive(seed=%d)" seed;
+    kind = Exclusive;
+    n;
+    gen = (fun () -> [ Prng.int !rng n ]);
+    restart = (fun () -> rng := Prng.create seed);
+  }
+
+let random_liberal ~n ~seed =
+  check_n n;
+  let rng = ref (Prng.create seed) in
+  let rec draw () =
+    let s = List.filter (fun _ -> Prng.bool !rng) (Listx.range n) in
+    if s = [] then draw () else s
+  in
+  {
+    name = Printf.sprintf "random-liberal(seed=%d)" seed;
+    kind = Liberal;
+    n;
+    gen = draw;
+    restart = (fun () -> rng := Prng.create seed);
+  }
+
+let burst ~n ~width =
+  check_n n;
+  if width < 1 then invalid_arg "Scheduler.burst: width must be >= 1";
+  let step = ref 0 in
+  let gen () =
+    let v = !step / width mod n in
+    incr step;
+    [ v ]
+  in
+  { name = Printf.sprintf "burst(%d)" width; kind = Exclusive; n; gen; restart = (fun () -> step := 0) }
+
+let starve ~n ~victim ~period =
+  check_n n;
+  if victim < 0 || victim >= n then invalid_arg "Scheduler.starve: victim out of range";
+  if period < 2 then invalid_arg "Scheduler.starve: period must be >= 2";
+  let step = ref 0 in
+  let idx = ref 0 in
+  let others = Array.of_list (List.filter (fun v -> v <> victim) (Listx.range n)) in
+  let gen () =
+    let s = !step in
+    incr step;
+    if n = 1 || s mod period = period - 1 then [ victim ]
+    else begin
+      let v = others.(!idx mod Array.length others) in
+      incr idx;
+      [ v ]
+    end
+  in
+  {
+    name = Printf.sprintf "starve(victim=%d,period=%d)" victim period;
+    kind = Exclusive;
+    n;
+    gen;
+    restart =
+      (fun () ->
+        step := 0;
+        idx := 0);
+  }
+
+let random_adversary ~n ~seed =
+  check_n n;
+  let rng = ref (Prng.create seed) in
+  let queue = ref [] in
+  (* Refill the queue with a fair block: a random permutation of all nodes,
+     each repeated a random number of times, in random burst order.  Every
+     block contains every node, so the infinite stream is fair. *)
+  let refill () =
+    let perm = Prng.shuffle_list !rng (Listx.range n) in
+    queue :=
+      List.concat_map (fun v -> List.init (1 + Prng.int !rng 4) (fun _ -> [ v ])) perm
+  in
+  let rec gen () =
+    match !queue with
+    | sel :: rest ->
+      queue := rest;
+      sel
+    | [] ->
+      refill ();
+      gen ()
+  in
+  {
+    name = Printf.sprintf "random-adversary(seed=%d)" seed;
+    kind = Exclusive;
+    n;
+    gen;
+    restart =
+      (fun () ->
+        rng := Prng.create seed;
+        queue := []);
+  }
+
+let replay ?name ~kind ~n selections =
+  check_n n;
+  if selections = [] then invalid_arg "Scheduler.replay: empty schedule";
+  List.iter
+    (fun sel ->
+      if sel = [] then invalid_arg "Scheduler.replay: empty selection";
+      List.iter (fun v -> if v < 0 || v >= n then invalid_arg "Scheduler.replay: node out of range") sel)
+    selections;
+  let arr = Array.of_list (List.map (List.sort_uniq Stdlib.compare) selections) in
+  let i = ref 0 in
+  let gen () =
+    let sel = arr.(!i) in
+    i := (!i + 1) mod Array.length arr;
+    sel
+  in
+  let name = match name with Some s -> s | None -> "replay" in
+  { name; kind; n; gen; restart = (fun () -> i := 0) }
+
+let fair_window ~n selections =
+  let seen = Array.make n false in
+  List.iter (fun sel -> List.iter (fun v -> if v >= 0 && v < n then seen.(v) <- true) sel) selections;
+  Array.for_all (fun b -> b) seen
+
+let max_starvation ~n selections =
+  let last = Array.make n (-1) in
+  let worst = ref 0 in
+  List.iteri
+    (fun t sel ->
+      List.iter
+        (fun v ->
+          if v >= 0 && v < n then begin
+            worst := max !worst (t - last.(v));
+            last.(v) <- t
+          end)
+        sel)
+    selections;
+  let len = List.length selections in
+  Array.iter (fun l -> worst := max !worst (len - l)) last;
+  !worst
+
+let pp_selection fmt sel =
+  Format.fprintf fmt "{%a}" (Listx.pp_list ~sep:"," Format.pp_print_int) sel

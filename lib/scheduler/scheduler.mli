@@ -1,0 +1,88 @@
+(** Schedulers: selection constraints and fairness (Sections 2.1–2.2).
+
+    A scheduler [Σ = (s, f)] consists of a selection constraint — synchronous
+    (all nodes move), exclusive (one node moves), or liberal (any non-empty
+    set moves) — and a fairness constraint — adversarial (every node selected
+    infinitely often) or pseudo-stochastic (every finite sequence of
+    selections occurs infinitely often).
+
+    This module provides {e concrete schedule generators}: stateful streams
+    of selections used by the run engine.  Infinite fairness conditions are
+    approximated in the obvious ways — a uniformly random exclusive stream is
+    a pseudo-stochastic sample (it satisfies the condition with probability
+    1), and the adversarial generators are specific worst-case-flavoured fair
+    schedules (round robin, bursts, starvation patterns).  Exact decisions
+    about {e all} fair runs are the job of [Dda_verify], not of any finite
+    schedule. *)
+
+type selection = int list
+(** A set of selected nodes, sorted, without duplicates. *)
+
+type kind = Synchronous | Exclusive | Liberal
+
+type t
+(** A stateful schedule generator over a fixed node count. *)
+
+val name : t -> string
+val kind : t -> kind
+val node_count : t -> int
+
+val next : t -> selection
+(** Produce the next selection and advance the generator. *)
+
+val reset : t -> unit
+(** Restart the generator from its initial state (also re-seeds PRNG-backed
+    generators to their creation seed, so replays are identical). *)
+
+val prefix : t -> int -> selection list
+(** [prefix t k] is the next [k] selections (advances the generator). *)
+
+(** {1 Generators} *)
+
+val synchronous : n:int -> t
+(** The synchronous scheduler: every step selects all nodes.  This is also a
+    fair {e adversarial exclusive-free} schedule in the liberal sense; the
+    paper uses synchronous runs as the canonical fair adversarial runs
+    (Lemma 3.2, 3.4). *)
+
+val round_robin : n:int -> t
+(** Exclusive, adversarial: [0, 1, ..., n-1, 0, 1, ...]. *)
+
+val random_exclusive : n:int -> seed:int -> t
+(** Exclusive, pseudo-stochastic sample: a uniformly random node each step. *)
+
+val random_liberal : n:int -> seed:int -> t
+(** Liberal, pseudo-stochastic sample: each node joins the selection with
+    probability 1/2; resampled if empty. *)
+
+val burst : n:int -> width:int -> t
+(** Exclusive adversarial schedule that selects node 0 [width] times, then
+    node 1 [width] times, etc.; stresses protocols that rely on
+    interleaving. *)
+
+val starve : n:int -> victim:int -> period:int -> t
+(** Exclusive adversarial schedule that selects [victim] only once every
+    [period] steps and round-robins over the other nodes in between; the
+    minimal-fairness adversary of the paper's introduction. *)
+
+val random_adversary : n:int -> seed:int -> t
+(** Exclusive adversarial schedule with random starvation phases: repeatedly
+    picks a random subset to freeze and a random burst length, while keeping
+    the overall stream fair. *)
+
+val replay : ?name:string -> kind:kind -> n:int -> selection list -> t
+(** Cycle through a fixed non-empty list of selections.
+    @raise Invalid_argument on empty list, empty selection, or node out of
+    range. *)
+
+(** {1 Fairness diagnostics} *)
+
+val fair_window : n:int -> selection list -> bool
+(** Every node occurs in some selection of the list. *)
+
+val max_starvation : n:int -> selection list -> int
+(** The longest gap (in steps) between two selections of the same node within
+    the prefix, maximised over nodes; a lower bound witness for how
+    adversarial a schedule prefix is. *)
+
+val pp_selection : Format.formatter -> selection -> unit

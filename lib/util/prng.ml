@@ -1,0 +1,71 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* splitmix64 finaliser: two xor-shift-multiply rounds. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Use the top bits, which are of higher quality, via modulo of the
+     non-negative 62-bit projection.  The modulo bias is negligible for the
+     bounds used in this library (far below 2^32). *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty interval";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let pick_arr t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick_arr: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle_list t l =
+  let a = Array.of_list l in
+  shuffle t a;
+  Array.to_list a
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  let a = Array.init n (fun i -> i) in
+  (* Partial Fisher–Yates: only the first k positions need to be settled. *)
+  for i = 0 to k - 1 do
+    let j = int_in t i (n - 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list (Array.sub a 0 k)

@@ -1,0 +1,57 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the library (random graphs, pseudo-stochastic
+    schedule sampling, qcheck-independent fuzzing) draws from this generator so
+    that experiments are reproducible from a single integer seed.  The
+    generator is the splitmix64 construction of Steele, Lea and Flood; it has a
+    64-bit state, passes BigCrush, and supports O(1) splitting, which we use to
+    derive independent streams for independent components. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that will produce the same stream as
+    [t] from this point on. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive).
+    @raise Invalid_argument if [hi < lo]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list.  @raise Invalid_argument on []. *)
+
+val pick_arr : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. @raise Invalid_argument on [||]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val shuffle_list : t -> 'a list -> 'a list
+(** Functional shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t k n] draws [k] distinct integers from
+    [\[0, n)], in random order.  @raise Invalid_argument if [k > n] or
+    [k < 0]. *)

@@ -1,0 +1,307 @@
+module Machine = Dda_machine.Machine
+module Graph = Dda_graph.Graph
+module Config = Dda_runtime.Config
+module Listx = Dda_util.Listx
+
+type verdict = Accepts | Rejects | Inconsistent of string
+
+let verdict_bool = function
+  | Accepts -> Some true
+  | Rejects -> Some false
+  | Inconsistent _ -> None
+
+let pp_verdict fmt = function
+  | Accepts -> Format.pp_print_string fmt "accepts"
+  | Rejects -> Format.pp_print_string fmt "rejects"
+  | Inconsistent w -> Format.fprintf fmt "inconsistent (%s)" w
+
+let targets space i = List.map snd (space.Space.succs i)
+
+let pseudo_stochastic space =
+  let succs = targets space in
+  let scc = Scc.compute ~vertices:space.Space.size ~succs in
+  let classify_bottom c =
+    let members = scc.Scc.members.(c) in
+    let all_acc = List.for_all space.Space.accepting members in
+    let all_rej = List.for_all space.Space.rejecting members in
+    if all_acc then `Acc
+    else if all_rej then `Rej
+    else begin
+      let witness = List.find (fun i -> not (space.Space.accepting i)) members in
+      `Mixed witness
+    end
+  in
+  let bottoms =
+    List.filter (fun c -> Scc.is_bottom scc ~succs c) (Listx.range scc.Scc.count)
+  in
+  let classes = List.map classify_bottom bottoms in
+  let mixed = List.find_opt (function `Mixed _ -> true | _ -> false) classes in
+  match mixed with
+  | Some (`Mixed w) ->
+    Inconsistent
+      (Printf.sprintf "bottom SCC neither all-accepting nor all-rejecting, e.g. %s"
+         (space.Space.describe w))
+  | _ ->
+    let accs = List.exists (fun c -> c = `Acc) classes in
+    let rejs = List.exists (fun c -> c = `Rej) classes in
+    if accs && rejs then
+      Inconsistent "some pseudo-stochastic fair runs accept while others reject"
+    else if accs then Accepts
+    else if rejs then Rejects
+    else Inconsistent "no bottom SCC found"
+
+let pseudo_stochastic_certificate space =
+  let n = space.Space.size in
+  let succs = targets space in
+  (* can_reach.(i) <- configuration i reaches some configuration in [bad] *)
+  let backward bad =
+    let preds = Array.make n [] in
+    for i = 0 to n - 1 do
+      List.iter (fun j -> preds.(j) <- i :: preds.(j)) (succs i)
+    done;
+    let reach = Array.make n false in
+    let queue = Queue.create () in
+    List.iter
+      (fun i ->
+        if not reach.(i) then begin
+          reach.(i) <- true;
+          Queue.add i queue
+        end)
+      bad;
+    while not (Queue.is_empty queue) do
+      let j = Queue.pop queue in
+      List.iter
+        (fun i ->
+          if not reach.(i) then begin
+            reach.(i) <- true;
+            Queue.add i queue
+          end)
+        preds.(j)
+    done;
+    reach
+  in
+  let all = Dda_util.Listx.range n in
+  let non_accepting = List.filter (fun i -> not (space.Space.accepting i)) all in
+  let non_rejecting = List.filter (fun i -> not (space.Space.rejecting i)) all in
+  let spoils_accept = backward non_accepting in
+  let spoils_reject = backward non_rejecting in
+  (* every explored configuration is reachable from the initial one *)
+  let accept_certificate =
+    List.exists (fun i -> space.Space.accepting i && not spoils_accept.(i)) all
+  in
+  let reject_certificate =
+    List.exists (fun i -> space.Space.rejecting i && not spoils_reject.(i)) all
+  in
+  match (accept_certificate, reject_certificate) with
+  | true, false -> Accepts
+  | false, true -> Rejects
+  | true, true -> Inconsistent "both an accepting and a rejecting certificate exist"
+  | false, false ->
+    Inconsistent "no certificate: every configuration can still be diverted"
+
+let adversarial_witness space ~against =
+  if space.Space.kind <> Space.Explicit then
+    invalid_arg "Decide.adversarial_witness: needs an explicit space";
+  let n = space.Space.node_count in
+  let succs = targets space in
+  let scc = Scc.compute ~vertices:space.Space.size ~succs in
+  let offending = match against with `Accepting -> space.Space.accepting | `Rejecting -> space.Space.rejecting in
+  (* find an SCC with internal label coverage and a non-[against] member *)
+  let candidate = ref None in
+  for c = 0 to scc.Scc.count - 1 do
+    if !candidate = None then begin
+      let members = scc.Scc.members.(c) in
+      let covered = Array.make n false in
+      let internal = ref false in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun (label, j) ->
+              if scc.Scc.component.(j) = c then begin
+                internal := true;
+                if label >= 0 && label < n then covered.(label) <- true
+              end)
+            (space.Space.succs i))
+        members;
+      if !internal && Array.for_all (fun b -> b) covered then
+        match List.find_opt (fun i -> not (offending i)) members with
+        | Some bad -> candidate := Some (c, bad)
+        | None -> ()
+    end
+  done;
+  match !candidate with
+  | None -> None
+  | Some (c, bad) ->
+    (* BFS restricted to the component, returning edge labels *)
+    let inside i = scc.Scc.component.(i) = c in
+    let path_inside source goal =
+      if source = goal then Some []
+      else begin
+        let parent = Hashtbl.create 64 in
+        let queue = Queue.create () in
+        Queue.add source queue;
+        Hashtbl.add parent source None;
+        let found = ref false in
+        while (not !found) && not (Queue.is_empty queue) do
+          let i = Queue.pop queue in
+          List.iter
+            (fun (label, j) ->
+              if inside j && not (Hashtbl.mem parent j) then begin
+                Hashtbl.add parent j (Some (i, label));
+                if j = goal then found := true;
+                Queue.add j queue
+              end)
+            (space.Space.succs i)
+        done;
+        if not !found then None
+        else begin
+          let rec unwind i acc =
+            match Hashtbl.find parent i with
+            | None -> acc
+            | Some (p, label) -> unwind p (label :: acc)
+          in
+          Some (unwind goal [])
+        end
+      end
+    in
+    (* entry into the component *)
+    (match Space.shortest_path space ~goal:inside with
+    | None -> None
+    | Some (prefix, entry) ->
+      (* stitch a cycle from [entry]: visit an edge for every node label,
+         visit [bad], return to [entry].  All pieces stay inside c. *)
+      let find_edge label =
+        List.find_map
+          (fun i ->
+            List.find_map
+              (fun (l, j) -> if l = label && inside j then Some (i, j) else None)
+              (space.Space.succs i))
+          scc.Scc.members.(c)
+      in
+      let rec stitch at labels acc =
+        match labels with
+        | [] -> (
+          match path_inside at bad with
+          | None -> None
+          | Some to_bad -> (
+            match path_inside bad entry with
+            | None -> None
+            | Some home -> Some (acc @ to_bad @ home)))
+        | label :: rest -> (
+          match find_edge label with
+          | None -> None
+          | Some (x, y) -> (
+            match path_inside at x with
+            | None -> None
+            | Some hop -> stitch y rest (acc @ hop @ [ label ])))
+      in
+      (match stitch entry (Listx.range n) [] with
+      | None -> None
+      | Some cycle -> Some (prefix, cycle)))
+
+let certificate_path space target =
+  let succs = targets space in
+  let scc = Scc.compute ~vertices:space.Space.size ~succs in
+  let wanted = match target with `Accepting -> space.Space.accepting | `Rejecting -> space.Space.rejecting in
+  (* components whose members are uniformly of the wanted polarity and that
+     have no outgoing edges *)
+  let good_component = Array.make scc.Scc.count false in
+  for c = 0 to scc.Scc.count - 1 do
+    good_component.(c) <-
+      Scc.is_bottom scc ~succs c && List.for_all wanted scc.Scc.members.(c)
+  done;
+  Space.shortest_path space ~goal:(fun i -> good_component.(scc.Scc.component.(i)))
+
+let unconditional space =
+  let succs = targets space in
+  let scc = Scc.compute ~vertices:space.Space.size ~succs in
+  (* A configuration lies on a cycle iff its SCC has an internal edge. *)
+  let bad_for_accept = ref None in
+  let bad_for_reject = ref None in
+  for c = 0 to scc.Scc.count - 1 do
+    if Scc.has_internal_edge scc ~succs c then begin
+      let members = scc.Scc.members.(c) in
+      (match List.find_opt (fun i -> not (space.Space.accepting i)) members with
+      | Some i when !bad_for_accept = None -> bad_for_accept := Some i
+      | _ -> ());
+      match List.find_opt (fun i -> not (space.Space.rejecting i)) members with
+      | Some i when !bad_for_reject = None -> bad_for_reject := Some i
+      | _ -> ()
+    end
+  done;
+  match (!bad_for_accept, !bad_for_reject) with
+  | None, Some _ -> Accepts
+  | Some _, None -> Rejects
+  | Some i, Some j ->
+    Inconsistent
+      (Printf.sprintf "runs can loop through non-accepting %s and non-rejecting %s"
+         (space.Space.describe i) (space.Space.describe j))
+  | None, None -> Inconsistent "no cycle found (space must model idling as self-loops)"
+
+let adversarial space =
+  if space.Space.kind <> Space.Explicit then
+    invalid_arg "Decide.adversarial: needs an explicit space (node identity)";
+  let n = space.Space.node_count in
+  let succs = targets space in
+  let scc = Scc.compute ~vertices:space.Space.size ~succs in
+  (* For each SCC: do its internal edges cover every node label, and does it
+     contain non-accepting / non-rejecting configurations? *)
+  let fair_non_accepting = ref None in
+  let fair_non_rejecting = ref None in
+  for c = 0 to scc.Scc.count - 1 do
+    let members = scc.Scc.members.(c) in
+    let covered = Array.make n false in
+    let has_internal = ref false in
+    List.iter
+      (fun i ->
+        List.iter
+          (fun (label, j) ->
+            if scc.Scc.component.(j) = c then begin
+              has_internal := true;
+              if label >= 0 && label < n then covered.(label) <- true
+            end)
+          (space.Space.succs i))
+      members;
+    if !has_internal && Array.for_all (fun b -> b) covered then begin
+      (match List.find_opt (fun i -> not (space.Space.accepting i)) members with
+      | Some i when !fair_non_accepting = None -> fair_non_accepting := Some i
+      | _ -> ());
+      match List.find_opt (fun i -> not (space.Space.rejecting i)) members with
+      | Some i when !fair_non_rejecting = None -> fair_non_rejecting := Some i
+      | _ -> ()
+    end
+  done;
+  match (!fair_non_accepting, !fair_non_rejecting) with
+  | None, Some _ -> Accepts
+  | Some _, None -> Rejects
+  | Some i, Some j ->
+    Inconsistent
+      (Printf.sprintf
+         "fair runs revisit non-accepting %s and non-rejecting %s configurations"
+         (space.Space.describe i) (space.Space.describe j))
+  | None, None -> Inconsistent "no fair cycle found (should be impossible)"
+
+let synchronous ~max_steps m g =
+  let seen = Hashtbl.create 256 in
+  let rec go c step acc =
+    if step > max_steps then None
+    else begin
+      let key = Config.to_array c in
+      match Hashtbl.find_opt seen key with
+      | Some first ->
+        (* Cycle: configurations from index [first] to [step - 1]. *)
+        let cycle = List.filter_map (fun (i, cfg) -> if i >= first then Some cfg else None) acc in
+        let verdicts = List.map (Config.verdict m) cycle in
+        if List.for_all (fun v -> v = `Accepting) verdicts then Some Accepts
+        else if List.for_all (fun v -> v = `Rejecting) verdicts then Some Rejects
+        else
+          Some
+            (Inconsistent
+               "the synchronous run neither stabilises to acceptance nor to rejection")
+      | None ->
+        Hashtbl.add seen key step;
+        let all = Listx.range (Graph.nodes g) in
+        go (Config.step m g c all) (step + 1) ((step, c) :: acc)
+    end
+  in
+  go (Config.initial m g) 0 []

@@ -1,0 +1,92 @@
+(** Acceptance decisions: does the automaton accept or reject a graph?
+
+    A distributed automaton [A = (M, Σ)] accepts a graph [G] if some fair run
+    is accepting, and must satisfy the {e consistency condition}: on every
+    graph, either all fair runs accept or all reject.  These procedures
+    decide acceptance exactly (on the explored, finite configuration space)
+    for the three scheduler regimes of the paper, and expose consistency
+    violations instead of hiding them.
+
+    {b Pseudo-stochastic fairness} (class suffix F).  With finitely many
+    configurations, the infinitely-visited set of a pseudo-stochastic fair
+    run is a bottom SCC of the configuration space, and every reachable
+    bottom SCC is the infinitely-visited set of some fair run.  A fair run is
+    accepting iff its bottom SCC contains only accepting configurations.
+
+    {b Adversarial fairness} (suffix f).  A fair run merely selects every
+    node infinitely often.  Its infinitely-visited set is a strongly
+    connected set whose internal edges cover every node label; conversely any
+    reachable SCC whose internal edges cover all labels and which contains a
+    configuration [c] yields a fair run visiting [c] infinitely often.
+    Hence: all fair runs accept iff no reachable SCC covers all labels while
+    containing a non-accepting configuration.  Requires an {e explicit}
+    space.
+
+    {b Synchronous scheduling}.  The run is deterministic and eventually
+    periodic; we find the cycle and inspect it. *)
+
+type verdict =
+  | Accepts
+  | Rejects
+  | Inconsistent of string
+      (** The machine violates the consistency condition on this input (some
+          fair run neither accepts nor rejects, or fair runs disagree); the
+          string describes a witness configuration. *)
+
+val pseudo_stochastic : Space.t -> verdict
+(** Bottom-SCC classification; works on explicit and counted spaces. *)
+
+val pseudo_stochastic_certificate : Space.t -> verdict
+(** The acceptance test of Proposition D.2, literally: the automaton accepts
+    from [C₀] iff there is a configuration [C] with (1) [C₀ →* C],
+    (2) [C] accepting, and (3) no non-accepting configuration reachable from
+    [C] — and symmetrically for rejection.  On the finite explored space the
+    paper's Immerman–Szelepcsényi appeal reduces to explicit reachability.
+    Provably equivalent to {!pseudo_stochastic}; exposed separately so tests
+    can cross-validate the two characterisations. *)
+
+val unconditional : Space.t -> verdict
+(** Classification over {e all} infinite runs of the space, with no fairness
+    assumption — used for nondeterministic synchronous semantics such as the
+    weak-absence-detection model (Definition 4.8), where the only
+    nondeterminism is the adversary's choice of covers.  All runs accept iff
+    every configuration lying on a cycle is accepting (a run's
+    infinitely-visited set always lies on cycles).  The space must represent
+    "nothing happens" as a self-loop so that terminal configurations count
+    as cycles. *)
+
+val adversarial : Space.t -> verdict
+(** Fair-SCC (Streett-style) classification.
+    @raise Invalid_argument on a counted space (node identity is needed). *)
+
+val synchronous :
+  max_steps:int -> ('l, 's) Dda_machine.Machine.t -> 'l Dda_graph.Graph.t -> verdict option
+(** Follow the synchronous run until it closes a cycle; [None] if the cycle
+    did not close within [max_steps].  The verdict inspects the cycle: all
+    configurations accepting / all rejecting / otherwise inconsistent. *)
+
+val adversarial_witness :
+  Space.t ->
+  against:[ `Accepting | `Rejecting ] ->
+  (int list * int list) option
+(** A fair lasso refuting "all adversarial fair runs are accepting" (resp.
+    rejecting): a prefix of selections from the initial configuration into
+    an SCC, and a cycle of selections that returns to its starting
+    configuration, selects every node at least once, and passes through a
+    non-accepting (resp. non-rejecting) configuration.  Replaying
+    [prefix @ cycle*] is a concrete fair schedule witnessing the failure —
+    the diagnosis behind an [Inconsistent] adversarial verdict.  Explicit
+    spaces only. *)
+
+val certificate_path :
+  Space.t -> [ `Accepting | `Rejecting ] -> (int list * int) option
+(** A shortest path (as edge labels) from the initial configuration into a
+    bottom SCC that is uniformly accepting (resp. rejecting) — a concrete
+    witness of the pseudo-stochastic verdict.  On explicit spaces the labels
+    form a replayable exclusive schedule prefix. *)
+
+val verdict_bool : verdict -> bool option
+(** [Some true] for [Accepts], [Some false] for [Rejects], [None] for
+    inconsistency. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

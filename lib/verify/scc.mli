@@ -1,0 +1,26 @@
+(** Strongly connected components (iterative Tarjan).
+
+    The acceptance analyses classify the SCCs of a configuration space:
+    bottom SCCs are the possible infinitely-visited sets of pseudo-stochastic
+    fair runs, and label-covering SCCs are the possible infinitely-visited
+    sets of adversarial fair runs. *)
+
+type result = {
+  count : int;  (** Number of components. *)
+  component : int array;  (** [component.(v)] is the component of vertex [v]. *)
+  members : int list array;  (** Vertices of each component. *)
+}
+
+val compute : vertices:int -> succs:(int -> int list) -> result
+(** Components are numbered in reverse topological order: every edge goes
+    from a component with a {e higher or equal} number to a lower-or-equal
+    one (Tarjan numbering), so component 0 has no outgoing edges to other
+    components reachable... more precisely, for every edge [u -> v],
+    [component.(u) >= component.(v)]. *)
+
+val is_bottom : result -> succs:(int -> int list) -> int -> bool
+(** [is_bottom r ~succs c] holds iff no edge leaves component [c]. *)
+
+val has_internal_edge : result -> succs:(int -> int list) -> int -> bool
+(** Component [c] contains an edge (it supports a cycle; single vertices with
+    a self-loop count). *)

@@ -1,0 +1,249 @@
+module Graph = Dda_graph.Graph
+module Machine = Dda_machine.Machine
+module Neighbourhood = Dda_machine.Neighbourhood
+module Multiset = Dda_multiset.Multiset
+module Listx = Dda_util.Listx
+
+type kind = Explicit | Counted
+
+type t = {
+  kind : kind;
+  node_count : int;
+  size : int;
+  initial : int;
+  succs : int -> (int * int) list;
+  accepting : int -> bool;
+  rejecting : int -> bool;
+  describe : int -> string;
+}
+
+exception Too_large of int
+
+(* Generic worklist exploration over an abstract configuration type ['c].
+   [expand c] lists (label, successor) pairs. *)
+let explore_generic ~max_configs ~initial ~expand =
+  let index = Hashtbl.create 1024 in
+  let configs = ref [] (* reversed *) in
+  let count = ref 0 in
+  let intern c =
+    match Hashtbl.find_opt index c with
+    | Some i -> (i, false)
+    | None ->
+      if !count >= max_configs then raise (Too_large !count);
+      let i = !count in
+      Hashtbl.add index c i;
+      configs := c :: !configs;
+      incr count;
+      (i, true)
+  in
+  let i0, _ = intern initial in
+  let edges = ref [] (* reversed list of (label, j) list, per config index *) in
+  let queue = Queue.create () in
+  Queue.add initial queue;
+  let processed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    let out =
+      List.map
+        (fun (label, c') ->
+          let j, fresh = intern c' in
+          if fresh then Queue.add c' queue;
+          (label, j))
+        (expand c)
+    in
+    edges := out :: !edges;
+    incr processed
+  done;
+  let config_arr = Array.of_list (List.rev !configs) in
+  let edge_arr = Array.of_list (List.rev !edges) in
+  assert (Array.length config_arr = Array.length edge_arr);
+  (config_arr, edge_arr, i0)
+
+let explore_custom ~max_configs ~kind ~node_count ~initial ~expand ~accepting ~rejecting
+    ~describe =
+  let configs, edges, i0 = explore_generic ~max_configs ~initial ~expand in
+  {
+    kind;
+    node_count;
+    size = Array.length configs;
+    initial = i0;
+    succs = (fun i -> edges.(i));
+    accepting = (fun i -> accepting configs.(i));
+    rejecting = (fun i -> rejecting configs.(i));
+    describe = (fun i -> describe configs.(i));
+  }
+
+let explore ~max_configs m g =
+  let n = Graph.nodes g in
+  let expand c =
+    List.map
+      (fun v ->
+        let c' = Dda_runtime.Config.step m g (Dda_runtime.Config.of_states c) [ v ] in
+        (v, Dda_runtime.Config.to_array c'))
+      (Listx.range n)
+  in
+  let initial = Dda_runtime.Config.to_array (Dda_runtime.Config.initial m g) in
+  let configs, edges, i0 = explore_generic ~max_configs ~initial ~expand in
+  let all p i = Array.for_all p configs.(i) in
+  {
+    kind = Explicit;
+    node_count = n;
+    size = Array.length configs;
+    initial = i0;
+    succs = (fun i -> edges.(i));
+    accepting = (fun i -> all m.Machine.accepting i);
+    rejecting = (fun i -> all m.Machine.rejecting i);
+    describe =
+      (fun i ->
+        Format.asprintf "%a" (Dda_runtime.Config.pp m.Machine.pp_state)
+          (Dda_runtime.Config.of_states configs.(i)));
+  }
+
+let explore_liberal ~max_configs m g =
+  let n = Graph.nodes g in
+  let subsets =
+    List.filter (fun s -> s <> []) (List.fold_left (fun acc v -> acc @ List.map (fun s -> v :: s) acc) [ [] ] (Listx.range n))
+  in
+  let expand c =
+    List.map
+      (fun sel ->
+        let c' = Dda_runtime.Config.step m g (Dda_runtime.Config.of_states c) sel in
+        (0, Dda_runtime.Config.to_array c'))
+      subsets
+  in
+  let initial = Dda_runtime.Config.to_array (Dda_runtime.Config.initial m g) in
+  let configs, edges, i0 = explore_generic ~max_configs ~initial ~expand in
+  let all p i = Array.for_all p configs.(i) in
+  {
+    kind = Counted;
+    node_count = n;
+    size = Array.length configs;
+    initial = i0;
+    succs = (fun i -> edges.(i));
+    accepting = (fun i -> all m.Machine.accepting i);
+    rejecting = (fun i -> all m.Machine.rejecting i);
+    describe =
+      (fun i ->
+        Format.asprintf "%a" (Dda_runtime.Config.pp m.Machine.pp_state)
+          (Dda_runtime.Config.of_states configs.(i)));
+  }
+
+let to_dot ?(max_size = 200) fmt space =
+  if space.size > max_size then
+    invalid_arg "Space.to_dot: configuration graph too large to render";
+  Format.fprintf fmt "@[<v>digraph space {@,  rankdir=LR;@,";
+  for i = 0 to space.size - 1 do
+    let shape =
+      if space.accepting i then "doublecircle" else if space.rejecting i then "box" else "ellipse"
+    in
+    Format.fprintf fmt "  c%d [shape=%s,label=\"%s\"%s];@," i shape
+      (String.concat "" (String.split_on_char '"' (space.describe i)))
+      (if i = space.initial then ",style=bold" else "")
+  done;
+  for i = 0 to space.size - 1 do
+    List.iter
+      (fun (label, j) ->
+        if i <> j || space.kind = Explicit then
+          Format.fprintf fmt "  c%d -> c%d%s;@," i j
+            (if space.kind = Explicit then Printf.sprintf " [label=\"%d\"]" label else ""))
+      (space.succs i)
+  done;
+  Format.fprintf fmt "}@]"
+
+let shortest_path space ~goal =
+  let n = space.size in
+  let parent = Array.make n None in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(space.initial) <- true;
+  Queue.add space.initial queue;
+  let found = ref None in
+  while !found = None && not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    if goal i then found := Some i
+    else
+      List.iter
+        (fun (label, j) ->
+          if not seen.(j) then begin
+            seen.(j) <- true;
+            parent.(j) <- Some (i, label);
+            Queue.add j queue
+          end)
+        (space.succs i)
+  done;
+  match !found with
+  | None -> None
+  | Some target ->
+    let rec unwind i acc =
+      match parent.(i) with None -> acc | Some (p, label) -> unwind p (label :: acc)
+    in
+    Some (unwind target [], target)
+
+(* Counted clique: a configuration is the multiset of states.  A step picks
+   one agent in state [q]; it observes every other agent, i.e. the multiset
+   minus one occurrence of [q], capped at β. *)
+let explore_clique ~max_configs m label_count =
+  let n = Multiset.size label_count in
+  if n < 2 then invalid_arg "Space.explore_clique: need at least two nodes";
+  let initial = Multiset.map m.Machine.init label_count in
+  let neighbourhood_of counts q =
+    List.map (fun (s, c) -> (s, min c m.Machine.beta)) (Multiset.to_counts (Multiset.remove q counts))
+  in
+  let expand counts =
+    List.map
+      (fun (q, _) ->
+        let q' = m.Machine.delta q (neighbourhood_of counts q) in
+        (0, Multiset.add q' (Multiset.remove q counts)))
+      (Multiset.to_counts counts)
+  in
+  let configs, edges, i0 = explore_generic ~max_configs ~initial ~expand in
+  let all p i = List.for_all (fun (s, _) -> p s) (Multiset.to_counts configs.(i)) in
+  {
+    kind = Counted;
+    node_count = n;
+    size = Array.length configs;
+    initial = i0;
+    succs = (fun i -> edges.(i));
+    accepting = (fun i -> all m.Machine.accepting i);
+    rejecting = (fun i -> all m.Machine.rejecting i);
+    describe = (fun i -> Format.asprintf "%a" (Multiset.pp m.Machine.pp_state) configs.(i));
+  }
+
+(* Counted star: (centre state, leaf state count).  The centre observes the
+   capped leaf counts; a leaf observes only the centre. *)
+let explore_star ~max_configs m ~centre ~leaves =
+  let n = 1 + Multiset.size leaves in
+  let initial = (m.Machine.init centre, Multiset.map m.Machine.init leaves) in
+  let expand (ctr, counts) =
+    let centre_nbh =
+      List.map (fun (s, c) -> (s, min c m.Machine.beta)) (Multiset.to_counts counts)
+    in
+    let centre_move = (0, (m.Machine.delta ctr centre_nbh, counts)) in
+    let leaf_moves =
+      List.map
+        (fun (q, _) ->
+          let q' = m.Machine.delta q [ (ctr, 1) ] in
+          (0, (ctr, Multiset.add q' (Multiset.remove q counts))))
+        (Multiset.to_counts counts)
+    in
+    centre_move :: leaf_moves
+  in
+  let configs, edges, i0 = explore_generic ~max_configs ~initial ~expand in
+  let all p i =
+    let ctr, counts = configs.(i) in
+    p ctr && List.for_all (fun (s, _) -> p s) (Multiset.to_counts counts)
+  in
+  {
+    kind = Counted;
+    node_count = n;
+    size = Array.length configs;
+    initial = i0;
+    succs = (fun i -> edges.(i));
+    accepting = (fun i -> all m.Machine.accepting i);
+    rejecting = (fun i -> all m.Machine.rejecting i);
+    describe =
+      (fun i ->
+        let ctr, counts = configs.(i) in
+        Format.asprintf "ctr=%a leaves=%a" m.Machine.pp_state ctr
+          (Multiset.pp m.Machine.pp_state) counts);
+  }

@@ -1,0 +1,101 @@
+(** Configuration spaces: the reachability graph of an automaton on a graph.
+
+    The verifier decides acceptance by analysing the {e finite} graph of
+    configurations reachable from the initial configuration under exclusive
+    selection.  Three representations are provided:
+
+    - {!explore}: explicit configurations [C : V -> Q]; edges are labelled by
+      the selected node, so adversarial fairness (every node selected
+      infinitely often) can be checked.  Size is up to [|Q|^n].
+    - {!explore_clique}: configurations of a clique quotiented by the natural
+      symmetry — a configuration is just the multiset of states.  This is
+      precisely the logarithmic-space object of the NL upper bound
+      (Lemma 5.1): the Turing machine "ignores G and simulates P on Ĝ",
+      storing the number of agents in each state.
+    - {!explore_star}: configurations of a star — (centre state, leaf state
+      count) — the objects of the Lemma 3.5 cutoff argument.
+
+    Counted spaces lose node identity, so they support pseudo-stochastic
+    decisions only; explicit spaces support both fairness notions. *)
+
+type kind =
+  | Explicit  (** Edge labels are selected nodes. *)
+  | Counted  (** Edge labels are meaningless (set to 0). *)
+
+type t = {
+  kind : kind;
+  node_count : int;  (** Nodes of the underlying communication graph. *)
+  size : int;  (** Number of reachable configurations. *)
+  initial : int;
+  succs : int -> (int * int) list;
+      (** [succs i] lists [(label, j)] edges; for explicit spaces the label is
+          the selected node and every node contributes exactly one edge
+          (silent moves give self-loops). *)
+  accepting : int -> bool;  (** All nodes of the configuration accepting. *)
+  rejecting : int -> bool;
+  describe : int -> string;  (** Human-readable configuration, for reports. *)
+}
+
+exception Too_large of int
+(** Raised when exploration exceeds the configuration budget. *)
+
+val explore_custom :
+  max_configs:int ->
+  kind:kind ->
+  node_count:int ->
+  initial:'c ->
+  expand:('c -> (int * 'c) list) ->
+  accepting:('c -> bool) ->
+  rejecting:('c -> bool) ->
+  describe:('c -> string) ->
+  t
+(** Generic worklist exploration over an arbitrary configuration type
+    (hashable by structure): the engine behind all the spaces in this module
+    and behind the native-semantics spaces of the extension modules
+    (weak broadcasts, absence detection, population and strong-broadcast
+    protocols).  [expand] lists the labelled successors of a configuration.
+    @raise Too_large when more than [max_configs] configurations are
+    found. *)
+
+val explore :
+  max_configs:int -> ('l, 's) Dda_machine.Machine.t -> 'l Dda_graph.Graph.t -> t
+(** Explicit exploration under exclusive selection.
+    @raise Too_large when more than [max_configs] configurations are found. *)
+
+val explore_clique :
+  max_configs:int ->
+  ('l, 's) Dda_machine.Machine.t ->
+  'l Dda_multiset.Multiset.t ->
+  t
+(** Counted exploration of the clique with the given label count.
+    @raise Invalid_argument if the label count has fewer than 2 nodes. *)
+
+val explore_liberal :
+  max_configs:int -> ('l, 's) Dda_machine.Machine.t -> 'l Dda_graph.Graph.t -> t
+(** Explicit exploration under {e liberal} selection: one edge per non-empty
+    subset of nodes (labels are meaningless, kind [Counted]).  Exponential
+    branching — tiny graphs only.  Used to check the selection-irrelevance
+    theorem of [16] on concrete instances: the pseudo-stochastic verdict
+    must agree with the exclusive one. *)
+
+val shortest_path : t -> goal:(int -> bool) -> (int list * int) option
+(** BFS from the initial configuration to the nearest configuration
+    satisfying [goal]: returns the edge labels along the path and the goal
+    index.  On explicit spaces the labels are the selected nodes, i.e. the
+    path is a {e replayable schedule prefix}. *)
+
+val to_dot : ?max_size:int -> Format.formatter -> t -> unit
+(** Graphviz rendering of the configuration graph (accepting configurations
+    are doublecircles, rejecting ones are boxes; edge labels are the
+    selected nodes on explicit spaces).
+    @raise Invalid_argument if the space exceeds [max_size] (default 200)
+    configurations — render small spaces only. *)
+
+val explore_star :
+  max_configs:int ->
+  ('l, 's) Dda_machine.Machine.t ->
+  centre:'l ->
+  leaves:'l Dda_multiset.Multiset.t ->
+  t
+(** Counted exploration of the star with the given centre label and leaf
+    label count. *)

@@ -1,0 +1,100 @@
+(** Backward coverability for non-counting automata on star graphs —
+    the machinery behind the Lemma 3.5 cutoff argument.
+
+    A configuration of a star is a pair (centre state, leaf state count).
+    Lemma 3.5 orders them by the {e stratified} relation [⪯]: equal centre,
+    equal leaf support, and pointwise smaller leaf counts.  Because there are
+    finitely many strata (centre × support) and each is Dickson-ordered, [⪯]
+    is a well-quasi-order, and because a non-counting centre cannot tell one
+    leaf from several in the same state, the star system is (transitively)
+    compatible with [⪯]: the paper's claim (1) — extra leaves can mimic a
+    buddy leaf move for move.
+
+    This yields a classic WSTS backward-coverability procedure:
+    [pre_star] computes a finite basis of the configurations that can reach
+    the upward closure of a target set.  Applied to the set of non-rejecting
+    (resp. non-accepting) configurations, it decides {e stable rejection}
+    (resp. stable acceptance) for every star configuration at once, and
+    bounds the paper's cutoff constant: with [m] the largest basis size,
+    [K = m·(|Q| - 1) + 2] is a valid cutoff for the property decided by the
+    automaton (Lemma 3.5).
+
+    All functions require the machine to be non-counting (β = 1) and take
+    the explicit state list [Q]. *)
+
+type 's config = { centre : 's; leaves : 's Dda_multiset.Multiset.t }
+
+val config : centre:'s -> leaves:('s * int) list -> 's config
+val size : 's config -> int
+(** Number of nodes (centre + leaves). *)
+
+val leq : 's config -> 's config -> bool
+(** The stratified order [⪯]: equal centre, equal leaf support, pointwise
+    smaller-or-equal leaf counts. *)
+
+val pp :
+  (Format.formatter -> 's -> unit) -> Format.formatter -> 's config -> unit
+
+(** {1 Upward-closed sets} *)
+
+type 's basis
+(** A finite set of [⪯]-minimal configurations, representing its upward
+    closure. *)
+
+val basis_of_list : 's config list -> 's basis
+val basis_elements : 's basis -> 's config list
+val covers : 's basis -> 's config -> bool
+(** Membership of the upward closure. *)
+
+val basis_insert : 's config -> 's basis -> 's basis * bool
+(** Insert with minimisation; the boolean reports whether the basis grew
+    (the element was not already covered). *)
+
+(** {1 Star semantics} *)
+
+val successors :
+  states:'s list -> ('l, 's) Dda_machine.Machine.t -> 's config -> 's config list
+(** Exclusive one-step successors on the star: one leaf moves (observing
+    only the centre) or the centre moves (observing the leaf support).
+    Silent moves are omitted.
+    @raise Invalid_argument if the machine is counting (β > 1). *)
+
+val reachable_covers :
+  ?max_configs:int ->
+  states:'s list ->
+  ('l, 's) Dda_machine.Machine.t ->
+  from:'s config ->
+  's basis ->
+  bool
+(** Forward check (for cross-validation): can [from] reach the upward
+    closure of the basis?  Explicit search, bounded by [max_configs]
+    (default 100_000). @raise Invalid_argument when the bound is hit. *)
+
+(** {1 Backward coverability} *)
+
+val pre_star :
+  states:'s list -> ('l, 's) Dda_machine.Machine.t -> 's config list -> 's basis
+(** [pre_star ~states m targets] is a basis of
+    [{C | C →* ↑targets}] — the configurations that can cover some target.
+    Terminates by Dickson's lemma on each stratum. *)
+
+val non_rejecting_targets :
+  states:'s list -> ('l, 's) Dda_machine.Machine.t -> 's config list
+(** Minimal non-rejecting star configurations, one per stratum that contains
+    a non-rejecting node state. *)
+
+val non_accepting_targets :
+  states:'s list -> ('l, 's) Dda_machine.Machine.t -> 's config list
+
+val stably_rejecting :
+  states:'s list -> ('l, 's) Dda_machine.Machine.t -> 's basis Lazy.t -> 's config -> bool
+(** [stably_rejecting ~states m pre config]: with
+    [pre = lazy (pre_star ~states m (non_rejecting_targets ...))], a
+    configuration is stably rejecting iff it cannot reach a non-rejecting
+    configuration. *)
+
+val cutoff_bound : states:'s list -> ('l, 's) Dda_machine.Machine.t -> int
+(** The Lemma 3.5 bound [K = m(|Q| - 1) + 2], where [m] is the size of the
+    largest configuration in the bases of [pre_star] applied to the
+    non-rejecting and non-accepting targets. *)
+

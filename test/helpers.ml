@@ -1,0 +1,52 @@
+(* Shared toy machines and utilities for the test suites. *)
+
+module Machine = Dda_machine.Machine
+module Neighbourhood = Dda_machine.Neighbourhood
+
+type yn = Yes | No
+
+let pp_yn fmt = function Yes -> Format.pp_print_string fmt "Y" | No -> Format.pp_print_string fmt "N"
+
+(* One-way propagation: decides "some node is labelled 'a'" on connected
+   graphs, under every scheduler class (it is the dAf-automaton of
+   [16, Prop 12] / Prop C.4). *)
+let exists_a : (char, yn) Machine.t =
+  Machine.create ~name:"exists-a" ~beta:1
+    ~init:(fun l -> if l = 'a' then Yes else No)
+    ~delta:(fun q n ->
+      match q with
+      | Yes -> Yes
+      | No -> if Neighbourhood.present n Yes then Yes else No)
+    ~accepting:(fun q -> q = Yes)
+    ~rejecting:(fun q -> q = No)
+    ~pp_state:pp_yn ()
+
+(* Oscillator: every selected node flips its bit.  Violates the consistency
+   condition on every graph — used to test that the verifier reports
+   inconsistency rather than picking a side. *)
+let flipper : (char, bool) Machine.t =
+  Machine.create ~name:"flipper" ~beta:1
+    ~init:(fun _ -> false)
+    ~delta:(fun q _ -> not q)
+    ~accepting:(fun q -> q)
+    ~rejecting:(fun q -> not q)
+    ~pp_state:(fun fmt b -> Format.pp_print_string fmt (if b then "1" else "0"))
+    ()
+
+(* A counting machine (β = 2) for cliques: every node remembers whether it
+   started as 'a' and accepts once it, plus the 'a'-neighbours it can see,
+   witness at least two 'a'-nodes.  On cliques this decides "#a >= 2" under
+   the synchronous scheduler; used to exercise counting bounds. *)
+let clique_two_a : (char, int) Machine.t =
+  (* states: 0 = not-a undecided, 1 = a undecided, 2 = decided yes *)
+  Machine.create ~name:"clique-two-a" ~beta:2
+    ~init:(fun l -> if l = 'a' then 1 else 0)
+    ~delta:(fun q n ->
+      let visible_a = Neighbourhood.count n 1 in
+      match q with
+      | 1 -> if visible_a >= 1 || Neighbourhood.present n 2 then 2 else 1
+      | 0 -> if visible_a >= 2 || Neighbourhood.present n 2 then 2 else 0
+      | other -> other)
+    ~accepting:(fun q -> q = 2)
+    ~rejecting:(fun q -> q < 2)
+    ~pp_state:Format.pp_print_int ()

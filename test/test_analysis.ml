@@ -1,0 +1,105 @@
+module Stats = Dda_analysis.Stats
+module Census = Dda_analysis.Census
+module G = Dda_graph.Graph
+module S = Dda_scheduler.Scheduler
+module H = Dda_protocols.Homogeneous
+module M = Dda_multiset.Multiset
+open Helpers
+
+let feq = Alcotest.(float 1e-9)
+
+let test_stats_basic () =
+  let l = [ 1.; 2.; 3.; 4. ] in
+  Alcotest.check feq "mean" 2.5 (Stats.mean l);
+  Alcotest.check feq "median" 2. (Stats.median l);
+  Alcotest.check feq "p100" 4. (Stats.percentile 100. l);
+  Alcotest.check feq "p25" 1. (Stats.percentile 25. l);
+  let lo, hi = Stats.min_max l in
+  Alcotest.check feq "min" 1. lo;
+  Alcotest.check feq "max" 4. hi;
+  Alcotest.check feq "stddev of constant" 0. (Stats.stddev [ 5.; 5.; 5. ]);
+  Alcotest.check feq "stddev" (sqrt 1.25) (Stats.stddev l)
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats: empty series") (fun () ->
+      ignore (Stats.mean []))
+
+let test_stats_of_ints () =
+  Alcotest.check feq "ints" 2. (Stats.mean (Stats.of_ints [ 1; 2; 3 ]))
+
+let test_census_collect () =
+  let g = G.line [ 'a'; 'b'; 'b'; 'b' ] in
+  let samples =
+    Census.collect ~project:(fun s -> s) ~every:1 ~max_steps:1000 exists_a g (S.round_robin ~n:4)
+  in
+  Alcotest.(check bool) "has samples" true (List.length samples >= 2);
+  List.iter
+    (fun s -> Alcotest.(check int) "census sums to n" 4 (M.size s.Census.census))
+    samples;
+  Alcotest.(check bool) "settles accepting" true (Census.settled_verdict samples = `Accepting);
+  (* monotone: the number of Yes agents never decreases *)
+  let yes s = M.count s.Census.census Yes in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> yes a <= yes b && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone infection" true (mono samples)
+
+let test_census_rising_edges () =
+  let mk step counts verdict = { Census.step; census = M.of_counts counts; verdict } in
+  let series =
+    [
+      mk 0 [ ("idle", 3) ] `Mixed;
+      mk 1 [ ("busy", 1); ("idle", 2) ] `Mixed;
+      mk 2 [ ("busy", 2); ("idle", 1) ] `Mixed;
+      mk 3 [ ("idle", 3) ] `Mixed;
+      mk 4 [ ("busy", 1); ("idle", 2) ] `Mixed;
+    ]
+  in
+  Alcotest.(check int) "two bursts" 2 (Census.rising_edges ~present:(fun a -> a = "busy") series);
+  Alcotest.(check int) "never" 0 (Census.rising_edges ~present:(fun a -> a = "zzz") series)
+
+let test_census_homogeneous_phases () =
+  (* observe the §6.1 automaton at the P_detect level: the accept side keeps
+     arming ⟨double⟩ broadcasts; the initial all-leader phase produces at
+     least one reset (an agent in ⊥) *)
+  let m = H.weak_majority ~degree_bound:2 in
+  let g = G.cycle [ "a"; "b"; "a"; "b" ] in
+  let samples =
+    Census.collect ~project:H.carried_dstate ~every:5 ~max_steps:150_000 m g
+      (S.random_exclusive ~n:4 ~seed:3)
+  in
+  let doubling = function H.C (_, H.LDouble) -> true | _ -> false in
+  let errors = function H.Bot -> true | _ -> false in
+  Alcotest.(check bool) "doubling rounds observed" true
+    (Census.rising_edges ~present:doubling samples >= 2);
+  Alcotest.(check bool) "initial leader conflicts reset" true
+    (Census.rising_edges ~present:errors samples >= 1);
+  Alcotest.(check bool) "tie accepts" true (Census.settled_verdict samples = `Accepting)
+
+let test_distinct_states () =
+  let g = G.line [ 'a'; 'b'; 'b' ] in
+  let n = Census.distinct_states exists_a g (S.round_robin ~n:3) ~max_steps:100 in
+  Alcotest.(check int) "exists-a inhabits two states" 2 n;
+  let m = H.weak_majority ~degree_bound:2 in
+  let g = G.cycle [ "a"; "b"; "a" ] in
+  let k = Census.distinct_states m g (S.random_exclusive ~n:3 ~seed:1) ~max_steps:50_000 in
+  Alcotest.(check bool) "§6.1 inhabits a modest state set" true (k > 10 && k < 2000)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
+          Alcotest.test_case "of_ints" `Quick test_stats_of_ints;
+        ] );
+      ( "census",
+        [
+          Alcotest.test_case "collect" `Quick test_census_collect;
+          Alcotest.test_case "rising edges" `Quick test_census_rising_edges;
+          Alcotest.test_case "homogeneous phases" `Quick test_census_homogeneous_phases;
+          Alcotest.test_case "distinct states" `Quick test_distinct_states;
+        ] );
+    ]

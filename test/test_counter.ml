@@ -1,0 +1,166 @@
+module G = Dda_graph.Graph
+module Space = Dda_verify.Space
+module Decide = Dda_verify.Decide
+module SB = Dda_extensions.Strong_broadcast
+module CB = Dda_protocols.Counter_broadcast
+module Run = Dda_runtime.Run
+module S = Dda_scheduler.Scheduler
+
+let verdict = Alcotest.testable Decide.pp_verdict (fun a b -> a = b)
+let expect b = if b then Decide.Accepts else Decide.Rejects
+
+let decide_native prog labels =
+  let g = G.clique labels in
+  let space = SB.space ~max_configs:3_000_000 (CB.protocol prog) g in
+  Decide.pseudo_stochastic space
+
+let test_validate () =
+  Alcotest.(check bool) "primality valid" true (CB.validate CB.primality = Ok ());
+  Alcotest.(check bool) "majority valid" true (CB.validate CB.majority = Ok ());
+  Alcotest.(check bool) "divides valid" true (CB.validate CB.divides = Ok ());
+  let bad = { CB.counters = [||]; CB.code = [| CB.Goto 5 |] } in
+  Alcotest.(check bool) "bad target" true (Result.is_error (CB.validate bad));
+  let bad_counter = { CB.counters = [||]; CB.code = [| CB.Inc (0, 0, 0) |] } in
+  Alcotest.(check bool) "bad counter" true (Result.is_error (CB.validate bad_counter))
+
+let test_primality_native () =
+  List.iter
+    (fun (n, prime) ->
+      let labels = List.init n (fun _ -> "x") in
+      Alcotest.check verdict (Printf.sprintf "n=%d" n) (expect prime)
+        (decide_native CB.primality labels))
+    [ (3, true); (4, false); (5, true); (6, false) ]
+
+let test_majority_native () =
+  List.iter
+    (fun (labels, holds) ->
+      Alcotest.check verdict (String.concat "" labels) (expect holds)
+        (decide_native CB.majority labels))
+    [
+      ([ "a"; "a"; "b" ], true);
+      ([ "a"; "b"; "b" ], false);
+      ([ "a"; "b"; "a"; "b" ], false) (* tie *);
+      ([ "a"; "a"; "a"; "b" ], true);
+    ]
+
+let test_divides_native () =
+  List.iter
+    (fun (labels, holds) ->
+      Alcotest.check verdict (String.concat "" labels) (expect holds)
+        (decide_native CB.divides labels))
+    [
+      ([ "a"; "b"; "b" ], true) (* 1 | 2 *);
+      ([ "a"; "a"; "b" ], false) (* 2 ∤ 1 *);
+      ([ "a"; "a"; "b"; "b" ], true) (* 2 | 2 *);
+      ([ "a"; "a"; "b"; "b"; "b" ], false) (* 2 ∤ 3 *);
+      ([ "a"; "a"; "b"; "b"; "b"; "b" ], true) (* 2 | 4 *);
+      ([ "x"; "x"; "x" ], true) (* 0 | 0 *);
+      ([ "x"; "x"; "b" ], false) (* 0 ∤ 1 *);
+    ]
+
+let test_simulation_random_small () =
+  (* under plain uniform random selection, each Await is a coin flip between
+     the hand and the premature claim, so only small instances settle in
+     reasonable time *)
+  let m = CB.protocol CB.primality in
+  List.iter
+    (fun (n, prime) ->
+      let labels = List.init n (fun _ -> "x") in
+      let g = G.cycle labels in
+      let final, _ = SB.simulate_random ~seed:11 ~max_steps:2_000_000 m g in
+      let ok =
+        Array.for_all (fun s -> m.SB.accepting s = prime) (Dda_runtime.Config.to_array final)
+      in
+      Alcotest.(check bool) (Printf.sprintf "n=%d frozen correct" n) true ok)
+    [ (3, true); (4, false) ]
+
+let test_simulation_priority () =
+  (* with the hand-priority policy a run completes without any reset *)
+  let m = CB.protocol CB.primality in
+  List.iter
+    (fun (n, prime) ->
+      let labels = List.init n (fun _ -> "x") in
+      let g = G.cycle labels in
+      let c = ref (SB.initial m g) in
+      let steps = ref 0 in
+      let pick () =
+        let arr = Dda_runtime.Config.to_array !c in
+        let best = ref 0 in
+        Array.iteri
+          (fun i s ->
+            if CB.select_priority s > CB.select_priority arr.(!best) then best := i)
+          arr;
+        !best
+      in
+      while (not (SB.quiescent m !c)) && !steps < 300_000 do
+        c := SB.step m !c (pick ());
+        incr steps
+      done;
+      let ok = Array.for_all (fun s -> m.SB.accepting s = prime) (Dda_runtime.Config.to_array !c) in
+      Alcotest.(check bool) (Printf.sprintf "n=%d priority-run correct" n) true ok)
+    [ (5, true); (6, false); (7, true); (9, false); (11, true); (12, false) ]
+
+let test_pp_program () =
+  let listing = Format.asprintf "%a" CB.pp_program CB.power_of_two in
+  Alcotest.(check bool) "mentions aliased flag" true
+    (let rec contains s sub i =
+       i + String.length sub <= String.length s
+       && (String.sub s i (String.length sub) = sub || contains s sub (i + 1))
+     in
+     contains listing "AK" 0 && contains listing "Accept" 0)
+
+let test_power_of_two () =
+  Alcotest.(check bool) "valid" true (CB.validate CB.power_of_two = Ok ());
+  (* exact on n = 3, 4 *)
+  List.iter
+    (fun (n, expected) ->
+      let labels = List.init n (fun _ -> "x") in
+      Alcotest.check verdict (Printf.sprintf "n=%d exact" n) (expect expected)
+        (decide_native CB.power_of_two labels))
+    [ (3, false); (4, true) ];
+  (* larger n by priority-policy simulation *)
+  let m = CB.protocol CB.power_of_two in
+  List.iter
+    (fun (n, expected) ->
+      let g = G.cycle (List.init n (fun _ -> "x")) in
+      let c = ref (SB.initial m g) in
+      let steps = ref 0 in
+      let pick () =
+        let arr = Dda_runtime.Config.to_array !c in
+        let best = ref 0 in
+        Array.iteri
+          (fun i s -> if CB.select_priority s > CB.select_priority arr.(!best) then best := i)
+          arr;
+        !best
+      in
+      while (not (SB.quiescent m !c)) && !steps < 300_000 do
+        c := SB.step m !c (pick ());
+        incr steps
+      done;
+      let ok = Array.for_all (fun s -> m.SB.accepting s = expected) (Dda_runtime.Config.to_array !c) in
+      Alcotest.(check bool) (Printf.sprintf "n=%d priority" n) true ok)
+    [ (5, false); (6, false); (8, true); (12, false); (16, true) ]
+
+let test_token_compilation_smoke () =
+  (* Lemma 5.1 applied on top: the full DAF automaton for majority-by-counters *)
+  let m = SB.to_daf (CB.protocol CB.majority) in
+  let g = G.cycle [ "a"; "a"; "b" ] in
+  let r = Run.simulate ~max_steps:8_000_000 m g (S.random_exclusive ~n:3 ~seed:2) in
+  Alcotest.(check bool) "verdict accept" true (r.Run.verdict = `Accepting)
+
+let () =
+  Alcotest.run "counter_broadcast"
+    [
+      ( "programs",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "primality exact" `Slow test_primality_native;
+          Alcotest.test_case "majority exact" `Quick test_majority_native;
+          Alcotest.test_case "divides exact" `Slow test_divides_native;
+          Alcotest.test_case "random simulation (small n)" `Quick test_simulation_random_small;
+          Alcotest.test_case "priority-policy simulation" `Quick test_simulation_priority;
+          Alcotest.test_case "power of two" `Slow test_power_of_two;
+          Alcotest.test_case "program listing" `Quick test_pp_program;
+          Alcotest.test_case "token compilation smoke" `Slow test_token_compilation_smoke;
+        ] );
+    ]

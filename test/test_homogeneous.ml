@@ -1,0 +1,232 @@
+module G = Dda_graph.Graph
+module S = Dda_scheduler.Scheduler
+module Config = Dda_runtime.Config
+module Run = Dda_runtime.Run
+module H = Dda_protocols.Homogeneous
+module Listx = Dda_util.Listx
+
+(* ------------------------------------------------------------------ *)
+(* P_cancel: local cancellation (Lemma 6.1)                             *)
+(* ------------------------------------------------------------------ *)
+
+let sum_config c = Array.fold_left ( + ) 0 (Config.to_array c)
+
+let coeffs = [ ("a", 1); ("b", -1) ]
+
+let test_cancel_preserves_sum () =
+  let m = H.cancel_machine ~coeffs ~degree_bound:2 in
+  let g = G.cycle [ "a"; "b"; "b"; "a"; "b"; "b"; "a" ] in
+  let sched = S.synchronous ~n:7 in
+  let sums = ref [] in
+  let record ~step:_ ~selection:_ ~before:_ ~after = sums := sum_config after :: !sums in
+  let r = Run.simulate ~on_step:record ~max_steps:500 m g sched in
+  let s0 = sum_config (Config.initial m g) in
+  List.iter (fun s -> Alcotest.(check int) "sum preserved" s0 s) !sums;
+  ignore r
+
+let test_cancel_never_increases_abs_sum () =
+  let m = H.cancel_machine ~coeffs:[ ("a", 3); ("b", -2) ] ~degree_bound:3 in
+  let g = G.star ~centre:"a" ~leaves:[ "b"; "b"; "a" ] in
+  let abs_sum c = Array.fold_left (fun acc x -> acc + abs x) 0 (Config.to_array c) in
+  let last = ref (abs_sum (Config.initial m g)) in
+  let record ~step:_ ~selection:_ ~before:_ ~after =
+    let v = abs_sum after in
+    Alcotest.(check bool) "Σ|x| non-increasing" true (v <= !last);
+    last := v
+  in
+  ignore (Run.simulate ~on_step:record ~max_steps:500 m g (S.synchronous ~n:4))
+
+let test_cancel_convergence_negative_sum () =
+  (* Lemma 6.1: with a negative total sum, the synchronous run converges to
+     configurations that are all-negative or all-small, and stays there. *)
+  let k = 2 in
+  let m = H.cancel_machine ~coeffs ~degree_bound:k in
+  List.iter
+    (fun labels ->
+      let g = G.cycle labels in
+      let n = G.nodes g in
+      let r = Run.simulate ~max_steps:10000 m g (S.synchronous ~n) in
+      let final = Config.to_array r.Run.final in
+      Alcotest.(check bool) "quiescent or converged" true
+        (Array.for_all (fun x -> x < 0) final || Array.for_all (fun x -> abs x <= k) final))
+    [
+      [ "a"; "b"; "b" ];
+      [ "a"; "b"; "b"; "b"; "b" ];
+      [ "a"; "a"; "b"; "b"; "b"; "b"; "b" ];
+    ]
+
+let test_contribution_bound () =
+  Alcotest.(check int) "E = 2k when coeffs small" 4
+    (H.contribution_bound ~coeffs ~degree_bound:2);
+  Alcotest.(check int) "E = max coeff when large" 7
+    (H.contribution_bound ~coeffs:[ ("a", 7); ("b", -1) ] ~degree_bound:2)
+
+let test_validation () =
+  Alcotest.check_raises "bad degree" (Invalid_argument "Homogeneous: degree bound must be >= 1")
+    (fun () -> ignore (H.machine ~coeffs ~degree_bound:0));
+  Alcotest.check_raises "repeated label" (Invalid_argument "Homogeneous: repeated label")
+    (fun () -> ignore (H.machine ~coeffs:[ ("a", 1); ("a", 2) ] ~degree_bound:2))
+
+(* ------------------------------------------------------------------ *)
+(* The full Section 6.1 automaton                                       *)
+(* ------------------------------------------------------------------ *)
+
+let weak_majority_cases =
+  [
+    (* (graph, expected accept of #a >= #b) *)
+    (G.cycle [ "a"; "b"; "a" ], true);
+    (G.cycle [ "a"; "b"; "b" ], false);
+    (G.cycle [ "a"; "b"; "a"; "b" ], true);
+    (G.line [ "b"; "b"; "a"; "b"; "a"; "b"; "b" ], false);
+    (G.line [ "b"; "a"; "a"; "b"; "a"; "b"; "a" ], true);
+  ]
+
+let schedulers n =
+  [
+    S.round_robin ~n;
+    S.synchronous ~n;
+    S.burst ~n ~width:3;
+    S.random_adversary ~n ~seed:17;
+    S.random_exclusive ~n ~seed:23;
+  ]
+
+let check_case m g expected sched =
+  let r = Run.simulate ~max_steps:800_000 m g sched in
+  let got = match r.Run.verdict with `Accepting -> Some true | `Rejecting -> Some false | `Mixed -> None in
+  Alcotest.(check (option bool))
+    (Printf.sprintf "n=%d under %s" (G.nodes g) (S.name sched))
+    (Some expected) got
+
+let test_weak_majority_all_schedulers () =
+  let m = H.weak_majority ~degree_bound:2 in
+  List.iter
+    (fun (g, expected) ->
+      List.iter (fun sched -> check_case m g expected sched) (schedulers (G.nodes g)))
+    weak_majority_cases
+
+let test_strict_majority () =
+  let m = H.majority ~degree_bound:2 in
+  List.iter
+    (fun (g, expected) ->
+      check_case m g expected (S.round_robin ~n:(G.nodes g)))
+    [
+      (G.cycle [ "a"; "b"; "a" ], true);
+      (G.cycle [ "a"; "b"; "a"; "b" ], false) (* tie: strict majority fails *);
+      (G.cycle [ "a"; "b"; "b" ], false);
+    ]
+
+let test_degree_four_grid () =
+  let m = H.weak_majority ~degree_bound:4 in
+  let majority_a = G.grid ~width:3 ~height:2 (fun x _ -> if x <= 1 then "a" else "b") in
+  check_case m majority_a true (S.round_robin ~n:6);
+  let minority_a = G.grid ~width:3 ~height:2 (fun x _ -> if x = 0 then "a" else "b") in
+  check_case m minority_a false (S.round_robin ~n:6)
+
+let test_general_threshold () =
+  (* 2·#a - 3·#b >= 0 *)
+  let m = H.machine ~coeffs:[ ("a", 2); ("b", -3) ] ~degree_bound:2 in
+  List.iter
+    (fun (labels, expected) -> check_case m (G.cycle labels) expected (S.round_robin ~n:(List.length labels)))
+    [
+      ([ "a"; "a"; "b" ], true) (* 4 - 3 >= 0 *);
+      ([ "a"; "b"; "b" ], false) (* 2 - 6 < 0 *);
+      ([ "a"; "a"; "a"; "b"; "b" ], true) (* 6 - 6 >= 0 *);
+    ]
+
+let test_rejecting_runs_quiesce () =
+  (* a rejected input must reach the all-□ configuration and freeze *)
+  let m = H.weak_majority ~degree_bound:2 in
+  let g = G.cycle [ "a"; "b"; "b"; "b" ] in
+  let r = Run.simulate ~max_steps:500_000 m g (S.round_robin ~n:4) in
+  Alcotest.(check bool) "quiescent" true r.Run.quiescent;
+  Alcotest.(check bool) "rejecting" true (r.Run.verdict = `Rejecting)
+
+let test_consistency_across_seeds () =
+  (* many random adversaries; all must agree (consistency condition) *)
+  let m = H.weak_majority ~degree_bound:2 in
+  let g = G.line [ "a"; "b"; "b"; "a"; "a" ] in
+  List.iter
+    (fun seed ->
+      let r = Run.simulate ~max_steps:800_000 m g (S.random_adversary ~n:5 ~seed) in
+      Alcotest.(check bool) (Printf.sprintf "seed %d" seed) true (r.Run.verdict = `Accepting))
+    (Listx.range_in 1 6)
+
+let test_exact_verification () =
+  (* complete state-space verification of the Section 6.1 automaton, under
+     BOTH fairness regimes — the strongest form of the headline theorem *)
+  let m = H.weak_majority ~degree_bound:2 in
+  List.iter
+    (fun (labels, expected) ->
+      let g = G.line labels in
+      let space = Dda_verify.Space.explore ~max_configs:1_000_000 m g in
+      let check name v =
+        match Dda_verify.Decide.verdict_bool v with
+        | Some b ->
+          Alcotest.(check bool) (Printf.sprintf "%s %s" (String.concat "" labels) name) expected b
+        | None -> Alcotest.failf "%s inconsistent (%s)" (String.concat "" labels) name
+      in
+      check "adversarial" (Dda_verify.Decide.adversarial space);
+      check "pseudo-stochastic" (Dda_verify.Decide.pseudo_stochastic space))
+    [
+      ([ "a"; "b"; "b" ], false);
+      ([ "a"; "b"; "a" ], true);
+      ([ "a"; "b"; "a"; "b" ], true) (* tie: weak majority holds *);
+      ([ "a"; "b"; "b"; "a"; "b" ], false);
+      ([ "a"; "b"; "a"; "b"; "a" ], true);
+    ]
+
+let test_more_topologies () =
+  (* trees, hypercubes and barbells within the degree bound *)
+  let check m g expected =
+    let r = Run.simulate ~max_steps:1_000_000 m g (S.random_adversary ~n:(G.nodes g) ~seed:5) in
+    Alcotest.(check bool)
+      (Printf.sprintf "n=%d deg=%d" (G.nodes g) (G.max_degree g))
+      expected
+      (r.Run.verdict = `Accepting)
+  in
+  let m3 = H.weak_majority ~degree_bound:3 in
+  check m3 (G.binary_tree [ "a"; "b"; "a"; "b"; "a" ]) true;
+  check m3 (G.binary_tree [ "b"; "b"; "a"; "b"; "a"; "b"; "b" ]) false;
+  let m4 = H.weak_majority ~degree_bound:4 in
+  check m4 (G.hypercube ~dim:3 (fun i -> if i < 4 then "a" else "b")) true (* tie *);
+  check m4 (G.hypercube ~dim:3 (fun i -> if i < 3 then "a" else "b")) false;
+  check m4 (G.barbell [ "a"; "a"; "a" ] ~bridge:[ "b" ] [ "b"; "b"; "b" ]) false (* 3a 4b *);
+  check m4 (G.barbell [ "a"; "a"; "a" ] ~bridge:[ "a" ] [ "b"; "b"; "b" ]) true (* 4a 3b *)
+
+(* ------------------------------------------------------------------ *)
+(* P_detect macro-level: native absence-detection semantics             *)
+(* ------------------------------------------------------------------ *)
+
+let test_detect_native_round () =
+  let ad = H.detect_machine ~coeffs ~degree_bound:2 in
+  let g = G.cycle [ "a"; "b"; "b" ] in
+  (* all agents start as leaders; run random macro-steps; no crash and the
+     configuration remains within the state space invariants *)
+  let final, steps = Dda_extensions.Absence_detection.simulate_random ~seed:2 ~max_steps:2000 ad g in
+  Alcotest.(check bool) "made progress" true (steps > 0);
+  Alcotest.(check int) "three agents" 3 (Config.size final)
+
+let () =
+  Alcotest.run "homogeneous"
+    [
+      ( "cancel",
+        [
+          Alcotest.test_case "preserves sum" `Quick test_cancel_preserves_sum;
+          Alcotest.test_case "|sum| non-increasing" `Quick test_cancel_never_increases_abs_sum;
+          Alcotest.test_case "Lemma 6.1 convergence" `Quick test_cancel_convergence_negative_sum;
+          Alcotest.test_case "contribution bound" `Quick test_contribution_bound;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "section 6.1",
+        [
+          Alcotest.test_case "weak majority, all schedulers" `Slow test_weak_majority_all_schedulers;
+          Alcotest.test_case "strict majority" `Quick test_strict_majority;
+          Alcotest.test_case "degree-4 grid" `Quick test_degree_four_grid;
+          Alcotest.test_case "general threshold" `Quick test_general_threshold;
+          Alcotest.test_case "rejection quiesces" `Quick test_rejecting_runs_quiesce;
+          Alcotest.test_case "consistency across adversaries" `Slow test_consistency_across_seeds;
+          Alcotest.test_case "detect native" `Quick test_detect_native_round;
+          Alcotest.test_case "exact verification (f and F)" `Slow test_exact_verification;
+          Alcotest.test_case "trees, hypercubes, barbells" `Slow test_more_topologies;
+        ] );
+    ]

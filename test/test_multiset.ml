@@ -1,0 +1,138 @@
+module M = Dda_multiset.Multiset
+
+let ms = Alcotest.testable (M.pp Format.pp_print_char) M.equal
+
+let of_string s = M.of_list (List.init (String.length s) (String.get s))
+
+let test_basic () =
+  let m = of_string "aabc" in
+  Alcotest.(check int) "count a" 2 (M.count m 'a');
+  Alcotest.(check int) "count b" 1 (M.count m 'b');
+  Alcotest.(check int) "count d" 0 (M.count m 'd');
+  Alcotest.(check int) "size" 4 (M.size m);
+  Alcotest.(check (list char)) "support" [ 'a'; 'b'; 'c' ] (M.support m);
+  Alcotest.(check (list char)) "to_list sorted" [ 'a'; 'a'; 'b'; 'c' ] (M.to_list m)
+
+let test_add_remove () =
+  let m = of_string "ab" in
+  Alcotest.check ms "add" (of_string "aab") (M.add 'a' m);
+  Alcotest.check ms "add times" (of_string "aaab") (M.add ~times:2 'a' m);
+  Alcotest.check ms "remove" (of_string "b") (M.remove 'a' m);
+  Alcotest.check ms "remove absent" (of_string "ab") (M.remove 'z' m);
+  Alcotest.check ms "remove more than present" (of_string "b") (M.remove ~times:5 'a' m)
+
+let test_of_counts_merges () =
+  Alcotest.check ms "merge" (of_string "aaab") (M.of_counts [ ('a', 2); ('b', 1); ('a', 1) ])
+
+let test_cutoff () =
+  let m = M.of_counts [ ('a', 5); ('b', 1); ('c', 3) ] in
+  Alcotest.check ms "cutoff 2" (M.of_counts [ ('a', 2); ('b', 1); ('c', 2) ]) (M.cutoff 2 m);
+  Alcotest.check ms "cutoff 0 empties" M.empty (M.cutoff 0 m);
+  Alcotest.check ms "cutoff big is id" m (M.cutoff 10 m)
+
+let test_cutoff_idempotent =
+  QCheck.Test.make ~name:"cutoff idempotent and monotone" ~count:200
+    QCheck.(pair (small_list (printable_char)) (int_range 0 5))
+    (fun (l, k) ->
+      let m = M.of_list l in
+      let c = M.cutoff k m in
+      M.equal (M.cutoff k c) c && M.leq c m)
+
+let test_scale () =
+  let m = of_string "aab" in
+  Alcotest.check ms "scale 3" (M.of_counts [ ('a', 6); ('b', 3) ]) (M.scale 3 m);
+  Alcotest.check ms "scale 0" M.empty (M.scale 0 m)
+
+let test_scale_cutoff_law =
+  (* The law used in Prop C.3: ⌈λ·L⌉_λ = λ·⌈L⌉₁. *)
+  QCheck.Test.make ~name:"⌈λL⌉_λ = λ⌈L⌉₁" ~count:200
+    QCheck.(pair (small_list (printable_char)) (int_range 1 6))
+    (fun (l, lambda) ->
+      let m = M.of_list l in
+      M.equal (M.cutoff lambda (M.scale lambda m)) (M.scale lambda (M.cutoff 1 m)))
+
+let test_sum () =
+  Alcotest.check ms "sum" (of_string "aabbc") (M.sum (of_string "ab") (of_string "abc"))
+
+let test_leq () =
+  Alcotest.(check bool) "leq true" true (M.leq (of_string "ab") (of_string "aabc"));
+  Alcotest.(check bool) "leq false" false (M.leq (of_string "aab") (of_string "abc"));
+  Alcotest.(check bool) "empty leq" true (M.leq M.empty (of_string "a"))
+
+let test_star_leq () =
+  Alcotest.(check bool) "same support, pointwise <=" true
+    (M.star_leq (of_string "ab") (of_string "aab"));
+  Alcotest.(check bool) "support grows" false (M.star_leq (of_string "ab") (of_string "abc"));
+  Alcotest.(check bool) "support shrinks" false (M.star_leq (of_string "ab") (of_string "aa"))
+
+let test_vector_roundtrip () =
+  let alphabet = [ 'a'; 'b'; 'c' ] in
+  let m = M.of_counts [ ('a', 2); ('c', 1) ] in
+  let v = M.to_vector alphabet m in
+  Alcotest.(check (array int)) "vector" [| 2; 0; 1 |] v;
+  Alcotest.check ms "roundtrip" m (M.of_vector alphabet v)
+
+let test_map () =
+  let m = of_string "aabc" in
+  let collapsed = M.map (fun c -> if c = 'b' then 'a' else c) m in
+  Alcotest.check ms "map collapses" (M.of_counts [ ('a', 3); ('c', 1) ]) collapsed
+
+let test_enumerate () =
+  let all = M.enumerate [ 'a'; 'b' ] ~max_count:2 in
+  Alcotest.(check int) "9 multisets in 3x3 box" 9 (List.length all);
+  Alcotest.(check bool) "contains empty" true (List.exists M.is_empty all)
+
+let test_enumerate_of_size () =
+  let all = M.enumerate_of_size [ 'a'; 'b'; 'c' ] ~size:4 in
+  Alcotest.(check int) "compositions of 4 into 3 parts" 15 (List.length all);
+  List.iter (fun m -> Alcotest.(check int) "size 4" 4 (M.size m)) all
+
+let test_vector_errors () =
+  Alcotest.check_raises "wrong length" (Invalid_argument "Multiset.of_vector: length")
+    (fun () -> ignore (M.of_vector [ 'a'; 'b' ] [| 1 |]));
+  Alcotest.check_raises "outside alphabet"
+    (Invalid_argument "Multiset.to_vector: element outside alphabet") (fun () ->
+      ignore (M.to_vector [ 'a' ] (of_string "ab")))
+
+let test_negative_raises () =
+  Alcotest.check_raises "negative count" (Invalid_argument "Multiset.of_counts: negative count")
+    (fun () -> ignore (M.of_counts [ ('a', -1) ]))
+
+let test_star_leq_partial_order =
+  QCheck.Test.make ~name:"star order is a partial order" ~count:200
+    QCheck.(triple (small_list (int_range 0 2)) (small_list (int_range 0 2)) (small_list (int_range 0 2)))
+    (fun (l1, l2, l3) ->
+      let a = M.of_list l1 and b = M.of_list l2 and c = M.of_list l3 in
+      (* reflexive *)
+      M.star_leq a a
+      (* antisymmetric *)
+      && ((not (M.star_leq a b && M.star_leq b a)) || M.equal a b)
+      (* transitive *)
+      && ((not (M.star_leq a b && M.star_leq b c)) || M.star_leq a c))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ test_cutoff_idempotent; test_scale_cutoff_law; test_star_leq_partial_order ]
+
+let () =
+  Alcotest.run "multiset"
+    [
+      ( "multiset",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "add/remove" `Quick test_add_remove;
+          Alcotest.test_case "of_counts merges" `Quick test_of_counts_merges;
+          Alcotest.test_case "cutoff" `Quick test_cutoff;
+          Alcotest.test_case "scale" `Quick test_scale;
+          Alcotest.test_case "sum" `Quick test_sum;
+          Alcotest.test_case "leq" `Quick test_leq;
+          Alcotest.test_case "star order" `Quick test_star_leq;
+          Alcotest.test_case "vector roundtrip" `Quick test_vector_roundtrip;
+          Alcotest.test_case "map" `Quick test_map;
+          Alcotest.test_case "enumerate box" `Quick test_enumerate;
+          Alcotest.test_case "enumerate size" `Quick test_enumerate_of_size;
+          Alcotest.test_case "negative raises" `Quick test_negative_raises;
+          Alcotest.test_case "vector errors" `Quick test_vector_errors;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,232 @@
+module P = Dda_presburger.Predicate
+module S = Dda_presburger.Semilinear
+module M = Dda_multiset.Multiset
+
+let count_of l x = try List.assoc x l with Not_found -> 0
+
+let test_eval_atoms () =
+  let maj = P.majority "a" "b" in
+  Alcotest.(check bool) "3a 2b" true (P.eval maj (count_of [ ("a", 3); ("b", 2) ]));
+  Alcotest.(check bool) "2a 2b" false (P.eval maj (count_of [ ("a", 2); ("b", 2) ]));
+  Alcotest.(check bool) "weak majority ties" true
+    (P.eval (P.weak_majority "a" "b") (count_of [ ("a", 2); ("b", 2) ]));
+  Alcotest.(check bool) "at_least" true (P.eval (P.at_least "a" 2) (count_of [ ("a", 2) ]));
+  Alcotest.(check bool) "at_least fails" false (P.eval (P.at_least "a" 3) (count_of [ ("a", 2) ]))
+
+let test_eval_mod () =
+  let even = P.Mod (P.var "a", 0, 2) in
+  Alcotest.(check bool) "4 even" true (P.eval even (count_of [ ("a", 4) ]));
+  Alcotest.(check bool) "5 odd" false (P.eval even (count_of [ ("a", 5) ]));
+  (* negative linear term with modulo *)
+  let diff = P.Mod (P.linear [ ("a", 1); ("b", -1) ], 1, 3) in
+  Alcotest.(check bool) "a-b ≡ 1 mod 3" true (P.eval diff (count_of [ ("a", 1); ("b", 3) ]))
+
+let test_comparisons () =
+  let l = P.linear ~const:(-2) [ ("x", 1) ] in
+  (* x - 2 *)
+  let at v p = P.eval p (count_of [ ("x", v) ]) in
+  Alcotest.(check (list bool)) "ge" [ false; true; true ] [ at 1 (P.ge l); at 2 (P.ge l); at 3 (P.ge l) ];
+  Alcotest.(check (list bool)) "gt" [ false; false; true ] [ at 1 (P.gt l); at 2 (P.gt l); at 3 (P.gt l) ];
+  Alcotest.(check (list bool)) "le" [ true; true; false ] [ at 1 (P.le l); at 2 (P.le l); at 3 (P.le l) ];
+  Alcotest.(check (list bool)) "lt" [ true; false; false ] [ at 1 (P.lt l); at 2 (P.lt l); at 3 (P.lt l) ];
+  Alcotest.(check (list bool)) "eq" [ false; true; false ] [ at 1 (P.eq l); at 2 (P.eq l); at 3 (P.eq l) ]
+
+let test_divides () =
+  let d = P.divides "x" "y" in
+  let at x y = P.eval d (count_of [ ("x", x); ("y", y) ]) in
+  Alcotest.(check bool) "3 | 9" true (at 3 9);
+  Alcotest.(check bool) "3 | 10" false (at 3 10);
+  Alcotest.(check bool) "0 | 0" true (at 0 0);
+  Alcotest.(check bool) "0 | 5" false (at 0 5)
+
+let test_size_prime () =
+  let p = P.size_prime [ "a"; "b" ] in
+  let at a b = P.eval p (count_of [ ("a", a); ("b", b) ]) in
+  Alcotest.(check bool) "2+3 prime" true (at 2 3);
+  Alcotest.(check bool) "4+2 not prime" false (at 4 2);
+  Alcotest.(check bool) "1 not prime" false (at 1 0);
+  Alcotest.(check bool) "13 prime" true (at 6 7)
+
+let test_holds_on_multiset () =
+  let l = M.of_counts [ ("a", 3); ("b", 1) ] in
+  Alcotest.(check bool) "holds" true (P.holds (P.majority "a" "b") l);
+  Alcotest.(check bool) "missing label counts 0" true (P.holds (P.majority "a" "z") l)
+
+let test_vars () =
+  let p = P.And (P.majority "b" "a", P.exists_label "c") in
+  Alcotest.(check (list string)) "vars sorted" [ "a"; "b"; "c" ] (P.vars p)
+
+let test_classifier_trivial () =
+  Alcotest.(check bool) "true trivial" true (P.is_trivial ~alphabet:[ "a"; "b" ] ~box:4 P.True);
+  Alcotest.(check bool) "tautology trivial" true
+    (P.is_trivial ~alphabet:[ "a" ] ~box:4 (P.Or (P.exists_label "a", P.Not (P.exists_label "a"))));
+  Alcotest.(check bool) "majority not trivial" false
+    (P.is_trivial ~alphabet:[ "a"; "b" ] ~box:4 (P.majority "a" "b"))
+
+let test_classifier_cutoff () =
+  let alphabet = [ "a"; "b" ] in
+  Alcotest.(check (option int)) "∃a has cutoff 1" (Some 1)
+    (P.find_cutoff ~alphabet ~box:5 (P.exists_label "a"));
+  Alcotest.(check (option int)) "a>=3 has cutoff 3" (Some 3)
+    (P.find_cutoff ~alphabet ~box:6 (P.at_least "a" 3));
+  Alcotest.(check (option int)) "majority has no cutoff" None
+    (P.find_cutoff ~alphabet ~box:6 (P.majority "a" "b"));
+  Alcotest.(check (option int)) "parity has no cutoff" None
+    (P.find_cutoff ~alphabet ~box:6 (P.Mod (P.var "a", 0, 2)))
+
+let test_classifier_ism () =
+  let alphabet = [ "a"; "b" ] in
+  let factors = [ 1; 2; 3; 5 ] in
+  Alcotest.(check bool) "majority is ISM" true
+    (P.is_ism ~alphabet ~box:4 ~factors (P.majority "a" "b"));
+  Alcotest.(check bool) "divides is ISM" true
+    (P.is_ism ~alphabet:[ "x"; "y" ] ~box:4 ~factors (P.divides "x" "y"));
+  Alcotest.(check bool) "a>=3 is not ISM" false
+    (P.is_ism ~alphabet ~box:4 ~factors (P.at_least "a" 3));
+  Alcotest.(check bool) "∃a is ISM" true (P.is_ism ~alphabet ~box:4 ~factors (P.exists_label "a"))
+
+let test_homogeneous_recognizer () =
+  Alcotest.(check bool) "weak majority is homogeneous" true
+    (P.as_homogeneous_threshold (P.weak_majority "a" "b") <> None);
+  Alcotest.(check bool) "majority (strict) desugars with constant" true
+    (P.as_homogeneous_threshold (P.majority "a" "b") = None);
+  Alcotest.(check bool) "at_least has constant" true
+    (P.as_homogeneous_threshold (P.at_least "a" 2) = None)
+
+let test_syntactic_cutoff () =
+  Alcotest.(check (option int)) "x>=3" (Some 3) (P.syntactic_cutoff (P.at_least "a" 3));
+  Alcotest.(check (option int)) "exists" (Some 1) (P.syntactic_cutoff (P.exists_label "a"));
+  Alcotest.(check (option int)) "combination" (Some 4)
+    (P.syntactic_cutoff (P.And (P.at_least "a" 4, P.Not (P.at_least "b" 2))));
+  Alcotest.(check (option int)) "majority outside fragment" None
+    (P.syntactic_cutoff (P.majority "a" "b"));
+  Alcotest.(check (option int)) "mod outside fragment" None
+    (P.syntactic_cutoff (P.Mod (P.var "a", 0, 2)));
+  (* syntactic cutoff is a valid semantic cutoff on a box *)
+  let p = P.Or (P.at_least "a" 2, P.Not (P.at_least "b" 3)) in
+  let k = Option.get (P.syntactic_cutoff p) in
+  Alcotest.(check bool) "semantically valid" true
+    (P.respects_cutoff ~alphabet:[ "a"; "b" ] ~box:(k + 3) ~k p)
+
+let test_parse_atoms () =
+  let env = count_of [ ("a", 3); ("b", 2) ] in
+  let parses s = match P.parse s with Ok p -> p | Error e -> Alcotest.failf "parse %S: %s" s e in
+  Alcotest.(check bool) "a > b" true (P.eval (parses "a > b") env);
+  Alcotest.(check bool) "a >= 4" false (P.eval (parses "a >= 4") env);
+  Alcotest.(check bool) "2a - 3b >= 0" true (P.eval (parses "2a - 3b >= 0") env);
+  Alcotest.(check bool) "2*a - 3*b >= 1" false (P.eval (parses "2*a - 3*b >= 1") env);
+  Alcotest.(check bool) "a == 3" true (P.eval (parses "a == 3") env);
+  Alcotest.(check bool) "a != b" true (P.eval (parses "a != b") env);
+  Alcotest.(check bool) "a < 2 + b" true (P.eval (parses "a < 2 + b") env);
+  Alcotest.(check bool) "-a + 4 > 0" true (P.eval (parses "-a + 4 > 0") env)
+
+let test_parse_mod_and_bool () =
+  let env = count_of [ ("a", 3); ("b", 2) ] in
+  let parses s = match P.parse s with Ok p -> p | Error e -> Alcotest.failf "parse %S: %s" s e in
+  Alcotest.(check bool) "a + b % 2 == 1" true (P.eval (parses "a + b % 2 == 1") env);
+  Alcotest.(check bool) "conj" true (P.eval (parses "a > b && b >= 2") env);
+  Alcotest.(check bool) "disj" true (P.eval (parses "a > 5 || b == 2") env);
+  Alcotest.(check bool) "not" false (P.eval (parses "!(a > b)") env);
+  Alcotest.(check bool) "parens and precedence" true
+    (P.eval (parses "(a > 5 || b == 2) && true") env);
+  Alcotest.(check bool) "false literal" false (P.eval (parses "false") env)
+
+let test_parse_roundtrip_eval () =
+  (* parse(to_string p) is semantically p, for the printable fragment *)
+  let preds =
+    [ P.majority "a" "b"; P.at_least "a" 2; P.And (P.exists_label "a", P.Not (P.exists_label "b")) ]
+  in
+  let pairs =
+    [ (List.nth preds 0, "a - b - 1 >= 0"); (List.nth preds 1, "a >= 2");
+      (List.nth preds 2, "a >= 1 && !(b >= 1)") ]
+  in
+  List.iter
+    (fun (p, src) ->
+      let q = match P.parse src with Ok q -> q | Error e -> Alcotest.failf "parse: %s" e in
+      List.iter
+        (fun (va, vb) ->
+          let env = count_of [ ("a", va); ("b", vb) ] in
+          Alcotest.(check bool) src (P.eval p env) (P.eval q env))
+        [ (0, 0); (1, 0); (0, 1); (2, 1); (1, 2); (3, 3) ])
+    pairs
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match P.parse src with
+      | Ok _ -> Alcotest.failf "%S should not parse" src
+      | Error _ -> ())
+    [ "a >"; "a = b"; "a & b"; "a >= 1) "; "(a >= 1"; "% 2 == 0"; "a ? b" ]
+
+let test_semilinear_membership () =
+  (* {(1,0)} + periods (1,1),(2,0): vectors (1+k+2m, k) *)
+  let l = S.linear_set ~base:[| 1; 0 |] ~periods:[ [| 1; 1 |]; [| 2; 0 |] ] in
+  Alcotest.(check bool) "base in" true (S.mem_linear l [| 1; 0 |]);
+  Alcotest.(check bool) "base+p1" true (S.mem_linear l [| 2; 1 |]);
+  Alcotest.(check bool) "base+2p1+p2" true (S.mem_linear l [| 5; 2 |]);
+  Alcotest.(check bool) "below base" false (S.mem_linear l [| 0; 0 |]);
+  Alcotest.(check bool) "wrong parity" false (S.mem_linear l [| 2; 0 |])
+
+let test_semilinear_agree_threshold () =
+  let alphabet = [ "a"; "b" ] in
+  let set = S.threshold_set ~dim:2 ~coord:0 ~k:2 in
+  Alcotest.(check bool) "threshold set = a>=2" true
+    (S.agrees_with set ~alphabet ~box:5 (P.at_least "a" 2))
+
+let test_semilinear_agree_mod () =
+  let alphabet = [ "a"; "b" ] in
+  let set = S.mod_set ~dim:2 ~coord:1 ~r:2 ~m:3 in
+  Alcotest.(check bool) "mod set = b≡2 (3)" true
+    (S.agrees_with set ~alphabet ~box:7 (P.Mod (P.var "b", 2, 3)))
+
+let test_semilinear_union () =
+  let s1 = S.threshold_set ~dim:1 ~coord:0 ~k:5 in
+  let s2 = S.mod_set ~dim:1 ~coord:0 ~r:0 ~m:2 in
+  let u = S.union s1 s2 in
+  Alcotest.(check bool) "6 in both" true (S.mem u [| 6 |]);
+  Alcotest.(check bool) "2 in mod part" true (S.mem u [| 2 |]);
+  Alcotest.(check bool) "3 in neither" false (S.mem u [| 3 |])
+
+let prop_semilinear_majority_approx =
+  (* sanity: membership in the "a > b" set expressed as base (1,0) with
+     periods (1,0),(1,1) agrees with the majority predicate. *)
+  QCheck.Test.make ~name:"semilinear majority" ~count:300
+    QCheck.(pair (int_range 0 12) (int_range 0 12))
+    (fun (a, b) ->
+      let set = S.of_linear (S.linear_set ~base:[| 1; 0 |] ~periods:[ [| 1; 0 |]; [| 1; 1 |] ]) in
+      S.mem set [| a; b |] = (a > b))
+
+let () =
+  Alcotest.run "presburger"
+    [
+      ( "predicates",
+        [
+          Alcotest.test_case "atoms" `Quick test_eval_atoms;
+          Alcotest.test_case "mod" `Quick test_eval_mod;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "divides" `Quick test_divides;
+          Alcotest.test_case "size prime" `Quick test_size_prime;
+          Alcotest.test_case "holds on multiset" `Quick test_holds_on_multiset;
+          Alcotest.test_case "vars" `Quick test_vars;
+        ] );
+      ( "classifiers",
+        [
+          Alcotest.test_case "trivial" `Quick test_classifier_trivial;
+          Alcotest.test_case "cutoff" `Quick test_classifier_cutoff;
+          Alcotest.test_case "ISM" `Quick test_classifier_ism;
+          Alcotest.test_case "homogeneous recognizer" `Quick test_homogeneous_recognizer;
+          Alcotest.test_case "syntactic cutoff" `Quick test_syntactic_cutoff;
+          Alcotest.test_case "parse atoms" `Quick test_parse_atoms;
+          Alcotest.test_case "parse mod and booleans" `Quick test_parse_mod_and_bool;
+          Alcotest.test_case "parse equivalences" `Quick test_parse_roundtrip_eval;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      ( "semilinear",
+        [
+          Alcotest.test_case "membership" `Quick test_semilinear_membership;
+          Alcotest.test_case "threshold agree" `Quick test_semilinear_agree_threshold;
+          Alcotest.test_case "mod agree" `Quick test_semilinear_agree_mod;
+          Alcotest.test_case "union" `Quick test_semilinear_union;
+          QCheck_alcotest.to_alcotest prop_semilinear_majority_approx;
+        ] );
+    ]

@@ -1,0 +1,349 @@
+module G = Dda_graph.Graph
+module M = Dda_multiset.Multiset
+module P = Dda_presburger.Predicate
+module S = Dda_scheduler.Scheduler
+module Run = Dda_runtime.Run
+module Space = Dda_verify.Space
+module Decide = Dda_verify.Decide
+module Cutoff_one = Dda_protocols.Cutoff_one
+module Cutoff_broadcast = Dda_protocols.Cutoff_broadcast
+
+let verdict = Alcotest.testable Decide.pp_verdict (fun a b -> a = b)
+
+let expect b = if b then Decide.Accepts else Decide.Rejects
+
+(* ------------------------------------------------------------------ *)
+(* Proposition C.4: Cutoff(1) properties with dAf-automata              *)
+(* ------------------------------------------------------------------ *)
+
+let alphabet = [ "a"; "b"; "c" ]
+
+let graphs_for counts =
+  (* place the same label count on different topologies *)
+  let labels = M.to_list (M.of_counts counts) in
+  if List.length labels < 3 then []
+  else
+    [
+      G.clique labels;
+      G.cycle labels;
+      G.line labels;
+      (match labels with c :: rest when List.length rest >= 1 -> G.star ~centre:c ~leaves:rest | _ -> G.clique labels);
+    ]
+
+let cutoff1_predicates =
+  [
+    P.exists_label "a";
+    P.Not (P.exists_label "b");
+    P.And (P.exists_label "a", P.Not (P.exists_label "c"));
+    P.Or (P.exists_label "b", P.exists_label "c");
+  ]
+
+let label_counts =
+  [
+    [ ("a", 1); ("b", 2) ];
+    [ ("b", 3) ];
+    [ ("a", 2); ("c", 1) ];
+    [ ("a", 1); ("b", 1); ("c", 1) ];
+    [ ("c", 4) ];
+  ]
+
+let test_cutoff1_all_fairness () =
+  List.iter
+    (fun p ->
+      let m = Cutoff_one.machine ~alphabet p in
+      List.iter
+        (fun counts ->
+          let expected = expect (P.holds p (M.of_counts counts)) in
+          List.iter
+            (fun g ->
+              let space = Space.explore ~max_configs:200000 m g in
+              Alcotest.check verdict
+                (Format.asprintf "%a on %d nodes, pseudo-stochastic" P.pp p (G.nodes g))
+                expected (Decide.pseudo_stochastic space);
+              Alcotest.check verdict
+                (Format.asprintf "%a adversarial" P.pp p)
+                expected (Decide.adversarial space);
+              match Decide.synchronous ~max_steps:1000 m g with
+              | Some v -> Alcotest.check verdict "synchronous" expected v
+              | None -> Alcotest.fail "synchronous run did not cycle")
+            (graphs_for counts))
+        label_counts)
+    cutoff1_predicates
+
+let test_cutoff1_is_labelling_decider () =
+  (* same label count, different graphs => same verdict (it decides a
+     labelling property) *)
+  let m = Cutoff_one.exists_label ~alphabet "a" in
+  List.iter
+    (fun counts ->
+      let verdicts =
+        List.map
+          (fun g -> Decide.pseudo_stochastic (Space.explore ~max_configs:200000 m g))
+          (graphs_for counts)
+      in
+      match verdicts with
+      | [] -> ()
+      | v :: rest -> List.iter (fun v' -> Alcotest.check verdict "uniform" v v') rest)
+    label_counts
+
+let test_cutoff1_rejects_outside_alphabet () =
+  Alcotest.check_raises "label outside alphabet"
+    (Invalid_argument "Cutoff_one: label \"z\" outside the alphabet") (fun () ->
+      ignore (Cutoff_one.machine ~alphabet (P.exists_label "z")))
+
+(* ------------------------------------------------------------------ *)
+(* Lemma C.5 / Proposition C.6: Cutoff(K) with dAF weak broadcasts      *)
+(* ------------------------------------------------------------------ *)
+
+let ab = [ "a"; "b" ]
+
+let test_threshold_machine () =
+  let m = Cutoff_broadcast.threshold ~alphabet:ab ~label:"a" ~k:2 in
+  let cases =
+    [
+      ([ "a"; "a"; "b" ], true);
+      ([ "a"; "b"; "b" ], false);
+      ([ "b"; "b"; "b" ], false);
+      ([ "a"; "a"; "a" ], true);
+      ([ "a"; "b"; "a"; "b" ], true);
+    ]
+  in
+  List.iter
+    (fun (labels, holds) ->
+      let g = G.cycle labels in
+      let space = Space.explore ~max_configs:500000 m g in
+      Alcotest.check verdict "threshold a>=2" (expect holds) (Decide.pseudo_stochastic space))
+    cases
+
+let test_threshold3_simulation () =
+  let m = Cutoff_broadcast.threshold ~alphabet:ab ~label:"a" ~k:3 in
+  let g = G.line [ "a"; "b"; "a"; "b"; "a"; "b" ] in
+  let r = Run.simulate ~max_steps:1_000_000 m g (S.random_exclusive ~n:6 ~seed:4) in
+  Alcotest.(check bool) "a>=3 accepted" true (r.Run.verdict = `Accepting);
+  let g' = G.line [ "a"; "b"; "a"; "b"; "b"; "b" ] in
+  let r' = Run.simulate ~max_steps:1_000_000 m g' (S.random_exclusive ~n:6 ~seed:4) in
+  Alcotest.(check bool) "a>=3 rejected on 2 a's" true (r'.Run.verdict = `Rejecting)
+
+let test_general_cutoff_predicate () =
+  (* (#a >= 2) and not (#b >= 1): a Cutoff(2) predicate with negation,
+     exercising the exact-estimate convergence (not just monotone accept) *)
+  let p = P.And (P.at_least "a" 2, P.Not (P.at_least "b" 1)) in
+  let m = Cutoff_broadcast.machine ~alphabet:ab ~k:2 p in
+  let cases =
+    [
+      ([ "a"; "a"; "a" ], true);
+      ([ "a"; "a"; "b" ], false);
+      ([ "a"; "b"; "b" ], false);
+    ]
+  in
+  List.iter
+    (fun (labels, holds) ->
+      let g = G.cycle labels in
+      let space = Space.explore ~max_configs:500000 m g in
+      Alcotest.check verdict
+        (Format.asprintf "%a on %s" P.pp p (String.concat "" labels))
+        (expect holds) (Decide.pseudo_stochastic space))
+    cases
+
+let test_cutoff_semantics_is_cutoff_k () =
+  (* For a predicate NOT in Cutoff(2) — #a >= 3 — the k=2 machine decides the
+     cutoff approximation p(⌈L⌉₂) instead, i.e. treats 3 a's as 2. *)
+  let p = P.at_least "a" 3 in
+  let m = Cutoff_broadcast.machine ~alphabet:ab ~k:2 p in
+  let g = G.cycle [ "a"; "a"; "a" ] in
+  let space = Space.explore ~max_configs:500000 m g in
+  (* ⌈3⌉₂ = 2 < 3: rejected although the true count is 3 *)
+  Alcotest.check verdict "cutoff approximation" Decide.Rejects (Decide.pseudo_stochastic space)
+
+(* ------------------------------------------------------------------ *)
+(* Semilinear population protocols (Angluin et al. baseline)            *)
+(* ------------------------------------------------------------------ *)
+
+module SLP = Dda_protocols.Semilinear_pop
+module Pop = Dda_extensions.Population
+
+let pop_decides name protocol predicate =
+  (* exact verification against the predicate over a suite of topologies *)
+  let counts =
+    [ [ ("a", 1); ("b", 2) ]; [ ("a", 2); ("b", 1) ]; [ ("a", 2); ("b", 2) ];
+      [ ("a", 3); ("b", 1) ]; [ ("a", 4) ]; [ ("b", 3) ]; [ ("a", 1); ("b", 4) ] ]
+  in
+  List.iter
+    (fun count ->
+      let labels = M.to_list (M.of_counts count) in
+      let graphs =
+        [ G.cycle labels; G.line labels; G.clique labels ]
+        @ (match labels with c :: (_ :: _ as rest) -> [ G.star ~centre:c ~leaves:rest ] | _ -> [])
+      in
+      let expected = expect (P.holds predicate (M.of_counts count)) in
+      List.iter
+        (fun g ->
+          let space = Pop.space ~max_configs:600_000 protocol g in
+          Alcotest.check verdict
+            (Format.asprintf "%s on %a (n=%d)" name (M.pp Format.pp_print_string)
+               (M.of_counts count) (G.nodes g))
+            expected
+            (Dda_verify.Decide.pseudo_stochastic space))
+        graphs)
+    counts
+
+let test_slp_threshold_majority () =
+  pop_decides "a-b>=1" (SLP.threshold ~coeffs:[ ("a", 1); ("b", -1) ] ~c:1) (P.majority "a" "b")
+
+let test_slp_threshold_weighted () =
+  pop_decides "2a-3b>=0"
+    (SLP.threshold ~coeffs:[ ("a", 2); ("b", -3) ] ~c:0)
+    (P.homogeneous_threshold [ ("a", 2); ("b", -3) ])
+
+let test_slp_remainder () =
+  pop_decides "a≡1 (mod 3)" (SLP.remainder ~coeffs:[ ("a", 1) ] ~m:3 ~r:1) (P.Mod (P.var "a", 1, 3))
+
+let test_slp_boolean_combinations () =
+  let maj = SLP.threshold ~coeffs:[ ("a", 1); ("b", -1) ] ~c:1 in
+  let even_total = SLP.remainder ~coeffs:[ ("a", 1); ("b", 1) ] ~m:2 ~r:0 in
+  pop_decides "majority ∧ even-total"
+    (SLP.conjunction maj even_total)
+    (P.And (P.majority "a" "b", P.Mod (P.linear [ ("a", 1); ("b", 1) ], 0, 2)));
+  pop_decides "majority ∨ even-total"
+    (SLP.disjunction maj even_total)
+    (P.Or (P.majority "a" "b", P.Mod (P.linear [ ("a", 1); ("b", 1) ], 0, 2)));
+  pop_decides "¬majority" (SLP.complement maj) (P.Not (P.majority "a" "b"))
+
+let test_invalid_args () =
+  Alcotest.check_raises "k=0" (Invalid_argument "Cutoff_broadcast: k must be >= 1") (fun () ->
+      ignore (Cutoff_broadcast.weak_broadcast_machine ~alphabet:ab ~k:0 P.True))
+
+(* ------------------------------------------------------------------ *)
+(* Random-predicate properties                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* random boolean combination of ∃-atoms over {a, b} *)
+let rec gen_cutoff1_pred rng depth =
+  let module Prng = Dda_util.Prng in
+  if depth = 0 || Prng.int rng 3 = 0 then
+    P.exists_label (if Prng.bool rng then "a" else "b")
+  else
+    match Prng.int rng 3 with
+    | 0 -> P.Not (gen_cutoff1_pred rng (depth - 1))
+    | 1 -> P.And (gen_cutoff1_pred rng (depth - 1), gen_cutoff1_pred rng (depth - 1))
+    | _ -> P.Or (gen_cutoff1_pred rng (depth - 1), gen_cutoff1_pred rng (depth - 1))
+
+let prop_cutoff1_random_predicates =
+  QCheck.Test.make ~name:"Cutoff_one decides random Cutoff(1) predicates" ~count:40
+    QCheck.(pair small_int (int_range 0 5))
+    (fun (seed, which) ->
+      let rng = Dda_util.Prng.create (seed + 1) in
+      let p = gen_cutoff1_pred rng 2 in
+      let m = Cutoff_one.machine ~alphabet:[ "a"; "b" ] p in
+      let counts =
+        match which with
+        | 0 -> [ ("a", 3) ]
+        | 1 -> [ ("b", 3) ]
+        | 2 -> [ ("a", 1); ("b", 2) ]
+        | 3 -> [ ("a", 2); ("b", 1) ]
+        | 4 -> [ ("a", 2); ("b", 2) ]
+        | _ -> [ ("a", 1); ("b", 3) ]
+      in
+      let labels = M.to_list (M.of_counts counts) in
+      let g = if seed mod 2 = 0 then G.cycle labels else G.line labels in
+      match Decide.verdict_bool (Decide.adversarial (Space.explore ~max_configs:300_000 m g)) with
+      | Some b -> b = P.holds p (M.of_counts counts)
+      | None -> false)
+
+let gen_threshold_atom rng =
+  let module Prng = Dda_util.Prng in
+  P.at_least (if Prng.bool rng then "a" else "b") (1 + Prng.int rng 2)
+
+let prop_cutoff_broadcast_random_predicates =
+  QCheck.Test.make ~name:"Cutoff_broadcast decides random Cutoff(2) predicates" ~count:15
+    QCheck.(pair small_int (int_range 0 3))
+    (fun (seed, which) ->
+      let module Prng = Dda_util.Prng in
+      let rng = Prng.create (seed + 7) in
+      let p =
+        match Prng.int rng 3 with
+        | 0 -> gen_threshold_atom rng
+        | 1 -> P.And (gen_threshold_atom rng, P.Not (gen_threshold_atom rng))
+        | _ -> P.Or (gen_threshold_atom rng, gen_threshold_atom rng)
+      in
+      let m = Cutoff_broadcast.machine ~alphabet:[ "a"; "b" ] ~k:2 p in
+      let counts =
+        match which with
+        | 0 -> [ ("a", 2); ("b", 1) ]
+        | 1 -> [ ("a", 1); ("b", 2) ]
+        | 2 -> [ ("a", 2); ("b", 2) ]
+        | _ -> [ ("b", 3) ]
+      in
+      let labels = M.to_list (M.of_counts counts) in
+      let g = G.cycle labels in
+      (* counts stay within the box [0,2], so the k=2 machine is exact *)
+      match
+        Decide.verdict_bool (Decide.pseudo_stochastic (Space.explore ~max_configs:500_000 m g))
+      with
+      | Some b -> b = P.holds p (M.of_counts counts)
+      | None -> false)
+
+let prop_semilinear_random =
+  QCheck.Test.make ~name:"Semilinear_pop decides random combinations" ~count:15
+    QCheck.(pair small_int (int_range 0 3))
+    (fun (seed, which) ->
+      let module Prng = Dda_util.Prng in
+      let rng = Prng.create (seed + 13) in
+      let ca = Prng.int_in rng (-2) 2 and cb = Prng.int_in rng (-2) 2 in
+      let c = Prng.int_in rng (-1) 2 in
+      let m = 2 + Prng.int rng 2 in
+      let r = Prng.int rng m in
+      let thr = SLP.threshold ~coeffs:[ ("a", ca); ("b", cb) ] ~c in
+      let md = SLP.remainder ~coeffs:[ ("a", 1); ("b", 1) ] ~m ~r in
+      let proto = SLP.conjunction thr md in
+      let pred =
+        P.And
+          ( P.ge (P.linear ~const:(-c) [ ("a", ca); ("b", cb) ]),
+            P.Mod (P.linear [ ("a", 1); ("b", 1) ], r, m) )
+      in
+      let counts =
+        match which with
+        | 0 -> [ ("a", 2); ("b", 1) ]
+        | 1 -> [ ("a", 1); ("b", 2) ]
+        | 2 -> [ ("a", 3); ("b", 1) ]
+        | _ -> [ ("a", 2); ("b", 2) ]
+      in
+      let labels = M.to_list (M.of_counts counts) in
+      let g = if seed mod 2 = 0 then G.line labels else G.cycle labels in
+      match
+        Decide.verdict_bool (Decide.pseudo_stochastic (Pop.space ~max_configs:600_000 proto g))
+      with
+      | Some b -> b = P.holds pred (M.of_counts counts)
+      | None -> false)
+
+let () =
+  Alcotest.run "protocols"
+    [
+      ( "cutoff(1) dAf",
+        [
+          Alcotest.test_case "decides under all fairness" `Quick test_cutoff1_all_fairness;
+          Alcotest.test_case "labelling decider" `Quick test_cutoff1_is_labelling_decider;
+          Alcotest.test_case "alphabet check" `Quick test_cutoff1_rejects_outside_alphabet;
+        ] );
+      ( "cutoff(K) dAF",
+        [
+          Alcotest.test_case "threshold a>=2 exact" `Quick test_threshold_machine;
+          Alcotest.test_case "threshold a>=3 simulation" `Quick test_threshold3_simulation;
+          Alcotest.test_case "general cutoff predicate" `Quick test_general_cutoff_predicate;
+          Alcotest.test_case "cutoff approximation" `Quick test_cutoff_semantics_is_cutoff_k;
+          Alcotest.test_case "invalid args" `Quick test_invalid_args;
+        ] );
+      ( "semilinear population",
+        [
+          Alcotest.test_case "threshold majority" `Slow test_slp_threshold_majority;
+          Alcotest.test_case "weighted threshold" `Slow test_slp_threshold_weighted;
+          Alcotest.test_case "remainder" `Slow test_slp_remainder;
+          Alcotest.test_case "boolean combinations" `Slow test_slp_boolean_combinations;
+        ] );
+      ( "random properties",
+        [
+          QCheck_alcotest.to_alcotest prop_cutoff1_random_predicates;
+          QCheck_alcotest.to_alcotest prop_cutoff_broadcast_random_predicates;
+          QCheck_alcotest.to_alcotest prop_semilinear_random;
+        ] );
+    ]

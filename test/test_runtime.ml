@@ -1,0 +1,165 @@
+module G = Dda_graph.Graph
+module S = Dda_scheduler.Scheduler
+module Config = Dda_runtime.Config
+module Run = Dda_runtime.Run
+open Helpers
+
+let test_initial_config () =
+  let g = G.line [ 'a'; 'b'; 'b' ] in
+  let c = Config.initial exists_a g in
+  Alcotest.(check bool) "node 0 Yes" true (Config.state c 0 = Yes);
+  Alcotest.(check bool) "node 1 No" true (Config.state c 1 = No);
+  Alcotest.(check int) "size" 3 (Config.size c)
+
+let test_step_exclusive () =
+  let g = G.line [ 'a'; 'b'; 'b' ] in
+  let c0 = Config.initial exists_a g in
+  let c1 = Config.step exists_a g c0 [ 1 ] in
+  Alcotest.(check bool) "node 1 became Yes" true (Config.state c1 1 = Yes);
+  Alcotest.(check bool) "node 2 untouched" true (Config.state c1 2 = No);
+  (* stepping node 2 before node 1 does nothing: it sees only node 1 *)
+  let c1' = Config.step exists_a g c0 [ 2 ] in
+  Alcotest.(check bool) "node 2 unchanged" true (Config.equal c0 c1')
+
+let test_step_synchronous_simultaneity () =
+  (* Under a synchronous step all nodes read the PRE-state: on a--b--b the
+     last node cannot learn about 'a' in one step. *)
+  let g = G.line [ 'a'; 'b'; 'b' ] in
+  let c0 = Config.initial exists_a g in
+  let c1 = Config.step exists_a g c0 [ 0; 1; 2 ] in
+  Alcotest.(check bool) "middle learns" true (Config.state c1 1 = Yes);
+  Alcotest.(check bool) "far end does not" true (Config.state c1 2 = No)
+
+let test_quiescence () =
+  let g = G.line [ 'a'; 'b'; 'b' ] in
+  let all_yes = Config.of_states [| Yes; Yes; Yes |] in
+  Alcotest.(check bool) "all-Yes quiescent" true (Config.is_quiescent exists_a g all_yes);
+  let c0 = Config.initial exists_a g in
+  Alcotest.(check bool) "initial not quiescent" false (Config.is_quiescent exists_a g c0)
+
+let test_verdict () =
+  Alcotest.(check bool) "mixed" true (Config.verdict exists_a (Config.of_states [| Yes; No |]) = `Mixed);
+  Alcotest.(check bool) "accepting" true
+    (Config.verdict exists_a (Config.of_states [| Yes; Yes |]) = `Accepting);
+  Alcotest.(check bool) "rejecting" true
+    (Config.verdict exists_a (Config.of_states [| No; No |]) = `Rejecting)
+
+let test_simulate_accepts () =
+  let g = G.line [ 'a'; 'b'; 'b'; 'b'; 'b' ] in
+  let sched = S.round_robin ~n:5 in
+  let r = Run.simulate ~max_steps:1000 exists_a g sched in
+  Alcotest.(check bool) "accepting" true (r.Run.verdict = `Accepting);
+  Alcotest.(check bool) "quiescent" true r.Run.quiescent;
+  Alcotest.(check bool) "settled" true (r.Run.settled_at <> None)
+
+let test_simulate_rejects () =
+  let g = G.cycle [ 'b'; 'b'; 'b' ] in
+  let sched = S.random_exclusive ~n:3 ~seed:1 in
+  let r = Run.simulate ~max_steps:1000 exists_a g sched in
+  Alcotest.(check bool) "rejecting" true (r.Run.verdict = `Rejecting);
+  Alcotest.(check bool) "quiescent immediately" true r.Run.quiescent;
+  Alcotest.(check int) "settled at 0" 0 (Option.get r.Run.settled_at)
+
+let test_simulate_under_adversaries () =
+  let g = G.grid ~width:3 ~height:3 (fun x y -> if x = 0 && y = 0 then 'a' else 'b') in
+  List.iter
+    (fun sched ->
+      let r = Run.simulate ~max_steps:5000 exists_a g sched in
+      Alcotest.(check bool) "accepts under adversary" true (r.Run.verdict = `Accepting && r.Run.quiescent))
+    [
+      S.round_robin ~n:9;
+      S.burst ~n:9 ~width:4;
+      S.starve ~n:9 ~victim:8 ~period:11;
+      S.random_adversary ~n:9 ~seed:5;
+      S.synchronous ~n:9;
+      S.random_liberal ~n:9 ~seed:2;
+    ]
+
+let test_simulate_mismatched_scheduler () =
+  let g = G.line [ 'a'; 'b'; 'b' ] in
+  Alcotest.check_raises "node count mismatch"
+    (Invalid_argument "Run.simulate: scheduler node count does not match the graph") (fun () ->
+      ignore (Run.simulate ~max_steps:10 exists_a g (S.round_robin ~n:4)))
+
+let test_trace () =
+  let g = G.line [ 'a'; 'b'; 'b' ] in
+  let steps, _final = Run.trace ~steps:4 exists_a g (S.round_robin ~n:3) in
+  Alcotest.(check int) "recorded steps" 4 (List.length steps);
+  let _, first_sel = List.hd steps in
+  Alcotest.(check (list int)) "first selection" [ 0 ] first_sel
+
+let test_on_step_called () =
+  let g = G.line [ 'a'; 'b'; 'b' ] in
+  let calls = ref 0 in
+  let r =
+    Run.simulate
+      ~on_step:(fun ~step:_ ~selection:_ ~before:_ ~after:_ -> incr calls)
+      ~max_steps:50 exists_a g (S.round_robin ~n:3)
+  in
+  Alcotest.(check int) "one call per step" r.Run.steps_taken !calls
+
+let test_consensus_time () =
+  let g = G.line [ 'a'; 'b'; 'b'; 'b' ] in
+  let mk =
+    let k = ref 0 in
+    fun () ->
+      incr k;
+      S.random_exclusive ~n:4 ~seed:!k
+  in
+  match Run.consensus_time ~attempts:5 ~max_steps:2000 exists_a g mk with
+  | None -> Alcotest.fail "should settle"
+  | Some t -> Alcotest.(check bool) "positive settle time" true (t >= 0)
+
+let test_selection_irrelevance () =
+  (* [16]: the selection criterion (synchronous / exclusive / liberal) does
+     not affect the decision power; our deciders must agree across all three
+     on concrete runs *)
+  let machines_graphs =
+    [
+      (G.cycle [ 'a'; 'b'; 'b'; 'b' ], true);
+      (G.line [ 'b'; 'b'; 'b' ], false);
+      (G.star ~centre:'b' ~leaves:[ 'b'; 'a'; 'b' ], true);
+    ]
+  in
+  List.iter
+    (fun (g, expected) ->
+      let n = G.nodes g in
+      List.iter
+        (fun sched ->
+          let r = Run.simulate ~max_steps:100_000 exists_a g sched in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s agrees" (S.name sched))
+            expected
+            (r.Run.verdict = `Accepting))
+        [ S.synchronous ~n; S.round_robin ~n; S.random_exclusive ~n ~seed:9; S.random_liberal ~n ~seed:9 ])
+    machines_graphs
+
+let test_state_count () =
+  let c = Config.of_states [| Yes; No; Yes |] in
+  let m = Config.state_count c in
+  Alcotest.(check int) "two Yes" 2 (Dda_multiset.Multiset.count m Yes)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "initial" `Quick test_initial_config;
+          Alcotest.test_case "exclusive step" `Quick test_step_exclusive;
+          Alcotest.test_case "synchronous simultaneity" `Quick test_step_synchronous_simultaneity;
+          Alcotest.test_case "quiescence" `Quick test_quiescence;
+          Alcotest.test_case "verdict" `Quick test_verdict;
+          Alcotest.test_case "state count" `Quick test_state_count;
+        ] );
+      ( "simulate",
+        [
+          Alcotest.test_case "accepts" `Quick test_simulate_accepts;
+          Alcotest.test_case "rejects" `Quick test_simulate_rejects;
+          Alcotest.test_case "adversaries" `Quick test_simulate_under_adversaries;
+          Alcotest.test_case "scheduler mismatch" `Quick test_simulate_mismatched_scheduler;
+          Alcotest.test_case "trace" `Quick test_trace;
+          Alcotest.test_case "on_step" `Quick test_on_step_called;
+          Alcotest.test_case "consensus time" `Quick test_consensus_time;
+          Alcotest.test_case "selection irrelevance" `Quick test_selection_irrelevance;
+        ] );
+    ]

@@ -1,0 +1,124 @@
+module S = Dda_scheduler.Scheduler
+
+let sel = Alcotest.(list int)
+
+let test_synchronous () =
+  let s = S.synchronous ~n:4 in
+  Alcotest.(check sel) "all nodes" [ 0; 1; 2; 3 ] (S.next s);
+  Alcotest.(check sel) "again" [ 0; 1; 2; 3 ] (S.next s);
+  Alcotest.(check bool) "kind" true (S.kind s = S.Synchronous)
+
+let test_round_robin () =
+  let s = S.round_robin ~n:3 in
+  Alcotest.(check (list sel)) "rotation" [ [ 0 ]; [ 1 ]; [ 2 ]; [ 0 ] ] (S.prefix s 4);
+  S.reset s;
+  Alcotest.(check sel) "reset" [ 0 ] (S.next s)
+
+let test_random_exclusive_fair_and_deterministic () =
+  let s1 = S.random_exclusive ~n:5 ~seed:42 in
+  let s2 = S.random_exclusive ~n:5 ~seed:42 in
+  let p1 = S.prefix s1 100 and p2 = S.prefix s2 100 in
+  Alcotest.(check (list sel)) "same seed, same schedule" p1 p2;
+  Alcotest.(check bool) "fair in window" true (S.fair_window ~n:5 p1);
+  List.iter (fun x -> Alcotest.(check int) "singleton" 1 (List.length x)) p1
+
+let test_random_liberal () =
+  let s = S.random_liberal ~n:4 ~seed:7 in
+  let p = S.prefix s 50 in
+  List.iter (fun x -> Alcotest.(check bool) "non-empty" true (x <> [])) p;
+  Alcotest.(check bool) "fair" true (S.fair_window ~n:4 p)
+
+let test_burst () =
+  let s = S.burst ~n:2 ~width:3 in
+  Alcotest.(check (list sel)) "bursts"
+    [ [ 0 ]; [ 0 ]; [ 0 ]; [ 1 ]; [ 1 ]; [ 1 ]; [ 0 ] ]
+    (S.prefix s 7)
+
+let test_starve () =
+  let s = S.starve ~n:4 ~victim:2 ~period:5 in
+  let p = S.prefix s 40 in
+  Alcotest.(check bool) "fair overall" true (S.fair_window ~n:4 p);
+  (* victim appears exactly every 5th step *)
+  List.iteri
+    (fun i x -> if i mod 5 = 4 then Alcotest.(check sel) "victim turn" [ 2 ] x
+      else Alcotest.(check bool) "not victim" true (x <> [ 2 ]))
+    p
+
+let test_random_adversary_fair () =
+  let s = S.random_adversary ~n:6 ~seed:3 in
+  (* every block contains every node, so windows of sufficient length are fair *)
+  let p = S.prefix s 200 in
+  Alcotest.(check bool) "fair" true (S.fair_window ~n:6 p);
+  let s' = S.random_adversary ~n:6 ~seed:3 in
+  Alcotest.(check (list sel)) "deterministic" p (S.prefix s' 200)
+
+let test_replay () =
+  let s = S.replay ~kind:S.Exclusive ~n:3 [ [ 0 ]; [ 2 ]; [ 1 ] ] in
+  Alcotest.(check (list sel)) "cycles" [ [ 0 ]; [ 2 ]; [ 1 ]; [ 0 ] ] (S.prefix s 4);
+  Alcotest.check_raises "empty selection" (Invalid_argument "Scheduler.replay: empty selection")
+    (fun () -> ignore (S.replay ~kind:S.Exclusive ~n:3 [ [] ]));
+  Alcotest.check_raises "out of range" (Invalid_argument "Scheduler.replay: node out of range")
+    (fun () -> ignore (S.replay ~kind:S.Exclusive ~n:3 [ [ 5 ] ]))
+
+let test_max_starvation () =
+  (* node 1 selected only at step 5 of a 6-step prefix: starvation 5 at entry,
+     0 afterwards. *)
+  let p = [ [ 0 ]; [ 0 ]; [ 0 ]; [ 0 ]; [ 0 ]; [ 1 ] ] in
+  Alcotest.(check int) "starved" 6 (S.max_starvation ~n:2 p);
+  Alcotest.(check int) "round robin low" 2 (S.max_starvation ~n:2 [ [ 0 ]; [ 1 ]; [ 0 ]; [ 1 ] ])
+
+let test_fair_window_negative () =
+  Alcotest.(check bool) "missing node" false (S.fair_window ~n:3 [ [ 0 ]; [ 1 ] ])
+
+let prop_reset_determinism =
+  QCheck.Test.make ~name:"reset replays the same schedule" ~count:50
+    QCheck.(pair (int_range 1 8) (int_range 0 4))
+    (fun (n, which) ->
+      let s =
+        match which with
+        | 0 -> S.round_robin ~n
+        | 1 -> S.random_exclusive ~n ~seed:(n * 7)
+        | 2 -> S.random_liberal ~n ~seed:(n * 11)
+        | 3 -> S.burst ~n ~width:3
+        | _ -> S.random_adversary ~n ~seed:(n * 13)
+      in
+      let p1 = S.prefix s 40 in
+      S.reset s;
+      let p2 = S.prefix s 40 in
+      p1 = p2)
+
+let prop_generators_fair =
+  QCheck.Test.make ~name:"generators are fair on long windows" ~count:40
+    QCheck.(pair (int_range 2 7) (int_range 0 3))
+    (fun (n, which) ->
+      let s =
+        match which with
+        | 0 -> S.round_robin ~n
+        | 1 -> S.random_exclusive ~n ~seed:(n + 100)
+        | 2 -> S.random_adversary ~n ~seed:(n + 200)
+        | _ -> S.random_liberal ~n ~seed:(n + 300)
+      in
+      S.fair_window ~n (S.prefix s (60 * n)))
+
+let () =
+  Alcotest.run "scheduler"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "synchronous" `Quick test_synchronous;
+          Alcotest.test_case "round robin" `Quick test_round_robin;
+          Alcotest.test_case "random exclusive" `Quick test_random_exclusive_fair_and_deterministic;
+          Alcotest.test_case "random liberal" `Quick test_random_liberal;
+          Alcotest.test_case "burst" `Quick test_burst;
+          Alcotest.test_case "starve" `Quick test_starve;
+          Alcotest.test_case "random adversary" `Quick test_random_adversary_fair;
+          Alcotest.test_case "replay" `Quick test_replay;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "max starvation" `Quick test_max_starvation;
+          Alcotest.test_case "fair window negative" `Quick test_fair_window_negative;
+          QCheck_alcotest.to_alcotest prop_reset_determinism;
+          QCheck_alcotest.to_alcotest prop_generators_fair;
+        ] );
+    ]

@@ -1,0 +1,130 @@
+module Prng = Dda_util.Prng
+module Listx = Dda_util.Listx
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let seq rng = List.init 20 (fun _ -> Prng.int rng 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b)
+
+let test_prng_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "int_in range" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_split_independent () =
+  let rng = Prng.create 1 in
+  let rng2 = Prng.split rng in
+  let s1 = List.init 10 (fun _ -> Prng.int rng 1000) in
+  let s2 = List.init 10 (fun _ -> Prng.int rng2 1000) in
+  Alcotest.(check bool) "streams differ" true (s1 <> s2)
+
+let test_prng_copy () =
+  let rng = Prng.create 5 in
+  let _ = Prng.int rng 10 in
+  let c = Prng.copy rng in
+  Alcotest.(check int) "copy replays" (Prng.int rng 1000) (Prng.int c 1000)
+
+let test_prng_uniformity () =
+  (* Coarse chi-square-free sanity check: each bucket within 3x of expected. *)
+  let rng = Prng.create 11 in
+  let buckets = Array.make 10 0 in
+  let trials = 10000 in
+  for _ = 1 to trials do
+    let v = Prng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "bucket roughly uniform" true (c > 500 && c < 2000))
+    buckets
+
+let test_shuffle_permutation () =
+  let rng = Prng.create 3 in
+  let l = Listx.range 50 in
+  let s = Prng.shuffle_list rng l in
+  Alcotest.(check (list int)) "same elements" l (List.sort compare s)
+
+let test_sample_without_replacement () =
+  let rng = Prng.create 9 in
+  let s = Prng.sample_without_replacement rng 5 10 in
+  Alcotest.(check int) "five samples" 5 (List.length s);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s));
+  List.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 10)) s
+
+let test_pick_raises () =
+  let rng = Prng.create 0 in
+  Alcotest.check_raises "empty pick" (Invalid_argument "Prng.pick: empty list") (fun () ->
+      ignore (Prng.pick rng []))
+
+let test_range () =
+  Alcotest.(check (list int)) "range 4" [ 0; 1; 2; 3 ] (Listx.range 4);
+  Alcotest.(check (list int)) "range 0" [] (Listx.range 0);
+  Alcotest.(check (list int)) "range_in" [ 2; 3; 4 ] (Listx.range_in 2 4);
+  Alcotest.(check (list int)) "range_in empty" [] (Listx.range_in 3 2)
+
+let test_cartesian_n () =
+  let got = Listx.cartesian_n [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ] in
+  Alcotest.(check (list (list int)))
+    "tuples"
+    [ [ 0; 2; 3 ]; [ 0; 2; 4 ]; [ 1; 2; 3 ]; [ 1; 2; 4 ] ]
+    got
+
+let test_group_counts () =
+  Alcotest.(check (list (pair char int)))
+    "grouped"
+    [ ('a', 2); ('b', 1); ('c', 3) ]
+    (Listx.group_counts compare [ 'c'; 'a'; 'c'; 'b'; 'a'; 'c' ])
+
+let test_dedup_sorted () =
+  Alcotest.(check (list int)) "dedup" [ 1; 2; 3 ] (Listx.dedup_sorted compare [ 3; 1; 2; 1; 3; 3 ])
+
+let test_take_drop () =
+  Alcotest.(check (list int)) "take" [ 0; 1 ] (Listx.take 2 [ 0; 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take more" [ 0; 1 ] (Listx.take 9 [ 0; 1 ]);
+  Alcotest.(check (list int)) "drop" [ 2; 3 ] (Listx.drop 2 [ 0; 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop all" [] (Listx.drop 9 [ 0; 1 ])
+
+let test_max_by () =
+  Alcotest.(check int) "max_by" (-7) (Listx.max_by abs [ 3; -7; 5 ])
+
+let test_assoc_update () =
+  let l = [ ("a", 1); ("b", 2) ] in
+  Alcotest.(check (list (pair string int)))
+    "update existing"
+    [ ("a", 2); ("b", 2) ]
+    (Listx.assoc_update "a" (fun v -> v + 1) 0 l);
+  Alcotest.(check (list (pair string int)))
+    "insert missing"
+    [ ("a", 1); ("b", 2); ("c", 1) ]
+    (Listx.assoc_update "c" (fun v -> v + 1) 0 l)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+          Alcotest.test_case "pick raises on empty" `Quick test_pick_raises;
+        ] );
+      ( "listx",
+        [
+          Alcotest.test_case "range" `Quick test_range;
+          Alcotest.test_case "cartesian_n" `Quick test_cartesian_n;
+          Alcotest.test_case "group_counts" `Quick test_group_counts;
+          Alcotest.test_case "dedup_sorted" `Quick test_dedup_sorted;
+          Alcotest.test_case "take/drop" `Quick test_take_drop;
+          Alcotest.test_case "max_by" `Quick test_max_by;
+          Alcotest.test_case "assoc_update" `Quick test_assoc_update;
+        ] );
+    ]

@@ -1,0 +1,387 @@
+module G = Dda_graph.Graph
+module M = Dda_multiset.Multiset
+module Space = Dda_verify.Space
+module Scc = Dda_verify.Scc
+module Decide = Dda_verify.Decide
+open Helpers
+
+let verdict = Alcotest.testable Decide.pp_verdict (fun a b -> a = b)
+
+let accepts = Decide.Accepts
+let rejects = Decide.Rejects
+
+let is_inconsistent = function Decide.Inconsistent _ -> true | _ -> false
+
+(* --- SCC ---------------------------------------------------------------- *)
+
+let test_scc_basic () =
+  (* 0 <-> 1 -> 2 -> 3 <-> 4, plus 2 self-loop *)
+  let succs = function
+    | 0 -> [ 1 ]
+    | 1 -> [ 0; 2 ]
+    | 2 -> [ 2; 3 ]
+    | 3 -> [ 4 ]
+    | 4 -> [ 3 ]
+    | _ -> []
+  in
+  let r = Scc.compute ~vertices:5 ~succs in
+  Alcotest.(check int) "three components" 3 r.Scc.count;
+  Alcotest.(check bool) "0,1 together" true (r.Scc.component.(0) = r.Scc.component.(1));
+  Alcotest.(check bool) "3,4 together" true (r.Scc.component.(3) = r.Scc.component.(4));
+  Alcotest.(check bool) "2 alone" true
+    (r.Scc.component.(2) <> r.Scc.component.(0) && r.Scc.component.(2) <> r.Scc.component.(3));
+  (* bottom: only {3,4} *)
+  Alcotest.(check bool) "34 bottom" true (Scc.is_bottom r ~succs r.Scc.component.(3));
+  Alcotest.(check bool) "01 not bottom" false (Scc.is_bottom r ~succs r.Scc.component.(0));
+  Alcotest.(check bool) "2 has self loop" true (Scc.has_internal_edge r ~succs r.Scc.component.(2));
+  Alcotest.(check bool) "01 has internal edge" true (Scc.has_internal_edge r ~succs r.Scc.component.(0))
+
+let test_scc_edge_direction () =
+  (* Tarjan numbering: every edge goes to an equal-or-lower component id. *)
+  let succs = function 0 -> [ 1 ] | 1 -> [ 2 ] | 2 -> [] | _ -> [] in
+  let r = Scc.compute ~vertices:3 ~succs in
+  Alcotest.(check int) "three singletons" 3 r.Scc.count;
+  Alcotest.(check bool) "ordering" true
+    (r.Scc.component.(0) >= r.Scc.component.(1) && r.Scc.component.(1) >= r.Scc.component.(2))
+
+let test_scc_large_path () =
+  (* deep path should not overflow the stack (iterative Tarjan) *)
+  let n = 200_000 in
+  let succs v = if v + 1 < n then [ v + 1 ] else [] in
+  let r = Scc.compute ~vertices:n ~succs in
+  Alcotest.(check int) "all singletons" n r.Scc.count
+
+(* --- Spaces -------------------------------------------------------------- *)
+
+let test_explicit_space () =
+  let g = G.line [ 'a'; 'b'; 'b' ] in
+  let space = Space.explore ~max_configs:1000 exists_a g in
+  (* Configurations reachable: YNN, YYN, YYY (monotone propagation). *)
+  Alcotest.(check int) "three configs" 3 space.Space.size;
+  Alcotest.(check bool) "initial not accepting" false (space.Space.accepting space.Space.initial);
+  (* each config has exactly n labelled edges *)
+  Alcotest.(check int) "3 edges" 3 (List.length (space.Space.succs space.Space.initial))
+
+let test_explicit_too_large () =
+  let g = G.clique [ 'a'; 'b'; 'b'; 'b' ] in
+  match Space.explore ~max_configs:2 exists_a g with
+  | exception Space.Too_large _ -> ()
+  | _ -> Alcotest.fail "should raise Too_large"
+
+let test_counted_clique_space () =
+  let lc = M.of_counts [ ('a', 1); ('b', 4) ] in
+  let space = Space.explore_clique ~max_configs:1000 exists_a lc in
+  (* counted configs: (Yes^k No^(5-k)) for k = 1..5 *)
+  Alcotest.(check int) "five counted configs" 5 space.Space.size
+
+let test_counted_star_space () =
+  let space =
+    Space.explore_star ~max_configs:1000 exists_a ~centre:'b' ~leaves:(M.of_counts [ ('a', 2); ('b', 2) ])
+  in
+  Alcotest.(check bool) "non-trivial" true (space.Space.size >= 3)
+
+(* --- Decisions ------------------------------------------------------------ *)
+
+let graphs_with_a = [ G.line [ 'a'; 'b'; 'b' ]; G.cycle [ 'b'; 'a'; 'b'; 'b' ]; G.clique [ 'a'; 'a'; 'b' ] ]
+let graphs_without_a = [ G.line [ 'b'; 'b'; 'b' ]; G.cycle [ 'c'; 'b'; 'b' ]; G.star ~centre:'b' ~leaves:[ 'b'; 'c' ] ]
+
+let test_pseudo_stochastic_exists_a () =
+  List.iter
+    (fun g ->
+      let space = Space.explore ~max_configs:100000 exists_a g in
+      Alcotest.check verdict "accepts with a" accepts (Decide.pseudo_stochastic space))
+    graphs_with_a;
+  List.iter
+    (fun g ->
+      let space = Space.explore ~max_configs:100000 exists_a g in
+      Alcotest.check verdict "rejects without a" rejects (Decide.pseudo_stochastic space))
+    graphs_without_a
+
+let test_adversarial_exists_a () =
+  List.iter
+    (fun g ->
+      let space = Space.explore ~max_configs:100000 exists_a g in
+      Alcotest.check verdict "accepts with a" accepts (Decide.adversarial space))
+    graphs_with_a;
+  List.iter
+    (fun g ->
+      let space = Space.explore ~max_configs:100000 exists_a g in
+      Alcotest.check verdict "rejects without a" rejects (Decide.adversarial space))
+    graphs_without_a
+
+let test_synchronous_exists_a () =
+  List.iter
+    (fun g ->
+      match Decide.synchronous ~max_steps:1000 exists_a g with
+      | Some v -> Alcotest.check verdict "sync accepts" accepts v
+      | None -> Alcotest.fail "no cycle found")
+    graphs_with_a
+
+let test_flipper_inconsistent () =
+  let g = G.line [ 'a'; 'b'; 'b' ] in
+  let space = Space.explore ~max_configs:100000 flipper g in
+  Alcotest.(check bool) "pseudo-stochastic inconsistent" true
+    (is_inconsistent (Decide.pseudo_stochastic space));
+  Alcotest.(check bool) "adversarial inconsistent" true (is_inconsistent (Decide.adversarial space));
+  match Decide.synchronous ~max_steps:1000 flipper g with
+  | Some v -> Alcotest.(check bool) "sync inconsistent" true (is_inconsistent v)
+  | None -> Alcotest.fail "no cycle"
+
+let test_counted_matches_explicit_on_cliques () =
+  (* The counted quotient must give the same pseudo-stochastic verdict as the
+     explicit space, for every small clique. *)
+  List.iter
+    (fun labels ->
+      let g = G.clique labels in
+      let explicit = Space.explore ~max_configs:200000 exists_a g in
+      let counted = Space.explore_clique ~max_configs:200000 exists_a (M.of_list labels) in
+      Alcotest.check verdict "same verdict"
+        (Decide.pseudo_stochastic explicit)
+        (Decide.pseudo_stochastic counted))
+    [ [ 'a'; 'b'; 'b' ]; [ 'b'; 'b'; 'b' ]; [ 'a'; 'a'; 'b'; 'b' ]; [ 'b'; 'c'; 'b'; 'c' ] ]
+
+let test_clique_two_a_on_cliques () =
+  (* clique_two_a decides #a >= 2 on cliques (any fairness). *)
+  let cases = [ ([ 'a'; 'a'; 'b' ], accepts); ([ 'a'; 'b'; 'b' ], rejects); ([ 'a'; 'a'; 'a' ], accepts); ([ 'b'; 'b'; 'b' ], rejects) ] in
+  List.iter
+    (fun (labels, expected) ->
+      let g = G.clique labels in
+      let space = Space.explore ~max_configs:200000 clique_two_a g in
+      Alcotest.check verdict "pseudo-stochastic" expected (Decide.pseudo_stochastic space);
+      Alcotest.check verdict "adversarial" expected (Decide.adversarial space))
+    cases
+
+let test_clique_two_a_fails_on_lines () =
+  (* ... but NOT on all graphs: on the line a-b-b-a no node ever sees two
+     'a'-nodes at once, so the machine wrongly rejects.  This is the
+     Lemma 3.4 phenomenon that keeps DAf inside Cutoff(1) as a decider of
+     labelling properties. *)
+  let g = G.line [ 'a'; 'b'; 'b'; 'a' ] in
+  let space = Space.explore ~max_configs:200000 clique_two_a g in
+  Alcotest.check verdict "line with 2 a's is wrongly rejected" rejects
+    (Decide.pseudo_stochastic space)
+
+let test_adversarial_requires_explicit () =
+  let counted = Space.explore_clique ~max_configs:1000 exists_a (M.of_counts [ ('a', 1); ('b', 2) ]) in
+  Alcotest.check_raises "counted rejected"
+    (Invalid_argument "Decide.adversarial: needs an explicit space (node identity)") (fun () ->
+      ignore (Decide.adversarial counted))
+
+(* A machine that accepts only under pseudo-stochastic fairness: a node needs
+   to see its two cycle-neighbours in different states to accept... we use a
+   simpler discriminator: on a 2-colourable cycle, a node moves to Done only
+   if it sees a neighbour in state B while being in state A; under the
+   synchronous schedule from a uniform initial colouring nothing ever
+   changes. *)
+
+let test_certificate_matches_bottom_scc () =
+  (* Proposition D.2's certificate test agrees with the bottom-SCC analysis
+     on all our (consistent) machines *)
+  List.iter
+    (fun g ->
+      let space = Space.explore ~max_configs:100000 exists_a g in
+      Alcotest.check verdict "certificate = bottom-SCC"
+        (Decide.pseudo_stochastic space)
+        (Decide.pseudo_stochastic_certificate space))
+    (graphs_with_a @ graphs_without_a);
+  (* and both report the flipper as inconsistent *)
+  let space = Space.explore ~max_configs:100000 flipper (G.line [ 'a'; 'b'; 'b' ]) in
+  Alcotest.(check bool) "flipper inconsistent via certificates" true
+    (is_inconsistent (Decide.pseudo_stochastic_certificate space))
+
+(* Random-machine property: on arbitrary (possibly inconsistent) machines,
+   whenever the bottom-SCC analysis yields a definite verdict, the
+   Proposition D.2 certificate test yields the same one. *)
+let random_machine seed =
+  let rng = Dda_util.Prng.create seed in
+  (* delta as a table over (state, presence bitmask of {0,1,2}) *)
+  let table = Array.init 24 (fun _ -> Dda_util.Prng.int rng 3) in
+  let role = Array.init 3 (fun _ -> Dda_util.Prng.int rng 3) in
+  (* ensure at least one accepting and one rejecting state overall is not
+     required; disjointness is what matters *)
+  Dda_machine.Machine.create ~name:(Printf.sprintf "random-%d" seed) ~beta:1
+    ~init:(fun l -> if l = 'a' then 0 else 1)
+    ~delta:(fun q n ->
+      let mask =
+        List.fold_left (fun acc (s, _) -> acc lor (1 lsl s)) 0 n
+      in
+      table.((q * 8) + mask))
+    ~accepting:(fun q -> role.(q) = 0)
+    ~rejecting:(fun q -> role.(q) = 1)
+    ()
+
+let prop_certificate_consistent =
+  QCheck.Test.make ~name:"certificate vs bottom-SCC on random machines" ~count:150
+    QCheck.(pair small_int (int_range 0 3))
+    (fun (seed, shape) ->
+      let m = random_machine seed in
+      let g =
+        match shape with
+        | 0 -> G.cycle [ 'a'; 'b'; 'b' ]
+        | 1 -> G.line [ 'a'; 'b'; 'a'; 'b' ]
+        | 2 -> G.clique [ 'a'; 'a'; 'b' ]
+        | _ -> G.star ~centre:'b' ~leaves:[ 'a'; 'b'; 'a' ]
+      in
+      match Space.explore ~max_configs:100000 m g with
+      | exception Space.Too_large _ -> true
+      | space -> (
+        let scc_v = Decide.pseudo_stochastic space in
+        let cert_v = Decide.pseudo_stochastic_certificate space in
+        match scc_v with
+        | Decide.Accepts | Decide.Rejects -> cert_v = scc_v
+        | Decide.Inconsistent _ -> true))
+
+let test_counted_star_matches_explicit () =
+  (* the star quotient gives the same pseudo-stochastic verdict as the
+     explicit star graph *)
+  List.iter
+    (fun (centre, leaves) ->
+      let g = G.star ~centre ~leaves in
+      let explicit = Space.explore ~max_configs:300000 exists_a g in
+      let counted =
+        Space.explore_star ~max_configs:300000 exists_a ~centre ~leaves:(M.of_list leaves)
+      in
+      Alcotest.check verdict "star quotient"
+        (Decide.pseudo_stochastic explicit)
+        (Decide.pseudo_stochastic counted))
+    [ ('b', [ 'a'; 'b'; 'b' ]); ('a', [ 'b'; 'b' ]); ('b', [ 'b'; 'b'; 'b'; 'b' ]); ('c', [ 'a'; 'a' ]) ]
+
+let test_liberal_selection_irrelevance () =
+  (* [16]: liberal vs exclusive selection does not change the decision; the
+     pseudo-stochastic verdicts of the two spaces must agree *)
+  List.iter
+    (fun g ->
+      let exclusive = Space.explore ~max_configs:100000 exists_a g in
+      let liberal = Space.explore_liberal ~max_configs:400000 exists_a g in
+      Alcotest.check verdict "liberal = exclusive"
+        (Decide.pseudo_stochastic exclusive)
+        (Decide.pseudo_stochastic liberal))
+    (graphs_with_a @ graphs_without_a);
+  (* also for a machine where simultaneity genuinely matters step-wise *)
+  let g = G.cycle [ 'a'; 'b'; 'b' ] in
+  let exclusive = Space.explore ~max_configs:200000 clique_two_a g in
+  let liberal = Space.explore_liberal ~max_configs:800000 clique_two_a g in
+  Alcotest.check verdict "counting machine too"
+    (Decide.pseudo_stochastic exclusive)
+    (Decide.pseudo_stochastic liberal)
+
+let test_certificate_path () =
+  let g = G.line [ 'a'; 'b'; 'b' ] in
+  let space = Space.explore ~max_configs:10000 exists_a g in
+  (match Decide.certificate_path space `Accepting with
+  | None -> Alcotest.fail "accepting certificate expected"
+  | Some (schedule, target) ->
+    Alcotest.(check bool) "target accepting" true (space.Space.accepting target);
+    (* the labels form a replayable exclusive schedule prefix *)
+    let module Config = Dda_runtime.Config in
+    let final =
+      List.fold_left (fun c v -> Config.step exists_a g c [ v ]) (Config.initial exists_a g)
+        schedule
+    in
+    Alcotest.(check bool) "replay reaches acceptance" true
+      (Config.verdict exists_a final = `Accepting));
+  Alcotest.(check bool) "no rejecting certificate on accepted input" true
+    (Decide.certificate_path space `Rejecting = None);
+  let g' = G.line [ 'b'; 'b'; 'b' ] in
+  let space' = Space.explore ~max_configs:10000 exists_a g' in
+  Alcotest.(check bool) "rejecting certificate" true
+    (Decide.certificate_path space' `Rejecting <> None)
+
+let test_adversarial_witness () =
+  (* the Lemma 4.10 majority automaton diverges under adversarial fairness;
+     extract the refuting lasso and replay it *)
+  let m = Dda_extensions.Population.compile Dda_protocols.Pop_examples.majority_4state in
+  let g = G.cycle [ 'a'; 'a'; 'b' ] in
+  let space = Space.explore ~max_configs:200000 m g in
+  Alcotest.(check bool) "inconsistent under f" true (is_inconsistent (Decide.adversarial space));
+  match Decide.adversarial_witness space ~against:`Accepting with
+  | None -> Alcotest.fail "expected a lasso"
+  | Some (prefix, cycle) ->
+    (* the cycle is fair: every node selected at least once *)
+    List.iter
+      (fun v -> Alcotest.(check bool) (Printf.sprintf "node %d in cycle" v) true (List.mem v cycle))
+      [ 0; 1; 2 ];
+    (* replaying returns to the same configuration, passing a non-accepting one *)
+    let module Config = Dda_runtime.Config in
+    let apply c vs = List.fold_left (fun c v -> Config.step m g c [ v ]) c vs in
+    let at_entry = apply (Config.initial m g) prefix in
+    let seen_bad = ref false in
+    let after_cycle =
+      List.fold_left
+        (fun c v ->
+          let c' = Config.step m g c [ v ] in
+          if Config.verdict m c' <> `Accepting then seen_bad := true;
+          c')
+        at_entry cycle
+    in
+    Alcotest.(check bool) "cycle closes" true (Config.equal at_entry after_cycle);
+    Alcotest.(check bool) "cycle visits a non-accepting configuration" true
+      ((not (Config.verdict m at_entry = `Accepting)) || !seen_bad)
+
+let test_adversarial_witness_absent_when_consistent () =
+  let g = G.line [ 'a'; 'b'; 'b' ] in
+  let space = Space.explore ~max_configs:10000 exists_a g in
+  (* all fair runs accept: no refutation against acceptance *)
+  Alcotest.(check bool) "no lasso against accept" true
+    (Decide.adversarial_witness space ~against:`Accepting = None);
+  (* but plenty against rejection *)
+  Alcotest.(check bool) "lasso against reject" true
+    (Decide.adversarial_witness space ~against:`Rejecting <> None)
+
+let test_space_to_dot () =
+  let g = G.line [ 'a'; 'b'; 'b' ] in
+  let space = Space.explore ~max_configs:1000 exists_a g in
+  let dot = Format.asprintf "%a" (fun fmt s -> Space.to_dot fmt s) space in
+  Alcotest.(check bool) "digraph" true (String.sub dot 0 13 = "digraph space");
+  let rec contains s sub i =
+    i + String.length sub <= String.length s
+    && (String.sub s i (String.length sub) = sub || contains s sub (i + 1))
+  in
+  Alcotest.(check bool) "has doublecircle (accepting)" true (contains dot "doublecircle" 0);
+  Alcotest.check_raises "too large guard"
+    (Invalid_argument "Space.to_dot: configuration graph too large to render") (fun () ->
+      Format.asprintf "%a" (fun fmt s -> Space.to_dot ~max_size:1 fmt s) space |> ignore)
+
+let test_verdict_bool () =
+  Alcotest.(check (option bool)) "accepts" (Some true) (Decide.verdict_bool accepts);
+  Alcotest.(check (option bool)) "rejects" (Some false) (Decide.verdict_bool rejects);
+  Alcotest.(check (option bool)) "inconsistent" None
+    (Decide.verdict_bool (Decide.Inconsistent "x"))
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "scc",
+        [
+          Alcotest.test_case "basic" `Quick test_scc_basic;
+          Alcotest.test_case "edge direction" `Quick test_scc_edge_direction;
+          Alcotest.test_case "large path" `Quick test_scc_large_path;
+        ] );
+      ( "spaces",
+        [
+          Alcotest.test_case "explicit" `Quick test_explicit_space;
+          Alcotest.test_case "too large" `Quick test_explicit_too_large;
+          Alcotest.test_case "counted clique" `Quick test_counted_clique_space;
+          Alcotest.test_case "counted star" `Quick test_counted_star_space;
+        ] );
+      ( "decide",
+        [
+          Alcotest.test_case "pseudo-stochastic exists-a" `Quick test_pseudo_stochastic_exists_a;
+          Alcotest.test_case "adversarial exists-a" `Quick test_adversarial_exists_a;
+          Alcotest.test_case "synchronous exists-a" `Quick test_synchronous_exists_a;
+          Alcotest.test_case "flipper inconsistent" `Quick test_flipper_inconsistent;
+          Alcotest.test_case "counted = explicit on cliques" `Quick test_counted_matches_explicit_on_cliques;
+          Alcotest.test_case "clique-two-a on cliques" `Quick test_clique_two_a_on_cliques;
+          Alcotest.test_case "clique-two-a fails on lines" `Quick test_clique_two_a_fails_on_lines;
+          Alcotest.test_case "adversarial needs explicit" `Quick test_adversarial_requires_explicit;
+          Alcotest.test_case "certificate decider (Prop D.2)" `Quick test_certificate_matches_bottom_scc;
+          QCheck_alcotest.to_alcotest prop_certificate_consistent;
+          Alcotest.test_case "certificate path (witness schedule)" `Quick test_certificate_path;
+          Alcotest.test_case "counted star = explicit" `Quick test_counted_star_matches_explicit;
+          Alcotest.test_case "liberal selection irrelevance" `Quick test_liberal_selection_irrelevance;
+          Alcotest.test_case "adversarial lasso witness" `Quick test_adversarial_witness;
+          Alcotest.test_case "no lasso when consistent" `Quick test_adversarial_witness_absent_when_consistent;
+          Alcotest.test_case "space dot export" `Quick test_space_to_dot;
+          Alcotest.test_case "verdict bool" `Quick test_verdict_bool;
+        ] );
+    ]

@@ -1,0 +1,142 @@
+module M = Dda_multiset.Multiset
+module Machine = Dda_machine.Machine
+module N = Dda_machine.Neighbourhood
+module C = Dda_wsts.Coverability
+open Helpers
+
+let yn_states = [ Yes; No ]
+
+let cfg centre leaves = C.config ~centre ~leaves
+
+let test_leq () =
+  let c1 = cfg No [ (No, 2) ] in
+  let c2 = cfg No [ (No, 5) ] in
+  Alcotest.(check bool) "same support, bigger" true (C.leq c1 c2);
+  Alcotest.(check bool) "not reversed" false (C.leq c2 c1);
+  Alcotest.(check bool) "different centre" false (C.leq c1 (cfg Yes [ (No, 5) ]));
+  Alcotest.(check bool) "different support" false (C.leq c1 (cfg No [ (No, 2); (Yes, 1) ]));
+  Alcotest.(check bool) "reflexive" true (C.leq c1 c1)
+
+let test_basis_minimisation () =
+  let b = C.basis_of_list [ cfg No [ (No, 3) ]; cfg No [ (No, 1) ]; cfg Yes [ (No, 1) ] ] in
+  Alcotest.(check int) "minimised" 2 (List.length (C.basis_elements b));
+  Alcotest.(check bool) "covers big" true (C.covers b (cfg No [ (No, 7) ]));
+  Alcotest.(check bool) "does not cover other stratum" false
+    (C.covers b (cfg No [ (No, 1); (Yes, 1) ]))
+
+let test_successors_exists_a () =
+  (* star centred No with a Yes leaf: the centre can turn Yes; No leaves
+     cannot (they see only the centre). *)
+  let c = cfg No [ (Yes, 1); (No, 2) ] in
+  let succs = C.successors ~states:yn_states exists_a c in
+  Alcotest.(check int) "one move" 1 (List.length succs);
+  Alcotest.(check bool) "centre flipped" true (List.exists (fun s -> C.leq (cfg Yes [ (Yes, 1); (No, 2) ]) s) succs);
+  (* all-No star: no moves at all *)
+  Alcotest.(check int) "all-No frozen" 0
+    (List.length (C.successors ~states:yn_states exists_a (cfg No [ (No, 3) ])))
+
+let test_counting_machine_rejected () =
+  Alcotest.check_raises "counting rejected"
+    (Invalid_argument "Coverability: the star WSTS requires a non-counting machine (β = 1)")
+    (fun () -> ignore (C.successors ~states:[ 0; 1; 2 ] clique_two_a (C.config ~centre:0 ~leaves:[ (1, 1) ])))
+
+let test_pre_star_exists_a () =
+  (* target: non-rejecting (contains a Yes) configurations *)
+  let targets = C.non_rejecting_targets ~states:yn_states exists_a in
+  let pre = C.pre_star ~states:yn_states exists_a targets in
+  (* a configuration with any Yes anywhere reaches non-rejecting trivially *)
+  Alcotest.(check bool) "Yes leaf covered" true (C.covers pre (cfg No [ (Yes, 1); (No, 1) ]));
+  Alcotest.(check bool) "Yes centre covered" true (C.covers pre (cfg Yes [ (No, 2) ]));
+  (* the all-No configurations are stably rejecting: not covered *)
+  Alcotest.(check bool) "all-No not covered" false (C.covers pre (cfg No [ (No, 4) ]));
+  let pre_lazy = lazy pre in
+  Alcotest.(check bool) "stably rejecting" true
+    (C.stably_rejecting ~states:yn_states exists_a pre_lazy (cfg No [ (No, 4) ]));
+  Alcotest.(check bool) "not stably rejecting" false
+    (C.stably_rejecting ~states:yn_states exists_a pre_lazy (cfg No [ (Yes, 1) ]))
+
+(* A 3-state machine with genuine centre/leaf interaction: a node
+   moves up by one (mod-free, capped at 2) iff it sees a state strictly
+   greater than itself. *)
+let climber : (unit, int) Machine.t =
+  Machine.create ~name:"climber" ~beta:1
+    ~init:(fun () -> 0)
+    ~delta:(fun q n ->
+      if q < 2 && (N.present n (q + 1) || N.present n 2) then q + 1 else q)
+    ~accepting:(fun q -> q = 2)
+    ~rejecting:(fun q -> q < 2)
+    ()
+
+let climber_states = [ 0; 1; 2 ]
+
+let test_backward_equals_forward () =
+  (* exhaustive cross-validation on small configurations: backward
+     coverability and forward search must agree *)
+  let targets = C.non_rejecting_targets ~states:climber_states climber in
+  let pre = C.pre_star ~states:climber_states climber targets in
+  let configs =
+    List.concat_map
+      (fun centre ->
+        List.filter_map
+          (fun leaves -> if M.is_empty leaves then None else Some { C.centre; C.leaves = leaves })
+          (M.enumerate climber_states ~max_count:2))
+      climber_states
+  in
+  Alcotest.(check bool) "enough configurations" true (List.length configs > 50);
+  List.iter
+    (fun c ->
+      let backward = C.covers pre c in
+      let forward = C.reachable_covers ~states:climber_states climber ~from:c (C.basis_of_list targets) in
+      Alcotest.(check bool)
+        (Format.asprintf "agree on %a" (C.pp Format.pp_print_int) c)
+        forward backward)
+    configs
+
+let test_backward_equals_forward_exists_a () =
+  let targets = C.non_rejecting_targets ~states:yn_states exists_a in
+  let pre = C.pre_star ~states:yn_states exists_a targets in
+  let configs =
+    List.concat_map
+      (fun centre ->
+        List.filter_map
+          (fun leaves -> if M.is_empty leaves then None else Some { C.centre; C.leaves = leaves })
+          (M.enumerate yn_states ~max_count:3))
+      yn_states
+  in
+  List.iter
+    (fun c ->
+      let backward = C.covers pre c in
+      let forward = C.reachable_covers ~states:yn_states exists_a ~from:c (C.basis_of_list targets) in
+      Alcotest.(check bool) "agree" forward backward)
+    configs
+
+let test_cutoff_bound () =
+  let k = C.cutoff_bound ~states:yn_states exists_a in
+  Alcotest.(check bool) "positive" true (k >= 2);
+  (* exists_a decides ∃a, which has cutoff 1; the computed bound is an upper
+     bound, so the property must respect it *)
+  let p = Dda_presburger.Predicate.exists_label "a" in
+  Alcotest.(check bool) "bound is a valid cutoff" true
+    (Dda_presburger.Predicate.respects_cutoff ~alphabet:[ "a"; "b" ] ~box:(k + 2) ~k p)
+
+let () =
+  Alcotest.run "wsts"
+    [
+      ( "order and bases",
+        [
+          Alcotest.test_case "stratified order" `Quick test_leq;
+          Alcotest.test_case "basis minimisation" `Quick test_basis_minimisation;
+        ] );
+      ( "star system",
+        [
+          Alcotest.test_case "successors" `Quick test_successors_exists_a;
+          Alcotest.test_case "counting rejected" `Quick test_counting_machine_rejected;
+        ] );
+      ( "coverability",
+        [
+          Alcotest.test_case "pre* for exists-a" `Quick test_pre_star_exists_a;
+          Alcotest.test_case "backward = forward (climber)" `Quick test_backward_equals_forward;
+          Alcotest.test_case "backward = forward (exists-a)" `Quick test_backward_equals_forward_exists_a;
+          Alcotest.test_case "cutoff bound" `Quick test_cutoff_bound;
+        ] );
+    ]
