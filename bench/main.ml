@@ -3,7 +3,8 @@
    core kernels with bechamel.
 
    Run with:  dune exec bench/main.exe            (full run)
-              dune exec bench/main.exe -- quick   (skip the slowest series) *)
+              dune exec bench/main.exe -- quick   (skip the slowest series)
+              dune exec bench/main.exe -- --smoke (minimal sizes, CI smoke) *)
 
 module G = Dda_graph.Graph
 module M = Dda_multiset.Multiset
@@ -21,7 +22,8 @@ module H = Dda_protocols.Homogeneous
 module Cov = Dda_wsts.Coverability
 module Listx = Dda_util.Listx
 
-let quick = Array.exists (fun a -> a = "quick") Sys.argv
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+let quick = smoke || Array.exists (fun a -> a = "quick") Sys.argv
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -32,10 +34,11 @@ let section title =
 
 let experiment_figure1 () =
   section "E1  Figure 1 (middle): decision power on arbitrary graphs";
-  let t = Dda_core.Figure1.arbitrary_table () in
+  let max_nodes = if smoke then 3 else 4 in
+  let t = Dda_core.Figure1.arbitrary_table ~max_nodes () in
   Format.printf "%a@." Dda_core.Figure1.pp_table t;
   section "E2  Figure 1 (right): decision power on bounded-degree graphs";
-  let t' = Dda_core.Figure1.bounded_table () in
+  let t' = Dda_core.Figure1.bounded_table ~max_nodes () in
   Format.printf "%a@." Dda_core.Figure1.pp_table t';
   let all = t @ t' in
   let ok = List.length (List.filter (fun c -> c.Dda_core.Figure1.agrees) all) in
@@ -117,7 +120,7 @@ let experiment_broadcast_overhead () =
         (Printf.sprintf "threshold a>=%d cycle n=%d" k n)
         native settled
         (float_of_int settled /. float_of_int (max 1 native)))
-    [ 2; 3 ]
+    (if smoke then [ 2 ] else [ 2; 3 ])
 
 (* ------------------------------------------------------------------ *)
 (* E4: Lemma 3.1 — the chain construction defeats halting automata       *)
@@ -256,7 +259,7 @@ let experiment_population_overhead () =
         (Printf.sprintf "epidemic cycle n=%d" n)
         native settled
         (float_of_int settled /. float_of_int (max 1 native)))
-    [ 5; 9; 13 ]
+    (if smoke then [ 5 ] else [ 5; 9; 13 ])
 
 (* ------------------------------------------------------------------ *)
 (* E8: convergence of the majority algorithms                             *)
@@ -268,7 +271,7 @@ let median l =
 
 let experiment_convergence () =
   section "E8  Convergence: steps to a settled majority verdict vs n";
-  let sizes = if quick then [ 5; 9; 13 ] else [ 5; 9; 13; 17; 21; 33; 45 ] in
+  let sizes = if smoke then [ 5 ] else if quick then [ 5; 9; 13 ] else [ 5; 9; 13; 17; 21; 33; 45 ] in
   Format.printf "%-6s %16s %16s %18s %14s@." "n" "§6.1 DAf" "population" "§6.1 (synchronous)"
     "double-rounds";
   List.iter
@@ -320,7 +323,7 @@ let experiment_convergence () =
       let r = Run.simulate ~max_steps:20_000_000 m g (Scheduler.random_exclusive ~n ~seed:4) in
       Format.printf "%-6d %16s@." n
         (match r.Run.settled_at with Some t -> string_of_int t | None -> "-"))
-    (if quick then [ 3; 4 ] else [ 3; 4; 5; 6 ])
+    (if smoke then [ 3 ] else if quick then [ 3; 4 ] else [ 3; 4; 5; 6 ])
 
 (* ------------------------------------------------------------------ *)
 (* E9: primality of n (the NL showcase)                                   *)
@@ -339,7 +342,7 @@ let experiment_primality () =
         (Dda_presburger.Predicate.eval (Dda_presburger.Predicate.size_prime [ "x" ]) (fun _ -> n))
         (Format.asprintf "%a" Decide.pp_verdict (Decide.pseudo_stochastic space))
         space.Space.size)
-    (if quick then [ 3; 4; 5 ] else [ 3; 4; 5; 6 ]);
+    (if smoke then [ 3 ] else if quick then [ 3; 4; 5 ] else [ 3; 4; 5; 6 ]);
   let priority_run g =
     let c = ref (SB.initial protocol g) in
     let steps = ref 0 in
@@ -369,7 +372,7 @@ let experiment_primality () =
       Format.printf "%-6d %-8b %-10s priority simulation, %d steps@." n
         (Dda_presburger.Predicate.eval (Dda_presburger.Predicate.size_prime [ "x" ]) (fun _ -> n))
         verdict steps)
-    (if quick then [ 7; 9 ] else [ 7; 9; 11; 13; 17; 19 ])
+    (if smoke then [ 7 ] else if quick then [ 7; 9 ] else [ 7; 9; 11; 13; 17; 19 ])
 
 (* ------------------------------------------------------------------ *)
 (* E10: exact adversarial verification of the §6.1 automaton              *)
@@ -392,8 +395,107 @@ let experiment_exact_adversarial () =
           space.Space.size
           (Format.asprintf "%a" Decide.pp_verdict (Decide.adversarial space))
           (Format.asprintf "%a" Decide.pp_verdict (Decide.pseudo_stochastic space)))
-    ([ [ "a"; "b"; "b" ]; [ "a"; "b"; "a" ]; [ "a"; "b"; "a"; "b" ]; [ "a"; "b"; "b"; "a"; "b" ] ]
-    @ if quick then [] else [ [ "a"; "b"; "a"; "b"; "a" ] ])
+    (if smoke then [ [ "a"; "b"; "b" ]; [ "a"; "b"; "a" ] ]
+     else
+       [ [ "a"; "b"; "b" ]; [ "a"; "b"; "a" ]; [ "a"; "b"; "a"; "b" ]; [ "a"; "b"; "b"; "a"; "b" ] ]
+       @ if quick then [] else [ [ "a"; "b"; "a"; "b"; "a" ] ])
+
+(* ------------------------------------------------------------------ *)
+(* E11: the exploration engine vs the legacy explorer (BENCH_verify.json) *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_verify_bench () =
+  section "E11  exploration engine: legacy vs packed vs packed+symmetry";
+  let module Sym = Dda_verify.Symmetry in
+  let hom = H.weak_majority ~degree_bound:2 in
+  let exists_m = Dda_protocols.Cutoff_one.exists_label ~alphabet:[ "a"; "b" ] "a" in
+  let line word = G.line (List.init (String.length word) (fun i -> String.make 1 word.[i])) in
+  let ring word = G.cycle (List.init (String.length word) (fun i -> String.make 1 word.[i])) in
+  (* one benchmark row: time the exploration (median of [reps]), then decide *)
+  let measure ~reps explore =
+    ignore (explore ()) (* warm-up *);
+    let times =
+      List.init reps (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          ignore (explore ());
+          Unix.gettimeofday () -. t0)
+    in
+    let space = explore () in
+    let sorted = List.sort compare times in
+    (space, List.nth sorted (List.length sorted / 2))
+  in
+  let rows = ref [] in
+  let row ~instance ~backend ~reps ~baseline explore =
+    let space, seconds = measure ~reps explore in
+    let verdict = Format.asprintf "%a" Decide.pp_verdict (Decide.adversarial space) in
+    let speedup = Option.map (fun base -> base /. seconds) baseline in
+    Format.printf "%-24s %-14s %10d %10d %9.3fs %-10s %s@." instance backend
+      space.Space.size
+      (space.Space.size * space.Space.node_count)
+      seconds verdict
+      (match speedup with Some s -> Printf.sprintf "%.1fx" s | None -> "-");
+    rows :=
+      (instance, backend, space.Space.size, space.Space.size * space.Space.node_count, seconds, speedup, verdict)
+      :: !rows;
+    seconds
+  in
+  Format.printf "%-24s %-14s %10s %10s %10s %-10s %s@." "instance" "backend" "configs" "edges"
+    "seconds" "verdict" "speedup";
+  let budget = 6_000_000 in
+  let bench_instance ~instance ~reps ?symmetry m g =
+    let legacy = row ~instance ~backend:"legacy" ~reps ~baseline:None (fun () ->
+        Space.explore_legacy ~max_configs:budget m g)
+    in
+    ignore
+      (row ~instance ~backend:"engine" ~reps ~baseline:(Some legacy) (fun () ->
+           Space.explore ~max_configs:budget m g));
+    ignore
+      (row ~instance ~backend:"engine-j2" ~reps ~baseline:(Some legacy) (fun () ->
+           Space.explore ~jobs:2 ~max_configs:budget m g));
+    match symmetry with
+    | None -> ()
+    | Some s ->
+      ignore
+        (row ~instance ~backend:"engine+sym" ~reps ~baseline:(Some legacy) (fun () ->
+             Space.explore ~symmetry:s ~max_configs:budget m g))
+  in
+  if smoke then
+    bench_instance ~instance:"s6.1 line n=4 abab" ~reps:1 ~symmetry:(Sym.line 4) hom (line "abab")
+  else begin
+    (* the E10 exploration bench of the acceptance criteria *)
+    bench_instance ~instance:"s6.1 line n=5 abbab" ~reps:3 hom (line "abbab");
+    (* palindromic word: the reflection quotient actually merges orbits *)
+    bench_instance ~instance:"s6.1 line n=5 ababa" ~reps:3 ~symmetry:(Sym.line 5) hom (line "ababa");
+    bench_instance ~instance:"exists-a ring n=9" ~reps:3 ~symmetry:(Sym.cycle 9) exists_m
+      (ring "abbabbabb");
+    if not quick then
+      (* engine-only frontier: legacy needs > 9 minutes here *)
+      ignore
+        (row ~instance:"s6.1 line n=7 abbabba" ~backend:"engine+sym" ~reps:1 ~baseline:None
+           (fun () -> Space.explore ~symmetry:(Sym.line 7) ~max_configs:budget hom (line "abbabba")))
+  end;
+  (* machine-readable perf trajectory *)
+  let oc = open_out "BENCH_verify.json" in
+  let out = Format.formatter_of_out_channel oc in
+  let json_escape s =
+    String.concat "" (List.map (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+        (List.init (String.length s) (String.get s)))
+  in
+  Format.fprintf out "{@.  \"bench\": \"verify\",@.  \"mode\": \"%s\",@.  \"rows\": [@."
+    (if smoke then "smoke" else if quick then "quick" else "full");
+  List.iteri
+    (fun i (instance, backend, configs, edges, seconds, speedup, verdict) ->
+      Format.fprintf out
+        "    {\"instance\": \"%s\", \"backend\": \"%s\", \"configs\": %d, \"edges\": %d, \
+         \"seconds\": %.4f, \"speedup_vs_legacy\": %s, \"verdict\": \"%s\"}%s@."
+        (json_escape instance) (json_escape backend) configs edges seconds
+        (match speedup with Some s -> Printf.sprintf "%.2f" s | None -> "null")
+        (json_escape verdict)
+        (if i = List.length !rows - 1 then "" else ","))
+    (List.rev !rows);
+  Format.fprintf out "  ]@.}@.";
+  close_out oc;
+  Format.printf "wrote BENCH_verify.json (%d rows)@." (List.length !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing of the core kernels                                    *)
@@ -459,5 +561,6 @@ let () =
   experiment_convergence ();
   experiment_primality ();
   experiment_exact_adversarial ();
+  experiment_verify_bench ();
   bechamel_suite ();
   Format.printf "@.done.@."

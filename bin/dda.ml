@@ -175,21 +175,53 @@ let cmd_graph spec dot =
   | Ok () -> Format.printf "valid (connected, >= 3 nodes)@."
   | Error e -> Format.printf "INVALID: %s@." e
 
-let cmd_decide proto_spec graph_spec fairness_str max_configs witness =
+(* The automorphism group of a graph-spec topology, for --reduce. *)
+let symmetry_of_spec graph_spec n =
+  let module Sym = Dda_verify.Symmetry in
+  match split_on ':' graph_spec with
+  | "line" :: _ -> Some (Sym.line n)
+  | "cycle" :: _ -> Some (Sym.cycle n)
+  | "star" :: _ -> Some (Sym.star ~centre:0 n)
+  | "clique" :: _ when n <= 8 -> Some (Sym.clique n)
+  | _ ->
+    Format.eprintf "warning: no symmetry group known for %s; exploring unreduced@." graph_spec;
+    None
+
+let cmd_decide proto_spec graph_spec fairness_str max_configs witness jobs reduce =
   let g = or_die (parse_graph graph_spec) in
   let (Packed m) = or_die (parse_protocol proto_spec g) in
   let fairness = or_die (parse_fairness fairness_str) in
-  let budget = { Decision.default_budget with Decision.max_configs } in
-  Format.printf "automaton: %s   graph: %s (n=%d)   fairness: %s@." m.Machine.name graph_spec
+  let symmetry = if reduce then symmetry_of_spec graph_spec (G.nodes g) else None in
+  Format.printf "automaton: %s   graph: %s (n=%d)   fairness: %s%s%s@." m.Machine.name graph_spec
     (G.nodes g)
-    (match fairness with Classes.Adversarial -> "adversarial" | _ -> "pseudo-stochastic");
-  match Decision.decide ~budget ~fairness m g with
-  | Ok v ->
+    (match fairness with Classes.Adversarial -> "adversarial" | _ -> "pseudo-stochastic")
+    (if jobs > 1 then Printf.sprintf "   jobs: %d" jobs else "")
+    (match symmetry with
+    | Some s -> Printf.sprintf "   symmetry: order %d" (Dda_verify.Symmetry.order s)
+    | None -> "");
+  let t0 = Unix.gettimeofday () in
+  match Dda_verify.Space.explore ~jobs ?symmetry ~max_configs m g with
+  | exception Dda_verify.Space.Too_large n ->
+    Format.printf "state space exceeds %d configurations; try `dda simulate` instead@." n;
+    exit 1
+  | space ->
+    let v =
+      match fairness with
+      | Classes.Adversarial -> Decide.adversarial space
+      | _ -> Decide.pseudo_stochastic space
+    in
+    let dt = Unix.gettimeofday () -. t0 in
     Format.printf "verdict: %a@." Decide.pp_verdict v;
+    (match Dda_verify.Space.engine space with
+    | Some e ->
+      Format.printf "space: %d configurations (%d states interned, %d delta evaluations) in %.2fs@."
+        space.Dda_verify.Space.size e.Dda_verify.Engine.stats.Dda_verify.Engine.state_count
+        e.Dda_verify.Engine.stats.Dda_verify.Engine.delta_evals dt
+    | None -> Format.printf "space: %d configurations in %.2fs@." space.Dda_verify.Space.size dt);
     if witness then begin
-      match Dda_verify.Space.explore ~max_configs m g with
-      | exception Dda_verify.Space.Too_large _ -> ()
-      | space -> (
+      if reduce then
+        Format.printf "witness schedules need an unreduced space; re-run without --reduce@."
+      else
         let target =
           match Decide.verdict_bool v with
           | Some true -> Some `Accepting
@@ -201,12 +233,8 @@ let cmd_decide proto_spec graph_spec fairness_str max_configs witness =
           Format.printf "witness schedule (select one node per step): %a@."
             (Fmt.list ~sep:(Fmt.any " ") Fmt.int)
             schedule
-        | _ -> Format.printf "no witness path found@.")
+        | _ -> Format.printf "no witness path found@."
     end
-  | Error (`Too_large n) ->
-    Format.printf "state space exceeds %d configurations; try `dda simulate` instead@." n;
-    exit 1
-  | Error `No_cycle -> Format.printf "no decision@."
 
 let cmd_simulate proto_spec graph_spec sched_spec max_steps =
   let g = or_die (parse_graph graph_spec) in
@@ -333,9 +361,23 @@ let decide_cmd =
   let witness =
     Arg.(value & flag & info [ "witness" ] ~doc:"Print a schedule driving the verdict.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Domains for parallel frontier expansion.")
+  in
+  let reduce =
+    Arg.(
+      value & flag
+      & info [ "reduce" ]
+          ~doc:
+            "Quotient the space by the topology's automorphism group (reflection on lines, \
+             rotation+reflection on cycles, leaf permutation on stars, full symmetric group on \
+             cliques up to n=8).  Verdicts are unchanged.")
+  in
   Cmd.v
     (Cmd.info "decide" ~doc:"Decide acceptance exactly by state-space analysis")
-    Term.(const cmd_decide $ proto_arg $ graph_arg $ fairness $ max_configs $ witness)
+    Term.(const cmd_decide $ proto_arg $ graph_arg $ fairness $ max_configs $ witness $ jobs $ reduce)
 
 let simulate_cmd =
   let sched =

@@ -11,8 +11,8 @@ let default_budget = { max_configs = 200_000; max_steps = 1_000_000 }
 
 type outcome = (Decide.verdict, [ `Too_large of int | `No_cycle ]) result
 
-let decide ?(budget = default_budget) ~fairness m g =
-  match Space.explore ~max_configs:budget.max_configs m g with
+let decide ?(budget = default_budget) ?jobs ?symmetry ~fairness m g =
+  match Space.explore ?jobs ?symmetry ~max_configs:budget.max_configs m g with
   | exception Space.Too_large n -> Error (`Too_large n)
   | space -> (
     match (fairness : Classes.fairness) with

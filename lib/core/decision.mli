@@ -19,12 +19,17 @@ type outcome = (Dda_verify.Decide.verdict, [ `Too_large of int | `No_cycle ]) re
 
 val decide :
   ?budget:budget ->
+  ?jobs:int ->
+  ?symmetry:Dda_verify.Symmetry.t ->
   fairness:Classes.fairness ->
   ('l, 's) Dda_machine.Machine.t ->
   'l Dda_graph.Graph.t ->
   outcome
 (** Exact decision by state-space analysis.  [`Too_large] reports an
-    exceeded configuration budget. *)
+    exceeded configuration budget.  [jobs] parallelises exploration over
+    OCaml 5 domains; [symmetry] quotients the space by a group of adjacency
+    automorphisms of [g] (verdicts are unchanged — see
+    [Dda_verify.Engine]). *)
 
 val decide_synchronous :
   ?budget:budget ->

@@ -22,6 +22,19 @@ let edges g =
 
 let adjacent g u v = List.mem v g.adj.(u)
 
+let is_automorphism g p =
+  let n = nodes g in
+  Array.length p = n
+  && (let seen = Array.make n false in
+      Array.for_all
+        (fun v ->
+          v >= 0 && v < n && not seen.(v)
+          &&
+          (seen.(v) <- true;
+           true))
+        p)
+  && List.for_all (fun (u, v) -> adjacent g p.(u) p.(v)) (edges g)
+
 let label_count g = Multiset.of_list (Array.to_list g.labels)
 
 let of_edges ~labels edge_list =

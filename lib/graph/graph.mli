@@ -27,6 +27,12 @@ val edges : 'l t -> (int * int) list
 
 val adjacent : 'l t -> int -> int -> bool
 
+val is_automorphism : 'l t -> int array -> bool
+(** [is_automorphism g p]: [p] is a permutation of the nodes that maps edges
+    to edges (an {e adjacency} automorphism; labels are ignored — the
+    verifier's symmetry reduction is sound for adjacency automorphisms
+    alone, because verdicts are invariant under graph isomorphism). *)
+
 val label_count : 'l t -> 'l Dda_multiset.Multiset.t
 (** The label count [L_G] of Section 2: how many nodes carry each label. *)
 

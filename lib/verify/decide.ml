@@ -17,7 +17,134 @@ let pp_verdict fmt = function
 
 let targets space i = List.map snd (space.Space.succs i)
 
-let pseudo_stochastic space =
+(* ------------------------------------------------------------------ *)
+(* Packed fast paths                                                    *)
+(*                                                                      *)
+(* Spaces built by the engine expose their implicit-CSR arrays; the     *)
+(* analyses below run on those with per-component int/bool arrays and   *)
+(* the allocation-free Tarjan, instead of materialising successor and   *)
+(* member lists.  Verdicts (and witness choices) coincide with the      *)
+(* generic code — the differential tests check this.                    *)
+(* ------------------------------------------------------------------ *)
+
+let mixed_bottom_msg describe w =
+  Printf.sprintf "bottom SCC neither all-accepting nor all-rejecting, e.g. %s" (describe w)
+
+(* Bottom-SCC classification on the engine's arrays.  Exact on symmetry
+   quotients too: orbits of bottom SCCs are bottom SCCs of the quotient, and
+   acceptance is invariant under automorphisms. *)
+let packed_pseudo_stochastic e describe =
+  let n = Engine.out_degree e in
+  let sz = e.Engine.size in
+  let scc =
+    Scc.compute_iter ~vertices:sz ~degree:(fun _ -> n) ~succ:(fun i k -> Engine.target e i k)
+  in
+  let comp = scc.Scc.comp in
+  let nc = scc.Scc.comp_count in
+  let bottom = Array.make nc true in
+  let all_acc = Array.make nc true in
+  let all_rej = Array.make nc true in
+  let witness = Array.make nc (-1) in
+  for i = sz - 1 downto 0 do
+    let c = comp.(i) in
+    for k = 0 to n - 1 do
+      if comp.(Engine.target e i k) <> c then bottom.(c) <- false
+    done;
+    if not e.Engine.acc.(i) then begin
+      all_acc.(c) <- false;
+      witness.(c) <- i (* downward loop: ends at the least non-accepting member *)
+    end;
+    if not e.Engine.rej.(i) then all_rej.(c) <- false
+  done;
+  let mixed = ref None in
+  let accs = ref false in
+  let rejs = ref false in
+  for c = 0 to nc - 1 do
+    if bottom.(c) then
+      if all_acc.(c) then accs := true
+      else if all_rej.(c) then rejs := true
+      else if !mixed = None then mixed := Some witness.(c)
+  done;
+  match !mixed with
+  | Some w -> Inconsistent (mixed_bottom_msg describe w)
+  | None ->
+    if !accs && !rejs then
+      Inconsistent "some pseudo-stochastic fair runs accept while others reject"
+    else if !accs then Accepts
+    else if !rejs then Rejects
+    else Inconsistent "no bottom SCC found"
+
+(* Fair-SCC classification on the engine's arrays.
+
+   For a symmetry-reduced space the quotient's own labels are not sound —
+   merging orbit members conflates which node a selection hits — so the
+   analysis runs on the *lifted* graph: nodes are pairs (representative R,
+   group element t), standing for the concrete configuration p_t^{-1} . R.
+   Quotient edge k of R (successor S, recorded element s with
+   R' = p_s . S) lifts, at (R, t), to an edge labelled perms.(t).(k) going
+   to (R', mul.(t).(s)); acceptance of (R, t) is acceptance of R.  Every
+   lifted SCC is isomorphic (via p_t) to an SCC of reachable concrete
+   configurations and vice versa, so scanning all lifted SCCs is exact.
+   With a trivial group the lifted graph *is* the quotient graph and this
+   degenerates to the plain array analysis. *)
+let packed_adversarial_core e =
+  let n = Engine.out_degree e in
+  if n > 62 then invalid_arg "Decide.adversarial: more than 62 nodes";
+  let ord, mul, perms =
+    match e.Engine.symmetry with
+    | None -> (1, [| [| 0 |] |], [| Array.init n (fun v -> v) |])
+    | Some g -> (Symmetry.order g, Symmetry.mul g, Symmetry.perms g)
+  in
+  let sz = e.Engine.size * ord in
+  let succ x k =
+    let i = x / ord and t = x mod ord in
+    (Engine.target e i k * ord) + mul.(t).(Engine.edge_sigma e i k)
+  in
+  let scc = Scc.compute_iter ~vertices:sz ~degree:(fun _ -> n) ~succ in
+  let comp = scc.Scc.comp in
+  let nc = scc.Scc.comp_count in
+  let full = (1 lsl n) - 1 in
+  let cov = Array.make nc 0 in
+  let wit_non_acc = Array.make nc (-1) in
+  let wit_non_rej = Array.make nc (-1) in
+  for x = sz - 1 downto 0 do
+    let c = comp.(x) in
+    let i = x / ord and t = x mod ord in
+    for k = 0 to n - 1 do
+      if comp.(succ x k) = c then cov.(c) <- cov.(c) lor (1 lsl perms.(t).(k))
+    done;
+    if not e.Engine.acc.(i) then wit_non_acc.(c) <- i;
+    if not e.Engine.rej.(i) then wit_non_rej.(c) <- i
+  done;
+  let fair_non_accepting = ref None in
+  let fair_non_rejecting = ref None in
+  for c = 0 to nc - 1 do
+    if cov.(c) = full then begin
+      (* full coverage implies internal edges *)
+      if !fair_non_accepting = None && wit_non_acc.(c) >= 0 then
+        fair_non_accepting := Some wit_non_acc.(c);
+      if !fair_non_rejecting = None && wit_non_rej.(c) >= 0 then
+        fair_non_rejecting := Some wit_non_rej.(c)
+    end
+  done;
+  (!fair_non_accepting, !fair_non_rejecting)
+
+let adversarial_verdict describe = function
+  | None, Some _ -> Accepts
+  | Some _, None -> Rejects
+  | Some i, Some j ->
+    Inconsistent
+      (Printf.sprintf
+         "fair runs revisit non-accepting %s and non-rejecting %s configurations"
+         (describe i) (describe j))
+  | None, None -> Inconsistent "no fair cycle found (should be impossible)"
+
+let rec pseudo_stochastic space =
+  match space.Space.backend with
+  | Space.Packed e -> packed_pseudo_stochastic e space.Space.describe
+  | Space.Generic -> generic_pseudo_stochastic space
+
+and generic_pseudo_stochastic space =
   let succs = targets space in
   let scc = Scc.compute ~vertices:space.Space.size ~succs in
   let classify_bottom c =
@@ -102,6 +229,10 @@ let pseudo_stochastic_certificate space =
 let adversarial_witness space ~against =
   if space.Space.kind <> Space.Explicit then
     invalid_arg "Decide.adversarial_witness: needs an explicit space";
+  if Space.is_reduced space then
+    invalid_arg
+      "Decide.adversarial_witness: reduced space (selections are quotiented); explore without \
+       symmetry";
   let n = space.Space.node_count in
   let succs = targets space in
   let scc = Scc.compute ~vertices:space.Space.size ~succs in
@@ -238,9 +369,14 @@ let unconditional space =
          (space.Space.describe i) (space.Space.describe j))
   | None, None -> Inconsistent "no cycle found (space must model idling as self-loops)"
 
-let adversarial space =
+let rec adversarial space =
   if space.Space.kind <> Space.Explicit then
     invalid_arg "Decide.adversarial: needs an explicit space (node identity)";
+  match space.Space.backend with
+  | Space.Packed e -> adversarial_verdict space.Space.describe (packed_adversarial_core e)
+  | Space.Generic -> generic_adversarial space
+
+and generic_adversarial space =
   let n = space.Space.node_count in
   let succs = targets space in
   let scc = Scc.compute ~vertices:space.Space.size ~succs in
@@ -271,15 +407,7 @@ let adversarial space =
       | _ -> ()
     end
   done;
-  match (!fair_non_accepting, !fair_non_rejecting) with
-  | None, Some _ -> Accepts
-  | Some _, None -> Rejects
-  | Some i, Some j ->
-    Inconsistent
-      (Printf.sprintf
-         "fair runs revisit non-accepting %s and non-rejecting %s configurations"
-         (space.Space.describe i) (space.Space.describe j))
-  | None, None -> Inconsistent "no fair cycle found (should be impossible)"
+  adversarial_verdict space.Space.describe (!fair_non_accepting, !fair_non_rejecting)
 
 let synchronous ~max_steps m g =
   let seen = Hashtbl.create 256 in

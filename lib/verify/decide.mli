@@ -56,7 +56,11 @@ val unconditional : Space.t -> verdict
     as cycles. *)
 
 val adversarial : Space.t -> verdict
-(** Fair-SCC (Streett-style) classification.
+(** Fair-SCC (Streett-style) classification.  On packed spaces the analysis
+    runs allocation-free on the engine's arrays; on symmetry-reduced spaces
+    it analyses the {e lifted} graph of (representative, group element)
+    pairs, which restores the node identities the quotient merged — verdicts
+    are exactly those of the unreduced space.
     @raise Invalid_argument on a counted space (node identity is needed). *)
 
 val synchronous :
@@ -75,8 +79,9 @@ val adversarial_witness :
     configuration, selects every node at least once, and passes through a
     non-accepting (resp. non-rejecting) configuration.  Replaying
     [prefix @ cycle*] is a concrete fair schedule witnessing the failure —
-    the diagnosis behind an [Inconsistent] adversarial verdict.  Explicit
-    spaces only. *)
+    the diagnosis behind an [Inconsistent] adversarial verdict.  Explicit,
+    {e unreduced} spaces only (selections in a symmetry quotient do not
+    replay literally). *)
 
 val certificate_path :
   Space.t -> [ `Accepting | `Rejecting ] -> (int list * int) option

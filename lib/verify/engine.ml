@@ -1,0 +1,525 @@
+(* The packed exploration core (see doc/INTERNALS.md).
+
+   Replaces the polymorphic-hashtable worklist of the legacy explorer on the
+   hot path:
+
+   - machine states are interned to dense ids once; configurations become
+     fixed-width byte strings (1, 2 or 4 bytes per node, upgraded on the
+     fly), deduplicated through an open-addressing FNV table over a single
+     growable byte store;
+   - delta evaluation is memoised per (state id, capped neighbourhood
+     profile), so the structured transition functions of compiled automata
+     (Lemmas 4.7/4.9/4.10) are evaluated once per distinct observation;
+   - edges are stored in an implicit-CSR int array: every configuration has
+     exactly [node_count] out-edges (edge [k] = select node [k]; silent
+     moves are self-loops), so [targets.(i * node_count + k)] is the whole
+     edge structure;
+   - configurations can be canonicalised under a {!Symmetry} group — the
+     reduced space stores one representative per orbit, and every edge
+     records the group element used, so {!Decide} can run the exact lifted
+     adversarial analysis;
+   - frontier expansion (the delta/memo part) can fan out over OCaml 5
+     domains; interning stays sequential, so verdicts are deterministic and
+     ids are reproducible for [jobs = 1]. *)
+
+module Machine = Dda_machine.Machine
+module Neighbourhood = Dda_machine.Neighbourhood
+module Graph = Dda_graph.Graph
+
+exception Too_large of int
+
+type stats = {
+  state_count : int;  (* distinct machine states interned *)
+  delta_evals : int;  (* real delta calls (memo misses) *)
+  delta_lookups : int;  (* total delta requests *)
+}
+
+type t = {
+  node_count : int;
+  size : int;
+  initial : int;
+  initial_sigma : int;  (* group element canonicalising the initial config *)
+  targets : int array;  (* implicit CSR: edge k of config i at i*node_count + k *)
+  sigmas : int array;  (* per-edge group element; [||] when unreduced *)
+  acc : bool array;  (* all nodes accepting *)
+  rej : bool array;
+  describe : int -> string;
+  symmetry : Symmetry.t option;  (* Some g with order > 1 when reduced *)
+  stats : stats;
+}
+
+let reduced e = e.symmetry <> None
+
+(* ------------------------------------------------------------------ *)
+(* Growable buffers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type ibuf = { mutable idata : int array; mutable ilen : int }
+
+let ibuf_create n = { idata = Array.make (max n 16) 0; ilen = 0 }
+
+let ibuf_push b x =
+  if b.ilen = Array.length b.idata then begin
+    let d = Array.make (2 * b.ilen) 0 in
+    Array.blit b.idata 0 d 0 b.ilen;
+    b.idata <- d
+  end;
+  b.idata.(b.ilen) <- x;
+  b.ilen <- b.ilen + 1
+
+let ibuf_contents b = Array.sub b.idata 0 b.ilen
+
+(* ------------------------------------------------------------------ *)
+(* State interner                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type 's interner = {
+  tbl : ('s, int) Hashtbl.t;
+  mutable states : 's array;  (* entries < [n] are valid *)
+  mutable flags : Bytes.t;  (* per state: bit 0 accepting, bit 1 rejecting *)
+  mutable n : int;
+  lock : Mutex.t;
+  s_acc : 's -> bool;
+  s_rej : 's -> bool;
+}
+
+let interner_create ~acc ~rej first =
+  let it =
+    {
+      tbl = Hashtbl.create 256;
+      states = Array.make 64 first;
+      flags = Bytes.make 64 '\000';
+      n = 0;
+      lock = Mutex.create ();
+      s_acc = acc;
+      s_rej = rej;
+    }
+  in
+  it
+
+(* Thread-safe: workers intern delta results concurrently (misses are rare).
+   Readers use snapshots of [states]/[n] taken between phases, so no reader
+   ever races a resize. *)
+let intern_state it s =
+  Mutex.lock it.lock;
+  let id =
+    match Hashtbl.find_opt it.tbl s with
+    | Some i -> i
+    | None ->
+      let i = it.n in
+      if i = Array.length it.states then begin
+        let d = Array.make (2 * i) s in
+        Array.blit it.states 0 d 0 i;
+        it.states <- d;
+        let f = Bytes.make (2 * i) '\000' in
+        Bytes.blit it.flags 0 f 0 i;
+        it.flags <- f
+      end;
+      it.states.(i) <- s;
+      let fl = (if it.s_acc s then 1 else 0) lor if it.s_rej s then 2 else 0 in
+      Bytes.set it.flags i (Char.chr fl);
+      it.n <- i + 1;
+      Hashtbl.add it.tbl s i;
+      i
+  in
+  Mutex.unlock it.lock;
+  id
+
+let state_acc it i = Char.code (Bytes.get it.flags i) land 1 <> 0
+let state_rej it i = Char.code (Bytes.get it.flags i) land 2 <> 0
+
+(* ------------------------------------------------------------------ *)
+(* Packed configuration store with an open-addressing FNV table          *)
+(* ------------------------------------------------------------------ *)
+
+type store = {
+  cells : int;  (* nodes per configuration *)
+  mutable width : int;  (* bytes per cell: 1, 2 or 4 *)
+  mutable bytes : Bytes.t;  (* config i at offset i * cells * width *)
+  mutable count : int;
+  mutable hashes : int array;  (* per config, for cheap resize *)
+  mutable table : int array;  (* open addressing, -1 = empty *)
+  mutable mask : int;
+  cflags : Buffer.t;  (* per config: bit 0 acc, bit 1 rej *)
+}
+
+let store_create cells =
+  {
+    cells;
+    width = 1;
+    bytes = Bytes.create (cells * 1024);
+    count = 0;
+    hashes = Array.make 1024 0;
+    table = Array.make 4096 (-1);
+    mask = 4095;
+    cflags = Buffer.create 1024;
+  }
+
+let fnv_prime = 0x100000001b3
+
+let hash_ids ids len =
+  let h = ref 0x14650FB0739D0383 in
+  for i = 0 to len - 1 do
+    (* mix the full id, byte-order independent of the pack width *)
+    h := (!h lxor ids.(i)) * fnv_prime
+  done;
+  !h land max_int
+
+let width_limit w = 1 lsl (8 * w)
+
+let pack_cell st off id =
+  match st.width with
+  | 1 -> Bytes.unsafe_set st.bytes off (Char.unsafe_chr id)
+  | 2 -> Bytes.set_uint16_le st.bytes off id
+  | _ -> Bytes.set_int32_le st.bytes off (Int32.of_int id)
+
+let unpack_cell st off =
+  match st.width with
+  | 1 -> Char.code (Bytes.unsafe_get st.bytes off)
+  | 2 -> Bytes.get_uint16_le st.bytes off
+  | _ -> Int32.to_int (Bytes.get_int32_le st.bytes off) land 0xFFFFFFFF
+
+let decode st i out =
+  let w = st.width in
+  let off = ref (i * st.cells * w) in
+  for v = 0 to st.cells - 1 do
+    out.(v) <- unpack_cell st !off;
+    off := !off + w
+  done
+
+(* Grow the cell width (1 -> 2 -> 4) once a state id no longer fits,
+   re-packing every stored configuration.  Hashes are width-independent, so
+   the table survives unchanged. *)
+let upgrade_width st =
+  let w = st.width in
+  let w' = if w = 1 then 2 else 4 in
+  let nbytes' = st.cells * w' in
+  let fresh = Bytes.create (max (st.count * nbytes' * 2) nbytes') in
+  let tmp = Array.make st.cells 0 in
+  for i = 0 to st.count - 1 do
+    decode st i tmp;
+    let off = ref (i * nbytes') in
+    for v = 0 to st.cells - 1 do
+      (match w' with
+      | 2 -> Bytes.set_uint16_le fresh !off tmp.(v)
+      | _ -> Bytes.set_int32_le fresh !off (Int32.of_int tmp.(v)));
+      off := !off + w'
+    done
+  done;
+  st.bytes <- fresh;
+  st.width <- w'
+
+let store_resize_table st =
+  let cap = 2 * (st.mask + 1) in
+  let t = Array.make cap (-1) in
+  let m = cap - 1 in
+  for i = 0 to st.count - 1 do
+    let h = ref (st.hashes.(i) land m) in
+    while t.(!h) >= 0 do
+      h := (!h + 1) land m
+    done;
+    t.(!h) <- i
+  done;
+  st.table <- t;
+  st.mask <- m
+
+let config_equal st i ids =
+  let w = st.width in
+  let off = ref (i * st.cells * w) in
+  let rec go v =
+    v >= st.cells
+    || unpack_cell st !off = ids.(v)
+       && begin
+            off := !off + w;
+            go (v + 1)
+          end
+  in
+  go 0
+
+(* Intern the configuration [ids] (an array of [cells] state ids); returns
+   (index, fresh).  [flags] are the acc/rej bits of the configuration. *)
+let intern_config st ~max_configs ids flags =
+  let h = hash_ids ids st.cells in
+  let m = st.mask in
+  let slot = ref (h land m) in
+  let found = ref (-2) in
+  while !found = -2 do
+    let j = st.table.(!slot) in
+    if j < 0 then found := -1
+    else if st.hashes.(j) = h && config_equal st j ids then found := j
+    else slot := (!slot + 1) land m
+  done;
+  if !found >= 0 then (!found, false)
+  else begin
+    if st.count >= max_configs then raise (Too_large st.count);
+    let i = st.count in
+    let nbytes = st.cells * st.width in
+    if (i + 1) * nbytes > Bytes.length st.bytes then begin
+      let fresh = Bytes.create (2 * Bytes.length st.bytes) in
+      Bytes.blit st.bytes 0 fresh 0 (i * nbytes);
+      st.bytes <- fresh
+    end;
+    let off = ref (i * nbytes) in
+    for v = 0 to st.cells - 1 do
+      pack_cell st !off ids.(v);
+      off := !off + st.width
+    done;
+    if i = Array.length st.hashes then begin
+      let d = Array.make (2 * i) 0 in
+      Array.blit st.hashes 0 d 0 i;
+      st.hashes <- d
+    end;
+    st.hashes.(i) <- h;
+    Buffer.add_char st.cflags (Char.chr flags);
+    st.table.(!slot) <- i;
+    st.count <- i + 1;
+    if 2 * st.count > st.mask then store_resize_table st;
+    (i, true)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Delta memoisation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A worker's local view: the machine, the graph structure, a snapshot of
+   the interner (only pre-chunk state ids ever need decoding), and a private
+   memo table keyed by (state id, capped profile) packed into a string. *)
+type 's ctx = {
+  beta : int;
+  delta : 's -> 's Neighbourhood.t -> 's;
+  interner : 's interner;
+  nbr : int array array;
+  memo : (string, int) Hashtbl.t;
+  key_buf : Bytes.t;  (* scratch: 4 + 8 * max_degree bytes *)
+  pid : int array;  (* scratch: sorted neighbour ids *)
+  mutable evals : int;
+  mutable lookups : int;
+}
+
+let ctx_create m nbr interner =
+  let max_deg = Array.fold_left (fun a ns -> max a (Array.length ns)) 1 nbr in
+  {
+    beta = m.Machine.beta;
+    delta = m.Machine.delta;
+    interner;
+    nbr;
+    memo = Hashtbl.create 4096;
+    key_buf = Bytes.create (4 + (8 * max_deg));
+    pid = Array.make max_deg 0;
+    evals = 0;
+    lookups = 0;
+  }
+
+(* New state id of node [v] in the configuration [cur] (state ids per node). *)
+let delta_id ctx ~snapshot cur v =
+  ctx.lookups <- ctx.lookups + 1;
+  let ns = ctx.nbr.(v) in
+  let deg = Array.length ns in
+  let pid = ctx.pid in
+  for k = 0 to deg - 1 do
+    (* insertion sort: degrees are tiny *)
+    let x = cur.(ns.(k)) in
+    let j = ref k in
+    while !j > 0 && pid.(!j - 1) > x do
+      pid.(!j) <- pid.(!j - 1);
+      decr j
+    done;
+    pid.(!j) <- x
+  done;
+  (* build the memo key: v's state id, then (id, capped count) runs *)
+  let kb = ctx.key_buf in
+  Bytes.set_int32_le kb 0 (Int32.of_int cur.(v));
+  let pos = ref 4 in
+  let k = ref 0 in
+  while !k < deg do
+    let id = pid.(!k) in
+    let c = ref 0 in
+    while !k < deg && pid.(!k) = id do
+      incr c;
+      incr k
+    done;
+    Bytes.set_int32_le kb !pos (Int32.of_int id);
+    Bytes.set_int32_le kb (!pos + 4) (Int32.of_int (min !c ctx.beta));
+    pos := !pos + 8
+  done;
+  let key = Bytes.sub_string kb 0 !pos in
+  match Hashtbl.find_opt ctx.memo key with
+  | Some id -> id
+  | None ->
+    ctx.evals <- ctx.evals + 1;
+    let sarr, _sn = snapshot in
+    (* reconstruct the capped neighbour state list; [of_states] re-sorts and
+       re-caps, so this is exactly the observation the legacy engine built *)
+    let states = ref [] in
+    let p = ref 4 in
+    while !p < !pos do
+      let id = Int32.to_int (Bytes.get_int32_le kb !p) in
+      let c = Int32.to_int (Bytes.get_int32_le kb (!p + 4)) in
+      for _ = 1 to c do
+        states := sarr.(id) :: !states
+      done;
+      p := !p + 8
+    done;
+    let nb = Neighbourhood.of_states ~beta:ctx.beta !states in
+    let q' = ctx.delta sarr.(cur.(v)) nb in
+    let id = intern_state ctx.interner q' in
+    Hashtbl.add ctx.memo key id;
+    id
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalisation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Lexicographically least id sequence over the group; returns the index of
+   the canonicalising element and leaves the winner in [best]. *)
+let canonicalise perms ids best scratch =
+  let n = Array.length ids in
+  Array.blit ids 0 best 0 n;
+  let sigma = ref 0 in
+  for e = 1 to Array.length perms - 1 do
+    let p = perms.(e) in
+    for v = 0 to n - 1 do
+      scratch.(v) <- ids.(p.(v))
+    done;
+    let rec cmp v = if v >= n then 0 else if scratch.(v) <> best.(v) then compare scratch.(v) best.(v) else cmp (v + 1) in
+    if cmp 0 < 0 then begin
+      Array.blit scratch 0 best 0 n;
+      sigma := e
+    end
+  done;
+  !sigma
+
+(* ------------------------------------------------------------------ *)
+(* Exploration                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let chunk_size = 4096
+
+let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
+  let n = Graph.nodes g in
+  if n < 1 then invalid_arg "Engine.explore: empty graph";
+  let sym =
+    match symmetry with
+    | Some s when not (Symmetry.is_trivial s) ->
+      if Symmetry.degree s <> n then invalid_arg "Engine.explore: symmetry degree mismatch";
+      Some s
+    | _ -> None
+  in
+  let perms = match sym with Some s -> Symmetry.perms s | None -> [| Array.init n (fun v -> v) |] in
+  let nbr = Array.init n (fun v -> Array.of_list (Graph.neighbours g v)) in
+  let c0 = Array.init n (fun v -> m.Machine.init (Graph.label g v)) in
+  let interner = interner_create ~acc:m.Machine.accepting ~rej:m.Machine.rejecting c0.(0) in
+  List.iter (fun s -> ignore (intern_state interner s)) states;
+  let st = store_create n in
+  let targets = ibuf_create (n * 1024) in
+  let sigmas = ibuf_create (if sym = None then 16 else n * 1024) in
+  let jobs = max 1 (min jobs 64) in
+  let ctxs = Array.init jobs (fun _ -> ctx_create m nbr interner) in
+  (* flag bits of a configuration from per-state flags *)
+  let config_flags ids =
+    let a = ref true and r = ref true in
+    for v = 0 to n - 1 do
+      a := !a && state_acc interner ids.(v);
+      r := !r && state_rej interner ids.(v)
+    done;
+    (if !a then 1 else 0) lor if !r then 2 else 0
+  in
+  let best = Array.make n 0 and scratch = Array.make n 0 in
+  let intern_canonical ids =
+    let sigma = if sym = None then (Array.blit ids 0 best 0 n; 0) else canonicalise perms ids best scratch in
+    let i, fresh = intern_config st ~max_configs best (config_flags best) in
+    (i, fresh, sigma)
+  in
+  (* initial configuration *)
+  let ids0 = Array.map (intern_state interner) c0 in
+  if interner.n >= width_limit st.width then upgrade_width st;
+  if interner.n >= width_limit st.width then upgrade_width st;
+  let initial, _, initial_sigma = intern_canonical ids0 in
+  (* chunked frontier expansion *)
+  let next = ref 0 in
+  let sids = Array.make (chunk_size * jobs * n) 0 in
+  let cur = Array.make n 0 in
+  let succ = Array.make n 0 in
+  while !next < st.count do
+    let lo = !next in
+    let hi = min st.count (lo + (chunk_size * jobs)) in
+    let len = hi - lo in
+    (* phase A: delta evaluation (parallelisable; touches only the state
+       interner, under its lock, on memo misses) *)
+    let snapshot = (interner.states, interner.n) in
+    let run_slice ctx a b =
+      let c = Array.make n 0 in
+      for i = a to b - 1 do
+        decode st (lo + i) c;
+        let base = i * n in
+        for v = 0 to n - 1 do
+          sids.(base + v) <- delta_id ctx ~snapshot c v
+        done
+      done
+    in
+    if jobs = 1 || len < 2 * n then run_slice ctxs.(0) 0 len
+    else begin
+      let per = (len + jobs - 1) / jobs in
+      let domains =
+        List.init (jobs - 1) (fun w ->
+            let a = (w + 1) * per in
+            let b = min len ((w + 2) * per) in
+            Domain.spawn (fun () -> if a < b then run_slice ctxs.(w + 1) a b))
+      in
+      run_slice ctxs.(0) 0 (min per len);
+      List.iter Domain.join domains
+    end;
+    (* phase B: canonicalise + intern successors, append edges (sequential,
+       so configuration ids are deterministic) *)
+    if interner.n >= width_limit st.width then upgrade_width st;
+    if interner.n >= width_limit st.width then upgrade_width st;
+    for i = 0 to len - 1 do
+      decode st (lo + i) cur;
+      let base = i * n in
+      for v = 0 to n - 1 do
+        Array.blit cur 0 succ 0 n;
+        succ.(v) <- sids.(base + v);
+        let j, _, sigma = intern_canonical succ in
+        ibuf_push targets j;
+        if sym <> None then ibuf_push sigmas sigma
+      done
+    done;
+    next := hi
+  done;
+  let size = st.count in
+  let flag_bytes = Buffer.to_bytes st.cflags in
+  let acc = Array.init size (fun i -> Char.code (Bytes.get flag_bytes i) land 1 <> 0) in
+  let rej = Array.init size (fun i -> Char.code (Bytes.get flag_bytes i) land 2 <> 0) in
+  let describe i =
+    let ids = Array.make n 0 in
+    decode st i ids;
+    Format.asprintf "%a"
+      (Dda_runtime.Config.pp m.Machine.pp_state)
+      (Dda_runtime.Config.of_states (Array.map (fun id -> interner.states.(id)) ids))
+  in
+  let evals = Array.fold_left (fun a c -> a + c.evals) 0 ctxs in
+  let lookups = Array.fold_left (fun a c -> a + c.lookups) 0 ctxs in
+  {
+    node_count = n;
+    size;
+    initial;
+    initial_sigma;
+    targets = ibuf_contents targets;
+    sigmas = (if sym = None then [||] else ibuf_contents sigmas);
+    acc;
+    rej;
+    describe;
+    symmetry = sym;
+    stats = { state_count = interner.n; delta_evals = evals; delta_lookups = lookups };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let out_degree e = e.node_count
+let target e i k = e.targets.((i * e.node_count) + k)
+let edge_sigma e i k = if e.sigmas = [||] then 0 else e.sigmas.((i * e.node_count) + k)
+
+let succs e i =
+  List.init e.node_count (fun k -> (k, target e i k))

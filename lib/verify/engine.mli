@@ -1,0 +1,96 @@
+(** The packed exploration core.
+
+    Explores the configuration space of a machine on a graph under exclusive
+    selection — the same transition system as {!Space.explore} — but with the
+    explicit-state engineering needed to reach millions of configurations:
+
+    - machine states are interned to dense ids once, so configurations are
+      fixed-width byte strings deduplicated by an open-addressing FNV table
+      (no polymorphic hashing of structured states on the hot path);
+    - delta evaluation is memoised per (state id, capped neighbourhood
+      profile) — exact because {!Dda_machine.Neighbourhood.of_states} already
+      canonicalises observations to sorted, capped count lists;
+    - the edge relation is an implicit-CSR int array: every configuration
+      has exactly [node_count] out-edges, edge [k] meaning "select node [k]"
+      (silent moves are self-loops), so edge [k] of configuration [i] lives
+      at index [i * node_count + k];
+    - configurations may be canonicalised under a {!Symmetry} group of graph
+      automorphisms, storing one representative per orbit; each edge records
+      the group element applied, which lets {!Decide} run the exact lifted
+      analysis for adversarial fairness;
+    - the delta/memo phase of each frontier chunk can run on several OCaml 5
+      domains ([jobs]); interning stays sequential, so the result is
+      deterministic and, with [jobs = 1] and no symmetry, configuration ids
+      coincide with the legacy explorer's BFS numbering.
+
+    This module is the substrate; callers normally go through
+    {!Space.explore}, which wraps the result in the ordinary [Space.t]. *)
+
+exception Too_large of int
+(** Raised when exploration exceeds [max_configs] configurations. *)
+
+type stats = {
+  state_count : int;  (** Distinct machine states interned. *)
+  delta_evals : int;  (** Real delta calls (memo misses). *)
+  delta_lookups : int;  (** Total delta requests ([size * node_count]). *)
+}
+
+type t = {
+  node_count : int;
+  size : int;  (** Stored configurations (orbit representatives if reduced). *)
+  initial : int;
+  initial_sigma : int;
+      (** Index of the group element [p] with [p . c0 = representative]. *)
+  targets : int array;  (** Implicit CSR; see {!target}. *)
+  sigmas : int array;
+      (** Per-edge group element indices; [[||]] when unreduced.  Edge [k] of
+          [i] went to successor [S] with representative
+          [perms.(sigmas.(i * node_count + k)) . S]. *)
+  acc : bool array;  (** All nodes accepting. *)
+  rej : bool array;
+  describe : int -> string;
+  symmetry : Symmetry.t option;  (** The group, when reduced (order > 1). *)
+  stats : stats;
+}
+
+val explore :
+  ?jobs:int ->
+  ?symmetry:Symmetry.t ->
+  ?states:'s list ->
+  max_configs:int ->
+  ('l, 's) Dda_machine.Machine.t ->
+  'l Dda_graph.Graph.t ->
+  t
+(** [explore m g] builds the reachable configuration space.
+
+    [jobs] (default 1): domains used for the delta/memo phase.  Verdict-
+    relevant output (sizes, edges up to renumbering, analyses) does not
+    depend on [jobs]; exact ids are guaranteed stable only for [jobs = 1].
+
+    [symmetry]: a permutation group whose elements must all be automorphisms
+    of [g]'s adjacency (labels need not be preserved; soundness needs
+    adjacency only).  The space is quotiented by its orbits.
+
+    [states]: optional pre-enumeration (e.g. from [Tabulate]) interned
+    first, giving those states the lowest ids.
+
+    @raise Too_large when more than [max_configs] configurations are found.
+    @raise Invalid_argument if [symmetry]'s degree differs from the graph
+    size. *)
+
+val reduced : t -> bool
+(** The space is a proper quotient (a non-trivial group was applied). *)
+
+val out_degree : t -> int
+(** = [node_count]: every configuration has one edge per node. *)
+
+val target : t -> int -> int -> int
+(** [target e i k] is the successor of configuration [i] when node [k] is
+    selected (the representative of its orbit if reduced). *)
+
+val edge_sigma : t -> int -> int -> int
+(** The group element index recorded on edge [k] of [i]; [0] when
+    unreduced. *)
+
+val succs : t -> int -> (int * int) list
+(** [(label, target)] list, legacy [Space.succs] shape. *)

@@ -62,6 +62,75 @@ let compute ~vertices ~succs =
   done;
   { count = !next_comp; component; members }
 
+(* Allocation-free variant for packed spaces: successors are addressed as
+   [succ v k] for [k < degree v], the result carries no member lists, and all
+   bookkeeping lives in int arrays (the DFS stack included), so graphs with
+   millions of edges need no list cells at all. *)
+type components = { comp_count : int; comp : int array }
+
+let compute_iter ~vertices ~degree ~succ =
+  let index = Array.make (max vertices 1) (-1) in
+  let lowlink = Array.make (max vertices 1) 0 in
+  let on_stack = Array.make (max vertices 1) false in
+  let comp = Array.make (max vertices 1) (-1) in
+  let stack = Array.make (max vertices 1) 0 in
+  let sp = ref 0 in
+  let dfs_v = Array.make (max vertices 1) 0 in
+  let dfs_e = Array.make (max vertices 1) 0 in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let push v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack.(!sp) <- v;
+    incr sp;
+    on_stack.(v) <- true
+  in
+  for root = 0 to vertices - 1 do
+    if index.(root) = -1 then begin
+      let top = ref 0 in
+      dfs_v.(0) <- root;
+      dfs_e.(0) <- 0;
+      push root;
+      while !top >= 0 do
+        let v = dfs_v.(!top) in
+        let k = dfs_e.(!top) in
+        if k < degree v then begin
+          dfs_e.(!top) <- k + 1;
+          let w = succ v k in
+          if index.(w) = -1 then begin
+            push w;
+            incr top;
+            dfs_v.(!top) <- w;
+            dfs_e.(!top) <- 0
+          end
+          else if on_stack.(w) && index.(w) < lowlink.(v) then lowlink.(v) <- index.(w)
+        end
+        else begin
+          if lowlink.(v) = index.(v) then begin
+            let c = !next_comp in
+            incr next_comp;
+            let continue = ref true in
+            while !continue do
+              decr sp;
+              let w = stack.(!sp) in
+              on_stack.(w) <- false;
+              comp.(w) <- c;
+              if w = v then continue := false
+            done
+          end;
+          decr top;
+          if !top >= 0 then begin
+            let p = dfs_v.(!top) in
+            if lowlink.(v) < lowlink.(p) then lowlink.(p) <- lowlink.(v)
+          end
+        end
+      done
+    end
+  done;
+  { comp_count = !next_comp; comp }
+
 let is_bottom r ~succs c =
   List.for_all
     (fun v -> List.for_all (fun w -> r.component.(w) = c) (succs v))

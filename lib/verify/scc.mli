@@ -18,6 +18,19 @@ val compute : vertices:int -> succs:(int -> int list) -> result
     components reachable... more precisely, for every edge [u -> v],
     [component.(u) >= component.(v)]. *)
 
+type components = {
+  comp_count : int;  (** Number of components. *)
+  comp : int array;  (** [comp.(v)] is the component of vertex [v]. *)
+}
+
+val compute_iter :
+  vertices:int -> degree:(int -> int) -> succ:(int -> int -> int) -> components
+(** Allocation-free Tarjan over an indexed successor relation: vertex [v] has
+    successors [succ v 0 .. succ v (degree v - 1)].  Same reverse-topological
+    component numbering as {!compute} (for every edge [u -> v],
+    [comp.(u) >= comp.(v)]), but no member lists are materialised — sized for
+    packed spaces with millions of edges. *)
+
 val is_bottom : result -> succs:(int -> int list) -> int -> bool
 (** [is_bottom r ~succs c] holds iff no edge leaves component [c]. *)
 

@@ -6,6 +6,8 @@ module Listx = Dda_util.Listx
 
 type kind = Explicit | Counted
 
+type backend = Generic | Packed of Engine.t
+
 type t = {
   kind : kind;
   node_count : int;
@@ -15,9 +17,13 @@ type t = {
   accepting : int -> bool;
   rejecting : int -> bool;
   describe : int -> string;
+  backend : backend;
 }
 
 exception Too_large of int
+
+let engine space = match space.backend with Packed e -> Some e | Generic -> None
+let is_reduced space = match space.backend with Packed e -> Engine.reduced e | Generic -> false
 
 (* Generic worklist exploration over an abstract configuration type ['c].
    [expand c] lists (label, successor) pairs. *)
@@ -71,9 +77,13 @@ let explore_custom ~max_configs ~kind ~node_count ~initial ~expand ~accepting ~r
     accepting = (fun i -> accepting configs.(i));
     rejecting = (fun i -> rejecting configs.(i));
     describe = (fun i -> describe configs.(i));
+    backend = Generic;
   }
 
-let explore ~max_configs m g =
+(* The pre-engine explicit explorer, kept verbatim: the differential tests
+   check the packed engine against it, and it accepts machines whose states
+   are any structurally-hashable value without interning overhead. *)
+let explore_legacy ~max_configs m g =
   let n = Graph.nodes g in
   let expand c =
     List.map
@@ -97,18 +107,41 @@ let explore ~max_configs m g =
       (fun i ->
         Format.asprintf "%a" (Dda_runtime.Config.pp m.Machine.pp_state)
           (Dda_runtime.Config.of_states configs.(i)));
+    backend = Generic;
+  }
+
+let explore ?jobs ?symmetry ?states ~max_configs m g =
+  let e =
+    try Engine.explore ?jobs ?symmetry ?states ~max_configs m g
+    with Engine.Too_large n -> raise (Too_large n)
+  in
+  {
+    kind = Explicit;
+    node_count = e.Engine.node_count;
+    size = e.Engine.size;
+    initial = e.Engine.initial;
+    succs = Engine.succs e;
+    accepting = (fun i -> e.Engine.acc.(i));
+    rejecting = (fun i -> e.Engine.rej.(i));
+    describe = e.Engine.describe;
+    backend = Packed e;
   }
 
 let explore_liberal ~max_configs m g =
   let n = Graph.nodes g in
+  if n > 16 then invalid_arg "Space.explore_liberal: exponential branching, 16 nodes max";
+  (* every non-empty subset of nodes, as a bitmask; the mask doubles as the
+     edge label so schedules are replayable *)
   let subsets =
-    List.filter (fun s -> s <> []) (List.fold_left (fun acc v -> acc @ List.map (fun s -> v :: s) acc) [ [] ] (Listx.range n))
+    List.init ((1 lsl n) - 1) (fun k ->
+        let mask = k + 1 in
+        (mask, List.filter (fun v -> mask land (1 lsl v) <> 0) (Listx.range n)))
   in
   let expand c =
     List.map
-      (fun sel ->
+      (fun (mask, sel) ->
         let c' = Dda_runtime.Config.step m g (Dda_runtime.Config.of_states c) sel in
-        (0, Dda_runtime.Config.to_array c'))
+        (mask, Dda_runtime.Config.to_array c'))
       subsets
   in
   let initial = Dda_runtime.Config.to_array (Dda_runtime.Config.initial m g) in
@@ -126,7 +159,18 @@ let explore_liberal ~max_configs m g =
       (fun i ->
         Format.asprintf "%a" (Dda_runtime.Config.pp m.Machine.pp_state)
           (Dda_runtime.Config.of_states configs.(i)));
+    backend = Generic;
   }
+
+(* Escape a node label for dot: backslash-escape quotes and backslashes. *)
+let dot_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      (match ch with '"' | '\\' -> Buffer.add_char b '\\' | _ -> ());
+      Buffer.add_char b ch)
+    s;
+  Buffer.contents b
 
 let to_dot ?(max_size = 200) fmt space =
   if space.size > max_size then
@@ -137,7 +181,7 @@ let to_dot ?(max_size = 200) fmt space =
       if space.accepting i then "doublecircle" else if space.rejecting i then "box" else "ellipse"
     in
     Format.fprintf fmt "  c%d [shape=%s,label=\"%s\"%s];@," i shape
-      (String.concat "" (String.split_on_char '"' (space.describe i)))
+      (dot_escape (space.describe i))
       (if i = space.initial then ",style=bold" else "")
   done;
   for i = 0 to space.size - 1 do
@@ -207,6 +251,7 @@ let explore_clique ~max_configs m label_count =
     accepting = (fun i -> all m.Machine.accepting i);
     rejecting = (fun i -> all m.Machine.rejecting i);
     describe = (fun i -> Format.asprintf "%a" (Multiset.pp m.Machine.pp_state) configs.(i));
+    backend = Generic;
   }
 
 (* Counted star: (centre state, leaf state count).  The centre observes the
@@ -246,4 +291,5 @@ let explore_star ~max_configs m ~centre ~leaves =
         let ctr, counts = configs.(i) in
         Format.asprintf "ctr=%a leaves=%a" m.Machine.pp_state ctr
           (Multiset.pp m.Machine.pp_state) counts);
+    backend = Generic;
   }

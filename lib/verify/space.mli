@@ -20,7 +20,14 @@
 
 type kind =
   | Explicit  (** Edge labels are selected nodes. *)
-  | Counted  (** Edge labels are meaningless (set to 0). *)
+  | Counted  (** Edge labels do not identify nodes. *)
+
+type backend =
+  | Generic  (** List-of-lists edges from the polymorphic worklist. *)
+  | Packed of Engine.t
+      (** The packed engine's arrays are available; {!Decide} uses them for
+          allocation-free SCC analyses and the lifted symmetry-aware
+          adversarial check. *)
 
 type t = {
   kind : kind;
@@ -34,10 +41,19 @@ type t = {
   accepting : int -> bool;  (** All nodes of the configuration accepting. *)
   rejecting : int -> bool;
   describe : int -> string;  (** Human-readable configuration, for reports. *)
+  backend : backend;
 }
 
 exception Too_large of int
 (** Raised when exploration exceeds the configuration budget. *)
+
+val engine : t -> Engine.t option
+(** The packed engine behind the space, when it has one. *)
+
+val is_reduced : t -> bool
+(** The space is a symmetry quotient: configuration indices denote orbit
+    representatives.  Analyses that replay node selections literally
+    ({!Decide.adversarial_witness}) refuse reduced spaces. *)
 
 val explore_custom :
   max_configs:int ->
@@ -58,8 +74,27 @@ val explore_custom :
     found. *)
 
 val explore :
+  ?jobs:int ->
+  ?symmetry:Symmetry.t ->
+  ?states:'s list ->
+  max_configs:int ->
+  ('l, 's) Dda_machine.Machine.t ->
+  'l Dda_graph.Graph.t ->
+  t
+(** Explicit exploration under exclusive selection, on the packed engine
+    ({!Engine.explore} — interned states, memoised delta, implicit-CSR
+    edges).  With [jobs = 1] (the default) and no [symmetry] the space is
+    identical to {!explore_legacy}'s — same configuration numbering, same
+    edges.  [symmetry] quotients the space by a group of adjacency
+    automorphisms of [g]; [jobs > 1] parallelises delta evaluation over
+    OCaml 5 domains.  [states] pre-interns an enumeration (e.g. from
+    [Tabulate]).
+    @raise Too_large when more than [max_configs] configurations are found. *)
+
+val explore_legacy :
   max_configs:int -> ('l, 's) Dda_machine.Machine.t -> 'l Dda_graph.Graph.t -> t
-(** Explicit exploration under exclusive selection.
+(** The pre-engine explorer (polymorphic hashing, list edges), kept as the
+    differential-testing oracle and benchmark baseline.
     @raise Too_large when more than [max_configs] configurations are found. *)
 
 val explore_clique :
@@ -73,10 +108,11 @@ val explore_clique :
 val explore_liberal :
   max_configs:int -> ('l, 's) Dda_machine.Machine.t -> 'l Dda_graph.Graph.t -> t
 (** Explicit exploration under {e liberal} selection: one edge per non-empty
-    subset of nodes (labels are meaningless, kind [Counted]).  Exponential
-    branching — tiny graphs only.  Used to check the selection-irrelevance
-    theorem of [16] on concrete instances: the pseudo-stochastic verdict
-    must agree with the exclusive one. *)
+    subset of nodes, labelled by the subset's bitmask (bit [v] = node [v]
+    selected); kind [Counted] because labels are not single nodes.
+    Exponential branching — tiny graphs only ([n <= 16] enforced).  Used to
+    check the selection-irrelevance theorem of [16] on concrete instances:
+    the pseudo-stochastic verdict must agree with the exclusive one. *)
 
 val shortest_path : t -> goal:(int -> bool) -> (int list * int) option
 (** BFS from the initial configuration to the nearest configuration

@@ -176,6 +176,39 @@ let prop_random_graph =
       let g = G.random_connected rng ~degree_bound:bound (List.init n (fun i -> i mod 2)) in
       G.is_connected g && G.max_degree g <= bound && G.nodes g = n)
 
+(* Certifies the symmetry groups used by the packed engine's quotient
+   construction: every element must be a graph automorphism (adjacency
+   preservation is all the reduction needs — labels may vary freely). *)
+let prop_symmetry_groups_are_automorphisms =
+  let module Sym = Dda_verify.Symmetry in
+  QCheck.Test.make ~name:"symmetry groups are graph automorphisms" ~count:40
+    QCheck.(int_range 3 7)
+    (fun n ->
+      let labels = List.init n (fun i -> i mod 3) in
+      let all_autos g sym =
+        Array.for_all (G.is_automorphism g) (Sym.perms sym)
+      in
+      all_autos (G.line labels) (Sym.line n)
+      && all_autos (G.cycle labels) (Sym.cycle n)
+      && all_autos
+           (G.star ~centre:(List.hd labels) ~leaves:(List.tl labels))
+           (Sym.star ~centre:0 n)
+      && (n > 5 || all_autos (G.clique labels) (Sym.clique n)))
+
+let test_is_automorphism_rejects () =
+  (* swapping the centre of a star with a leaf breaks adjacency *)
+  let star = G.star ~centre:'c' ~leaves:[ 'a'; 'a'; 'b' ] in
+  let swap01 = [| 1; 0; 2; 3 |] in
+  Alcotest.(check bool) "star centre swap" false (G.is_automorphism star swap01);
+  (* a non-permutation (repeated image) is rejected outright *)
+  Alcotest.(check bool)
+    "non-permutation" false
+    (G.is_automorphism (G.cycle [ 'a'; 'b'; 'c' ]) [| 0; 0; 2 |]);
+  (* rotation is an automorphism of a cycle whatever the labels *)
+  Alcotest.(check bool)
+    "cycle rotation" true
+    (G.is_automorphism (G.cycle [ 'a'; 'b'; 'c' ]) [| 1; 2; 0 |])
+
 let () =
   Alcotest.run "graph"
     [
@@ -203,5 +236,11 @@ let () =
           Alcotest.test_case "find cycle edge" `Quick test_find_cycle_edge;
           Alcotest.test_case "Lemma 3.1 chain" `Quick test_chain_of_copies;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_random_graph ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_random_graph;
+          QCheck_alcotest.to_alcotest prop_symmetry_groups_are_automorphisms;
+          Alcotest.test_case "is_automorphism rejects" `Quick
+            test_is_automorphism_rejects;
+        ] );
     ]

@@ -175,6 +175,27 @@ let test_exact_verification () =
       ([ "a"; "b"; "a"; "b"; "a" ], true);
     ]
 
+let test_exact_verification_n7 () =
+  (* n = 7 was out of the legacy explorer's reach (> 9 minutes); the packed
+     engine plus the reflection quotient (the word is a palindrome, so
+     orbits actually merge) verifies it under both fairness regimes.  3 a's
+     against 4 b's: weak majority fails. *)
+  let m = H.weak_majority ~degree_bound:2 in
+  let labels = [ "a"; "b"; "b"; "a"; "b"; "b"; "a" ] in
+  let space =
+    Dda_verify.Space.explore
+      ~symmetry:(Dda_verify.Symmetry.line 7)
+      ~max_configs:6_000_000 m (G.line labels)
+  in
+  Alcotest.(check int) "abbabba / reflection" 2_553_604 space.Dda_verify.Space.size;
+  let check name v =
+    match Dda_verify.Decide.verdict_bool v with
+    | Some b -> Alcotest.(check bool) name false b
+    | None -> Alcotest.failf "abbabba inconsistent (%s)" name
+  in
+  check "adversarial" (Dda_verify.Decide.adversarial space);
+  check "pseudo-stochastic" (Dda_verify.Decide.pseudo_stochastic space)
+
 let test_more_topologies () =
   (* trees, hypercubes and barbells within the degree bound *)
   let check m g expected =
@@ -227,6 +248,7 @@ let () =
           Alcotest.test_case "consistency across adversaries" `Slow test_consistency_across_seeds;
           Alcotest.test_case "detect native" `Quick test_detect_native_round;
           Alcotest.test_case "exact verification (f and F)" `Slow test_exact_verification;
+          Alcotest.test_case "exact verification n=7 (reduced)" `Slow test_exact_verification_n7;
           Alcotest.test_case "trees, hypercubes, barbells" `Slow test_more_topologies;
         ] );
     ]
