@@ -22,8 +22,26 @@ module H = Dda_protocols.Homogeneous
 module Cov = Dda_wsts.Coverability
 module Listx = Dda_util.Listx
 
-let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
-let quick = smoke || Array.exists (fun a -> a = "quick") Sys.argv
+type mode = Full | Quick | Smoke
+
+(* Proper flag parsing; the pre-telemetry harness matched bare words with
+   Array.exists, so "quick"/"smoke" stay accepted for compatibility. *)
+let mode =
+  let m = ref Full in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--smoke" | "smoke" -> m := Smoke
+        | "--quick" | "quick" -> if !m <> Smoke then m := Quick
+        | other ->
+          Printf.eprintf "bench: ignoring unknown argument %S (expected --quick or --smoke)\n%!"
+            other)
+    Sys.argv;
+  !m
+
+let smoke = mode = Smoke
+let quick = mode <> Full
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -404,6 +422,34 @@ let experiment_exact_adversarial () =
 (* E11: the exploration engine vs the legacy explorer (BENCH_verify.json) *)
 (* ------------------------------------------------------------------ *)
 
+type bench_row = {
+  r_instance : string;
+  r_backend : string;
+  r_configs : int;
+  r_edges : int;
+  r_seconds : float;  (* median *)
+  r_times : float list;
+  r_speedup : float option;
+  r_verdict : string;
+  r_stats : Dda_verify.Engine.stats option;  (* None for the legacy backend *)
+}
+
+let memo_hit_rate (s : Dda_verify.Engine.stats) =
+  if s.Dda_verify.Engine.delta_lookups = 0 then 0.
+  else
+    float_of_int (s.Dda_verify.Engine.delta_lookups - s.Dda_verify.Engine.delta_evals)
+    /. float_of_int s.Dda_verify.Engine.delta_lookups
+
+(* Work balance across the effective worker slots: items of the busiest
+   slot over a perfectly even split.  1.0 = balanced; 1/jobs = one slot did
+   everything (i.e. the parallel gate fell back to sequential). *)
+let domain_utilisation (s : Dda_verify.Engine.stats) =
+  let items = s.Dda_verify.Engine.domain_items in
+  let total = Array.fold_left ( + ) 0 items in
+  let busiest = Array.fold_left max 0 items in
+  if busiest = 0 then 1.
+  else float_of_int total /. (float_of_int busiest *. float_of_int (Array.length items))
+
 let experiment_verify_bench () =
   section "E11  exploration engine: legacy vs packed vs packed+symmetry";
   let module Sym = Dda_verify.Symmetry in
@@ -422,25 +468,43 @@ let experiment_verify_bench () =
     in
     let space = explore () in
     let sorted = List.sort compare times in
-    (space, List.nth sorted (List.length sorted / 2))
+    (space, List.nth sorted (List.length sorted / 2), times)
   in
   let rows = ref [] in
   let row ~instance ~backend ~reps ~baseline explore =
-    let space, seconds = measure ~reps explore in
+    let space, seconds, times = measure ~reps explore in
     let verdict = Format.asprintf "%a" Decide.pp_verdict (Decide.adversarial space) in
     let speedup = Option.map (fun base -> base /. seconds) baseline in
-    Format.printf "%-24s %-14s %10d %10d %9.3fs %-10s %s@." instance backend
+    let stats =
+      Option.map (fun e -> e.Dda_verify.Engine.stats) (Space.engine space)
+    in
+    Format.printf "%-24s %-14s %10d %10d %9.3fs %-10s %-8s %-7s %s@." instance backend
       space.Space.size
       (space.Space.size * space.Space.node_count)
       seconds verdict
-      (match speedup with Some s -> Printf.sprintf "%.1fx" s | None -> "-");
+      (match speedup with Some s -> Printf.sprintf "%.1fx" s | None -> "-")
+      (match stats with Some s -> Printf.sprintf "%.1f%%" (100. *. memo_hit_rate s) | None -> "-")
+      (match stats with
+      | Some s when Array.length s.Dda_verify.Engine.domain_items > 1 ->
+        Printf.sprintf "%.2f" (domain_utilisation s)
+      | _ -> "-");
     rows :=
-      (instance, backend, space.Space.size, space.Space.size * space.Space.node_count, seconds, speedup, verdict)
+      {
+        r_instance = instance;
+        r_backend = backend;
+        r_configs = space.Space.size;
+        r_edges = space.Space.size * space.Space.node_count;
+        r_seconds = seconds;
+        r_times = times;
+        r_speedup = speedup;
+        r_verdict = verdict;
+        r_stats = stats;
+      }
       :: !rows;
     seconds
   in
-  Format.printf "%-24s %-14s %10s %10s %10s %-10s %s@." "instance" "backend" "configs" "edges"
-    "seconds" "verdict" "speedup";
+  Format.printf "%-24s %-14s %10s %10s %10s %-10s %-8s %-7s %s@." "instance" "backend" "configs"
+    "edges" "seconds" "verdict" "speedup" "memo%" "util";
   let budget = 6_000_000 in
   let bench_instance ~instance ~reps ?symmetry m g =
     let legacy = row ~instance ~backend:"legacy" ~reps ~baseline:None (fun () ->
@@ -484,13 +548,27 @@ let experiment_verify_bench () =
   Format.fprintf out "{@.  \"bench\": \"verify\",@.  \"mode\": \"%s\",@.  \"rows\": [@."
     (if smoke then "smoke" else if quick then "quick" else "full");
   List.iteri
-    (fun i (instance, backend, configs, edges, seconds, speedup, verdict) ->
+    (fun i r ->
+      let module E = Dda_verify.Engine in
+      let metrics =
+        match r.r_stats with
+        | None -> ""
+        | Some s ->
+          Printf.sprintf
+            ", \"memo_hit_rate\": %.4f, \"peak_frontier\": %d, \"waves\": %d, \
+             \"domain_items\": [%s], \"domain_utilisation\": %.4f"
+            (memo_hit_rate s) s.E.peak_frontier s.E.waves
+            (String.concat ", " (List.map string_of_int (Array.to_list s.E.domain_items)))
+            (domain_utilisation s)
+      in
       Format.fprintf out
         "    {\"instance\": \"%s\", \"backend\": \"%s\", \"configs\": %d, \"edges\": %d, \
-         \"seconds\": %.4f, \"speedup_vs_legacy\": %s, \"verdict\": \"%s\"}%s@."
-        (json_escape instance) (json_escape backend) configs edges seconds
-        (match speedup with Some s -> Printf.sprintf "%.2f" s | None -> "null")
-        (json_escape verdict)
+         \"seconds\": %.4f, \"seconds_summary\": %s, \"speedup_vs_legacy\": %s, \
+         \"verdict\": \"%s\"%s}%s@."
+        (json_escape r.r_instance) (json_escape r.r_backend) r.r_configs r.r_edges r.r_seconds
+        (Dda_analysis.Stats.summary_json (Dda_analysis.Stats.summarise r.r_times))
+        (match r.r_speedup with Some s -> Printf.sprintf "%.2f" s | None -> "null")
+        (json_escape r.r_verdict) metrics
         (if i = List.length !rows - 1 then "" else ","))
     (List.rev !rows);
   Format.fprintf out "  ]@.}@.";
@@ -549,6 +627,41 @@ let bechamel_suite () =
       | _ -> Format.printf "%-50s %12s@." name "n/a")
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead microbench                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A/B on the s6.1 explore instance: disabled (the state every other
+   experiment above ran in) vs enabled with trace+journal sinks.  Runs
+   last because Telemetry.enable is write-once per process. *)
+let telemetry_overhead_bench () =
+  section "Telemetry overhead (s6.1 explore, disabled vs trace+journal)";
+  let module T = Dda_telemetry.Telemetry in
+  let hom = H.weak_majority ~degree_bound:2 in
+  let word = if smoke then "abab" else "abbab" in
+  let g = G.line (List.init (String.length word) (fun i -> String.make 1 word.[i])) in
+  let reps = if smoke then 1 else 5 in
+  let time_explore () =
+    let t0 = Unix.gettimeofday () in
+    ignore (Space.explore ~max_configs:6_000_000 hom g);
+    Unix.gettimeofday () -. t0
+  in
+  let med l = List.nth (List.sort compare l) (List.length l / 2) in
+  ignore (time_explore ()) (* warm-up *);
+  let disabled = med (List.init reps (fun _ -> time_explore ())) in
+  let trace = Filename.temp_file "dda_bench_trace" ".json" in
+  let journal = Filename.temp_file "dda_bench_journal" ".jsonl" in
+  T.enable ~trace ~journal ();
+  ignore (time_explore ());
+  let enabled = med (List.init reps (fun _ -> time_explore ())) in
+  T.shutdown ();
+  Sys.remove trace;
+  Sys.remove journal;
+  Format.printf "instance: s6.1 line %s   reps: %d (median)@." word reps;
+  Format.printf "disabled: %.4fs   enabled(trace+journal): %.4fs   overhead: %+.1f%%@." disabled
+    enabled
+    (100. *. ((enabled -. disabled) /. disabled))
+
 let () =
   Format.printf "Decision Power of Weak Asynchronous Models — experiment harness%s@."
     (if quick then " (quick mode)" else "");
@@ -563,4 +676,5 @@ let () =
   experiment_exact_adversarial ();
   experiment_verify_bench ();
   bechamel_suite ();
+  telemetry_overhead_bench ();
   Format.printf "@.done.@."

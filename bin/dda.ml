@@ -16,6 +16,23 @@ module Run = Dda_runtime.Run
 module Decide = Dda_verify.Decide
 module Classes = Dda_core.Classes
 module Decision = Dda_core.Decision
+module T = Dda_telemetry.Telemetry
+module Json = Dda_telemetry.Json
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry wiring (doc/OBSERVABILITY.md)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Any of --trace/--metrics/--journal/--progress switches the subsystem
+   on; sinks are finalised through at_exit so the trace file is valid even
+   when a command bails out with a nonzero status (e.g. budget overflow). *)
+let telemetry_init trace metrics journal progress =
+  if trace <> None || metrics <> None || journal <> None || progress then begin
+    T.enable ?trace ?journal ~progress ();
+    at_exit (fun () ->
+        Option.iter (fun f -> T.write_metrics f) metrics;
+        T.shutdown ())
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Parsers for the little spec languages                                *)
@@ -187,7 +204,9 @@ let symmetry_of_spec graph_spec n =
     Format.eprintf "warning: no symmetry group known for %s; exploring unreduced@." graph_spec;
     None
 
-let cmd_decide proto_spec graph_spec fairness_str max_configs witness jobs reduce =
+let cmd_decide proto_spec graph_spec fairness_str max_configs witness jobs reduce trace metrics
+    journal progress =
+  telemetry_init trace metrics journal progress;
   let g = or_die (parse_graph graph_spec) in
   let (Packed m) = or_die (parse_protocol proto_spec g) in
   let fairness = or_die (parse_fairness fairness_str) in
@@ -236,11 +255,12 @@ let cmd_decide proto_spec graph_spec fairness_str max_configs witness jobs reduc
         | _ -> Format.printf "no witness path found@."
     end
 
-let cmd_simulate proto_spec graph_spec sched_spec max_steps =
+let cmd_simulate proto_spec graph_spec sched_spec max_steps trace metrics journal progress =
+  telemetry_init trace metrics journal progress;
   let g = or_die (parse_graph graph_spec) in
   let (Packed m) = or_die (parse_protocol proto_spec g) in
   let sched = or_die (parse_scheduler sched_spec (G.nodes g)) in
-  let r = Run.simulate ~max_steps m g sched in
+  let r = T.with_span ~args:[ ("max_steps", T.I max_steps) ] "simulate" (fun () -> Run.simulate ~max_steps m g sched) in
   Format.printf "automaton: %s   graph: %s (n=%d)   scheduler: %s@." m.Machine.name graph_spec
     (G.nodes g) (Scheduler.name sched);
   Format.printf "verdict: %s after %d steps%s%s@."
@@ -336,6 +356,28 @@ let proto_arg =
           "Protocol spec: exists:<l>, threshold:<l>,<k>, majority-bounded:<k>, majority-pop, \
            odd-a-token, ...")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event file (load in Perfetto or chrome://tracing).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE" ~doc:"Write a metrics snapshot (counters, histograms, spans).")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE" ~doc:"Write a JSONL run journal (one event per line).")
+
+let progress_arg =
+  Arg.(value & flag & info [ "progress" ] ~doc:"Throttled progress line on stderr.")
+
 let tables_cmd =
   let bounded = Arg.(value & flag & info [ "bounded" ] ~doc:"The degree-bounded table.") in
   let max_nodes =
@@ -377,7 +419,9 @@ let decide_cmd =
   in
   Cmd.v
     (Cmd.info "decide" ~doc:"Decide acceptance exactly by state-space analysis")
-    Term.(const cmd_decide $ proto_arg $ graph_arg $ fairness $ max_configs $ witness $ jobs $ reduce)
+    Term.(
+      const cmd_decide $ proto_arg $ graph_arg $ fairness $ max_configs $ witness $ jobs $ reduce
+      $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
 
 let simulate_cmd =
   let sched =
@@ -390,7 +434,9 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a protocol under a concrete scheduler")
-    Term.(const cmd_simulate $ proto_arg $ graph_arg $ sched $ max_steps)
+    Term.(
+      const cmd_simulate $ proto_arg $ graph_arg $ sched $ max_steps $ trace_arg $ metrics_arg
+      $ journal_arg $ progress_arg)
 
 let auto_cmd =
   let pred =
@@ -426,6 +472,49 @@ let cutoff_cmd =
     (Cmd.info "cutoff" ~doc:"Lemma 3.5 coverability demo")
     Term.(const cmd_cutoff $ const ())
 
+let cmd_telemetry metrics trace journal =
+  if metrics = None && trace = None && journal = None then
+    or_die (Error "telemetry: nothing to validate (pass --metrics, --trace and/or --journal)");
+  let problems = ref 0 in
+  let report kind file = function
+    | [] -> Format.printf "%s %s: OK@." kind file
+    | ps ->
+      problems := !problems + List.length ps;
+      List.iter (fun p -> Format.printf "%s %s: %s@." kind file p) ps
+  in
+  let check_doc kind validate file =
+    match Json.parse_file file with
+    | Error e -> report kind file [ Printf.sprintf "parse error: %s" e ]
+    | Ok doc -> report kind file (validate doc)
+  in
+  Option.iter (check_doc "metrics" T.validate_metrics) metrics;
+  Option.iter (check_doc "trace" T.validate_trace) trace;
+  Option.iter
+    (fun file ->
+      match In_channel.with_open_bin file In_channel.input_all with
+      | exception Sys_error e -> report "journal" file [ e ]
+      | contents -> report "journal" file (T.validate_journal contents))
+    journal;
+  if !problems > 0 then exit 1
+
+let telemetry_cmd =
+  let metrics =
+    Arg.(value & opt (some file) None & info [ "metrics" ] ~docv:"FILE" ~doc:"Metrics snapshot to validate.")
+  in
+  let trace =
+    Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc:"Chrome trace to validate.")
+  in
+  let journal =
+    Arg.(value & opt (some file) None & info [ "journal" ] ~docv:"FILE" ~doc:"JSONL run journal to validate.")
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:"Validate emitted telemetry artefacts against the metric-name registry")
+    Term.(const cmd_telemetry $ metrics $ trace $ journal)
+
 let () =
   let info = Cmd.info "dda" ~version:"1.0.0" ~doc:"Distributed automata decision power toolkit" in
-  exit (Cmd.eval (Cmd.group info [ tables_cmd; graph_cmd; decide_cmd; simulate_cmd; auto_cmd; program_cmd; cutoff_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ tables_cmd; graph_cmd; decide_cmd; simulate_cmd; auto_cmd; program_cmd; cutoff_cmd; telemetry_cmd ]))

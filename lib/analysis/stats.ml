@@ -30,3 +30,21 @@ let pp_summary fmt l =
   let lo, hi = min_max l in
   Format.fprintf fmt "mean %.1f ± %.1f (median %.1f, min %.0f, max %.0f, n=%d)" (mean l)
     (stddev l) (median l) lo hi (List.length l)
+
+type summary = {
+  s_n : int;
+  s_mean : float;
+  s_stddev : float;
+  s_median : float;
+  s_min : float;
+  s_max : float;
+}
+
+let summarise l =
+  let lo, hi = min_max l in
+  { s_n = List.length l; s_mean = mean l; s_stddev = stddev l; s_median = median l; s_min = lo; s_max = hi }
+
+let summary_json s =
+  Printf.sprintf
+    {|{"n": %d, "mean": %.9g, "stddev": %.9g, "median": %.9g, "min": %.9g, "max": %.9g}|}
+    s.s_n s.s_mean s.s_stddev s.s_median s.s_min s.s_max

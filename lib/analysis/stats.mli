@@ -16,3 +16,20 @@ val of_ints : int list -> float list
 
 val pp_summary : Format.formatter -> float list -> unit
 (** "mean 12.3 ± 4.5 (median 11, min 3, max 25, n=10)". *)
+
+type summary = {
+  s_n : int;
+  s_mean : float;
+  s_stddev : float;
+  s_median : float;
+  s_min : float;
+  s_max : float;
+}
+(** All the summary statistics of one series, as a value — the bench
+    harness embeds these per-row in BENCH_verify.json. *)
+
+val summarise : float list -> summary
+(** @raise Invalid_argument on the empty list. *)
+
+val summary_json : summary -> string
+(** The summary as one JSON object (finite numbers, [%.9g]). *)

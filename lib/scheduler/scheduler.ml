@@ -1,5 +1,14 @@
 module Prng = Dda_util.Prng
 module Listx = Dda_util.Listx
+module T = Dda_telemetry.Telemetry
+
+(* Every scheduler step funnels through [next]/[reset], so instrumenting
+   the two chokepoints journals per-step events for all scheduler kinds.
+   The journal line construction is gated on [journalling] to keep the
+   merely-enabled path allocation-light. *)
+let c_steps = T.counter "sched.steps"
+let c_resets = T.counter "sched.resets"
+let h_sel = T.histogram "sched.selection.size"
 
 type selection = int list
 
@@ -17,8 +26,21 @@ let name t = t.name
 let kind t = t.kind
 let node_count t = t.n
 
-let next t = t.gen ()
-let reset t = t.restart ()
+let next t =
+  let sel = t.gen () in
+  if T.enabled () then begin
+    T.incr c_steps;
+    T.observe h_sel (List.length sel);
+    if T.journalling () then T.journal "sched.step" [ ("sched", S t.name); ("sel", A sel) ]
+  end;
+  sel
+
+let reset t =
+  if T.enabled () then begin
+    T.incr c_resets;
+    if T.journalling () then T.journal "sched.reset" [ ("sched", S t.name) ]
+  end;
+  t.restart ()
 
 let prefix t k = List.map (fun _ -> next t) (Listx.range k)
 

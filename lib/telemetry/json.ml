@@ -1,0 +1,246 @@
+(* Strict recursive-descent JSON parser; see json.mli for why it exists. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Fail of int * string
+
+let fail pos msg = raise (Fail (pos, msg))
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c.pos (Printf.sprintf "expected %C" ch)
+
+let skip_ws c =
+  let continue = ref true in
+  while !continue do
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance c
+    | _ -> continue := false
+  done
+
+let expect_word c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c.pos (Printf.sprintf "expected %s" word)
+
+let hex_digit c =
+  match peek c with
+  | Some ch when ch >= '0' && ch <= '9' ->
+    advance c;
+    Char.code ch - Char.code '0'
+  | Some ch when ch >= 'a' && ch <= 'f' ->
+    advance c;
+    Char.code ch - Char.code 'a' + 10
+  | Some ch when ch >= 'A' && ch <= 'F' ->
+    advance c;
+    Char.code ch - Char.code 'A' + 10
+  | _ -> fail c.pos "expected hex digit"
+
+let utf8_add b cp =
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_hex4 c =
+  let h1 = hex_digit c in
+  let h2 = hex_digit c in
+  let h3 = hex_digit c in
+  let h4 = hex_digit c in
+  (h1 lsl 12) lor (h2 lsl 8) lor (h3 lsl 4) lor h4
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c.pos "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | Some '"' -> advance c; Buffer.add_char b '"'
+      | Some '\\' -> advance c; Buffer.add_char b '\\'
+      | Some '/' -> advance c; Buffer.add_char b '/'
+      | Some 'b' -> advance c; Buffer.add_char b '\b'
+      | Some 'f' -> advance c; Buffer.add_char b '\012'
+      | Some 'n' -> advance c; Buffer.add_char b '\n'
+      | Some 'r' -> advance c; Buffer.add_char b '\r'
+      | Some 't' -> advance c; Buffer.add_char b '\t'
+      | Some 'u' ->
+        advance c;
+        let cp = parse_hex4 c in
+        if cp >= 0xD800 && cp <= 0xDBFF then begin
+          (* high surrogate: a low surrogate must follow *)
+          expect c '\\';
+          expect c 'u';
+          let lo = parse_hex4 c in
+          if lo < 0xDC00 || lo > 0xDFFF then fail c.pos "unpaired surrogate";
+          utf8_add b (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+        end
+        else if cp >= 0xDC00 && cp <= 0xDFFF then fail c.pos "unpaired surrogate"
+        else utf8_add b cp
+      | _ -> fail c.pos "bad escape");
+      go ()
+    | Some ch when Char.code ch < 0x20 -> fail c.pos "raw control character in string"
+    | Some ch ->
+      advance c;
+      Buffer.add_char b ch;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  if peek c = Some '-' then advance c;
+  (match peek c with
+  | Some '0' -> advance c
+  | Some ch when ch >= '1' && ch <= '9' ->
+    while (match peek c with Some d when d >= '0' && d <= '9' -> true | _ -> false) do
+      advance c
+    done
+  | _ -> fail c.pos "expected digit");
+  if peek c = Some '.' then begin
+    advance c;
+    (match peek c with
+    | Some d when d >= '0' && d <= '9' -> ()
+    | _ -> fail c.pos "expected digit after '.'");
+    while (match peek c with Some d when d >= '0' && d <= '9' -> true | _ -> false) do
+      advance c
+    done
+  end;
+  (match peek c with
+  | Some ('e' | 'E') ->
+    advance c;
+    (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+    (match peek c with
+    | Some d when d >= '0' && d <= '9' -> ()
+    | _ -> fail c.pos "expected exponent digit");
+    while (match peek c with Some d when d >= '0' && d <= '9' -> true | _ -> false) do
+      advance c
+    done
+  | _ -> ());
+  let text = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt text with
+  | Some f when Float.is_finite f -> Num f
+  | _ -> fail start "bad number"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c.pos "unexpected end of input"
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws c;
+        let key = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        fields := (key, v) :: !fields;
+        skip_ws c;
+        match peek c with
+        | Some ',' -> advance c; members ()
+        | Some '}' -> advance c
+        | _ -> fail c.pos "expected ',' or '}'"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      Arr []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value c in
+        items := v :: !items;
+        skip_ws c;
+        match peek c with
+        | Some ',' -> advance c; elements ()
+        | Some ']' -> advance c
+        | _ -> fail c.pos "expected ',' or ']'"
+      in
+      elements ();
+      Arr (List.rev !items)
+    end
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> expect_word c "true" (Bool true)
+  | Some 'f' -> expect_word c "false" (Bool false)
+  | Some 'n' -> expect_word c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c.pos (Printf.sprintf "unexpected %C" ch)
+
+let parse src =
+  let c = { src; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length src then
+      Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+    else Ok v
+  | exception Fail (pos, msg) -> Error (Printf.sprintf "at offset %d: %s" pos msg)
+
+let parse_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | ch when Char.code ch < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b

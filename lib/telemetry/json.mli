@@ -1,0 +1,35 @@
+(** Minimal strict JSON reader/escaper.
+
+    The telemetry subsystem emits three artefact kinds — Chrome
+    [trace_event] files, JSONL run journals, and metrics snapshots — that
+    external consumers (Perfetto, jq, CI validators) must be able to parse.
+    This module is the in-repo strict consumer used by [dda telemetry] and
+    the test suite to certify that the emitters produce well-formed
+    documents: no trailing commas, no garbage after the document, full
+    escape handling, finite numbers only.
+
+    It is deliberately tiny (no third-party JSON dependency is vendored)
+    and is a {e reader}: the emitters in {!Telemetry} print their JSON
+    directly, using {!escape} for strings. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** Fields in document order. *)
+
+val parse : string -> (t, string) result
+(** Parse exactly one JSON document; trailing non-whitespace is an error.
+    The error string carries a character offset. *)
+
+val parse_file : string -> (t, string) result
+(** {!parse} on a file's contents; [Error] also covers unreadable files. *)
+
+val member : string -> t -> t option
+(** First field of that name, on objects; [None] otherwise. *)
+
+val escape : string -> string
+(** JSON string-literal body for [s] (no surrounding quotes): escapes
+    quotes, backslashes and control characters. *)

@@ -1,0 +1,465 @@
+(* Telemetry implementation.  Hot-path discipline: every operation that can
+   run inside the exploration or simulation loops tests [st.on] (one load +
+   one branch) and, when disabled, returns without allocating — the
+   allocation-freedom is asserted by test/test_telemetry.ml via
+   [Gc.minor_words].  Everything behind the branch may allocate freely. *)
+
+let now () = Unix.gettimeofday ()
+
+type counter = { cname : string; mutable count : int }
+
+type histogram = {
+  hname : string;
+  buckets : int array;  (* 65 power-of-two buckets; index 0 = v <= 0 *)
+  mutable n : int;
+  mutable sum : int;
+  mutable lo : int;
+  mutable hi : int;
+}
+
+type span_agg = { mutable calls : int; mutable total : float }
+
+type state = {
+  mutable on : bool;  (* write-once, in [enable] *)
+  mutable progress : bool;
+  mutable trace : out_channel option;
+  mutable trace_events : int;
+  mutable journal_oc : out_channel option;
+  mutable t0 : float;
+  mutable depth : int;
+  mutable last_progress : float;
+  mutable progress_live : bool;
+  emit_lock : Mutex.t;
+}
+
+let st =
+  {
+    on = false;
+    progress = false;
+    trace = None;
+    trace_events = 0;
+    journal_oc = None;
+    t0 = 0.;
+    depth = 0;
+    last_progress = 0.;
+    progress_live = false;
+    emit_lock = Mutex.create ();
+  }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let span_aggs : (string, span_agg) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { cname = name; count = 0 } in
+    Hashtbl.add counters name c;
+    c
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h = { hname = name; buckets = Array.make 65 0; n = 0; sum = 0; lo = max_int; hi = min_int } in
+    Hashtbl.add histograms name h;
+    h
+
+let enabled () = st.on
+let journalling () = st.on && st.journal_oc <> None
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path operations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let incr c = if st.on then c.count <- c.count + 1
+let add c n = if st.on then c.count <- c.count + n
+let max_gauge c n = if st.on then if n > c.count then c.count <- n
+let value c = c.count
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let k = ref 0 and x = ref v in
+    while !x > 0 do
+      Stdlib.incr k;
+      x := !x lsr 1
+    done;
+    !k
+  end
+
+let observe h v =
+  if st.on then begin
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1;
+    h.n <- h.n + 1;
+    h.sum <- h.sum + v;
+    if v < h.lo then h.lo <- v;
+    if v > h.hi then h.hi <- v
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type arg = I of int | F of float | S of string | A of int list
+
+let arg_json b = function
+  | I v -> Buffer.add_string b (string_of_int v)
+  | F v -> Buffer.add_string b (Printf.sprintf "%.6g" v)
+  | S s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (Json.escape s);
+    Buffer.add_char b '"'
+  | A l ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (string_of_int v))
+      l;
+    Buffer.add_char b ']'
+
+let fields_json b fields =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b ",\"";
+      Buffer.add_string b (Json.escape k);
+      Buffer.add_string b "\":";
+      arg_json b v)
+    fields
+
+(* One Chrome trace_event object.  [ts]/[dur] are microseconds relative to
+   [enable]; everything runs on one logical track (pid/tid 0), so span
+   hierarchy is time containment. *)
+let write_trace_event ~name ~ph ~ts ?dur args =
+  match st.trace with
+  | None -> ()
+  | Some oc ->
+    let b = Buffer.create 128 in
+    Buffer.add_string b (if st.trace_events > 0 then ",\n" else "");
+    Buffer.add_string b
+      (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"dda\",\"ph\":\"%s\",\"ts\":%.1f,\"pid\":0,\"tid\":0"
+         (Json.escape name) ph ts);
+    (match dur with Some d -> Buffer.add_string b (Printf.sprintf ",\"dur\":%.1f" d) | None -> ());
+    (match ph with "i" -> Buffer.add_string b ",\"s\":\"t\"" | _ -> ());
+    if args <> [] then begin
+      Buffer.add_string b ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "\"%s\":" (Json.escape k));
+          arg_json b v)
+        args;
+      Buffer.add_char b '}'
+    end;
+    Buffer.add_char b '}';
+    Mutex.lock st.emit_lock;
+    st.trace_events <- st.trace_events + 1;
+    output_string oc (Buffer.contents b);
+    Mutex.unlock st.emit_lock
+
+let write_journal_line ev fields =
+  match st.journal_oc with
+  | None -> ()
+  | Some oc ->
+    let b = Buffer.create 96 in
+    Buffer.add_string b
+      (Printf.sprintf "{\"ev\":\"%s\",\"t\":%.6f" (Json.escape ev) (now () -. st.t0));
+    fields_json b fields;
+    Buffer.add_string b "}\n";
+    Mutex.lock st.emit_lock;
+    output_string oc (Buffer.contents b);
+    Mutex.unlock st.emit_lock
+
+let journal ev fields = if st.on then write_journal_line ev fields
+
+let event ?(args = []) name =
+  if st.on then begin
+    write_trace_event ~name ~ph:"i" ~ts:((now () -. st.t0) *. 1e6) args;
+    write_journal_line name args
+  end
+
+let emit_value name v =
+  if st.on then
+    write_trace_event ~name ~ph:"C" ~ts:((now () -. st.t0) *. 1e6) [ ("value", I v) ]
+
+let with_span ?(args = []) name f =
+  if not st.on then f ()
+  else begin
+    let span_t0 = now () in
+    st.depth <- st.depth + 1;
+    let finish () =
+      st.depth <- st.depth - 1;
+      let span_t1 = now () in
+      let dt = span_t1 -. span_t0 in
+      let agg =
+        match Hashtbl.find_opt span_aggs name with
+        | Some a -> a
+        | None ->
+          let a = { calls = 0; total = 0. } in
+          Hashtbl.add span_aggs name a;
+          a
+      in
+      agg.calls <- agg.calls + 1;
+      agg.total <- agg.total +. dt;
+      write_trace_event ~name ~ph:"X" ~ts:((span_t0 -. st.t0) *. 1e6) ~dur:(dt *. 1e6) args;
+      write_journal_line "span"
+        (("name", S name) :: ("dur_s", F dt) :: ("depth", I st.depth) :: args)
+    in
+    Fun.protect ~finally:finish f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Progress                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let progress_tick ~label ~expanded ~discovered ~budget ~wave ~frontier =
+  if st.progress then begin
+    let t = now () in
+    if t -. st.last_progress >= 0.2 then begin
+      st.last_progress <- t;
+      let dt = Float.max 1e-9 (t -. st.t0) in
+      let rate = float_of_int expanded /. dt in
+      let eta = if rate > 0. then float_of_int frontier /. rate else 0. in
+      Printf.eprintf
+        "\r[%s] expanded %d / discovered %d (budget %d)  %.0f cfg/s  wave %d  frontier %d  eta %.0fs   %!"
+        label expanded discovered budget rate wave frontier eta;
+      st.progress_live <- true
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let enable ?trace ?journal ?(progress = false) () =
+  if st.on then invalid_arg "Telemetry.enable: already enabled (the flag is write-once)";
+  st.t0 <- now ();
+  st.last_progress <- 0.;
+  (match trace with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    st.trace <- Some oc
+  | None -> ());
+  (match journal with Some path -> st.journal_oc <- Some (open_out path) | None -> ());
+  st.progress <- progress;
+  st.on <- true
+
+let shutdown () =
+  if st.progress_live then begin
+    prerr_newline ();
+    st.progress_live <- false
+  end;
+  st.progress <- false;
+  (match st.trace with
+  | Some oc ->
+    output_string oc "\n]}\n";
+    close_out oc;
+    st.trace <- None
+  | None -> ());
+  match st.journal_oc with
+  | Some oc ->
+    close_out oc;
+    st.journal_oc <- None
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Metrics snapshot                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_bindings tbl =
+  List.sort (fun (a, _) (b, _) -> compare a b) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let metrics_json () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": \"dda.telemetry/1\",\n  \"counters\": {";
+  let live_counters = List.filter (fun (_, c) -> c.count <> 0) (sorted_bindings counters) in
+  List.iteri
+    (fun i (name, c) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s\n    \"%s\": %d" (if i > 0 then "," else "") (Json.escape name) c.count))
+    live_counters;
+  Buffer.add_string b (if live_counters = [] then "},\n" else "\n  },\n");
+  Buffer.add_string b "  \"histograms\": {";
+  let live_histograms = List.filter (fun (_, h) -> h.n > 0) (sorted_bindings histograms) in
+  List.iteri
+    (fun i (name, h) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s\n    \"%s\": {\"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"mean\": %.3f, \"buckets\": {"
+           (if i > 0 then "," else "")
+           (Json.escape name) h.n h.sum h.lo h.hi
+           (float_of_int h.sum /. float_of_int h.n));
+      let first = ref true in
+      Array.iteri
+        (fun k count ->
+          if count > 0 then begin
+            if not !first then Buffer.add_string b ", ";
+            first := false;
+            let label = if k = 0 then "0" else Printf.sprintf "lt_%d" (1 lsl k) in
+            Buffer.add_string b (Printf.sprintf "\"%s\": %d" label count)
+          end)
+        h.buckets;
+      Buffer.add_string b "}}")
+    live_histograms;
+  Buffer.add_string b (if live_histograms = [] then "},\n" else "\n  },\n");
+  Buffer.add_string b "  \"spans\": {";
+  let spans = sorted_bindings span_aggs in
+  List.iteri
+    (fun i (name, a) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s\n    \"%s\": {\"count\": %d, \"total_s\": %.6f, \"mean_s\": %.6f}"
+           (if i > 0 then "," else "")
+           (Json.escape name) a.calls a.total
+           (a.total /. float_of_int (max 1 a.calls))))
+    spans;
+  Buffer.add_string b (if spans = [] then "},\n" else "\n  },\n");
+  Buffer.add_string b "  \"derived\": {";
+  let cval name = match Hashtbl.find_opt counters name with Some c -> c.count | None -> 0 in
+  let hits = cval "engine.memo.hits" and misses = cval "engine.memo.misses" in
+  if hits + misses > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "\n    \"engine.memo.hit_rate\": %.6f\n  " (float_of_int hits /. float_of_int (hits + misses)));
+  Buffer.add_string b "}\n}\n";
+  Buffer.contents b
+
+let write_metrics path = Out_channel.with_open_bin path (fun oc -> output_string oc (metrics_json ()))
+
+(* ------------------------------------------------------------------ *)
+(* Registry and validation                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Registry = struct
+  let counters =
+    [
+      "engine.configs.interned";
+      "engine.configs.dedup_hits";
+      "engine.states.interned";
+      "engine.memo.hits";
+      "engine.memo.misses";
+      "engine.table.probes";
+      "engine.table.resizes";
+      "engine.waves";
+      "engine.frontier.peak";
+      "sched.steps";
+      "sched.resets";
+    ]
+
+  let histograms = [ "engine.wave.size"; "sched.selection.size" ]
+
+  let spans =
+    [ "explore"; "scc"; "verdict"; "simulate"; "synthesise"; "telemetry.selftest" ]
+
+  let tracks = [ "engine.frontier" ]
+
+  (* engine.domain.<k>.items *)
+  let domain_counter name =
+    let pre = "engine.domain." and post = ".items" in
+    let lp = String.length pre and ls = String.length post and ln = String.length name in
+    ln > lp + ls
+    && String.sub name 0 lp = pre
+    && String.sub name (ln - ls) ls = post
+    && begin
+         let mid = String.sub name lp (ln - lp - ls) in
+         mid <> "" && String.for_all (fun ch -> ch >= '0' && ch <= '9') mid
+       end
+
+  let valid_counter name = List.mem name counters || domain_counter name
+  let valid_histogram name = List.mem name histograms
+  let valid_span name = List.mem name spans
+end
+
+let validate_metrics doc =
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (match Json.member "schema" doc with
+  | Some (Json.Str "dda.telemetry/1") -> ()
+  | Some _ -> bad "schema is not \"dda.telemetry/1\""
+  | None -> bad "missing \"schema\"");
+  let check_section section valid check_value =
+    match Json.member section doc with
+    | Some (Json.Obj fields) ->
+      List.iter
+        (fun (name, v) ->
+          if not (valid name) then bad "%s: unregistered name %S" section name;
+          check_value name v)
+        fields
+    | Some _ -> bad "%S is not an object" section
+    | None -> bad "missing %S" section
+  in
+  let non_negative_int section name = function
+    | Json.Num f when Float.is_integer f && f >= 0. -> ()
+    | _ -> bad "%s.%s: not a non-negative integer" section name
+  in
+  check_section "counters" Registry.valid_counter (non_negative_int "counters");
+  check_section "histograms" Registry.valid_histogram (fun name v ->
+      List.iter
+        (fun key ->
+          match Json.member key v with
+          | Some (Json.Num _) -> ()
+          | _ -> bad "histograms.%s: missing numeric %S" name key)
+        [ "count"; "sum"; "min"; "max"; "mean" ]);
+  check_section "spans" Registry.valid_span (fun name v ->
+      List.iter
+        (fun key ->
+          match Json.member key v with
+          | Some (Json.Num _) -> ()
+          | _ -> bad "spans.%s: missing numeric %S" name key)
+        [ "count"; "total_s" ]);
+  List.rev !problems
+
+let validate_trace doc =
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (match Json.member "traceEvents" doc with
+  | Some (Json.Arr events) ->
+    List.iteri
+      (fun i ev ->
+        let name =
+          match Json.member "name" ev with
+          | Some (Json.Str s) when s <> "" -> Some s
+          | _ ->
+            bad "event %d: missing non-empty \"name\"" i;
+            None
+        in
+        (match Json.member "ts" ev with
+        | Some (Json.Num ts) when ts >= 0. -> ()
+        | _ -> bad "event %d: missing non-negative \"ts\"" i);
+        match Json.member "ph" ev with
+        | Some (Json.Str "X") ->
+          (match Json.member "dur" ev with
+          | Some (Json.Num d) when d >= 0. -> ()
+          | _ -> bad "event %d: \"X\" event without non-negative \"dur\"" i);
+          (match name with
+          | Some n when not (Registry.valid_span n) -> bad "event %d: unregistered span %S" i n
+          | _ -> ())
+        | Some (Json.Str "C") -> (
+          match name with
+          | Some n when not (List.mem n Registry.tracks) -> bad "event %d: unregistered track %S" i n
+          | _ -> ())
+        | Some (Json.Str ("i" | "B" | "E" | "M")) -> ()
+        | _ -> bad "event %d: missing or unsupported \"ph\"" i)
+      events
+  | Some _ -> bad "\"traceEvents\" is not an array"
+  | None -> bad "missing \"traceEvents\"");
+  List.rev !problems
+
+let validate_journal contents =
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then
+        match Json.parse line with
+        | Error msg -> bad "line %d: %s" (i + 1) msg
+        | Ok doc ->
+          (match Json.member "ev" doc with
+          | Some (Json.Str _) -> ()
+          | _ -> bad "line %d: missing string \"ev\"" (i + 1));
+          (match Json.member "t" doc with
+          | Some (Json.Num t) when t >= 0. -> ()
+          | _ -> bad "line %d: missing non-negative \"t\"" (i + 1)))
+    (String.split_on_char '\n' contents);
+  List.rev !problems

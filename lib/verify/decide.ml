@@ -2,6 +2,17 @@ module Machine = Dda_machine.Machine
 module Graph = Dda_graph.Graph
 module Config = Dda_runtime.Config
 module Listx = Dda_util.Listx
+module T = Dda_telemetry.Telemetry
+
+(* Condensation timed as its own span: together with "explore" and
+   "verdict" this gives the explore/scc/verdict phase breakdown in traces
+   and metrics.  Cold path — one call per analysis. *)
+let timed_scc_iter ~vertices ~degree ~succ =
+  T.with_span ~args:[ ("vertices", T.I vertices) ] "scc" (fun () ->
+      Scc.compute_iter ~vertices ~degree ~succ)
+
+let timed_scc ~vertices ~succs =
+  T.with_span ~args:[ ("vertices", T.I vertices) ] "scc" (fun () -> Scc.compute ~vertices ~succs)
 
 type verdict = Accepts | Rejects | Inconsistent of string
 
@@ -37,7 +48,7 @@ let packed_pseudo_stochastic e describe =
   let n = Engine.out_degree e in
   let sz = e.Engine.size in
   let scc =
-    Scc.compute_iter ~vertices:sz ~degree:(fun _ -> n) ~succ:(fun i k -> Engine.target e i k)
+    timed_scc_iter ~vertices:sz ~degree:(fun _ -> n) ~succ:(fun i k -> Engine.target e i k)
   in
   let comp = scc.Scc.comp in
   let nc = scc.Scc.comp_count in
@@ -100,7 +111,7 @@ let packed_adversarial_core e =
     let i = x / ord and t = x mod ord in
     (Engine.target e i k * ord) + mul.(t).(Engine.edge_sigma e i k)
   in
-  let scc = Scc.compute_iter ~vertices:sz ~degree:(fun _ -> n) ~succ in
+  let scc = timed_scc_iter ~vertices:sz ~degree:(fun _ -> n) ~succ in
   let comp = scc.Scc.comp in
   let nc = scc.Scc.comp_count in
   let full = (1 lsl n) - 1 in
@@ -140,13 +151,14 @@ let adversarial_verdict describe = function
   | None, None -> Inconsistent "no fair cycle found (should be impossible)"
 
 let rec pseudo_stochastic space =
-  match space.Space.backend with
-  | Space.Packed e -> packed_pseudo_stochastic e space.Space.describe
-  | Space.Generic -> generic_pseudo_stochastic space
+  T.with_span ~args:[ ("analysis", T.S "pseudo-stochastic") ] "verdict" (fun () ->
+      match space.Space.backend with
+      | Space.Packed e -> packed_pseudo_stochastic e space.Space.describe
+      | Space.Generic -> generic_pseudo_stochastic space)
 
 and generic_pseudo_stochastic space =
   let succs = targets space in
-  let scc = Scc.compute ~vertices:space.Space.size ~succs in
+  let scc = timed_scc ~vertices:space.Space.size ~succs in
   let classify_bottom c =
     let members = scc.Scc.members.(c) in
     let all_acc = List.for_all space.Space.accepting members in
@@ -235,7 +247,7 @@ let adversarial_witness space ~against =
        symmetry";
   let n = space.Space.node_count in
   let succs = targets space in
-  let scc = Scc.compute ~vertices:space.Space.size ~succs in
+  let scc = timed_scc ~vertices:space.Space.size ~succs in
   let offending = match against with `Accepting -> space.Space.accepting | `Rejecting -> space.Space.rejecting in
   (* find an SCC with internal label coverage and a non-[against] member *)
   let candidate = ref None in
@@ -332,7 +344,7 @@ let adversarial_witness space ~against =
 
 let certificate_path space target =
   let succs = targets space in
-  let scc = Scc.compute ~vertices:space.Space.size ~succs in
+  let scc = timed_scc ~vertices:space.Space.size ~succs in
   let wanted = match target with `Accepting -> space.Space.accepting | `Rejecting -> space.Space.rejecting in
   (* components whose members are uniformly of the wanted polarity and that
      have no outgoing edges *)
@@ -343,9 +355,9 @@ let certificate_path space target =
   done;
   Space.shortest_path space ~goal:(fun i -> good_component.(scc.Scc.component.(i)))
 
-let unconditional space =
+let unconditional_body space =
   let succs = targets space in
-  let scc = Scc.compute ~vertices:space.Space.size ~succs in
+  let scc = timed_scc ~vertices:space.Space.size ~succs in
   (* A configuration lies on a cycle iff its SCC has an internal edge. *)
   let bad_for_accept = ref None in
   let bad_for_reject = ref None in
@@ -369,17 +381,22 @@ let unconditional space =
          (space.Space.describe i) (space.Space.describe j))
   | None, None -> Inconsistent "no cycle found (space must model idling as self-loops)"
 
+let unconditional space =
+  T.with_span ~args:[ ("analysis", T.S "unconditional") ] "verdict" (fun () ->
+      unconditional_body space)
+
 let rec adversarial space =
   if space.Space.kind <> Space.Explicit then
     invalid_arg "Decide.adversarial: needs an explicit space (node identity)";
-  match space.Space.backend with
-  | Space.Packed e -> adversarial_verdict space.Space.describe (packed_adversarial_core e)
-  | Space.Generic -> generic_adversarial space
+  T.with_span ~args:[ ("analysis", T.S "adversarial") ] "verdict" (fun () ->
+      match space.Space.backend with
+      | Space.Packed e -> adversarial_verdict space.Space.describe (packed_adversarial_core e)
+      | Space.Generic -> generic_adversarial space)
 
 and generic_adversarial space =
   let n = space.Space.node_count in
   let succs = targets space in
-  let scc = Scc.compute ~vertices:space.Space.size ~succs in
+  let scc = timed_scc ~vertices:space.Space.size ~succs in
   (* For each SCC: do its internal edges cover every node label, and does it
      contain non-accepting / non-rejecting configurations? *)
   let fair_non_accepting = ref None in

@@ -9,7 +9,9 @@
      growable byte store;
    - delta evaluation is memoised per (state id, capped neighbourhood
      profile), so the structured transition functions of compiled automata
-     (Lemmas 4.7/4.9/4.10) are evaluated once per distinct observation;
+     (Lemmas 4.7/4.9/4.10) are evaluated once per distinct observation; the
+     memo is itself a string-keyed open-addressing table probed directly
+     against the scratch key buffer, so a hit allocates nothing;
    - edges are stored in an implicit-CSR int array: every configuration has
      exactly [node_count] out-edges (edge [k] = select node [k]; silent
      moves are self-loops), so [targets.(i * node_count + k)] is the whole
@@ -20,11 +22,21 @@
      adversarial analysis;
    - frontier expansion (the delta/memo part) can fan out over OCaml 5
      domains; interning stays sequential, so verdicts are deterministic and
-     ids are reproducible for [jobs = 1]. *)
+     ids are reproducible for [jobs = 1].  Parallelism is gated on the
+     machine's core count and a measured per-wave work threshold (see
+     "Parallel gates" below), because spawning domains for small waves — or
+     on a single-core host — only adds overhead.
+
+   Telemetry: the hot loops accumulate plain mutable ints (probes, memo
+   hits, per-domain items) and flush them into [Dda_telemetry] counters at
+   phase boundaries, so instrumentation costs nothing measurable whether or
+   not telemetry is enabled; per-wave counter tracks, the progress line and
+   the frontier histogram are emitted between waves. *)
 
 module Machine = Dda_machine.Machine
 module Neighbourhood = Dda_machine.Neighbourhood
 module Graph = Dda_graph.Graph
+module T = Dda_telemetry.Telemetry
 
 exception Too_large of int
 
@@ -32,6 +44,12 @@ type stats = {
   state_count : int;  (* distinct machine states interned *)
   delta_evals : int;  (* real delta calls (memo misses) *)
   delta_lookups : int;  (* total delta requests *)
+  table_probes : int;  (* config-table slot inspections *)
+  table_resizes : int;
+  dedup_hits : int;  (* intern_config calls that found an existing config *)
+  waves : int;  (* frontier chunks processed *)
+  peak_frontier : int;  (* max configurations discovered but not yet expanded *)
+  domain_items : int array;  (* configurations expanded per domain slot *)
 }
 
 type t = {
@@ -49,6 +67,47 @@ type t = {
 }
 
 let reduced e = e.symmetry <> None
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry counters (inert single-branch no-ops until enabled)        *)
+(* ------------------------------------------------------------------ *)
+
+let c_configs = T.counter "engine.configs.interned"
+let c_dedup = T.counter "engine.configs.dedup_hits"
+let c_states = T.counter "engine.states.interned"
+let c_memo_hits = T.counter "engine.memo.hits"
+let c_memo_misses = T.counter "engine.memo.misses"
+let c_probes = T.counter "engine.table.probes"
+let c_resizes = T.counter "engine.table.resizes"
+let c_waves = T.counter "engine.waves"
+let c_peak = T.counter "engine.frontier.peak"
+let h_wave = T.histogram "engine.wave.size"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel gates                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (match int_of_string_opt s with Some v when v >= 1 -> v | _ -> default)
+  | None -> default
+
+(* Worker domains beyond the physical core count cannot help and the
+   per-wave Domain.spawn/join plus minor-GC barriers actively hurt — on a
+   single-core host engine-j2 measured ~2.8x slower than sequential before
+   this gate existed (BENCH_verify.json, PR 1).  Overridable for tests and
+   experiments via DDA_PAR_CORES. *)
+let par_cores = lazy (getenv_int "DDA_PAR_CORES" (Domain.recommended_domain_count ()))
+
+(* Waves below this many work items (frontier length x node count) run
+   sequentially.  A memoised work item costs ~0.1-0.6 us; a Domain.spawn/
+   join pair costs tens of microseconds on an idle multicore host (and
+   ~3.3 ms measured on the project's 1-core CI container, where the cores
+   cap above already forces sequential execution).  16384 items = ms-scale
+   waves, keeping spawn overhead in the low percent on hosts where
+   parallelism can help at all.  Overridable via DDA_PAR_THRESHOLD; see
+   doc/INTERNALS.md "Parallel frontier expansion". *)
+let par_threshold = lazy (getenv_int "DDA_PAR_THRESHOLD" 16384)
 
 (* ------------------------------------------------------------------ *)
 (* Growable buffers                                                     *)
@@ -141,6 +200,9 @@ type store = {
   mutable table : int array;  (* open addressing, -1 = empty *)
   mutable mask : int;
   cflags : Buffer.t;  (* per config: bit 0 acc, bit 1 rej *)
+  mutable probes : int;  (* telemetry: slot inspections *)
+  mutable resizes : int;
+  mutable dedup_hits : int;
 }
 
 let store_create cells =
@@ -153,6 +215,9 @@ let store_create cells =
     table = Array.make 4096 (-1);
     mask = 4095;
     cflags = Buffer.create 1024;
+    probes = 0;
+    resizes = 0;
+    dedup_hits = 0;
   }
 
 let fnv_prime = 0x100000001b3
@@ -210,6 +275,7 @@ let upgrade_width st =
   st.width <- w'
 
 let store_resize_table st =
+  st.resizes <- st.resizes + 1;
   let cap = 2 * (st.mask + 1) in
   let t = Array.make cap (-1) in
   let m = cap - 1 in
@@ -244,12 +310,16 @@ let intern_config st ~max_configs ids flags =
   let slot = ref (h land m) in
   let found = ref (-2) in
   while !found = -2 do
+    st.probes <- st.probes + 1;
     let j = st.table.(!slot) in
     if j < 0 then found := -1
     else if st.hashes.(j) = h && config_equal st j ids then found := j
     else slot := (!slot + 1) land m
   done;
-  if !found >= 0 then (!found, false)
+  if !found >= 0 then begin
+    st.dedup_hits <- st.dedup_hits + 1;
+    (!found, false)
+  end
   else begin
     if st.count >= max_configs then raise (Too_large st.count);
     let i = st.count in
@@ -281,6 +351,94 @@ let intern_config st ~max_configs ids flags =
 (* Delta memoisation                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* String-keyed open-addressing memo probed directly against the scratch
+   key buffer: a hit compares bytes in place and allocates nothing.  The
+   key string is only materialised on a miss (when the expensive delta call
+   happens anyway).  "" marks a free slot — real keys are >= 4 bytes. *)
+type memo = {
+  mutable mkeys : string array;
+  mutable mids : int array;
+  mutable mhash : int array;
+  mutable mmask : int;
+  mutable mn : int;
+}
+
+let memo_create () =
+  { mkeys = Array.make 8192 ""; mids = Array.make 8192 (-1); mhash = Array.make 8192 0; mmask = 8191; mn = 0 }
+
+let memo_hash kb len =
+  let h = ref 0x14650FB0739D0383 in
+  for i = 0 to len - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get kb i)) * fnv_prime
+  done;
+  !h land max_int
+
+let key_matches key kb len =
+  String.length key = len
+  && begin
+       let rec go i = i >= len || (String.unsafe_get key i = Bytes.unsafe_get kb i && go (i + 1)) in
+       go 0
+     end
+
+(* -1 = miss *)
+let memo_find m kb len h =
+  let mask = m.mmask in
+  let rec probe slot =
+    let key = m.mkeys.(slot) in
+    if String.length key = 0 then -1
+    else if m.mhash.(slot) = h && key_matches key kb len then m.mids.(slot)
+    else probe ((slot + 1) land mask)
+  in
+  probe (h land mask)
+
+let memo_resize m =
+  let cap = 2 * (m.mmask + 1) in
+  let keys = Array.make cap "" and ids = Array.make cap (-1) and hs = Array.make cap 0 in
+  let mask = cap - 1 in
+  for i = 0 to m.mmask do
+    let key = m.mkeys.(i) in
+    if String.length key > 0 then begin
+      let slot = ref (m.mhash.(i) land mask) in
+      while String.length keys.(!slot) > 0 do
+        slot := (!slot + 1) land mask
+      done;
+      keys.(!slot) <- key;
+      ids.(!slot) <- m.mids.(i);
+      hs.(!slot) <- m.mhash.(i)
+    end
+  done;
+  m.mkeys <- keys;
+  m.mids <- ids;
+  m.mhash <- hs;
+  m.mmask <- mask
+
+let memo_add m key h id =
+  let mask = m.mmask in
+  let slot = ref (h land mask) in
+  while String.length m.mkeys.(!slot) > 0 do
+    slot := (!slot + 1) land mask
+  done;
+  m.mkeys.(!slot) <- key;
+  m.mids.(!slot) <- id;
+  m.mhash.(!slot) <- h;
+  m.mn <- m.mn + 1;
+  if 2 * m.mn > m.mmask then memo_resize m
+
+(* Manual little-endian 32-bit writes/reads: guaranteed allocation-free
+   (no int32 boxing), which matters because the key is rebuilt on every
+   delta lookup. *)
+let put32 kb pos v =
+  Bytes.unsafe_set kb pos (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set kb (pos + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bytes.unsafe_set kb (pos + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Bytes.unsafe_set kb (pos + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+
+let get32 kb pos =
+  Char.code (Bytes.unsafe_get kb pos)
+  lor (Char.code (Bytes.unsafe_get kb (pos + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get kb (pos + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get kb (pos + 3)) lsl 24)
+
 (* A worker's local view: the machine, the graph structure, a snapshot of
    the interner (only pre-chunk state ids ever need decoding), and a private
    memo table keyed by (state id, capped profile) packed into a string. *)
@@ -289,11 +447,12 @@ type 's ctx = {
   delta : 's -> 's Neighbourhood.t -> 's;
   interner : 's interner;
   nbr : int array array;
-  memo : (string, int) Hashtbl.t;
+  memo : memo;
   key_buf : Bytes.t;  (* scratch: 4 + 8 * max_degree bytes *)
   pid : int array;  (* scratch: sorted neighbour ids *)
   mutable evals : int;
   mutable lookups : int;
+  mutable items : int;  (* configurations expanded by this worker *)
 }
 
 let ctx_create m nbr interner =
@@ -303,11 +462,12 @@ let ctx_create m nbr interner =
     delta = m.Machine.delta;
     interner;
     nbr;
-    memo = Hashtbl.create 4096;
+    memo = memo_create ();
     key_buf = Bytes.create (4 + (8 * max_deg));
     pid = Array.make max_deg 0;
     evals = 0;
     lookups = 0;
+    items = 0;
   }
 
 (* New state id of node [v] in the configuration [cur] (state ids per node). *)
@@ -328,7 +488,7 @@ let delta_id ctx ~snapshot cur v =
   done;
   (* build the memo key: v's state id, then (id, capped count) runs *)
   let kb = ctx.key_buf in
-  Bytes.set_int32_le kb 0 (Int32.of_int cur.(v));
+  put32 kb 0 cur.(v);
   let pos = ref 4 in
   let k = ref 0 in
   while !k < deg do
@@ -338,23 +498,24 @@ let delta_id ctx ~snapshot cur v =
       incr c;
       incr k
     done;
-    Bytes.set_int32_le kb !pos (Int32.of_int id);
-    Bytes.set_int32_le kb (!pos + 4) (Int32.of_int (min !c ctx.beta));
+    put32 kb !pos id;
+    put32 kb (!pos + 4) (min !c ctx.beta);
     pos := !pos + 8
   done;
-  let key = Bytes.sub_string kb 0 !pos in
-  match Hashtbl.find_opt ctx.memo key with
-  | Some id -> id
-  | None ->
+  let len = !pos in
+  let h = memo_hash kb len in
+  let cached = memo_find ctx.memo kb len h in
+  if cached >= 0 then cached
+  else begin
     ctx.evals <- ctx.evals + 1;
     let sarr, _sn = snapshot in
     (* reconstruct the capped neighbour state list; [of_states] re-sorts and
        re-caps, so this is exactly the observation the legacy engine built *)
     let states = ref [] in
     let p = ref 4 in
-    while !p < !pos do
-      let id = Int32.to_int (Bytes.get_int32_le kb !p) in
-      let c = Int32.to_int (Bytes.get_int32_le kb (!p + 4)) in
+    while !p < len do
+      let id = get32 kb !p in
+      let c = get32 kb (!p + 4) in
       for _ = 1 to c do
         states := sarr.(id) :: !states
       done;
@@ -363,8 +524,9 @@ let delta_id ctx ~snapshot cur v =
     let nb = Neighbourhood.of_states ~beta:ctx.beta !states in
     let q' = ctx.delta sarr.(cur.(v)) nb in
     let id = intern_state ctx.interner q' in
-    Hashtbl.add ctx.memo key id;
+    memo_add ctx.memo (Bytes.sub_string kb 0 len) h id;
     id
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Canonicalisation                                                     *)
@@ -413,7 +575,11 @@ let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
   let st = store_create n in
   let targets = ibuf_create (n * 1024) in
   let sigmas = ibuf_create (if sym = None then 16 else n * 1024) in
-  let jobs = max 1 (min jobs 64) in
+  (* never spawn more workers than cores: on an oversubscribed or
+     single-core host the spawn/join and GC barriers make jobs > cores a
+     strict loss (the gate of satellite measurement, doc/INTERNALS.md) *)
+  let jobs = max 1 (min (min jobs 64) (Lazy.force par_cores)) in
+  let seq_threshold = Lazy.force par_threshold in
   let ctxs = Array.init jobs (fun _ -> ctx_create m nbr interner) in
   (* flag bits of a configuration from per-state flags *)
   let config_flags ids =
@@ -437,6 +603,8 @@ let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
   let initial, _, initial_sigma = intern_canonical ids0 in
   (* chunked frontier expansion *)
   let next = ref 0 in
+  let wave = ref 0 in
+  let peak_frontier = ref 0 in
   let sids = Array.make (chunk_size * jobs * n) 0 in
   let cur = Array.make n 0 in
   let succ = Array.make n 0 in
@@ -448,6 +616,7 @@ let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
        interner, under its lock, on memo misses) *)
     let snapshot = (interner.states, interner.n) in
     let run_slice ctx a b =
+      ctx.items <- ctx.items + (b - a);
       let c = Array.make n 0 in
       for i = a to b - 1 do
         decode st (lo + i) c;
@@ -457,7 +626,7 @@ let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
         done
       done
     in
-    if jobs = 1 || len < 2 * n then run_slice ctxs.(0) 0 len
+    if jobs = 1 || len * n < seq_threshold then run_slice ctxs.(0) 0 len
     else begin
       let per = (len + jobs - 1) / jobs in
       let domains =
@@ -484,6 +653,16 @@ let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
         if sym <> None then ibuf_push sigmas sigma
       done
     done;
+    incr wave;
+    let frontier = st.count - hi in
+    if frontier > !peak_frontier then peak_frontier := frontier;
+    if T.enabled () then begin
+      T.incr c_waves;
+      T.observe h_wave len;
+      T.emit_value "engine.frontier" frontier;
+      T.progress_tick ~label:"explore" ~expanded:hi ~discovered:st.count ~budget:max_configs
+        ~wave:!wave ~frontier
+    end;
     next := hi
   done;
   let size = st.count in
@@ -499,6 +678,20 @@ let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
   in
   let evals = Array.fold_left (fun a c -> a + c.evals) 0 ctxs in
   let lookups = Array.fold_left (fun a c -> a + c.lookups) 0 ctxs in
+  let domain_items = Array.map (fun c -> c.items) ctxs in
+  if T.enabled () then begin
+    T.add c_configs st.count;
+    T.add c_dedup st.dedup_hits;
+    T.add c_states interner.n;
+    T.add c_memo_misses evals;
+    T.add c_memo_hits (lookups - evals);
+    T.add c_probes st.probes;
+    T.add c_resizes st.resizes;
+    T.max_gauge c_peak !peak_frontier;
+    Array.iteri
+      (fun w items -> T.add (T.counter (Printf.sprintf "engine.domain.%d.items" w)) items)
+      domain_items
+  end;
   {
     node_count = n;
     size;
@@ -510,7 +703,18 @@ let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
     rej;
     describe;
     symmetry = sym;
-    stats = { state_count = interner.n; delta_evals = evals; delta_lookups = lookups };
+    stats =
+      {
+        state_count = interner.n;
+        delta_evals = evals;
+        delta_lookups = lookups;
+        table_probes = st.probes;
+        table_resizes = st.resizes;
+        dedup_hits = st.dedup_hits;
+        waves = !wave;
+        peak_frontier = !peak_frontier;
+        domain_items;
+      };
   }
 
 (* ------------------------------------------------------------------ *)

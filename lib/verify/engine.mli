@@ -33,6 +33,15 @@ type stats = {
   state_count : int;  (** Distinct machine states interned. *)
   delta_evals : int;  (** Real delta calls (memo misses). *)
   delta_lookups : int;  (** Total delta requests ([size * node_count]). *)
+  table_probes : int;  (** Config-table slot inspections (probe-sequence cost). *)
+  table_resizes : int;  (** Config-table rehashes. *)
+  dedup_hits : int;  (** Successor interns that found an existing config. *)
+  waves : int;  (** Frontier chunks processed. *)
+  peak_frontier : int;  (** Max configurations discovered but not yet expanded. *)
+  domain_items : int array;
+      (** Configurations expanded per worker slot; length = effective [jobs]
+          (after the core-count cap), so [domain_items.(0)] alone means the
+          run was sequential. *)
 }
 
 type t = {
@@ -63,9 +72,14 @@ val explore :
   t
 (** [explore m g] builds the reachable configuration space.
 
-    [jobs] (default 1): domains used for the delta/memo phase.  Verdict-
-    relevant output (sizes, edges up to renumbering, analyses) does not
-    depend on [jobs]; exact ids are guaranteed stable only for [jobs = 1].
+    [jobs] (default 1): domains used for the delta/memo phase.  The
+    effective value is capped at the machine's core count
+    ([Domain.recommended_domain_count], override with [DDA_PAR_CORES]),
+    and waves with fewer than [DDA_PAR_THRESHOLD] work items (frontier
+    length x node count, default 16384) run sequentially — see
+    doc/INTERNALS.md "Parallel frontier expansion".  Verdict-relevant
+    output (sizes, edges up to renumbering, analyses) does not depend on
+    [jobs]; exact ids are guaranteed stable only for [jobs = 1].
 
     [symmetry]: a permutation group whose elements must all be automorphisms
     of [g]'s adjacency (labels need not be preserved; soundness needs

@@ -3,6 +3,7 @@ module Machine = Dda_machine.Machine
 module Neighbourhood = Dda_machine.Neighbourhood
 module Multiset = Dda_multiset.Multiset
 module Listx = Dda_util.Listx
+module T = Dda_telemetry.Telemetry
 
 type kind = Explicit | Counted
 
@@ -112,7 +113,11 @@ let explore_legacy ~max_configs m g =
 
 let explore ?jobs ?symmetry ?states ~max_configs m g =
   let e =
-    try Engine.explore ?jobs ?symmetry ?states ~max_configs m g
+    try
+      T.with_span
+        ~args:[ ("nodes", T.I (Graph.nodes g)); ("max_configs", T.I max_configs) ]
+        "explore"
+        (fun () -> Engine.explore ?jobs ?symmetry ?states ~max_configs m g)
     with Engine.Too_large n -> raise (Too_large n)
   in
   {

@@ -4,6 +4,15 @@
    symmetry-group unit tests, the allocation-free Tarjan, and the
    [explore_liberal] / [to_dot] fixes. *)
 
+(* The engine caps jobs at the host's core count and falls back to
+   sequential expansion below a work-item threshold (both lazy env reads),
+   which would silently turn every parallel differential test into a
+   sequential one on the 1-core CI box.  Force the Domain.spawn path so
+   jobs > 1 keeps being exercised regardless of the host. *)
+let () =
+  Unix.putenv "DDA_PAR_CORES" "4";
+  Unix.putenv "DDA_PAR_THRESHOLD" "1"
+
 module G = Dda_graph.Graph
 module N = Dda_machine.Neighbourhood
 module Machine = Dda_machine.Machine
