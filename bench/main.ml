@@ -419,6 +419,72 @@ let experiment_exact_adversarial () =
        @ if quick then [] else [ [ "a"; "b"; "a"; "b"; "a" ] ])
 
 (* ------------------------------------------------------------------ *)
+(* E12: the verdict cache — cold vs warm Figure 1 regeneration            *)
+(* ------------------------------------------------------------------ *)
+
+type cache_bench = {
+  cb_cold : float;
+  cb_warm : float;
+  cb_cold_hits : int;
+  cb_cold_misses : int;
+  cb_warm_hits : int;
+  cb_warm_misses : int;
+}
+
+(* stashed for E11's BENCH_verify.json writer *)
+let cache_bench_result : cache_bench option ref = ref None
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let experiment_cache () =
+  section "E12  verdict cache: cold vs warm Figure 1 (middle) regeneration";
+  let module Batch = Dda_batch.Batch in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dda_bench_cache.%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists root then rm_rf root;
+  let cache = Dda_batch.Store.open_ ~root () in
+  let max_nodes = if smoke then 3 else 4 in
+  (* the middle table is the exact-verification workload the cache covers;
+     the bounded table's headline cells are decided by scheduler
+     simulation, which is not a cacheable verdict *)
+  let tables () = Dda_core.Figure1.arbitrary_table ~cache ~max_nodes () in
+  let timed () =
+    Batch.reset_cache_stats ();
+    let t0 = Unix.gettimeofday () in
+    let r = tables () in
+    let dt = Unix.gettimeofday () -. t0 in
+    let hits, misses = Batch.cache_stats () in
+    (r, dt, hits, misses)
+  in
+  let cold_tables, cold, cold_hits, cold_misses = timed () in
+  let warm_tables, warm, warm_hits, warm_misses = timed () in
+  rm_rf root;
+  let agree = cold_tables = warm_tables in
+  let hit_rate = float_of_int warm_hits /. float_of_int (max 1 (warm_hits + warm_misses)) in
+  Format.printf "%-6s %10s %8s %8s@." "run" "seconds" "hits" "misses";
+  Format.printf "%-6s %9.3fs %8d %8d@." "cold" cold cold_hits cold_misses;
+  Format.printf "%-6s %9.3fs %8d %8d@." "warm" warm warm_hits warm_misses;
+  Format.printf "warm hit rate: %.1f%%   speedup: %.1fx   tables identical: %b@."
+    (100. *. hit_rate) (cold /. warm) agree;
+  cache_bench_result :=
+    Some
+      {
+        cb_cold = cold;
+        cb_warm = warm;
+        cb_cold_hits = cold_hits;
+        cb_cold_misses = cold_misses;
+        cb_warm_hits = warm_hits;
+        cb_warm_misses = warm_misses;
+      }
+
+(* ------------------------------------------------------------------ *)
 (* E11: the exploration engine vs the legacy explorer (BENCH_verify.json) *)
 (* ------------------------------------------------------------------ *)
 
@@ -571,7 +637,19 @@ let experiment_verify_bench () =
         (json_escape r.r_verdict) metrics
         (if i = List.length !rows - 1 then "" else ","))
     (List.rev !rows);
-  Format.fprintf out "  ]@.}@.";
+  (match !cache_bench_result with
+  | None -> Format.fprintf out "  ]@.}@."
+  | Some cb ->
+    Format.fprintf out "  ],@.";
+    Format.fprintf out
+      "  \"cache\": {\"cold_seconds\": %.4f, \"warm_seconds\": %.4f, \"speedup\": %.2f, \
+       \"cold_hits\": %d, \"cold_misses\": %d, \"warm_hits\": %d, \"warm_misses\": %d, \
+       \"warm_hit_rate\": %.4f}@.}@."
+      cb.cb_cold cb.cb_warm
+      (cb.cb_cold /. cb.cb_warm)
+      cb.cb_cold_hits cb.cb_cold_misses cb.cb_warm_hits cb.cb_warm_misses
+      (float_of_int cb.cb_warm_hits
+      /. float_of_int (max 1 (cb.cb_warm_hits + cb.cb_warm_misses))));
   close_out oc;
   Format.printf "wrote BENCH_verify.json (%d rows)@." (List.length !rows)
 
@@ -674,6 +752,7 @@ let () =
   experiment_convergence ();
   experiment_primality ();
   experiment_exact_adversarial ();
+  experiment_cache ();
   experiment_verify_bench ();
   bechamel_suite ();
   telemetry_overhead_bench ();

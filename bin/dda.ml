@@ -1,11 +1,19 @@
 (* dda — command-line front end.
 
    $ dda tables                             # regenerate the Figure 1 tables
+   $ dda tables --cache                     # ... through the verdict cache
    $ dda decide -p 'exists:a'    -g cycle:abb          # exact verification
    $ dda decide -p 'threshold:a,2' -g clique:aab -f F
    $ dda simulate -p 'majority-bounded:2' -g cycle:ababa -s round-robin
+   $ dda batch -m jobs.json --cache -j 4    # sharded batch verification
+   $ dda cache stats                        # inspect the verdict cache
    $ dda cutoff                             # Lemma 3.5 coverability demo
-   $ dda graph -g star:baa                  # inspect a graph spec *)
+   $ dda graph -g star:baa                  # inspect a graph spec
+
+   Exit codes (doc/CACHING.md): 0 success; 1 a resource bound was hit
+   (configuration budget exceeded, batch job bounded out or skipped);
+   2 a real error (bad spec, unreadable file, validation failure).
+   Cmdliner's own 123-125 for CLI misuse are unchanged. *)
 
 module G = Dda_graph.Graph
 module M = Dda_multiset.Multiset
@@ -18,6 +26,9 @@ module Classes = Dda_core.Classes
 module Decision = Dda_core.Decision
 module T = Dda_telemetry.Telemetry
 module Json = Dda_telemetry.Json
+module Spec = Dda_batch.Spec
+module Batch = Dda_batch.Batch
+module Store = Dda_batch.Store
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry wiring (doc/OBSERVABILITY.md)                              *)
@@ -35,129 +46,21 @@ let telemetry_init trace metrics journal progress =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Parsers for the little spec languages                                *)
+(* Spec parsing (shared with the batch runner: Dda_batch.Spec)          *)
 (* ------------------------------------------------------------------ *)
 
 let split_on c s = String.split_on_char c s
 
-let parse_graph spec =
-  match split_on ':' spec with
-  | [ topo; labels ] when String.length labels > 0 ->
-    let ls = List.init (String.length labels) (fun i -> String.make 1 labels.[i]) in
-    (match topo with
-    | "cycle" -> Ok (G.cycle ls)
-    | "line" -> Ok (G.line ls)
-    | "clique" -> Ok (G.clique ls)
-    | "star" -> (
-      match ls with
-      | centre :: (_ :: _ as leaves) -> Ok (G.star ~centre ~leaves)
-      | _ -> Error "star needs at least three labels")
-    | _ -> Error (Printf.sprintf "unknown topology %S (cycle|line|clique|star)" topo))
-  | [ "grid"; dims; labels ] -> (
-    match split_on 'x' dims with
-    | [ w; h ] -> (
-      match (int_of_string_opt w, int_of_string_opt h) with
-      | Some w, Some h when w >= 1 && h >= 1 && String.length labels = w * h ->
-        Ok (G.grid ~width:w ~height:h (fun x y -> String.make 1 labels.[(y * w) + x]))
-      | Some w, Some h ->
-        Error (Printf.sprintf "grid %dx%d needs exactly %d labels" w h (w * h))
-      | _ -> Error "grid dimensions must be integers")
-    | _ -> Error "grid spec: grid:WxH:labels")
-  | _ -> Error "graph spec: (cycle|line|clique|star):<labels> or grid:WxH:<labels>"
+let parse_graph = Spec.parse_graph
+let parse_protocol = Spec.parse_protocol
+let parse_scheduler = Spec.parse_scheduler
+let alphabet_of = Spec.alphabet_of
 
-let alphabet_of g =
-  Dda_util.Listx.dedup_sorted Stdlib.compare (Array.to_list (G.labels g))
+let fairness_of_regime = function
+  | Spec.Adversarial -> Classes.Adversarial
+  | Spec.Pseudo_stochastic -> Classes.Pseudo_stochastic
 
-(* Protocols are packed existentially so one table covers all state types. *)
-type packed = Packed : (string, 's) Machine.t -> packed
-
-let parse_protocol spec g =
-  let alphabet = alphabet_of g in
-  match split_on ':' spec with
-  | [ "exists"; l ] -> Ok (Packed (Dda_protocols.Cutoff_one.exists_label ~alphabet l))
-  | [ "cutoff1"; l ] ->
-    (* boolean example: label l occurs but label "b" does not *)
-    Ok
-      (Packed
-         (Dda_protocols.Cutoff_one.machine ~alphabet
-            (P.And (P.exists_label l, P.Not (P.exists_label "b")))))
-  | [ "threshold"; args ] -> (
-    match split_on ',' args with
-    | [ l; k ] -> (
-      match int_of_string_opt k with
-      | Some k when k >= 1 ->
-        Ok (Packed (Dda_protocols.Cutoff_broadcast.threshold ~alphabet ~label:l ~k))
-      | _ -> Error "threshold:<label>,<k>= needs k >= 1")
-    | _ -> Error "threshold spec: threshold:<label>,<k>")
-  | [ "majority-bounded"; k ] -> (
-    match int_of_string_opt k with
-    | Some k when k >= 1 -> Ok (Packed (Dda_protocols.Homogeneous.majority ~degree_bound:k))
-    | _ -> Error "majority-bounded:<degree bound>")
-  | [ "weak-majority-bounded"; k ] -> (
-    match int_of_string_opt k with
-    | Some k when k >= 1 ->
-      Ok (Packed (Dda_protocols.Homogeneous.weak_majority ~degree_bound:k))
-    | _ -> Error "weak-majority-bounded:<degree bound>")
-  | [ "majority-pop" ] ->
-    Ok
-      (Packed
-         (Machine.relabel
-            (fun l -> if l = "a" then 'a' else 'b')
-            (Dda_extensions.Population.compile Dda_protocols.Pop_examples.majority_4state)))
-  | [ "slp-majority" ] ->
-    Ok
-      (Packed
-         (Dda_extensions.Population.compile
-            (Dda_protocols.Semilinear_pop.threshold ~coeffs:[ ("a", 1); ("b", -1) ] ~c:1)))
-  | [ "slp-mod"; args ] -> (
-    match List.map int_of_string_opt (split_on ',' args) with
-    | [ Some m; Some r ] when m >= 1 ->
-      Ok
-        (Packed
-           (Dda_extensions.Population.compile
-              (Dda_protocols.Semilinear_pop.remainder ~coeffs:[ ("a", 1); ("b", 1) ] ~m ~r)))
-    | _ -> Error "slp-mod:<m>,<r>")
-  | [ "odd-a-token" ] ->
-    Ok
-      (Packed
-         (Machine.relabel
-            (fun l -> if l = "a" then 'a' else 'b')
-            (Dda_extensions.Strong_broadcast.to_daf Dda_protocols.Strong_examples.odd_a)))
-  | _ ->
-    Error
-      "protocol spec: exists:<l> | cutoff1:<l> | threshold:<l>,<k> | \
-       majority-bounded:<k> | weak-majority-bounded:<k> | majority-pop | \
-       slp-majority | slp-mod:<m>,<r> | odd-a-token"
-
-let parse_scheduler spec n =
-  match split_on ':' spec with
-  | [ "round-robin" ] -> Ok (Scheduler.round_robin ~n)
-  | [ "synchronous" ] | [ "sync" ] -> Ok (Scheduler.synchronous ~n)
-  | [ "random" ] -> Ok (Scheduler.random_exclusive ~n ~seed:1)
-  | [ "random"; seed ] -> (
-    match int_of_string_opt seed with
-    | Some seed -> Ok (Scheduler.random_exclusive ~n ~seed)
-    | None -> Error "random:<seed>")
-  | [ "adversary"; seed ] -> (
-    match int_of_string_opt seed with
-    | Some seed -> Ok (Scheduler.random_adversary ~n ~seed)
-    | None -> Error "adversary:<seed>")
-  | [ "burst"; w ] -> (
-    match int_of_string_opt w with
-    | Some w when w >= 1 -> Ok (Scheduler.burst ~n ~width:w)
-    | _ -> Error "burst:<width>")
-  | [ "starve"; args ] -> (
-    match List.map int_of_string_opt (split_on ',' args) with
-    | [ Some v; Some p ] when v >= 0 && v < n && p >= 2 ->
-      Ok (Scheduler.starve ~n ~victim:v ~period:p)
-    | _ -> Error "starve:<victim>,<period>")
-  | _ ->
-    Error "scheduler: round-robin | synchronous | random[:seed] | adversary:seed | burst:w | starve:v,p"
-
-let parse_fairness = function
-  | "f" | "adversarial" -> Ok Classes.Adversarial
-  | "F" | "pseudo-stochastic" -> Ok Classes.Pseudo_stochastic
-  | s -> Error (Printf.sprintf "unknown fairness %S (f | F)" s)
+let parse_fairness s = Result.map fairness_of_regime (Spec.parse_regime s)
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                             *)
@@ -169,15 +72,30 @@ let or_die = function
     Format.eprintf "error: %s@." msg;
     exit 2
 
-let cmd_tables bounded max_nodes =
+(* --cache with no argument opens the default root ($DDA_CACHE or
+   _dda_cache); --cache DIR opens DIR.  Shared by tables/batch/cache. *)
+let open_cache = function
+  | None -> None
+  | Some "" -> Some (Store.open_ ())
+  | Some dir -> Some (Store.open_ ~root:dir ())
+
+let cmd_tables bounded max_nodes cache_dir =
+  let cache = open_cache cache_dir in
   if not bounded then begin
     Format.printf "Figure 1 (middle): arbitrary communication graphs@.";
-    Format.printf "%a@." Dda_core.Figure1.pp_table (Dda_core.Figure1.arbitrary_table ~max_nodes ())
+    Format.printf "%a@." Dda_core.Figure1.pp_table
+      (Dda_core.Figure1.arbitrary_table ?cache ~max_nodes ())
   end
   else begin
     Format.printf "Figure 1 (right): degree-bounded communication graphs@.";
-    Format.printf "%a@." Dda_core.Figure1.pp_table (Dda_core.Figure1.bounded_table ~max_nodes ())
-  end
+    Format.printf "%a@." Dda_core.Figure1.pp_table
+      (Dda_core.Figure1.bounded_table ?cache ~max_nodes ())
+  end;
+  match cache with
+  | None -> ()
+  | Some _ ->
+    let hits, misses = Batch.cache_stats () in
+    Format.printf "cache: %d hits, %d misses@." hits misses
 
 let cmd_graph spec dot =
   let g = or_die (parse_graph spec) in
@@ -208,7 +126,7 @@ let cmd_decide proto_spec graph_spec fairness_str max_configs witness jobs reduc
     journal progress =
   telemetry_init trace metrics journal progress;
   let g = or_die (parse_graph graph_spec) in
-  let (Packed m) = or_die (parse_protocol proto_spec g) in
+  let (Spec.Packed m) = or_die (parse_protocol proto_spec g) in
   let fairness = or_die (parse_fairness fairness_str) in
   let symmetry = if reduce then symmetry_of_spec graph_spec (G.nodes g) else None in
   Format.printf "automaton: %s   graph: %s (n=%d)   fairness: %s%s%s@." m.Machine.name graph_spec
@@ -258,7 +176,7 @@ let cmd_decide proto_spec graph_spec fairness_str max_configs witness jobs reduc
 let cmd_simulate proto_spec graph_spec sched_spec max_steps trace metrics journal progress =
   telemetry_init trace metrics journal progress;
   let g = or_die (parse_graph graph_spec) in
-  let (Packed m) = or_die (parse_protocol proto_spec g) in
+  let (Spec.Packed m) = or_die (parse_protocol proto_spec g) in
   let sched = or_die (parse_scheduler sched_spec (G.nodes g)) in
   let r = T.with_span ~args:[ ("max_steps", T.I max_steps) ] "simulate" (fun () -> Run.simulate ~max_steps m g sched) in
   Format.printf "automaton: %s   graph: %s (n=%d)   scheduler: %s@." m.Machine.name graph_spec
@@ -335,6 +253,51 @@ let cmd_cutoff () =
     (List.length (C.basis_elements pre));
   Format.printf "Lemma 3.5 cutoff bound: K = %d@." (C.cutoff_bound ~states exists_a)
 
+let cmd_batch manifest shards time_budget max_configs cache_dir report_file trace metrics journal
+    progress =
+  telemetry_init trace metrics journal progress;
+  let jobs = or_die (Batch.manifest_of_file ?default_max_configs:max_configs manifest) in
+  let cache = open_cache cache_dir in
+  let report = Batch.run ?cache ~shards ?time_budget jobs in
+  Format.printf "%a@." Batch.pp_report report;
+  Option.iter
+    (fun file ->
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc (Batch.report_json report));
+      Format.printf "report written to %s@." file)
+    report_file;
+  let failed, bounded_or_skipped =
+    List.fold_left
+      (fun (f, b) (_, outcome, _) ->
+        match outcome with
+        | Batch.Failed _ -> (f + 1, b)
+        | Batch.Skipped | Batch.Done { Batch.result = Batch.Bounded _; _ } -> (f, b + 1)
+        | Batch.Done _ -> (f, b))
+      (0, 0) report.Batch.jobs
+  in
+  if failed > 0 then exit 2 else if bounded_or_skipped > 0 then exit 1
+
+let cmd_cache action dir =
+  let store = Store.open_ ?root:dir () in
+  match action with
+  | "stats" ->
+    let s = Store.stats store in
+    Format.printf "root:    %s@." (Store.root store);
+    Format.printf "entries: %d@." s.Store.entries;
+    Format.printf "corrupt: %d@." s.Store.corrupt;
+    Format.printf "stale:   %d@." s.Store.stale;
+    Format.printf "bytes:   %d@." s.Store.bytes
+  | "verify" -> (
+    match Store.verify store with
+    | [] -> Format.printf "%s: OK@." (Store.root store)
+    | problems ->
+      List.iter (fun (path, reason) -> Format.printf "%s: %s@." path reason) problems;
+      exit 2)
+  | "gc" ->
+    let removed = Store.gc store in
+    Format.printf "removed %d corrupt/stale entries from %s@." removed (Store.root store)
+  | other -> or_die (Error (Printf.sprintf "unknown cache action %S (stats|verify|gc)" other))
+
 (* ------------------------------------------------------------------ *)
 (* Cmdliner wiring                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -378,6 +341,15 @@ let journal_arg =
 let progress_arg =
   Arg.(value & flag & info [ "progress" ] ~doc:"Throttled progress line on stderr.")
 
+let cache_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Persist verdicts in an on-disk cache.  With no $(docv), uses \\$DDA_CACHE or \
+           _dda_cache.")
+
 let tables_cmd =
   let bounded = Arg.(value & flag & info [ "bounded" ] ~doc:"The degree-bounded table.") in
   let max_nodes =
@@ -385,7 +357,7 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the Figure 1 decision-power tables")
-    Term.(const cmd_tables $ bounded $ max_nodes)
+    Term.(const cmd_tables $ bounded $ max_nodes $ cache_arg)
 
 let graph_cmd =
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.") in
@@ -495,7 +467,7 @@ let cmd_telemetry metrics trace journal =
       | exception Sys_error e -> report "journal" file [ e ]
       | contents -> report "journal" file (T.validate_journal contents))
     journal;
-  if !problems > 0 then exit 1
+  if !problems > 0 then exit 2
 
 let telemetry_cmd =
   let metrics =
@@ -512,9 +484,67 @@ let telemetry_cmd =
        ~doc:"Validate emitted telemetry artefacts against the metric-name registry")
     Term.(const cmd_telemetry $ metrics $ trace $ journal)
 
+let batch_cmd =
+  let manifest =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "m"; "manifest" ] ~docv:"FILE"
+          ~doc:"Job manifest (schema dda.batch-manifest/1).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "shards" ] ~docv:"N" ~doc:"Worker domains for cache misses.")
+  in
+  let time_budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECONDS"
+          ~doc:"Per-shard wall-clock budget; jobs not started in time are skipped.")
+  in
+  let max_configs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-configs" ] ~docv:"N"
+          ~doc:"Default configuration budget for jobs that do not set one (default 200000).")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Write the consolidated JSON report here.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Verify a manifest of jobs, sharded across domains, through the verdict cache")
+    Term.(
+      const cmd_batch $ manifest $ shards $ time_budget $ max_configs $ cache_arg $ report
+      $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
+
+let cache_cmd =
+  let action =
+    Arg.(
+      value
+      & pos 0 string "stats"
+      & info [] ~docv:"ACTION" ~doc:"stats (default) | verify | gc")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Cache root (default \\$DDA_CACHE or _dda_cache).")
+  in
+  Cmd.v
+    (Cmd.info "cache" ~doc:"Inspect, verify or garbage-collect the verdict cache")
+    Term.(const cmd_cache $ action $ dir)
+
 let () =
   let info = Cmd.info "dda" ~version:"1.0.0" ~doc:"Distributed automata decision power toolkit" in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ tables_cmd; graph_cmd; decide_cmd; simulate_cmd; auto_cmd; program_cmd; cutoff_cmd; telemetry_cmd ]))
+          [ tables_cmd; graph_cmd; decide_cmd; simulate_cmd; auto_cmd; program_cmd; cutoff_cmd;
+            telemetry_cmd; batch_cmd; cache_cmd ]))

@@ -1,0 +1,407 @@
+module Machine = Dda_machine.Machine
+module Graph = Dda_graph.Graph
+module Space = Dda_verify.Space
+module Decide = Dda_verify.Decide
+module Json = Dda_telemetry.Json
+module T = Dda_telemetry.Telemetry
+
+let c_hits = T.counter "cache.hits"
+let c_misses = T.counter "cache.misses"
+let c_stores = T.counter "cache.stores"
+let c_jobs = T.counter "batch.jobs"
+let c_bounded = T.counter "batch.bounded"
+let c_errors = T.counter "batch.errors"
+
+type result_ =
+  | Verdict of Decide.verdict
+  | Bounded of int
+
+type decision = {
+  result : result_;
+  cached : bool;
+  configs : int;
+  seconds : float;
+}
+
+(* Plain process-global tallies, deliberately outside the telemetry gate:
+   the cold/warm benchmark measures hit rates with telemetry disabled.
+   Only the main domain touches the cache, so plain ints suffice. *)
+let g_hits = ref 0
+let g_misses = ref 0
+
+let cache_stats () = (!g_hits, !g_misses)
+
+let reset_cache_stats () =
+  g_hits := 0;
+  g_misses := 0
+
+let note_hit count =
+  incr g_hits;
+  if count then T.incr c_hits
+
+let note_miss count =
+  incr g_misses;
+  if count then T.incr c_misses
+
+let result_of_verdict = function
+  | Store.Accepts -> Verdict Decide.Accepts
+  | Store.Rejects -> Verdict Decide.Rejects
+  | Store.Inconsistent w -> Verdict (Decide.Inconsistent w)
+  | Store.Bounded n -> Bounded n
+
+let verdict_of_result = function
+  | Verdict Decide.Accepts -> Store.Accepts
+  | Verdict Decide.Rejects -> Store.Rejects
+  | Verdict (Decide.Inconsistent w) -> Store.Inconsistent w
+  | Bounded n -> Store.Bounded n
+
+let time thunk =
+  let t0 = Unix.gettimeofday () in
+  let result, configs = thunk () in
+  { result; cached = false; configs; seconds = Unix.gettimeofday () -. t0 }
+
+let store_decision ?(count = true) cache ~key ~machine_key ~graph_key ~regime ~max_configs d =
+  Store.put cache
+    {
+      Store.key;
+      machine = machine_key;
+      graph = graph_key;
+      regime = Spec.regime_name regime;
+      max_configs;
+      verdict = verdict_of_result d.result;
+      configs = d.configs;
+      seconds = d.seconds;
+    };
+  if count then T.incr c_stores
+
+let cached ?cache ?(count = true) ~machine_key ~graph_key ~regime ~max_configs thunk =
+  match cache with
+  | None -> time thunk
+  | Some store -> (
+    let key =
+      Fingerprint.key ~machine:machine_key ~graph:graph_key
+        ~regime:(Spec.regime_name regime) ~max_configs
+    in
+    match Store.find store key with
+    | Some e ->
+      note_hit count;
+      {
+        result = result_of_verdict e.Store.verdict;
+        cached = true;
+        configs = e.Store.configs;
+        seconds = e.Store.seconds;
+      }
+    | None ->
+      note_miss count;
+      let d = time thunk in
+      store_decision ~count store ~key ~machine_key ~graph_key ~regime ~max_configs d;
+      d)
+
+let classify regime space =
+  match (regime : Spec.regime) with
+  | Spec.Adversarial -> Decide.adversarial space
+  | Spec.Pseudo_stochastic -> Decide.pseudo_stochastic space
+
+let explore_and_classify ?jobs ?symmetry ~regime ~max_configs m g () =
+  match Space.explore ?jobs ?symmetry ~max_configs m g with
+  | exception Space.Too_large n -> (Bounded n, n)
+  | exception Dda_wsts.Coverability.Too_large n -> (Bounded n, n)
+  | space -> (Verdict (classify regime space), space.Space.size)
+
+let decide ?cache ?count ?machine_key ?jobs ?symmetry ~regime ~max_configs m g =
+  let thunk = explore_and_classify ?jobs ?symmetry ~regime ~max_configs m g in
+  match cache with
+  | None -> time thunk (* no fingerprint work on the uncached path *)
+  | Some _ ->
+    let machine_key =
+      match machine_key with
+      | Some k -> k
+      | None -> Fingerprint.machine ~labels:(Spec.alphabet_of g) m
+    in
+    cached ?cache ?count ~machine_key ~graph_key:(Fingerprint.graph g) ~regime ~max_configs
+      thunk
+
+(* --- Manifests -------------------------------------------------------------- *)
+
+type job = {
+  protocol : string;
+  graph : string;
+  regime : Spec.regime;
+  max_configs : int;
+}
+
+let manifest_schema = "dda.batch-manifest/1"
+
+let manifest_of_string ?(default_max_configs = 200_000) contents =
+  let ( let* ) = Result.bind in
+  let* doc =
+    match Json.parse contents with Ok d -> Ok d | Error e -> Error ("manifest: " ^ e)
+  in
+  let* () =
+    match Json.member "schema" doc with
+    | Some (Json.Str s) when s = manifest_schema -> Ok ()
+    | Some (Json.Str s) -> Error (Printf.sprintf "manifest: unknown schema %S" s)
+    | _ -> Error (Printf.sprintf "manifest: missing \"schema\" (expected %S)" manifest_schema)
+  in
+  let* jobs =
+    match Json.member "jobs" doc with
+    | Some (Json.Arr jobs) -> Ok jobs
+    | _ -> Error "manifest: missing array \"jobs\""
+  in
+  let parse_job i j =
+    let str field =
+      match Json.member field j with
+      | Some (Json.Str s) -> Ok s
+      | Some _ -> Error (Printf.sprintf "manifest job %d: %S is not a string" i field)
+      | None -> Error (Printf.sprintf "manifest job %d: missing %S" i field)
+    in
+    let* protocol = str "protocol" in
+    let* graph = str "graph" in
+    let* regime =
+      match Json.member "regime" j with
+      | None -> Ok Spec.Pseudo_stochastic
+      | Some (Json.Str s) -> (
+        match Spec.parse_regime s with
+        | Ok r -> Ok r
+        | Error e -> Error (Printf.sprintf "manifest job %d: %s" i e))
+      | Some _ -> Error (Printf.sprintf "manifest job %d: \"regime\" is not a string" i)
+    in
+    let* max_configs =
+      match Json.member "max_configs" j with
+      | None -> Ok default_max_configs
+      | Some (Json.Num f) when Float.is_integer f && f >= 1. -> Ok (int_of_float f)
+      | Some _ -> Error (Printf.sprintf "manifest job %d: \"max_configs\" is not a positive integer" i)
+    in
+    Ok { protocol; graph; regime; max_configs }
+  in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | j :: rest ->
+      let* job = parse_job i j in
+      go (i + 1) (job :: acc) rest
+  in
+  go 0 [] jobs
+
+let manifest_of_file ?default_max_configs path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents -> manifest_of_string ?default_max_configs contents
+
+(* --- The sharded runner ----------------------------------------------------- *)
+
+type outcome =
+  | Done of decision
+  | Failed of string
+  | Skipped
+
+type report = {
+  jobs : (job * outcome * int) list;
+  hits : int;
+  misses : int;
+  shards : int;
+  seconds : float;
+}
+
+type resolved = {
+  r_compute : unit -> result_ * int;
+  r_key : string;  (* "" when running uncached *)
+  r_machine : string;
+  r_graph : string;
+}
+
+let resolve ?cache memo job =
+  let ( let* ) = Result.bind in
+  let* g = Spec.parse_graph job.graph in
+  let* (Spec.Packed m) = Spec.parse_protocol job.protocol g in
+  let r_compute = explore_and_classify ~regime:job.regime ~max_configs:job.max_configs m g in
+  match cache with
+  | None -> Ok { r_compute; r_key = ""; r_machine = ""; r_graph = "" }
+  | Some _ ->
+    (* one machine fingerprint per (protocol, alphabet) pair, not per job *)
+    let alphabet = Spec.alphabet_of g in
+    let mkey = (job.protocol, alphabet) in
+    let r_machine =
+      match Hashtbl.find_opt memo mkey with
+      | Some fp -> fp
+      | None ->
+        let fp = Fingerprint.machine ~labels:alphabet m in
+        Hashtbl.add memo mkey fp;
+        fp
+    in
+    let r_graph = Fingerprint.graph g in
+    let r_key =
+      Fingerprint.key ~machine:r_machine ~graph:r_graph
+        ~regime:(Spec.regime_name job.regime) ~max_configs:job.max_configs
+    in
+    Ok { r_compute; r_key; r_machine; r_graph }
+
+(* Execute a shard's share of the cache misses.  Runs on a worker domain:
+   no cache access, no telemetry counters — only the spans inside the
+   exploration engine, which are domain-safe. *)
+let exec_shard ?time_budget items =
+  let t0 = Unix.gettimeofday () in
+  List.map
+    (fun (idx, r) ->
+      let over_budget =
+        match time_budget with
+        | Some b -> Unix.gettimeofday () -. t0 > b
+        | None -> false
+      in
+      if over_budget then (idx, `Skipped)
+      else
+        match time r.r_compute with
+        | d -> (idx, `Computed d)
+        | exception e -> (idx, `Failed (Printexc.to_string e)))
+    items
+
+let run ?cache ?(shards = 1) ?time_budget jobs =
+  let shards = max 1 shards in
+  let t0 = Unix.gettimeofday () in
+  let memo = Hashtbl.create 16 in
+  let n = List.length jobs in
+  let outcomes = Array.make n Skipped in
+  let shard_of = Array.make n (-1) in
+  (* resolve and answer hits on the main domain; collect the misses *)
+  let misses = ref [] in
+  let resolved = Array.make n None in
+  List.iteri
+    (fun idx job ->
+      match resolve ?cache memo job with
+      | Error msg -> outcomes.(idx) <- Failed msg
+      | Ok r -> (
+        resolved.(idx) <- Some r;
+        match Option.bind cache (fun store -> Store.find store r.r_key) with
+        | Some e ->
+          note_hit true;
+          outcomes.(idx) <-
+            Done
+              {
+                result = result_of_verdict e.Store.verdict;
+                cached = true;
+                configs = e.Store.configs;
+                seconds = e.Store.seconds;
+              }
+        | None ->
+          if cache <> None then note_miss true;
+          misses := (idx, r) :: !misses))
+    jobs;
+  let misses = List.rev !misses in
+  (* round-robin static partition across the shards *)
+  let buckets = Array.make shards [] in
+  List.iteri (fun pos (idx, r) -> buckets.(pos mod shards) <- (idx, r) :: buckets.(pos mod shards)) misses;
+  let buckets = Array.map List.rev buckets in
+  Array.iteri (fun k items -> List.iter (fun (idx, _) -> shard_of.(idx) <- k) items) buckets;
+  let results =
+    T.with_span "batch" (fun () ->
+        if shards = 1 then [| exec_shard ?time_budget buckets.(0) |]
+        else
+          Array.map Domain.join
+            (Array.map (fun items -> Domain.spawn (fun () -> exec_shard ?time_budget items)) buckets))
+  in
+  (* fold the worker results back in and persist fresh verdicts (main domain
+     only: the store never sees concurrent writers from this process) *)
+  Array.iter
+    (List.iter (fun (idx, outcome) ->
+         match outcome with
+         | `Skipped -> outcomes.(idx) <- Skipped
+         | `Failed msg -> outcomes.(idx) <- Failed msg
+         | `Computed d ->
+           outcomes.(idx) <- Done d;
+           (match (cache, resolved.(idx)) with
+           | Some store, Some r ->
+             let job = List.nth jobs idx in
+             store_decision store ~key:r.r_key ~machine_key:r.r_machine ~graph_key:r.r_graph
+               ~regime:job.regime ~max_configs:job.max_configs d
+           | _ -> ())))
+    results;
+  (* telemetry aggregation, all on the main domain *)
+  if T.enabled () then begin
+    T.add c_jobs n;
+    Array.iter
+      (fun o ->
+        match o with
+        | Done { result = Bounded _; _ } -> T.incr c_bounded
+        | Failed _ -> T.incr c_errors
+        | _ -> ())
+      outcomes;
+    Array.iteri
+      (fun k items ->
+        if items <> [] then
+          T.add (T.counter (Printf.sprintf "batch.shard.%d.jobs" k)) (List.length items))
+      buckets
+  end;
+  let hits, misses_n =
+    Array.fold_left
+      (fun (h, m) o ->
+        match o with
+        | Done { cached = true; _ } -> (h + 1, m)
+        | Done _ -> (h, m + 1)
+        | _ -> (h, m))
+      (0, 0) outcomes
+  in
+  {
+    jobs = List.mapi (fun idx job -> (job, outcomes.(idx), shard_of.(idx))) jobs;
+    hits;
+    misses = misses_n;
+    shards;
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+(* --- Reports ---------------------------------------------------------------- *)
+
+let result_strings = function
+  | Verdict Decide.Accepts -> ("ok", "accepts")
+  | Verdict Decide.Rejects -> ("ok", "rejects")
+  | Verdict (Decide.Inconsistent _) -> ("ok", "inconsistent")
+  | Bounded _ -> ("bounded", "bounded")
+
+let report_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": \"dda.batch/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"shards\": %d,\n" r.shards);
+  Buffer.add_string b (Printf.sprintf "  \"seconds\": %.6f,\n" r.seconds);
+  Buffer.add_string b
+    (Printf.sprintf "  \"cache\": {\"hits\": %d, \"misses\": %d},\n" r.hits r.misses);
+  Buffer.add_string b "  \"jobs\": [";
+  List.iteri
+    (fun i (job, outcome, shard) ->
+      Buffer.add_string b (if i > 0 then ",\n    {" else "\n    {");
+      Buffer.add_string b
+        (Printf.sprintf "\"protocol\": \"%s\", \"graph\": \"%s\", \"regime\": \"%s\", \"max_configs\": %d"
+           (Json.escape job.protocol) (Json.escape job.graph)
+           (Spec.regime_name job.regime) job.max_configs);
+      (match outcome with
+      | Done d ->
+        let status, verdict = result_strings d.result in
+        Buffer.add_string b
+          (Printf.sprintf
+             ", \"status\": \"%s\", \"verdict\": \"%s\", \"cached\": %b, \"configs\": %d, \"seconds\": %.6f"
+             status verdict d.cached d.configs d.seconds)
+      | Failed msg ->
+        Buffer.add_string b (Printf.sprintf ", \"status\": \"failed\", \"error\": \"%s\"" (Json.escape msg))
+      | Skipped -> Buffer.add_string b ", \"status\": \"skipped\"");
+      if shard >= 0 then Buffer.add_string b (Printf.sprintf ", \"shard\": %d" shard);
+      Buffer.add_char b '}')
+    r.jobs;
+  Buffer.add_string b (if r.jobs = [] then "]\n}\n" else "\n  ]\n}\n");
+  Buffer.contents b
+
+let pp_report fmt r =
+  List.iter
+    (fun (job, outcome, shard) ->
+      let detail =
+        match outcome with
+        | Done d ->
+          let _, verdict = result_strings d.result in
+          Printf.sprintf "%-12s %s(%d configs, %.3fs)" verdict
+            (if d.cached then "cached " else "")
+            d.configs d.seconds
+        | Failed msg -> "FAILED: " ^ msg
+        | Skipped -> "skipped (time budget)"
+      in
+      Format.fprintf fmt "%-28s %-16s %s  %s%s@." job.protocol job.graph
+        (Spec.regime_name job.regime) detail
+        (if shard >= 0 then Printf.sprintf "  [shard %d]" shard else ""))
+    r.jobs;
+  Format.fprintf fmt "%d jobs, %d cache hits, %d computed, %d shards, %.3fs@."
+    (List.length r.jobs) r.hits r.misses r.shards r.seconds

@@ -1,0 +1,117 @@
+(** Sharded batch verification with the persistent verdict cache.
+
+    The runner takes a manifest of jobs — protocol × graph × fairness
+    regime, each with a configuration budget — resolves every job's cache
+    key ({!Fingerprint}), answers hits from the {!Store}, shards the misses
+    round-robin across worker domains, and persists fresh verdicts.  Cache
+    lookups and writes happen only on the main domain; workers just
+    explore, so the store never sees concurrent writers from one process.
+
+    A job whose exploration exceeds its budget is a {e bounded-out} result
+    ([Bounded]), not an error: both [Dda_verify.Space.Too_large] and
+    [Dda_wsts.Coverability.Too_large] are converted, cached (a budget
+    overflow is as deterministic as a verdict) and reported with exit
+    status 1 by the CLI, reserving 2 for real errors. *)
+
+type result_ =
+  | Verdict of Dda_verify.Decide.verdict
+  | Bounded of int  (** budget exceeded after this many configurations *)
+
+type decision = {
+  result : result_;
+  cached : bool;  (** answered from the store *)
+  configs : int;  (** configurations explored (original run, if cached) *)
+  seconds : float;  (** wall-clock of the original computation *)
+}
+
+val cache_stats : unit -> int * int
+(** Process-global (hits, misses) across all cached calls — independent of
+    the telemetry subsystem, so cold/warm experiments can measure hit rates
+    with telemetry disabled. *)
+
+val reset_cache_stats : unit -> unit
+
+val cached :
+  ?cache:Store.t ->
+  ?count:bool ->
+  machine_key:string ->
+  graph_key:string ->
+  regime:Spec.regime ->
+  max_configs:int ->
+  (unit -> result_ * int) ->
+  decision
+(** Generic memoiser: look up the key; on a miss run the thunk (returning
+    the result and the number of configurations explored), persist, and
+    return.  Without [?cache] the thunk just runs.  [count] (default true)
+    controls the telemetry counters [cache.hits]/[cache.misses]/
+    [cache.stores] — pass [false] off the main domain. *)
+
+val decide :
+  ?cache:Store.t ->
+  ?count:bool ->
+  ?machine_key:string ->
+  ?jobs:int ->
+  ?symmetry:Dda_verify.Symmetry.t ->
+  regime:Spec.regime ->
+  max_configs:int ->
+  (string, 's) Dda_machine.Machine.t ->
+  string Dda_graph.Graph.t ->
+  decision
+(** Cached exact decision: explore the configuration space and classify by
+    the regime (fair-SCC for adversarial, bottom-SCC for
+    pseudo-stochastic).  [machine_key] lets callers amortise the machine
+    fingerprint across many graphs; it is only computed (or used) when a
+    cache is present — the uncached path does no fingerprint work. *)
+
+(** {1 Manifests and the sharded runner} *)
+
+type job = {
+  protocol : string;  (** {!Spec.parse_protocol} syntax *)
+  graph : string;  (** {!Spec.parse_graph} syntax *)
+  regime : Spec.regime;
+  max_configs : int;
+}
+
+val manifest_of_string :
+  ?default_max_configs:int -> string -> (job list, string) result
+(** Parse a manifest document:
+    [{"schema":"dda.batch-manifest/1",
+      "jobs":[{"protocol":"exists:a","graph":"cycle:abb",
+               "regime":"F","max_configs":200000}, ...]}].
+    [regime] (default ["F"]) and [max_configs] (default
+    [?default_max_configs], 200_000) are optional per job. *)
+
+val manifest_of_file :
+  ?default_max_configs:int -> string -> (job list, string) result
+
+type outcome =
+  | Done of decision
+  | Failed of string  (** unparsable spec or runtime error *)
+  | Skipped  (** the shard's time budget ran out before this job *)
+
+type report = {
+  jobs : (job * outcome * int) list;  (** in manifest order, with shard id *)
+  hits : int;
+  misses : int;
+  shards : int;
+  seconds : float;
+}
+
+val run :
+  ?cache:Store.t ->
+  ?shards:int ->
+  ?time_budget:float ->
+  job list ->
+  report
+(** Execute a manifest.  [shards] (default 1) is the number of worker
+    domains for cache misses; [time_budget] bounds each shard's wall-clock
+    — jobs not started when it expires are [Skipped].  Telemetry:
+    [batch.jobs], [batch.bounded], [batch.errors], [cache.hits]/[misses]/
+    [stores], per-shard [batch.shard.<k>.jobs], spans [batch] and
+    [batch.job] (all aggregated on the main domain). *)
+
+val report_json : report -> string
+(** Consolidated JSON report (schema [dda.batch/1]). *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable per-job table with a summary line. *)

@@ -1,0 +1,62 @@
+module Machine = Dda_machine.Machine
+module Tabulate = Dda_machine.Tabulate
+module Graph = Dda_graph.Graph
+module Symmetry = Dda_verify.Symmetry
+
+let version_salt = "dda-engine/3"
+
+let hex s = Digest.to_hex (Digest.string s)
+
+let nominal m labels =
+  "nom:"
+  ^ hex
+      (Printf.sprintf "%s;%d;%s" m.Machine.name m.Machine.beta
+         (String.concat "," (List.map String.escaped labels)))
+
+let machine ~labels m =
+  (* a machine probed outside its own alphabet (or whose δ otherwise
+     rejects the enumeration) must not crash the cache layer: fall back to
+     the nominal fingerprint, which does include the label set *)
+  match Tabulate.reachable_states ~labels m with
+  | None -> nominal m labels
+  | Some states -> (
+    match Tabulate.tabulate ~labels ~states m with
+    | t -> "tab:" ^ hex (Tabulate.canonical_dump ~label_key:Fun.id t)
+    | exception Invalid_argument _ -> nominal m labels)
+  | exception Invalid_argument _ -> nominal m labels
+
+(* The graph renamed by [p] (new node [i] is old node [p.(i)]): node labels
+   in order, then the upper-triangular adjacency bitmap. *)
+let serialise_under g p =
+  let n = Graph.nodes g in
+  let buf = Buffer.create 64 in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (String.escaped (Graph.label g p.(i)));
+    Buffer.add_char buf ','
+  done;
+  Buffer.add_char buf ';';
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Buffer.add_char buf (if Graph.adjacent g p.(i) p.(j) then '1' else '0')
+    done
+  done;
+  Buffer.contents buf
+
+let graph g =
+  let n = Graph.nodes g in
+  if n <= 8 then begin
+    let perms = Symmetry.perms (Symmetry.clique n) in
+    let best = ref "" in
+    Array.iter
+      (fun p ->
+        let s = serialise_under g p in
+        if !best = "" || s < !best then best := s)
+      perms;
+    "can:" ^ hex (Printf.sprintf "%d#%s" n !best)
+  end
+  else "raw:" ^ hex (Printf.sprintf "%d#%s" n (serialise_under g (Array.init n Fun.id)))
+
+let key ~machine ~graph ~regime ~max_configs =
+  hex
+    (String.concat "\x00"
+       [ version_salt; machine; graph; regime; string_of_int max_configs ])

@@ -1,0 +1,37 @@
+(** The little spec languages shared by the CLI and the batch runner.
+
+    Graph specs ([cycle:abb], [grid:3x2:aabbab], ...), protocol specs
+    ([exists:a], [threshold:a,2], [majority-pop], ...), scheduler specs and
+    fairness-regime names all parse here, so manifest files and command-line
+    flags accept exactly the same syntax.  Parsers return [Error] with a
+    usage string rather than raising. *)
+
+type packed = Packed : (string, 's) Dda_machine.Machine.t -> packed
+(** Protocols packed existentially, so one table covers all state types. *)
+
+type regime = Adversarial | Pseudo_stochastic
+(** The fairness regime of a verification job — the paper's f (adversarial)
+    and F (pseudo-stochastic) classes.  Redeclared here (rather than reusing
+    [Dda_core.Classes.fairness]) so the batch layer does not depend on the
+    high-level core; [Dda_core] converts trivially. *)
+
+val regime_name : regime -> string
+(** ["f"] for adversarial, ["F"] for pseudo-stochastic — the names used in
+    specs, cache keys and reports. *)
+
+val parse_regime : string -> (regime, string) result
+(** Accepts ["f"], ["adversarial"], ["F"], ["pseudo-stochastic"]. *)
+
+val parse_graph : string -> (string Dda_graph.Graph.t, string) result
+
+val alphabet_of : string Dda_graph.Graph.t -> string list
+(** Sorted, deduplicated label alphabet of a graph — the canonical label
+    list for protocol construction and machine fingerprints. *)
+
+val parse_protocol :
+  string -> string Dda_graph.Graph.t -> (packed, string) result
+(** The protocol is built over the graph's alphabet, so the graph parses
+    first. *)
+
+val parse_scheduler :
+  string -> int -> (Dda_scheduler.Scheduler.t, string) result

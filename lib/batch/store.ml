@@ -1,0 +1,223 @@
+module Json = Dda_telemetry.Json
+
+type verdict =
+  | Accepts
+  | Rejects
+  | Inconsistent of string
+  | Bounded of int
+
+type entry = {
+  key : string;
+  machine : string;
+  graph : string;
+  regime : string;
+  max_configs : int;
+  verdict : verdict;
+  configs : int;
+  seconds : float;
+}
+
+type t = { root : string }
+
+let schema = "dda.cache/1"
+
+let default_root () =
+  match Sys.getenv_opt "DDA_CACHE" with
+  | Some r when r <> "" -> r
+  | _ -> "_dda_cache"
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let open_ ?root () =
+  let root = match root with Some r -> r | None -> default_root () in
+  mkdir_p root;
+  { root }
+
+let root t = t.root
+
+let valid_key k =
+  k <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) k
+
+let path_of t key = Filename.concat (Filename.concat t.root (String.sub key 0 2)) (key ^ ".json")
+
+(* --- Serialisation ---------------------------------------------------------- *)
+
+let entry_json e =
+  let b = Buffer.create 256 in
+  let str k v = Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" k (Json.escape v)) in
+  Buffer.add_char b '{';
+  str "schema" schema;
+  Buffer.add_char b ',';
+  str "salt" Fingerprint.version_salt;
+  Buffer.add_char b ',';
+  str "key" e.key;
+  Buffer.add_char b ',';
+  str "machine" e.machine;
+  Buffer.add_char b ',';
+  str "graph" e.graph;
+  Buffer.add_char b ',';
+  str "regime" e.regime;
+  Buffer.add_string b (Printf.sprintf ",\"max_configs\":%d" e.max_configs);
+  Buffer.add_string b ",\"verdict\":{";
+  (match e.verdict with
+  | Accepts -> str "kind" "accepts"
+  | Rejects -> str "kind" "rejects"
+  | Inconsistent w ->
+    str "kind" "inconsistent";
+    Buffer.add_char b ',';
+    str "witness" w
+  | Bounded n ->
+    str "kind" "bounded";
+    Buffer.add_string b (Printf.sprintf ",\"bound\":%d" n));
+  Buffer.add_char b '}';
+  Buffer.add_string b (Printf.sprintf ",\"configs\":%d" e.configs);
+  Buffer.add_string b (Printf.sprintf ",\"seconds\":%.6f" e.seconds);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* Strict decode; any shape violation yields [Error] so the caller treats
+   the file as a miss. *)
+let entry_of_json doc =
+  let ( let* ) = Result.bind in
+  let str field d =
+    match Json.member field d with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string %S" field)
+  in
+  let int field d =
+    match Json.member field d with
+    | Some (Json.Num f) when Float.is_integer f -> Ok (int_of_float f)
+    | _ -> Error (Printf.sprintf "missing integer %S" field)
+  in
+  let* sc = str "schema" doc in
+  let* () = if sc = schema then Ok () else Error "unknown schema" in
+  let* salt = str "salt" doc in
+  let* () =
+    if salt = Fingerprint.version_salt then Ok () else Error "stale engine salt"
+  in
+  let* key = str "key" doc in
+  let* machine = str "machine" doc in
+  let* graph = str "graph" doc in
+  let* regime = str "regime" doc in
+  let* max_configs = int "max_configs" doc in
+  let* vdoc =
+    match Json.member "verdict" doc with
+    | Some (Json.Obj _ as v) -> Ok v
+    | _ -> Error "missing object \"verdict\""
+  in
+  let* verdict =
+    let* kind = str "kind" vdoc in
+    match kind with
+    | "accepts" -> Ok Accepts
+    | "rejects" -> Ok Rejects
+    | "inconsistent" ->
+      let* w = str "witness" vdoc in
+      Ok (Inconsistent w)
+    | "bounded" ->
+      let* n = int "bound" vdoc in
+      Ok (Bounded n)
+    | other -> Error (Printf.sprintf "unknown verdict kind %S" other)
+  in
+  let* configs = int "configs" doc in
+  let* seconds =
+    match Json.member "seconds" doc with
+    | Some (Json.Num f) when Float.is_finite f -> Ok f
+    | _ -> Error "missing number \"seconds\""
+  in
+  Ok { key; machine; graph; regime; max_configs; verdict; configs; seconds }
+
+let read_entry path =
+  match Json.parse_file path with
+  | Error e -> Error e
+  | Ok doc -> entry_of_json doc
+
+let find t key =
+  if not (valid_key key) || String.length key < 2 then None
+  else
+    let path = path_of t key in
+    if not (Sys.file_exists path) then None
+    else
+      match read_entry path with
+      | Ok e when e.key = key -> Some e
+      | Ok _ -> None (* entry aliased under the wrong file name *)
+      | Error _ -> None
+
+let put t e =
+  if valid_key e.key && String.length e.key >= 2 then begin
+    let path = path_of t e.key in
+    try
+      mkdir_p (Filename.dirname path);
+      let tmp =
+        Filename.concat t.root
+          (Printf.sprintf ".tmp.%d.%s" (Unix.getpid ()) e.key)
+      in
+      Out_channel.with_open_bin tmp (fun oc -> output_string oc (entry_json e));
+      Sys.rename tmp path
+    with Sys_error _ | Unix.Unix_error _ -> ()
+  end
+
+(* --- Maintenance ------------------------------------------------------------ *)
+
+type stats = { entries : int; corrupt : int; stale : int; bytes : int }
+
+let entry_files t =
+  if not (Sys.file_exists t.root && Sys.is_directory t.root) then []
+  else
+    Array.to_list (Sys.readdir t.root)
+    |> List.filter (fun d ->
+           String.length d = 2 && Sys.is_directory (Filename.concat t.root d))
+    |> List.concat_map (fun d ->
+           Array.to_list (Sys.readdir (Filename.concat t.root d))
+           |> List.filter (fun f -> Filename.check_suffix f ".json")
+           |> List.map (fun f -> Filename.concat d f))
+
+let classify t rel =
+  let path = Filename.concat t.root rel in
+  match read_entry path with
+  | Ok e ->
+    if Filename.basename path = e.key ^ ".json" then Ok ()
+    else Error (`Corrupt, "key does not match file name")
+  | Error msg ->
+    if msg = "stale engine salt" then Error (`Stale, msg) else Error (`Corrupt, msg)
+
+let stats t =
+  List.fold_left
+    (fun acc rel ->
+      let bytes =
+        acc.bytes
+        + (try (Unix.stat (Filename.concat t.root rel)).Unix.st_size with Unix.Unix_error _ -> 0)
+      in
+      match classify t rel with
+      | Ok () -> { acc with entries = acc.entries + 1; bytes }
+      | Error (`Stale, _) -> { acc with stale = acc.stale + 1; bytes }
+      | Error (`Corrupt, _) -> { acc with corrupt = acc.corrupt + 1; bytes })
+    { entries = 0; corrupt = 0; stale = 0; bytes = 0 }
+    (entry_files t)
+
+let verify t =
+  List.filter_map
+    (fun rel ->
+      match classify t rel with
+      | Ok () -> None
+      | Error (_, reason) -> Some (rel, reason))
+    (entry_files t)
+
+let gc t =
+  List.fold_left
+    (fun removed rel ->
+      match classify t rel with
+      | Ok () -> removed
+      | Error _ -> (
+        try
+          Sys.remove (Filename.concat t.root rel);
+          removed + 1
+        with Sys_error _ -> removed))
+    0 (entry_files t)

@@ -1,0 +1,61 @@
+(** On-disk verdict cache: one JSON file per cache key.
+
+    Layout: [<root>/<first two hex chars of key>/<key>.json], where [root]
+    defaults to [_dda_cache] (overridable with the [DDA_CACHE] environment
+    variable or [?root]).  Writes are atomic — the entry is written to a
+    temporary file in the root and renamed into place — so a concurrent
+    reader never observes a half-written entry.
+
+    The store is tolerant by construction: a corrupt, truncated or
+    stale entry (wrong schema, wrong salt, key mismatch with its file name)
+    is treated as a miss and recomputed; nothing in this module raises on
+    bad cache contents.  [verify] reports such entries, [gc] removes
+    them. *)
+
+type verdict =
+  | Accepts
+  | Rejects
+  | Inconsistent of string  (** witness description *)
+  | Bounded of int  (** exploration hit the budget after this many configs *)
+
+type entry = {
+  key : string;
+  machine : string;  (** machine fingerprint ({!Fingerprint.machine}) *)
+  graph : string;  (** graph fingerprint ({!Fingerprint.graph}) *)
+  regime : string;  (** ["f"] or ["F"] *)
+  max_configs : int;
+  verdict : verdict;
+  configs : int;  (** configurations explored when computed (0 if unknown) *)
+  seconds : float;  (** wall-clock seconds of the original computation *)
+}
+
+type t
+
+val default_root : unit -> string
+(** [$DDA_CACHE] if set and non-empty, else ["_dda_cache"]. *)
+
+val open_ : ?root:string -> unit -> t
+(** Open (and create if needed) the cache directory. *)
+
+val root : t -> string
+
+val find : t -> string -> entry option
+(** Look up a key; [None] on absent, corrupt, or stale (foreign-salt)
+    entries — never raises on cache contents. *)
+
+val put : t -> entry -> unit
+(** Atomically persist an entry under its key.  I/O errors are swallowed
+    (the cache is an accelerator, not a database); the next run simply
+    recomputes. *)
+
+type stats = { entries : int; corrupt : int; stale : int; bytes : int }
+
+val stats : t -> stats
+(** Walk the store: well-formed current entries, corrupt files, entries
+    with a foreign engine salt, and total size in bytes. *)
+
+val verify : t -> (string * string) list
+(** Corrupt or stale files, with a reason each (path relative to root). *)
+
+val gc : t -> int
+(** Delete corrupt and stale files; returns how many were removed. *)

@@ -19,6 +19,22 @@ let decide ?(budget = default_budget) ?jobs ?symmetry ~fairness m g =
     | Classes.Adversarial -> Ok (Decide.adversarial space)
     | Classes.Pseudo_stochastic -> Ok (Decide.pseudo_stochastic space))
 
+let regime_of_fairness = function
+  | Classes.Adversarial -> Dda_batch.Spec.Adversarial
+  | Classes.Pseudo_stochastic -> Dda_batch.Spec.Pseudo_stochastic
+
+let decide_cached ?cache ?machine_key ?(budget = default_budget) ?jobs ?symmetry ~fairness m g =
+  match cache with
+  | None -> decide ~budget ?jobs ?symmetry ~fairness m g
+  | Some _ ->
+    let d =
+      Dda_batch.Batch.decide ?cache ?machine_key ?jobs ?symmetry
+        ~regime:(regime_of_fairness fairness) ~max_configs:budget.max_configs m g
+    in
+    (match d.Dda_batch.Batch.result with
+    | Dda_batch.Batch.Verdict v -> Ok v
+    | Dda_batch.Batch.Bounded n -> Error (`Too_large n))
+
 let decide_synchronous ?(budget = default_budget) m g =
   match Decide.synchronous ~max_steps:budget.max_steps m g with
   | Some v -> Ok v

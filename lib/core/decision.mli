@@ -31,6 +31,25 @@ val decide :
     automorphisms of [g] (verdicts are unchanged — see
     [Dda_verify.Engine]). *)
 
+val regime_of_fairness : Classes.fairness -> Dda_batch.Spec.regime
+(** [Classes.fairness] and the batch layer's regime are the same two-point
+    type; this is the conversion used by every cached entry point. *)
+
+val decide_cached :
+  ?cache:Dda_batch.Store.t ->
+  ?machine_key:string ->
+  ?budget:budget ->
+  ?jobs:int ->
+  ?symmetry:Dda_verify.Symmetry.t ->
+  fairness:Classes.fairness ->
+  (string, 's) Dda_machine.Machine.t ->
+  string Dda_graph.Graph.t ->
+  outcome
+(** {!decide} through the persistent verdict cache.  Without [?cache] it is
+    exactly {!decide} — no fingerprint is computed.  [machine_key] lets
+    callers that decide many graphs with one machine amortise the machine
+    fingerprint ({!Dda_batch.Fingerprint.machine}) across the calls. *)
+
 val decide_synchronous :
   ?budget:budget ->
   ('l, 's) Dda_machine.Machine.t ->

@@ -27,8 +27,22 @@ let run_cases decide_one ~predicate ~graphs =
       })
     graphs
 
-let against_predicate ?budget ~fairness ~machine ~predicate ~graphs () =
-  run_cases (fun g -> Decision.decide ?budget ~fairness machine g) ~predicate ~graphs
+let against_predicate ?cache ?budget ~fairness ~machine ~predicate ~graphs () =
+  (* fingerprint the machine once per call (over the union alphabet of the
+     suite), not once per graph *)
+  let machine_key =
+    match cache with
+    | None -> None
+    | Some _ ->
+      let labels =
+        Listx.dedup_sorted Stdlib.compare
+          (List.concat_map (fun (_, g) -> Array.to_list (Graph.labels g)) graphs)
+      in
+      Some (Dda_batch.Fingerprint.machine ~labels machine)
+  in
+  run_cases
+    (fun g -> Decision.decide_cached ?cache ?machine_key ?budget ~fairness machine g)
+    ~predicate ~graphs
 
 let against_predicate_synchronous ?budget ~machine ~predicate ~graphs () =
   run_cases (fun g -> Decision.decide_synchronous ?budget machine g) ~predicate ~graphs

@@ -17,6 +17,7 @@ val correct : case -> bool
 (** The verdict exists and matches [expected]. *)
 
 val against_predicate :
+  ?cache:Dda_batch.Store.t ->
   ?budget:Decision.budget ->
   fairness:Classes.fairness ->
   machine:(string, 's) Dda_machine.Machine.t ->
@@ -24,6 +25,9 @@ val against_predicate :
   graphs:(string * string Dda_graph.Graph.t) list ->
   unit ->
   case list
+(** With [?cache], verdicts go through the persistent cache
+    ({!Decision.decide_cached}); the machine fingerprint is computed once
+    for the whole suite. *)
 
 val against_predicate_synchronous :
   ?budget:Decision.budget ->

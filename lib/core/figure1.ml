@@ -47,27 +47,27 @@ let summarise cases =
   let good = List.length (List.filter Evaluate.correct cases) in
   (good = total, Printf.sprintf "%d/%d suite graphs decided correctly" good total)
 
-let exact_cell ~budget ~class_name ~property ~fairness ~machine ~predicate ~graphs =
-  let cases = Evaluate.against_predicate ~budget ~fairness ~machine ~predicate ~graphs () in
+let exact_cell ?cache ~budget ~class_name ~property ~fairness ~machine ~predicate ~graphs () =
+  let cases = Evaluate.against_predicate ?cache ~budget ~fairness ~machine ~predicate ~graphs () in
   let ok, detail = summarise cases in
   { class_name; property; theory_decidable = true; method_ = Exact; detail; agrees = ok }
 
 (* --- the arbitrary-graph table (middle of Figure 1) ----------------------- *)
 
-let arbitrary_table ?(max_nodes = 4) () =
+let arbitrary_table ?cache ?(max_nodes = 4) () =
   let budget = { Decision.max_configs = 500_000; max_steps = 1_000_000 } in
   let graphs = Evaluate.suite ~alphabet ~max_nodes () in
   let halting_rows =
     (* halting classes decide only trivial properties (Lemma 3.1) *)
     let trivial =
-      exact_cell ~budget ~class_name:"xa· (halting)" ~property:"always-true"
+      exact_cell ?cache ~budget ~class_name:"xa· (halting)" ~property:"always-true"
         ~fairness:Classes.Adversarial ~machine:(Machine.halting const_true) ~predicate:P.True
-        ~graphs
+        ~graphs ()
     in
     let halted_exists = Machine.halting exists_a in
     let witness =
       let g = G.cycle [ "a"; "b"; "b" ] in
-      match Decision.decide ~budget ~fairness:Classes.Adversarial halted_exists g with
+      match Decision.decide_cached ?cache ~budget ~fairness:Classes.Adversarial halted_exists g with
       | Ok v when Decide.verdict_bool v = Some true ->
         ("halting ∃a-automaton unexpectedly still decides", false)
       | Ok v ->
@@ -92,8 +92,8 @@ let arbitrary_table ?(max_nodes = 4) () =
   let exists_rows =
     List.map
       (fun (cname, fairness) ->
-        exact_cell ~budget ~class_name:cname ~property:"∃a" ~fairness ~machine:exists_a
-          ~predicate:(P.exists_label "a") ~graphs)
+        exact_cell ?cache ~budget ~class_name:cname ~property:"∃a" ~fairness ~machine:exists_a
+          ~predicate:(P.exists_label "a") ~graphs ())
       [
         ("dAf", Classes.Adversarial);
         ("DAf", Classes.Adversarial);
@@ -105,9 +105,9 @@ let arbitrary_table ?(max_nodes = 4) () =
     let decidable =
       List.map
         (fun cname ->
-          exact_cell ~budget ~class_name:cname ~property:"#a ≥ 2"
+          exact_cell ?cache ~budget ~class_name:cname ~property:"#a ≥ 2"
             ~fairness:Classes.Pseudo_stochastic ~machine:(threshold2 ())
-            ~predicate:(P.at_least "a" 2) ~graphs)
+            ~predicate:(P.at_least "a" 2) ~graphs ())
         [ "dAF"; "DAF" ]
     in
     let witness =
@@ -126,7 +126,7 @@ let arbitrary_table ?(max_nodes = 4) () =
           ()
       in
       let g = G.line [ "a"; "b"; "b"; "a" ] in
-      match Decision.decide ~budget ~fairness:Classes.Adversarial m g with
+      match Decision.decide_cached ?cache ~budget ~fairness:Classes.Adversarial m g with
       | Ok Decide.Rejects ->
         ("candidate counting automaton wrongly rejects the line a-b-b-a (cutoff β+1)", true)
       | _ -> ("witness did not behave as predicted", false)
@@ -146,13 +146,13 @@ let arbitrary_table ?(max_nodes = 4) () =
   in
   let majority_rows =
     let daf =
-      exact_cell ~budget ~class_name:"DAF" ~property:"majority a>b"
-        ~fairness:Classes.Pseudo_stochastic ~machine:(pop_majority ()) ~predicate:majority ~graphs
+      exact_cell ?cache ~budget ~class_name:"DAF" ~property:"majority a>b"
+        ~fairness:Classes.Pseudo_stochastic ~machine:(pop_majority ()) ~predicate:majority ~graphs ()
     in
     let adversarial_witness =
       (* the same automaton is inconsistent under adversarial fairness *)
       let g = G.cycle [ "a"; "a"; "b" ] in
-      match Decision.decide ~budget ~fairness:Classes.Adversarial (pop_majority ()) g with
+      match Decision.decide_cached ?cache ~budget ~fairness:Classes.Adversarial (pop_majority ()) g with
       | Ok (Decide.Inconsistent _) ->
         ("the Lemma 4.10 majority automaton has non-converging fair runs under f", true)
       | Ok v -> (Format.asprintf "unexpectedly %a under f" Decide.pp_verdict v, false)
@@ -163,7 +163,7 @@ let arbitrary_table ?(max_nodes = 4) () =
          machine confuses (3,2) with (2,2) *)
       let m = Dda_protocols.Cutoff_broadcast.machine ~alphabet ~k:2 majority in
       let g = G.cycle [ "a"; "a"; "a"; "b"; "b" ] in
-      match Decision.decide ~budget ~fairness:Classes.Pseudo_stochastic m g with
+      match Decision.decide_cached ?cache ~budget ~fairness:Classes.Pseudo_stochastic m g with
       | Ok Decide.Rejects ->
         ("the cutoff-2 majority automaton wrongly rejects 3a2b (⌈(3,2)⌉₂ = (2,2))", true)
       | Ok v -> (Format.asprintf "unexpectedly %a" Decide.pp_verdict v, false)
@@ -199,19 +199,32 @@ let arbitrary_table ?(max_nodes = 4) () =
        (Lemma 5.1's verified token construction carries them into DAF) *)
     let module CB = Dda_protocols.Counter_broadcast in
     let module SB = Dda_extensions.Strong_broadcast in
+    let module Batch = Dda_batch.Batch in
     let exact_protocol name prog cases =
       let total = List.length cases in
+      (* these spaces are native strong-broadcast spaces, not plain machine
+         explorations, so no canonical tabulation exists; a nominal key over
+         the fixed program name is sound because the programs are constants
+         of the library (the engine salt still invalidates on change) *)
+      let machine_key = "sbp:" ^ name in
+      let max_configs = 2_000_000 in
       let good =
         List.length
           (List.filter
              (fun (labels, expected) ->
-               match
-                 Decide.pseudo_stochastic
-                   (SB.space ~max_configs:2_000_000 (CB.protocol prog) (G.clique labels))
-               with
-               | Decide.Accepts -> expected
-               | Decide.Rejects -> not expected
-               | Decide.Inconsistent _ -> false)
+               let g = G.clique labels in
+               let d =
+                 Batch.cached ?cache ~machine_key ~graph_key:(Dda_batch.Fingerprint.graph g)
+                   ~regime:Dda_batch.Spec.Pseudo_stochastic ~max_configs (fun () ->
+                     match SB.space ~max_configs (CB.protocol prog) g with
+                     | exception Space.Too_large n -> (Batch.Bounded n, n)
+                     | space ->
+                       (Batch.Verdict (Decide.pseudo_stochastic space), space.Space.size))
+               in
+               match d.Batch.result with
+               | Batch.Verdict Decide.Accepts -> expected
+               | Batch.Verdict Decide.Rejects -> not expected
+               | Batch.Verdict (Decide.Inconsistent _) | Batch.Bounded _ -> false)
              cases)
       in
       {
@@ -241,7 +254,7 @@ let arbitrary_table ?(max_nodes = 4) () =
 
 (* --- the bounded-degree table (right of Figure 1) -------------------------- *)
 
-let simulate_majority_cell ~class_name ~schedulers_of =
+let simulate_majority_cell ?cache ~class_name ~schedulers_of () =
   let m = Dda_protocols.Homogeneous.majority ~degree_bound:2 in
   let cases =
     [
@@ -255,14 +268,14 @@ let simulate_majority_cell ~class_name ~schedulers_of =
   (* Exact fair-SCC verification under adversarial fairness on the smallest
      instances — the full content of Proposition 6.3 ... *)
   let exact_total = ref 0 and exact_good = ref 0 in
+  let exact_budget = { Decision.max_configs = 600_000; max_steps = 1_000_000 } in
   List.iter
     (fun (g, expected) ->
       if G.nodes g <= 4 then begin
         incr exact_total;
-        match Space.explore ~max_configs:600_000 m g with
-        | exception Space.Too_large _ -> ()
-        | space ->
-          if Decide.verdict_bool (Decide.adversarial space) = Some expected then incr exact_good
+        match Decision.decide_cached ?cache ~budget:exact_budget ~fairness:Classes.Adversarial m g with
+        | Ok v -> if Decide.verdict_bool v = Some expected then incr exact_good
+        | Error _ -> ()
       end)
     cases;
   (* ... plus scheduler-family simulation on the rest. *)
@@ -291,18 +304,18 @@ let simulate_majority_cell ~class_name ~schedulers_of =
     agrees = !exact_good = !exact_total && !good = !total;
   }
 
-let bounded_table ?(max_nodes = 4) () =
+let bounded_table ?cache ?(max_nodes = 4) () =
   let budget = { Decision.max_configs = 500_000; max_steps = 1_000_000 } in
   let graphs = Evaluate.suite ~alphabet ~max_nodes ~bounded_degree:(Some 3) () in
   let exists_rows =
     List.map
       (fun (cname, fairness) ->
-        exact_cell ~budget ~class_name:cname ~property:"∃a" ~fairness ~machine:exists_a
-          ~predicate:(P.exists_label "a") ~graphs)
+        exact_cell ?cache ~budget ~class_name:cname ~property:"∃a" ~fairness ~machine:exists_a
+          ~predicate:(P.exists_label "a") ~graphs ())
       [ ("dAf", Classes.Adversarial); ("DAF", Classes.Pseudo_stochastic) ]
   in
   let daf_majority =
-    simulate_majority_cell ~class_name:"DAf"
+    simulate_majority_cell ?cache ~class_name:"DAf"
       ~schedulers_of:(fun n ->
         [
           Scheduler.round_robin ~n;
@@ -310,14 +323,15 @@ let bounded_table ?(max_nodes = 4) () =
           Scheduler.burst ~n ~width:3;
           Scheduler.random_adversary ~n ~seed:7;
         ])
+      ()
   in
   let dAF_majority =
-    exact_cell ~budget ~class_name:"dAF/DAF" ~property:"majority a>b"
-      ~fairness:Classes.Pseudo_stochastic ~machine:(pop_majority ()) ~predicate:majority ~graphs
+    exact_cell ?cache ~budget ~class_name:"dAF/DAF" ~property:"majority a>b"
+      ~fairness:Classes.Pseudo_stochastic ~machine:(pop_majority ()) ~predicate:majority ~graphs ()
   in
   let dAf_witness =
     let g = G.cycle [ "a"; "a"; "b" ] in
-    match Decision.decide ~budget ~fairness:Classes.Adversarial (pop_majority ()) g with
+    match Decision.decide_cached ?cache ~budget ~fairness:Classes.Adversarial (pop_majority ()) g with
     | Ok (Decide.Inconsistent _) ->
       {
         class_name = "dAf";
@@ -372,7 +386,7 @@ let bounded_table ?(max_nodes = 4) () =
       List.length
         (List.filter
            (fun (g, expected) ->
-             match Decision.decide ~budget ~fairness:Classes.Pseudo_stochastic m g with
+             match Decision.decide_cached ?cache ~budget ~fairness:Classes.Pseudo_stochastic m g with
              | Ok v -> Decide.verdict_bool v = Some expected
              | Error _ -> false)
            cases)

@@ -30,12 +30,15 @@ type cell = {
   agrees : bool;  (** The experiment agrees with the prediction. *)
 }
 
-val arbitrary_table : ?max_nodes:int -> unit -> cell list
+val arbitrary_table : ?cache:Dda_batch.Store.t -> ?max_nodes:int -> unit -> cell list
 (** The middle table of Figure 1 (arbitrary communication graphs), checked
     on the exhaustive suite of labelled graphs with up to [max_nodes]
-    (default 4) nodes.  Classes: halting (collapsed), dAf, DAf, dAF, DAF. *)
+    (default 4) nodes.  Classes: halting (collapsed), dAf, DAf, dAF, DAF.
+    With [?cache], every exact verdict (suite cells, witness cells and the
+    strong-broadcast NL rows) goes through the persistent verdict cache, so
+    regenerating an unchanged table is pure cache hits. *)
 
-val bounded_table : ?max_nodes:int -> unit -> cell list
+val bounded_table : ?cache:Dda_batch.Store.t -> ?max_nodes:int -> unit -> cell list
 (** The right table (degree-bounded graphs): the headline cells are
     DAf-majority (decidable via the Section 6.1 automaton, checked by
     simulation under adversarial schedulers) and dAf-majority (still

@@ -82,6 +82,74 @@ let tabulate ~labels ~states m =
     pp_state = m.Machine.pp_state;
   }
 
+(* --- Reachable enumeration and canonical dumps ----------------------------- *)
+
+let reachable_states ?(max_states = 12) ~labels m =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  (* discovery order is deterministic: label order first, then profile
+     enumeration order per pass — that determinism is what makes the
+     enumeration usable as a canonical state order for fingerprints *)
+  let add s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      order := s :: !order
+    end
+  in
+  List.iter (fun l -> add (m.Machine.init l)) labels;
+  let beta = m.Machine.beta in
+  let entry_cap = 500_000 in
+  let exception Bail in
+  try
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let states = List.rev !order in
+      let k = List.length states in
+      if k > max_states then raise Bail;
+      (* check the table size BEFORE enumerating the pass, so an infeasible
+         machine bails cheaply instead of after millions of delta calls *)
+      let entries =
+        let rec pow acc n = if acc > entry_cap || n = 0 then acc else pow (acc * (beta + 1)) (n - 1) in
+        k * pow 1 k
+      in
+      if entries > entry_cap then raise Bail;
+      let arr = Array.of_list states in
+      let profiles = enumerate_profiles ~beta k in
+      let before = Hashtbl.length seen in
+      Array.iter
+        (fun p ->
+          let n =
+            List.filter_map (fun i -> if p.(i) > 0 then Some (arr.(i), p.(i)) else None) (Listx.range k)
+          in
+          List.iter (fun q -> add (m.Machine.delta q n)) states)
+        profiles;
+      if Hashtbl.length seen > before then changed := true
+    done;
+    let states = List.rev !order in
+    if List.length states > max_states then None else Some states
+  with Bail -> None
+
+let canonical_dump ~label_key t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "beta=%d;" t.beta;
+  add "labels=";
+  List.iter (fun l -> add "%s," (String.escaped (label_key l))) t.labels;
+  add ";init=";
+  List.iter (fun (l, i) -> add "%s->%d," (String.escaped (label_key l)) i) t.init;
+  add ";acc=";
+  Array.iter (fun b -> add "%c" (if b then '1' else '0')) t.accepting;
+  add ";rej=";
+  Array.iter (fun b -> add "%c" (if b then '1' else '0')) t.rejecting;
+  add ";delta=";
+  Array.iter
+    (fun row ->
+      Array.iter (fun d -> add "%d," d) row;
+      add "|")
+    t.delta;
+  Buffer.contents buf
+
 let to_machine t =
   let q = state_count t in
   Machine.create ~name:"tabulated" ~beta:t.beta

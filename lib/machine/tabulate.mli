@@ -34,6 +34,24 @@ val tabulate :
 val state_count : ('l, 's) t -> int
 val profile_count : ('l, 's) t -> int
 
+val reachable_states :
+  ?max_states:int -> labels:'l list -> ('l, 's) Machine.t -> 's list option
+(** The states reachable from the initial states under arbitrary capped
+    profiles, in a {e deterministic} discovery order (label order first,
+    then profile-enumeration order per closure pass) — suitable as a
+    canonical state order for {!tabulate} and hence for content
+    fingerprints.  Returns [None] when more than [max_states] (default 12)
+    states are found or a closure pass would exceed the internal table
+    budget; the size check happens before each pass, so infeasible machines
+    bail cheaply. *)
+
+val canonical_dump : label_key:('l -> string) -> ('l, 's) t -> string
+(** A deterministic serialisation of the table — β, labels, initial-state
+    ids, acceptance vectors and the full δ table over dense ids.  Two
+    tabulations built over the same state order produce equal dumps iff
+    the tables are identical, so [canonical_dump] of a table built over
+    {!reachable_states} order is a stable machine fingerprint input. *)
+
 val to_machine : ('l, 's) t -> ('l, int) Machine.t
 (** The tabulated machine over integer state ids (behaviourally identical
     to the original on the enumerated state set). *)

@@ -42,7 +42,13 @@ let reset t =
   end;
   t.restart ()
 
-let prefix t k = List.map (fun _ -> next t) (Listx.range k)
+(* [List.map] over a stateful generator would tie the schedule to the
+   (undocumented) evaluation order of the map; build the prefix with an
+   explicit left-to-right loop instead so selection [i] is always the
+   [i]-th draw. *)
+let prefix t k =
+  let rec go i acc = if i >= k then List.rev acc else go (i + 1) (next t :: acc) in
+  go 0 []
 
 let check_n n = if n < 1 then invalid_arg "Scheduler: node count must be >= 1"
 

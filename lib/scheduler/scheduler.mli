@@ -35,7 +35,9 @@ val reset : t -> unit
     generators to their creation seed, so replays are identical). *)
 
 val prefix : t -> int -> selection list
-(** [prefix t k] is the next [k] selections (advances the generator). *)
+(** [prefix t k] is the next [k] selections, drawn strictly left to right
+    (advances the generator): element [i] of the result is the [i]-th call
+    to {!next}. *)
 
 (** {1 Generators} *)
 

@@ -50,21 +50,37 @@ let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 let span_aggs : (string, span_agg) Hashtbl.t = Hashtbl.create 16
 
+(* Find-or-create may be reached from worker domains (the engine's
+   per-domain counters, any instrumented code called by the batch runner's
+   shards), so the tables are guarded by the emit lock.  Counter bumps stay
+   unguarded single-word writes — the hot path must remain a load+branch —
+   and exact cross-domain accounting is the caller's job (the engine and the
+   batch driver aggregate per-worker tallies on the main domain). *)
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { cname = name; count = 0 } in
-    Hashtbl.add counters name c;
-    c
+  Mutex.lock st.emit_lock;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+      let c = { cname = name; count = 0 } in
+      Hashtbl.add counters name c;
+      c
+  in
+  Mutex.unlock st.emit_lock;
+  c
 
 let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-    let h = { hname = name; buckets = Array.make 65 0; n = 0; sum = 0; lo = max_int; hi = min_int } in
-    Hashtbl.add histograms name h;
-    h
+  Mutex.lock st.emit_lock;
+  let h =
+    match Hashtbl.find_opt histograms name with
+    | Some h -> h
+    | None ->
+      let h = { hname = name; buckets = Array.make 65 0; n = 0; sum = 0; lo = max_int; hi = min_int } in
+      Hashtbl.add histograms name h;
+      h
+  in
+  Mutex.unlock st.emit_lock;
+  h
 
 let enabled () = st.on
 let journalling () = st.on && st.journal_oc <> None
@@ -194,6 +210,8 @@ let with_span ?(args = []) name f =
       st.depth <- st.depth - 1;
       let span_t1 = now () in
       let dt = span_t1 -. span_t0 in
+      (* spans run on worker domains too; guard the aggregate table *)
+      Mutex.lock st.emit_lock;
       let agg =
         match Hashtbl.find_opt span_aggs name with
         | Some a -> a
@@ -204,6 +222,7 @@ let with_span ?(args = []) name f =
       in
       agg.calls <- agg.calls + 1;
       agg.total <- agg.total +. dt;
+      Mutex.unlock st.emit_lock;
       write_trace_event ~name ~ph:"X" ~ts:((span_t0 -. st.t0) *. 1e6) ~dur:(dt *. 1e6) args;
       write_journal_line "span"
         (("name", S name) :: ("dur_s", F dt) :: ("depth", I st.depth) :: args)
@@ -318,11 +337,22 @@ let metrics_json () =
   Buffer.add_string b (if spans = [] then "},\n" else "\n  },\n");
   Buffer.add_string b "  \"derived\": {";
   let cval name = match Hashtbl.find_opt counters name with Some c -> c.count | None -> 0 in
-  let hits = cval "engine.memo.hits" and misses = cval "engine.memo.misses" in
-  if hits + misses > 0 then
-    Buffer.add_string b
-      (Printf.sprintf "\n    \"engine.memo.hit_rate\": %.6f\n  " (float_of_int hits /. float_of_int (hits + misses)));
-  Buffer.add_string b "}\n}\n";
+  let derived =
+    List.filter_map
+      (fun (label, hits, misses) ->
+        if hits + misses > 0 then
+          Some (label, float_of_int hits /. float_of_int (hits + misses))
+        else None)
+      [
+        ("engine.memo.hit_rate", cval "engine.memo.hits", cval "engine.memo.misses");
+        ("cache.hit_rate", cval "cache.hits", cval "cache.misses");
+      ]
+  in
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string b (Printf.sprintf "%s\n    \"%s\": %.6f" (if i > 0 then "," else "") name v))
+    derived;
+  Buffer.add_string b (if derived = [] then "}\n}\n" else "\n  }\n}\n");
   Buffer.contents b
 
 let write_metrics path = Out_channel.with_open_bin path (fun oc -> output_string oc (metrics_json ()))
@@ -345,18 +375,23 @@ module Registry = struct
       "engine.frontier.peak";
       "sched.steps";
       "sched.resets";
+      "cache.hits";
+      "cache.misses";
+      "cache.stores";
+      "batch.jobs";
+      "batch.bounded";
+      "batch.errors";
     ]
 
   let histograms = [ "engine.wave.size"; "sched.selection.size" ]
 
   let spans =
-    [ "explore"; "scc"; "verdict"; "simulate"; "synthesise"; "telemetry.selftest" ]
+    [ "explore"; "scc"; "verdict"; "simulate"; "synthesise"; "telemetry.selftest"; "batch"; "batch.job" ]
 
   let tracks = [ "engine.frontier" ]
 
-  (* engine.domain.<k>.items *)
-  let domain_counter name =
-    let pre = "engine.domain." and post = ".items" in
+  (* <pre><digits><post>, e.g. engine.domain.3.items *)
+  let numbered ~pre ~post name =
     let lp = String.length pre and ls = String.length post and ln = String.length name in
     ln > lp + ls
     && String.sub name 0 lp = pre
@@ -366,7 +401,13 @@ module Registry = struct
          mid <> "" && String.for_all (fun ch -> ch >= '0' && ch <= '9') mid
        end
 
-  let valid_counter name = List.mem name counters || domain_counter name
+  (* engine.domain.<k>.items *)
+  let domain_counter = numbered ~pre:"engine.domain." ~post:".items"
+
+  (* batch.shard.<k>.jobs *)
+  let shard_counter = numbered ~pre:"batch.shard." ~post:".jobs"
+
+  let valid_counter name = List.mem name counters || domain_counter name || shard_counter name
   let valid_histogram name = List.mem name histograms
   let valid_span name = List.mem name spans
 end

@@ -2,6 +2,8 @@ module M = Dda_multiset.Multiset
 module Machine = Dda_machine.Machine
 module Listx = Dda_util.Listx
 
+exception Too_large of int
+
 type 's config = { centre : 's; leaves : 's M.t }
 
 let config ~centre ~leaves = { centre; leaves = M.of_counts leaves }
@@ -64,8 +66,7 @@ let reachable_covers ?(max_configs = 100_000) ~states m ~from target_basis =
       List.iter
         (fun c' ->
           if not (Hashtbl.mem seen (key c')) then begin
-            if Hashtbl.length seen >= max_configs then
-              invalid_arg "Coverability.reachable_covers: exploration bound exceeded";
+            if Hashtbl.length seen >= max_configs then raise (Too_large (Hashtbl.length seen));
             Hashtbl.add seen (key c') ();
             Queue.add c' queue
           end)

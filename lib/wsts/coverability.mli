@@ -22,6 +22,13 @@
     All functions require the machine to be non-counting (β = 1) and take
     the explicit state list [Q]. *)
 
+exception Too_large of int
+(** Raised when a forward search exceeds its exploration bound — the
+    resource-limit signal, distinct from [Invalid_argument] (which keeps
+    meaning a caller error such as a counting machine).  Mirrors
+    [Dda_verify.Space.Too_large]; batch drivers record it as a bounded-out
+    verdict instead of aborting. *)
+
 type 's config = { centre : 's; leaves : 's Dda_multiset.Multiset.t }
 
 val config : centre:'s -> leaves:('s * int) list -> 's config
@@ -68,7 +75,7 @@ val reachable_covers :
   bool
 (** Forward check (for cross-validation): can [from] reach the upward
     closure of the basis?  Explicit search, bounded by [max_configs]
-    (default 100_000). @raise Invalid_argument when the bound is hit. *)
+    (default 100_000). @raise Too_large when the bound is hit. *)
 
 (** {1 Backward coverability} *)
 

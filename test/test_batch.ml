@@ -1,0 +1,383 @@
+(* The batch subsystem: fingerprints, the on-disk verdict store, and the
+   sharded runner.  The differential tests at the bottom are the
+   acceptance criterion of the caching work: cached and fresh verdicts
+   must be indistinguishable. *)
+
+module G = Dda_graph.Graph
+module Machine = Dda_machine.Machine
+module Fp = Dda_batch.Fingerprint
+module Store = Dda_batch.Store
+module Spec = Dda_batch.Spec
+module Batch = Dda_batch.Batch
+module Decide = Dda_verify.Decide
+
+let exists_a = Dda_protocols.Cutoff_one.exists_label ~alphabet:[ "a"; "b" ] "a"
+let ab = [ "a"; "b" ]
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let replace_first ~needle ~by haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec find i = if i + n > h then None else if String.sub haystack i n = needle then Some i else find (i + 1) in
+  match find 0 with
+  | None -> haystack
+  | Some i -> String.sub haystack 0 i ^ by ^ String.sub haystack (i + n) (h - i - n)
+
+(* --- temp cache roots ------------------------------------------------------ *)
+
+let dir_counter = ref 0
+
+let fresh_root () =
+  incr dir_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "dda_test_cache.%d.%d" (Unix.getpid ()) !dir_counter)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_store f =
+  let root = fresh_root () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () -> f (Store.open_ ~root ()))
+
+(* --- fingerprints ---------------------------------------------------------- *)
+
+let test_machine_fingerprint_stable () =
+  let fp1 = Fp.machine ~labels:ab exists_a in
+  let fp2 = Fp.machine ~labels:ab exists_a in
+  Alcotest.(check string) "same machine, same fingerprint" fp1 fp2;
+  Alcotest.(check bool) "small machine tabulates (not nominal)" true
+    (String.length fp1 > 4 && String.sub fp1 0 4 = "tab:");
+  (* behavioural: a renamed copy of the same machine fingerprints equally *)
+  let renamed = Machine.rename "renamed-exists-a" exists_a in
+  Alcotest.(check string) "name does not enter a tabulated fingerprint" fp1
+    (Fp.machine ~labels:ab renamed)
+
+let test_machine_fingerprint_distinguishes () =
+  let fp = Fp.machine ~labels:ab exists_a in
+  let threshold = Dda_protocols.Cutoff_broadcast.threshold ~alphabet:ab ~label:"a" ~k:2 in
+  Alcotest.(check bool) "different behaviour, different fingerprint" true
+    (fp <> Fp.machine ~labels:ab threshold);
+  Alcotest.(check bool) "different alphabet, different fingerprint" true
+    (fp <> Fp.machine ~labels:[ "a"; "b"; "c" ] exists_a)
+
+let test_graph_fingerprint_isomorphism () =
+  (* rotations and reflections of a labelled cycle are isomorphic *)
+  let fp1 = Fp.graph (G.cycle [ "a"; "b"; "b"; "c" ]) in
+  let fp2 = Fp.graph (G.cycle [ "b"; "b"; "c"; "a" ]) in
+  let fp3 = Fp.graph (G.cycle [ "c"; "b"; "b"; "a" ]) in
+  Alcotest.(check string) "rotation" fp1 fp2;
+  Alcotest.(check string) "reflection" fp1 fp3;
+  Alcotest.(check bool) "different multiset differs" true
+    (fp1 <> Fp.graph (G.cycle [ "a"; "a"; "b"; "c" ]));
+  Alcotest.(check bool) "topology differs" true
+    (fp1 <> Fp.graph (G.line [ "a"; "b"; "b"; "c" ]))
+
+let test_key_sensitivity () =
+  let m = Fp.machine ~labels:ab exists_a in
+  let g = Fp.graph (G.cycle [ "a"; "b"; "b" ]) in
+  let key = Fp.key ~machine:m ~graph:g ~regime:"F" ~max_configs:1000 in
+  Alcotest.(check string) "deterministic" key
+    (Fp.key ~machine:m ~graph:g ~regime:"F" ~max_configs:1000);
+  Alcotest.(check bool) "regime enters the key" true
+    (key <> Fp.key ~machine:m ~graph:g ~regime:"f" ~max_configs:1000);
+  Alcotest.(check bool) "budget enters the key" true
+    (key <> Fp.key ~machine:m ~graph:g ~regime:"F" ~max_configs:1001);
+  Alcotest.(check bool) "machine enters the key" true
+    (key <> Fp.key ~machine:(m ^ "x") ~graph:g ~regime:"F" ~max_configs:1000)
+
+(* --- the store ------------------------------------------------------------- *)
+
+let entry ?(verdict = Store.Accepts) key =
+  {
+    Store.key;
+    machine = "tab:m";
+    graph = "can:g";
+    regime = "F";
+    max_configs = 1000;
+    verdict;
+    configs = 42;
+    seconds = 0.5;
+  }
+
+let some_key = String.make 32 'a'
+
+let test_store_roundtrip () =
+  with_store (fun store ->
+      List.iteri
+        (fun i verdict ->
+          let key = String.make 32 (Char.chr (Char.code 'a' + i)) in
+          Store.put store (entry ~verdict key);
+          match Store.find store key with
+          | None -> Alcotest.fail "entry not found after put"
+          | Some e ->
+            Alcotest.(check bool) "verdict survives the round-trip" true
+              (e.Store.verdict = verdict);
+            Alcotest.(check int) "configs survive" 42 e.Store.configs)
+        [ Store.Accepts; Store.Rejects; Store.Inconsistent "w: 0 1"; Store.Bounded 7 ];
+      let s = Store.stats store in
+      Alcotest.(check int) "four entries on disk" 4 s.Store.entries;
+      Alcotest.(check int) "none corrupt" 0 s.Store.corrupt)
+
+let test_store_missing_and_invalid () =
+  with_store (fun store ->
+      Alcotest.(check bool) "absent key is a miss" true
+        (Store.find store some_key = None);
+      Alcotest.(check bool) "invalid key is a miss, not a crash" true
+        (Store.find store "../../etc/passwd" = None))
+
+let corrupt_path store key =
+  (* mirror the store layout: <root>/<2 hex>/<key>.json *)
+  Filename.concat
+    (Filename.concat (Store.root store) (String.sub key 0 2))
+    (key ^ ".json")
+
+let test_store_corrupt_entry () =
+  with_store (fun store ->
+      Store.put store (entry some_key);
+      Alcotest.(check bool) "entry present" true (Store.find store some_key <> None);
+      Out_channel.with_open_bin (corrupt_path store some_key) (fun oc ->
+          Out_channel.output_string oc "garbage{{");
+      Alcotest.(check bool) "corrupt entry reads as a miss" true
+        (Store.find store some_key = None);
+      Alcotest.(check int) "verify flags it" 1 (List.length (Store.verify store));
+      Alcotest.(check int) "gc removes it" 1 (Store.gc store);
+      Alcotest.(check int) "store clean after gc" 0 (List.length (Store.verify store));
+      (* truncated file: cut a valid entry in half *)
+      Store.put store (entry some_key);
+      let path = corrupt_path store some_key in
+      let contents = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub contents 0 (String.length contents / 2)));
+      Alcotest.(check bool) "truncated entry reads as a miss" true
+        (Store.find store some_key = None))
+
+let test_store_stale_salt () =
+  with_store (fun store ->
+      Store.put store (entry some_key);
+      let path = corrupt_path store some_key in
+      let contents = In_channel.with_open_bin path In_channel.input_all in
+      let doctored = replace_first ~needle:Fp.version_salt ~by:"dda-engine/0" contents in
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc doctored);
+      Alcotest.(check bool) "foreign-salt entry reads as a miss" true
+        (Store.find store some_key = None);
+      let s = Store.stats store in
+      Alcotest.(check int) "counted as stale, not corrupt" 1 s.Store.stale;
+      Alcotest.(check int) "gc removes stale entries" 1 (Store.gc store))
+
+(* --- cached decisions ------------------------------------------------------ *)
+
+let decision_result (d : Batch.decision) = d.Batch.result
+
+let check_result msg a b =
+  Alcotest.(check bool) msg true
+    (match (a, b) with
+    | Batch.Verdict va, Batch.Verdict vb -> va = vb
+    | Batch.Bounded na, Batch.Bounded nb -> na = nb
+    | _ -> false)
+
+let test_decide_cached_matches_fresh () =
+  with_store (fun store ->
+      let g = G.cycle [ "a"; "b"; "b" ] in
+      let fresh =
+        Batch.decide ~regime:Spec.Pseudo_stochastic ~max_configs:10_000 exists_a g
+      in
+      let cold =
+        Batch.decide ~cache:store ~regime:Spec.Pseudo_stochastic ~max_configs:10_000 exists_a g
+      in
+      let warm =
+        Batch.decide ~cache:store ~regime:Spec.Pseudo_stochastic ~max_configs:10_000 exists_a g
+      in
+      check_result "cold run matches the uncached verdict" (decision_result fresh)
+        (decision_result cold);
+      check_result "warm run matches too" (decision_result fresh) (decision_result warm);
+      Alcotest.(check bool) "cold was computed" false cold.Batch.cached;
+      Alcotest.(check bool) "warm was a hit" true warm.Batch.cached;
+      Alcotest.(check int) "hit reports the original configs" cold.Batch.configs
+        warm.Batch.configs)
+
+let test_decide_cached_recovers_from_corruption () =
+  with_store (fun store ->
+      let g = G.cycle [ "a"; "b"; "b" ] in
+      let regime = Spec.Pseudo_stochastic and max_configs = 10_000 in
+      let cold = Batch.decide ~cache:store ~regime ~max_configs exists_a g in
+      let key =
+        Fp.key
+          ~machine:(Fp.machine ~labels:ab exists_a)
+          ~graph:(Fp.graph g) ~regime:(Spec.regime_name regime) ~max_configs
+      in
+      Out_channel.with_open_bin (corrupt_path store key) (fun oc ->
+          Out_channel.output_string oc "]]not json");
+      let recomputed = Batch.decide ~cache:store ~regime ~max_configs exists_a g in
+      Alcotest.(check bool) "corrupt entry forces a recompute" false
+        recomputed.Batch.cached;
+      check_result "recomputed verdict matches" (decision_result cold)
+        (decision_result recomputed);
+      let warm = Batch.decide ~cache:store ~regime ~max_configs exists_a g in
+      Alcotest.(check bool) "recompute repaired the entry" true warm.Batch.cached)
+
+let test_bounded_is_cached () =
+  with_store (fun store ->
+      let g = G.cycle [ "a"; "b"; "b" ] in
+      let regime = Spec.Pseudo_stochastic and max_configs = 2 in
+      let cold = Batch.decide ~cache:store ~regime ~max_configs exists_a g in
+      (match cold.Batch.result with
+      | Batch.Bounded n -> Alcotest.(check bool) "bound payload positive" true (n >= 2)
+      | Batch.Verdict _ -> Alcotest.fail "budget of 2 should bound out");
+      let warm = Batch.decide ~cache:store ~regime ~max_configs exists_a g in
+      Alcotest.(check bool) "bounded-out results are cached too" true warm.Batch.cached;
+      check_result "same bound" (decision_result cold) (decision_result warm))
+
+(* --- manifests and the runner ---------------------------------------------- *)
+
+let manifest =
+  {|{"schema": "dda.batch-manifest/1",
+     "jobs": [
+       {"protocol": "exists:a", "graph": "cycle:abb"},
+       {"protocol": "exists:a", "graph": "cycle:bab", "regime": "f"},
+       {"protocol": "threshold:a,2", "graph": "clique:aab", "regime": "F", "max_configs": 5000}
+     ]}|}
+
+let test_manifest_parse () =
+  match Batch.manifest_of_string ~default_max_configs:777 manifest with
+  | Error e -> Alcotest.fail e
+  | Ok jobs ->
+    Alcotest.(check int) "three jobs" 3 (List.length jobs);
+    let j0 = List.nth jobs 0 and j1 = List.nth jobs 1 and j2 = List.nth jobs 2 in
+    Alcotest.(check string) "protocol" "exists:a" j0.Batch.protocol;
+    Alcotest.(check bool) "regime defaults to F" true
+      (j0.Batch.regime = Spec.Pseudo_stochastic);
+    Alcotest.(check int) "max_configs defaults" 777 j0.Batch.max_configs;
+    Alcotest.(check bool) "explicit regime" true (j1.Batch.regime = Spec.Adversarial);
+    Alcotest.(check int) "explicit max_configs" 5000 j2.Batch.max_configs
+
+let test_manifest_rejects () =
+  let bad schema = Printf.sprintf {|{"schema": %S, "jobs": []}|} schema in
+  Alcotest.(check bool) "wrong schema rejected" true
+    (Result.is_error (Batch.manifest_of_string (bad "dda.batch-manifest/9")));
+  Alcotest.(check bool) "missing jobs rejected" true
+    (Result.is_error (Batch.manifest_of_string {|{"schema": "dda.batch-manifest/1"}|}));
+  Alcotest.(check bool) "bad job rejected" true
+    (Result.is_error
+       (Batch.manifest_of_string
+          {|{"schema": "dda.batch-manifest/1", "jobs": [{"graph": "cycle:abb"}]}|}))
+
+let run_jobs =
+  match Batch.manifest_of_string ~default_max_configs:10_000 manifest with
+  | Ok jobs -> jobs
+  | Error e -> failwith e
+
+let count_outcomes report =
+  List.fold_left
+    (fun (done_, cached, failed) (_, outcome, _) ->
+      match outcome with
+      | Batch.Done d -> (done_ + 1, (if d.Batch.cached then cached + 1 else cached), failed)
+      | Batch.Failed _ -> (done_, cached, failed + 1)
+      | Batch.Skipped -> (done_, cached, failed))
+    (0, 0, 0) report.Batch.jobs
+
+let test_run_cold_then_warm () =
+  with_store (fun store ->
+      Batch.reset_cache_stats ();
+      let cold = Batch.run ~cache:store ~shards:2 run_jobs in
+      let d, c, f = count_outcomes cold in
+      Alcotest.(check int) "all jobs decided" 3 d;
+      Alcotest.(check int) "no hits cold" 0 c;
+      Alcotest.(check int) "no failures" 0 f;
+      Alcotest.(check int) "report misses" 3 cold.Batch.misses;
+      let warm = Batch.run ~cache:store ~shards:2 run_jobs in
+      let d', c', _ = count_outcomes warm in
+      Alcotest.(check int) "all jobs decided warm" 3 d';
+      Alcotest.(check int) "all hits warm" 3 c';
+      Alcotest.(check int) "report hits" 3 warm.Batch.hits;
+      Alcotest.(check int) "no misses warm" 0 warm.Batch.misses;
+      (* verdicts byte-identical across the runs *)
+      List.iter2
+        (fun (_, o1, _) (_, o2, _) ->
+          match (o1, o2) with
+          | Batch.Done d1, Batch.Done d2 ->
+            check_result "cold and warm verdicts agree" (decision_result d1)
+              (decision_result d2)
+          | _ -> Alcotest.fail "outcome shape changed between runs")
+        cold.Batch.jobs warm.Batch.jobs;
+      let hits, misses = Batch.cache_stats () in
+      Alcotest.(check int) "global hit tally" 3 hits;
+      Alcotest.(check int) "global miss tally" 3 misses)
+
+let test_run_reports_failures () =
+  let jobs =
+    { Batch.protocol = "exists:z"; graph = "cycle:abb"; regime = Spec.Pseudo_stochastic;
+      max_configs = 1000 }
+    :: run_jobs
+  in
+  let report = Batch.run jobs in
+  (match report.Batch.jobs with
+  | (_, Batch.Failed msg, shard) :: _ ->
+    Alcotest.(check bool) "failure names the label" true
+      (contains "outside the alphabet" msg || contains "unknown" msg);
+    Alcotest.(check int) "failed at resolve: no shard" (-1) shard
+  | _ -> Alcotest.fail "first job should fail to resolve");
+  let json = Batch.report_json report in
+  Alcotest.(check bool) "report JSON parses" true
+    (Result.is_ok (Dda_telemetry.Json.parse json))
+
+(* --- differential: Figure 1 through the cache ------------------------------ *)
+
+let test_figure1_differential () =
+  with_store (fun store ->
+      let fresh = Dda_core.Figure1.arbitrary_table ~max_nodes:3 () in
+      Batch.reset_cache_stats ();
+      let cold = Dda_core.Figure1.arbitrary_table ~cache:store ~max_nodes:3 () in
+      let _, cold_misses = Batch.cache_stats () in
+      Batch.reset_cache_stats ();
+      let warm = Dda_core.Figure1.arbitrary_table ~cache:store ~max_nodes:3 () in
+      let warm_hits, warm_misses = Batch.cache_stats () in
+      Alcotest.(check bool) "cached table equals the fresh table" true (cold = fresh);
+      Alcotest.(check bool) "warm table equals too" true (warm = fresh);
+      Alcotest.(check bool) "cold run populated the cache" true (cold_misses > 0);
+      Alcotest.(check int) "warm run is pure hits" 0 warm_misses;
+      Alcotest.(check bool) "warm run did hit" true (warm_hits > 0))
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "machine stable" `Quick test_machine_fingerprint_stable;
+          Alcotest.test_case "machine distinguishes" `Quick test_machine_fingerprint_distinguishes;
+          Alcotest.test_case "graph isomorphism" `Quick test_graph_fingerprint_isomorphism;
+          Alcotest.test_case "key sensitivity" `Quick test_key_sensitivity;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "round-trip" `Quick test_store_roundtrip;
+          Alcotest.test_case "missing and invalid keys" `Quick test_store_missing_and_invalid;
+          Alcotest.test_case "corrupt entries" `Quick test_store_corrupt_entry;
+          Alcotest.test_case "stale salt" `Quick test_store_stale_salt;
+        ] );
+      ( "decide",
+        [
+          Alcotest.test_case "cached matches fresh" `Quick test_decide_cached_matches_fresh;
+          Alcotest.test_case "recovers from corruption" `Quick
+            test_decide_cached_recovers_from_corruption;
+          Alcotest.test_case "bounded results cached" `Quick test_bounded_is_cached;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "manifest parse" `Quick test_manifest_parse;
+          Alcotest.test_case "manifest rejects" `Quick test_manifest_rejects;
+          Alcotest.test_case "cold then warm" `Quick test_run_cold_then_warm;
+          Alcotest.test_case "reports failures" `Quick test_run_reports_failures;
+        ] );
+      ( "differential",
+        [ Alcotest.test_case "figure 1 through the cache" `Slow test_figure1_differential ] );
+    ]

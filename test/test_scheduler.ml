@@ -14,6 +14,18 @@ let test_round_robin () =
   S.reset s;
   Alcotest.(check sel) "reset" [ 0 ] (S.next s)
 
+let test_prefix_left_to_right () =
+  (* regression: [prefix] once used [List.map] over the stateful generator,
+     whose evaluation order is not a documented guarantee *)
+  let s = S.round_robin ~n:3 in
+  Alcotest.(check (list sel)) "prefix draws left to right"
+    [ [ 0 ]; [ 1 ]; [ 2 ]; [ 0 ]; [ 1 ]; [ 2 ] ]
+    (S.prefix s 6);
+  let b = S.burst ~n:4 ~width:2 in
+  Alcotest.(check (list sel)) "burst prefix in draw order"
+    [ [ 0 ]; [ 0 ]; [ 1 ]; [ 1 ]; [ 2 ] ]
+    (S.prefix b 5)
+
 let test_random_exclusive_fair_and_deterministic () =
   let s1 = S.random_exclusive ~n:5 ~seed:42 in
   let s2 = S.random_exclusive ~n:5 ~seed:42 in
@@ -107,6 +119,7 @@ let () =
         [
           Alcotest.test_case "synchronous" `Quick test_synchronous;
           Alcotest.test_case "round robin" `Quick test_round_robin;
+          Alcotest.test_case "prefix left-to-right" `Quick test_prefix_left_to_right;
           Alcotest.test_case "random exclusive" `Quick test_random_exclusive_fair_and_deterministic;
           Alcotest.test_case "random liberal" `Quick test_random_liberal;
           Alcotest.test_case "burst" `Quick test_burst;

@@ -110,6 +110,22 @@ let test_backward_equals_forward_exists_a () =
       Alcotest.(check bool) "agree" forward backward)
     configs
 
+let test_forward_bound_too_large () =
+  (* regression: exceeding the forward-search bound must raise the dedicated
+     resource-limit exception, not [Invalid_argument] *)
+  let targets = C.non_rejecting_targets ~states:climber_states climber in
+  let from = cfg 0 [ (1, 2); (0, 2) ] in
+  let raised =
+    try
+      ignore (C.reachable_covers ~max_configs:1 ~states:climber_states climber ~from
+                (C.basis_of_list targets));
+      false
+    with C.Too_large n ->
+      Alcotest.(check bool) "payload reports explored count" true (n >= 1);
+      true
+  in
+  Alcotest.(check bool) "Too_large raised" true raised
+
 let test_cutoff_bound () =
   let k = C.cutoff_bound ~states:yn_states exists_a in
   Alcotest.(check bool) "positive" true (k >= 2);
@@ -137,6 +153,7 @@ let () =
           Alcotest.test_case "pre* for exists-a" `Quick test_pre_star_exists_a;
           Alcotest.test_case "backward = forward (climber)" `Quick test_backward_equals_forward;
           Alcotest.test_case "backward = forward (exists-a)" `Quick test_backward_equals_forward_exists_a;
+          Alcotest.test_case "forward bound raises Too_large" `Quick test_forward_bound_too_large;
           Alcotest.test_case "cutoff bound" `Quick test_cutoff_bound;
         ] );
     ]
