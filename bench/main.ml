@@ -485,6 +485,100 @@ let experiment_cache () =
       }
 
 (* ------------------------------------------------------------------ *)
+(* E13: the verification service — cold vs warm load over the socket     *)
+(* ------------------------------------------------------------------ *)
+
+module Sclient = Dda_service.Client
+
+type service_bench = {
+  sb_clients : int;
+  sb_per_client : int;
+  sb_cold : Sclient.summary;
+  sb_warm : Sclient.summary;
+}
+
+(* stashed for E11's BENCH_verify.json writer *)
+let service_bench_result : service_bench option ref = ref None
+
+let experiment_service () =
+  section "E13  verification service: cold vs warm load over the wire";
+  let module Server = Dda_service.Server in
+  let module Sproto = Dda_service.Protocol in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dda_bench_service.%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists root then rm_rf root;
+  Unix.mkdir root 0o700;
+  let cache = Dda_batch.Store.open_ ~root:(Filename.concat root "cache") () in
+  let sock = Filename.concat root "dda.sock" in
+  let clients = if smoke then 4 else 8 in
+  let per_client = if smoke then 6 else if quick then 12 else 25 in
+  let job protocol graph =
+    {
+      Dda_batch.Batch.protocol;
+      graph;
+      regime = Dda_batch.Spec.Pseudo_stochastic;
+      max_configs = 200_000;
+    }
+  in
+  (* distinct cache keys, so the cold pass computes every job at least once *)
+  let mix =
+    [
+      job "exists:a" "cycle:abb";
+      job "exists:a" "cycle:aabb";
+      job "exists:a" "line:abab";
+      job "threshold:a,2" "cycle:aab";
+      job "threshold:a,2" "line:aabb";
+      job "exists:a" "cycle:abab";
+    ]
+  in
+  let cfg =
+    {
+      Server.default_config with
+      addresses = [ Sproto.Unix_socket sock ];
+      cache = Some cache;
+      workers = 2;
+      conn_limit = 8;
+    }
+  in
+  let srv =
+    match Server.start cfg with Ok s -> s | Error e -> failwith ("E13 server start: " ^ e)
+  in
+  let run label =
+    match
+      Sclient.load (Sproto.Unix_socket sock)
+        { Sclient.clients; per_client; mix; deadline_ms = None }
+    with
+    | Error e -> failwith (Printf.sprintf "E13 %s load: %s" label e)
+    | Ok s -> s
+  in
+  let cold = run "cold" in
+  let warm = run "warm" in
+  Server.drain srv;
+  let st = Server.wait srv in
+  rm_rf root;
+  Format.printf "%d clients x %d requests over %d distinct jobs (unix socket)@." clients
+    per_client (List.length mix);
+  Format.printf "%-6s %9s %10s %8s %8s %9s %9s %9s@." "pass" "seconds" "rps" "ok" "cached"
+    "p50_ms" "p95_ms" "p99_ms";
+  let line name (s : Sclient.summary) =
+    Format.printf "%-6s %8.3fs %10.1f %8d %8d %9.3f %9.3f %9.3f@." name s.Sclient.seconds
+      s.Sclient.rps s.Sclient.ok s.Sclient.cached s.Sclient.p50_ms s.Sclient.p95_ms
+      s.Sclient.p99_ms
+  in
+  line "cold" cold;
+  line "warm" warm;
+  Format.printf
+    "warm hit rate: %.1f%%   warm/cold rps: %.1fx   server: %d accepted, %d served (%d hits, \
+     %d computed)@."
+    (100. *. Sclient.hit_rate warm)
+    (warm.Sclient.rps /. cold.Sclient.rps)
+    st.Server.accepted st.Server.served st.Server.hits st.Server.computed;
+  service_bench_result :=
+    Some { sb_clients = clients; sb_per_client = per_client; sb_cold = cold; sb_warm = warm }
+
+(* ------------------------------------------------------------------ *)
 (* E11: the exploration engine vs the legacy explorer (BENCH_verify.json) *)
 (* ------------------------------------------------------------------ *)
 
@@ -637,19 +731,52 @@ let experiment_verify_bench () =
         (json_escape r.r_verdict) metrics
         (if i = List.length !rows - 1 then "" else ","))
     (List.rev !rows);
-  (match !cache_bench_result with
-  | None -> Format.fprintf out "  ]@.}@."
-  | Some cb ->
+  let sections =
+    (match !cache_bench_result with
+    | None -> []
+    | Some cb ->
+      [
+        Printf.sprintf
+          "\"cache\": {\"cold_seconds\": %.4f, \"warm_seconds\": %.4f, \"speedup\": %.2f, \
+           \"cold_hits\": %d, \"cold_misses\": %d, \"warm_hits\": %d, \"warm_misses\": %d, \
+           \"warm_hit_rate\": %.4f}"
+          cb.cb_cold cb.cb_warm
+          (cb.cb_cold /. cb.cb_warm)
+          cb.cb_cold_hits cb.cb_cold_misses cb.cb_warm_hits cb.cb_warm_misses
+          (float_of_int cb.cb_warm_hits
+          /. float_of_int (max 1 (cb.cb_warm_hits + cb.cb_warm_misses)));
+      ])
+    @
+    match !service_bench_result with
+    | None -> []
+    | Some sb ->
+      let pass (s : Sclient.summary) =
+        Printf.sprintf
+          "{\"seconds\": %.4f, \"rps\": %.1f, \"ok\": %d, \"cached\": %d, \"bounded\": %d, \
+           \"rejected\": %d, \"errors\": %d, \"hit_rate\": %.4f, \"p50_ms\": %.3f, \
+           \"p95_ms\": %.3f, \"p99_ms\": %.3f}"
+          s.Sclient.seconds s.Sclient.rps s.Sclient.ok s.Sclient.cached s.Sclient.bounded
+          s.Sclient.rejected s.Sclient.errors (Sclient.hit_rate s) s.Sclient.p50_ms
+          s.Sclient.p95_ms s.Sclient.p99_ms
+      in
+      [
+        Printf.sprintf
+          "\"service\": {\"clients\": %d, \"per_client\": %d, \"warm_speedup\": %.2f, \
+           \"cold\": %s, \"warm\": %s}"
+          sb.sb_clients sb.sb_per_client
+          (sb.sb_warm.Sclient.rps /. Float.max 1e-9 sb.sb_cold.Sclient.rps)
+          (pass sb.sb_cold) (pass sb.sb_warm);
+      ]
+  in
+  (match sections with
+  | [] -> Format.fprintf out "  ]@.}@."
+  | secs ->
     Format.fprintf out "  ],@.";
-    Format.fprintf out
-      "  \"cache\": {\"cold_seconds\": %.4f, \"warm_seconds\": %.4f, \"speedup\": %.2f, \
-       \"cold_hits\": %d, \"cold_misses\": %d, \"warm_hits\": %d, \"warm_misses\": %d, \
-       \"warm_hit_rate\": %.4f}@.}@."
-      cb.cb_cold cb.cb_warm
-      (cb.cb_cold /. cb.cb_warm)
-      cb.cb_cold_hits cb.cb_cold_misses cb.cb_warm_hits cb.cb_warm_misses
-      (float_of_int cb.cb_warm_hits
-      /. float_of_int (max 1 (cb.cb_warm_hits + cb.cb_warm_misses))));
+    List.iteri
+      (fun i s ->
+        Format.fprintf out "  %s%s@." s (if i = List.length secs - 1 then "" else ","))
+      secs;
+    Format.fprintf out "}@.");
   close_out oc;
   Format.printf "wrote BENCH_verify.json (%d rows)@." (List.length !rows)
 
@@ -753,6 +880,7 @@ let () =
   experiment_primality ();
   experiment_exact_adversarial ();
   experiment_cache ();
+  experiment_service ();
   experiment_verify_bench ();
   bechamel_suite ();
   telemetry_overhead_bench ();

@@ -7,13 +7,17 @@
    $ dda simulate -p 'majority-bounded:2' -g cycle:ababa -s round-robin
    $ dda batch -m jobs.json --cache -j 4    # sharded batch verification
    $ dda cache stats                        # inspect the verdict cache
+   $ dda serve -l dda.sock --cache -j 2     # persistent verification server
+   $ dda client --connect dda.sock -p exists:a -g cycle:abb
    $ dda cutoff                             # Lemma 3.5 coverability demo
    $ dda graph -g star:baa                  # inspect a graph spec
 
-   Exit codes (doc/CACHING.md): 0 success; 1 a resource bound was hit
-   (configuration budget exceeded, batch job bounded out or skipped);
-   2 a real error (bad spec, unreadable file, validation failure).
-   Cmdliner's own 123-125 for CLI misuse are unchanged. *)
+   Exit codes (doc/CACHING.md, doc/SERVICE.md): 0 success; 1 a resource
+   bound was hit (configuration budget exceeded, batch job bounded out,
+   skipped or interrupted, request rejected by admission control);
+   2 a real error (bad spec, unreadable file, validation failure, cache
+   lock contention).  Cmdliner's own 123-125 for CLI misuse are
+   unchanged. *)
 
 module G = Dda_graph.Graph
 module M = Dda_multiset.Multiset
@@ -29,6 +33,9 @@ module Json = Dda_telemetry.Json
 module Spec = Dda_batch.Spec
 module Batch = Dda_batch.Batch
 module Store = Dda_batch.Store
+module Sproto = Dda_service.Protocol
+module Server = Dda_service.Server
+module Client = Dda_service.Client
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry wiring (doc/OBSERVABILITY.md)                              *)
@@ -78,6 +85,21 @@ let open_cache = function
   | None -> None
   | Some "" -> Some (Store.open_ ())
   | Some dir -> Some (Store.open_ ~root:dir ())
+
+(* Long-running cache users hold the shared advisory lock so `dda cache gc`
+   cannot delete entries under them; contention is a real error (exit 2). *)
+let lock_cache mode = Option.map (fun store -> or_die (Store.lock store ~mode))
+
+(* SIGINT/SIGTERM as a polled flag: handlers only flip an atomic (no locks,
+   no I/O in signal context); the workload polls or a watcher thread acts. *)
+let stop_on_signals () =
+  let stop = Atomic.make false in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ];
+  stop
 
 let cmd_tables bounded max_nodes cache_dir =
   let cache = open_cache cache_dir in
@@ -258,7 +280,12 @@ let cmd_batch manifest shards time_budget max_configs cache_dir report_file trac
   telemetry_init trace metrics journal progress;
   let jobs = or_die (Batch.manifest_of_file ?default_max_configs:max_configs manifest) in
   let cache = open_cache cache_dir in
-  let report = Batch.run ?cache ~shards ?time_budget jobs in
+  let lock = lock_cache `Shared cache in
+  let stop = stop_on_signals () in
+  let report =
+    Batch.run ?cache ~shards ?time_budget ~interrupted:(fun () -> Atomic.get stop) jobs
+  in
+  Option.iter Store.unlock lock;
   Format.printf "%a@." Batch.pp_report report;
   Option.iter
     (fun file ->
@@ -271,7 +298,9 @@ let cmd_batch manifest shards time_budget max_configs cache_dir report_file trac
       (fun (f, b) (_, outcome, _) ->
         match outcome with
         | Batch.Failed _ -> (f + 1, b)
-        | Batch.Skipped | Batch.Done { Batch.result = Batch.Bounded _; _ } -> (f, b + 1)
+        | Batch.Skipped | Batch.Interrupted
+        | Batch.Done { Batch.result = Batch.Bounded _; _ } ->
+          (f, b + 1)
         | Batch.Done _ -> (f, b))
       (0, 0) report.Batch.jobs
   in
@@ -294,9 +323,135 @@ let cmd_cache action dir =
       List.iter (fun (path, reason) -> Format.printf "%s: %s@." path reason) problems;
       exit 2)
   | "gc" ->
+    (* gc deletes files: it must be the sole store user (exit 2 if a
+       server or batch run holds the shared lock) *)
+    let l = or_die (Store.lock store ~mode:`Exclusive) in
     let removed = Store.gc store in
+    Store.unlock l;
     Format.printf "removed %d corrupt/stale entries from %s@." removed (Store.root store)
   | other -> or_die (Error (Printf.sprintf "unknown cache action %S (stats|verify|gc)" other))
+
+(* ------------------------------------------------------------------ *)
+(* The verification service (doc/SERVICE.md)                            *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_serve listens cache_dir workers queue conn_limit cap deadline_ms trace metrics journal
+    progress =
+  telemetry_init trace metrics journal progress;
+  let addresses = List.map (fun s -> or_die (Sproto.parse_address s)) listens in
+  if addresses = [] then or_die (Error "serve: pass at least one --listen ADDR");
+  let cache = open_cache cache_dir in
+  let lock = lock_cache `Shared cache in
+  let cfg =
+    {
+      Server.addresses;
+      cache;
+      workers;
+      queue_capacity = queue;
+      conn_limit;
+      max_configs_cap = cap;
+      default_deadline_ms = deadline_ms;
+    }
+  in
+  let srv = or_die (Server.start cfg) in
+  let stop = stop_on_signals () in
+  Format.printf "dda serve: listening on %s (%d worker(s), queue %d, conn limit %d)%s@."
+    (String.concat ", " (List.map Sproto.address_to_string addresses))
+    (max 1 workers) queue conn_limit
+    (match cache with Some store -> "  cache " ^ Store.root store | None -> "  no cache");
+  (* the handler only flips the flag; this thread performs the drain *)
+  let (_ : Thread.t) =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          Thread.delay 0.05
+        done;
+        Format.eprintf "dda serve: draining (finishing in-flight requests)@.";
+        Server.drain srv)
+      ()
+  in
+  let s = Server.wait srv in
+  Option.iter Store.unlock lock;
+  Format.printf
+    "dda serve: drained — %d connection(s), %d accepted, %d served (%d hits, %d computed, %d \
+     bounded), %d rejected, %d error(s), %d ping(s)@."
+    s.Server.connections s.Server.accepted s.Server.served s.Server.hits s.Server.computed
+    s.Server.bounded s.Server.rejected s.Server.errors s.Server.pings
+
+let client_mix mix_file proto graph fairness_str max_configs =
+  match mix_file with
+  | Some f -> or_die (Batch.manifest_of_file ?default_max_configs:max_configs f)
+  | None -> (
+    match (proto, graph) with
+    | Some protocol, Some graph ->
+      let regime = or_die (Spec.parse_regime fairness_str) in
+      [ { Batch.protocol; graph; regime; max_configs = Option.value ~default:200_000 max_configs } ]
+    | _ -> or_die (Error "client: pass --mix FILE or -p PROTO -g GRAPH"))
+
+let cmd_client connect_s ping bench proto graph fairness_str max_configs deadline_ms clients
+    per_client mix_file json_file min_hit_rate =
+  let addr = or_die (Sproto.parse_address connect_s) in
+  if ping then begin
+    let c = or_die (Client.connect addr) in
+    let ms = or_die (Client.ping c) in
+    Client.close c;
+    Format.printf "pong in %.2f ms@." ms
+  end
+  else if bench then begin
+    let mix = client_mix mix_file proto graph fairness_str max_configs in
+    let summary =
+      or_die (Client.load addr { Client.clients; per_client; mix; deadline_ms })
+    in
+    Format.printf "%a@." Client.pp_summary summary;
+    Option.iter
+      (fun f ->
+        Out_channel.with_open_bin f (fun oc ->
+            Out_channel.output_string oc (Client.summary_json summary));
+        Format.printf "summary written to %s@." f)
+      json_file;
+    (match min_hit_rate with
+    | Some r when Client.hit_rate summary < r ->
+      Format.eprintf "error: hit rate %.3f below required %.3f@." (Client.hit_rate summary) r;
+      exit 2
+    | _ -> ());
+    if summary.Client.errors > 0 then exit 2
+    else if summary.Client.rejected > 0 || summary.Client.bounded > 0 then exit 1
+  end
+  else begin
+    match client_mix mix_file proto graph fairness_str max_configs with
+    | [] -> or_die (Error "client: empty job mix")
+    | job :: _ ->
+      let c = or_die (Client.connect addr) in
+      let resp =
+        or_die
+          (Client.rpc c
+             (Sproto.Decide
+                {
+                  Sproto.id = "cli";
+                  protocol = job.Batch.protocol;
+                  graph = job.Batch.graph;
+                  regime = job.Batch.regime;
+                  max_configs = job.Batch.max_configs;
+                  deadline_ms;
+                }))
+      in
+      Client.close c;
+      (match resp.Sproto.status with
+      | Sproto.Verdict v ->
+        Format.printf "verdict: %s%s (%d configurations, %.2f ms round trip)@." v.verdict
+          (if v.cached then " [cached]" else "")
+          v.configs resp.Sproto.total_ms
+      | Sproto.Bounded b ->
+        Format.printf "bounded: %s after %d configurations@." b.reason b.configs;
+        exit 1
+      | Sproto.Rejected reason ->
+        Format.printf "rejected: %s@." reason;
+        exit 1
+      | Sproto.Error reason ->
+        Format.eprintf "error: %s@." reason;
+        exit 2
+      | Sproto.Pong -> ())
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner wiring                                                       *)
@@ -524,6 +679,125 @@ let batch_cmd =
       const cmd_batch $ manifest $ shards $ time_budget $ max_configs $ cache_arg $ report
       $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
 
+let serve_cmd =
+  let listens =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "l"; "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Listen address (repeatable): a Unix socket path (contains / or ends in .sock) or \
+             HOST:PORT.")
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "j"; "workers" ] ~docv:"N" ~doc:"Worker domains (default 2).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Central queue capacity — the admission-control bound (default 64).")
+  in
+  let conn_limit =
+    Arg.(
+      value & opt int 8
+      & info [ "conn-limit" ] ~docv:"N"
+          ~doc:"Max in-flight requests per connection (default 8).")
+  in
+  let cap =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-configs-cap" ] ~docv:"N"
+          ~doc:"Per-request configuration budgets are clamped to this (default 2000000).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Default deadline for requests that set none; expired requests are bounded out.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent verification server (SIGTERM/SIGINT drain gracefully)")
+    Term.(
+      const cmd_serve $ listens $ cache_arg $ workers $ queue $ conn_limit $ cap $ deadline
+      $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
+
+let client_cmd =
+  let connect =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "c"; "connect" ] ~docv:"ADDR" ~doc:"Server address (socket path or HOST:PORT).")
+  in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Measure a ping round trip and exit.") in
+  let bench =
+    Arg.(
+      value & flag
+      & info [ "bench" ] ~doc:"Closed-loop load generation: --clients x --per-client requests.")
+  in
+  let proto =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "p"; "protocol" ] ~docv:"SPEC" ~doc:"Protocol spec for a single request.")
+  in
+  let graph =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "g"; "graph" ] ~docv:"SPEC" ~doc:"Graph spec for a single request.")
+  in
+  let fairness =
+    Arg.(value & opt string "F" & info [ "f"; "fairness" ] ~docv:"f|F" ~doc:"Fairness regime.")
+  in
+  let max_configs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-configs" ] ~docv:"N" ~doc:"Configuration budget (default 200000).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
+  in
+  let clients =
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent connections (--bench).")
+  in
+  let per_client =
+    Arg.(
+      value & opt int 25
+      & info [ "per-client" ] ~docv:"N" ~doc:"Requests per connection (--bench).")
+  in
+  let mix =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "mix" ] ~docv:"FILE"
+          ~doc:"Job mix: a batch manifest (schema dda.batch-manifest/1) cycled through.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the load summary as JSON (--bench).")
+  in
+  let min_hit_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-hit-rate" ] ~docv:"RATE"
+          ~doc:"Fail (exit 2) if the cached fraction of ok responses is below $(docv) (--bench).")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Talk to a running dda serve (single request, ping, or load bench)")
+    Term.(
+      const cmd_client $ connect $ ping $ bench $ proto $ graph $ fairness $ max_configs
+      $ deadline $ clients $ per_client $ mix $ json $ min_hit_rate)
+
 let cache_cmd =
   let action =
     Arg.(
@@ -547,4 +821,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ tables_cmd; graph_cmd; decide_cmd; simulate_cmd; auto_cmd; program_cmd; cutoff_cmd;
-            telemetry_cmd; batch_cmd; cache_cmd ]))
+            telemetry_cmd; batch_cmd; cache_cmd; serve_cmd; client_cmd ]))

@@ -193,6 +193,7 @@ type outcome =
   | Done of decision
   | Failed of string
   | Skipped
+  | Interrupted
 
 type report = {
   jobs : (job * outcome * int) list;
@@ -238,7 +239,7 @@ let resolve ?cache memo job =
 (* Execute a shard's share of the cache misses.  Runs on a worker domain:
    no cache access, no telemetry counters — only the spans inside the
    exploration engine, which are domain-safe. *)
-let exec_shard ?time_budget items =
+let exec_shard ?time_budget ~interrupted items =
   let t0 = Unix.gettimeofday () in
   List.map
     (fun (idx, r) ->
@@ -247,14 +248,15 @@ let exec_shard ?time_budget items =
         | Some b -> Unix.gettimeofday () -. t0 > b
         | None -> false
       in
-      if over_budget then (idx, `Skipped)
+      if interrupted () then (idx, `Interrupted)
+      else if over_budget then (idx, `Skipped)
       else
         match time r.r_compute with
         | d -> (idx, `Computed d)
         | exception e -> (idx, `Failed (Printexc.to_string e)))
     items
 
-let run ?cache ?(shards = 1) ?time_budget jobs =
+let run ?cache ?(shards = 1) ?time_budget ?(interrupted = fun () -> false) jobs =
   let shards = max 1 shards in
   let t0 = Unix.gettimeofday () in
   let memo = Hashtbl.create 16 in
@@ -293,10 +295,12 @@ let run ?cache ?(shards = 1) ?time_budget jobs =
   Array.iteri (fun k items -> List.iter (fun (idx, _) -> shard_of.(idx) <- k) items) buckets;
   let results =
     T.with_span "batch" (fun () ->
-        if shards = 1 then [| exec_shard ?time_budget buckets.(0) |]
+        if shards = 1 then [| exec_shard ?time_budget ~interrupted buckets.(0) |]
         else
           Array.map Domain.join
-            (Array.map (fun items -> Domain.spawn (fun () -> exec_shard ?time_budget items)) buckets))
+            (Array.map
+               (fun items -> Domain.spawn (fun () -> exec_shard ?time_budget ~interrupted items))
+               buckets))
   in
   (* fold the worker results back in and persist fresh verdicts (main domain
      only: the store never sees concurrent writers from this process) *)
@@ -304,6 +308,7 @@ let run ?cache ?(shards = 1) ?time_budget jobs =
     (List.iter (fun (idx, outcome) ->
          match outcome with
          | `Skipped -> outcomes.(idx) <- Skipped
+         | `Interrupted -> outcomes.(idx) <- Interrupted
          | `Failed msg -> outcomes.(idx) <- Failed msg
          | `Computed d ->
            outcomes.(idx) <- Done d;
@@ -379,7 +384,8 @@ let report_json r =
              status verdict d.cached d.configs d.seconds)
       | Failed msg ->
         Buffer.add_string b (Printf.sprintf ", \"status\": \"failed\", \"error\": \"%s\"" (Json.escape msg))
-      | Skipped -> Buffer.add_string b ", \"status\": \"skipped\"");
+      | Skipped -> Buffer.add_string b ", \"status\": \"skipped\""
+      | Interrupted -> Buffer.add_string b ", \"status\": \"interrupted\"");
       if shard >= 0 then Buffer.add_string b (Printf.sprintf ", \"shard\": %d" shard);
       Buffer.add_char b '}')
     r.jobs;
@@ -398,6 +404,7 @@ let pp_report fmt r =
             d.configs d.seconds
         | Failed msg -> "FAILED: " ^ msg
         | Skipped -> "skipped (time budget)"
+        | Interrupted -> "interrupted (signal)"
       in
       Format.fprintf fmt "%-28s %-16s %s  %s%s@." job.protocol job.graph
         (Spec.regime_name job.regime) detail

@@ -88,6 +88,10 @@ type outcome =
   | Done of decision
   | Failed of string  (** unparsable spec or runtime error *)
   | Skipped  (** the shard's time budget ran out before this job *)
+  | Interrupted
+      (** the run was asked to stop (SIGINT/SIGTERM) before this job ran;
+          completed jobs keep their verdicts and the consolidated report is
+          still produced *)
 
 type report = {
   jobs : (job * outcome * int) list;  (** in manifest order, with shard id *)
@@ -101,11 +105,16 @@ val run :
   ?cache:Store.t ->
   ?shards:int ->
   ?time_budget:float ->
+  ?interrupted:(unit -> bool) ->
   job list ->
   report
 (** Execute a manifest.  [shards] (default 1) is the number of worker
     domains for cache misses; [time_budget] bounds each shard's wall-clock
-    — jobs not started when it expires are [Skipped].  Telemetry:
+    — jobs not started when it expires are [Skipped].  [interrupted]
+    (default [fun () -> false]) is polled between jobs on every shard; once
+    it returns [true], jobs not yet started drain as [Interrupted] and the
+    runner returns normally with the verdicts completed so far — the CLI
+    wires SIGINT/SIGTERM to this and still flushes the report.  Telemetry:
     [batch.jobs], [batch.bounded], [batch.errors], [cache.hits]/[misses]/
     [stores], per-shard [batch.shard.<k>.jobs], spans [batch] and
     [batch.job] (all aggregated on the main domain). *)

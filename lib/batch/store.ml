@@ -164,6 +164,102 @@ let put t e =
     with Sys_error _ | Unix.Unix_error _ -> ()
   end
 
+(* --- Advisory locking -------------------------------------------------------- *)
+
+(* Gate file: <root>/.lock, held (lockf on byte 0) for the whole lifetime of
+   an exclusive lock, and only momentarily while a shared holder registers
+   itself.  Shared holders keep a lockf on their own file under
+   <root>/.holders/, so liveness is testable with F_TEST: a holder file whose
+   lock cannot be taken belongs to a live process, one whose lock is free is
+   stale debris from a crash.  POSIX record locks do not conflict within one
+   process, which is fine for an advisory cross-process guard. *)
+
+type lock = {
+  l_fd : Unix.file_descr;
+  l_holder : string option;  (* holder file to unlink on release (shared) *)
+  mutable l_released : bool;
+}
+
+let gate_path t = Filename.concat t.root ".lock"
+let holders_dir t = Filename.concat t.root ".holders"
+
+let holder_seq = ref 0
+
+let open_locked path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  match Unix.lockf fd Unix.F_TLOCK 0 with
+  | () -> Ok fd
+  | exception Unix.Unix_error _ ->
+    Unix.close fd;
+    Error ()
+
+let holder_alive path =
+  match Unix.openfile path [ Unix.O_RDWR ] 0o644 with
+  | exception Unix.Unix_error _ -> false (* unreadable = not provably alive *)
+  | fd ->
+    let alive =
+      match Unix.lockf fd Unix.F_TEST 0 with
+      | () -> false (* lockable, so nobody holds it *)
+      | exception Unix.Unix_error _ -> true
+    in
+    Unix.close fd;
+    alive
+
+let lock t ~mode =
+  mkdir_p (holders_dir t);
+  match mode with
+  | `Exclusive -> (
+    match open_locked (gate_path t) with
+    | Error () ->
+      Error
+        (Printf.sprintf "cache %s is locked by another maintenance process" t.root)
+    | Ok fd ->
+      let holders =
+        Array.to_list (try Sys.readdir (holders_dir t) with Sys_error _ -> [||])
+        |> List.map (Filename.concat (holders_dir t))
+      in
+      let live, stale = List.partition holder_alive holders in
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) stale;
+      if live = [] then Ok { l_fd = fd; l_holder = None; l_released = false }
+      else begin
+        (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+        Unix.close fd;
+        Error
+          (Printf.sprintf
+             "cache %s is in use by %d running process(es) (a server or batch run); retry when they finish"
+             t.root (List.length live))
+      end)
+  | `Shared -> (
+    (* take the gate momentarily: proves no exclusive holder, and no new
+       exclusive holder can complete its holder scan while we register *)
+    match open_locked (gate_path t) with
+    | Error () ->
+      Error (Printf.sprintf "cache %s is locked for maintenance (gc in progress)" t.root)
+    | Ok gate ->
+      incr holder_seq;
+      let holder =
+        Filename.concat (holders_dir t)
+          (Printf.sprintf "%d.%d.lock" (Unix.getpid ()) !holder_seq)
+      in
+      let result =
+        match open_locked holder with
+        | Ok fd -> Ok { l_fd = fd; l_holder = Some holder; l_released = false }
+        | Error () -> Error (Printf.sprintf "cannot register cache holder %s" holder)
+      in
+      (try Unix.lockf gate Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+      Unix.close gate;
+      result)
+
+let unlock l =
+  if not l.l_released then begin
+    l.l_released <- true;
+    (try Unix.lockf l.l_fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+    (try Unix.close l.l_fd with Unix.Unix_error _ -> ());
+    match l.l_holder with
+    | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+    | None -> ()
+  end
+
 (* --- Maintenance ------------------------------------------------------------ *)
 
 type stats = { entries : int; corrupt : int; stale : int; bytes : int }

@@ -48,6 +48,28 @@ val put : t -> entry -> unit
     (the cache is an accelerator, not a database); the next run simply
     recomputes. *)
 
+(** {1 Advisory locking}
+
+    Concurrent {e writers} (a running [dda serve], a [dda batch]) are safe by
+    construction — entries are written atomically — but maintenance that
+    {e deletes} files ([gc]) must not run while anyone else has the store
+    open.  The lock is advisory and two-level: active users take a {e shared}
+    lock (any number may hold one), [gc] takes the {e exclusive} lock (sole
+    holder, and only when no shared holder is alive).  Implemented with
+    [lockf] on [<root>/.lock] plus per-process holder files under
+    [<root>/.holders/]; locks die with their process, and stale holder files
+    left by a crash are reaped by the next exclusive acquirer. *)
+
+type lock
+
+val lock : t -> mode:[ `Shared | `Exclusive ] -> (lock, string) result
+(** Try to acquire without blocking.  [Error] carries a human-readable
+    contention message (who holds what); the CLI reports it with exit
+    code 2. *)
+
+val unlock : lock -> unit
+(** Release (idempotent).  Locks are also released by process exit. *)
+
 type stats = { entries : int; corrupt : int; stale : int; bytes : int }
 
 val stats : t -> stats

@@ -1,0 +1,206 @@
+module Batch = Dda_batch.Batch
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  mutable open_ : bool;
+}
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  go 0
+
+let connect addr =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  match
+    match addr with
+    | Protocol.Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+    | Protocol.Tcp (host, port) -> (
+      match
+        Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+      with
+      | [] -> failwith (Printf.sprintf "cannot resolve %s:%d" host port)
+      | ai :: _ ->
+        let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype ai.Unix.ai_protocol in
+        (try Unix.connect fd ai.Unix.ai_addr
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        fd)
+  with
+  | fd -> Ok { fd; ic = Unix.in_channel_of_descr fd; open_ = true }
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error
+      (Printf.sprintf "%s: %s: %s" (Protocol.address_to_string addr) fn (Unix.error_message e))
+  | exception Failure m -> Error m
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let rpc t req =
+  let line = Protocol.request_to_json req ^ "\n" in
+  match
+    write_all t.fd line;
+    input_line t.ic
+  with
+  | resp -> Protocol.parse_response resp
+  | exception End_of_file -> Error "server closed the connection"
+  | exception Unix.Unix_error (e, fn, _) -> Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | exception Sys_error m -> Error m
+
+let ping t =
+  let t0 = Unix.gettimeofday () in
+  match rpc t (Protocol.Ping "ping") with
+  | Ok { Protocol.status = Protocol.Pong; _ } -> Ok ((Unix.gettimeofday () -. t0) *. 1000.)
+  | Ok r -> Error ("unexpected response: " ^ Protocol.status_name r.Protocol.status)
+  | Error e -> Error e
+
+(* --- Load generation --------------------------------------------------------- *)
+
+type load = {
+  clients : int;
+  per_client : int;
+  mix : Batch.job list;
+  deadline_ms : int option;
+}
+
+type summary = {
+  clients : int;
+  requests : int;
+  ok : int;
+  cached : int;
+  bounded : int;
+  rejected : int;
+  errors : int;
+  seconds : float;
+  rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+let hit_rate s = if s.ok = 0 then 0. else float_of_int s.cached /. float_of_int s.ok
+
+type tally = {
+  mutable t_ok : int;
+  mutable t_cached : int;
+  mutable t_bounded : int;
+  mutable t_rejected : int;
+  mutable t_errors : int;
+  mutable t_lat : float list;  (** latency of every response received, ms *)
+}
+
+let client_loop conn (l : load) (mix : Batch.job array) offset tally =
+  let n = Array.length mix in
+  for i = 0 to l.per_client - 1 do
+    let job = mix.((offset + i) mod n) in
+    let req =
+      Protocol.Decide
+        {
+          Protocol.id = Printf.sprintf "c%d-%d" offset i;
+          protocol = job.Batch.protocol;
+          graph = job.Batch.graph;
+          regime = job.Batch.regime;
+          max_configs = job.Batch.max_configs;
+          deadline_ms = l.deadline_ms;
+        }
+    in
+    let t0 = Unix.gettimeofday () in
+    match rpc conn req with
+    | Error _ -> tally.t_errors <- tally.t_errors + 1
+    | Ok r ->
+      tally.t_lat <- ((Unix.gettimeofday () -. t0) *. 1000.) :: tally.t_lat;
+      (match r.Protocol.status with
+      | Protocol.Verdict v ->
+        tally.t_ok <- tally.t_ok + 1;
+        if v.cached then tally.t_cached <- tally.t_cached + 1
+      | Protocol.Bounded _ -> tally.t_bounded <- tally.t_bounded + 1
+      | Protocol.Rejected _ -> tally.t_rejected <- tally.t_rejected + 1
+      | Protocol.Error _ | Protocol.Pong -> tally.t_errors <- tally.t_errors + 1)
+  done
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 |> max 0))
+
+let load addr (l : load) =
+  if l.mix = [] then Error "load: empty job mix"
+  else begin
+    let clients = max 1 l.clients in
+    let mix = Array.of_list l.mix in
+    (* connect everyone up front: a refused connection is a setup error,
+       not a data point *)
+    let conns = Array.init clients (fun _ -> connect addr) in
+    let failed =
+      Array.to_list conns
+      |> List.filter_map (function Error e -> Some e | Ok _ -> None)
+    in
+    match failed with
+    | e :: _ ->
+      Array.iter (function Ok c -> close c | Error _ -> ()) conns;
+      Error e
+    | [] ->
+      let conns = Array.map (function Ok c -> c | Error _ -> assert false) conns in
+      let tallies =
+        Array.init clients (fun _ ->
+            { t_ok = 0; t_cached = 0; t_bounded = 0; t_rejected = 0; t_errors = 0; t_lat = [] })
+      in
+      let t0 = Unix.gettimeofday () in
+      let threads =
+        Array.mapi
+          (fun i conn -> Thread.create (fun () -> client_loop conn l mix i tallies.(i)) ())
+          conns
+      in
+      Array.iter Thread.join threads;
+      let seconds = Unix.gettimeofday () -. t0 in
+      Array.iter close conns;
+      let lat =
+        Array.of_list (Array.fold_left (fun acc t -> List.rev_append t.t_lat acc) [] tallies)
+      in
+      Array.sort compare lat;
+      let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+      let requests = Array.length lat in
+      Ok
+        {
+          clients;
+          requests;
+          ok = sum (fun t -> t.t_ok);
+          cached = sum (fun t -> t.t_cached);
+          bounded = sum (fun t -> t.t_bounded);
+          rejected = sum (fun t -> t.t_rejected);
+          errors = sum (fun t -> t.t_errors);
+          seconds;
+          rps = (if seconds > 0. then float_of_int requests /. seconds else 0.);
+          p50_ms = percentile lat 50.;
+          p95_ms = percentile lat 95.;
+          p99_ms = percentile lat 99.;
+        }
+  end
+
+let summary_json s =
+  Printf.sprintf
+    "{\"schema\": \"dda.client-load/1\", \"clients\": %d, \"requests\": %d, \"ok\": %d, \
+     \"cached\": %d, \"bounded\": %d, \"rejected\": %d, \"errors\": %d, \"seconds\": %.6f, \
+     \"rps\": %.1f, \"hit_rate\": %.4f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}"
+    s.clients s.requests s.ok s.cached s.bounded s.rejected s.errors s.seconds s.rps (hit_rate s)
+    s.p50_ms s.p95_ms s.p99_ms
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>%d client(s), %d request(s) in %.2fs (%.1f req/s)@,\
+     ok %d (cached %d, hit rate %.0f%%)  bounded %d  rejected %d  errors %d@,\
+     latency ms: p50 %.2f  p95 %.2f  p99 %.2f@]"
+    s.clients s.requests s.seconds s.rps s.ok s.cached (100. *. hit_rate s) s.bounded s.rejected
+    s.errors s.p50_ms s.p95_ms s.p99_ms

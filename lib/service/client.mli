@@ -1,0 +1,64 @@
+(** Client side of the [dda.service/1] protocol, and a closed-loop load
+    generator.
+
+    A {!t} is one blocking connection: {!rpc} writes a request line and
+    waits for the matching response line (the server answers in completion
+    order, but a single-connection caller that sends one request at a time
+    always reads its own answer next).
+
+    {!load} drives a fixed job mix from [clients] concurrent connections,
+    each closed-loop ([per_client] requests back to back), and merges the
+    per-request latencies into a {!summary} with p50/p95/p99 — the
+    measurement harness behind [dda client --bench] and bench experiment
+    E13. *)
+
+type t
+
+val connect : Protocol.address -> (t, string) result
+val close : t -> unit
+
+val rpc : t -> Protocol.request -> (Protocol.response, string) result
+(** One round trip.  [Error] is transport-level (connection refused,
+    server hang-up, malformed response line); protocol-level failures come
+    back as [Ok] with a [Rejected]/[Error] status. *)
+
+val ping : t -> (float, string) result
+(** Round-trip time of a ping, in milliseconds. *)
+
+(** {1 Load generation} *)
+
+type load = {
+  clients : int;  (** concurrent connections (>= 1) *)
+  per_client : int;  (** closed-loop requests per connection *)
+  mix : Dda_batch.Batch.job list;  (** cycled through, offset per client *)
+  deadline_ms : int option;  (** attached to every request *)
+}
+
+type summary = {
+  clients : int;
+  requests : int;  (** responses received *)
+  ok : int;  (** [Verdict] responses *)
+  cached : int;  (** [Verdict] responses answered from the cache *)
+  bounded : int;
+  rejected : int;
+  errors : int;  (** error statuses plus transport failures *)
+  seconds : float;  (** wall-clock of the whole run *)
+  rps : float;  (** requests / seconds *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+val hit_rate : summary -> float
+(** [cached / ok] (0 when no [ok] responses) — the warm-cache figure CI
+    asserts on. *)
+
+val load : Protocol.address -> load -> (summary, string) result
+(** Run the load.  All connections are established up front ([Error] if
+    any fails); each client thread then replays the mix starting at its
+    own offset, so concurrent clients spread over the jobs. *)
+
+val summary_json : summary -> string
+(** Schema [dda.client-load/1]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

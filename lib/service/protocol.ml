@@ -1,0 +1,221 @@
+module Json = Dda_telemetry.Json
+module Spec = Dda_batch.Spec
+
+let schema = "dda.service/1"
+
+type decide = {
+  id : string;
+  protocol : string;
+  graph : string;
+  regime : Spec.regime;
+  max_configs : int;
+  deadline_ms : int option;
+}
+
+type request =
+  | Decide of decide
+  | Ping of string
+
+type status =
+  | Verdict of { verdict : string; cached : bool; configs : int; seconds : float }
+  | Bounded of { reason : string; configs : int }
+  | Rejected of string
+  | Error of string
+  | Pong
+
+type response = {
+  rid : string;
+  status : status;
+  queue_ms : float;
+  total_ms : float;
+}
+
+type parse_error = {
+  err_id : string;
+  err_reason : string;
+}
+
+(* --- Emission ---------------------------------------------------------------- *)
+
+let add_field b k v =
+  Buffer.add_string b (Printf.sprintf ",\"%s\":%s" k v)
+
+let add_str b k v = add_field b k (Printf.sprintf "\"%s\"" (Json.escape v))
+
+let envelope id =
+  let b = Buffer.create 160 in
+  Buffer.add_string b (Printf.sprintf "{\"schema\":\"%s\"" schema);
+  add_str b "id" id;
+  b
+
+let request_to_json = function
+  | Ping id ->
+    let b = envelope id in
+    add_str b "op" "ping";
+    Buffer.add_char b '}';
+    Buffer.contents b
+  | Decide d ->
+    let b = envelope d.id in
+    add_str b "op" "decide";
+    add_str b "protocol" d.protocol;
+    add_str b "graph" d.graph;
+    add_str b "regime" (Spec.regime_name d.regime);
+    add_field b "max_configs" (string_of_int d.max_configs);
+    (match d.deadline_ms with
+    | Some ms -> add_field b "deadline_ms" (string_of_int ms)
+    | None -> ());
+    Buffer.add_char b '}';
+    Buffer.contents b
+
+let response_to_json r =
+  let b = envelope r.rid in
+  (match r.status with
+  | Verdict v ->
+    add_str b "status" "ok";
+    add_str b "verdict" v.verdict;
+    add_field b "cached" (if v.cached then "true" else "false");
+    add_field b "configs" (string_of_int v.configs);
+    add_field b "seconds" (Printf.sprintf "%.6f" v.seconds)
+  | Bounded bd ->
+    add_str b "status" "bounded";
+    add_str b "reason" bd.reason;
+    add_field b "configs" (string_of_int bd.configs)
+  | Rejected reason ->
+    add_str b "status" "rejected";
+    add_str b "reason" reason
+  | Error reason ->
+    add_str b "status" "error";
+    add_str b "reason" reason
+  | Pong -> add_str b "status" "pong");
+  (match r.status with
+  | Rejected _ | Error _ | Pong -> ()
+  | _ ->
+    add_field b "queue_ms" (Printf.sprintf "%.3f" r.queue_ms);
+    add_field b "total_ms" (Printf.sprintf "%.3f" r.total_ms));
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let status_name = function
+  | Verdict _ -> "ok"
+  | Bounded _ -> "bounded"
+  | Rejected _ -> "rejected"
+  | Error _ -> "error"
+  | Pong -> "pong"
+
+(* --- Parsing ----------------------------------------------------------------- *)
+
+let str_member field doc =
+  match Json.member field doc with Some (Json.Str s) -> Some s | _ -> None
+
+let int_member field doc =
+  match Json.member field doc with
+  | Some (Json.Num f) when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let float_member field doc =
+  match Json.member field doc with Some (Json.Num f) -> Some f | _ -> None
+
+(* Check the envelope: strict JSON object carrying our schema.  The id is
+   recovered on a best-effort basis so even malformed requests can be
+   answered to the right caller. *)
+let parse_envelope line =
+  match Json.parse line with
+  | Error e -> Result.Error { err_id = ""; err_reason = "malformed JSON: " ^ e }
+  | Ok doc ->
+    let id = Option.value ~default:"" (str_member "id" doc) in
+    (match str_member "schema" doc with
+    | Some s when s = schema -> Ok (id, doc)
+    | Some s ->
+      Result.Error
+        { err_id = id; err_reason = Printf.sprintf "unsupported schema %S (this server speaks %s)" s schema }
+    | None ->
+      Result.Error
+        { err_id = id; err_reason = Printf.sprintf "missing \"schema\" (expected %S)" schema })
+
+let parse_request ?(default_max_configs = 200_000) line =
+  match parse_envelope line with
+  | Result.Error e -> Result.Error e
+  | Ok (id, doc) -> (
+    let fail reason = Result.Error { err_id = id; err_reason = reason } in
+    match str_member "op" doc with
+    | Some "ping" -> Ok (Ping id)
+    | Some "decide" -> (
+      match (str_member "protocol" doc, str_member "graph" doc) with
+      | None, _ -> fail "decide: missing string \"protocol\""
+      | _, None -> fail "decide: missing string \"graph\""
+      | Some protocol, Some graph -> (
+        let regime =
+          match str_member "regime" doc with
+          | None -> Ok Spec.Pseudo_stochastic
+          | Some s -> Spec.parse_regime s
+        in
+        match regime with
+        | Result.Error e -> fail e
+        | Ok regime -> (
+          let max_configs =
+            match Json.member "max_configs" doc with
+            | None -> Ok default_max_configs
+            | Some (Json.Num f) when Float.is_integer f && f >= 1. -> Ok (int_of_float f)
+            | Some _ -> Result.Error "\"max_configs\" is not a positive integer"
+          in
+          let deadline_ms =
+            match Json.member "deadline_ms" doc with
+            | None -> Ok None
+            | Some (Json.Num f) when Float.is_integer f && f >= 0. -> Ok (Some (int_of_float f))
+            | Some _ -> Result.Error "\"deadline_ms\" is not a non-negative integer"
+          in
+          match (max_configs, deadline_ms) with
+          | Result.Error e, _ | _, Result.Error e -> fail e
+          | Ok max_configs, Ok deadline_ms ->
+            Ok (Decide { id; protocol; graph; regime; max_configs; deadline_ms }))))
+    | Some op -> fail (Printf.sprintf "unknown op %S (decide | ping)" op)
+    | None -> fail "missing string \"op\"")
+
+let parse_response line =
+  match parse_envelope line with
+  | Result.Error e -> Result.Error e.err_reason
+  | Ok (rid, doc) -> (
+    let queue_ms = Option.value ~default:0. (float_member "queue_ms" doc) in
+    let total_ms = Option.value ~default:0. (float_member "total_ms" doc) in
+    let reason () = Option.value ~default:"" (str_member "reason" doc) in
+    match str_member "status" doc with
+    | Some "ok" -> (
+      match (str_member "verdict" doc, int_member "configs" doc) with
+      | Some verdict, Some configs ->
+        let cached =
+          match Json.member "cached" doc with Some (Json.Bool b) -> b | _ -> false
+        in
+        let seconds = Option.value ~default:0. (float_member "seconds" doc) in
+        Ok { rid; status = Verdict { verdict; cached; configs; seconds }; queue_ms; total_ms }
+      | _ -> Result.Error "ok response: missing \"verdict\" or \"configs\"")
+    | Some "bounded" ->
+      let configs = Option.value ~default:0 (int_member "configs" doc) in
+      Ok { rid; status = Bounded { reason = reason (); configs }; queue_ms; total_ms }
+    | Some "rejected" -> Ok { rid; status = Rejected (reason ()); queue_ms; total_ms }
+    | Some "error" -> Ok { rid; status = Error (reason ()); queue_ms; total_ms }
+    | Some "pong" -> Ok { rid; status = Pong; queue_ms; total_ms }
+    | Some s -> Result.Error (Printf.sprintf "unknown status %S" s)
+    | None -> Result.Error "missing string \"status\"")
+
+(* --- Addresses --------------------------------------------------------------- *)
+
+type address =
+  | Unix_socket of string
+  | Tcp of string * int
+
+let parse_address s =
+  if s = "" then Result.Error "empty address"
+  else if String.contains s '/' || Filename.check_suffix s ".sock" then Ok (Unix_socket s)
+  else
+    match String.rindex_opt s ':' with
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+      | _ -> Result.Error (Printf.sprintf "bad TCP address %S (expected HOST:PORT)" s))
+    | None -> Ok (Unix_socket s)
+
+let address_to_string = function
+  | Unix_socket p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p

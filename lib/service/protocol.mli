@@ -1,0 +1,105 @@
+(** The [dda.service/1] wire protocol.
+
+    JSON lines over a stream socket: each request and each response is one
+    strict JSON object on one line, terminated by ['\n'].  Requests carry a
+    mandatory ["schema"] field naming the protocol version; anything the
+    server cannot parse — malformed JSON, an unknown schema, a bad spec —
+    is answered with a structured [status:"error"] response, never a
+    dropped connection or a crash.
+
+    Request:
+    {v
+    {"schema":"dda.service/1","id":"c0-7","op":"decide",
+     "protocol":"exists:a","graph":"cycle:abb","regime":"F",
+     "max_configs":200000,"deadline_ms":2000}
+    {"schema":"dda.service/1","id":"p1","op":"ping"}
+    v}
+
+    Response ([id] echoes the request; ["" ] when the request's id was
+    unparseable):
+    {v
+    {"schema":"dda.service/1","id":"c0-7","status":"ok","verdict":"accepts",
+     "cached":true,"configs":120,"seconds":0.0041,
+     "queue_ms":0.3,"total_ms":0.9}
+    {"schema":"dda.service/1","id":"c0-8","status":"bounded",
+     "reason":"deadline","configs":0,"queue_ms":1800.2,"total_ms":1800.4}
+    {"schema":"dda.service/1","id":"c0-9","status":"rejected",
+     "reason":"queue_full"}
+    {"schema":"dda.service/1","id":"","status":"error","reason":"..."}
+    {"schema":"dda.service/1","id":"p1","status":"pong"}
+    v}
+
+    [status] values: ["ok"] (a verdict), ["bounded"] (a resource bound —
+    the configuration budget, [reason:"budget"], or the request deadline,
+    [reason:"deadline"]), ["rejected"] (admission control refused the
+    request before any work: [reason] is [queue_full], [connection_limit]
+    or [draining]), ["error"] (malformed request or unparsable spec),
+    ["pong"]. *)
+
+module Spec := Dda_batch.Spec
+
+val schema : string
+(** ["dda.service/1"]. *)
+
+type decide = {
+  id : string;  (** echoed verbatim in the response *)
+  protocol : string;  (** {!Dda_batch.Spec.parse_protocol} syntax *)
+  graph : string;  (** {!Dda_batch.Spec.parse_graph} syntax *)
+  regime : Spec.regime;
+  max_configs : int;
+  deadline_ms : int option;
+      (** overall budget from admission to answer; [None] = server default *)
+}
+
+type request =
+  | Decide of decide
+  | Ping of string  (** id *)
+
+type status =
+  | Verdict of { verdict : string; cached : bool; configs : int; seconds : float }
+      (** [verdict] is ["accepts"], ["rejects"] or ["inconsistent"];
+          [seconds] is the wall-clock of the original computation (the
+          cached value on a hit). *)
+  | Bounded of { reason : string; configs : int }
+      (** [reason]: ["budget"] or ["deadline"]. *)
+  | Rejected of string  (** ["queue_full"] | ["connection_limit"] | ["draining"] *)
+  | Error of string
+  | Pong
+
+type response = {
+  rid : string;
+  status : status;
+  queue_ms : float;  (** admission to dispatch (0 for rejections/errors) *)
+  total_ms : float;  (** admission to response *)
+}
+
+type parse_error = {
+  err_id : string;  (** the request id when the envelope parsed, else [""] *)
+  err_reason : string;
+}
+
+val request_to_json : request -> string
+(** One line, no trailing newline. *)
+
+val parse_request :
+  ?default_max_configs:int -> string -> (request, parse_error) result
+(** Strict parse of one request line.  [default_max_configs] (default
+    200_000) fills an absent ["max_configs"]; an absent ["regime"] defaults
+    to pseudo-stochastic, matching manifests. *)
+
+val response_to_json : response -> string
+val parse_response : string -> (response, string) result
+
+val status_name : status -> string
+(** The wire [status] field: ok | bounded | rejected | error | pong. *)
+
+(** {1 Addresses} *)
+
+type address =
+  | Unix_socket of string  (** filesystem path *)
+  | Tcp of string * int  (** host, port *)
+
+val parse_address : string -> (address, string) result
+(** [PATH] (containing [/] or ending in [.sock]) or [HOST:PORT]. *)
+
+val address_to_string : address -> string

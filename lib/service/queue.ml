@@ -1,0 +1,74 @@
+type 'a t = {
+  q : 'a Stdlib.Queue.t;
+  m : Mutex.t;
+  c : Condition.t;
+  cap : int;
+  mutable intake_closed : bool;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  {
+    q = Stdlib.Queue.create ();
+    m = Mutex.create ();
+    c = Condition.create ();
+    cap = max 1 capacity;
+    intake_closed = false;
+    closed = false;
+  }
+
+let capacity t = t.cap
+
+let length t =
+  Mutex.lock t.m;
+  let n = Stdlib.Queue.length t.q in
+  Mutex.unlock t.m;
+  n
+
+let try_push t x =
+  Mutex.lock t.m;
+  let r =
+    if t.intake_closed || t.closed then `Closed
+    else if Stdlib.Queue.length t.q >= t.cap then `Full
+    else begin
+      Stdlib.Queue.push x t.q;
+      Condition.signal t.c;
+      `Ok (Stdlib.Queue.length t.q)
+    end
+  in
+  Mutex.unlock t.m;
+  r
+
+let force_push t x =
+  Mutex.lock t.m;
+  if not t.closed then begin
+    Stdlib.Queue.push x t.q;
+    Condition.signal t.c
+  end;
+  Mutex.unlock t.m
+
+let pop t =
+  Mutex.lock t.m;
+  let rec wait () =
+    if not (Stdlib.Queue.is_empty t.q) then Some (Stdlib.Queue.pop t.q)
+    else if t.closed then None
+    else begin
+      Condition.wait t.c t.m;
+      wait ()
+    end
+  in
+  let r = wait () in
+  Mutex.unlock t.m;
+  r
+
+let close_intake t =
+  Mutex.lock t.m;
+  t.intake_closed <- true;
+  Mutex.unlock t.m
+
+let close t =
+  Mutex.lock t.m;
+  t.intake_closed <- true;
+  t.closed <- true;
+  Condition.broadcast t.c;
+  Mutex.unlock t.m

@@ -1,0 +1,43 @@
+(** A bounded multi-producer single-consumer queue with admission control.
+
+    The server's central mailbox: connection threads [try_push] incoming
+    requests and are told synchronously when the queue is full — that is
+    the admission-control decision, turned into a [rejected:queue_full]
+    response instead of unbounded buffering.  Worker completions
+    [force_push] past the capacity (they retire work, so refusing them
+    could only deadlock).  The consumer [pop]s; producers and the consumer
+    may live on different threads or domains (mutex + condition, no
+    spinning).
+
+    Closing is two-stage, mirroring graceful drain: {!close_intake} makes
+    [try_push] fail while [pop] keeps blocking for stragglers pushed with
+    [force_push]; {!close} additionally makes [pop] return [None] once the
+    queue is empty. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity >= 1] bounds [try_push] admissions (clamped up to 1). *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val try_push : 'a t -> 'a -> [ `Ok of int | `Full | `Closed ]
+(** Admit an element if there is room and intake is open.  [`Ok depth]
+    reports the queue depth just after the push (for gauges). *)
+
+val force_push : 'a t -> 'a -> unit
+(** Enqueue unconditionally, even past capacity or after {!close_intake}
+    (but not after {!close} — then it is dropped). *)
+
+val pop : 'a t -> 'a option
+(** Block until an element is available; [None] once the queue is
+    {!close}d and drained. *)
+
+val close_intake : 'a t -> unit
+(** Stop admissions: subsequent [try_push] returns [`Closed]. *)
+
+val close : 'a t -> unit
+(** Full close: also wakes every blocked [pop], which drains the remaining
+    elements and then returns [None].  Implies {!close_intake}. *)

@@ -1,0 +1,548 @@
+module Store = Dda_batch.Store
+module Batch = Dda_batch.Batch
+module Spec = Dda_batch.Spec
+module Fingerprint = Dda_batch.Fingerprint
+module Decide = Dda_verify.Decide
+module T = Dda_telemetry.Telemetry
+
+let c_conns = T.counter "service.connections"
+let c_requests = T.counter "service.requests"
+let c_hits = T.counter "service.hits"
+let c_rejected = T.counter "service.rejected"
+let c_bounded = T.counter "service.bounded"
+let c_errors = T.counter "service.errors"
+let c_qpeak = T.counter "service.queue.peak"
+let h_latency = T.histogram "service.latency_ms"
+
+type config = {
+  addresses : Protocol.address list;
+  cache : Store.t option;
+  workers : int;
+  queue_capacity : int;
+  conn_limit : int;
+  max_configs_cap : int;
+  default_deadline_ms : int option;
+}
+
+let default_config =
+  {
+    addresses = [];
+    cache = None;
+    workers = 2;
+    queue_capacity = 64;
+    conn_limit = 8;
+    max_configs_cap = 2_000_000;
+    default_deadline_ms = None;
+  }
+
+type stats = {
+  connections : int;
+  accepted : int;
+  served : int;
+  hits : int;
+  computed : int;
+  bounded : int;
+  rejected : int;
+  errors : int;
+  pings : int;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  wlock : Mutex.t;
+  mutable inflight : int;
+  mutable alive : bool;
+}
+
+type pending = {
+  p_req : Protocol.decide;
+  p_conn : conn;
+  p_admitted : float;
+  p_deadline : float option;  (* absolute wall-clock *)
+}
+
+type work = {
+  wk_pending : pending;
+  wk_machine : Spec.packed;
+  wk_graph : string Dda_graph.Graph.t;
+  wk_key : (string * string * string) option;  (* cache key, machine fp, graph fp *)
+  wk_max_configs : int;
+}
+
+type work_result =
+  | W_decision of Batch.decision
+  | W_deadline
+  | W_error of string
+
+type event =
+  | Incoming of pending
+  | Done of work * work_result
+
+type t = {
+  cfg : config;
+  events : event Queue.t;
+  work : work Queue.t;
+  stop : bool Atomic.t;
+  m : Mutex.t;  (* guards the mutable fields below *)
+  mutable s_connections : int;
+  mutable s_accepted : int;
+  mutable s_served : int;
+  mutable s_hits : int;
+  mutable s_computed : int;
+  mutable s_bounded : int;
+  mutable s_rejected : int;
+  mutable s_errors : int;
+  mutable s_pings : int;
+  mutable pending : int;  (* admitted but not yet answered *)
+  mutable conns : conn list;
+  mutable conn_threads : Thread.t list;
+  mutable accept_threads : Thread.t list;
+  mutable dispatcher : Thread.t option;
+  mutable worker_domains : unit Domain.t list;
+}
+
+let draining t = Atomic.get t.stop
+
+let stats t =
+  Mutex.lock t.m;
+  let s =
+    {
+      connections = t.s_connections;
+      accepted = t.s_accepted;
+      served = t.s_served;
+      hits = t.s_hits;
+      computed = t.s_computed;
+      bounded = t.s_bounded;
+      rejected = t.s_rejected;
+      errors = t.s_errors;
+      pings = t.s_pings;
+    }
+  in
+  Mutex.unlock t.m;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  go 0
+
+(* Best-effort: a client that hung up mid-request still retires cleanly
+   (the verdict was computed and, when fresh, persisted — only the reply
+   is lost with the connection). *)
+let write_response conn resp =
+  let line = Protocol.response_to_json resp ^ "\n" in
+  Mutex.lock conn.wlock;
+  (try write_all conn.fd line with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false);
+  Mutex.unlock conn.wlock
+
+let expired p now = match p.p_deadline with Some d -> now > d | None -> false
+
+(* A response to an *admitted* request: retires it from the pending count,
+   closes the event queue when the drain is complete, and feeds telemetry.
+   [compute_s] is the worker wall-clock (0 when none ran), subtracted from
+   the total to report the queueing share. *)
+let respond_admitted t p ?(compute_s = 0.) status =
+  let now = Unix.gettimeofday () in
+  let total_ms = (now -. p.p_admitted) *. 1000. in
+  let queue_ms = Float.max 0. (total_ms -. (compute_s *. 1000.)) in
+  write_response p.p_conn { Protocol.rid = p.p_req.Protocol.id; status; queue_ms; total_ms };
+  Mutex.lock t.m;
+  p.p_conn.inflight <- p.p_conn.inflight - 1;
+  t.pending <- t.pending - 1;
+  t.s_served <- t.s_served + 1;
+  (match status with
+  | Protocol.Verdict v ->
+    if v.cached then t.s_hits <- t.s_hits + 1 else t.s_computed <- t.s_computed + 1
+  | Protocol.Bounded _ -> t.s_bounded <- t.s_bounded + 1
+  | Protocol.Error _ -> t.s_errors <- t.s_errors + 1
+  | Protocol.Rejected _ | Protocol.Pong -> ());
+  let drain_complete = Atomic.get t.stop && t.pending = 0 in
+  Mutex.unlock t.m;
+  if drain_complete then Queue.close t.events;
+  if T.enabled () then begin
+    (match status with
+    | Protocol.Verdict v -> if v.cached then T.incr c_hits
+    | Protocol.Bounded _ -> T.incr c_bounded
+    | Protocol.Error _ -> T.incr c_errors
+    | _ -> ());
+    T.observe h_latency (int_of_float total_ms);
+    T.record_span "service.request"
+      ~args:
+        [ ("id", T.S p.p_req.Protocol.id); ("status", T.S (Protocol.status_name status)) ]
+      ~seconds:(total_ms /. 1000.)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Workers: the only actors that explore                                 *)
+(* ------------------------------------------------------------------ *)
+
+let worker_loop t () =
+  let rec loop () =
+    match Queue.pop t.work with
+    | None -> ()
+    | Some w ->
+      let r =
+        if expired w.wk_pending (Unix.gettimeofday ()) then W_deadline
+        else
+          let (Spec.Packed m) = w.wk_machine in
+          match
+            Batch.decide ~count:false ~regime:w.wk_pending.p_req.Protocol.regime
+              ~max_configs:w.wk_max_configs m w.wk_graph
+          with
+          | d -> W_decision d
+          | exception e -> W_error (Printexc.to_string e)
+      in
+      Queue.force_push t.events (Done (w, r));
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher: owns the store                                            *)
+(* ------------------------------------------------------------------ *)
+
+let verdict_string = function
+  | Decide.Accepts -> "accepts"
+  | Decide.Rejects -> "rejects"
+  | Decide.Inconsistent _ -> "inconsistent"
+
+let status_of_entry (e : Store.entry) =
+  match e.Store.verdict with
+  | Store.Accepts | Store.Rejects | Store.Inconsistent _ ->
+    Protocol.Verdict
+      {
+        verdict =
+          (match e.Store.verdict with
+          | Store.Accepts -> "accepts"
+          | Store.Rejects -> "rejects"
+          | _ -> "inconsistent");
+        cached = true;
+        configs = e.Store.configs;
+        seconds = e.Store.seconds;
+      }
+  | Store.Bounded n -> Protocol.Bounded { reason = "budget"; configs = n }
+
+let status_of_decision (d : Batch.decision) =
+  match d.Batch.result with
+  | Batch.Verdict v ->
+    Protocol.Verdict
+      { verdict = verdict_string v; cached = false; configs = d.Batch.configs; seconds = d.Batch.seconds }
+  | Batch.Bounded n -> Protocol.Bounded { reason = "budget"; configs = n }
+
+let store_verdict_of = function
+  | Batch.Verdict Decide.Accepts -> Store.Accepts
+  | Batch.Verdict Decide.Rejects -> Store.Rejects
+  | Batch.Verdict (Decide.Inconsistent w) -> Store.Inconsistent w
+  | Batch.Bounded n -> Store.Bounded n
+
+let handle_incoming t memo p =
+  let now = Unix.gettimeofday () in
+  if expired p now then respond_admitted t p (Protocol.Bounded { reason = "deadline"; configs = 0 })
+  else
+    match Spec.parse_graph p.p_req.Protocol.graph with
+    | Error msg -> respond_admitted t p (Protocol.Error ("graph: " ^ msg))
+    | Ok g -> (
+      match Spec.parse_protocol p.p_req.Protocol.protocol g with
+      | Error msg -> respond_admitted t p (Protocol.Error ("protocol: " ^ msg))
+      | Ok (Spec.Packed m as packed) -> (
+        let max_configs = min p.p_req.Protocol.max_configs t.cfg.max_configs_cap in
+        let key =
+          match t.cfg.cache with
+          | None -> None
+          | Some _ ->
+            (* amortise the machine fingerprint per (protocol, alphabet),
+               as the batch runner does *)
+            let alphabet = Spec.alphabet_of g in
+            let mkey = (p.p_req.Protocol.protocol, alphabet) in
+            let mfp =
+              match Hashtbl.find_opt memo mkey with
+              | Some fp -> fp
+              | None ->
+                let fp = Fingerprint.machine ~labels:alphabet m in
+                Hashtbl.add memo mkey fp;
+                fp
+            in
+            let gfp = Fingerprint.graph g in
+            Some
+              ( Fingerprint.key ~machine:mfp ~graph:gfp
+                  ~regime:(Spec.regime_name p.p_req.Protocol.regime) ~max_configs,
+                mfp,
+                gfp )
+        in
+        let hit =
+          match (t.cfg.cache, key) with
+          | Some store, Some (k, _, _) -> Store.find store k
+          | _ -> None
+        in
+        match hit with
+        | Some e -> respond_admitted t p (status_of_entry e)
+        | None ->
+          Queue.force_push t.work
+            { wk_pending = p; wk_machine = packed; wk_graph = g; wk_key = key; wk_max_configs = max_configs }))
+
+let handle_done t w r =
+  let p = w.wk_pending in
+  match r with
+  | W_deadline -> respond_admitted t p (Protocol.Bounded { reason = "deadline"; configs = 0 })
+  | W_error msg -> respond_admitted t p (Protocol.Error msg)
+  | W_decision d ->
+    (* persist on the dispatcher: the store never sees concurrent writers
+       from this process (budget bounds are deterministic and cacheable;
+       deadline expiries never reach this arm) *)
+    (match (t.cfg.cache, w.wk_key) with
+    | Some store, Some (key, mfp, gfp) ->
+      Store.put store
+        {
+          Store.key;
+          machine = mfp;
+          graph = gfp;
+          regime = Spec.regime_name p.p_req.Protocol.regime;
+          max_configs = w.wk_max_configs;
+          verdict = store_verdict_of d.Batch.result;
+          configs = d.Batch.configs;
+          seconds = d.Batch.seconds;
+        }
+    | _ -> ());
+    respond_admitted t p ~compute_s:d.Batch.seconds (status_of_decision d)
+
+let dispatch_loop t () =
+  let memo = Hashtbl.create 16 in
+  let rec loop () =
+    match Queue.pop t.events with
+    | None -> ()
+    | Some (Incoming p) ->
+      handle_incoming t memo p;
+      loop ()
+    | Some (Done (w, r)) ->
+      handle_done t w r;
+      loop ()
+  in
+  loop ();
+  (* no admitted work remains; retire the workers *)
+  Queue.close t.work
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let reject_now t conn (d : Protocol.decide) reason =
+  Mutex.lock t.m;
+  t.s_rejected <- t.s_rejected + 1;
+  Mutex.unlock t.m;
+  T.incr c_rejected;
+  write_response conn
+    { Protocol.rid = d.Protocol.id; status = Protocol.Rejected reason; queue_ms = 0.; total_ms = 0. }
+
+let handle_line t conn line =
+  match Protocol.parse_request line with
+  | Error e ->
+    Mutex.lock t.m;
+    t.s_errors <- t.s_errors + 1;
+    Mutex.unlock t.m;
+    T.incr c_errors;
+    write_response conn
+      { Protocol.rid = e.Protocol.err_id; status = Protocol.Error e.Protocol.err_reason; queue_ms = 0.; total_ms = 0. }
+  | Ok (Protocol.Ping id) ->
+    Mutex.lock t.m;
+    t.s_pings <- t.s_pings + 1;
+    Mutex.unlock t.m;
+    write_response conn { Protocol.rid = id; status = Protocol.Pong; queue_ms = 0.; total_ms = 0. }
+  | Ok (Protocol.Decide d) -> (
+    T.incr c_requests;
+    let now = Unix.gettimeofday () in
+    let deadline_ms =
+      match d.Protocol.deadline_ms with Some ms -> Some ms | None -> t.cfg.default_deadline_ms
+    in
+    let p =
+      {
+        p_req = d;
+        p_conn = conn;
+        p_admitted = now;
+        p_deadline = Option.map (fun ms -> now +. (float_of_int ms /. 1000.)) deadline_ms;
+      }
+    in
+    Mutex.lock t.m;
+    let admission =
+      if Atomic.get t.stop then `Reject "draining"
+      else if conn.inflight >= t.cfg.conn_limit then `Reject "connection_limit"
+      else if
+        (* the admission bound covers the whole backlog — queued AND being
+           computed — not the mailbox occupancy, which the dispatcher keeps
+           near zero by moving misses to the work queue *)
+        t.pending >= t.cfg.queue_capacity
+      then `Reject "queue_full"
+      else
+        match Queue.try_push t.events (Incoming p) with
+        | `Ok _ ->
+          t.s_accepted <- t.s_accepted + 1;
+          t.pending <- t.pending + 1;
+          conn.inflight <- conn.inflight + 1;
+          `Admitted t.pending
+        | `Full -> `Reject "queue_full"
+        | `Closed -> `Reject "draining"
+    in
+    Mutex.unlock t.m;
+    match admission with
+    | `Admitted depth ->
+      if T.enabled () then begin
+        T.max_gauge c_qpeak depth;
+        T.emit_value "service.queue" depth
+      end
+    | `Reject reason -> reject_now t conn d reason)
+
+let conn_loop t conn () =
+  let ic = Unix.in_channel_of_descr conn.fd in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
+    | line ->
+      if String.trim line <> "" then handle_line t conn line;
+      loop ()
+  in
+  loop ();
+  Mutex.lock t.m;
+  conn.alive <- false;
+  Mutex.unlock t.m;
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let accept_loop t (lfd, addr) () =
+  let rec loop () =
+    if Atomic.get t.stop then ()
+    else
+      match Unix.select [ lfd ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Unix.accept lfd with
+        | exception Unix.Unix_error _ -> loop ()
+        | fd, _ ->
+          let conn = { fd; wlock = Mutex.create (); inflight = 0; alive = true } in
+          let th = Thread.create (conn_loop t conn) () in
+          Mutex.lock t.m;
+          t.s_connections <- t.s_connections + 1;
+          t.conns <- conn :: t.conns;
+          t.conn_threads <- th :: t.conn_threads;
+          Mutex.unlock t.m;
+          T.incr c_conns;
+          loop ())
+  in
+  loop ();
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  match addr with
+  | Protocol.Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+  | Protocol.Tcp _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bind_address addr =
+  match addr with
+  | Protocol.Unix_socket path ->
+    if Sys.file_exists path then begin
+      (* replace a stale socket file, but never steal a live server's *)
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        match Unix.connect probe (Unix.ADDR_UNIX path) with
+        | () -> true
+        | exception Unix.Unix_error _ -> false
+      in
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      if live then failwith (Printf.sprintf "%s: a server is already listening" path);
+      try Sys.remove path with Sys_error _ -> ()
+    end;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    (* the socket is the admission door; keep it owner-only by default
+       (doc/SERVICE.md discusses sharing) *)
+    Unix.chmod path 0o600;
+    Unix.listen fd 64;
+    fd
+  | Protocol.Tcp (host, port) -> (
+    match
+      Unix.getaddrinfo host (string_of_int port)
+        [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+    with
+    | [] -> failwith (Printf.sprintf "cannot resolve %s:%d" host port)
+    | ai :: _ ->
+      let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype ai.Unix.ai_protocol in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd ai.Unix.ai_addr;
+      Unix.listen fd 64;
+      fd)
+
+let start cfg =
+  if cfg.addresses = [] then Error "service: no listen addresses"
+  else begin
+    (* a client hanging up must surface as EPIPE on write, not kill us *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    let listeners = ref [] in
+    match
+      List.iter
+        (fun addr -> listeners := (bind_address addr, addr) :: !listeners)
+        cfg.addresses
+    with
+    | exception (Failure msg | Sys_error msg) ->
+      List.iter (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ()) !listeners;
+      Error msg
+    | exception Unix.Unix_error (err, fn, arg) ->
+      List.iter (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ()) !listeners;
+      Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err))
+    | () ->
+      let t =
+        {
+          cfg = { cfg with workers = max 1 cfg.workers; queue_capacity = max 1 cfg.queue_capacity };
+          (* admission is bounded by [pending]; the mailbox itself gets
+             headroom for in-flight completions *)
+          events = Queue.create ~capacity:((2 * max 1 cfg.queue_capacity) + 8);
+          work = Queue.create ~capacity:max_int;
+          stop = Atomic.make false;
+          m = Mutex.create ();
+          s_connections = 0;
+          s_accepted = 0;
+          s_served = 0;
+          s_hits = 0;
+          s_computed = 0;
+          s_bounded = 0;
+          s_rejected = 0;
+          s_errors = 0;
+          s_pings = 0;
+          pending = 0;
+          conns = [];
+          conn_threads = [];
+          accept_threads = [];
+          dispatcher = None;
+          worker_domains = [];
+        }
+      in
+      t.worker_domains <- List.init (max 1 cfg.workers) (fun _ -> Domain.spawn (worker_loop t));
+      t.dispatcher <- Some (Thread.create (dispatch_loop t) ());
+      t.accept_threads <- List.map (fun l -> Thread.create (accept_loop t l) ()) !listeners;
+      Ok t
+  end
+
+let drain t =
+  Atomic.set t.stop true;
+  Queue.close_intake t.events;
+  Mutex.lock t.m;
+  let idle = t.pending = 0 in
+  Mutex.unlock t.m;
+  if idle then Queue.close t.events
+
+let wait t =
+  List.iter Thread.join t.accept_threads;
+  (match t.dispatcher with Some th -> Thread.join th | None -> ());
+  List.iter Domain.join t.worker_domains;
+  (* every admitted request is answered; release lingering readers *)
+  Mutex.lock t.m;
+  let conns = t.conns and conn_threads = t.conn_threads in
+  Mutex.unlock t.m;
+  List.iter
+    (fun c ->
+      if c.alive then try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  List.iter Thread.join conn_threads;
+  stats t

@@ -1,0 +1,79 @@
+(** The persistent verification server.
+
+    One process, three kinds of actors:
+
+    - {e connection threads} (one per client) parse request lines and run
+      admission control: a draining server, a per-connection in-flight
+      limit, or a full central queue each turn the request into an
+      immediate [rejected:*] response — overload is answered, never
+      buffered without bound;
+    - the {e dispatcher thread} owns the verdict cache ({!Dda_batch.Store})
+      — the single store reader/writer in the process — answers hits
+      directly, expires requests whose deadline passed while queued
+      (a [bounded:deadline] response, the same resource-bound shape as a
+      blown configuration budget), and hands misses to
+    - {e worker domains}, which run the exact decision procedure through
+      {!Dda_batch.Batch.decide} with the request's (capped) configuration
+      budget.
+
+    Graceful drain ({!drain}, wired to SIGTERM/SIGINT by [dda serve]):
+    stop accepting connections and requests, answer everything already
+    admitted, persist fresh verdicts, then shut down — an accepted request
+    is never dropped.  {!wait} blocks until that point and returns the
+    final statistics; the CLI exits 0.
+
+    Telemetry (doc/OBSERVABILITY.md): counters [service.connections],
+    [service.requests], [service.hits], [service.rejected],
+    [service.bounded], [service.errors]; the queue-depth high-water mark
+    [service.queue.peak] and trace track [service.queue]; histogram
+    [service.latency_ms]; per-request span [service.request]. *)
+
+module Store := Dda_batch.Store
+
+type config = {
+  addresses : Protocol.address list;  (** listeners; Unix sockets are chmod 0600 *)
+  cache : Store.t option;  (** warm verdict cache; misses recompute *)
+  workers : int;  (** worker domains (>= 1) *)
+  queue_capacity : int;
+      (** admission limit: maximum requests admitted but not yet answered
+          (queued or computing); the rest are [rejected:queue_full] *)
+  conn_limit : int;  (** max in-flight requests per connection *)
+  max_configs_cap : int;  (** per-request budgets are clamped to this *)
+  default_deadline_ms : int option;  (** for requests that set none *)
+}
+
+val default_config : config
+(** No listeners, no cache, 2 workers, queue 64, conn limit 8, cap
+    2_000_000 configurations, no default deadline. *)
+
+type stats = {
+  connections : int;
+  accepted : int;  (** requests admitted into the queue *)
+  served : int;  (** responses to admitted requests (= accepted after drain) *)
+  hits : int;  (** answered from the cache *)
+  computed : int;  (** fresh verdicts from worker domains *)
+  bounded : int;  (** budget or deadline bounds among served *)
+  rejected : int;  (** admission-control refusals *)
+  errors : int;  (** malformed requests and unparsable specs *)
+  pings : int;
+}
+
+type t
+
+val start : config -> (t, string) result
+(** Bind the listeners and spawn the actors.  [Error] on bind failure
+    (stale socket files are replaced only if nothing is listening there —
+    a live server on the same path is an error). *)
+
+val drain : t -> unit
+(** Initiate graceful drain; idempotent, returns immediately. *)
+
+val draining : t -> bool
+
+val stats : t -> stats
+(** A consistent snapshot at any time. *)
+
+val wait : t -> stats
+(** Block until drain completes (all accepted requests answered, workers
+    joined, sockets closed and Unix socket paths unlinked); returns the
+    final statistics. *)

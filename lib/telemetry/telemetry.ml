@@ -197,6 +197,25 @@ let event ?(args = []) name =
     write_journal_line name args
   end
 
+let record_span ?(args = []) name ~seconds =
+  if st.on then begin
+    Mutex.lock st.emit_lock;
+    let agg =
+      match Hashtbl.find_opt span_aggs name with
+      | Some a -> a
+      | None ->
+        let a = { calls = 0; total = 0. } in
+        Hashtbl.add span_aggs name a;
+        a
+    in
+    agg.calls <- agg.calls + 1;
+    agg.total <- agg.total +. seconds;
+    Mutex.unlock st.emit_lock;
+    let ts = Float.max 0. ((now () -. seconds -. st.t0) *. 1e6) in
+    write_trace_event ~name ~ph:"X" ~ts ~dur:(seconds *. 1e6) args;
+    write_journal_line "span" (("name", S name) :: ("dur_s", F seconds) :: ("depth", I st.depth) :: args)
+  end
+
 let emit_value name v =
   if st.on then
     write_trace_event ~name ~ph:"C" ~ts:((now () -. st.t0) *. 1e6) [ ("value", I v) ]
@@ -381,14 +400,22 @@ module Registry = struct
       "batch.jobs";
       "batch.bounded";
       "batch.errors";
+      "service.connections";
+      "service.requests";
+      "service.hits";
+      "service.rejected";
+      "service.bounded";
+      "service.errors";
+      "service.queue.peak";
     ]
 
-  let histograms = [ "engine.wave.size"; "sched.selection.size" ]
+  let histograms = [ "engine.wave.size"; "sched.selection.size"; "service.latency_ms" ]
 
   let spans =
-    [ "explore"; "scc"; "verdict"; "simulate"; "synthesise"; "telemetry.selftest"; "batch"; "batch.job" ]
+    [ "explore"; "scc"; "verdict"; "simulate"; "synthesise"; "telemetry.selftest"; "batch";
+      "batch.job"; "service.request" ]
 
-  let tracks = [ "engine.frontier" ]
+  let tracks = [ "engine.frontier"; "service.queue" ]
 
   (* <pre><digits><post>, e.g. engine.domain.3.items *)
   let numbered ~pre ~post name =

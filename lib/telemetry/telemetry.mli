@@ -89,6 +89,13 @@ val with_span : ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
 val event : ?args:(string * arg) list -> string -> unit
 (** An instant: trace "i" event plus journal line. *)
 
+val record_span : ?args:(string * arg) list -> string -> seconds:float -> unit
+(** Record an already-measured span that ends {e now} and lasted [seconds].
+    Same sinks and aggregates as {!with_span}.  For lifetimes that cannot be
+    wrapped in a thunk because they cross threads — e.g. a service request
+    that is admitted on a connection thread, computed on a worker domain and
+    answered from the dispatcher. *)
+
 val journal : string -> (string * arg) list -> unit
 (** A journal-only structured event:
     [{"ev": <name>, "t": <seconds since enable>, <args>...}].  No-op

@@ -282,7 +282,7 @@ let count_outcomes report =
       match outcome with
       | Batch.Done d -> (done_ + 1, (if d.Batch.cached then cached + 1 else cached), failed)
       | Batch.Failed _ -> (done_, cached, failed + 1)
-      | Batch.Skipped -> (done_, cached, failed))
+      | Batch.Skipped | Batch.Interrupted -> (done_, cached, failed))
     (0, 0, 0) report.Batch.jobs
 
 let test_run_cold_then_warm () =
@@ -330,6 +330,75 @@ let test_run_reports_failures () =
   Alcotest.(check bool) "report JSON parses" true
     (Result.is_ok (Dda_telemetry.Json.parse json))
 
+(* --- interruption ----------------------------------------------------------- *)
+
+let test_run_interrupted () =
+  with_store (fun store ->
+      (* trip the flag after the first job: the rest drain as Interrupted,
+         the report still carries the completed verdict *)
+      let seen = ref 0 in
+      let interrupted () =
+        incr seen;
+        !seen > 1
+      in
+      let report = Batch.run ~cache:store ~interrupted run_jobs in
+      let done_, _, _ = count_outcomes report in
+      let interrupted_jobs =
+        List.length
+          (List.filter (fun (_, o, _) -> o = Batch.Interrupted) report.Batch.jobs)
+      in
+      Alcotest.(check int) "first job completed" 1 done_;
+      Alcotest.(check int) "remaining jobs interrupted" 2 interrupted_jobs;
+      let json = Batch.report_json report in
+      Alcotest.(check bool) "interrupted status in the report" true
+        (contains "\"status\": \"interrupted\"" json);
+      Alcotest.(check bool) "report still parses" true
+        (Result.is_ok (Dda_telemetry.Json.parse json)))
+
+(* --- advisory locking -------------------------------------------------------- *)
+
+let test_store_lock () =
+  with_store (fun store ->
+      (* uncontended: both modes acquire and release *)
+      (match Store.lock store ~mode:`Shared with
+      | Ok l -> Store.unlock l
+      | Error e -> Alcotest.failf "shared lock: %s" e);
+      (match Store.lock store ~mode:`Exclusive with
+      | Ok l -> Store.unlock l
+      | Error e -> Alcotest.failf "exclusive lock: %s" e);
+      (* POSIX record locks only conflict across processes, so the
+         contention paths need a child *)
+      let r, w = Unix.pipe () in
+      match Unix.fork () with
+      | 0 ->
+        (* child: hold a shared lock until killed; _exit skips alcotest *)
+        Unix.close r;
+        let code =
+          match Store.lock store ~mode:`Shared with
+          | Ok _ ->
+            ignore (Unix.write w (Bytes.make 1 'k') 0 1);
+            Unix.sleepf 30.;
+            0
+          | Error _ -> 1
+        in
+        Unix._exit code
+      | pid ->
+        Unix.close w;
+        let buf = Bytes.create 1 in
+        ignore (Unix.read r buf 0 1);
+        Unix.close r;
+        (match Store.lock store ~mode:`Exclusive with
+        | Ok _ -> Alcotest.fail "exclusive acquired while a shared holder is alive"
+        | Error msg ->
+          Alcotest.(check bool) "contention message names the usage" true
+            (contains "in use" msg));
+        Unix.kill pid Sys.sigkill;
+        ignore (Unix.waitpid [] pid);
+        (* the crashed holder left a stale file; the next exclusive reaps it *)
+        (match Store.lock store ~mode:`Exclusive with
+        | Ok l -> Store.unlock l
+        | Error e -> Alcotest.failf "stale holder not reaped: %s" e))
+
 (* --- differential: Figure 1 through the cache ------------------------------ *)
 
 let test_figure1_differential () =
@@ -350,6 +419,10 @@ let test_figure1_differential () =
 let () =
   Alcotest.run "batch"
     [
+      (* first: Unix.fork is illegal once any test has spawned a domain
+         (the sharded runner does), so the cross-process lock test leads *)
+      ( "lock",
+        [ Alcotest.test_case "shared vs exclusive across processes" `Quick test_store_lock ] );
       ( "fingerprint",
         [
           Alcotest.test_case "machine stable" `Quick test_machine_fingerprint_stable;
@@ -377,6 +450,7 @@ let () =
           Alcotest.test_case "manifest rejects" `Quick test_manifest_rejects;
           Alcotest.test_case "cold then warm" `Quick test_run_cold_then_warm;
           Alcotest.test_case "reports failures" `Quick test_run_reports_failures;
+          Alcotest.test_case "interrupt drains cleanly" `Quick test_run_interrupted;
         ] );
       ( "differential",
         [ Alcotest.test_case "figure 1 through the cache" `Slow test_figure1_differential ] );

@@ -1,0 +1,498 @@
+(* The verification service (lib/service): protocol round-trips and
+   structured errors, the bounded admission queue, and live servers on
+   throwaway Unix sockets — overload rejection, deadline expiry, and the
+   no-drop guarantee of graceful drain. *)
+
+module Sproto = Dda_service.Protocol
+module Squeue = Dda_service.Queue
+module Server = Dda_service.Server
+module Client = Dda_service.Client
+module Store = Dda_batch.Store
+module Batch = Dda_batch.Batch
+module Spec = Dda_batch.Spec
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- scratch dirs and sockets ---------------------------------------------- *)
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dda_test_svc.%d.%d" (Unix.getpid ()) !dir_counter)
+  in
+  Unix.mkdir d 0o700;
+  d
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* A server on a throwaway socket; drained and awaited on the way out so no
+   worker domain survives the test. *)
+let with_server cfg f =
+  let dir = fresh_dir () in
+  let sock = Filename.concat dir "s.sock" in
+  let cfg = { cfg with Server.addresses = [ Sproto.Unix_socket sock ] } in
+  match Server.start cfg with
+  | Error e -> Alcotest.failf "server failed to start: %s" e
+  | Ok srv ->
+    Fun.protect
+      ~finally:(fun () ->
+        Server.drain srv;
+        ignore (Server.wait srv);
+        rm_rf dir)
+      (fun () -> f sock srv)
+
+(* ~0.2s of real exploration — long enough to hold a worker while a burst
+   arrives, short enough to keep the suite quick *)
+let slow_job =
+  {
+    Batch.protocol = "weak-majority-bounded:2";
+    graph = "line:abbab";
+    regime = Spec.Pseudo_stochastic;
+    max_configs = 4_000_000;
+  }
+
+let quick_job =
+  {
+    Batch.protocol = "exists:a";
+    graph = "cycle:abb";
+    regime = Spec.Pseudo_stochastic;
+    max_configs = 10_000;
+  }
+
+let decide_of ?deadline_ms ~id (job : Batch.job) =
+  Sproto.Decide
+    {
+      Sproto.id;
+      protocol = job.Batch.protocol;
+      graph = job.Batch.graph;
+      regime = job.Batch.regime;
+      max_configs = job.Batch.max_configs;
+      deadline_ms;
+    }
+
+(* --- protocol: round-trips --------------------------------------------------- *)
+
+let test_request_roundtrip () =
+  let d =
+    {
+      Sproto.id = "r-1";
+      protocol = "threshold:a,2";
+      graph = "cycle:aab";
+      regime = Spec.Adversarial;
+      max_configs = 5000;
+      deadline_ms = Some 250;
+    }
+  in
+  (match Sproto.parse_request (Sproto.request_to_json (Sproto.Decide d)) with
+  | Ok (Sproto.Decide d') ->
+    Alcotest.(check string) "id" d.Sproto.id d'.Sproto.id;
+    Alcotest.(check string) "protocol" d.Sproto.protocol d'.Sproto.protocol;
+    Alcotest.(check string) "graph" d.Sproto.graph d'.Sproto.graph;
+    Alcotest.(check bool) "regime" true (d'.Sproto.regime = Spec.Adversarial);
+    Alcotest.(check int) "max_configs" 5000 d'.Sproto.max_configs;
+    Alcotest.(check (option int)) "deadline" (Some 250) d'.Sproto.deadline_ms
+  | Ok _ -> Alcotest.fail "decide parsed as something else"
+  | Error e -> Alcotest.failf "decide round-trip failed: %s" e.Sproto.err_reason);
+  (match Sproto.parse_request (Sproto.request_to_json (Sproto.Ping "p-7")) with
+  | Ok (Sproto.Ping id) -> Alcotest.(check string) "ping id" "p-7" id
+  | _ -> Alcotest.fail "ping round-trip failed");
+  (* defaults: no regime/max_configs/deadline in the document *)
+  match
+    Sproto.parse_request ~default_max_configs:777
+      {|{"schema":"dda.service/1","id":"d","op":"decide","protocol":"exists:a","graph":"cycle:abb"}|}
+  with
+  | Ok (Sproto.Decide d) ->
+    Alcotest.(check bool) "default regime F" true (d.Sproto.regime = Spec.Pseudo_stochastic);
+    Alcotest.(check int) "default budget" 777 d.Sproto.max_configs;
+    Alcotest.(check (option int)) "no deadline" None d.Sproto.deadline_ms
+  | _ -> Alcotest.fail "defaulting decide failed"
+
+let response_roundtrip status =
+  let r = { Sproto.rid = "x-1"; status; queue_ms = 1.5; total_ms = 3.25 } in
+  match Sproto.parse_response (Sproto.response_to_json r) with
+  | Ok r' ->
+    Alcotest.(check string) "rid" "x-1" r'.Sproto.rid;
+    Alcotest.(check string) "status kind" (Sproto.status_name status)
+      (Sproto.status_name r'.Sproto.status)
+  | Error e -> Alcotest.failf "%s response does not round-trip: %s" (Sproto.status_name status) e
+
+let test_response_roundtrip () =
+  response_roundtrip
+    (Sproto.Verdict { verdict = "accepts"; cached = true; configs = 42; seconds = 0.007 });
+  response_roundtrip (Sproto.Bounded { reason = "deadline"; configs = 0 });
+  response_roundtrip (Sproto.Rejected "queue_full");
+  response_roundtrip (Sproto.Error "graph: bad spec");
+  response_roundtrip Sproto.Pong;
+  (* payload fields survive *)
+  match
+    Sproto.parse_response
+      (Sproto.response_to_json
+         {
+           Sproto.rid = "v";
+           status = Sproto.Verdict { verdict = "rejects"; cached = true; configs = 9; seconds = 0.5 };
+           queue_ms = 0.;
+           total_ms = 1.;
+         })
+  with
+  | Ok { Sproto.status = Sproto.Verdict v; _ } ->
+    Alcotest.(check string) "verdict" "rejects" v.verdict;
+    Alcotest.(check bool) "cached" true v.cached;
+    Alcotest.(check int) "configs" 9 v.configs
+  | _ -> Alcotest.fail "verdict payload lost"
+
+let test_protocol_rejects () =
+  let err line =
+    match Sproto.parse_request line with
+    | Ok _ -> Alcotest.failf "expected %S to be rejected" line
+    | Error e -> e
+  in
+  let e = err "not json at all" in
+  Alcotest.(check bool) "malformed JSON reported" true (contains "malformed JSON" e.Sproto.err_reason);
+  Alcotest.(check string) "no id recoverable" "" e.Sproto.err_id;
+  let e = err {|{"schema":"dda.service/9","id":"z","op":"ping"}|} in
+  Alcotest.(check bool) "unsupported schema reported" true
+    (contains "unsupported schema" e.Sproto.err_reason);
+  Alcotest.(check string) "id recovered from bad-schema request" "z" e.Sproto.err_id;
+  let e = err {|{"id":"y","op":"ping"}|} in
+  Alcotest.(check bool) "missing schema reported" true (contains "schema" e.Sproto.err_reason);
+  let e = err {|{"schema":"dda.service/1","id":"u","op":"frobnicate"}|} in
+  Alcotest.(check bool) "unknown op reported" true (contains "unknown op" e.Sproto.err_reason);
+  let e =
+    err {|{"schema":"dda.service/1","id":"m","op":"decide","graph":"cycle:abb"}|}
+  in
+  Alcotest.(check bool) "missing protocol reported" true (contains "protocol" e.Sproto.err_reason);
+  let e =
+    err
+      {|{"schema":"dda.service/1","id":"b","op":"decide","protocol":"exists:a","graph":"cycle:abb","max_configs":-5}|}
+  in
+  Alcotest.(check bool) "bad budget reported" true (contains "max_configs" e.Sproto.err_reason);
+  let e =
+    err
+      {|{"schema":"dda.service/1","id":"b","op":"decide","protocol":"exists:a","graph":"cycle:abb","deadline_ms":"soon"}|}
+  in
+  Alcotest.(check bool) "bad deadline reported" true (contains "deadline_ms" e.Sproto.err_reason)
+
+let test_parse_address () =
+  (match Sproto.parse_address "/tmp/x" with
+  | Ok (Sproto.Unix_socket p) -> Alcotest.(check string) "path" "/tmp/x" p
+  | _ -> Alcotest.fail "slash path is a unix socket");
+  (match Sproto.parse_address "dda.sock" with
+  | Ok (Sproto.Unix_socket _) -> ()
+  | _ -> Alcotest.fail ".sock suffix is a unix socket");
+  (match Sproto.parse_address "localhost:7777" with
+  | Ok (Sproto.Tcp (h, p)) ->
+    Alcotest.(check string) "host" "localhost" h;
+    Alcotest.(check int) "port" 7777 p
+  | _ -> Alcotest.fail "HOST:PORT is tcp");
+  (match Sproto.parse_address "bare-name" with
+  | Ok (Sproto.Unix_socket _) -> ()
+  | _ -> Alcotest.fail "bare name defaults to a unix socket");
+  Alcotest.(check bool) "empty rejected" true (Result.is_error (Sproto.parse_address ""));
+  Alcotest.(check bool) "bad port rejected" true (Result.is_error (Sproto.parse_address "host:0"));
+  Alcotest.(check bool) "no host rejected" true (Result.is_error (Sproto.parse_address ":99"))
+
+(* --- the admission queue ----------------------------------------------------- *)
+
+let test_queue_admission () =
+  let q = Squeue.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Squeue.capacity q);
+  (match Squeue.try_push q 1 with `Ok d -> Alcotest.(check int) "depth 1" 1 d | _ -> Alcotest.fail "push 1");
+  (match Squeue.try_push q 2 with `Ok d -> Alcotest.(check int) "depth 2" 2 d | _ -> Alcotest.fail "push 2");
+  (match Squeue.try_push q 3 with
+  | `Full -> ()
+  | _ -> Alcotest.fail "third push must hit the admission bound");
+  Alcotest.(check (option int)) "fifo pop" (Some 1) (Squeue.pop q);
+  (match Squeue.try_push q 4 with `Ok _ -> () | _ -> Alcotest.fail "room again after pop");
+  Squeue.force_push q 5;
+  Alcotest.(check int) "force_push goes past capacity" 3 (Squeue.length q);
+  Squeue.close_intake q;
+  (match Squeue.try_push q 6 with
+  | `Closed -> ()
+  | _ -> Alcotest.fail "try_push after close_intake");
+  Squeue.force_push q 7 (* stragglers still land *);
+  Squeue.close q;
+  let rec drain acc = match Squeue.pop q with None -> List.rev acc | Some x -> drain (x :: acc) in
+  Alcotest.(check (list int)) "close drains in order then ends" [ 2; 4; 5; 7 ] (drain [])
+
+let test_queue_cross_thread () =
+  let q = Squeue.create ~capacity:1024 in
+  let seen = ref 0 in
+  let consumer =
+    Thread.create
+      (fun () ->
+        let rec loop () = match Squeue.pop q with None -> () | Some _ -> incr seen; loop () in
+        loop ())
+      ()
+  in
+  for i = 1 to 500 do
+    Squeue.force_push q i
+  done;
+  (* close wakes the blocked consumer after the backlog drains *)
+  Squeue.close q;
+  Thread.join consumer;
+  Alcotest.(check int) "all items consumed" 500 !seen
+
+(* --- live servers ------------------------------------------------------------ *)
+
+let rpc_exn c req =
+  match Client.rpc c req with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "rpc failed: %s" e
+
+let test_serve_cold_then_warm () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store () = Store.open_ ~root:(Filename.concat dir "cache") () in
+  let first =
+    with_server { Server.default_config with cache = Some (store ()) } (fun sock srv ->
+        let c = Result.get_ok (Client.connect (Sproto.Unix_socket sock)) in
+        (match rpc_exn c (decide_of ~id:"q1" quick_job) with
+        | { Sproto.status = Sproto.Verdict v; _ } ->
+          Alcotest.(check string) "verdict" "accepts" v.verdict;
+          Alcotest.(check bool) "cold is computed" false v.cached
+        | r -> Alcotest.failf "unexpected status %s" (Sproto.status_name r.Sproto.status));
+        (match rpc_exn c (decide_of ~id:"q2" quick_job) with
+        | { Sproto.status = Sproto.Verdict v; _ } ->
+          Alcotest.(check bool) "second request is a cache hit" true v.cached
+        | r -> Alcotest.failf "unexpected status %s" (Sproto.status_name r.Sproto.status));
+        (match rpc_exn c (Sproto.Ping "p") with
+        | { Sproto.status = Sproto.Pong; _ } -> ()
+        | _ -> Alcotest.fail "ping over the wire");
+        Client.close c;
+        Server.stats srv)
+  in
+  Alcotest.(check int) "accepted" 2 first.Server.accepted;
+  Alcotest.(check int) "served" 2 first.Server.served;
+  Alcotest.(check int) "hits" 1 first.Server.hits;
+  Alcotest.(check int) "computed" 1 first.Server.computed;
+  (* the cache outlives the server: a fresh instance answers warm *)
+  with_server { Server.default_config with cache = Some (store ()) } (fun sock _srv ->
+      let c = Result.get_ok (Client.connect (Sproto.Unix_socket sock)) in
+      (match rpc_exn c (decide_of ~id:"q3" quick_job) with
+      | { Sproto.status = Sproto.Verdict v; _ } ->
+        Alcotest.(check bool) "warm across restarts" true v.cached
+      | r -> Alcotest.failf "unexpected status %s" (Sproto.status_name r.Sproto.status));
+      Client.close c)
+
+(* Raw socket access, for pipelining bursts and sending garbage. *)
+let raw_connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  (fd, Unix.in_channel_of_descr fd)
+
+let raw_send fd lines =
+  let s = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  go 0
+
+let raw_read_responses ic n =
+  List.init n (fun _ ->
+      match Sproto.parse_response (input_line ic) with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "unparsable response: %s" e)
+
+let test_malformed_over_wire () =
+  with_server { Server.default_config with workers = 1 } (fun sock srv ->
+      let fd, ic = raw_connect sock in
+      raw_send fd [ "this is not json" ];
+      (match raw_read_responses ic 1 with
+      | [ { Sproto.status = Sproto.Error reason; Sproto.rid = ""; _ } ] ->
+        Alcotest.(check bool) "reason names malformed JSON" true (contains "malformed JSON" reason)
+      | _ -> Alcotest.fail "garbage must produce a structured error response");
+      raw_send fd [ {|{"schema":"dda.service/9","id":"old","op":"ping"}|} ];
+      (match raw_read_responses ic 1 with
+      | [ { Sproto.status = Sproto.Error reason; Sproto.rid = "old"; _ } ] ->
+        Alcotest.(check bool) "reason names the schema" true (contains "unsupported schema" reason)
+      | _ -> Alcotest.fail "version mismatch must produce a structured error with the id");
+      (* the connection survives bad input *)
+      raw_send fd [ Sproto.request_to_json (Sproto.Ping "still-here") ];
+      (match raw_read_responses ic 1 with
+      | [ { Sproto.status = Sproto.Pong; Sproto.rid = "still-here"; _ } ] -> ()
+      | _ -> Alcotest.fail "connection must survive malformed input");
+      Unix.close fd;
+      let s = Server.stats srv in
+      Alcotest.(check int) "two protocol errors counted" 2 s.Server.errors)
+
+let test_queue_full_rejection () =
+  with_server
+    { Server.default_config with workers = 1; queue_capacity = 2; conn_limit = 64 }
+    (fun sock srv ->
+      let fd, ic = raw_connect sock in
+      let burst =
+        List.init 10 (fun i -> Sproto.request_to_json (decide_of ~id:(Printf.sprintf "b%d" i) slow_job))
+      in
+      raw_send fd burst;
+      let responses = raw_read_responses ic 10 in
+      let count p = List.length (List.filter p responses) in
+      let rejected_full =
+        count (fun r -> match r.Sproto.status with Sproto.Rejected "queue_full" -> true | _ -> false)
+      in
+      let ok = count (fun r -> match r.Sproto.status with Sproto.Verdict _ -> true | _ -> false) in
+      Alcotest.(check int) "every request is answered" 10 (List.length responses);
+      Alcotest.(check bool) "saturating burst is rejected with queue_full" true (rejected_full > 0);
+      Alcotest.(check bool) "admitted requests still complete" true (ok > 0);
+      Alcotest.(check int) "admitted + rejected account for the burst" 10 (ok + rejected_full);
+      Unix.close fd;
+      let s = Server.stats srv in
+      Alcotest.(check int) "stats agree on rejections" rejected_full s.Server.rejected;
+      Alcotest.(check bool) "admissions bounded by the queue" true (s.Server.accepted <= 3))
+
+let test_conn_limit_rejection () =
+  with_server
+    { Server.default_config with workers = 1; queue_capacity = 64; conn_limit = 2 }
+    (fun sock _srv ->
+      let fd, ic = raw_connect sock in
+      let burst =
+        List.init 8 (fun i -> Sproto.request_to_json (decide_of ~id:(Printf.sprintf "c%d" i) slow_job))
+      in
+      raw_send fd burst;
+      let responses = raw_read_responses ic 8 in
+      let limited =
+        List.length
+          (List.filter
+             (fun r ->
+               match r.Sproto.status with Sproto.Rejected "connection_limit" -> true | _ -> false)
+             responses)
+      in
+      Alcotest.(check bool) "per-connection limit enforced" true (limited > 0);
+      Unix.close fd)
+
+let test_deadline_expires_queued () =
+  with_server { Server.default_config with workers = 1 } (fun sock _srv ->
+      let fd, ic = raw_connect sock in
+      (* the slow job occupies the only worker; the quick one's 1ms deadline
+         is long gone when a worker finally picks it up *)
+      raw_send fd
+        [
+          Sproto.request_to_json (decide_of ~id:"slow" slow_job);
+          Sproto.request_to_json (decide_of ~id:"urgent" ~deadline_ms:1 quick_job);
+        ];
+      let responses = raw_read_responses ic 2 in
+      let by_id id = List.find (fun r -> r.Sproto.rid = id) responses in
+      (match (by_id "slow").Sproto.status with
+      | Sproto.Verdict _ -> ()
+      | s -> Alcotest.failf "slow request should complete, got %s" (Sproto.status_name s));
+      (match (by_id "urgent").Sproto.status with
+      | Sproto.Bounded b ->
+        Alcotest.(check string) "deadline expiry is a bounded-out" "deadline" b.reason
+      | s -> Alcotest.failf "expired request should bound out, got %s" (Sproto.status_name s));
+      Unix.close fd)
+
+let test_drain_no_drop () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let sock = Filename.concat dir "s.sock" in
+  let cfg =
+    {
+      Server.default_config with
+      addresses = [ Sproto.Unix_socket sock ];
+      workers = 2;
+      conn_limit = 16;
+    }
+  in
+  let srv = match Server.start cfg with Ok s -> s | Error e -> Alcotest.fail e in
+  let fd, ic = raw_connect sock in
+  let burst =
+    List.init 6 (fun i -> Sproto.request_to_json (decide_of ~id:(Printf.sprintf "d%d" i) slow_job))
+  in
+  raw_send fd burst;
+  (* let the connection thread admit the burst, then pull the plug *)
+  Thread.delay 0.1;
+  Server.drain srv;
+  Alcotest.(check bool) "draining" true (Server.draining srv);
+  let s = Server.wait srv in
+  Alcotest.(check int) "everything admitted" 6 s.Server.accepted;
+  Alcotest.(check int) "no accepted request dropped" s.Server.accepted s.Server.served;
+  (* every response was written before wait returned *)
+  let responses = raw_read_responses ic 6 in
+  List.iter
+    (fun r ->
+      match r.Sproto.status with
+      | Sproto.Verdict _ -> ()
+      | st -> Alcotest.failf "%s: expected a verdict after drain, got %s" r.Sproto.rid
+                (Sproto.status_name st))
+    responses;
+  Unix.close fd;
+  (* the listener is gone: new connections are refused *)
+  (match Client.connect (Sproto.Unix_socket sock) with
+  | Ok c ->
+    Client.close c;
+    Alcotest.fail "connect must fail after drain"
+  | Error _ -> ())
+
+let test_load_generator () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store = Store.open_ ~root:(Filename.concat dir "cache") () in
+  with_server
+    { Server.default_config with cache = Some store; workers = 2; queue_capacity = 256 }
+    (fun sock _srv ->
+      let addr = Sproto.Unix_socket sock in
+      let spec = { Client.clients = 4; per_client = 6; mix = [ quick_job ]; deadline_ms = None } in
+      (* cold pass populates the cache (concurrent cold requests for one key
+         may each compute — there is no in-flight coalescing) ... *)
+      (match Client.load addr spec with
+      | Error e -> Alcotest.failf "cold load failed: %s" e
+      | Ok cold ->
+        Alcotest.(check int) "cold: all requests answered" 24 cold.Client.requests;
+        Alcotest.(check int) "cold: all ok" 24 cold.Client.ok;
+        Alcotest.(check int) "cold: no errors" 0 cold.Client.errors);
+      (* ... so the warm assertion runs on a second pass *)
+      match Client.load addr spec with
+      | Error e -> Alcotest.failf "warm load failed: %s" e
+      | Ok summary ->
+        Alcotest.(check int) "warm: all requests answered" 24 summary.Client.requests;
+        Alcotest.(check int) "warm: all ok" 24 summary.Client.ok;
+        Alcotest.(check int) "warm: everything from the cache" 24 summary.Client.cached;
+        Alcotest.(check bool) "hit rate reported" true (Client.hit_rate summary > 0.99);
+        Alcotest.(check bool) "percentiles ordered" true
+          (summary.Client.p50_ms <= summary.Client.p95_ms
+          && summary.Client.p95_ms <= summary.Client.p99_ms);
+        (* the summary document round-trips through the strict parser *)
+        match Dda_telemetry.Json.parse (Client.summary_json summary) with
+        | Error e -> Alcotest.failf "summary_json unparseable: %s" e
+        | Ok doc -> (
+          match Dda_telemetry.Json.member "schema" doc with
+          | Some (Dda_telemetry.Json.Str "dda.client-load/1") -> ()
+          | _ -> Alcotest.fail "summary schema marker missing"))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+          Alcotest.test_case "malformed requests rejected with structure" `Quick
+            test_protocol_rejects;
+          Alcotest.test_case "addresses" `Quick test_parse_address;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "admission control" `Quick test_queue_admission;
+          Alcotest.test_case "cross-thread close" `Quick test_queue_cross_thread;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "cold then warm, across restarts" `Quick test_serve_cold_then_warm;
+          Alcotest.test_case "malformed input over the wire" `Quick test_malformed_over_wire;
+          Alcotest.test_case "queue-full rejection under burst" `Quick test_queue_full_rejection;
+          Alcotest.test_case "per-connection limit" `Quick test_conn_limit_rejection;
+          Alcotest.test_case "deadline expiry bounds out" `Quick test_deadline_expires_queued;
+          Alcotest.test_case "drain drops nothing" `Quick test_drain_no_drop;
+          Alcotest.test_case "closed-loop load generator" `Quick test_load_generator;
+        ] );
+    ]

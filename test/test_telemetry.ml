@@ -278,6 +278,60 @@ let prop_histogram_totals =
           | None -> false)
         | None -> false))
 
+(* record_span: the thunk-free span entry point used by the service for
+   request lifetimes that cross threads. *)
+let test_record_span_aggregates () =
+  let span_count name =
+    match Json.parse (T.metrics_json ()) with
+    | Error e -> Alcotest.failf "metrics unparseable: %s" e
+    | Ok doc -> (
+      match Json.member "spans" doc with
+      | Some spans -> (
+        match Json.member name spans with
+        | Some snap -> (
+          match (Json.member "count" snap, Json.member "total_s" snap) with
+          | Some (Json.Num c), Some (Json.Num t) -> (int_of_float c, t)
+          | _ -> Alcotest.failf "span %s lacks count/total_s" name)
+        | None -> (0, 0.))
+      | None -> Alcotest.fail "spans block missing")
+  in
+  let c0, t0 = span_count "service.request" in
+  T.record_span "service.request" ~args:[ ("id", T.S "r1"); ("status", T.S "ok") ] ~seconds:0.25;
+  T.record_span "service.request" ~seconds:0.5;
+  let c1, t1 = span_count "service.request" in
+  Alcotest.(check int) "two spans recorded" (c0 + 2) c1;
+  Alcotest.(check bool) "durations accumulate" true (t1 -. t0 > 0.74 && t1 -. t0 < 0.76)
+
+(* Find-or-create of counters and histograms is reachable from worker
+   domains (engine per-domain counters, service workers); hammer the
+   registration path from several domains at once and check the registry
+   tables stay consistent. *)
+let test_concurrent_registration () =
+  let histogram_names = [| "engine.wave.size"; "sched.selection.size"; "service.latency_ms" |] in
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to 2_499 do
+              let c = T.counter (Printf.sprintf "engine.domain.%d.items" ((d + i) mod 8)) in
+              ignore (T.value c);
+              T.observe (T.histogram histogram_names.(i mod 3)) 1;
+              T.record_span "telemetry.selftest" ~seconds:0.
+            done))
+  in
+  Array.iter Domain.join domains;
+  (* every domain resolved each name to the same object *)
+  let c = T.counter "engine.domain.3.items" in
+  let v0 = T.value c in
+  T.incr c;
+  Alcotest.(check int) "find-or-create is stable across domains" (v0 + 1)
+    (T.value (T.counter "engine.domain.3.items"));
+  (* and the snapshot taken after the hammer is structurally sound *)
+  match Json.parse (T.metrics_json ()) with
+  | Error e -> Alcotest.failf "metrics unparseable after concurrent registration: %s" e
+  | Ok doc ->
+    Alcotest.(check (list string)) "snapshot validates against the registry" []
+      (T.validate_metrics doc)
+
 let test_validators_reject_garbage () =
   let bad_metrics = ok {|{"schema": "dda.telemetry/1", "counters": {"no.such.counter": 1}}|} in
   Alcotest.(check bool) "unknown counter name rejected" true
@@ -313,6 +367,9 @@ let () =
           QCheck_alcotest.to_alcotest prop_counter_add_sums;
           QCheck_alcotest.to_alcotest prop_max_gauge_is_max;
           QCheck_alcotest.to_alcotest prop_histogram_totals;
+          Alcotest.test_case "record_span aggregates" `Quick test_record_span_aggregates;
+          Alcotest.test_case "concurrent registration from domains" `Quick
+            test_concurrent_registration;
           Alcotest.test_case "validators reject garbage" `Quick test_validators_reject_garbage;
         ] );
     ]
