@@ -686,8 +686,8 @@ let serve_cmd =
       & opt_all string []
       & info [ "l"; "listen" ] ~docv:"ADDR"
           ~doc:
-            "Listen address (repeatable): a Unix socket path (contains / or ends in .sock) or \
-             HOST:PORT.")
+            "Listen address (repeatable): a Unix socket path (contains / or ends in .sock), \
+             HOST:PORT, or a bracketed IPv6 literal like [::1]:7777.")
   in
   let workers =
     Arg.(value & opt int 2 & info [ "j"; "workers" ] ~docv:"N" ~doc:"Worker domains (default 2).")
@@ -729,7 +729,8 @@ let client_cmd =
     Arg.(
       required
       & opt (some string) None
-      & info [ "c"; "connect" ] ~docv:"ADDR" ~doc:"Server address (socket path or HOST:PORT).")
+      & info [ "c"; "connect" ] ~docv:"ADDR"
+          ~doc:"Server address (socket path, HOST:PORT, or [V6]:PORT).")
   in
   let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Measure a ping round trip and exit.") in
   let bench =

@@ -23,18 +23,29 @@ let connect addr =
          raise e);
       fd
     | Protocol.Tcp (host, port) -> (
-      match
-        Unix.getaddrinfo host (string_of_int port)
-          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
-      with
+      match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
       | [] -> failwith (Printf.sprintf "cannot resolve %s:%d" host port)
-      | ai :: _ ->
-        let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype ai.Unix.ai_protocol in
-        (try Unix.connect fd ai.Unix.ai_addr
-         with e ->
-           (try Unix.close fd with Unix.Unix_error _ -> ());
-           raise e);
-        fd)
+      | ais ->
+        (* try every resolved address — IPv4 or IPv6 — and keep the first
+           that connects *)
+        let rec go last = function
+          | [] -> (
+            match last with
+            | Some e -> raise e
+            | None -> failwith (Printf.sprintf "cannot connect to %s:%d" host port))
+          | ai :: rest -> (
+            match
+              let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype ai.Unix.ai_protocol in
+              (try Unix.connect fd ai.Unix.ai_addr
+               with e ->
+                 (try Unix.close fd with Unix.Unix_error _ -> ());
+                 raise e);
+              fd
+            with
+            | fd -> fd
+            | exception (Unix.Unix_error _ as e) -> go (Some e) rest)
+        in
+        go None ais)
   with
   | fd -> Ok { fd; ic = Unix.in_channel_of_descr fd; open_ = true }
   | exception Unix.Unix_error (e, fn, _) ->
@@ -48,13 +59,23 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
+let request_id = function Protocol.Decide d -> d.Protocol.id | Protocol.Ping id -> id
+
 let rpc t req =
   let line = Protocol.request_to_json req ^ "\n" in
+  let id = request_id req in
+  (* match responses by id: a stale or misdelivered line is skipped, never
+     accepted as this request's verdict *)
+  let rec read_matching () =
+    match Protocol.parse_response (input_line t.ic) with
+    | Ok r when r.Protocol.rid <> id -> read_matching ()
+    | r -> r
+  in
   match
     write_all t.fd line;
-    input_line t.ic
+    read_matching ()
   with
-  | resp -> Protocol.parse_response resp
+  | r -> r
   | exception End_of_file -> Error "server closed the connection"
   | exception Unix.Unix_error (e, fn, _) -> Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
   | exception Sys_error m -> Error m

@@ -2,9 +2,9 @@
     generator.
 
     A {!t} is one blocking connection: {!rpc} writes a request line and
-    waits for the matching response line (the server answers in completion
-    order, but a single-connection caller that sends one request at a time
-    always reads its own answer next).
+    reads response lines until one echoes the request's id (the server
+    answers in completion order; a stale or misdelivered line is skipped,
+    never accepted as the answer).
 
     {!load} drives a fixed job mix from [clients] concurrent connections,
     each closed-loop ([per_client] requests back to back), and merges the

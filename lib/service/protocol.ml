@@ -203,17 +203,23 @@ type address =
   | Unix_socket of string
   | Tcp of string * int
 
+let parse_tcp s host port =
+  match int_of_string_opt port with
+  | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+  | _ -> Result.Error (Printf.sprintf "bad TCP address %S (expected HOST:PORT or [V6]:PORT)" s)
+
 let parse_address s =
   if s = "" then Result.Error "empty address"
   else if String.contains s '/' || Filename.check_suffix s ".sock" then Ok (Unix_socket s)
+  else if s.[0] = '[' then (
+    (* bracketed IPv6 literal: [::1]:7777 *)
+    match String.index_opt s ']' with
+    | Some i when i > 1 && i + 2 < String.length s && s.[i + 1] = ':' ->
+      parse_tcp s (String.sub s 1 (i - 1)) (String.sub s (i + 2) (String.length s - i - 2))
+    | _ -> Result.Error (Printf.sprintf "bad TCP address %S (expected [V6]:PORT)" s))
   else
     match String.rindex_opt s ':' with
-    | Some i -> (
-      let host = String.sub s 0 i in
-      let port = String.sub s (i + 1) (String.length s - i - 1) in
-      match int_of_string_opt port with
-      | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
-      | _ -> Result.Error (Printf.sprintf "bad TCP address %S (expected HOST:PORT)" s))
+    | Some i -> parse_tcp s (String.sub s 0 i) (String.sub s (i + 1) (String.length s - i - 1))
     | None -> Ok (Unix_socket s)
 
 let address_to_string = function

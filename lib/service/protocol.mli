@@ -100,6 +100,7 @@ type address =
   | Tcp of string * int  (** host, port *)
 
 val parse_address : string -> (address, string) result
-(** [PATH] (containing [/] or ending in [.sock]) or [HOST:PORT]. *)
+(** [PATH] (containing [/] or ending in [.sock]), [HOST:PORT], or an IPv6
+    literal in brackets, e.g. ["[::1]:7777"]. *)
 
 val address_to_string : address -> string

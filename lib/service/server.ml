@@ -51,7 +51,8 @@ type conn = {
   fd : Unix.file_descr;
   wlock : Mutex.t;
   mutable inflight : int;
-  mutable alive : bool;
+  mutable reader_done : bool;  (* the connection thread has left its read loop *)
+  mutable closed : bool;  (* fd closed; flipped exactly once, under [t.m] *)
 }
 
 type pending = {
@@ -136,8 +137,19 @@ let write_all fd s =
 let write_response conn resp =
   let line = Protocol.response_to_json resp ^ "\n" in
   Mutex.lock conn.wlock;
-  (try write_all conn.fd line with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false);
+  (try write_all conn.fd line with Unix.Unix_error _ | Sys_error _ -> ());
   Mutex.unlock conn.wlock
+
+(* The single place a connection fd is closed, always under [t.m].  The fd
+   number must not be recycled while responses to admitted requests can
+   still be written, so whoever observes "reader gone AND nothing in
+   flight" first — the reader itself or the dispatcher retiring the last
+   request — closes, exactly once. *)
+let close_conn_locked conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
 
 let expired p now = match p.p_deadline with Some d -> now > d | None -> false
 
@@ -152,6 +164,7 @@ let respond_admitted t p ?(compute_s = 0.) status =
   write_response p.p_conn { Protocol.rid = p.p_req.Protocol.id; status; queue_ms; total_ms };
   Mutex.lock t.m;
   p.p_conn.inflight <- p.p_conn.inflight - 1;
+  if p.p_conn.reader_done && p.p_conn.inflight = 0 then close_conn_locked p.p_conn;
   t.pending <- t.pending - 1;
   t.s_served <- t.s_served + 1;
   (match status with
@@ -239,7 +252,7 @@ let store_verdict_of = function
   | Batch.Verdict (Decide.Inconsistent w) -> Store.Inconsistent w
   | Batch.Bounded n -> Store.Bounded n
 
-let handle_incoming t memo p =
+let handle_incoming t memo waiters p =
   let now = Unix.gettimeofday () in
   if expired p now then respond_admitted t p (Protocol.Bounded { reason = "deadline"; configs = 0 })
   else
@@ -280,15 +293,62 @@ let handle_incoming t memo p =
         in
         match hit with
         | Some e -> respond_admitted t p (status_of_entry e)
-        | None ->
-          Queue.force_push t.work
-            { wk_pending = p; wk_machine = packed; wk_graph = g; wk_key = key; wk_max_configs = max_configs }))
+        | None -> (
+          let enqueue () =
+            Queue.force_push t.work
+              { wk_pending = p; wk_machine = packed; wk_graph = g; wk_key = key; wk_max_configs = max_configs }
+          in
+          match key with
+          | Some (k, _, _) -> (
+            (* coalesce identical concurrent misses: one computation per
+               cache key in flight; everyone else waits for its result
+               instead of occupying another worker *)
+            match Hashtbl.find_opt waiters k with
+            | Some l -> Hashtbl.replace waiters k (l @ [ p ])
+            | None ->
+              Hashtbl.add waiters k [];
+              enqueue ())
+          | None -> enqueue ())))
 
-let handle_done t w r =
+let handle_done t waiters w r =
   let p = w.wk_pending in
+  let coalesced =
+    match w.wk_key with
+    | None -> []
+    | Some (key, _, _) -> (
+      match Hashtbl.find_opt waiters key with
+      | None -> []
+      | Some l ->
+        Hashtbl.remove waiters key;
+        l)
+  in
+  (* the computation never produced a result (deadline, exception): answer
+     the primary, then promote the oldest still-live waiter to a fresh
+     computation — its deadline may be laxer than the one that lapsed *)
+  let requeue_waiters () =
+    let rec go = function
+      | [] -> ()
+      | wp :: rest ->
+        if expired wp (Unix.gettimeofday ()) then begin
+          respond_admitted t wp (Protocol.Bounded { reason = "deadline"; configs = 0 });
+          go rest
+        end
+        else begin
+          (match w.wk_key with
+          | Some (k, _, _) -> Hashtbl.add waiters k rest
+          | None -> ());
+          Queue.force_push t.work { w with wk_pending = wp }
+        end
+    in
+    go coalesced
+  in
   match r with
-  | W_deadline -> respond_admitted t p (Protocol.Bounded { reason = "deadline"; configs = 0 })
-  | W_error msg -> respond_admitted t p (Protocol.Error msg)
+  | W_deadline ->
+    respond_admitted t p (Protocol.Bounded { reason = "deadline"; configs = 0 });
+    requeue_waiters ()
+  | W_error msg ->
+    respond_admitted t p (Protocol.Error msg);
+    requeue_waiters ()
   | W_decision d ->
     (* persist on the dispatcher: the store never sees concurrent writers
        from this process (budget bounds are deterministic and cacheable;
@@ -307,18 +367,36 @@ let handle_done t w r =
           seconds = d.Batch.seconds;
         }
     | _ -> ());
-    respond_admitted t p ~compute_s:d.Batch.seconds (status_of_decision d)
+    respond_admitted t p ~compute_s:d.Batch.seconds (status_of_decision d);
+    (* waiters are answered from the just-stored result — a cache hit in
+       every observable sense (their own deadlines still apply) *)
+    let waiter_status =
+      match d.Batch.result with
+      | Batch.Verdict v ->
+        Protocol.Verdict
+          { verdict = verdict_string v; cached = true; configs = d.Batch.configs; seconds = d.Batch.seconds }
+      | Batch.Bounded n -> Protocol.Bounded { reason = "budget"; configs = n }
+    in
+    List.iter
+      (fun wp ->
+        if expired wp (Unix.gettimeofday ()) then
+          respond_admitted t wp (Protocol.Bounded { reason = "deadline"; configs = 0 })
+        else respond_admitted t wp waiter_status)
+      coalesced
 
 let dispatch_loop t () =
   let memo = Hashtbl.create 16 in
+  (* cache key -> admitted misses awaiting an identical in-flight
+     computation; dispatcher-private, so no locking *)
+  let waiters = Hashtbl.create 16 in
   let rec loop () =
     match Queue.pop t.events with
     | None -> ()
     | Some (Incoming p) ->
-      handle_incoming t memo p;
+      handle_incoming t memo waiters p;
       loop ()
     | Some (Done (w, r)) ->
-      handle_done t w r;
+      handle_done t waiters w r;
       loop ()
   in
   loop ();
@@ -404,10 +482,13 @@ let conn_loop t conn () =
       loop ()
   in
   loop ();
+  (* responses to already-admitted requests may still be written: stop
+     reading, but leave the close to whoever retires the last request *)
   Mutex.lock t.m;
-  conn.alive <- false;
-  Mutex.unlock t.m;
-  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  conn.reader_done <- true;
+  if conn.inflight = 0 then close_conn_locked conn
+  else (try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ());
+  Mutex.unlock t.m
 
 let accept_loop t (lfd, addr) () =
   let rec loop () =
@@ -419,7 +500,7 @@ let accept_loop t (lfd, addr) () =
         match Unix.accept lfd with
         | exception Unix.Unix_error _ -> loop ()
         | fd, _ ->
-          let conn = { fd; wlock = Mutex.create (); inflight = 0; alive = true } in
+          let conn = { fd; wlock = Mutex.create (); inflight = 0; reader_done = false; closed = false } in
           let th = Thread.create (conn_loop t conn) () in
           Mutex.lock t.m;
           t.s_connections <- t.s_connections + 1;
@@ -455,24 +536,46 @@ let bind_address addr =
       try Sys.remove path with Sys_error _ -> ()
     end;
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    Unix.bind fd (Unix.ADDR_UNIX path);
-    (* the socket is the admission door; keep it owner-only by default
-       (doc/SERVICE.md discusses sharing) *)
+    (* the socket is the admission door; it must be *born* owner-only —
+       chmod after bind would leave a umask-dependent window in which other
+       local users could connect (doc/SERVICE.md discusses sharing) *)
+    let old_umask = Unix.umask 0o177 in
+    Fun.protect
+      ~finally:(fun () -> ignore (Unix.umask old_umask))
+      (fun () -> Unix.bind fd (Unix.ADDR_UNIX path));
     Unix.chmod path 0o600;
     Unix.listen fd 64;
     fd
   | Protocol.Tcp (host, port) -> (
-    match
-      Unix.getaddrinfo host (string_of_int port)
-        [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
-    with
+    match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
     | [] -> failwith (Printf.sprintf "cannot resolve %s:%d" host port)
-    | ai :: _ ->
-      let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype ai.Unix.ai_protocol in
-      Unix.setsockopt fd Unix.SO_REUSEADDR true;
-      Unix.bind fd ai.Unix.ai_addr;
-      Unix.listen fd 64;
-      fd)
+    | ais ->
+      (* try every resolved address — IPv4 or IPv6 — and keep the first
+         that binds *)
+      let rec go last = function
+        | [] ->
+          let detail =
+            match last with
+            | Some (Unix.Unix_error (e, _, _)) -> ": " ^ Unix.error_message e
+            | _ -> ""
+          in
+          failwith (Printf.sprintf "cannot bind %s:%d%s" host port detail)
+        | ai :: rest -> (
+          match
+            let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype ai.Unix.ai_protocol in
+            (try
+               Unix.setsockopt fd Unix.SO_REUSEADDR true;
+               Unix.bind fd ai.Unix.ai_addr;
+               Unix.listen fd 64
+             with e ->
+               (try Unix.close fd with Unix.Unix_error _ -> ());
+               raise e);
+            fd
+          with
+          | fd -> fd
+          | exception (Unix.Unix_error _ as e) -> go (Some e) rest)
+      in
+      go None ais)
 
 let start cfg =
   if cfg.addresses = [] then Error "service: no listen addresses"
@@ -542,7 +645,11 @@ let wait t =
   Mutex.unlock t.m;
   List.iter
     (fun c ->
-      if c.alive then try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      (* under [t.m] so the check cannot race the owner's close *)
+      Mutex.lock t.m;
+      (if not c.closed then
+         try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      Mutex.unlock t.m)
     conns;
   List.iter Thread.join conn_threads;
   stats t

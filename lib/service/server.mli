@@ -11,7 +11,9 @@
       — the single store reader/writer in the process — answers hits
       directly, expires requests whose deadline passed while queued
       (a [bounded:deadline] response, the same resource-bound shape as a
-      blown configuration budget), and hands misses to
+      blown configuration budget), coalesces identical concurrent misses
+      (one computation per cache key in flight; every waiter is answered
+      from its result as a cache hit), and hands misses to
     - {e worker domains}, which run the exact decision procedure through
       {!Dda_batch.Batch.decide} with the request's (capped) configuration
       budget.

@@ -199,9 +199,18 @@ let test_parse_address () =
   (match Sproto.parse_address "bare-name" with
   | Ok (Sproto.Unix_socket _) -> ()
   | _ -> Alcotest.fail "bare name defaults to a unix socket");
+  (match Sproto.parse_address "[::1]:7777" with
+  | Ok (Sproto.Tcp (h, p)) ->
+    Alcotest.(check string) "v6 host" "::1" h;
+    Alcotest.(check int) "v6 port" 7777 p
+  | _ -> Alcotest.fail "bracketed IPv6 literal is tcp");
   Alcotest.(check bool) "empty rejected" true (Result.is_error (Sproto.parse_address ""));
   Alcotest.(check bool) "bad port rejected" true (Result.is_error (Sproto.parse_address "host:0"));
-  Alcotest.(check bool) "no host rejected" true (Result.is_error (Sproto.parse_address ":99"))
+  Alcotest.(check bool) "no host rejected" true (Result.is_error (Sproto.parse_address ":99"));
+  Alcotest.(check bool) "v6 without port rejected" true
+    (Result.is_error (Sproto.parse_address "[::1]"));
+  Alcotest.(check bool) "v6 with bad port rejected" true
+    (Result.is_error (Sproto.parse_address "[::1]:x"))
 
 (* --- the admission queue ----------------------------------------------------- *)
 
@@ -391,6 +400,78 @@ let test_deadline_expires_queued () =
       | s -> Alcotest.failf "expired request should bound out, got %s" (Sproto.status_name s));
       Unix.close fd)
 
+(* A client that hangs up while its request is still computing: the reader
+   sees EOF with work in flight, so the fd must stay open (and un-recycled)
+   until the dispatcher retires the request, and the server must neither
+   crash nor leak the admission slot. *)
+let test_hangup_mid_request () =
+  with_server { Server.default_config with workers = 1 } (fun sock srv ->
+      let fd, _ic = raw_connect sock in
+      raw_send fd [ Sproto.request_to_json (decide_of ~id:"gone" slow_job) ];
+      (* let the connection thread admit it, then pull the plug while the
+         worker is still exploring *)
+      Thread.delay 0.05;
+      Unix.close fd;
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec wait_served () =
+        let s = Server.stats srv in
+        if s.Server.served >= 1 then s
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "admitted request never retired after client hangup"
+        else begin
+          Thread.delay 0.02;
+          wait_served ()
+        end
+      in
+      let s = wait_served () in
+      Alcotest.(check int) "admitted" 1 s.Server.accepted;
+      Alcotest.(check int) "retired (only the reply is lost)" 1 s.Server.served)
+
+(* One worker, one connection, a burst of identical cold misses: exactly
+   one computation runs; the rest coalesce onto it and come back as cache
+   hits. *)
+let test_coalesced_misses () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store = Store.open_ ~root:(Filename.concat dir "cache") () in
+  with_server
+    { Server.default_config with cache = Some store; workers = 1; conn_limit = 16 }
+    (fun sock srv ->
+      let fd, ic = raw_connect sock in
+      let burst =
+        List.init 6 (fun i ->
+            Sproto.request_to_json (decide_of ~id:(Printf.sprintf "co%d" i) slow_job))
+      in
+      raw_send fd burst;
+      let responses = raw_read_responses ic 6 in
+      List.iter
+        (fun r ->
+          match r.Sproto.status with
+          | Sproto.Verdict _ -> ()
+          | s -> Alcotest.failf "%s: expected a verdict, got %s" r.Sproto.rid (Sproto.status_name s))
+        responses;
+      let cached =
+        List.length
+          (List.filter
+             (fun r -> match r.Sproto.status with Sproto.Verdict v -> v.cached | _ -> false)
+             responses)
+      in
+      Alcotest.(check int) "five answered from the one computation" 5 cached;
+      Unix.close fd;
+      (* the last response line can reach us before its stats update lands *)
+      let deadline = Unix.gettimeofday () +. 5. in
+      let rec settled () =
+        let s = Server.stats srv in
+        if s.Server.served >= 6 || Unix.gettimeofday () > deadline then s
+        else begin
+          Thread.delay 0.01;
+          settled ()
+        end
+      in
+      let s = settled () in
+      Alcotest.(check int) "computed once" 1 s.Server.computed;
+      Alcotest.(check int) "hits" 5 s.Server.hits)
+
 let test_drain_no_drop () =
   let dir = fresh_dir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
@@ -442,8 +523,8 @@ let test_load_generator () =
     (fun sock _srv ->
       let addr = Sproto.Unix_socket sock in
       let spec = { Client.clients = 4; per_client = 6; mix = [ quick_job ]; deadline_ms = None } in
-      (* cold pass populates the cache (concurrent cold requests for one key
-         may each compute — there is no in-flight coalescing) ... *)
+      (* cold pass populates the cache (concurrent cold requests for one
+         key coalesce onto a single computation) ... *)
       (match Client.load addr spec with
       | Error e -> Alcotest.failf "cold load failed: %s" e
       | Ok cold ->
@@ -492,6 +573,8 @@ let () =
           Alcotest.test_case "queue-full rejection under burst" `Quick test_queue_full_rejection;
           Alcotest.test_case "per-connection limit" `Quick test_conn_limit_rejection;
           Alcotest.test_case "deadline expiry bounds out" `Quick test_deadline_expires_queued;
+          Alcotest.test_case "hangup mid-request retires cleanly" `Quick test_hangup_mid_request;
+          Alcotest.test_case "identical misses coalesce" `Quick test_coalesced_misses;
           Alcotest.test_case "drain drops nothing" `Quick test_drain_no_drop;
           Alcotest.test_case "closed-loop load generator" `Quick test_load_generator;
         ] );
