@@ -579,6 +579,133 @@ let experiment_service () =
     Some { sb_clients = clients; sb_per_client = per_client; sb_cold = cold; sb_warm = warm }
 
 (* ------------------------------------------------------------------ *)
+(* E14: service /2 — pipelined frames over the in-memory verdict tier    *)
+(* ------------------------------------------------------------------ *)
+
+type service_v2_bench = {
+  s2_clients : int;
+  s2_per_client : int;
+  s2_pipeline : int;
+  s2_cold : Sclient.summary;
+  s2_warm : Sclient.summary;
+  s2_peak_rss_kb : int option;
+}
+
+(* stashed for E11's BENCH_verify.json writer *)
+let service_v2_bench_result : service_v2_bench option ref = ref None
+
+(* VmHWM from /proc/self/status: the peak resident set of the whole
+   process (server, workers and load generator run in-process here) *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec go () =
+      match input_line ic with
+      | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" ->
+        String.fold_left
+          (fun acc c -> if c >= '0' && c <= '9' then Some ((Option.value ~default:0 acc * 10) + Char.code c - Char.code '0') else acc)
+          None line
+      | _ -> go ()
+      | exception End_of_file -> None
+    in
+    Fun.protect ~finally:(fun () -> close_in ic) go
+
+let experiment_service_v2 () =
+  section "E14  service /2: pipelined binary frames over the in-memory verdict tier";
+  let module Server = Dda_service.Server in
+  let module Sproto = Dda_service.Protocol in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dda_bench_service2.%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists root then rm_rf root;
+  Unix.mkdir root 0o700;
+  let cache = Dda_batch.Store.open_ ~root:(Filename.concat root "cache") ~memo:65536 () in
+  let sock = Filename.concat root "dda.sock" in
+  (* the E13 mix, so the warm figures compare like for like *)
+  let job protocol graph =
+    {
+      Dda_batch.Batch.protocol;
+      graph;
+      regime = Dda_batch.Spec.Pseudo_stochastic;
+      max_configs = 200_000;
+    }
+  in
+  let mix =
+    [
+      job "exists:a" "cycle:abb";
+      job "exists:a" "cycle:aabb";
+      job "exists:a" "line:abab";
+      job "threshold:a,2" "cycle:aab";
+      job "threshold:a,2" "line:aabb";
+      job "exists:a" "cycle:abab";
+    ]
+  in
+  let clients = if smoke then 2 else 4 in
+  let pipeline = if smoke then 4 else 16 in
+  let per_client = if smoke then 50 else if quick then 5_000 else 25_000 in
+  let cfg =
+    {
+      Server.default_config with
+      addresses = [ Sproto.Unix_socket sock ];
+      cache = Some cache;
+      workers = 2;
+      queue_capacity = 4096;
+      conn_limit = 2 * pipeline;
+    }
+  in
+  let srv =
+    match Server.start cfg with Ok s -> s | Error e -> failwith ("E14 server start: " ^ e)
+  in
+  let run label ~per_client ~pipeline =
+    match
+      Sclient.load ~version:2 ~pipeline (Sproto.Unix_socket sock)
+        { Sclient.clients; per_client; mix; deadline_ms = None }
+    with
+    | Error e -> failwith (Printf.sprintf "E14 %s load: %s" label e)
+    | Ok s -> s
+  in
+  (* cold: one-at-a-time over the mix, matching E13's cold shape *)
+  let cold = run "cold" ~per_client:(List.length mix * 2) ~pipeline:1 in
+  let warm = run "warm" ~per_client ~pipeline in
+  Server.drain srv;
+  let st = Server.wait srv in
+  let rss = peak_rss_kb () in
+  rm_rf root;
+  Format.printf
+    "%d clients x %d requests, pipeline %d, /2 frames, memo 65536 (unix socket)@." clients
+    per_client pipeline;
+  Format.printf "%-6s %9s %10s %8s %8s %9s %9s %9s@." "pass" "seconds" "rps" "ok" "cached"
+    "p50_ms" "p95_ms" "p99_ms";
+  let line name (s : Sclient.summary) =
+    Format.printf "%-6s %8.3fs %10.1f %8d %8d %9.3f %9.3f %9.3f@." name s.Sclient.seconds
+      s.Sclient.rps s.Sclient.ok s.Sclient.cached s.Sclient.p50_ms s.Sclient.p95_ms
+      s.Sclient.p99_ms
+  in
+  line "cold" cold;
+  line "warm" warm;
+  (match !service_bench_result with
+  | Some sb when sb.sb_warm.Sclient.rps > 0. ->
+    Format.printf "warm rps vs E13 (/1, unpipelined): %.1fx@."
+      (warm.Sclient.rps /. sb.sb_warm.Sclient.rps)
+  | _ -> ());
+  Format.printf "warm hit rate: %.1f%%   peak RSS: %s   server: %d served (%d hits)@."
+    (100. *. Sclient.hit_rate warm)
+    (match rss with Some kb -> Printf.sprintf "%d kB" kb | None -> "n/a")
+    st.Server.served st.Server.hits;
+  service_v2_bench_result :=
+    Some
+      {
+        s2_clients = clients;
+        s2_per_client = per_client;
+        s2_pipeline = pipeline;
+        s2_cold = cold;
+        s2_warm = warm;
+        s2_peak_rss_kb = rss;
+      }
+
+(* ------------------------------------------------------------------ *)
 (* E11: the exploration engine vs the legacy explorer (BENCH_verify.json) *)
 (* ------------------------------------------------------------------ *)
 
@@ -747,18 +874,18 @@ let experiment_verify_bench () =
           /. float_of_int (max 1 (cb.cb_warm_hits + cb.cb_warm_misses)));
       ])
     @
-    match !service_bench_result with
+    let pass (s : Sclient.summary) =
+      Printf.sprintf
+        "{\"seconds\": %.4f, \"rps\": %.1f, \"ok\": %d, \"cached\": %d, \"bounded\": %d, \
+         \"rejected\": %d, \"errors\": %d, \"hit_rate\": %.4f, \"p50_ms\": %.3f, \
+         \"p95_ms\": %.3f, \"p99_ms\": %.3f}"
+        s.Sclient.seconds s.Sclient.rps s.Sclient.ok s.Sclient.cached s.Sclient.bounded
+        s.Sclient.rejected s.Sclient.errors (Sclient.hit_rate s) s.Sclient.p50_ms
+        s.Sclient.p95_ms s.Sclient.p99_ms
+    in
+    (match !service_bench_result with
     | None -> []
     | Some sb ->
-      let pass (s : Sclient.summary) =
-        Printf.sprintf
-          "{\"seconds\": %.4f, \"rps\": %.1f, \"ok\": %d, \"cached\": %d, \"bounded\": %d, \
-           \"rejected\": %d, \"errors\": %d, \"hit_rate\": %.4f, \"p50_ms\": %.3f, \
-           \"p95_ms\": %.3f, \"p99_ms\": %.3f}"
-          s.Sclient.seconds s.Sclient.rps s.Sclient.ok s.Sclient.cached s.Sclient.bounded
-          s.Sclient.rejected s.Sclient.errors (Sclient.hit_rate s) s.Sclient.p50_ms
-          s.Sclient.p95_ms s.Sclient.p99_ms
-      in
       [
         Printf.sprintf
           "\"service\": {\"clients\": %d, \"per_client\": %d, \"warm_speedup\": %.2f, \
@@ -766,6 +893,22 @@ let experiment_verify_bench () =
           sb.sb_clients sb.sb_per_client
           (sb.sb_warm.Sclient.rps /. Float.max 1e-9 sb.sb_cold.Sclient.rps)
           (pass sb.sb_cold) (pass sb.sb_warm);
+      ])
+    @
+    match !service_v2_bench_result with
+    | None -> []
+    | Some sb ->
+      [
+        Printf.sprintf
+          "\"service_v2\": {\"clients\": %d, \"per_client\": %d, \"pipeline\": %d, \
+           \"peak_rss_kb\": %s, \"warm_rps_vs_e13\": %s, \"cold\": %s, \"warm\": %s}"
+          sb.s2_clients sb.s2_per_client sb.s2_pipeline
+          (match sb.s2_peak_rss_kb with Some kb -> string_of_int kb | None -> "null")
+          (match !service_bench_result with
+          | Some e13 when e13.sb_warm.Sclient.rps > 0. ->
+            Printf.sprintf "%.2f" (sb.s2_warm.Sclient.rps /. e13.sb_warm.Sclient.rps)
+          | _ -> "null")
+          (pass sb.s2_cold) (pass sb.s2_warm);
       ]
   in
   (match sections with
@@ -881,6 +1024,7 @@ let () =
   experiment_exact_adversarial ();
   experiment_cache ();
   experiment_service ();
+  experiment_service_v2 ();
   experiment_verify_bench ();
   bechamel_suite ();
   telemetry_overhead_bench ();

@@ -80,11 +80,13 @@ let or_die = function
     exit 2
 
 (* --cache with no argument opens the default root ($DDA_CACHE or
-   _dda_cache); --cache DIR opens DIR.  Shared by tables/batch/cache. *)
-let open_cache = function
+   _dda_cache); --cache DIR opens DIR.  Shared by tables/batch/cache.
+   [?memo] (entries) layers the in-memory LRU tier over the disk store —
+   the server passes its --mem-cache setting here. *)
+let open_cache ?memo = function
   | None -> None
-  | Some "" -> Some (Store.open_ ())
-  | Some dir -> Some (Store.open_ ~root:dir ())
+  | Some "" -> Some (Store.open_ ?memo ())
+  | Some dir -> Some (Store.open_ ~root:dir ?memo ())
 
 (* Long-running cache users hold the shared advisory lock so `dda cache gc`
    cannot delete entries under them; contention is a real error (exit 2). *)
@@ -335,12 +337,12 @@ let cmd_cache action dir =
 (* The verification service (doc/SERVICE.md)                            *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_serve listens cache_dir workers queue conn_limit cap deadline_ms trace metrics journal
-    progress =
+let cmd_serve listens cache_dir mem_cache workers queue conn_limit cap deadline_ms trace metrics
+    journal progress =
   telemetry_init trace metrics journal progress;
   let addresses = List.map (fun s -> or_die (Sproto.parse_address s)) listens in
   if addresses = [] then or_die (Error "serve: pass at least one --listen ADDR");
-  let cache = open_cache cache_dir in
+  let cache = open_cache ~memo:mem_cache cache_dir in
   let lock = lock_cache `Shared cache in
   let cfg =
     {
@@ -388,11 +390,12 @@ let client_mix mix_file proto graph fairness_str max_configs =
       [ { Batch.protocol; graph; regime; max_configs = Option.value ~default:200_000 max_configs } ]
     | _ -> or_die (Error "client: pass --mix FILE or -p PROTO -g GRAPH"))
 
-let cmd_client connect_s ping bench proto graph fairness_str max_configs deadline_ms clients
-    per_client mix_file json_file min_hit_rate =
+let cmd_client connect_s ping bench v2 pipeline proto graph fairness_str max_configs deadline_ms
+    clients per_client mix_file json_file min_hit_rate =
   let addr = or_die (Sproto.parse_address connect_s) in
+  let version = if v2 then 2 else 1 in
   if ping then begin
-    let c = or_die (Client.connect addr) in
+    let c = or_die (Client.connect ~version addr) in
     let ms = or_die (Client.ping c) in
     Client.close c;
     Format.printf "pong in %.2f ms@." ms
@@ -400,7 +403,7 @@ let cmd_client connect_s ping bench proto graph fairness_str max_configs deadlin
   else if bench then begin
     let mix = client_mix mix_file proto graph fairness_str max_configs in
     let summary =
-      or_die (Client.load addr { Client.clients; per_client; mix; deadline_ms })
+      or_die (Client.load ~version ~pipeline addr { Client.clients; per_client; mix; deadline_ms })
     in
     Format.printf "%a@." Client.pp_summary summary;
     Option.iter
@@ -421,7 +424,7 @@ let cmd_client connect_s ping bench proto graph fairness_str max_configs deadlin
     match client_mix mix_file proto graph fairness_str max_configs with
     | [] -> or_die (Error "client: empty job mix")
     | job :: _ ->
-      let c = or_die (Client.connect addr) in
+      let c = or_die (Client.connect ~version addr) in
       let resp =
         or_die
           (Client.rpc c
@@ -717,12 +720,20 @@ let serve_cmd =
       & info [ "deadline-ms" ] ~docv:"MS"
           ~doc:"Default deadline for requests that set none; expired requests are bounded out.")
   in
+  let mem_cache =
+    Arg.(
+      value & opt int 65536
+      & info [ "mem-cache" ] ~docv:"N"
+          ~doc:
+            "In-memory verdict tier: keep up to $(docv) decoded cache entries in a sharded LRU \
+             in front of the disk store (default 65536; 0 disables the tier).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the persistent verification server (SIGTERM/SIGINT drain gracefully)")
     Term.(
-      const cmd_serve $ listens $ cache_arg $ workers $ queue $ conn_limit $ cap $ deadline
-      $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
+      const cmd_serve $ listens $ cache_arg $ mem_cache $ workers $ queue $ conn_limit $ cap
+      $ deadline $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
 
 let client_cmd =
   let connect =
@@ -737,6 +748,22 @@ let client_cmd =
     Arg.(
       value & flag
       & info [ "bench" ] ~doc:"Closed-loop load generation: --clients x --per-client requests.")
+  in
+  let v2 =
+    Arg.(
+      value & flag
+      & info [ "v2" ]
+          ~doc:
+            "Speak dda.service/2 (length-prefixed binary frames, negotiated at connect) instead \
+             of /1 JSON lines.")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline" ] ~docv:"N"
+          ~doc:
+            "Keep up to $(docv) requests in flight per connection (--bench; default 1 = classic \
+             closed loop).  Best combined with --v2.")
   in
   let proto =
     Arg.(
@@ -796,8 +823,8 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client" ~doc:"Talk to a running dda serve (single request, ping, or load bench)")
     Term.(
-      const cmd_client $ connect $ ping $ bench $ proto $ graph $ fairness $ max_configs
-      $ deadline $ clients $ per_client $ mix $ json $ min_hit_rate)
+      const cmd_client $ connect $ ping $ bench $ v2 $ pipeline $ proto $ graph $ fairness
+      $ max_configs $ deadline $ clients $ per_client $ mix $ json $ min_hit_rate)
 
 let cache_cmd =
   let action =

@@ -1,0 +1,203 @@
+(* A sharded, size-bounded LRU map keyed by strings.
+
+   Each shard is an open hash table plus an intrusive circular
+   doubly-linked list threaded through the nodes (sentinel-rooted:
+   MRU at [sent.next], LRU at [sent.prev]).  Every operation takes one
+   shard mutex, so readers on different shards never contend and a
+   reader racing an eviction on the same shard serialises briefly
+   instead of observing a torn list.
+
+   Negative entries ("this key is known absent") carry an absolute
+   expiry so a foreign process writing the backing store is picked up
+   after at most the TTL.  A [put] always supersedes a negative. *)
+
+type 'v payload =
+  | Value of 'v
+  | Absent of float  (* absolute expiry, Unix.gettimeofday clock *)
+
+type 'v node = {
+  n_key : string;
+  mutable n_payload : 'v payload;
+  mutable n_prev : 'v node;
+  mutable n_next : 'v node;
+}
+
+type 'v shard = {
+  m : Mutex.t;
+  tbl : (string, 'v node) Hashtbl.t;
+  sent : 'v node;  (* circular sentinel; never in [tbl] *)
+  cap : int;
+  mutable size : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type 'v t = {
+  shards : 'v shard array;
+  negative_ttl : float;
+}
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let make_sentinel () =
+  let rec s = { n_key = ""; n_payload = Absent neg_infinity; n_prev = s; n_next = s } in
+  s
+
+let make_shard cap =
+  {
+    m = Mutex.create ();
+    tbl = Hashtbl.create (min 1024 (2 * cap));
+    sent = make_sentinel ();
+    cap;
+    size = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let create ?(shards = 8) ?(negative_ttl = 1.0) ~capacity () =
+  let shards = max 1 shards in
+  let capacity = max 1 capacity in
+  (* ceiling division: total capacity is within [shards] of the request *)
+  let per_shard = max 1 ((capacity + shards - 1) / shards) in
+  { shards = Array.init shards (fun _ -> make_shard per_shard); negative_ttl }
+
+let shard_of t key = t.shards.(Hashtbl.hash key land max_int mod Array.length t.shards)
+
+(* --- list surgery (shard mutex held) ---------------------------------------- *)
+
+let unlink n =
+  n.n_prev.n_next <- n.n_next;
+  n.n_next.n_prev <- n.n_prev
+
+let push_front sh n =
+  n.n_next <- sh.sent.n_next;
+  n.n_prev <- sh.sent;
+  sh.sent.n_next.n_prev <- n;
+  sh.sent.n_next <- n
+
+let drop sh n =
+  unlink n;
+  Hashtbl.remove sh.tbl n.n_key;
+  sh.size <- sh.size - 1
+
+(* evict from the cold end until the shard respects its bound *)
+let enforce_cap (sh : _ shard) =
+  let evicted = ref 0 in
+  while sh.size > sh.cap do
+    let lru = sh.sent.n_prev in
+    if lru == sh.sent then sh.size <- sh.cap  (* defensive: empty list *)
+    else begin
+      drop sh lru;
+      sh.evictions <- sh.evictions + 1;
+      incr evicted
+    end
+  done;
+  !evicted
+
+(* --- operations -------------------------------------------------------------- *)
+
+let find ?now t key =
+  let sh = shard_of t key in
+  Mutex.lock sh.m;
+  let r =
+    match Hashtbl.find_opt sh.tbl key with
+    | None ->
+      sh.misses <- sh.misses + 1;
+      `Miss
+    | Some n -> (
+      match n.n_payload with
+      | Value v ->
+        unlink n;
+        push_front sh n;
+        sh.hits <- sh.hits + 1;
+        `Hit v
+      | Absent expiry ->
+        let now = match now with Some f -> f | None -> Unix.gettimeofday () in
+        if now < expiry then `Negative
+        else begin
+          (* the tombstone aged out: forget it and report a plain miss *)
+          drop sh n;
+          sh.misses <- sh.misses + 1;
+          `Miss
+        end)
+  in
+  Mutex.unlock sh.m;
+  r
+
+(* returns how many entries were evicted to make room *)
+let put t key v =
+  let sh = shard_of t key in
+  Mutex.lock sh.m;
+  (match Hashtbl.find_opt sh.tbl key with
+  | Some n ->
+    n.n_payload <- Value v;
+    unlink n;
+    push_front sh n
+  | None ->
+    let n = { n_key = key; n_payload = Value v; n_prev = sh.sent; n_next = sh.sent } in
+    Hashtbl.add sh.tbl key n;
+    push_front sh n;
+    sh.size <- sh.size + 1);
+  let evicted = enforce_cap sh in
+  Mutex.unlock sh.m;
+  evicted
+
+let note_absent ?now t key =
+  if t.negative_ttl > 0. then begin
+    let now = match now with Some f -> f | None -> Unix.gettimeofday () in
+    let expiry = now +. t.negative_ttl in
+    let sh = shard_of t key in
+    Mutex.lock sh.m;
+    (match Hashtbl.find_opt sh.tbl key with
+    | Some ({ n_payload = Absent _; _ } as n) -> n.n_payload <- Absent expiry
+    | Some _ -> ()  (* never shadow a live value with a tombstone *)
+    | None ->
+      let n = { n_key = key; n_payload = Absent expiry; n_prev = sh.sent; n_next = sh.sent } in
+      Hashtbl.add sh.tbl key n;
+      push_front sh n;
+      ignore (enforce_cap sh));
+    Mutex.unlock sh.m
+  end
+
+let remove t key =
+  let sh = shard_of t key in
+  Mutex.lock sh.m;
+  (match Hashtbl.find_opt sh.tbl key with Some n -> drop sh n | None -> ());
+  Mutex.unlock sh.m
+
+let flush t =
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.m;
+      Hashtbl.reset sh.tbl;
+      sh.sent.n_next <- sh.sent;
+      sh.sent.n_prev <- sh.sent;
+      sh.size <- 0;
+      Mutex.unlock sh.m)
+    t.shards
+
+let stats t =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.m;
+      let r =
+        {
+          size = acc.size + sh.size;
+          capacity = acc.capacity + sh.cap;
+          hits = acc.hits + sh.hits;
+          misses = acc.misses + sh.misses;
+          evictions = acc.evictions + sh.evictions;
+        }
+      in
+      Mutex.unlock sh.m;
+      r)
+    { size = 0; capacity = 0; hits = 0; misses = 0; evictions = 0 }
+    t.shards

@@ -1,0 +1,51 @@
+(** Sharded, size-bounded LRU map with negative-entry TTLs.
+
+    The in-memory tier in front of {!Store}: keys are cache fingerprints,
+    values are whatever the caller stores (the store keeps decoded verdict
+    records so a warm hit never re-reads or re-parses the on-disk JSON).
+
+    Keys hash to one of [shards] independent shards, each holding an LRU
+    list bounded to roughly [capacity / shards] entries; concurrent
+    readers on different shards never contend, and all operations are
+    safe to call from any thread or domain.
+
+    A {e negative} entry records that a key is known absent from the
+    backing store.  It expires [negative_ttl] seconds after it was noted,
+    so a write performed by {e another} process becomes visible after at
+    most the TTL; a local {!put} supersedes the tombstone immediately. *)
+
+type 'v t
+
+type stats = {
+  size : int;  (** live entries, including unexpired negatives *)
+  capacity : int;  (** sum of per-shard bounds (>= requested capacity) *)
+  hits : int;
+  misses : int;  (** includes expired-negative lookups *)
+  evictions : int;  (** entries dropped to respect the bound *)
+}
+
+val create : ?shards:int -> ?negative_ttl:float -> capacity:int -> unit -> 'v t
+(** [shards] defaults to 8 (clamped to >= 1); use [~shards:1] when a test
+    needs a deterministic global eviction order.  [negative_ttl] defaults
+    to 1s; [<= 0.] disables negative caching entirely.  [capacity] is
+    clamped to >= 1 and split over the shards with ceiling division. *)
+
+val find : ?now:float -> 'v t -> string -> [ `Hit of 'v | `Negative | `Miss ]
+(** [`Hit v] refreshes the entry's recency.  [`Negative] means the key
+    was noted absent less than [negative_ttl] ago — the caller can skip
+    the backing store.  [?now] (Unix time) is for tests; it defaults to
+    [Unix.gettimeofday ()]. *)
+
+val put : 'v t -> string -> 'v -> int
+(** Insert or overwrite, marking the entry most recent.  Returns the
+    number of entries evicted to respect the shard bound (0 or 1). *)
+
+val note_absent : ?now:float -> 'v t -> string -> unit
+(** Record a miss against the backing store.  Never overwrites a live
+    value; a no-op when negative caching is disabled. *)
+
+val remove : 'v t -> string -> unit
+val flush : 'v t -> unit
+(** Drop every entry (the [dda cache gc] invalidation hook). *)
+
+val stats : 'v t -> stats

@@ -1,4 +1,8 @@
 module Json = Dda_telemetry.Json
+module T = Dda_telemetry.Telemetry
+
+let c_mem_hit = T.counter "cache.mem_hit"
+let c_mem_evict = T.counter "cache.mem_evict"
 
 type verdict =
   | Accepts
@@ -17,7 +21,10 @@ type entry = {
   seconds : float;
 }
 
-type t = { root : string }
+type t = {
+  root : string;
+  memo : entry Lru.t option;  (* in-memory tier; [None] = disk only *)
+}
 
 let schema = "dda.cache/1"
 
@@ -35,12 +42,21 @@ let mkdir_p dir =
   in
   go dir
 
-let open_ ?root () =
+let open_ ?root ?memo ?(memo_shards = 8) ?(negative_ttl = 1.0) () =
   let root = match root with Some r -> r | None -> default_root () in
   mkdir_p root;
-  { root }
+  let memo =
+    match memo with
+    | Some capacity when capacity > 0 ->
+      Some (Lru.create ~shards:memo_shards ~negative_ttl ~capacity ())
+    | _ -> None
+  in
+  { root; memo }
 
 let root t = t.root
+
+let flush_memo t = match t.memo with Some l -> Lru.flush l | None -> ()
+let memo_stats t = Option.map Lru.stats t.memo
 
 let valid_key k =
   k <> ""
@@ -139,19 +155,45 @@ let read_entry path =
   | Error e -> Error e
   | Ok doc -> entry_of_json doc
 
+let disk_find t key =
+  let path = path_of t key in
+  if not (Sys.file_exists path) then None
+  else
+    match read_entry path with
+    | Ok e when e.key = key -> Some e
+    | Ok _ -> None (* entry aliased under the wrong file name *)
+    | Error _ -> None
+
+(* Memo-first: a warm hit is served from RAM as the already-decoded record
+   — no disk read, no JSON parse.  On a disk hit the decoded record is
+   promoted into the memo so only the first hit per process pays the
+   decode; on a disk miss a negative entry suppresses repeat stat+open
+   calls for the TTL. *)
 let find t key =
   if not (valid_key key) || String.length key < 2 then None
   else
-    let path = path_of t key in
-    if not (Sys.file_exists path) then None
-    else
-      match read_entry path with
-      | Ok e when e.key = key -> Some e
-      | Ok _ -> None (* entry aliased under the wrong file name *)
-      | Error _ -> None
+    match t.memo with
+    | None -> disk_find t key
+    | Some l -> (
+      match Lru.find l key with
+      | `Hit e ->
+        T.incr c_mem_hit;
+        Some e
+      | `Negative -> None
+      | `Miss -> (
+        match disk_find t key with
+        | Some e ->
+          if Lru.put l key e > 0 then T.incr c_mem_evict;
+          Some e
+        | None ->
+          Lru.note_absent l key;
+          None))
 
 let put t e =
   if valid_key e.key && String.length e.key >= 2 then begin
+    (match t.memo with
+    | Some l -> if Lru.put l e.key e > 0 then T.incr c_mem_evict
+    | None -> ());
     let path = path_of t e.key in
     try
       mkdir_p (Filename.dirname path);
@@ -250,6 +292,15 @@ let lock t ~mode =
       Unix.close gate;
       result)
 
+(* Entering a new lock session: another process may have run [gc] while we
+   held no lock, so the in-memory tier starts cold. *)
+let lock t ~mode =
+  match lock t ~mode with
+  | Ok l ->
+    flush_memo t;
+    Ok l
+  | Error _ as e -> e
+
 let unlock l =
   if not l.l_released then begin
     l.l_released <- true;
@@ -307,13 +358,18 @@ let verify t =
     (entry_files t)
 
 let gc t =
-  List.fold_left
-    (fun removed rel ->
-      match classify t rel with
-      | Ok () -> removed
-      | Error _ -> (
-        try
-          Sys.remove (Filename.concat t.root rel);
-          removed + 1
-        with Sys_error _ -> removed))
-    0 (entry_files t)
+  let removed =
+    List.fold_left
+      (fun removed rel ->
+        match classify t rel with
+        | Ok () -> removed
+        | Error _ -> (
+          try
+            Sys.remove (Filename.concat t.root rel);
+            removed + 1
+          with Sys_error _ -> removed))
+      0 (entry_files t)
+  in
+  (* deleted keys must not survive in RAM *)
+  flush_memo t;
+  removed

@@ -34,19 +34,37 @@ type t
 val default_root : unit -> string
 (** [$DDA_CACHE] if set and non-empty, else ["_dda_cache"]. *)
 
-val open_ : ?root:string -> unit -> t
-(** Open (and create if needed) the cache directory. *)
+val open_ :
+  ?root:string -> ?memo:int -> ?memo_shards:int -> ?negative_ttl:float -> unit -> t
+(** Open (and create if needed) the cache directory.
+
+    [?memo] enables the in-memory tier: a sharded LRU ({!Lru}) of up to
+    [memo] decoded entries in front of the disk files.  A warm {!find}
+    then costs a hash lookup instead of a file read + JSON parse, and a
+    repeated miss is suppressed by a negative entry for [negative_ttl]
+    seconds (default 1s).  Omitted or [<= 0] keeps the store disk-only —
+    existing callers are unchanged. *)
 
 val root : t -> string
 
 val find : t -> string -> entry option
 (** Look up a key; [None] on absent, corrupt, or stale (foreign-salt)
-    entries — never raises on cache contents. *)
+    entries — never raises on cache contents.  With a memo, hits are
+    served from RAM when possible (counted by the [cache.mem_hit]
+    telemetry counter; memo evictions by [cache.mem_evict]). *)
 
 val put : t -> entry -> unit
-(** Atomically persist an entry under its key.  I/O errors are swallowed
-    (the cache is an accelerator, not a database); the next run simply
-    recomputes. *)
+(** Atomically persist an entry under its key (and into the memo, when
+    enabled).  I/O errors are swallowed (the cache is an accelerator, not
+    a database); the next run simply recomputes. *)
+
+val flush_memo : t -> unit
+(** Drop every in-memory entry.  Called internally by {!gc} and on every
+    successful {!lock} acquisition; exposed for tests and for long-lived
+    processes that want to resynchronise with the disk tier. *)
+
+val memo_stats : t -> Lru.stats option
+(** [None] when the store is disk-only. *)
 
 (** {1 Advisory locking}
 
@@ -65,7 +83,9 @@ type lock
 val lock : t -> mode:[ `Shared | `Exclusive ] -> (lock, string) result
 (** Try to acquire without blocking.  [Error] carries a human-readable
     contention message (who holds what); the CLI reports it with exit
-    code 2. *)
+    code 2.  A successful acquisition flushes this handle's memo: while
+    unlocked another process may have [gc]'d the store, so a new lock
+    session must not serve pre-lock RAM entries. *)
 
 val unlock : lock -> unit
 (** Release (idempotent).  Locks are also released by process exit. *)
@@ -80,4 +100,6 @@ val verify : t -> (string * string) list
 (** Corrupt or stale files, with a reason each (path relative to root). *)
 
 val gc : t -> int
-(** Delete corrupt and stale files; returns how many were removed. *)
+(** Delete corrupt and stale files; returns how many were removed.  Also
+    flushes this handle's memo so a deleted key cannot be served from
+    RAM. *)

@@ -3,6 +3,7 @@ module Batch = Dda_batch.Batch
 type t = {
   fd : Unix.file_descr;
   ic : in_channel;
+  version : int;  (* 1 = JSON lines, 2 = binary frames *)
   mutable open_ : bool;
 }
 
@@ -11,7 +12,7 @@ let write_all fd s =
   let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
   go 0
 
-let connect addr =
+let connect ?(version = 1) addr =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   match
     match addr with
@@ -47,7 +48,35 @@ let connect addr =
         in
         go None ais)
   with
-  | fd -> Ok { fd; ic = Unix.in_channel_of_descr fd; open_ = true }
+  | fd -> (
+    let t = { fd; ic = Unix.in_channel_of_descr fd; version; open_ = true } in
+    match version with
+    | 1 -> Ok t
+    | 2 -> (
+      (* negotiate: send the magic, expect it echoed.  A /1-only server
+         would never send 4 raw bytes before a request arrives, so a
+         mismatch is detected immediately rather than on first rpc. *)
+      match
+        write_all fd Protocol.magic;
+        really_input_string t.ic 4
+      with
+      | hello when hello = Protocol.magic -> Ok t
+      | hello ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error
+          (Printf.sprintf "%s: server does not speak %s (hello %S)"
+             (Protocol.address_to_string addr) Protocol.schema2 hello)
+      | exception End_of_file ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error
+          (Printf.sprintf "%s: connection closed during %s negotiation"
+             (Protocol.address_to_string addr) Protocol.schema2)
+      | exception Unix.Unix_error (e, fn, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+    | v ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "unsupported protocol version %d (1 | 2)" v))
   | exception Unix.Unix_error (e, fn, _) ->
     Error
       (Printf.sprintf "%s: %s: %s" (Protocol.address_to_string addr) fn (Unix.error_message e))
@@ -61,18 +90,32 @@ let close t =
 
 let request_id = function Protocol.Decide d -> d.Protocol.id | Protocol.Ping id -> id
 
+let encode_request t req =
+  match t.version with
+  | 1 -> Protocol.request_to_json req ^ "\n"
+  | _ -> Protocol.encode_request_frame req
+
+(* Read exactly one response off the wire (blocking). *)
+let read_response t =
+  match t.version with
+  | 1 -> Protocol.parse_response (input_line t.ic)
+  | _ -> (
+    let n = Protocol.frame_length (really_input_string t.ic 4) in
+    if n < 1 || n > Protocol.max_frame then
+      Error (Printf.sprintf "bad response frame length %d" n)
+    else Protocol.decode_response_payload (really_input_string t.ic n))
+
 let rpc t req =
-  let line = Protocol.request_to_json req ^ "\n" in
   let id = request_id req in
-  (* match responses by id: a stale or misdelivered line is skipped, never
-     accepted as this request's verdict *)
+  (* match responses by id: a stale or misdelivered response is skipped,
+     never accepted as this request's verdict *)
   let rec read_matching () =
-    match Protocol.parse_response (input_line t.ic) with
+    match read_response t with
     | Ok r when r.Protocol.rid <> id -> read_matching ()
     | r -> r
   in
   match
-    write_all t.fd line;
+    write_all t.fd (encode_request t req);
     read_matching ()
   with
   | r -> r
@@ -122,26 +165,56 @@ type tally = {
   mutable t_lat : float list;  (** latency of every response received, ms *)
 }
 
-let client_loop conn (l : load) (mix : Batch.job array) offset tally =
+(* Closed-loop with a pipeline window: keep up to [window] requests in
+   flight, batching their frames/lines into one [write].  Per-request
+   latency is measured send-to-receive, matched by response id; with
+   [window = 1] this degenerates to the classic one-at-a-time loop. *)
+let client_loop conn (l : load) (mix : Batch.job array) offset tally ~window =
   let n = Array.length mix in
-  for i = 0 to l.per_client - 1 do
-    let job = mix.((offset + i) mod n) in
-    let req =
-      Protocol.Decide
-        {
-          Protocol.id = Printf.sprintf "c%d-%d" offset i;
-          protocol = job.Batch.protocol;
-          graph = job.Batch.graph;
-          regime = job.Batch.regime;
-          max_configs = job.Batch.max_configs;
-          deadline_ms = l.deadline_ms;
-        }
-    in
-    let t0 = Unix.gettimeofday () in
-    match rpc conn req with
-    | Error _ -> tally.t_errors <- tally.t_errors + 1
+  let total = l.per_client in
+  let sent = ref 0 and received = ref 0 in
+  let t0s = Hashtbl.create (2 * window) in
+  let batch = Buffer.create 4096 in
+  let broken = ref false in
+  while (not !broken) && !received < total do
+    Buffer.clear batch;
+    while !sent < total && !sent - !received < window do
+      let i = !sent in
+      let job = mix.((offset + i) mod n) in
+      let id = Printf.sprintf "c%d-%d" offset i in
+      let req =
+        Protocol.Decide
+          {
+            Protocol.id = id;
+            protocol = job.Batch.protocol;
+            graph = job.Batch.graph;
+            regime = job.Batch.regime;
+            max_configs = job.Batch.max_configs;
+            deadline_ms = l.deadline_ms;
+          }
+      in
+      Buffer.add_string batch (encode_request conn req);
+      Hashtbl.replace t0s id (Unix.gettimeofday ());
+      incr sent
+    done;
+    match
+      if Buffer.length batch > 0 then write_all conn.fd (Buffer.contents batch);
+      read_response conn
+    with
+    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) ->
+      (* the connection is gone: everything unanswered is an error *)
+      tally.t_errors <- tally.t_errors + (total - !received);
+      broken := true
+    | Error _ ->
+      tally.t_errors <- tally.t_errors + 1;
+      incr received
     | Ok r ->
-      tally.t_lat <- ((Unix.gettimeofday () -. t0) *. 1000.) :: tally.t_lat;
+      (match Hashtbl.find_opt t0s r.Protocol.rid with
+      | Some t0 ->
+        Hashtbl.remove t0s r.Protocol.rid;
+        tally.t_lat <- ((Unix.gettimeofday () -. t0) *. 1000.) :: tally.t_lat
+      | None -> ());
+      incr received;
       (match r.Protocol.status with
       | Protocol.Verdict v ->
         tally.t_ok <- tally.t_ok + 1;
@@ -156,14 +229,15 @@ let percentile sorted p =
   if n = 0 then 0.
   else sorted.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 |> max 0))
 
-let load addr (l : load) =
+let load ?(version = 1) ?(pipeline = 1) addr (l : load) =
   if l.mix = [] then Error "load: empty job mix"
   else begin
     let clients = max 1 l.clients in
+    let window = max 1 pipeline in
     let mix = Array.of_list l.mix in
     (* connect everyone up front: a refused connection is a setup error,
        not a data point *)
-    let conns = Array.init clients (fun _ -> connect addr) in
+    let conns = Array.init clients (fun _ -> connect ~version addr) in
     let failed =
       Array.to_list conns
       |> List.filter_map (function Error e -> Some e | Ok _ -> None)
@@ -181,7 +255,7 @@ let load addr (l : load) =
       let t0 = Unix.gettimeofday () in
       let threads =
         Array.mapi
-          (fun i conn -> Thread.create (fun () -> client_loop conn l mix i tallies.(i)) ())
+          (fun i conn -> Thread.create (fun () -> client_loop conn l mix i tallies.(i) ~window) ())
           conns
       in
       Array.iter Thread.join threads;

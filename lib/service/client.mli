@@ -1,20 +1,26 @@
-(** Client side of the [dda.service/1] protocol, and a closed-loop load
-    generator.
+(** Client side of the [dda.service/1] and [/2] protocols, and a
+    closed-loop load generator with request pipelining.
 
-    A {!t} is one blocking connection: {!rpc} writes a request line and
-    reads response lines until one echoes the request's id (the server
-    answers in completion order; a stale or misdelivered line is skipped,
-    never accepted as the answer).
+    A {!t} is one blocking connection: {!rpc} writes a request and reads
+    responses until one echoes the request's id (the server answers in
+    completion order; a stale or misdelivered response is skipped, never
+    accepted as the answer).  [~version:2] negotiates the binary framing
+    at connect time (magic exchange); the default remains [/1] JSON
+    lines, wire-compatible with any older server.
 
     {!load} drives a fixed job mix from [clients] concurrent connections,
-    each closed-loop ([per_client] requests back to back), and merges the
-    per-request latencies into a {!summary} with p50/p95/p99 — the
-    measurement harness behind [dda client --bench] and bench experiment
-    E13. *)
+    each closed-loop ([per_client] requests, up to [pipeline] of them in
+    flight per connection), and merges the per-request latencies into a
+    {!summary} with p50/p95/p99 — the measurement harness behind
+    [dda client --bench] and bench experiments E13/E14. *)
 
 type t
 
-val connect : Protocol.address -> (t, string) result
+val connect : ?version:int -> Protocol.address -> (t, string) result
+(** [version] is 1 (default, JSON lines) or 2 (binary frames).  With 2,
+    the connection fails fast — before any request — when the server does
+    not echo the [/2] magic. *)
+
 val close : t -> unit
 
 val rpc : t -> Protocol.request -> (Protocol.response, string) result
@@ -53,10 +59,17 @@ val hit_rate : summary -> float
 (** [cached / ok] (0 when no [ok] responses) — the warm-cache figure CI
     asserts on. *)
 
-val load : Protocol.address -> load -> (summary, string) result
+val load :
+  ?version:int -> ?pipeline:int -> Protocol.address -> load -> (summary, string) result
 (** Run the load.  All connections are established up front ([Error] if
     any fails); each client thread then replays the mix starting at its
-    own offset, so concurrent clients spread over the jobs. *)
+    own offset, so concurrent clients spread over the jobs.
+
+    [pipeline] (default 1) is the per-connection window: up to that many
+    requests are kept in flight, their wire bytes batched into single
+    writes.  Latencies remain per-request, measured send to receive and
+    matched by response id.  [version] selects the wire format as in
+    {!connect}. *)
 
 val summary_json : summary -> string
 (** Schema [dda.client-load/1]. *)

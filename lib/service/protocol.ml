@@ -197,6 +197,227 @@ let parse_response line =
     | Some s -> Result.Error (Printf.sprintf "unknown status %S" s)
     | None -> Result.Error "missing string \"status\"")
 
+(* --- dda.service/2: length-prefixed binary frames ----------------------------- *)
+
+let schema2 = "dda.service/2"
+let magic = "DDA2"
+let max_frame = 1 lsl 20
+
+(* encoding: big-endian throughout; strings are u16 length + bytes *)
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let add_u16 b v =
+  add_u8 b (v lsr 8);
+  add_u8 b v
+
+let add_u32 b v =
+  add_u8 b (v lsr 24);
+  add_u8 b (v lsr 16);
+  add_u8 b (v lsr 8);
+  add_u8 b v
+
+let add_f64 b f =
+  let bits = Int64.bits_of_float f in
+  for i = 7 downto 0 do
+    add_u8 b (Int64.to_int (Int64.shift_right_logical bits (8 * i)))
+  done
+
+let add_str16 b s =
+  let n = String.length s in
+  if n > 0xffff then invalid_arg (schema2 ^ ": string field exceeds 65535 bytes");
+  add_u16 b n;
+  Buffer.add_string b s
+
+let frame payload_of =
+  let b = Buffer.create 96 in
+  add_u32 b 0;  (* placeholder *)
+  payload_of b;
+  let out = Buffer.to_bytes b in
+  let n = Bytes.length out - 4 in
+  Bytes.set_uint8 out 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 out 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 out 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 out 3 (n land 0xff);
+  Bytes.unsafe_to_string out
+
+let frame_length hdr =
+  if String.length hdr < 4 then invalid_arg "frame_length: header shorter than 4 bytes";
+  (Char.code hdr.[0] lsl 24)
+  lor (Char.code hdr.[1] lsl 16)
+  lor (Char.code hdr.[2] lsl 8)
+  lor Char.code hdr.[3]
+
+(* request ops *)
+let op_decide = 1
+let op_ping = 2
+
+(* response statuses *)
+let st_ok = 0
+let st_bounded = 1
+let st_rejected = 2
+let st_error = 3
+let st_pong = 4
+
+let encode_request_frame = function
+  | Ping id ->
+    frame (fun b ->
+        add_u8 b op_ping;
+        add_str16 b id)
+  | Decide d ->
+    frame (fun b ->
+        add_u8 b op_decide;
+        add_str16 b d.id;
+        add_str16 b d.protocol;
+        add_str16 b d.graph;
+        add_u8 b (Char.code (Spec.regime_name d.regime).[0]);
+        add_u32 b d.max_configs;
+        (match d.deadline_ms with
+        | None -> add_u8 b 0
+        | Some ms ->
+          add_u8 b 1;
+          add_u32 b ms))
+
+let encode_response_frame r =
+  frame (fun b ->
+      (match r.status with
+      | Verdict v ->
+        add_u8 b st_ok;
+        add_str16 b r.rid;
+        add_str16 b v.verdict;
+        add_u8 b (if v.cached then 1 else 0);
+        add_u32 b v.configs;
+        add_f64 b v.seconds
+      | Bounded bd ->
+        add_u8 b st_bounded;
+        add_str16 b r.rid;
+        add_str16 b bd.reason;
+        add_u32 b bd.configs
+      | Rejected reason ->
+        add_u8 b st_rejected;
+        add_str16 b r.rid;
+        add_str16 b reason
+      | Error reason ->
+        add_u8 b st_error;
+        add_str16 b r.rid;
+        add_str16 b reason
+      | Pong ->
+        add_u8 b st_pong;
+        add_str16 b r.rid);
+      match r.status with
+      | Rejected _ | Error _ | Pong -> ()
+      | _ ->
+        add_f64 b r.queue_ms;
+        add_f64 b r.total_ms)
+
+(* Defensive decoding: every read is bounds-checked, every failure is a
+   [Decode] carried out as [Error] — junk payloads must never raise out of
+   the parser (the fuzz test feeds random bytes through here). *)
+
+exception Decode of string
+
+type cursor = { c_s : string; mutable c_pos : int }
+
+let need c n =
+  if c.c_pos + n > String.length c.c_s then
+    raise (Decode (Printf.sprintf "truncated payload at byte %d" c.c_pos))
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.c_s.[c.c_pos] in
+  c.c_pos <- c.c_pos + 1;
+  v
+
+let get_u16 c =
+  let hi = get_u8 c in
+  let lo = get_u8 c in
+  (hi lsl 8) lor lo
+
+let get_u32 c =
+  let hi = get_u16 c in
+  let lo = get_u16 c in
+  (hi lsl 16) lor lo
+
+let get_f64 c =
+  need c 8;
+  let bits = ref 0L in
+  for _ = 1 to 8 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (get_u8 c))
+  done;
+  Int64.float_of_bits !bits
+
+let get_str16 c =
+  let n = get_u16 c in
+  need c n;
+  let s = String.sub c.c_s c.c_pos n in
+  c.c_pos <- c.c_pos + n;
+  s
+
+let decode_request_payload ?(default_max_configs = 200_000) payload =
+  let c = { c_s = payload; c_pos = 0 } in
+  match
+    let op = get_u8 c in
+    let id = get_str16 c in
+    (id, op)
+  with
+  | exception Decode e -> Result.Error { err_id = ""; err_reason = e }
+  | id, op -> (
+    let fail reason = Result.Error { err_id = id; err_reason = reason } in
+    match op with
+    | _ when op = op_ping -> Ok (Ping id)
+    | _ when op = op_decide -> (
+      match
+        let protocol = get_str16 c in
+        let graph = get_str16 c in
+        let regime_byte = get_u8 c in
+        let max_configs = get_u32 c in
+        let deadline_ms =
+          match get_u8 c with
+          | 0 -> None
+          | 1 -> Some (get_u32 c)
+          | n -> raise (Decode (Printf.sprintf "bad deadline flag %d" n))
+        in
+        (protocol, graph, regime_byte, max_configs, deadline_ms)
+      with
+      | exception Decode e -> fail e
+      | protocol, graph, regime_byte, max_configs, deadline_ms -> (
+        match Spec.parse_regime (String.make 1 (Char.chr regime_byte)) with
+        | Result.Error e -> fail e
+        | Ok regime ->
+          let max_configs = if max_configs = 0 then default_max_configs else max_configs in
+          Ok (Decide { id; protocol; graph; regime; max_configs; deadline_ms })))
+    | op -> fail (Printf.sprintf "unknown op byte %d (1=decide, 2=ping)" op))
+
+let decode_response_payload payload =
+  let c = { c_s = payload; c_pos = 0 } in
+  match
+    let st = get_u8 c in
+    let rid = get_str16 c in
+    let status, has_times =
+      if st = st_ok then begin
+        let verdict = get_str16 c in
+        let cached = get_u8 c <> 0 in
+        let configs = get_u32 c in
+        let seconds = get_f64 c in
+        (Verdict { verdict; cached; configs; seconds }, true)
+      end
+      else if st = st_bounded then begin
+        let reason = get_str16 c in
+        let configs = get_u32 c in
+        (Bounded { reason; configs }, true)
+      end
+      else if st = st_rejected then (Rejected (get_str16 c), false)
+      else if st = st_error then (Error (get_str16 c), false)
+      else if st = st_pong then (Pong, false)
+      else raise (Decode (Printf.sprintf "unknown status byte %d" st))
+    in
+    let queue_ms = if has_times then get_f64 c else 0. in
+    let total_ms = if has_times then get_f64 c else 0. in
+    { rid; status; queue_ms; total_ms }
+  with
+  | exception Decode e -> Result.Error e
+  | r -> Ok r
+
 (* --- Addresses --------------------------------------------------------------- *)
 
 type address =

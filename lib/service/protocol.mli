@@ -93,6 +93,47 @@ val parse_response : string -> (response, string) result
 val status_name : status -> string
 (** The wire [status] field: ok | bounded | rejected | error | pong. *)
 
+(** {1 dda.service/2 — length-prefixed binary frames}
+
+    The pipelining wire format (see doc/SERVICE.md for the byte-level
+    layout).  A client opts in by sending the 4-byte magic {!magic}
+    immediately after connect; the server echoes the same 4 bytes and the
+    connection switches to binary frames in both directions.  Any other
+    first bytes leave the connection in [/1] JSON-lines mode, so old
+    clients connect unchanged.
+
+    Every frame is a big-endian [u32] payload length followed by the
+    payload ([1 ..= ]{!max_frame}[ bytes]; anything outside that range is
+    a framing error and the server closes the connection after a final
+    error frame).  An undecodable payload inside a well-delimited frame
+    is answered with a [status:"error"] frame, exactly like a malformed
+    [/1] line — the connection survives. *)
+
+val schema2 : string
+(** ["dda.service/2"]. *)
+
+val magic : string
+(** ["DDA2"] — the 4-byte hello that negotiates [/2]. *)
+
+val max_frame : int
+(** Maximum payload length (1 MiB). *)
+
+val frame_length : string -> int
+(** Decode a 4-byte big-endian header (raises [Invalid_argument] on a
+    short string; the result may exceed {!max_frame} — callers validate). *)
+
+val encode_request_frame : request -> string
+(** Header + payload, ready to write. *)
+
+val encode_response_frame : response -> string
+
+val decode_request_payload :
+  ?default_max_configs:int -> string -> (request, parse_error) result
+(** Decode one frame payload (header already stripped).  Never raises on
+    junk bytes; [default_max_configs] also substitutes a wire value of 0. *)
+
+val decode_response_payload : string -> (response, string) result
+
 (** {1 Addresses} *)
 
 type address =

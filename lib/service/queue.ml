@@ -61,6 +61,14 @@ let pop t =
   Mutex.unlock t.m;
   r
 
+let try_pop t =
+  Mutex.lock t.m;
+  let r =
+    if Stdlib.Queue.is_empty t.q then None else Some (Stdlib.Queue.pop t.q)
+  in
+  Mutex.unlock t.m;
+  r
+
 let close_intake t =
   Mutex.lock t.m;
   t.intake_closed <- true;

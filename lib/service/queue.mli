@@ -35,6 +35,12 @@ val pop : 'a t -> 'a option
 (** Block until an element is available; [None] once the queue is
     {!close}d and drained. *)
 
+val try_pop : 'a t -> 'a option
+(** Non-blocking pop: [None] when the queue is currently empty (whether
+    or not it is closed).  Used by the event loop, which must never park
+    on a condition variable — it parks in [select] instead and is woken
+    through the self-pipe. *)
+
 val close_intake : 'a t -> unit
 (** Stop admissions: subsequent [try_push] returns [`Closed]. *)
 

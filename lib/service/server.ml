@@ -47,12 +47,67 @@ type stats = {
   pings : int;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Growable byte windows                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A contiguous window [off, off+len) into a growable buffer.  The read
+   side appends socket bytes at the tail and the parser consumes from the
+   head; the write side appends serialised responses and the flusher
+   consumes what [write] accepted.  Compaction is deferred until a grow
+   or a full drain, so steady-state pipelining moves bytes, not buffers. *)
+type iobuf = { mutable buf : Bytes.t; mutable off : int; mutable len : int }
+
+let iobuf_create n = { buf = Bytes.create n; off = 0; len = 0 }
+
+let iobuf_compact b =
+  if b.off > 0 then begin
+    Bytes.blit b.buf b.off b.buf 0 b.len;
+    b.off <- 0
+  end
+
+let iobuf_ensure b extra =
+  if b.off + b.len + extra > Bytes.length b.buf then begin
+    iobuf_compact b;
+    if b.len + extra > Bytes.length b.buf then begin
+      let cap = ref (max 4096 (Bytes.length b.buf)) in
+      while b.len + extra > !cap do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit b.buf 0 nb 0 b.len;
+      b.buf <- nb
+    end
+  end
+
+let iobuf_add_string b s =
+  let n = String.length s in
+  iobuf_ensure b n;
+  Bytes.blit_string s 0 b.buf (b.off + b.len) n;
+  b.len <- b.len + n
+
+let iobuf_consume b n =
+  b.off <- b.off + n;
+  b.len <- b.len - n;
+  if b.len = 0 then b.off <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Wire mode, decided by the first bytes after connect: the 4-byte magic
+   switches to /2 binary frames; anything else is /1 JSON lines. *)
+type mode = Detecting | Json_lines | Binary
+
 type conn = {
   fd : Unix.file_descr;
-  wlock : Mutex.t;
-  mutable inflight : int;
-  mutable reader_done : bool;  (* the connection thread has left its read loop *)
-  mutable closed : bool;  (* fd closed; flipped exactly once, under [t.m] *)
+  mutable mode : mode;
+  rbuf : iobuf;
+  wbuf : iobuf;
+  mutable inflight : int;  (* admitted, not yet answered *)
+  mutable eof : bool;  (* stop reading: client EOF or a fatal framing error *)
+  mutable dead : bool;  (* write error: the peer is gone, discard output *)
+  mutable closed : bool;  (* fd closed; the conn is off the loop's list *)
 }
 
 type pending = {
@@ -75,16 +130,14 @@ type work_result =
   | W_deadline
   | W_error of string
 
-type event =
-  | Incoming of pending
-  | Done of work * work_result
-
 type t = {
   cfg : config;
-  events : event Queue.t;
-  work : work Queue.t;
+  work : work Queue.t;  (* loop -> workers *)
+  done_q : (work * work_result) Queue.t;  (* workers -> loop *)
   stop : bool Atomic.t;
-  m : Mutex.t;  (* guards the mutable fields below *)
+  wake_r : Unix.file_descr;  (* self-pipe: workers and [drain] nudge [select] *)
+  wake_w : Unix.file_descr;
+  m : Mutex.t;  (* guards the counters below (loop writes, [stats] reads) *)
   mutable s_connections : int;
   mutable s_accepted : int;
   mutable s_served : int;
@@ -94,11 +147,8 @@ type t = {
   mutable s_rejected : int;
   mutable s_errors : int;
   mutable s_pings : int;
-  mutable pending : int;  (* admitted but not yet answered *)
-  mutable conns : conn list;
-  mutable conn_threads : Thread.t list;
-  mutable accept_threads : Thread.t list;
-  mutable dispatcher : Thread.t option;
+  mutable pending : int;  (* admitted but not yet answered; loop-owned *)
+  mutable loop_thread : Thread.t option;
   mutable worker_domains : unit Domain.t list;
 }
 
@@ -122,49 +172,47 @@ let stats t =
   Mutex.unlock t.m;
   s
 
+let wake t =
+  try ignore (Unix.write_substring t.wake_w "x" 0 1)
+  with Unix.Unix_error _ -> ()  (* full pipe already wakes; closed pipe = shutdown *)
+
+(* back-pressure: a connection that stops reading its responses stops
+   being read from until its output drains *)
+let max_wbuf = 4 lsl 20
+
+(* a /1 line (or a half-received frame) may not grow without bound *)
+let max_rbuf = 8 lsl 20
+
+let read_chunk = 65536
+
 (* ------------------------------------------------------------------ *)
 (* Responses                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let write_all fd s =
-  let n = String.length s in
-  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
-  go 0
-
-(* Best-effort: a client that hung up mid-request still retires cleanly
-   (the verdict was computed and, when fresh, persisted — only the reply
-   is lost with the connection). *)
-let write_response conn resp =
-  let line = Protocol.response_to_json resp ^ "\n" in
-  Mutex.lock conn.wlock;
-  (try write_all conn.fd line with Unix.Unix_error _ | Sys_error _ -> ());
-  Mutex.unlock conn.wlock
-
-(* The single place a connection fd is closed, always under [t.m].  The fd
-   number must not be recycled while responses to admitted requests can
-   still be written, so whoever observes "reader gone AND nothing in
-   flight" first — the reader itself or the dispatcher retiring the last
-   request — closes, exactly once. *)
-let close_conn_locked conn =
-  if not conn.closed then begin
-    conn.closed <- true;
-    try Unix.close conn.fd with Unix.Unix_error _ -> ()
-  end
+(* Serialisation only appends to the connection's output window; the loop
+   flushes opportunistically after every batch of events, so a response
+   produced in this loop round goes out in this loop round. *)
+let append_response conn resp =
+  if not (conn.dead || conn.closed) then
+    match conn.mode with
+    | Binary -> iobuf_add_string conn.wbuf (Protocol.encode_response_frame resp)
+    | Detecting | Json_lines ->
+      iobuf_add_string conn.wbuf (Protocol.response_to_json resp ^ "\n")
 
 let expired p now = match p.p_deadline with Some d -> now > d | None -> false
 
-(* A response to an *admitted* request: retires it from the pending count,
-   closes the event queue when the drain is complete, and feeds telemetry.
-   [compute_s] is the worker wall-clock (0 when none ran), subtracted from
-   the total to report the queueing share. *)
+(* A response to an *admitted* request: retires it from the pending count
+   and feeds stats and telemetry.  [compute_s] is the worker wall-clock
+   (0 when none ran), subtracted from the total to report the queueing
+   share.  Loop-thread only. *)
 let respond_admitted t p ?(compute_s = 0.) status =
   let now = Unix.gettimeofday () in
   let total_ms = (now -. p.p_admitted) *. 1000. in
   let queue_ms = Float.max 0. (total_ms -. (compute_s *. 1000.)) in
-  write_response p.p_conn { Protocol.rid = p.p_req.Protocol.id; status; queue_ms; total_ms };
-  Mutex.lock t.m;
+  append_response p.p_conn
+    { Protocol.rid = p.p_req.Protocol.id; status; queue_ms; total_ms };
   p.p_conn.inflight <- p.p_conn.inflight - 1;
-  if p.p_conn.reader_done && p.p_conn.inflight = 0 then close_conn_locked p.p_conn;
+  Mutex.lock t.m;
   t.pending <- t.pending - 1;
   t.s_served <- t.s_served + 1;
   (match status with
@@ -173,9 +221,7 @@ let respond_admitted t p ?(compute_s = 0.) status =
   | Protocol.Bounded _ -> t.s_bounded <- t.s_bounded + 1
   | Protocol.Error _ -> t.s_errors <- t.s_errors + 1
   | Protocol.Rejected _ | Protocol.Pong -> ());
-  let drain_complete = Atomic.get t.stop && t.pending = 0 in
   Mutex.unlock t.m;
-  if drain_complete then Queue.close t.events;
   if T.enabled () then begin
     (match status with
     | Protocol.Verdict v -> if v.cached then T.incr c_hits
@@ -209,13 +255,14 @@ let worker_loop t () =
           | d -> W_decision d
           | exception e -> W_error (Printexc.to_string e)
       in
-      Queue.force_push t.events (Done (w, r));
+      Queue.force_push t.done_q (w, r);
+      wake t;
       loop ()
   in
   loop ()
 
 (* ------------------------------------------------------------------ *)
-(* Dispatcher: owns the store                                            *)
+(* Request handling (all on the loop thread)                             *)
 (* ------------------------------------------------------------------ *)
 
 let verdict_string = function
@@ -252,63 +299,108 @@ let store_verdict_of = function
   | Batch.Verdict (Decide.Inconsistent w) -> Store.Inconsistent w
   | Batch.Bounded n -> Store.Bounded n
 
-let handle_incoming t memo waiters p =
+(* The fully derived form of one request shape: parsed specs, fingerprints
+   and the cache key.  Deriving it costs a graph parse, a machine build
+   and two fingerprints — far more than serving a warm hit — so the loop
+   memoises it per distinct (protocol, graph, regime, budget) tuple and
+   the steady-state warm path never parses a spec at all. *)
+type spec_info = {
+  si_machine : Spec.packed;
+  si_graph : string Dda_graph.Graph.t;
+  si_key : (string * string * string) option;  (* cache key, machine fp, graph fp *)
+}
+
+(* workload diversity bounds the memo in practice; reset is the backstop
+   against a client streaming unboundedly many distinct specs *)
+let max_spec_memo = 8192
+
+let spec_ident (d : Protocol.decide) max_configs =
+  String.concat "\x00"
+    [ d.Protocol.protocol; d.Protocol.graph; Spec.regime_name d.Protocol.regime;
+      string_of_int max_configs ]
+
+let derive_spec t memo (d : Protocol.decide) max_configs =
+  match Spec.parse_graph d.Protocol.graph with
+  | Error msg -> Error ("graph: " ^ msg)
+  | Ok g -> (
+    match Spec.parse_protocol d.Protocol.protocol g with
+    | Error msg -> Error ("protocol: " ^ msg)
+    | Ok (Spec.Packed m as packed) ->
+      let key =
+        match t.cfg.cache with
+        | None -> None
+        | Some _ ->
+          (* amortise the machine fingerprint per (protocol, alphabet),
+             as the batch runner does *)
+          let alphabet = Spec.alphabet_of g in
+          let mkey = (d.Protocol.protocol, alphabet) in
+          let mfp =
+            match Hashtbl.find_opt memo mkey with
+            | Some fp -> fp
+            | None ->
+              let fp = Fingerprint.machine ~labels:alphabet m in
+              Hashtbl.add memo mkey fp;
+              fp
+          in
+          let gfp = Fingerprint.graph g in
+          Some
+            ( Fingerprint.key ~machine:mfp ~graph:gfp
+                ~regime:(Spec.regime_name d.Protocol.regime) ~max_configs,
+              mfp,
+              gfp )
+      in
+      Ok { si_machine = packed; si_graph = g; si_key = key })
+
+let handle_incoming t memo spec_memo waiters p =
   let now = Unix.gettimeofday () in
   if expired p now then respond_admitted t p (Protocol.Bounded { reason = "deadline"; configs = 0 })
-  else
-    match Spec.parse_graph p.p_req.Protocol.graph with
-    | Error msg -> respond_admitted t p (Protocol.Error ("graph: " ^ msg))
-    | Ok g -> (
-      match Spec.parse_protocol p.p_req.Protocol.protocol g with
-      | Error msg -> respond_admitted t p (Protocol.Error ("protocol: " ^ msg))
-      | Ok (Spec.Packed m as packed) -> (
-        let max_configs = min p.p_req.Protocol.max_configs t.cfg.max_configs_cap in
-        let key =
-          match t.cfg.cache with
-          | None -> None
-          | Some _ ->
-            (* amortise the machine fingerprint per (protocol, alphabet),
-               as the batch runner does *)
-            let alphabet = Spec.alphabet_of g in
-            let mkey = (p.p_req.Protocol.protocol, alphabet) in
-            let mfp =
-              match Hashtbl.find_opt memo mkey with
-              | Some fp -> fp
-              | None ->
-                let fp = Fingerprint.machine ~labels:alphabet m in
-                Hashtbl.add memo mkey fp;
-                fp
-            in
-            let gfp = Fingerprint.graph g in
-            Some
-              ( Fingerprint.key ~machine:mfp ~graph:gfp
-                  ~regime:(Spec.regime_name p.p_req.Protocol.regime) ~max_configs,
-                mfp,
-                gfp )
+  else begin
+    let max_configs = min p.p_req.Protocol.max_configs t.cfg.max_configs_cap in
+    let sid = spec_ident p.p_req max_configs in
+    let info =
+      match Hashtbl.find_opt spec_memo sid with
+      | Some si -> Ok si
+      | None -> (
+        match derive_spec t memo p.p_req max_configs with
+        | Error _ as e -> e
+        | Ok si ->
+          if Hashtbl.length spec_memo >= max_spec_memo then Hashtbl.reset spec_memo;
+          Hashtbl.add spec_memo sid si;
+          Ok si)
+    in
+    match info with
+    | Error msg -> respond_admitted t p (Protocol.Error msg)
+    | Ok si -> (
+      let hit =
+        match (t.cfg.cache, si.si_key) with
+        | Some store, Some (k, _, _) -> Store.find store k
+        | _ -> None
+      in
+      match hit with
+      | Some e -> respond_admitted t p (status_of_entry e)
+      | None -> (
+        let enqueue () =
+          Queue.force_push t.work
+            {
+              wk_pending = p;
+              wk_machine = si.si_machine;
+              wk_graph = si.si_graph;
+              wk_key = si.si_key;
+              wk_max_configs = max_configs;
+            }
         in
-        let hit =
-          match (t.cfg.cache, key) with
-          | Some store, Some (k, _, _) -> Store.find store k
-          | _ -> None
-        in
-        match hit with
-        | Some e -> respond_admitted t p (status_of_entry e)
-        | None -> (
-          let enqueue () =
-            Queue.force_push t.work
-              { wk_pending = p; wk_machine = packed; wk_graph = g; wk_key = key; wk_max_configs = max_configs }
-          in
-          match key with
-          | Some (k, _, _) -> (
-            (* coalesce identical concurrent misses: one computation per
-               cache key in flight; everyone else waits for its result
-               instead of occupying another worker *)
-            match Hashtbl.find_opt waiters k with
-            | Some l -> Hashtbl.replace waiters k (l @ [ p ])
-            | None ->
-              Hashtbl.add waiters k [];
-              enqueue ())
-          | None -> enqueue ())))
+        match si.si_key with
+        | Some (k, _, _) -> (
+          (* coalesce identical concurrent misses: one computation per
+             cache key in flight; everyone else waits for its result
+             instead of occupying another worker *)
+          match Hashtbl.find_opt waiters k with
+          | Some l -> Hashtbl.replace waiters k (l @ [ p ])
+          | None ->
+            Hashtbl.add waiters k [];
+            enqueue ())
+        | None -> enqueue ()))
+  end
 
 let handle_done t waiters w r =
   let p = w.wk_pending in
@@ -350,7 +442,7 @@ let handle_done t waiters w r =
     respond_admitted t p (Protocol.Error msg);
     requeue_waiters ()
   | W_decision d ->
-    (* persist on the dispatcher: the store never sees concurrent writers
+    (* persist on the loop thread: the store never sees concurrent writers
        from this process (budget bounds are deterministic and cacheable;
        deadline expiries never reach this arm) *)
     (match (t.cfg.cache, w.wk_key) with
@@ -384,51 +476,29 @@ let handle_done t waiters w r =
         else respond_admitted t wp waiter_status)
       coalesced
 
-let dispatch_loop t () =
-  let memo = Hashtbl.create 16 in
-  (* cache key -> admitted misses awaiting an identical in-flight
-     computation; dispatcher-private, so no locking *)
-  let waiters = Hashtbl.create 16 in
-  let rec loop () =
-    match Queue.pop t.events with
-    | None -> ()
-    | Some (Incoming p) ->
-      handle_incoming t memo waiters p;
-      loop ()
-    | Some (Done (w, r)) ->
-      handle_done t waiters w r;
-      loop ()
-  in
-  loop ();
-  (* no admitted work remains; retire the workers *)
-  Queue.close t.work
-
-(* ------------------------------------------------------------------ *)
-(* Connections                                                           *)
-(* ------------------------------------------------------------------ *)
-
 let reject_now t conn (d : Protocol.decide) reason =
   Mutex.lock t.m;
   t.s_rejected <- t.s_rejected + 1;
   Mutex.unlock t.m;
   T.incr c_rejected;
-  write_response conn
+  append_response conn
     { Protocol.rid = d.Protocol.id; status = Protocol.Rejected reason; queue_ms = 0.; total_ms = 0. }
 
-let handle_line t conn line =
-  match Protocol.parse_request line with
-  | Error e ->
+(* One parsed (or unparsable) request from either wire format. *)
+let handle_request t memo spec_memo waiters conn parsed =
+  match parsed with
+  | Error (e : Protocol.parse_error) ->
     Mutex.lock t.m;
     t.s_errors <- t.s_errors + 1;
     Mutex.unlock t.m;
     T.incr c_errors;
-    write_response conn
+    append_response conn
       { Protocol.rid = e.Protocol.err_id; status = Protocol.Error e.Protocol.err_reason; queue_ms = 0.; total_ms = 0. }
   | Ok (Protocol.Ping id) ->
     Mutex.lock t.m;
     t.s_pings <- t.s_pings + 1;
     Mutex.unlock t.m;
-    write_response conn { Protocol.rid = id; status = Protocol.Pong; queue_ms = 0.; total_ms = 0. }
+    append_response conn { Protocol.rid = id; status = Protocol.Pong; queue_ms = 0.; total_ms = 0. }
   | Ok (Protocol.Decide d) -> (
     T.incr c_requests;
     let now = Unix.gettimeofday () in
@@ -443,78 +513,275 @@ let handle_line t conn line =
         p_deadline = Option.map (fun ms -> now +. (float_of_int ms /. 1000.)) deadline_ms;
       }
     in
-    Mutex.lock t.m;
+    (* admission control: the bound covers the whole backlog — queued AND
+       being computed — and is enforced before any parsing of specs *)
     let admission =
       if Atomic.get t.stop then `Reject "draining"
       else if conn.inflight >= t.cfg.conn_limit then `Reject "connection_limit"
-      else if
-        (* the admission bound covers the whole backlog — queued AND being
-           computed — not the mailbox occupancy, which the dispatcher keeps
-           near zero by moving misses to the work queue *)
-        t.pending >= t.cfg.queue_capacity
-      then `Reject "queue_full"
-      else
-        match Queue.try_push t.events (Incoming p) with
-        | `Ok _ ->
-          t.s_accepted <- t.s_accepted + 1;
-          t.pending <- t.pending + 1;
-          conn.inflight <- conn.inflight + 1;
-          `Admitted t.pending
-        | `Full -> `Reject "queue_full"
-        | `Closed -> `Reject "draining"
+      else if t.pending >= t.cfg.queue_capacity then `Reject "queue_full"
+      else begin
+        Mutex.lock t.m;
+        t.s_accepted <- t.s_accepted + 1;
+        t.pending <- t.pending + 1;
+        Mutex.unlock t.m;
+        conn.inflight <- conn.inflight + 1;
+        `Admitted t.pending
+      end
     in
-    Mutex.unlock t.m;
     match admission with
     | `Admitted depth ->
       if T.enabled () then begin
         T.max_gauge c_qpeak depth;
         T.emit_value "service.queue" depth
-      end
+      end;
+      handle_incoming t memo spec_memo waiters p
     | `Reject reason -> reject_now t conn d reason)
 
-let conn_loop t conn () =
-  let ic = Unix.in_channel_of_descr conn.fd in
-  let rec loop () =
-    match input_line ic with
-    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
-    | line ->
-      if String.trim line <> "" then handle_line t conn line;
-      loop ()
-  in
-  loop ();
-  (* responses to already-admitted requests may still be written: stop
-     reading, but leave the close to whoever retires the last request *)
-  Mutex.lock t.m;
-  conn.reader_done <- true;
-  if conn.inflight = 0 then close_conn_locked conn
-  else (try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ());
-  Mutex.unlock t.m
+(* ------------------------------------------------------------------ *)
+(* Wire parsing                                                          *)
+(* ------------------------------------------------------------------ *)
 
-let accept_loop t (lfd, addr) () =
+(* index of '\n' in buf[from, limit), or -1 *)
+let find_nl buf from limit =
+  let i = ref from in
+  while !i < limit && Bytes.get buf !i <> '\n' do
+    incr i
+  done;
+  if !i < limit then !i else -1
+
+let fatal_framing conn reason =
+  (* answer once, stop reading, close after the output flushes *)
+  append_response conn
+    { Protocol.rid = ""; status = Protocol.Error reason; queue_ms = 0.; total_ms = 0. };
+  conn.eof <- true;
+  iobuf_consume conn.rbuf conn.rbuf.len
+
+(* Consume every complete request currently in [conn.rbuf]. *)
+let rec parse_conn t memo spec_memo waiters conn =
+  match conn.mode with
+  | Detecting ->
+    let b = conn.rbuf in
+    if b.len > 0 then begin
+      let n = min b.len 4 in
+      let prefix_matches =
+        let rec go i =
+          i >= n || (Bytes.get b.buf (b.off + i) = Protocol.magic.[i] && go (i + 1))
+        in
+        go 0
+      in
+      if not prefix_matches then begin
+        conn.mode <- Json_lines;
+        parse_conn t memo spec_memo waiters conn
+      end
+      else if b.len >= 4 then begin
+        iobuf_consume b 4;
+        conn.mode <- Binary;
+        (* echo the magic: the client's cue that /2 is negotiated *)
+        iobuf_add_string conn.wbuf Protocol.magic;
+        parse_conn t memo spec_memo waiters conn
+      end
+      (* else: a strict prefix of the magic — wait for the next bytes *)
+    end
+  | Json_lines ->
+    let b = conn.rbuf in
+    let nl = find_nl b.buf b.off (b.off + b.len) in
+    if nl >= 0 then begin
+      let line = Bytes.sub_string b.buf b.off (nl - b.off) in
+      iobuf_consume b (nl - b.off + 1);
+      if String.trim line <> "" then
+        handle_request t memo spec_memo waiters conn (Protocol.parse_request line);
+      if not conn.eof then parse_conn t memo spec_memo waiters conn
+    end
+    else if b.len > max_rbuf then
+      fatal_framing conn
+        (Printf.sprintf "request line exceeds %d bytes" max_rbuf)
+  | Binary ->
+    let b = conn.rbuf in
+    if b.len >= 4 then begin
+      let len =
+        (Char.code (Bytes.get b.buf b.off) lsl 24)
+        lor (Char.code (Bytes.get b.buf (b.off + 1)) lsl 16)
+        lor (Char.code (Bytes.get b.buf (b.off + 2)) lsl 8)
+        lor Char.code (Bytes.get b.buf (b.off + 3))
+      in
+      if len < 1 || len > Protocol.max_frame then
+        fatal_framing conn
+          (Printf.sprintf "bad frame length %d (1 ..= %d)" len Protocol.max_frame)
+      else if b.len >= 4 + len then begin
+        let payload = Bytes.sub_string b.buf (b.off + 4) len in
+        iobuf_consume b (4 + len);
+        handle_request t memo spec_memo waiters conn (Protocol.decode_request_payload payload);
+        if not conn.eof then parse_conn t memo spec_memo waiters conn
+      end
+      (* else: incomplete frame — wait (len <= max_frame bounds the buffer) *)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* The event loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let read_conn t memo spec_memo waiters conn =
+  iobuf_ensure conn.rbuf read_chunk;
+  let b = conn.rbuf in
+  match Unix.read conn.fd b.buf (b.off + b.len) (Bytes.length b.buf - b.off - b.len) with
+  | 0 -> conn.eof <- true
+  | n ->
+    b.len <- b.len + n;
+    parse_conn t memo spec_memo waiters conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ ->
+    conn.eof <- true;
+    conn.dead <- true
+
+let flush_conn conn =
+  if (not conn.closed) && not conn.dead then begin
+    let b = conn.wbuf in
+    let continue = ref true in
+    while !continue && b.len > 0 do
+      match Unix.write conn.fd b.buf b.off b.len with
+      | 0 -> continue := false
+      | n -> iobuf_consume b n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        continue := false
+      | exception Unix.Unix_error _ ->
+        (* EPIPE et al.: requests already admitted still retire cleanly,
+           only the reply is lost with the connection *)
+        conn.dead <- true;
+        b.off <- 0;
+        b.len <- 0;
+        continue := false
+    done
+  end
+
+let event_loop t listeners () =
+  let memo = Hashtbl.create 16 in
+  let spec_memo = Hashtbl.create 256 in
+  (* cache key -> admitted misses awaiting an identical in-flight
+     computation; loop-private, so no locking *)
+  let waiters = Hashtbl.create 16 in
+  let conns = ref [] in
+  let listeners = ref listeners in
+  let scratch = Bytes.create 256 in
+  let drain_wake () =
+    let rec go () =
+      match Unix.read t.wake_r scratch 0 (Bytes.length scratch) with
+      | n when n = Bytes.length scratch -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    go ()
+  in
+  let drain_done () =
+    let rec go () =
+      match Queue.try_pop t.done_q with
+      | Some (w, r) ->
+        handle_done t waiters w r;
+        go ()
+      | None -> ()
+    in
+    go ()
+  in
+  let close_listeners () =
+    List.iter
+      (fun (lfd, addr) ->
+        (try Unix.close lfd with Unix.Unix_error _ -> ());
+        match addr with
+        | Protocol.Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+        | Protocol.Tcp _ -> ())
+      !listeners;
+    listeners := []
+  in
+  let accept_ready lfd addr =
+    let rec go () =
+      match Unix.accept lfd with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        (match addr with
+        | Protocol.Tcp _ -> (
+          try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+        | Protocol.Unix_socket _ -> ());
+        let conn =
+          {
+            fd;
+            mode = Detecting;
+            rbuf = iobuf_create 4096;
+            wbuf = iobuf_create 4096;
+            inflight = 0;
+            eof = false;
+            dead = false;
+            closed = false;
+          }
+        in
+        conns := conn :: !conns;
+        Mutex.lock t.m;
+        t.s_connections <- t.s_connections + 1;
+        Mutex.unlock t.m;
+        T.incr c_conns;
+        go ()
+    in
+    go ()
+  in
+  let reap () =
+    conns :=
+      List.filter
+        (fun c ->
+          if c.dead || (c.eof && c.inflight = 0 && c.wbuf.len = 0) then begin
+            c.closed <- true;
+            (try Unix.close c.fd with Unix.Unix_error _ -> ());
+            false
+          end
+          else true)
+        !conns
+  in
   let rec loop () =
-    if Atomic.get t.stop then ()
-    else
-      match Unix.select [ lfd ] [] [] 0.2 with
-      | [], _, _ -> loop ()
-      | _ -> (
-        match Unix.accept lfd with
-        | exception Unix.Unix_error _ -> loop ()
-        | fd, _ ->
-          let conn = { fd; wlock = Mutex.create (); inflight = 0; reader_done = false; closed = false } in
-          let th = Thread.create (conn_loop t conn) () in
-          Mutex.lock t.m;
-          t.s_connections <- t.s_connections + 1;
-          t.conns <- conn :: t.conns;
-          t.conn_threads <- th :: t.conn_threads;
-          Mutex.unlock t.m;
-          T.incr c_conns;
-          loop ())
+    let stopping = Atomic.get t.stop in
+    if stopping && !listeners <> [] then close_listeners ();
+    if stopping && t.pending = 0 && List.for_all (fun c -> c.wbuf.len = 0 || c.dead) !conns
+    then ()  (* drained: every admitted request answered and flushed *)
+    else begin
+      let rfds =
+        t.wake_r
+        :: (List.map fst !listeners
+           @ List.filter_map
+               (fun c ->
+                 if (not c.eof) && c.wbuf.len < max_wbuf then Some c.fd else None)
+               !conns)
+      in
+      let wfds = List.filter_map (fun c -> if c.wbuf.len > 0 then Some c.fd else None) !conns in
+      (match Unix.select rfds wfds [] 0.5 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, writable, _ ->
+        if List.memq t.wake_r readable then drain_wake ();
+        (* retire completions first: frees admission slots before new reads *)
+        drain_done ();
+        List.iter
+          (fun (lfd, addr) -> if List.memq lfd readable then accept_ready lfd addr)
+          !listeners;
+        List.iter
+          (fun c -> if List.memq c.fd readable then read_conn t memo spec_memo waiters c)
+          !conns;
+        drain_done ();
+        (* flush whatever this round produced, plus anything select said is
+           writable again *)
+        List.iter
+          (fun c -> if c.wbuf.len > 0 || List.memq c.fd writable then flush_conn c)
+          !conns;
+        reap ());
+      loop ()
+    end
   in
   loop ();
-  (try Unix.close lfd with Unix.Unix_error _ -> ());
-  match addr with
-  | Protocol.Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
-  | Protocol.Tcp _ -> ()
+  (* no admitted work remains; retire the workers, then the sockets *)
+  Queue.close t.work;
+  close_listeners ();
+  List.iter
+    (fun c ->
+      c.closed <- true;
+      try Unix.close c.fd with Unix.Unix_error _ -> ())
+    !conns
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                             *)
@@ -595,14 +862,18 @@ let start cfg =
       List.iter (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ()) !listeners;
       Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err))
     | () ->
+      List.iter (fun (lfd, _) -> Unix.set_nonblock lfd) !listeners;
+      let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock wake_r;
+      Unix.set_nonblock wake_w;
       let t =
         {
           cfg = { cfg with workers = max 1 cfg.workers; queue_capacity = max 1 cfg.queue_capacity };
-          (* admission is bounded by [pending]; the mailbox itself gets
-             headroom for in-flight completions *)
-          events = Queue.create ~capacity:((2 * max 1 cfg.queue_capacity) + 8);
           work = Queue.create ~capacity:max_int;
+          done_q = Queue.create ~capacity:max_int;
           stop = Atomic.make false;
+          wake_r;
+          wake_w;
           m = Mutex.create ();
           s_connections = 0;
           s_accepted = 0;
@@ -614,42 +885,22 @@ let start cfg =
           s_errors = 0;
           s_pings = 0;
           pending = 0;
-          conns = [];
-          conn_threads = [];
-          accept_threads = [];
-          dispatcher = None;
+          loop_thread = None;
           worker_domains = [];
         }
       in
       t.worker_domains <- List.init (max 1 cfg.workers) (fun _ -> Domain.spawn (worker_loop t));
-      t.dispatcher <- Some (Thread.create (dispatch_loop t) ());
-      t.accept_threads <- List.map (fun l -> Thread.create (accept_loop t l) ()) !listeners;
+      t.loop_thread <- Some (Thread.create (event_loop t !listeners) ());
       Ok t
   end
 
 let drain t =
   Atomic.set t.stop true;
-  Queue.close_intake t.events;
-  Mutex.lock t.m;
-  let idle = t.pending = 0 in
-  Mutex.unlock t.m;
-  if idle then Queue.close t.events
+  wake t
 
 let wait t =
-  List.iter Thread.join t.accept_threads;
-  (match t.dispatcher with Some th -> Thread.join th | None -> ());
+  (match t.loop_thread with Some th -> Thread.join th | None -> ());
   List.iter Domain.join t.worker_domains;
-  (* every admitted request is answered; release lingering readers *)
-  Mutex.lock t.m;
-  let conns = t.conns and conn_threads = t.conn_threads in
-  Mutex.unlock t.m;
-  List.iter
-    (fun c ->
-      (* under [t.m] so the check cannot race the owner's close *)
-      Mutex.lock t.m;
-      (if not c.closed then
-         try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-      Mutex.unlock t.m)
-    conns;
-  List.iter Thread.join conn_threads;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
   stats t

@@ -1,22 +1,31 @@
 (** The persistent verification server.
 
-    One process, three kinds of actors:
+    One process, two kinds of actors:
 
-    - {e connection threads} (one per client) parse request lines and run
-      admission control: a draining server, a per-connection in-flight
-      limit, or a full central queue each turn the request into an
+    - the {e event-loop thread}: a single [Unix.select] readiness loop
+      multiplexing every listener and every connection over non-blocking
+      fds.  It accepts, parses both wire formats ([/1] JSON lines and
+      [/2] binary frames, negotiated per connection by the first four
+      bytes), runs admission control (a draining server, a per-connection
+      in-flight limit, or a full backlog each turn the request into an
       immediate [rejected:*] response — overload is answered, never
-      buffered without bound;
-    - the {e dispatcher thread} owns the verdict cache ({!Dda_batch.Store})
-      — the single store reader/writer in the process — answers hits
-      directly, expires requests whose deadline passed while queued
-      (a [bounded:deadline] response, the same resource-bound shape as a
-      blown configuration budget), coalesces identical concurrent misses
-      (one computation per cache key in flight; every waiter is answered
-      from its result as a cache hit), and hands misses to
+      buffered without bound), owns the verdict cache ({!Dda_batch.Store})
+      — the single store reader/writer in the process, so warm hits are
+      answered inline without a context switch — coalesces identical
+      concurrent misses (one computation per cache key in flight; every
+      waiter is answered from its result as a cache hit), and hands
+      misses to
     - {e worker domains}, which run the exact decision procedure through
       {!Dda_batch.Batch.decide} with the request's (capped) configuration
-      budget.
+      budget and report completions back through a queue plus a self-pipe
+      byte that wakes the loop out of [select].
+
+    Deadlines are absolute from admission: a request that expires while
+    queued is answered [bounded:deadline] — the same resource-bound shape
+    as a blown configuration budget.  Per-connection output is buffered
+    and flushed opportunistically each loop round; a connection whose
+    output backlog exceeds the high-water mark stops being read from
+    until it drains (pipelining back-pressure).
 
     Graceful drain ({!drain}, wired to SIGTERM/SIGINT by [dda serve]):
     stop accepting connections and requests, answer everything already

@@ -397,6 +397,8 @@ module Registry = struct
       "cache.hits";
       "cache.misses";
       "cache.stores";
+      "cache.mem_hit";
+      "cache.mem_evict";
       "batch.jobs";
       "batch.bounded";
       "batch.errors";

@@ -174,6 +174,165 @@ let test_store_stale_salt () =
       Alcotest.(check int) "counted as stale, not corrupt" 1 s.Store.stale;
       Alcotest.(check int) "gc removes stale entries" 1 (Store.gc store))
 
+(* --- the in-memory LRU tier ------------------------------------------------- *)
+
+module Lru = Dda_batch.Lru
+
+let test_lru_eviction_order () =
+  (* one shard: the global recency order is deterministic *)
+  let l = Lru.create ~shards:1 ~capacity:3 () in
+  ignore (Lru.put l "a" 1);
+  ignore (Lru.put l "b" 2);
+  ignore (Lru.put l "c" 3);
+  (match Lru.find l "a" with
+  | `Hit 1 -> () (* refreshes recency: "b" is now least recent *)
+  | _ -> Alcotest.fail "a should hit");
+  Alcotest.(check int) "insert at capacity evicts one" 1 (Lru.put l "d" 4);
+  (match Lru.find l "b" with
+  | `Miss -> ()
+  | _ -> Alcotest.fail "the least-recently-used entry (b) must be the one evicted");
+  List.iter
+    (fun (k, v) ->
+      match Lru.find l k with
+      | `Hit v' when v' = v -> ()
+      | _ -> Alcotest.failf "%s should survive the eviction" k)
+    [ ("a", 1); ("c", 3); ("d", 4) ];
+  Alcotest.(check int) "overwrite evicts nothing" 0 (Lru.put l "a" 10);
+  (match Lru.find l "a" with `Hit 10 -> () | _ -> Alcotest.fail "overwrite visible");
+  let s = Lru.stats l in
+  Alcotest.(check int) "size at capacity" 3 s.Lru.size;
+  Alcotest.(check int) "capacity" 3 s.Lru.capacity;
+  Alcotest.(check int) "one eviction counted" 1 s.Lru.evictions;
+  Lru.remove l "a";
+  (match Lru.find l "a" with `Miss -> () | _ -> Alcotest.fail "remove removes");
+  Lru.flush l;
+  Alcotest.(check int) "flush empties" 0 (Lru.stats l).Lru.size
+
+let test_lru_sharding_bound () =
+  let l = Lru.create ~shards:4 ~capacity:8 () in
+  for i = 0 to 99 do
+    ignore (Lru.put l (Printf.sprintf "key-%d" i) i)
+  done;
+  let s = Lru.stats l in
+  Alcotest.(check int) "capacity is the per-shard split summed" 8 s.Lru.capacity;
+  Alcotest.(check bool) "size bounded by capacity" true (s.Lru.size <= s.Lru.capacity);
+  Alcotest.(check int) "evictions account for the overflow" (100 - s.Lru.size)
+    s.Lru.evictions
+
+let test_lru_negative_ttl () =
+  let now = 1000. in
+  let l = Lru.create ~shards:1 ~negative_ttl:5. ~capacity:8 () in
+  Lru.note_absent ~now l "k";
+  (match Lru.find ~now:(now +. 4.9) l "k" with
+  | `Negative -> ()
+  | _ -> Alcotest.fail "tombstone live within the TTL");
+  (match Lru.find ~now:(now +. 5.1) l "k" with
+  | `Miss -> ()
+  | _ -> Alcotest.fail "tombstone expires after the TTL");
+  (* a tombstone never shadows a live value *)
+  ignore (Lru.put l "v" 7);
+  Lru.note_absent ~now l "v";
+  (match Lru.find ~now l "v" with
+  | `Hit 7 -> ()
+  | _ -> Alcotest.fail "note_absent must not clobber a live entry");
+  (* a local put supersedes the tombstone immediately, no TTL wait *)
+  Lru.note_absent ~now l "w";
+  ignore (Lru.put l "w" 9);
+  (match Lru.find ~now l "w" with
+  | `Hit 9 -> ()
+  | _ -> Alcotest.fail "put supersedes the tombstone");
+  (* ttl <= 0 disables negative caching entirely *)
+  let l0 = Lru.create ~shards:1 ~negative_ttl:0. ~capacity:2 () in
+  Lru.note_absent ~now l0 "x";
+  match Lru.find ~now l0 "x" with
+  | `Miss -> ()
+  | _ -> Alcotest.fail "negative caching disabled at ttl 0"
+
+let test_lru_concurrent_readers () =
+  (* readers and writers hammering all shards while evictions churn: the
+     invariants are "never crashes" and "stays within the bound" *)
+  let l = Lru.create ~shards:4 ~capacity:64 () in
+  let threads =
+    List.init 8 (fun t ->
+        Thread.create
+          (fun () ->
+            for i = 0 to 9_999 do
+              let k = Printf.sprintf "k%d" ((i * (t + 1)) mod 256) in
+              match Lru.find l k with
+              | `Hit _ | `Negative -> ()
+              | `Miss -> ignore (Lru.put l k i)
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  let s = Lru.stats l in
+  Alcotest.(check bool) "bound holds under concurrency" true (s.Lru.size <= s.Lru.capacity);
+  Alcotest.(check bool) "traffic happened" true (s.Lru.hits + s.Lru.misses > 0)
+
+(* --- the store's memo tier --------------------------------------------------- *)
+
+let with_memo_store ?negative_ttl f =
+  let root = fresh_root () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () -> f root (Store.open_ ~root ~memo:64 ?negative_ttl ()))
+
+let test_memo_serves_from_ram () =
+  with_memo_store (fun _root store ->
+      Store.put store (entry some_key);
+      (* delete the backing file: a hit now can only come from the memo —
+         this is the single-decode regression test (no re-read, no
+         re-parse on the warm path) *)
+      Sys.remove (corrupt_path store some_key);
+      (match Store.find store some_key with
+      | Some e -> Alcotest.(check int) "decoded entry intact" 42 e.Store.configs
+      | None -> Alcotest.fail "warm hit must be served from RAM");
+      match Store.memo_stats store with
+      | Some s -> Alcotest.(check bool) "memo hit counted" true (s.Lru.hits >= 1)
+      | None -> Alcotest.fail "memo_stats present when the tier is on")
+
+let test_memo_negative_entries () =
+  with_memo_store ~negative_ttl:0.05 (fun root store ->
+      Alcotest.(check bool) "cold miss" true (Store.find store some_key = None);
+      (* a write by another process is invisible while the tombstone lives,
+         and visible after at most the TTL *)
+      let other = Store.open_ ~root () in
+      Store.put other (entry some_key);
+      Unix.sleepf 0.1;
+      (match Store.find store some_key with
+      | Some _ -> ()
+      | None -> Alcotest.fail "foreign write visible after the negative TTL");
+      (* a local put supersedes its own tombstone immediately *)
+      let k2 = String.make 32 'b' in
+      Alcotest.(check bool) "k2 misses" true (Store.find store k2 = None);
+      Store.put store (entry k2);
+      Alcotest.(check bool) "local put visible immediately" true
+        (Store.find store k2 <> None))
+
+let test_memo_gc_flushes () =
+  with_memo_store (fun _root store ->
+      Store.put store (entry some_key);
+      Alcotest.(check bool) "warm" true (Store.find store some_key <> None);
+      ignore (Store.gc store);
+      Sys.remove (corrupt_path store some_key);
+      Alcotest.(check bool) "gc flushed the memo: the key is gone for real" true
+        (Store.find store some_key = None))
+
+let test_memo_lock_flushes () =
+  with_memo_store (fun _root store ->
+      Store.put store (entry some_key);
+      Alcotest.(check bool) "warm" true (Store.find store some_key <> None);
+      match Store.lock store ~mode:`Shared with
+      | Error e -> Alcotest.failf "shared lock: %s" e
+      | Ok l ->
+        Fun.protect
+          ~finally:(fun () -> Store.unlock l)
+          (fun () ->
+            Sys.remove (corrupt_path store some_key);
+            Alcotest.(check bool)
+              "lock acquisition flushed the memo (another process may have gc'd)" true
+              (Store.find store some_key = None)))
+
 (* --- cached decisions ------------------------------------------------------ *)
 
 let decision_result (d : Batch.decision) = d.Batch.result
@@ -436,6 +595,22 @@ let () =
           Alcotest.test_case "missing and invalid keys" `Quick test_store_missing_and_invalid;
           Alcotest.test_case "corrupt entries" `Quick test_store_corrupt_entry;
           Alcotest.test_case "stale salt" `Quick test_store_stale_salt;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "capacity and eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "sharding bound" `Quick test_lru_sharding_bound;
+          Alcotest.test_case "negative TTL" `Quick test_lru_negative_ttl;
+          Alcotest.test_case "concurrent readers during eviction" `Quick
+            test_lru_concurrent_readers;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "warm hit served from RAM" `Quick test_memo_serves_from_ram;
+          Alcotest.test_case "negative entries" `Quick test_memo_negative_entries;
+          Alcotest.test_case "gc flushes the memo" `Quick test_memo_gc_flushes;
+          Alcotest.test_case "lock acquisition flushes the memo" `Quick
+            test_memo_lock_flushes;
         ] );
       ( "decide",
         [

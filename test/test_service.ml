@@ -514,6 +514,209 @@ let test_drain_no_drop () =
     Alcotest.fail "connect must fail after drain"
   | Error _ -> ())
 
+(* --- dda.service/2: binary frames -------------------------------------------- *)
+
+let strip_header frame = String.sub frame 4 (String.length frame - 4)
+
+let test_v2_frame_roundtrip () =
+  (* requests, with and without a deadline *)
+  let d =
+    {
+      Sproto.id = "r2-1";
+      protocol = "threshold:a,2";
+      graph = "cycle:aab";
+      regime = Spec.Adversarial;
+      max_configs = 5000;
+      deadline_ms = Some 250;
+    }
+  in
+  (match Sproto.decode_request_payload (strip_header (Sproto.encode_request_frame (Sproto.Decide d))) with
+  | Ok (Sproto.Decide d') ->
+    Alcotest.(check string) "id" d.Sproto.id d'.Sproto.id;
+    Alcotest.(check string) "protocol" d.Sproto.protocol d'.Sproto.protocol;
+    Alcotest.(check string) "graph" d.Sproto.graph d'.Sproto.graph;
+    Alcotest.(check bool) "regime" true (d'.Sproto.regime = Spec.Adversarial);
+    Alcotest.(check int) "max_configs" 5000 d'.Sproto.max_configs;
+    Alcotest.(check (option int)) "deadline" (Some 250) d'.Sproto.deadline_ms
+  | Ok _ -> Alcotest.fail "decide frame decoded as something else"
+  | Error e -> Alcotest.failf "decide frame round-trip: %s" e.Sproto.err_reason);
+  (match
+     Sproto.decode_request_payload
+       (strip_header (Sproto.encode_request_frame (Sproto.Decide { d with deadline_ms = None })))
+   with
+  | Ok (Sproto.Decide d') -> Alcotest.(check (option int)) "no deadline" None d'.Sproto.deadline_ms
+  | _ -> Alcotest.fail "deadline-free decide frame");
+  (match Sproto.decode_request_payload (strip_header (Sproto.encode_request_frame (Sproto.Ping "p2"))) with
+  | Ok (Sproto.Ping id) -> Alcotest.(check string) "ping id" "p2" id
+  | _ -> Alcotest.fail "ping frame round-trip");
+  (* a wire budget of 0 takes the server default *)
+  (match
+     Sproto.decode_request_payload ~default_max_configs:777
+       (strip_header (Sproto.encode_request_frame (Sproto.Decide { d with max_configs = 0 })))
+   with
+  | Ok (Sproto.Decide d') -> Alcotest.(check int) "0 budget defaulted" 777 d'.Sproto.max_configs
+  | _ -> Alcotest.fail "defaulting decide frame");
+  (* responses: every status shape *)
+  let resp status = { Sproto.rid = "x-2"; status; queue_ms = 1.5; total_ms = 3.25 } in
+  List.iter
+    (fun status ->
+      match Sproto.decode_response_payload (strip_header (Sproto.encode_response_frame (resp status))) with
+      | Ok r' ->
+        Alcotest.(check string) "rid" "x-2" r'.Sproto.rid;
+        Alcotest.(check string) "status kind" (Sproto.status_name status)
+          (Sproto.status_name r'.Sproto.status)
+      | Error e -> Alcotest.failf "%s response frame: %s" (Sproto.status_name status) e)
+    [
+      Sproto.Verdict { verdict = "accepts"; cached = true; configs = 42; seconds = 0.007 };
+      Sproto.Bounded { reason = "deadline"; configs = 0 };
+      Sproto.Rejected "queue_full";
+      Sproto.Error "graph: bad spec";
+      Sproto.Pong;
+    ];
+  (* verdict payload fields survive, including timing *)
+  (match
+     Sproto.decode_response_payload
+       (strip_header
+          (Sproto.encode_response_frame
+             (resp (Sproto.Verdict { verdict = "rejects"; cached = true; configs = 9; seconds = 0.5 }))))
+   with
+  | Ok { Sproto.status = Sproto.Verdict v; queue_ms; total_ms; _ } ->
+    Alcotest.(check string) "verdict" "rejects" v.verdict;
+    Alcotest.(check bool) "cached" true v.cached;
+    Alcotest.(check int) "configs" 9 v.configs;
+    Alcotest.(check (float 1e-9)) "queue_ms" 1.5 queue_ms;
+    Alcotest.(check (float 1e-9)) "total_ms" 3.25 total_ms
+  | _ -> Alcotest.fail "verdict frame payload lost");
+  (* junk payloads are structured errors, never exceptions *)
+  List.iter
+    (fun junk ->
+      match Sproto.decode_request_payload junk with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "junk payload %S must not decode" junk)
+    [ ""; "\x00"; "\xff\xff\xff\xff"; String.make 64 '\x07'; "\x01\xff\xff" ]
+
+(* Raw /2 access: negotiate by hand, speak frames directly. *)
+let raw_send_str fd s =
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  go 0
+
+let raw_connect_v2 sock =
+  let fd, ic = raw_connect sock in
+  raw_send_str fd Sproto.magic;
+  let hello = really_input_string ic 4 in
+  Alcotest.(check string) "server echoes the magic" Sproto.magic hello;
+  (fd, ic)
+
+let read_response_frame ic =
+  let n = Sproto.frame_length (really_input_string ic 4) in
+  Alcotest.(check bool) "response frame length sane" true (n >= 1 && n <= Sproto.max_frame);
+  match Sproto.decode_response_payload (really_input_string ic n) with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "undecodable response frame: %s" e
+
+let test_v2_negotiation () =
+  with_server Server.default_config (fun sock _srv ->
+      (* byte-by-byte magic: the server must wait on a strict prefix
+         rather than misread it as a JSON line *)
+      let fd, ic = raw_connect sock in
+      raw_send_str fd "DD";
+      Thread.delay 0.05;
+      raw_send_str fd "A2";
+      Alcotest.(check string) "split magic still negotiates" Sproto.magic
+        (really_input_string ic 4);
+      raw_send_str fd (Sproto.encode_request_frame (Sproto.Ping "split"));
+      (match read_response_frame ic with
+      | { Sproto.status = Sproto.Pong; rid = "split"; _ } -> ()
+      | _ -> Alcotest.fail "binary ping after split negotiation");
+      (* a /1 connection coexists on the same server *)
+      let fd1, ic1 = raw_connect sock in
+      raw_send fd1 [ Sproto.request_to_json (Sproto.Ping "json") ];
+      (match raw_read_responses ic1 1 with
+      | [ { Sproto.status = Sproto.Pong; rid = "json"; _ } ] -> ()
+      | _ -> Alcotest.fail "JSON ping beside a binary connection");
+      (* a full decide over /2 *)
+      raw_send_str fd (Sproto.encode_request_frame (decide_of ~id:"v2d" quick_job));
+      (match read_response_frame ic with
+      | { Sproto.status = Sproto.Verdict v; rid = "v2d"; _ } ->
+        Alcotest.(check string) "verdict over /2" "accepts" v.verdict
+      | r -> Alcotest.failf "unexpected /2 status %s" (Sproto.status_name r.Sproto.status));
+      Unix.close fd1;
+      Unix.close fd)
+
+let test_v2_malformed_frames () =
+  with_server Server.default_config (fun sock srv ->
+      let fd, ic = raw_connect_v2 sock in
+      (* well-delimited frames around junk payloads: each one is answered
+         with an error frame and the connection survives *)
+      Random.self_init ();
+      let seed = Random.int 0x3FFFFFFF in
+      Random.init seed;
+      let frame_of payload =
+        let b = Buffer.create (4 + String.length payload) in
+        Buffer.add_uint8 b (String.length payload lsr 24 land 0xff);
+        Buffer.add_uint8 b (String.length payload lsr 16 land 0xff);
+        Buffer.add_uint8 b (String.length payload lsr 8 land 0xff);
+        Buffer.add_uint8 b (String.length payload land 0xff);
+        Buffer.add_string b payload;
+        Buffer.contents b
+      in
+      let junk_payloads =
+        List.init 20 (fun i ->
+            (* opcode 0xfe is never valid, so random tails stay junk *)
+            "\xfe" ^ String.init (1 + ((i * 7) mod 40)) (fun _ -> Char.chr (Random.int 256)))
+      in
+      List.iter (fun p -> raw_send_str fd (frame_of p)) junk_payloads;
+      List.iter
+        (fun _ ->
+          match read_response_frame ic with
+          | { Sproto.status = Sproto.Error _; _ } -> ()
+          | r ->
+            Alcotest.failf "junk frame (seed %d) must be a structured error, got %s" seed
+              (Sproto.status_name r.Sproto.status))
+        junk_payloads;
+      raw_send_str fd (Sproto.encode_request_frame (Sproto.Ping "alive"));
+      (match read_response_frame ic with
+      | { Sproto.status = Sproto.Pong; rid = "alive"; _ } -> ()
+      | _ -> Alcotest.fail "connection must survive junk frames");
+      let s = Server.stats srv in
+      Alcotest.(check int) "junk frames counted as errors" (List.length junk_payloads)
+        s.Server.errors;
+      (* an out-of-range length prefix is fatal: one final error frame,
+         then the server closes the connection *)
+      raw_send_str fd "\x7f\xff\xff\xff";
+      (match read_response_frame ic with
+      | { Sproto.status = Sproto.Error reason; _ } ->
+        Alcotest.(check bool) "reason names the frame length" true (contains "frame" reason)
+      | _ -> Alcotest.fail "oversize frame must be answered before closing");
+      (match really_input_string ic 1 with
+      | _ -> Alcotest.fail "server must close after a framing error"
+      | exception End_of_file -> ());
+      Unix.close fd)
+
+let test_v2_pipelined_load () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store = Store.open_ ~root:(Filename.concat dir "cache") ~memo:1024 () in
+  with_server
+    { Server.default_config with cache = Some store; workers = 2; queue_capacity = 256;
+      conn_limit = 16 }
+    (fun sock _srv ->
+      let addr = Sproto.Unix_socket sock in
+      let spec = { Client.clients = 2; per_client = 40; mix = [ quick_job ]; deadline_ms = None } in
+      (match Client.load ~version:2 ~pipeline:8 addr spec with
+      | Error e -> Alcotest.failf "cold /2 load failed: %s" e
+      | Ok cold ->
+        Alcotest.(check int) "cold: all requests answered" 80 cold.Client.requests;
+        Alcotest.(check int) "cold: all ok" 80 cold.Client.ok;
+        Alcotest.(check int) "cold: no errors" 0 cold.Client.errors);
+      match Client.load ~version:2 ~pipeline:8 addr spec with
+      | Error e -> Alcotest.failf "warm /2 load failed: %s" e
+      | Ok warm ->
+        Alcotest.(check int) "warm: all requests answered" 80 warm.Client.requests;
+        Alcotest.(check int) "warm: everything from the cache" 80 warm.Client.cached;
+        Alcotest.(check bool) "warm: hit rate 100%" true (Client.hit_rate warm > 0.99))
+
 let test_load_generator () =
   let dir = fresh_dir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
@@ -577,5 +780,12 @@ let () =
           Alcotest.test_case "identical misses coalesce" `Quick test_coalesced_misses;
           Alcotest.test_case "drain drops nothing" `Quick test_drain_no_drop;
           Alcotest.test_case "closed-loop load generator" `Quick test_load_generator;
+        ] );
+      ( "v2",
+        [
+          Alcotest.test_case "frame round-trips" `Quick test_v2_frame_roundtrip;
+          Alcotest.test_case "negotiation, both formats live" `Quick test_v2_negotiation;
+          Alcotest.test_case "malformed frames over the wire" `Quick test_v2_malformed_frames;
+          Alcotest.test_case "pipelined load, cold then warm" `Quick test_v2_pipelined_load;
         ] );
     ]
