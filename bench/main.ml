@@ -22,6 +22,10 @@ module H = Dda_protocols.Homogeneous
 module Cov = Dda_wsts.Coverability
 module Listx = Dda_util.Listx
 
+(* every duration below is monotonic-clock; wall time would fold NTP steps
+   into the measurements *)
+let mono = Dda_telemetry.Telemetry.monotonic
+
 type mode = Full | Quick | Smoke
 
 (* Proper flag parsing; the pre-telemetry harness matched bare words with
@@ -457,9 +461,9 @@ let experiment_cache () =
   let tables () = Dda_core.Figure1.arbitrary_table ~cache ~max_nodes () in
   let timed () =
     Batch.reset_cache_stats ();
-    let t0 = Unix.gettimeofday () in
+    let t0 = mono () in
     let r = tables () in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = mono () -. t0 in
     let hits, misses = Batch.cache_stats () in
     (r, dt, hits, misses)
   in
@@ -494,7 +498,8 @@ type service_bench = {
   sb_clients : int;
   sb_per_client : int;
   sb_cold : Sclient.summary;
-  sb_warm : Sclient.summary;
+  sb_warm : Sclient.summary;  (* last warm rep — steady state *)
+  sb_warm_seconds : float list;  (* every warm rep's wall clock *)
 }
 
 (* stashed for E11's BENCH_verify.json writer *)
@@ -554,7 +559,9 @@ let experiment_service () =
     | Ok s -> s
   in
   let cold = run "cold" in
-  let warm = run "warm" in
+  let reps = if smoke then 2 else 3 in
+  let warms = List.init reps (fun _ -> run "warm") in
+  let warm = List.nth warms (reps - 1) in
   Server.drain srv;
   let st = Server.wait srv in
   rm_rf root;
@@ -576,7 +583,14 @@ let experiment_service () =
     (warm.Sclient.rps /. cold.Sclient.rps)
     st.Server.accepted st.Server.served st.Server.hits st.Server.computed;
   service_bench_result :=
-    Some { sb_clients = clients; sb_per_client = per_client; sb_cold = cold; sb_warm = warm }
+    Some
+      {
+        sb_clients = clients;
+        sb_per_client = per_client;
+        sb_cold = cold;
+        sb_warm = warm;
+        sb_warm_seconds = List.map (fun s -> s.Sclient.seconds) warms;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* E14: service /2 — pipelined frames over the in-memory verdict tier    *)
@@ -587,7 +601,8 @@ type service_v2_bench = {
   s2_per_client : int;
   s2_pipeline : int;
   s2_cold : Sclient.summary;
-  s2_warm : Sclient.summary;
+  s2_warm : Sclient.summary;  (* last warm rep — steady state *)
+  s2_warm_seconds : float list;  (* every warm rep's wall clock *)
   s2_peak_rss_kb : int option;
 }
 
@@ -668,7 +683,9 @@ let experiment_service_v2 () =
   in
   (* cold: one-at-a-time over the mix, matching E13's cold shape *)
   let cold = run "cold" ~per_client:(List.length mix * 2) ~pipeline:1 in
-  let warm = run "warm" ~per_client ~pipeline in
+  let reps = if smoke then 2 else 3 in
+  let warms = List.init reps (fun _ -> run "warm" ~per_client ~pipeline) in
+  let warm = List.nth warms (reps - 1) in
   Server.drain srv;
   let st = Server.wait srv in
   let rss = peak_rss_kb () in
@@ -702,7 +719,169 @@ let experiment_service_v2 () =
         s2_pipeline = pipeline;
         s2_cold = cold;
         s2_warm = warm;
+        s2_warm_seconds = List.map (fun s -> s.Sclient.seconds) warms;
         s2_peak_rss_kb = rss;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* E15: observability overhead — access log + stats scraping on vs off   *)
+(* ------------------------------------------------------------------ *)
+
+type obs_bench = {
+  ob_reps : int;
+  ob_log_sample : int;
+  ob_rps_off : float list;
+  ob_rps_on : float list;
+  ob_delta_pct : float;  (* positive = observability cost *)
+  ob_gate_ok : bool;  (* delta <= 3% *)
+}
+
+(* stashed for E11's BENCH_verify.json writer *)
+let obs_bench_result : obs_bench option ref = ref None
+
+let experiment_observability () =
+  section "E15  observability overhead: access log + stats scraping on vs off";
+  let module Server = Dda_service.Server in
+  let module Sproto = Dda_service.Protocol in
+  let job protocol graph =
+    {
+      Dda_batch.Batch.protocol;
+      graph;
+      regime = Dda_batch.Spec.Pseudo_stochastic;
+      max_configs = 200_000;
+    }
+  in
+  let mix =
+    [
+      job "exists:a" "cycle:abb";
+      job "exists:a" "cycle:aabb";
+      job "exists:a" "line:abab";
+      job "threshold:a,2" "cycle:aab";
+      job "threshold:a,2" "line:aabb";
+      job "exists:a" "cycle:abab";
+    ]
+  in
+  let clients = 2 in
+  let pipeline = if smoke then 4 else 8 in
+  let per_client = 2_000 in
+  (* measurement windows; the generators run continuously underneath *)
+  let window_s = 0.5 in
+  let windows = if smoke then 8 else if quick then 12 else 20 in
+  (* The observed posture carries the whole plane: a sampled access log and
+     a scraper taking the stats verb once per second over fresh connections
+     (an aggressive Prometheus cadence).  The sampling rate is the one the
+     docs recommend for six-figure request rates -- logging every request at
+     ~100k rps writes tens of MB/s, which no deployment does, and the E15
+     row records the rate used. *)
+  let obs_log_sample = 256 in
+  let mk name ~observed =
+    let root =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dda_bench_obs_%s.%d" name (Unix.getpid ()))
+    in
+    if Sys.file_exists root then rm_rf root;
+    Unix.mkdir root 0o700;
+    let cache = Dda_batch.Store.open_ ~root:(Filename.concat root "cache") ~memo:65536 () in
+    let sock = Filename.concat root "dda.sock" in
+    let cfg =
+      {
+        Server.default_config with
+        addresses = [ Sproto.Unix_socket sock ];
+        cache = Some cache;
+        workers = 2;
+        queue_capacity = 4096;
+        conn_limit = (2 * pipeline) + 2;
+        access_log = (if observed then Some (Filename.concat root "access.jsonl") else None);
+        log_sample = obs_log_sample;
+      }
+    in
+    let srv =
+      match Server.start cfg with Ok s -> s | Error e -> failwith ("E15 server start: " ^ e)
+    in
+    (srv, Sproto.Unix_socket sock, root)
+  in
+  let srv_off, addr_off, root_off = mk "off" ~observed:false in
+  let srv_on, addr_on, root_on = mk "on" ~observed:true in
+  (* Continuous saturating load on both servers at once, with throughput
+     read from each server's own [served] counter over the same wall-clock
+     windows.  Timing individual client loads proved hopeless here: which
+     load thread entered the race first was worth ~5% of rps on this box,
+     and the sign of that bias drifted mid-run, swamping a 3% effect.
+     Counter windows are immune: both counters are sampled microseconds
+     apart, so every scheduling hiccup lands inside both sides' window. *)
+  let stop = Atomic.make false in
+  let generator addr () =
+    while not (Atomic.get stop) do
+      ignore
+        (Sclient.load ~version:2 ~pipeline addr
+           { Sclient.clients; per_client; mix; deadline_ms = None })
+    done
+  in
+  let gen_off = Thread.create (generator addr_off) () in
+  let gen_on = Thread.create (generator addr_on) () in
+  let scraper =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          (match Sclient.connect ~version:2 addr_on with
+          | Error _ -> ()
+          | Ok c ->
+            ignore (Sclient.stats c);
+            Sclient.close c);
+          Thread.delay 1.0
+        done)
+      ()
+  in
+  (* let both sides reach saturation and warm their verdict tiers *)
+  Thread.delay 1.0;
+  let served srv = (Server.stats srv).Server.served in
+  let rates =
+    List.init windows (fun _ ->
+        let o0 = served srv_off and n0 = served srv_on in
+        let t0 = mono () in
+        Thread.delay window_s;
+        let o1 = served srv_off and n1 = served srv_on in
+        let dt = mono () -. t0 in
+        (float_of_int (o1 - o0) /. dt, float_of_int (n1 - n0) /. dt))
+  in
+  Atomic.set stop true;
+  Thread.join gen_off;
+  Thread.join gen_on;
+  Thread.join scraper;
+  Server.drain srv_off;
+  Server.drain srv_on;
+  ignore (Server.wait srv_off);
+  ignore (Server.wait srv_on);
+  rm_rf root_off;
+  rm_rf root_on;
+  let off = List.map fst rates
+  and on = List.map snd rates in
+  let mean l = List.fold_left ( +. ) 0. l /. float_of_int (List.length l) in
+  let deltas = List.map (fun (o, n) -> 100. *. ((o -. n) /. Float.max 1e-9 o)) rates in
+  let median l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+  in
+  let delta = median deltas in
+  let ok = delta <= 3.0 in
+  Format.printf "%d+%d clients, pipeline %d, %d windows of %.1fs (simultaneous, counter-sampled)@."
+    clients clients pipeline windows window_s;
+  Format.printf "rps off: %.1f   rps on (access log 1/%d + 1 Hz stats scrape): %.1f@." (mean off)
+    obs_log_sample (mean on);
+  Format.printf "observability cost: %+.2f%% rps (median across windows)   gate (<= 3%%): %s@."
+    delta
+    (if ok then "OK" else "FAIL");
+  obs_bench_result :=
+    Some
+      {
+        ob_reps = windows;
+        ob_log_sample = obs_log_sample;
+        ob_rps_off = off;
+        ob_rps_on = on;
+        ob_delta_pct = delta;
+        ob_gate_ok = ok;
       }
 
 (* ------------------------------------------------------------------ *)
@@ -749,9 +928,9 @@ let experiment_verify_bench () =
     ignore (explore ()) (* warm-up *);
     let times =
       List.init reps (fun _ ->
-          let t0 = Unix.gettimeofday () in
+          let t0 = mono () in
           ignore (explore ());
-          Unix.gettimeofday () -. t0)
+          mono () -. t0)
     in
     let space = explore () in
     let sorted = List.sort compare times in
@@ -889,26 +1068,42 @@ let experiment_verify_bench () =
       [
         Printf.sprintf
           "\"service\": {\"clients\": %d, \"per_client\": %d, \"warm_speedup\": %.2f, \
-           \"cold\": %s, \"warm\": %s}"
+           \"seconds_summary\": %s, \"cold\": %s, \"warm\": %s}"
           sb.sb_clients sb.sb_per_client
           (sb.sb_warm.Sclient.rps /. Float.max 1e-9 sb.sb_cold.Sclient.rps)
+          (Dda_analysis.Stats.summary_json (Dda_analysis.Stats.summarise sb.sb_warm_seconds))
           (pass sb.sb_cold) (pass sb.sb_warm);
       ])
     @
-    match !service_v2_bench_result with
+    (match !service_v2_bench_result with
     | None -> []
     | Some sb ->
       [
         Printf.sprintf
           "\"service_v2\": {\"clients\": %d, \"per_client\": %d, \"pipeline\": %d, \
-           \"peak_rss_kb\": %s, \"warm_rps_vs_e13\": %s, \"cold\": %s, \"warm\": %s}"
+           \"peak_rss_kb\": %s, \"warm_rps_vs_e13\": %s, \"seconds_summary\": %s, \
+           \"cold\": %s, \"warm\": %s}"
           sb.s2_clients sb.s2_per_client sb.s2_pipeline
           (match sb.s2_peak_rss_kb with Some kb -> string_of_int kb | None -> "null")
           (match !service_bench_result with
           | Some e13 when e13.sb_warm.Sclient.rps > 0. ->
             Printf.sprintf "%.2f" (sb.s2_warm.Sclient.rps /. e13.sb_warm.Sclient.rps)
           | _ -> "null")
+          (Dda_analysis.Stats.summary_json (Dda_analysis.Stats.summarise sb.s2_warm_seconds))
           (pass sb.s2_cold) (pass sb.s2_warm);
+      ])
+    @
+    match !obs_bench_result with
+    | None -> []
+    | Some ob ->
+      [
+        Printf.sprintf
+          "\"observability\": {\"windows\": %d, \"log_sample\": %d, \"rps_off\": %s, \
+           \"rps_on\": %s, \"delta_pct\": %.2f, \"gate_3pct_ok\": %b}"
+          ob.ob_reps ob.ob_log_sample
+          (Dda_analysis.Stats.summary_json (Dda_analysis.Stats.summarise ob.ob_rps_off))
+          (Dda_analysis.Stats.summary_json (Dda_analysis.Stats.summarise ob.ob_rps_on))
+          ob.ob_delta_pct ob.ob_gate_ok;
       ]
   in
   (match sections with
@@ -990,9 +1185,9 @@ let telemetry_overhead_bench () =
   let g = G.line (List.init (String.length word) (fun i -> String.make 1 word.[i])) in
   let reps = if smoke then 1 else 5 in
   let time_explore () =
-    let t0 = Unix.gettimeofday () in
+    let t0 = mono () in
     ignore (Space.explore ~max_configs:6_000_000 hom g);
-    Unix.gettimeofday () -. t0
+    mono () -. t0
   in
   let med l = List.nth (List.sort compare l) (List.length l / 2) in
   ignore (time_explore ()) (* warm-up *);
@@ -1025,6 +1220,7 @@ let () =
   experiment_cache ();
   experiment_service ();
   experiment_service_v2 ();
+  experiment_observability ();
   experiment_verify_bench ();
   bechamel_suite ();
   telemetry_overhead_bench ();

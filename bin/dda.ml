@@ -36,6 +36,7 @@ module Store = Dda_batch.Store
 module Sproto = Dda_service.Protocol
 module Server = Dda_service.Server
 module Client = Dda_service.Client
+module Stats_view = Dda_service.Stats_view
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry wiring (doc/OBSERVABILITY.md)                              *)
@@ -337,9 +338,12 @@ let cmd_cache action dir =
 (* The verification service (doc/SERVICE.md)                            *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_serve listens cache_dir mem_cache workers queue conn_limit cap deadline_ms trace metrics
-    journal progress =
+let cmd_serve listens cache_dir mem_cache workers queue conn_limit cap deadline_ms window_s
+    access_log log_sample slow_ms trace metrics journal progress =
   telemetry_init trace metrics journal progress;
+  (* the stats verb serves the live telemetry snapshot, so a server always
+     counts — even without --metrics/--trace sinks *)
+  if not (T.enabled ()) then T.enable ();
   let addresses = List.map (fun s -> or_die (Sproto.parse_address s)) listens in
   if addresses = [] then or_die (Error "serve: pass at least one --listen ADDR");
   let cache = open_cache ~memo:mem_cache cache_dir in
@@ -353,6 +357,10 @@ let cmd_serve listens cache_dir mem_cache workers queue conn_limit cap deadline_
       conn_limit;
       max_configs_cap = cap;
       default_deadline_ms = deadline_ms;
+      window_s;
+      access_log;
+      log_sample;
+      slow_ms;
     }
   in
   let srv = or_die (Server.start cfg) in
@@ -390,8 +398,8 @@ let client_mix mix_file proto graph fairness_str max_configs =
       [ { Batch.protocol; graph; regime; max_configs = Option.value ~default:200_000 max_configs } ]
     | _ -> or_die (Error "client: pass --mix FILE or -p PROTO -g GRAPH"))
 
-let cmd_client connect_s ping bench v2 pipeline proto graph fairness_str max_configs deadline_ms
-    clients per_client mix_file json_file min_hit_rate =
+let cmd_client connect_s ping health trace_id bench v2 pipeline proto graph fairness_str
+    max_configs deadline_ms clients per_client mix_file json_file min_hit_rate =
   let addr = or_die (Sproto.parse_address connect_s) in
   let version = if v2 then 2 else 1 in
   if ping then begin
@@ -399,6 +407,13 @@ let cmd_client connect_s ping bench v2 pipeline proto graph fairness_str max_con
     let ms = or_die (Client.ping c) in
     Client.close c;
     Format.printf "pong in %.2f ms@." ms
+  end
+  else if health then begin
+    let c = or_die (Client.connect ~version addr) in
+    let state = or_die (Client.health c) in
+    Client.close c;
+    Format.printf "%s@." state;
+    if state <> "ok" then exit 1
   end
   else if bench then begin
     let mix = client_mix mix_file proto graph fairness_str max_configs in
@@ -436,6 +451,7 @@ let cmd_client connect_s ping bench v2 pipeline proto graph fairness_str max_con
                   regime = job.Batch.regime;
                   max_configs = job.Batch.max_configs;
                   deadline_ms;
+                  trace = trace_id;
                 }))
       in
       Client.close c;
@@ -453,7 +469,77 @@ let cmd_client connect_s ping bench v2 pipeline proto graph fairness_str max_con
       | Sproto.Error reason ->
         Format.eprintf "error: %s@." reason;
         exit 2
-      | Sproto.Pong -> ())
+      | Sproto.Pong | Sproto.Stats_doc _ | Sproto.Health_state _ -> ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Live observability: dda stats / dda top (doc/OBSERVABILITY.md)       *)
+(* ------------------------------------------------------------------ *)
+
+(* One stats round trip: the raw compact document plus its parse.  A
+   server that emits unparsable stats is a real error (exit 2). *)
+let fetch_stats version addr =
+  let c = or_die (Client.connect ~version addr) in
+  let raw = or_die (Client.stats c) in
+  Client.close c;
+  match Json.parse raw with
+  | Ok doc -> (raw, doc)
+  | Error e -> or_die (Error (Printf.sprintf "stats: server sent invalid JSON: %s" e))
+
+let stats_gauge doc name =
+  match Option.bind (Json.member "gauges" doc) (Json.member name) with
+  | Some (Json.Num f) -> f
+  | _ -> 0.
+
+let cmd_stats connect_s v2 prom watch json_file =
+  let addr = or_die (Sproto.parse_address connect_s) in
+  let version = if v2 then 2 else 1 in
+  let once () =
+    let raw, doc = fetch_stats version addr in
+    Option.iter
+      (fun f ->
+        Out_channel.with_open_bin f (fun oc ->
+            Out_channel.output_string oc raw;
+            Out_channel.output_char oc '\n'))
+      json_file;
+    if prom then print_string (or_die (Stats_view.prometheus doc))
+    else if json_file = None then print_endline raw;
+    flush stdout
+  in
+  match watch with
+  | None -> once ()
+  | Some secs ->
+    let secs = Float.max 0.1 secs in
+    while true do
+      once ();
+      Thread.delay secs
+    done
+
+let cmd_top connect_s v2 interval once =
+  let addr = or_die (Sproto.parse_address connect_s) in
+  let version = if v2 then 2 else 1 in
+  let history = ref [] in
+  let frame () =
+    let _, doc = fetch_stats version addr in
+    (* most-recent-last queue-depth history for the sparkline, capped at
+       one screen's worth *)
+    history := !history @ [ int_of_float (stats_gauge doc "service.queue_depth") ];
+    let n = List.length !history in
+    if n > 60 then history := List.filteri (fun i _ -> i >= n - 60) !history;
+    Stats_view.render_top ~spark:!history doc
+  in
+  if once || not (Unix.isatty Unix.stdout) then print_string (frame ())
+  else begin
+    let interval = Float.max 0.1 interval in
+    while true do
+      let f = frame () in
+      (* clear + home, then one frame — flicker-free enough without a
+         full curses dependency *)
+      print_string "\027[2J\027[H";
+      print_string f;
+      flush stdout;
+      Thread.delay interval
+    done
   end
 
 (* ------------------------------------------------------------------ *)
@@ -602,9 +688,10 @@ let cutoff_cmd =
     (Cmd.info "cutoff" ~doc:"Lemma 3.5 coverability demo")
     Term.(const cmd_cutoff $ const ())
 
-let cmd_telemetry metrics trace journal =
-  if metrics = None && trace = None && journal = None then
-    or_die (Error "telemetry: nothing to validate (pass --metrics, --trace and/or --journal)");
+let cmd_telemetry metrics trace journal stats =
+  if metrics = None && trace = None && journal = None && stats = None then
+    or_die
+      (Error "telemetry: nothing to validate (pass --metrics, --trace, --journal and/or --stats)");
   let problems = ref 0 in
   let report kind file = function
     | [] -> Format.printf "%s %s: OK@." kind file
@@ -619,6 +706,7 @@ let cmd_telemetry metrics trace journal =
   in
   Option.iter (check_doc "metrics" T.validate_metrics) metrics;
   Option.iter (check_doc "trace" T.validate_trace) trace;
+  Option.iter (check_doc "stats" T.validate_stats) stats;
   Option.iter
     (fun file ->
       match In_channel.with_open_bin file In_channel.input_all with
@@ -637,10 +725,17 @@ let telemetry_cmd =
   let journal =
     Arg.(value & opt (some file) None & info [ "journal" ] ~docv:"FILE" ~doc:"JSONL run journal to validate.")
   in
+  let stats =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "stats" ] ~docv:"FILE"
+          ~doc:"Live dda.stats/1 snapshot (dda stats --json) to validate.")
+  in
   Cmd.v
     (Cmd.info "telemetry"
        ~doc:"Validate emitted telemetry artefacts against the metric-name registry")
-    Term.(const cmd_telemetry $ metrics $ trace $ journal)
+    Term.(const cmd_telemetry $ metrics $ trace $ journal $ stats)
 
 let batch_cmd =
   let manifest =
@@ -728,12 +823,41 @@ let serve_cmd =
             "In-memory verdict tier: keep up to $(docv) decoded cache entries in a sharded LRU \
              in front of the disk store (default 65536; 0 disables the tier).")
   in
+  let stats_window =
+    Arg.(
+      value & opt int 60
+      & info [ "stats-window" ] ~docv:"SECS"
+          ~doc:"Sliding-window length for the live latency percentiles in dda stats (default 60).")
+  in
+  let access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSON object per request: id, verb, cache key and tier, \
+             queue/compute/total latency split, echoed client trace id.")
+  in
+  let log_sample =
+    Arg.(
+      value & opt int 1
+      & info [ "log-sample" ] ~docv:"N"
+          ~doc:"Log every Nth request (default 1 = all; applied after --slow-ms).")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:"Only log requests slower than $(docv) milliseconds end to end.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the persistent verification server (SIGTERM/SIGINT drain gracefully)")
     Term.(
       const cmd_serve $ listens $ cache_arg $ mem_cache $ workers $ queue $ conn_limit $ cap
-      $ deadline $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
+      $ deadline $ stats_window $ access_log $ log_sample $ slow_ms $ trace_arg $ metrics_arg
+      $ journal_arg $ progress_arg)
 
 let client_cmd =
   let connect =
@@ -744,6 +868,20 @@ let client_cmd =
           ~doc:"Server address (socket path, HOST:PORT, or [V6]:PORT).")
   in
   let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Measure a ping round trip and exit.") in
+  let health =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:"Print the server's health state (ok | draining | overloaded); exit 1 unless ok.")
+  in
+  let trace_id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-id" ] ~docv:"ID"
+          ~doc:"Opaque correlation id attached to a single request and echoed into the \
+                server's access log.")
+  in
   let bench =
     Arg.(
       value & flag
@@ -823,8 +961,59 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client" ~doc:"Talk to a running dda serve (single request, ping, or load bench)")
     Term.(
-      const cmd_client $ connect $ ping $ bench $ v2 $ pipeline $ proto $ graph $ fairness
-      $ max_configs $ deadline $ clients $ per_client $ mix $ json $ min_hit_rate)
+      const cmd_client $ connect $ ping $ health $ trace_id $ bench $ v2 $ pipeline $ proto
+      $ graph $ fairness $ max_configs $ deadline $ clients $ per_client $ mix $ json
+      $ min_hit_rate)
+
+let connect_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "c"; "connect" ] ~docv:"ADDR"
+        ~doc:"Server address (socket path, HOST:PORT, or [V6]:PORT).")
+
+let v2_arg =
+  Arg.(value & flag & info [ "v2" ] ~doc:"Speak dda.service/2 binary frames instead of /1.")
+
+let stats_cmd =
+  let prom =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:"Render as Prometheus text exposition (dda_ prefix) instead of raw JSON.")
+  in
+  let watch =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watch" ] ~docv:"SECS" ~doc:"Re-fetch and re-print every $(docv) seconds.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the raw dda.stats/1 document to $(docv) (validate with dda telemetry \
+                --stats).")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Fetch a live dda.stats/1 snapshot from a running dda serve")
+    Term.(const cmd_stats $ connect_arg $ v2_arg $ prom $ watch $ json)
+
+let top_cmd =
+  let interval =
+    Arg.(
+      value & opt float 2.
+      & info [ "interval" ] ~docv:"SECS" ~doc:"Refresh interval (default 2).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"Print a single frame and exit (implied when stdout is not a tty).")
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc:"Live server dashboard: rps, hit rates, percentiles, queue depth")
+    Term.(const cmd_top $ connect_arg $ v2_arg $ interval $ once)
 
 let cache_cmd =
   let action =
@@ -849,4 +1038,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ tables_cmd; graph_cmd; decide_cmd; simulate_cmd; auto_cmd; program_cmd; cutoff_cmd;
-            telemetry_cmd; batch_cmd; cache_cmd; serve_cmd; client_cmd ]))
+            telemetry_cmd; batch_cmd; cache_cmd; serve_cmd; client_cmd; stats_cmd; top_cmd ]))

@@ -169,25 +169,27 @@ let disk_find t key =
    promoted into the memo so only the first hit per process pays the
    decode; on a disk miss a negative entry suppresses repeat stat+open
    calls for the TTL. *)
-let find t key =
+let find_tier t key =
   if not (valid_key key) || String.length key < 2 then None
   else
     match t.memo with
-    | None -> disk_find t key
+    | None -> Option.map (fun e -> (e, `Disk)) (disk_find t key)
     | Some l -> (
       match Lru.find l key with
       | `Hit e ->
         T.incr c_mem_hit;
-        Some e
+        Some (e, `Mem)
       | `Negative -> None
       | `Miss -> (
         match disk_find t key with
         | Some e ->
           if Lru.put l key e > 0 then T.incr c_mem_evict;
-          Some e
+          Some (e, `Disk)
         | None ->
           Lru.note_absent l key;
           None))
+
+let find t key = Option.map fst (find_tier t key)
 
 let put t e =
   if valid_key e.key && String.length e.key >= 2 then begin

@@ -53,6 +53,11 @@ val find : t -> string -> entry option
     served from RAM when possible (counted by the [cache.mem_hit]
     telemetry counter; memo evictions by [cache.mem_evict]). *)
 
+val find_tier : t -> string -> (entry * [ `Mem | `Disk ]) option
+(** {!find} plus which tier answered — [`Mem] for the in-memory LRU,
+    [`Disk] for a file read (which also populates the memo).  The service
+    access log reports this split per request. *)
+
 val put : t -> entry -> unit
 (** Atomically persist an entry under its key (and into the memo, when
     enabled).  I/O errors are swallowed (the cache is an accelerator, not

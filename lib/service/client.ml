@@ -1,4 +1,5 @@
 module Batch = Dda_batch.Batch
+module T = Dda_telemetry.Telemetry
 
 type t = {
   fd : Unix.file_descr;
@@ -88,7 +89,9 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-let request_id = function Protocol.Decide d -> d.Protocol.id | Protocol.Ping id -> id
+let request_id = function
+  | Protocol.Decide d -> d.Protocol.id
+  | Protocol.Ping id | Protocol.Stats id | Protocol.Health id -> id
 
 let encode_request t req =
   match t.version with
@@ -124,9 +127,21 @@ let rpc t req =
   | exception Sys_error m -> Error m
 
 let ping t =
-  let t0 = Unix.gettimeofday () in
+  let t0 = T.monotonic () in
   match rpc t (Protocol.Ping "ping") with
-  | Ok { Protocol.status = Protocol.Pong; _ } -> Ok ((Unix.gettimeofday () -. t0) *. 1000.)
+  | Ok { Protocol.status = Protocol.Pong; _ } -> Ok ((T.monotonic () -. t0) *. 1000.)
+  | Ok r -> Error ("unexpected response: " ^ Protocol.status_name r.Protocol.status)
+  | Error e -> Error e
+
+let stats t =
+  match rpc t (Protocol.Stats "stats") with
+  | Ok { Protocol.status = Protocol.Stats_doc doc; _ } -> Ok doc
+  | Ok r -> Error ("unexpected response: " ^ Protocol.status_name r.Protocol.status)
+  | Error e -> Error e
+
+let health t =
+  match rpc t (Protocol.Health "health") with
+  | Ok { Protocol.status = Protocol.Health_state s; _ } -> Ok s
   | Ok r -> Error ("unexpected response: " ^ Protocol.status_name r.Protocol.status)
   | Error e -> Error e
 
@@ -191,10 +206,11 @@ let client_loop conn (l : load) (mix : Batch.job array) offset tally ~window =
             regime = job.Batch.regime;
             max_configs = job.Batch.max_configs;
             deadline_ms = l.deadline_ms;
+            trace = None;
           }
       in
       Buffer.add_string batch (encode_request conn req);
-      Hashtbl.replace t0s id (Unix.gettimeofday ());
+      Hashtbl.replace t0s id (T.monotonic ());
       incr sent
     done;
     match
@@ -212,7 +228,7 @@ let client_loop conn (l : load) (mix : Batch.job array) offset tally ~window =
       (match Hashtbl.find_opt t0s r.Protocol.rid with
       | Some t0 ->
         Hashtbl.remove t0s r.Protocol.rid;
-        tally.t_lat <- ((Unix.gettimeofday () -. t0) *. 1000.) :: tally.t_lat
+        tally.t_lat <- ((T.monotonic () -. t0) *. 1000.) :: tally.t_lat
       | None -> ());
       incr received;
       (match r.Protocol.status with
@@ -221,7 +237,8 @@ let client_loop conn (l : load) (mix : Batch.job array) offset tally ~window =
         if v.cached then tally.t_cached <- tally.t_cached + 1
       | Protocol.Bounded _ -> tally.t_bounded <- tally.t_bounded + 1
       | Protocol.Rejected _ -> tally.t_rejected <- tally.t_rejected + 1
-      | Protocol.Error _ | Protocol.Pong -> tally.t_errors <- tally.t_errors + 1)
+      | Protocol.Error _ | Protocol.Pong | Protocol.Stats_doc _ | Protocol.Health_state _ ->
+        tally.t_errors <- tally.t_errors + 1)
   done
 
 let percentile sorted p =
@@ -252,14 +269,14 @@ let load ?(version = 1) ?(pipeline = 1) addr (l : load) =
         Array.init clients (fun _ ->
             { t_ok = 0; t_cached = 0; t_bounded = 0; t_rejected = 0; t_errors = 0; t_lat = [] })
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = T.monotonic () in
       let threads =
         Array.mapi
           (fun i conn -> Thread.create (fun () -> client_loop conn l mix i tallies.(i) ~window) ())
           conns
       in
       Array.iter Thread.join threads;
-      let seconds = Unix.gettimeofday () -. t0 in
+      let seconds = T.monotonic () -. t0 in
       Array.iter close conns;
       let lat =
         Array.of_list (Array.fold_left (fun acc t -> List.rev_append t.t_lat acc) [] tallies)

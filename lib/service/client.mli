@@ -29,7 +29,17 @@ val rpc : t -> Protocol.request -> (Protocol.response, string) result
     back as [Ok] with a [Rejected]/[Error] status. *)
 
 val ping : t -> (float, string) result
-(** Round-trip time of a ping, in milliseconds. *)
+(** Round-trip time of a ping, in milliseconds (monotonic clock). *)
+
+val stats : t -> (string, string) result
+(** One [stats] round trip; the compact [dda.stats/1] JSON document as the
+    server produced it (parse with {!Dda_telemetry.Json.parse}, validate
+    with {!Dda_telemetry.Telemetry.validate_stats}). *)
+
+val health : t -> (string, string) result
+(** One [health] round trip: ["ok"], ["draining"] or ["overloaded"].
+    Answered inline on the event loop without touching the work queue, so
+    it stays cheap (and truthful) under load. *)
 
 (** {1 Load generation} *)
 

@@ -10,11 +10,14 @@ type decide = {
   regime : Spec.regime;
   max_configs : int;
   deadline_ms : int option;
+  trace : string option;
 }
 
 type request =
   | Decide of decide
   | Ping of string
+  | Stats of string
+  | Health of string
 
 type status =
   | Verdict of { verdict : string; cached : bool; configs : int; seconds : float }
@@ -22,6 +25,8 @@ type status =
   | Rejected of string
   | Error of string
   | Pong
+  | Stats_doc of string
+  | Health_state of string
 
 type response = {
   rid : string;
@@ -48,12 +53,16 @@ let envelope id =
   add_str b "id" id;
   b
 
+let simple_request op id =
+  let b = envelope id in
+  add_str b "op" op;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
 let request_to_json = function
-  | Ping id ->
-    let b = envelope id in
-    add_str b "op" "ping";
-    Buffer.add_char b '}';
-    Buffer.contents b
+  | Ping id -> simple_request "ping" id
+  | Stats id -> simple_request "stats" id
+  | Health id -> simple_request "health" id
   | Decide d ->
     let b = envelope d.id in
     add_str b "op" "decide";
@@ -64,6 +73,7 @@ let request_to_json = function
     (match d.deadline_ms with
     | Some ms -> add_field b "deadline_ms" (string_of_int ms)
     | None -> ());
+    (match d.trace with Some t -> add_str b "trace" t | None -> ());
     Buffer.add_char b '}';
     Buffer.contents b
 
@@ -86,9 +96,17 @@ let response_to_json r =
   | Error reason ->
     add_str b "status" "error";
     add_str b "reason" reason
-  | Pong -> add_str b "status" "pong");
+  | Pong -> add_str b "status" "pong"
+  | Stats_doc doc ->
+    add_str b "status" "stats";
+    (* [doc] is a complete compact JSON object (dda.stats/1), embedded
+       verbatim — the builder guarantees it is single-line strict JSON *)
+    add_field b "stats" doc
+  | Health_state s ->
+    add_str b "status" "health";
+    add_str b "state" s);
   (match r.status with
-  | Rejected _ | Error _ | Pong -> ()
+  | Rejected _ | Error _ | Pong | Stats_doc _ | Health_state _ -> ()
   | _ ->
     add_field b "queue_ms" (Printf.sprintf "%.3f" r.queue_ms);
     add_field b "total_ms" (Printf.sprintf "%.3f" r.total_ms));
@@ -101,6 +119,8 @@ let status_name = function
   | Rejected _ -> "rejected"
   | Error _ -> "error"
   | Pong -> "pong"
+  | Stats_doc _ -> "stats"
+  | Health_state _ -> "health"
 
 (* --- Parsing ----------------------------------------------------------------- *)
 
@@ -139,6 +159,8 @@ let parse_request ?(default_max_configs = 200_000) line =
     let fail reason = Result.Error { err_id = id; err_reason = reason } in
     match str_member "op" doc with
     | Some "ping" -> Ok (Ping id)
+    | Some "stats" -> Ok (Stats id)
+    | Some "health" -> Ok (Health id)
     | Some "decide" -> (
       match (str_member "protocol" doc, str_member "graph" doc) with
       | None, _ -> fail "decide: missing string \"protocol\""
@@ -164,11 +186,12 @@ let parse_request ?(default_max_configs = 200_000) line =
             | Some (Json.Num f) when Float.is_integer f && f >= 0. -> Ok (Some (int_of_float f))
             | Some _ -> Result.Error "\"deadline_ms\" is not a non-negative integer"
           in
+          let trace = str_member "trace" doc in
           match (max_configs, deadline_ms) with
           | Result.Error e, _ | _, Result.Error e -> fail e
           | Ok max_configs, Ok deadline_ms ->
-            Ok (Decide { id; protocol; graph; regime; max_configs; deadline_ms }))))
-    | Some op -> fail (Printf.sprintf "unknown op %S (decide | ping)" op)
+            Ok (Decide { id; protocol; graph; regime; max_configs; deadline_ms; trace }))))
+    | Some op -> fail (Printf.sprintf "unknown op %S (decide | ping | stats | health)" op)
     | None -> fail "missing string \"op\"")
 
 let parse_response line =
@@ -194,6 +217,17 @@ let parse_response line =
     | Some "rejected" -> Ok { rid; status = Rejected (reason ()); queue_ms; total_ms }
     | Some "error" -> Ok { rid; status = Error (reason ()); queue_ms; total_ms }
     | Some "pong" -> Ok { rid; status = Pong; queue_ms; total_ms }
+    | Some "stats" -> (
+      match Json.member "stats" doc with
+      | Some (Json.Obj _ as stats) ->
+        (* re-serialise so the carried document is canonical compact JSON
+           whatever whitespace the peer used *)
+        Ok { rid; status = Stats_doc (Json.to_string stats); queue_ms; total_ms }
+      | _ -> Result.Error "stats response: missing object \"stats\"")
+    | Some "health" -> (
+      match str_member "state" doc with
+      | Some s -> Ok { rid; status = Health_state s; queue_ms; total_ms }
+      | None -> Result.Error "health response: missing string \"state\"")
     | Some s -> Result.Error (Printf.sprintf "unknown status %S" s)
     | None -> Result.Error "missing string \"status\"")
 
@@ -229,6 +263,11 @@ let add_str16 b s =
   add_u16 b n;
   Buffer.add_string b s
 
+(* stats documents can outgrow a str16 on a busy server *)
+let add_str32 b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
 let frame payload_of =
   let b = Buffer.create 96 in
   add_u32 b 0;  (* placeholder *)
@@ -251,6 +290,8 @@ let frame_length hdr =
 (* request ops *)
 let op_decide = 1
 let op_ping = 2
+let op_stats = 3
+let op_health = 4
 
 (* response statuses *)
 let st_ok = 0
@@ -258,11 +299,21 @@ let st_bounded = 1
 let st_rejected = 2
 let st_error = 3
 let st_pong = 4
+let st_stats = 5
+let st_health = 6
 
 let encode_request_frame = function
   | Ping id ->
     frame (fun b ->
         add_u8 b op_ping;
+        add_str16 b id)
+  | Stats id ->
+    frame (fun b ->
+        add_u8 b op_stats;
+        add_str16 b id)
+  | Health id ->
+    frame (fun b ->
+        add_u8 b op_health;
         add_str16 b id)
   | Decide d ->
     frame (fun b ->
@@ -276,7 +327,12 @@ let encode_request_frame = function
         | None -> add_u8 b 0
         | Some ms ->
           add_u8 b 1;
-          add_u32 b ms))
+          add_u32 b ms);
+        match d.trace with
+        | None -> add_u8 b 0
+        | Some t ->
+          add_u8 b 1;
+          add_str16 b t)
 
 let encode_response_frame r =
   frame (fun b ->
@@ -303,9 +359,17 @@ let encode_response_frame r =
         add_str16 b reason
       | Pong ->
         add_u8 b st_pong;
-        add_str16 b r.rid);
+        add_str16 b r.rid
+      | Stats_doc doc ->
+        add_u8 b st_stats;
+        add_str16 b r.rid;
+        add_str32 b doc
+      | Health_state s ->
+        add_u8 b st_health;
+        add_str16 b r.rid;
+        add_str16 b s);
       match r.status with
-      | Rejected _ | Error _ | Pong -> ()
+      | Rejected _ | Error _ | Pong | Stats_doc _ | Health_state _ -> ()
       | _ ->
         add_f64 b r.queue_ms;
         add_f64 b r.total_ms)
@@ -353,6 +417,14 @@ let get_str16 c =
   c.c_pos <- c.c_pos + n;
   s
 
+let get_str32 c =
+  let n = get_u32 c in
+  if n > max_frame then raise (Decode (Printf.sprintf "str32 length %d exceeds frame cap" n));
+  need c n;
+  let s = String.sub c.c_s c.c_pos n in
+  c.c_pos <- c.c_pos + n;
+  s
+
 let decode_request_payload ?(default_max_configs = 200_000) payload =
   let c = { c_s = payload; c_pos = 0 } in
   match
@@ -365,6 +437,8 @@ let decode_request_payload ?(default_max_configs = 200_000) payload =
     let fail reason = Result.Error { err_id = id; err_reason = reason } in
     match op with
     | _ when op = op_ping -> Ok (Ping id)
+    | _ when op = op_stats -> Ok (Stats id)
+    | _ when op = op_health -> Ok (Health id)
     | _ when op = op_decide -> (
       match
         let protocol = get_str16 c in
@@ -377,16 +451,25 @@ let decode_request_payload ?(default_max_configs = 200_000) payload =
           | 1 -> Some (get_u32 c)
           | n -> raise (Decode (Printf.sprintf "bad deadline flag %d" n))
         in
-        (protocol, graph, regime_byte, max_configs, deadline_ms)
+        let trace =
+          (* absent on frames from pre-trace encoders: accept both *)
+          if c.c_pos >= String.length payload then None
+          else
+            match get_u8 c with
+            | 0 -> None
+            | 1 -> Some (get_str16 c)
+            | n -> raise (Decode (Printf.sprintf "bad trace flag %d" n))
+        in
+        (protocol, graph, regime_byte, max_configs, deadline_ms, trace)
       with
       | exception Decode e -> fail e
-      | protocol, graph, regime_byte, max_configs, deadline_ms -> (
+      | protocol, graph, regime_byte, max_configs, deadline_ms, trace -> (
         match Spec.parse_regime (String.make 1 (Char.chr regime_byte)) with
         | Result.Error e -> fail e
         | Ok regime ->
           let max_configs = if max_configs = 0 then default_max_configs else max_configs in
-          Ok (Decide { id; protocol; graph; regime; max_configs; deadline_ms })))
-    | op -> fail (Printf.sprintf "unknown op byte %d (1=decide, 2=ping)" op))
+          Ok (Decide { id; protocol; graph; regime; max_configs; deadline_ms; trace })))
+    | op -> fail (Printf.sprintf "unknown op byte %d (1=decide, 2=ping, 3=stats, 4=health)" op))
 
 let decode_response_payload payload =
   let c = { c_s = payload; c_pos = 0 } in
@@ -409,6 +492,8 @@ let decode_response_payload payload =
       else if st = st_rejected then (Rejected (get_str16 c), false)
       else if st = st_error then (Error (get_str16 c), false)
       else if st = st_pong then (Pong, false)
+      else if st = st_stats then (Stats_doc (get_str32 c), false)
+      else if st = st_health then (Health_state (get_str16 c), false)
       else raise (Decode (Printf.sprintf "unknown status byte %d" st))
     in
     let queue_ms = if has_times then get_f64 c else 0. in

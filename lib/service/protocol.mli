@@ -34,7 +34,22 @@
     [reason:"deadline"]), ["rejected"] (admission control refused the
     request before any work: [reason] is [queue_full], [connection_limit]
     or [draining]), ["error"] (malformed request or unparsable spec),
-    ["pong"]. *)
+    ["pong"].
+
+    {b Admin verbs.}  Two further ops observe the server without entering
+    the work queue — both are answered inline on the event loop:
+    {v
+    {"schema":"dda.service/1","id":"s1","op":"stats"}
+    {"schema":"dda.service/1","id":"s1","status":"stats","stats":{...}}
+    {"schema":"dda.service/1","id":"h1","op":"health"}
+    {"schema":"dda.service/1","id":"h1","status":"health","state":"ok"}
+    v}
+    The [stats] payload is a [dda.stats/1] document (doc/OBSERVABILITY.md);
+    [state] is [ok], [draining] (SIGTERM received, in-flight work
+    finishing) or [overloaded] (admission queue at capacity).  A [decide]
+    request may also carry an optional ["trace"] string — an opaque
+    client-side correlation id echoed into the server's access log, never
+    interpreted. *)
 
 module Spec := Dda_batch.Spec
 
@@ -49,11 +64,15 @@ type decide = {
   max_configs : int;
   deadline_ms : int option;
       (** overall budget from admission to answer; [None] = server default *)
+  trace : string option;
+      (** opaque client correlation id, echoed into the access log *)
 }
 
 type request =
   | Decide of decide
   | Ping of string  (** id *)
+  | Stats of string  (** id — live [dda.stats/1] snapshot *)
+  | Health of string  (** id — cheap liveness probe *)
 
 type status =
   | Verdict of { verdict : string; cached : bool; configs : int; seconds : float }
@@ -65,6 +84,9 @@ type status =
   | Rejected of string  (** ["queue_full"] | ["connection_limit"] | ["draining"] *)
   | Error of string
   | Pong
+  | Stats_doc of string
+      (** a complete compact-JSON [dda.stats/1] document *)
+  | Health_state of string  (** ["ok"] | ["draining"] | ["overloaded"] *)
 
 type response = {
   rid : string;
@@ -91,7 +113,8 @@ val response_to_json : response -> string
 val parse_response : string -> (response, string) result
 
 val status_name : status -> string
-(** The wire [status] field: ok | bounded | rejected | error | pong. *)
+(** The wire [status] field:
+    ok | bounded | rejected | error | pong | stats | health. *)
 
 (** {1 dda.service/2 — length-prefixed binary frames}
 

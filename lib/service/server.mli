@@ -33,11 +33,27 @@
     is never dropped.  {!wait} blocks until that point and returns the
     final statistics; the CLI exits 0.
 
-    Telemetry (doc/OBSERVABILITY.md): counters [service.connections],
-    [service.requests], [service.hits], [service.rejected],
-    [service.bounded], [service.errors]; the queue-depth high-water mark
+    Observability (doc/OBSERVABILITY.md): the [stats] and [health] admin
+    verbs are answered inline on the event loop — [stats] returns a live
+    [dda.stats/1] document (uptime, active connections, queue depth,
+    in-flight count, write-backlog bytes, memory-cache gauges, per-verb
+    request counts, the sliding-window latency histogram, and the full
+    telemetry snapshot), [health] returns [ok], [draining] or
+    [overloaded] without touching the queue.  During drain the listeners
+    stay open so health probes can still connect and observe
+    ["draining"]; only [decide] work is refused.  An optional JSONL
+    access log records one object per request (id, verb, cache key and
+    tier, queue/compute/total latency split, echoed client trace id),
+    with every-Nth sampling and a slow-only filter.  All durations are
+    measured on the monotonic clock ({!Dda_telemetry.Telemetry.monotonic});
+    only deadlines use wall time.
+
+    Telemetry: counters [service.connections], [service.requests],
+    [service.hits], [service.rejected], [service.bounded],
+    [service.errors]; the queue-depth high-water mark
     [service.queue.peak] and trace track [service.queue]; histogram
-    [service.latency_ms]; per-request span [service.request]. *)
+    [service.latency_ms]; per-request span [service.request]; window
+    [service.window.latency_ms]. *)
 
 module Store := Dda_batch.Store
 
@@ -51,11 +67,22 @@ type config = {
   conn_limit : int;  (** max in-flight requests per connection *)
   max_configs_cap : int;  (** per-request budgets are clamped to this *)
   default_deadline_ms : int option;  (** for requests that set none *)
+  window_s : int;
+      (** sliding-window length in seconds for the live latency
+          histogram reported by [stats] (>= 1) *)
+  access_log : string option;
+      (** JSONL access-log path (append); [None] disables logging *)
+  log_sample : int;  (** log every Nth surviving request (>= 1) *)
+  slow_ms : float option;
+      (** when set, only requests with [total_ms >= slow_ms] are
+          considered for logging (the sample filter applies after) *)
 }
 
 val default_config : config
+
 (** No listeners, no cache, 2 workers, queue 64, conn limit 8, cap
-    2_000_000 configurations, no default deadline. *)
+    2_000_000 configurations, no default deadline, 60 s stats window, no
+    access log. *)
 
 type stats = {
   connections : int;

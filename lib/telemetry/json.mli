@@ -33,3 +33,8 @@ val member : string -> t -> t option
 val escape : string -> string
 (** JSON string-literal body for [s] (no surrounding quotes): escapes
     quotes, backslashes and control characters. *)
+
+val to_string : t -> string
+(** Compact (single-line) serialisation; round-trips through {!parse}.
+    Used to embed one JSON document inside another line-oriented protocol
+    (the [dda.stats/1] payload inside a [dda.service/1] response line). *)

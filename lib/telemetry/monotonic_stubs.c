@@ -1,0 +1,33 @@
+/* Monotonic clock for latency/duration math (Telemetry.monotonic).
+ *
+ * clock_gettime(CLOCK_MONOTONIC) when the platform has it; a negative
+ * return tells the OCaml side to fall back to the wall clock.  Kept to a
+ * single stub so the telemetry library stays dependency-free.
+ *
+ * The native entry returns an unboxed double and is [@@noalloc]: the
+ * clock is read on every request (latency split) and inside loop-shaped
+ * code, and a boxing allocation per read is minor-GC pressure precisely
+ * where it hurts. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if !defined(_WIN32)
+#include <time.h>
+#endif
+
+CAMLprim double dda_monotonic_seconds_unboxed(value unit)
+{
+  (void)unit;
+#if !defined(_WIN32) && defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+#endif
+  return -1.0;
+}
+
+CAMLprim value dda_monotonic_seconds(value unit)
+{
+  return caml_copy_double(dda_monotonic_seconds_unboxed(unit));
+}

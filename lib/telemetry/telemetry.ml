@@ -4,7 +4,23 @@
    allocation-freedom is asserted by test/test_telemetry.ml via
    [Gc.minor_words].  Everything behind the branch may allocate freely. *)
 
-let now () = Unix.gettimeofday ()
+external monotonic_raw : unit -> (float[@unboxed])
+  = "dda_monotonic_seconds" "dda_monotonic_seconds_unboxed"
+[@@noalloc]
+
+(* One probe at load time decides the clock for the whole process: a
+   negative value from the stub means CLOCK_MONOTONIC is unavailable. *)
+let monotonic_available = monotonic_raw () >= 0.
+
+let monotonic : unit -> float =
+  if monotonic_available then monotonic_raw else Unix.gettimeofday
+
+(* All internal timestamps (journal "t", trace "ts", span durations,
+   progress rates) are differences against [st.t0], so the monotonic clock's
+   arbitrary origin is fine — and NTP steps can no longer skew them.
+   Absolute wall-clock time is only for externally-meaningful instants
+   (deadlines, access-log timestamps); callers use [Unix.gettimeofday]. *)
+let now = monotonic
 
 type counter = { cname : string; mutable count : int }
 
@@ -311,10 +327,24 @@ let shutdown () =
 let sorted_bindings tbl =
   List.sort (fun (a, _) (b, _) -> compare a b) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
+(* The snapshot is a {e live} API — the service's [stats] verb calls it on
+   the event loop while worker domains may be registering new names — so the
+   table walks happen under the emit lock (folding a Hashtbl during a
+   concurrent resize is unsafe).  Reading the mutable int fields afterwards
+   is at worst slightly stale, never torn. *)
+let metrics_bindings () =
+  Mutex.lock st.emit_lock;
+  let cs = sorted_bindings counters
+  and hs = sorted_bindings histograms
+  and ss = sorted_bindings span_aggs in
+  Mutex.unlock st.emit_lock;
+  (cs, hs, ss)
+
 let metrics_json () =
+  let all_counters, all_histograms, all_spans = metrics_bindings () in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n  \"schema\": \"dda.telemetry/1\",\n  \"counters\": {";
-  let live_counters = List.filter (fun (_, c) -> c.count <> 0) (sorted_bindings counters) in
+  let live_counters = List.filter (fun (_, c) -> c.count <> 0) all_counters in
   List.iteri
     (fun i (name, c) ->
       Buffer.add_string b
@@ -322,7 +352,7 @@ let metrics_json () =
     live_counters;
   Buffer.add_string b (if live_counters = [] then "},\n" else "\n  },\n");
   Buffer.add_string b "  \"histograms\": {";
-  let live_histograms = List.filter (fun (_, h) -> h.n > 0) (sorted_bindings histograms) in
+  let live_histograms = List.filter (fun (_, h) -> h.n > 0) all_histograms in
   List.iteri
     (fun i (name, h) ->
       Buffer.add_string b
@@ -344,7 +374,7 @@ let metrics_json () =
     live_histograms;
   Buffer.add_string b (if live_histograms = [] then "},\n" else "\n  },\n");
   Buffer.add_string b "  \"spans\": {";
-  let spans = sorted_bindings span_aggs in
+  let spans = all_spans in
   List.iteri
     (fun i (name, a) ->
       Buffer.add_string b
@@ -355,7 +385,9 @@ let metrics_json () =
     spans;
   Buffer.add_string b (if spans = [] then "},\n" else "\n  },\n");
   Buffer.add_string b "  \"derived\": {";
-  let cval name = match Hashtbl.find_opt counters name with Some c -> c.count | None -> 0 in
+  let cval name =
+    match List.assoc_opt name all_counters with Some c -> c.count | None -> 0
+  in
   let derived =
     List.filter_map
       (fun (label, hits, misses) ->
@@ -375,6 +407,143 @@ let metrics_json () =
   Buffer.contents b
 
 let write_metrics path = Out_channel.with_open_bin path (fun oc -> output_string oc (metrics_json ()))
+
+(* ------------------------------------------------------------------ *)
+(* Sliding-window histograms                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Window = struct
+  (* A ring of per-second slots.  Each slot is stamped with the absolute
+     second it covers; a slot whose stamp is outside the window is dead and
+     is lazily reclaimed the next time its ring position is written — so
+     idle gaps cost nothing and expire correctly.  Quantiles come from a
+     bounded per-slot sample reservoir: exact up to [slot_cap] observations
+     per second, uniformly subsampled beyond that. *)
+
+  type slot = {
+    mutable s_sec : int;  (* absolute second this slot covers; -1 = empty *)
+    mutable s_n : int;    (* observations recorded that second *)
+    mutable s_sum : float;
+    samples : float array;
+    mutable stored : int; (* live prefix of [samples] *)
+  }
+
+  type t = {
+    w_name : string;
+    window_s : int;
+    slots : slot array;   (* window_s entries, indexed sec mod window_s *)
+    w_lock : Mutex.t;
+    mutable seed : int;   (* cheap LCG state for reservoir replacement *)
+  }
+
+  type snapshot = {
+    win_s : int;
+    count : int;
+    sum : float;
+    rate : float;  (* count / window_s, observations per second *)
+    p50 : float;
+    p95 : float;
+    p99 : float;
+    max_v : float;
+  }
+
+  let create ?(window_s = 60) ?(slot_cap = 512) name =
+    if window_s < 1 then invalid_arg "Telemetry.Window.create: window_s < 1";
+    if slot_cap < 1 then invalid_arg "Telemetry.Window.create: slot_cap < 1";
+    {
+      w_name = name;
+      window_s;
+      slots =
+        Array.init window_s (fun _ ->
+            { s_sec = -1; s_n = 0; s_sum = 0.; samples = Array.make slot_cap 0.; stored = 0 });
+      w_lock = Mutex.create ();
+      seed = 0x9E3779B9;
+    }
+
+  let name w = w.w_name
+
+  (* Windows are owned objects, not global counters: they observe
+     unconditionally, independent of the process-wide [st.on] flag, because
+     the service's live stats must work even when no sink flag was given. *)
+  let observe ?now:(t = now ()) w v =
+    Mutex.lock w.w_lock;
+    let sec = int_of_float t in
+    let s = w.slots.(sec mod w.window_s) in
+    if s.s_sec <> sec then begin
+      (* ring position belonged to an expired second: recycle it *)
+      s.s_sec <- sec;
+      s.s_n <- 0;
+      s.s_sum <- 0.;
+      s.stored <- 0
+    end;
+    s.s_n <- s.s_n + 1;
+    s.s_sum <- s.s_sum +. v;
+    let cap = Array.length s.samples in
+    if s.stored < cap then begin
+      s.samples.(s.stored) <- v;
+      s.stored <- s.stored + 1
+    end
+    else begin
+      (* reservoir sampling: keep each of the second's observations with
+         equal probability cap/n *)
+      w.seed <- ((w.seed * 1103515245) + 12345) land 0x3FFFFFFF;
+      let j = w.seed mod s.s_n in
+      if j < cap then s.samples.(j) <- v
+    end;
+    Mutex.unlock w.w_lock
+
+  (* nearest-rank quantile on a sorted array prefix *)
+  let quantile sorted n q =
+    if n = 0 then 0.
+    else begin
+      let rank = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+      sorted.(max 0 (min (n - 1) rank))
+    end
+
+  let snapshot ?now:(t = now ()) w =
+    Mutex.lock w.w_lock;
+    let cur = int_of_float t in
+    let oldest = cur - w.window_s + 1 in
+    let count = ref 0 and sum = ref 0. and live = ref 0 in
+    Array.iter
+      (fun s ->
+        if s.s_sec >= oldest && s.s_sec <= cur then begin
+          count := !count + s.s_n;
+          sum := !sum +. s.s_sum;
+          live := !live + s.stored
+        end)
+      w.slots;
+    let merged = Array.make (max 1 !live) 0. in
+    let k = ref 0 in
+    Array.iter
+      (fun s ->
+        if s.s_sec >= oldest && s.s_sec <= cur then
+          for i = 0 to s.stored - 1 do
+            merged.(!k) <- s.samples.(i);
+            Stdlib.incr k
+          done)
+      w.slots;
+    Mutex.unlock w.w_lock;
+    let n = !k in
+    let sub = Array.sub merged 0 (max 1 n) in
+    Array.sort compare sub;
+    {
+      win_s = w.window_s;
+      count = !count;
+      sum = !sum;
+      rate = float_of_int !count /. float_of_int w.window_s;
+      p50 = quantile sub n 0.50;
+      p95 = quantile sub n 0.95;
+      p99 = quantile sub n 0.99;
+      max_v = (if n = 0 then 0. else sub.(n - 1));
+    }
+
+  let snapshot_json ?now w =
+    let s = snapshot ?now w in
+    Printf.sprintf
+      "{\"window_s\":%d,\"count\":%d,\"sum\":%.6f,\"rate\":%.3f,\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f,\"max\":%.6f}"
+      s.win_s s.count s.sum s.rate s.p50 s.p95 s.p99 s.max_v
+end
 
 (* ------------------------------------------------------------------ *)
 (* Registry and validation                                              *)
@@ -419,6 +588,32 @@ module Registry = struct
 
   let tracks = [ "engine.frontier"; "service.queue" ]
 
+  (* Gauges are point-in-time values reported by the service's live stats
+     document ([dda.stats/1]) — not cumulative counters.  Totals that the
+     server tracks outside the telemetry counter table (served, computed)
+     are listed here too: in the stats document they are point-in-time
+     reads of server state. *)
+  let gauges =
+    [
+      "service.uptime_s";
+      "service.active_connections";
+      "service.queue_depth";
+      "service.inflight";
+      "service.backlog_bytes";
+      "service.draining";
+      "service.accepted";
+      "service.served";
+      "service.computed";
+      "service.mem_cache.size";
+      "service.mem_cache.capacity";
+      "service.mem_cache.hits";
+      "service.mem_cache.misses";
+      "service.mem_cache.evictions";
+      "service.mem_cache.hit_rate";
+    ]
+
+  let windows = [ "service.window.latency_ms" ]
+
   (* <pre><digits><post>, e.g. engine.domain.3.items *)
   let numbered ~pre ~post name =
     let lp = String.length pre and ls = String.length post and ln = String.length name in
@@ -439,6 +634,20 @@ module Registry = struct
   let valid_counter name = List.mem name counters || domain_counter name || shard_counter name
   let valid_histogram name = List.mem name histograms
   let valid_span name = List.mem name spans
+
+  (* service.verb.<v> — per-verb request counts; the verb set may grow with
+     the protocol, so validation is structural like the domain counters *)
+  let verb_gauge name =
+    let pre = "service.verb." in
+    let lp = String.length pre and ln = String.length name in
+    ln > lp
+    && String.sub name 0 lp = pre
+    && String.for_all
+         (fun ch -> (ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') || ch = '_')
+         (String.sub name lp (ln - lp))
+
+  let valid_gauge name = List.mem name gauges || verb_gauge name
+  let valid_window name = List.mem name windows
 end
 
 let validate_metrics doc =
@@ -478,6 +687,52 @@ let validate_metrics doc =
           | Some (Json.Num _) -> ()
           | _ -> bad "spans.%s: missing numeric %S" name key)
         [ "count"; "total_s" ]);
+  List.rev !problems
+
+let validate_stats doc =
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (match Json.member "schema" doc with
+  | Some (Json.Str "dda.stats/1") -> ()
+  | Some _ -> bad "schema is not \"dda.stats/1\""
+  | None -> bad "missing \"schema\"");
+  (match Json.member "health" doc with
+  | Some (Json.Str ("ok" | "draining" | "overloaded")) -> ()
+  | Some (Json.Str s) -> bad "health: unknown state %S" s
+  | _ -> bad "missing string \"health\"");
+  (match Json.member "gauges" doc with
+  | Some (Json.Obj fields) ->
+    List.iter
+      (fun (name, v) ->
+        (* totals carried over from the counter table keep their counter
+           names; everything else must be a registered gauge *)
+        if not (Registry.valid_gauge name || Registry.valid_counter name) then
+          bad "gauges: unregistered name %S" name;
+        match v with
+        | Json.Num f when Float.is_finite f -> ()
+        | _ -> bad "gauges.%s: not a finite number" name)
+      fields
+  | Some _ -> bad "\"gauges\" is not an object"
+  | None -> bad "missing \"gauges\"");
+  (match Json.member "windows" doc with
+  | Some (Json.Obj fields) ->
+    List.iter
+      (fun (name, v) ->
+        if not (Registry.valid_window name) then bad "windows: unregistered name %S" name;
+        List.iter
+          (fun key ->
+            match Json.member key v with
+            | Some (Json.Num _) -> ()
+            | _ -> bad "windows.%s: missing numeric %S" name key)
+          [ "window_s"; "count"; "rate"; "p50"; "p95"; "p99"; "max" ])
+      fields
+  | Some _ -> bad "\"windows\" is not an object"
+  | None -> bad "missing \"windows\"");
+  (match Json.member "telemetry" doc with
+  | Some (Json.Obj _ as t) ->
+    List.iter (fun p -> bad "telemetry: %s" p) (validate_metrics t)
+  | Some _ -> bad "\"telemetry\" is not an object"
+  | None -> bad "missing \"telemetry\"");
   List.rev !problems
 
 let validate_trace doc =

@@ -30,6 +30,21 @@
     after joining); sink emission is internally locked so incidental
     cross-domain events cannot interleave bytes. *)
 
+(** {1 Clocks} *)
+
+val monotonic : unit -> float
+(** Seconds on [CLOCK_MONOTONIC] when the platform provides it (arbitrary
+    origin, never steps backwards), otherwise the wall clock.  Use for {e
+    all} latency and duration arithmetic — client RTTs, server queue-wait
+    and compute splits, bench reps — so NTP steps cannot produce negative
+    or skewed quantiles.  Keep absolute wall-clock time
+    ([Unix.gettimeofday]) only for externally-meaningful instants:
+    deadlines, log timestamps. *)
+
+val monotonic_available : bool
+(** Whether {!monotonic} is actually the monotonic clock (false = wall-clock
+    fallback). *)
+
 (** {1 Lifecycle} *)
 
 val enable : ?trace:string -> ?journal:string -> ?progress:bool -> unit -> unit
@@ -126,6 +141,51 @@ val metrics_json : unit -> string
 val write_metrics : string -> unit
 (** {!metrics_json} to a file. *)
 
+(** {1 Sliding-window histograms}
+
+    Cumulative histograms answer "since boot"; a long-running server also
+    needs "right now".  A {!Window.t} keeps a ring of per-second buckets
+    over a configurable window and serves online p50/p95/p99 from them.
+    Unlike the global counters, windows are plain owned values: they are
+    always live (independent of {!enable}), internally locked, and cheap —
+    one mutex round and a bounded-reservoir write per observation. *)
+
+module Window : sig
+  type t
+
+  type snapshot = {
+    win_s : int;    (** window length, seconds *)
+    count : int;    (** observations inside the window *)
+    sum : float;
+    rate : float;   (** count / window length, per second *)
+    p50 : float;
+    p95 : float;
+    p99 : float;
+    max_v : float;
+  }
+
+  val create : ?window_s:int -> ?slot_cap:int -> string -> t
+  (** A window named per {!Registry.windows} covering the trailing
+      [window_s] seconds (default 60), sampling at most [slot_cap]
+      observations per second (default 512; beyond that, uniform reservoir
+      subsampling — quantiles stay representative, memory stays bounded). *)
+
+  val name : t -> string
+
+  val observe : ?now:float -> t -> float -> unit
+  (** Record one observation at time [now] (default: the monotonic clock;
+      injectable for deterministic tests).  Thread-safe. *)
+
+  val snapshot : ?now:float -> t -> snapshot
+  (** Quantiles over the window ending at [now].  Slots older than the
+      window are excluded (and recycled lazily), so idle gaps decay to an
+      empty window rather than serving stale quantiles. *)
+
+  val snapshot_json : ?now:float -> t -> string
+  (** The snapshot as a compact JSON object — the value format of the
+      ["windows"] section of a [dda.stats/1] document. *)
+end
+
 (** {1 Registry and validation} *)
 
 module Registry : sig
@@ -140,9 +200,19 @@ module Registry : sig
   val tracks : string list
   (** Counter-track names used in "C" trace events. *)
 
+  val gauges : string list
+  (** Point-in-time values in the ["gauges"] section of a [dda.stats/1]
+      document.  Per-verb request counts follow [service.verb.<v>],
+      validated structurally. *)
+
+  val windows : string list
+  (** Sliding-window histogram names ([dda.stats/1] ["windows"] section). *)
+
   val valid_counter : string -> bool
   val valid_histogram : string -> bool
   val valid_span : string -> bool
+  val valid_gauge : string -> bool
+  val valid_window : string -> bool
 end
 
 val validate_metrics : Json.t -> string list
@@ -157,3 +227,9 @@ val validate_trace : Json.t -> string list
 val validate_journal : string -> string list
 (** Check a JSONL journal: every non-empty line is a strict JSON object
     with an ["ev"] string and a numeric ["t"]. *)
+
+val validate_stats : Json.t -> string list
+(** Structural check of a [dda.stats/1] live-stats document (the [stats]
+    service verb's payload): schema marker, known health state, registered
+    gauge/window names with numeric values, and an embedded
+    [dda.telemetry/1] snapshot that itself passes {!validate_metrics}. *)

@@ -71,7 +71,7 @@ let quick_job =
     max_configs = 10_000;
   }
 
-let decide_of ?deadline_ms ~id (job : Batch.job) =
+let decide_of ?deadline_ms ?trace ~id (job : Batch.job) =
   Sproto.Decide
     {
       Sproto.id;
@@ -80,6 +80,7 @@ let decide_of ?deadline_ms ~id (job : Batch.job) =
       regime = job.Batch.regime;
       max_configs = job.Batch.max_configs;
       deadline_ms;
+      trace;
     }
 
 (* --- protocol: round-trips --------------------------------------------------- *)
@@ -93,6 +94,7 @@ let test_request_roundtrip () =
       regime = Spec.Adversarial;
       max_configs = 5000;
       deadline_ms = Some 250;
+      trace = Some "t-42";
     }
   in
   (match Sproto.parse_request (Sproto.request_to_json (Sproto.Decide d)) with
@@ -528,6 +530,7 @@ let test_v2_frame_roundtrip () =
       regime = Spec.Adversarial;
       max_configs = 5000;
       deadline_ms = Some 250;
+      trace = Some "t2-9";
     }
   in
   (match Sproto.decode_request_payload (strip_header (Sproto.encode_request_frame (Sproto.Decide d))) with
@@ -753,6 +756,249 @@ let test_load_generator () =
           | Some (Dda_telemetry.Json.Str "dda.client-load/1") -> ()
           | _ -> Alcotest.fail "summary schema marker missing"))
 
+(* --- observability: stats, health, access log, renderers --------------------- *)
+
+module T = Dda_telemetry.Telemetry
+module Json = Dda_telemetry.Json
+module SV = Dda_service.Stats_view
+
+let fetch_stats ?version sock =
+  match Client.connect ?version (Sproto.Unix_socket sock) with
+  | Error e -> Alcotest.failf "stats connect: %s" e
+  | Ok c ->
+    let doc =
+      match Client.stats c with Ok d -> d | Error e -> Alcotest.failf "stats rpc: %s" e
+    in
+    Client.close c;
+    match Json.parse doc with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "stats doc unparseable: %s" e
+
+let stats_gauge doc name =
+  match Option.bind (Json.member "gauges" doc) (Json.member name) with
+  | Some (Json.Num f) -> f
+  | _ -> Alcotest.failf "stats gauge %s missing" name
+
+(* stats and health over both wire formats, against a live server that has
+   served real work — the document must validate against the registry and
+   the gauges must reflect the requests just made *)
+let test_stats_health_roundtrip () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store = Store.open_ ~root:(Filename.concat dir "cache") ~memo:1024 () in
+  with_server
+    { Server.default_config with cache = Some store; workers = 1; conn_limit = 16 }
+    (fun sock _srv ->
+      let c = match Client.connect (Sproto.Unix_socket sock) with Ok c -> c | Error e -> Alcotest.fail e in
+      (match Client.rpc c (decide_of ~id:"s1" quick_job) with
+      | Ok { Sproto.status = Sproto.Verdict _; _ } -> ()
+      | _ -> Alcotest.fail "warm-up decide failed");
+      (match Client.rpc c (decide_of ~id:"s2" quick_job) with
+      | Ok { Sproto.status = Sproto.Verdict v; _ } ->
+        Alcotest.(check bool) "second decide cached" true v.cached
+      | _ -> Alcotest.fail "second decide failed");
+      (match Client.health c with
+      | Ok s -> Alcotest.(check string) "healthy" "ok" s
+      | Error e -> Alcotest.failf "health rpc: %s" e);
+      Client.close c;
+      List.iter
+        (fun version ->
+          let doc = fetch_stats ~version sock in
+          Alcotest.(check (list string))
+            (Printf.sprintf "stats over /%d validates" version)
+            [] (T.validate_stats doc);
+          Alcotest.(check bool) "decides counted" true (stats_gauge doc "service.verb.decide" >= 2.);
+          Alcotest.(check bool) "uptime advances" true (stats_gauge doc "service.uptime_s" > 0.);
+          Alcotest.(check bool) "mem-cache hits visible" true
+            (stats_gauge doc "service.mem_cache.hits" >= 1.);
+          (* the latency window saw the decides *)
+          match Option.bind (Json.member "windows" doc) (Json.member "service.window.latency_ms") with
+          | Some w -> (
+            match Json.member "count" w with
+            | Some (Json.Num n) -> Alcotest.(check bool) "window count" true (n >= 2.)
+            | _ -> Alcotest.fail "window count missing")
+          | None -> Alcotest.fail "latency window missing from stats")
+        [ 1; 2 ])
+
+(* during graceful drain the listeners stay open, so a fresh connection can
+   still ask health and must see "draining" while in-flight work finishes *)
+let test_health_draining () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let sock = Filename.concat dir "s.sock" in
+  let cfg =
+    {
+      Server.default_config with
+      addresses = [ Sproto.Unix_socket sock ];
+      workers = 1;
+      conn_limit = 16;
+    }
+  in
+  let srv = match Server.start cfg with Ok s -> s | Error e -> Alcotest.fail e in
+  let fd, ic = raw_connect sock in
+  (* three slow jobs on one worker: drain has real work to finish *)
+  raw_send fd
+    (List.init 3 (fun i -> Sproto.request_to_json (decide_of ~id:(Printf.sprintf "h%d" i) slow_job)));
+  Thread.delay 0.1;
+  Server.drain srv;
+  (match Client.connect (Sproto.Unix_socket sock) with
+  | Error e -> Alcotest.failf "connect during drain must succeed (health probes): %s" e
+  | Ok c ->
+    (match Client.health c with
+    | Ok s -> Alcotest.(check string) "drain visible over health" "draining" s
+    | Error e -> Alcotest.failf "health during drain: %s" e);
+    Client.close c);
+  (* the admitted slow jobs are still answered — drain drops nothing *)
+  let responses = raw_read_responses ic 3 in
+  Alcotest.(check int) "all admitted work answered" 3 (List.length responses);
+  Unix.close fd;
+  ignore (Server.wait srv)
+
+let read_lines file =
+  In_channel.with_open_bin file In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+
+(* every access-log line is strict JSON with the documented fields; the
+   cache tier and the client trace id are reported *)
+let test_access_log_schema () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store = Store.open_ ~root:(Filename.concat dir "cache") ~memo:1024 () in
+  let log = Filename.concat dir "access.jsonl" in
+  with_server
+    { Server.default_config with cache = Some store; workers = 1; access_log = Some log }
+    (fun sock _srv ->
+      let c = match Client.connect (Sproto.Unix_socket sock) with Ok c -> c | Error e -> Alcotest.fail e in
+      ignore (Client.rpc c (decide_of ~id:"a1" ~trace:"trace-xyz" quick_job));
+      ignore (Client.rpc c (decide_of ~id:"a2" quick_job));
+      ignore (Client.health c);
+      Client.close c);
+  (* the log is written asynchronously (staging arena + writer thread);
+     once [with_server] returns the server has drained and joined the
+     writer, so the file is complete *)
+  let lines = read_lines log in
+  Alcotest.(check int) "three loggable requests" 3 (List.length lines);
+  let docs =
+    List.map
+      (fun l ->
+        match Json.parse l with
+        | Ok d -> d
+        | Error e -> Alcotest.failf "access-log line not strict JSON: %s (%s)" l e)
+      lines
+  in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun k -> if Json.member k d = None then Alcotest.failf "missing field %s" k)
+        [ "ts"; "verb"; "id"; "status"; "queue_ms"; "compute_ms"; "total_ms" ])
+    docs;
+  let find id = List.find (fun d -> Json.member "id" d = Some (Json.Str id)) docs in
+  Alcotest.(check bool) "trace echoed" true
+    (Json.member "trace" (find "a1") = Some (Json.Str "trace-xyz"));
+  Alcotest.(check bool) "cold decide computed (tier none)" true
+    (Json.member "tier" (find "a1") = Some (Json.Str "none"));
+  Alcotest.(check bool) "warm decide served from memory" true
+    (Json.member "tier" (find "a2") = Some (Json.Str "mem"));
+  Alcotest.(check bool) "admin verb logged" true
+    (Json.member "verb" (find "health") = Some (Json.Str "health"))
+
+let test_access_log_sampling_and_slow () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let log2 = Filename.concat dir "sampled.jsonl" in
+  with_server
+    { Server.default_config with workers = 1; access_log = Some log2; log_sample = 2 }
+    (fun sock _srv ->
+      let c = match Client.connect (Sproto.Unix_socket sock) with Ok c -> c | Error e -> Alcotest.fail e in
+      for i = 1 to 4 do
+        ignore (Client.rpc c (decide_of ~id:(Printf.sprintf "n%d" i) quick_job))
+      done;
+      Client.close c);
+  Alcotest.(check int) "every 2nd of 4 requests logged" 2 (List.length (read_lines log2));
+  let log3 = Filename.concat dir "slow.jsonl" in
+  with_server
+    { Server.default_config with workers = 1; access_log = Some log3; slow_ms = Some 1e6 }
+    (fun sock _srv ->
+      let c = match Client.connect (Sproto.Unix_socket sock) with Ok c -> c | Error e -> Alcotest.fail e in
+      for i = 1 to 4 do
+        ignore (Client.rpc c (decide_of ~id:(Printf.sprintf "f%d" i) quick_job))
+      done;
+      Client.close c);
+  Alcotest.(check int) "nothing beats a 1000 s slow bar" 0 (List.length (read_lines log3))
+
+(* Prometheus exposition: every line is either a # TYPE comment or a
+   name/value sample, names carry the dda_ prefix, values parse *)
+let check_prom_line line =
+  let starts_with p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
+  if starts_with "# TYPE " line then begin
+    match String.split_on_char ' ' line with
+    | [ "#"; "TYPE"; name; typ ] ->
+      Alcotest.(check bool) (line ^ ": metric name prefixed") true (starts_with "dda_" name);
+      Alcotest.(check bool) (line ^ ": known type") true
+        (List.mem typ [ "counter"; "gauge"; "histogram"; "summary" ])
+    | _ -> Alcotest.failf "malformed TYPE comment: %s" line
+  end
+  else
+    match String.rindex_opt line ' ' with
+    | None -> Alcotest.failf "sample line without value: %s" line
+    | Some i ->
+      let name = String.sub line 0 i in
+      let value = String.sub line (i + 1) (String.length line - i - 1) in
+      Alcotest.(check bool) (line ^ ": sample name prefixed") true (starts_with "dda_" name);
+      (match float_of_string_opt value with
+      | Some _ -> ()
+      | None -> Alcotest.failf "unparsable sample value in: %s" line)
+
+let test_prometheus_exposition () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store = Store.open_ ~root:(Filename.concat dir "cache") ~memo:1024 () in
+  with_server
+    { Server.default_config with cache = Some store; workers = 1 }
+    (fun sock _srv ->
+      let c = match Client.connect (Sproto.Unix_socket sock) with Ok c -> c | Error e -> Alcotest.fail e in
+      ignore (Client.rpc c (decide_of ~id:"p1" quick_job));
+      ignore (Client.rpc c (decide_of ~id:"p2" quick_job));
+      Client.close c;
+      let doc = fetch_stats sock in
+      match SV.prometheus doc with
+      | Error e -> Alcotest.failf "prometheus render: %s" e
+      | Ok text ->
+        let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' text) in
+        Alcotest.(check bool) "non-trivial exposition" true (List.length lines > 10);
+        List.iter check_prom_line lines;
+        let has needle = List.exists (contains needle) lines in
+        Alcotest.(check bool) "uptime gauge" true (has "dda_service_uptime_s ");
+        Alcotest.(check bool) "health one-hot" true (has "dda_health{state=\"ok\"} 1");
+        Alcotest.(check bool) "window summary quantile" true
+          (has "dda_service_window_latency_ms{quantile=\"0.99\"}"));
+  (* a non-stats document is refused, not mis-rendered *)
+  match SV.prometheus (Json.Obj [ ("schema", Json.Str "dda.telemetry/1") ]) with
+  | Ok _ -> Alcotest.fail "prometheus must reject non-stats documents"
+  | Error _ -> ()
+
+let test_render_top_frame () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  with_server
+    { Server.default_config with workers = 1 }
+    (fun sock _srv ->
+      let c = match Client.connect (Sproto.Unix_socket sock) with Ok c -> c | Error e -> Alcotest.fail e in
+      ignore (Client.rpc c (decide_of ~id:"t1" quick_job));
+      Client.close c;
+      let doc = fetch_stats sock in
+      let frame = SV.render_top ~spark:[ 0; 1; 3; 2 ] doc in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (Printf.sprintf "frame mentions %S" needle) true
+            (contains needle frame))
+        [ "health ok"; "p50"; "p95"; "p99"; "rps"; "mem-cache"; "verbs:"; "queue depth" ];
+      (* one line per section, newline-terminated: a stable one-shot frame
+         for --once / non-tty capture *)
+      Alcotest.(check bool) "frame ends with a newline" true
+        (String.length frame > 0 && frame.[String.length frame - 1] = '\n'))
+
 let () =
   Alcotest.run "service"
     [
@@ -787,5 +1033,15 @@ let () =
           Alcotest.test_case "negotiation, both formats live" `Quick test_v2_negotiation;
           Alcotest.test_case "malformed frames over the wire" `Quick test_v2_malformed_frames;
           Alcotest.test_case "pipelined load, cold then warm" `Quick test_v2_pipelined_load;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "stats + health over /1 and /2" `Quick test_stats_health_roundtrip;
+          Alcotest.test_case "health reports draining" `Quick test_health_draining;
+          Alcotest.test_case "access log schema + tiers + trace" `Quick test_access_log_schema;
+          Alcotest.test_case "access log sampling and slow filter" `Quick
+            test_access_log_sampling_and_slow;
+          Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+          Alcotest.test_case "top renders one frame" `Quick test_render_top_frame;
         ] );
     ]

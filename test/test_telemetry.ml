@@ -343,6 +343,104 @@ let test_validators_reject_garbage () =
   Alcotest.(check bool) "journal without ev rejected" true
     (T.validate_journal {|{"t": 0.1}|} <> [])
 
+(* --- clocks ------------------------------------------------------------------ *)
+
+let test_monotonic_clock () =
+  let a = T.monotonic () in
+  let b = T.monotonic () in
+  Alcotest.(check bool) "never steps backwards" true (b >= a);
+  (* the C stub is expected to bind on every platform CI runs on; the wall
+     fallback exists for exotic targets only *)
+  Alcotest.(check bool) "CLOCK_MONOTONIC bound" true T.monotonic_available
+
+(* --- sliding windows --------------------------------------------------------- *)
+
+(* deterministic timeline via ?now: second 100.x throughout *)
+let test_window_basic () =
+  let w = T.Window.create ~window_s:10 "service.window.latency_ms" in
+  List.iter (fun v -> T.Window.observe ~now:100.2 w v) [ 1.; 2.; 3.; 4.; 100. ];
+  let s = T.Window.snapshot ~now:100.9 w in
+  Alcotest.(check int) "count" 5 s.T.Window.count;
+  Alcotest.(check (float 1e-9) "sum") 110. s.T.Window.sum;
+  Alcotest.(check (float 1e-9) "rate = count / window") 0.5 s.T.Window.rate;
+  Alcotest.(check (float 1e-9) "p50 nearest-rank") 3. s.T.Window.p50;
+  Alcotest.(check (float 1e-9) "p99 is the top sample") 100. s.T.Window.p99;
+  Alcotest.(check (float 1e-9) "max") 100. s.T.Window.max_v
+
+let test_window_rotation_and_expiry () =
+  let w = T.Window.create ~window_s:3 "service.window.latency_ms" in
+  T.Window.observe ~now:10. w 1.;
+  T.Window.observe ~now:11. w 2.;
+  T.Window.observe ~now:12. w 3.;
+  (* at t=12.5 all three seconds are inside the 3 s window *)
+  Alcotest.(check int) "full window" 3 (T.Window.snapshot ~now:12.5 w).T.Window.count;
+  (* at t=13.5 the t=10 slot has aged out *)
+  Alcotest.(check int) "oldest second expired" 2 (T.Window.snapshot ~now:13.5 w).T.Window.count;
+  (* a much later observation lands in a recycled slot and is alone *)
+  T.Window.observe ~now:13.0 w 9.;
+  let s = T.Window.snapshot ~now:13.5 w in
+  Alcotest.(check int) "recycled slot counted once" 3 s.T.Window.count;
+  Alcotest.(check (float 1e-9) "max from the new slot") 9. s.T.Window.max_v
+
+let test_window_idle_gap () =
+  let w = T.Window.create ~window_s:5 "service.window.latency_ms" in
+  for i = 0 to 9 do
+    T.Window.observe ~now:(20. +. float_of_int i) w 1.
+  done;
+  Alcotest.(check int) "busy" 5 (T.Window.snapshot ~now:29.5 w).T.Window.count;
+  (* a long idle gap: every slot stamp is stale, nothing is served *)
+  let s = T.Window.snapshot ~now:1000. w in
+  Alcotest.(check int) "idle window is empty" 0 s.T.Window.count;
+  Alcotest.(check (float 1e-9) "idle quantiles zero") 0. s.T.Window.p99
+
+let test_window_reservoir_cap () =
+  let w = T.Window.create ~window_s:2 ~slot_cap:64 "service.window.latency_ms" in
+  (* 10k observations in one second: counts stay exact, samples bounded *)
+  for i = 1 to 10_000 do
+    T.Window.observe ~now:50.5 w (float_of_int i)
+  done;
+  let s = T.Window.snapshot ~now:50.9 w in
+  Alcotest.(check int) "count is exact beyond the cap" 10_000 s.T.Window.count;
+  Alcotest.(check bool) "quantiles from the reservoir stay in range" true
+    (s.T.Window.p50 >= 1. && s.T.Window.p50 <= 10_000.);
+  (* and the JSON form parses with the expected fields *)
+  match Json.parse (T.Window.snapshot_json ~now:50.9 w) with
+  | Error e -> Alcotest.failf "window snapshot JSON: %s" e
+  | Ok doc ->
+    List.iter
+      (fun k ->
+        match Json.member k doc with
+        | Some (Json.Num _) -> ()
+        | _ -> Alcotest.failf "window snapshot field %s missing" k)
+      [ "window_s"; "count"; "sum"; "rate"; "p50"; "p95"; "p99"; "max" ]
+
+(* --- dda.stats/1 validation -------------------------------------------------- *)
+
+let test_validate_stats () =
+  let good =
+    ok
+      {|{"schema":"dda.stats/1","health":"ok",
+         "gauges":{"service.uptime_s":1.5,"service.inflight":0,"service.verb.decide":3,
+                   "service.requests":3},
+         "windows":{"service.window.latency_ms":
+           {"window_s":60,"count":3,"sum":4.5,"rate":0.05,"p50":1.5,"p95":1.5,"p99":1.5,"max":1.5}},
+         "telemetry":{"schema":"dda.telemetry/1","counters":{},"histograms":{},"spans":{},"derived":{}}}|}
+  in
+  Alcotest.(check (list string)) "well-formed stats validate" [] (T.validate_stats good);
+  (* an otherwise-valid embedded telemetry doc, so each bad_* fixture fails
+     for exactly the reason under test *)
+  let tel = {|"telemetry":{"schema":"dda.telemetry/1","counters":{},"histograms":{},"spans":{},"derived":{}}|} in
+  let bad_health = ok ({|{"schema":"dda.stats/1","health":"meh","gauges":{},"windows":{},|} ^ tel ^ "}") in
+  Alcotest.(check bool) "unknown health state rejected" true (T.validate_stats bad_health <> []);
+  let bad_gauge = ok ({|{"schema":"dda.stats/1","health":"ok","gauges":{"no.such.gauge":1},"windows":{},|} ^ tel ^ "}") in
+  Alcotest.(check bool) "unregistered gauge rejected" true (T.validate_stats bad_gauge <> []);
+  let bad_window = ok ({|{"schema":"dda.stats/1","health":"ok","gauges":{},"windows":{"no.such.window":{"window_s":60,"count":0,"sum":0,"rate":0,"p50":0,"p95":0,"p99":0,"max":0}},|} ^ tel ^ "}") in
+  Alcotest.(check bool) "unregistered window rejected" true (T.validate_stats bad_window <> []);
+  let bad_schema = ok ({|{"schema":"dda.stats/2","health":"ok","gauges":{},"windows":{},|} ^ tel ^ "}") in
+  Alcotest.(check bool) "wrong schema rejected" true (T.validate_stats bad_schema <> []);
+  let bad_tel = ok {|{"schema":"dda.stats/1","health":"ok","gauges":{},"windows":{},"telemetry":{"schema":"dda.telemetry/1","counters":{"no.such.counter":1}}}|} in
+  Alcotest.(check bool) "embedded telemetry still validated" true (T.validate_stats bad_tel <> [])
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -371,5 +469,14 @@ let () =
           Alcotest.test_case "concurrent registration from domains" `Quick
             test_concurrent_registration;
           Alcotest.test_case "validators reject garbage" `Quick test_validators_reject_garbage;
+        ] );
+      ( "live",
+        [
+          Alcotest.test_case "monotonic clock" `Quick test_monotonic_clock;
+          Alcotest.test_case "window basics" `Quick test_window_basic;
+          Alcotest.test_case "window rotation and expiry" `Quick test_window_rotation_and_expiry;
+          Alcotest.test_case "window idle gap decays" `Quick test_window_idle_gap;
+          Alcotest.test_case "window reservoir cap" `Quick test_window_reservoir_cap;
+          Alcotest.test_case "dda.stats/1 validation" `Quick test_validate_stats;
         ] );
     ]
