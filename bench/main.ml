@@ -885,6 +885,204 @@ let experiment_observability () =
       }
 
 (* ------------------------------------------------------------------ *)
+(* E16: routed service — consistent-hash fan-out over dda serve backends *)
+(* ------------------------------------------------------------------ *)
+
+type router_bench = {
+  rb_backends : int;
+  rb_clients : int;
+  rb_per_client : int;
+  rb_pipeline : int;
+  rb_total_requests : int;
+  rb_cold : Sclient.summary;
+  rb_warm : Sclient.summary;
+  rb_warm_seconds : float list;
+  rb_forwarded : int;
+  rb_retries : int;
+  rb_ejections : int;
+}
+
+(* stashed for E11's BENCH_verify.json writer *)
+let router_bench_result : router_bench option ref = ref None
+
+let experiment_router () =
+  section "E16  routed service: consistent-hash fan-out over two dda serve backends";
+  let module Server = Dda_service.Server in
+  let module Router = Dda_service.Router in
+  let module Sproto = Dda_service.Protocol in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dda_bench_router.%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists root then rm_rf root;
+  Unix.mkdir root 0o700;
+  (* Each tier runs in its own domain so that on a multicore box the
+     router loop and both backend loops execute in parallel (threads
+     spawned inside a domain stay on that domain's runtime lock); on a
+     single-core box the domains are merely time-sliced and the routed
+     figures measure the per-request overhead of the extra hop instead. *)
+  let spawn_server cfg =
+    let cell = Atomic.make None in
+    let d =
+      Domain.spawn (fun () ->
+          match Server.start cfg with
+          | Error e -> Atomic.set cell (Some (Error e))
+          | Ok srv ->
+            Atomic.set cell (Some (Ok srv));
+            ignore (Server.wait srv))
+    in
+    let rec sync () =
+      match Atomic.get cell with
+      | None ->
+        Thread.delay 0.01;
+        sync ()
+      | Some r -> r
+    in
+    match sync () with
+    | Ok srv -> (srv, d)
+    | Error e ->
+      Domain.join d;
+      failwith ("E16 backend start: " ^ e)
+  in
+  let spawn_router cfg =
+    let cell = Atomic.make None in
+    let d =
+      Domain.spawn (fun () ->
+          match Router.start cfg with
+          | Error e -> Atomic.set cell (Some (Error e))
+          | Ok rt ->
+            Atomic.set cell (Some (Ok rt));
+            ignore (Router.wait rt))
+    in
+    let rec sync () =
+      match Atomic.get cell with
+      | None ->
+        Thread.delay 0.01;
+        sync ()
+      | Some r -> r
+    in
+    match sync () with
+    | Ok rt -> (rt, d)
+    | Error e ->
+      Domain.join d;
+      failwith ("E16 router start: " ^ e)
+  in
+  let n_backends = 2 in
+  let pipeline = if smoke then 4 else 16 in
+  let bsock i = Filename.concat root (Printf.sprintf "b%d.sock" i) in
+  let backends =
+    List.init n_backends (fun i ->
+        spawn_server
+          {
+            Server.default_config with
+            addresses = [ Sproto.Unix_socket (bsock i) ];
+            cache =
+              Some
+                (Dda_batch.Store.open_
+                   ~root:(Filename.concat root (Printf.sprintf "cache%d" i))
+                   ~memo:65536 ());
+            workers = 2;
+            queue_capacity = 4096;
+            conn_limit = 4 * pipeline;
+          })
+  in
+  let rsock = Filename.concat root "router.sock" in
+  let rt, rd =
+    spawn_router
+      {
+        Router.default_config with
+        listen = [ Sproto.Unix_socket rsock ];
+        backends = List.init n_backends (fun i -> Sproto.Unix_socket (bsock i));
+        backend_window = 2 * pipeline;
+        backend_backlog = 65536;
+      }
+  in
+  (* the E13/E14 mix: six distinct specs spread over the ring, and the
+     warm figures compare like for like with the single-backend E14 row *)
+  let job protocol graph =
+    {
+      Dda_batch.Batch.protocol;
+      graph;
+      regime = Dda_batch.Spec.Pseudo_stochastic;
+      max_configs = 200_000;
+    }
+  in
+  let mix =
+    [
+      job "exists:a" "cycle:abb";
+      job "exists:a" "cycle:aabb";
+      job "exists:a" "line:abab";
+      job "threshold:a,2" "cycle:aab";
+      job "threshold:a,2" "line:aabb";
+      job "exists:a" "cycle:abab";
+    ]
+  in
+  (* the row targets >= 1M routed requests outside CI smoke *)
+  let clients = if smoke then 2 else 8 in
+  let per_client = if smoke then 60 else 125_000 in
+  let run label ~per_client ~pipeline =
+    match
+      Sclient.load ~version:2 ~pipeline (Sproto.Unix_socket rsock)
+        { Sclient.clients; per_client; mix; deadline_ms = None }
+    with
+    | Error e -> failwith (Printf.sprintf "E16 %s load: %s" label e)
+    | Ok s -> s
+  in
+  (* cold: every spec computed once on its owning backend *)
+  let cold = run "cold" ~per_client:(List.length mix * 2) ~pipeline:1 in
+  let warm = run "warm" ~per_client ~pipeline in
+  let rstats = Router.stats rt in
+  Router.drain rt;
+  Domain.join rd;
+  List.iter
+    (fun (srv, d) ->
+      Server.drain srv;
+      Domain.join d)
+    backends;
+  rm_rf root;
+  let total = cold.Sclient.requests + warm.Sclient.requests in
+  Format.printf
+    "%d backends behind one router; %d clients x %d requests, pipeline %d, /2 end to end@."
+    n_backends clients per_client pipeline;
+  Format.printf "%-6s %9s %10s %8s %8s %9s %9s %9s@." "pass" "seconds" "rps" "ok" "cached"
+    "p50_ms" "p95_ms" "p99_ms";
+  let line name (s : Sclient.summary) =
+    Format.printf "%-6s %8.3fs %10.1f %8d %8d %9.3f %9.3f %9.3f@." name s.Sclient.seconds
+      s.Sclient.rps s.Sclient.ok s.Sclient.cached s.Sclient.p50_ms s.Sclient.p95_ms
+      s.Sclient.p99_ms
+  in
+  line "cold" cold;
+  line "warm" warm;
+  Format.printf
+    "total %d requests, warm hit rate %.1f%%; router: %d forwarded, %d retried, %d ejection(s)@."
+    total
+    (100. *. Sclient.hit_rate warm)
+    rstats.Router.forwarded rstats.Router.retries rstats.Router.ejections;
+  (match !service_v2_bench_result with
+  | Some e14 when e14.s2_warm.Sclient.rps > 0. ->
+    Format.printf "aggregate warm rps vs single-backend E14: %.2fx%s@."
+      (warm.Sclient.rps /. e14.s2_warm.Sclient.rps)
+      (if Domain.recommended_domain_count () < 2 then
+         "  (single-core box: all tiers time-slice one CPU, so the hop is pure overhead)"
+       else "")
+  | _ -> ());
+  router_bench_result :=
+    Some
+      {
+        rb_backends = n_backends;
+        rb_clients = clients;
+        rb_per_client = per_client;
+        rb_pipeline = pipeline;
+        rb_total_requests = total;
+        rb_cold = cold;
+        rb_warm = warm;
+        rb_warm_seconds = [ warm.Sclient.seconds ];
+        rb_forwarded = rstats.Router.forwarded;
+        rb_retries = rstats.Router.retries;
+        rb_ejections = rstats.Router.ejections;
+      }
+
+(* ------------------------------------------------------------------ *)
 (* E11: the exploration engine vs the legacy explorer (BENCH_verify.json) *)
 (* ------------------------------------------------------------------ *)
 
@@ -1092,18 +1290,35 @@ let experiment_verify_bench () =
           (Dda_analysis.Stats.summary_json (Dda_analysis.Stats.summarise sb.s2_warm_seconds))
           (pass sb.s2_cold) (pass sb.s2_warm);
       ])
+    @ (match !obs_bench_result with
+      | None -> []
+      | Some ob ->
+        [
+          Printf.sprintf
+            "\"observability\": {\"windows\": %d, \"log_sample\": %d, \"rps_off\": %s, \
+             \"rps_on\": %s, \"delta_pct\": %.2f, \"gate_3pct_ok\": %b}"
+            ob.ob_reps ob.ob_log_sample
+            (Dda_analysis.Stats.summary_json (Dda_analysis.Stats.summarise ob.ob_rps_off))
+            (Dda_analysis.Stats.summary_json (Dda_analysis.Stats.summarise ob.ob_rps_on))
+            ob.ob_delta_pct ob.ob_gate_ok;
+        ])
     @
-    match !obs_bench_result with
+    match !router_bench_result with
     | None -> []
-    | Some ob ->
+    | Some rb ->
       [
         Printf.sprintf
-          "\"observability\": {\"windows\": %d, \"log_sample\": %d, \"rps_off\": %s, \
-           \"rps_on\": %s, \"delta_pct\": %.2f, \"gate_3pct_ok\": %b}"
-          ob.ob_reps ob.ob_log_sample
-          (Dda_analysis.Stats.summary_json (Dda_analysis.Stats.summarise ob.ob_rps_off))
-          (Dda_analysis.Stats.summary_json (Dda_analysis.Stats.summarise ob.ob_rps_on))
-          ob.ob_delta_pct ob.ob_gate_ok;
+          "\"router\": {\"backends\": %d, \"clients\": %d, \"per_client\": %d, \
+           \"pipeline\": %d, \"total_requests\": %d, \"warm_hit_rate\": %.4f, \
+           \"warm_rps_vs_e14\": %s, \"forwarded\": %d, \"retries\": %d, \"ejections\": %d, \
+           \"cold\": %s, \"warm\": %s}"
+          rb.rb_backends rb.rb_clients rb.rb_per_client rb.rb_pipeline rb.rb_total_requests
+          (Sclient.hit_rate rb.rb_warm)
+          (match !service_v2_bench_result with
+          | Some e14 when e14.s2_warm.Sclient.rps > 0. ->
+            Printf.sprintf "%.2f" (rb.rb_warm.Sclient.rps /. e14.s2_warm.Sclient.rps)
+          | _ -> "null")
+          rb.rb_forwarded rb.rb_retries rb.rb_ejections (pass rb.rb_cold) (pass rb.rb_warm);
       ]
   in
   (match sections with
@@ -1221,6 +1436,7 @@ let () =
   experiment_service ();
   experiment_service_v2 ();
   experiment_observability ();
+  experiment_router ();
   experiment_verify_bench ();
   bechamel_suite ();
   telemetry_overhead_bench ();

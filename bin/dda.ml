@@ -35,6 +35,7 @@ module Batch = Dda_batch.Batch
 module Store = Dda_batch.Store
 module Sproto = Dda_service.Protocol
 module Server = Dda_service.Server
+module Router = Dda_service.Router
 module Client = Dda_service.Client
 module Stats_view = Dda_service.Stats_view
 
@@ -338,8 +339,8 @@ let cmd_cache action dir =
 (* The verification service (doc/SERVICE.md)                            *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_serve listens cache_dir mem_cache workers queue conn_limit cap deadline_ms window_s
-    access_log log_sample slow_ms trace metrics journal progress =
+let cmd_serve listens cache_dir mem_cache workers queue conn_limit max_connections cap
+    deadline_ms window_s access_log log_sample slow_ms trace metrics journal progress =
   telemetry_init trace metrics journal progress;
   (* the stats verb serves the live telemetry snapshot, so a server always
      counts — even without --metrics/--trace sinks *)
@@ -355,6 +356,7 @@ let cmd_serve listens cache_dir mem_cache workers queue conn_limit cap deadline_
       workers;
       queue_capacity = queue;
       conn_limit;
+      max_connections;
       max_configs_cap = cap;
       default_deadline_ms = deadline_ms;
       window_s;
@@ -387,6 +389,59 @@ let cmd_serve listens cache_dir mem_cache workers queue conn_limit cap deadline_
      bounded), %d rejected, %d error(s), %d ping(s)@."
     s.Server.connections s.Server.accepted s.Server.served s.Server.hits s.Server.computed
     s.Server.bounded s.Server.rejected s.Server.errors s.Server.pings
+
+let cmd_route listens backend_args replicas max_connections backend_window backend_backlog
+    connect_timeout probe_interval probe_timeout no_retry window_s trace metrics journal
+    progress =
+  telemetry_init trace metrics journal progress;
+  if not (T.enabled ()) then T.enable ();
+  let listen = List.map (fun s -> or_die (Sproto.parse_address s)) listens in
+  if listen = [] then or_die (Error "route: pass at least one --listen ADDR");
+  (* --backends accepts comma lists and is repeatable; both spellings mix *)
+  let backends =
+    List.concat_map (String.split_on_char ',') backend_args
+    |> List.filter_map (fun s ->
+           let s = String.trim s in
+           if s = "" then None else Some (or_die (Sproto.parse_address s)))
+  in
+  if backends = [] then or_die (Error "route: pass at least one --backends ADDR[,ADDR...]");
+  let cfg =
+    {
+      Router.listen;
+      backends;
+      replicas;
+      max_connections;
+      backend_window;
+      backend_backlog;
+      connect_timeout;
+      probe_interval;
+      probe_timeout;
+      retry = not no_retry;
+      window_s;
+    }
+  in
+  let rt = or_die (Router.start cfg) in
+  let stop = stop_on_signals () in
+  let s0 = Router.stats rt in
+  Format.printf "dda route: listening on %s — %d backend(s), %d up (window %d, replicas %d)@."
+    (String.concat ", " (List.map Sproto.address_to_string listen))
+    (List.length backends) s0.Router.backends_up backend_window replicas;
+  let (_ : Thread.t) =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          Thread.delay 0.05
+        done;
+        Format.eprintf "dda route: draining (answering in-flight forwards)@.";
+        Router.drain rt)
+      ()
+  in
+  let s = Router.wait rt in
+  Format.printf
+    "dda route: drained — %d connection(s), %d request(s), %d forwarded (%d retried), %d \
+     rejected, %d error(s), %d ejection(s), %d readmission(s)@."
+    s.Router.connections s.Router.requests s.Router.forwarded s.Router.retries s.Router.rejected
+    s.Router.errors s.Router.ejections s.Router.readmissions
 
 let client_mix mix_file proto graph fairness_str max_configs =
   match mix_file with
@@ -802,6 +857,15 @@ let serve_cmd =
       & info [ "conn-limit" ] ~docv:"N"
           ~doc:"Max in-flight requests per connection (default 8).")
   in
+  let max_connections =
+    Arg.(
+      value & opt int 512
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Max simultaneous connections (default 512); past it, accepts wait in the kernel \
+             backlog.  Checked at startup against the select() FD_SETSIZE budget (1024 on \
+             Linux) — a cap that could breach it is a startup error, not a wedged loop.")
+  in
   let cap =
     Arg.(
       value & opt int 2_000_000
@@ -855,9 +919,109 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the persistent verification server (SIGTERM/SIGINT drain gracefully)")
     Term.(
-      const cmd_serve $ listens $ cache_arg $ mem_cache $ workers $ queue $ conn_limit $ cap
-      $ deadline $ stats_window $ access_log $ log_sample $ slow_ms $ trace_arg $ metrics_arg
-      $ journal_arg $ progress_arg)
+      const cmd_serve $ listens $ cache_arg $ mem_cache $ workers $ queue $ conn_limit
+      $ max_connections $ cap $ deadline $ stats_window $ access_log $ log_sample $ slow_ms
+      $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
+
+let route_cmd =
+  let listens =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "l"; "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Front listen address (repeatable): a Unix socket path (contains / or ends in \
+             .sock), HOST:PORT, or a bracketed IPv6 literal like [::1]:7777.")
+  in
+  let backends =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "b"; "backends" ] ~docv:"ADDR,ADDR,..."
+          ~doc:
+            "Backend $(b,dda serve) addresses to route over — a comma-separated list, also \
+             repeatable.")
+  in
+  let replicas =
+    Arg.(
+      value
+      & opt int Router.default_config.Router.replicas
+      & info [ "replicas" ] ~docv:"K"
+          ~doc:"Virtual points per backend on the consistent-hash ring (default 101).")
+  in
+  let max_connections =
+    Arg.(
+      value
+      & opt int Router.default_config.Router.max_connections
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Max simultaneous front connections (default 512).  Checked at startup against \
+             the select() FD_SETSIZE budget (1024 on Linux) together with the backend \
+             connections.")
+  in
+  let backend_window =
+    Arg.(
+      value
+      & opt int Router.default_config.Router.backend_window
+      & info [ "backend-window" ] ~docv:"N"
+          ~doc:
+            "Max in-flight forwards per backend connection (default 8).  Keep at or below the \
+             backends' --conn-limit.")
+  in
+  let backend_backlog =
+    Arg.(
+      value
+      & opt int Router.default_config.Router.backend_backlog
+      & info [ "backend-backlog" ] ~docv:"N"
+          ~doc:
+            "Forwards queued per backend beyond the window before new requests are \
+             rejected:router_backlog (default 1024).")
+  in
+  let connect_timeout =
+    Arg.(
+      value
+      & opt float Router.default_config.Router.connect_timeout
+      & info [ "connect-timeout" ] ~docv:"SECS"
+          ~doc:"Backend connect + protocol negotiation deadline (default 2).")
+  in
+  let probe_interval =
+    Arg.(
+      value
+      & opt float Router.default_config.Router.probe_interval
+      & info [ "probe-interval" ] ~docv:"SECS"
+          ~doc:"Seconds between health probes per backend (default 1).")
+  in
+  let probe_timeout =
+    Arg.(
+      value
+      & opt float Router.default_config.Router.probe_timeout
+      & info [ "probe-timeout" ] ~docv:"SECS"
+          ~doc:"An unanswered probe older than this ejects the backend (default 3).")
+  in
+  let no_retry =
+    Arg.(
+      value & flag
+      & info [ "no-retry" ]
+          ~doc:
+            "Do not retry forwards lost to an ejection onto the ring successor; answer \
+             error:backend_unavailable immediately.")
+  in
+  let stats_window =
+    Arg.(
+      value
+      & opt int Router.default_config.Router.window_s
+      & info [ "stats-window" ] ~docv:"SECS"
+          ~doc:"Sliding-window length for the live latency percentiles in dda stats (default 60).")
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Route decide requests across dda serve backends by consistent hashing \
+          (SIGTERM/SIGINT drain gracefully)")
+    Term.(
+      const cmd_route $ listens $ backends $ replicas $ max_connections $ backend_window
+      $ backend_backlog $ connect_timeout $ probe_interval $ probe_timeout $ no_retry
+      $ stats_window $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
 
 let client_cmd =
   let connect =
@@ -1038,4 +1202,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ tables_cmd; graph_cmd; decide_cmd; simulate_cmd; auto_cmd; program_cmd; cutoff_cmd;
-            telemetry_cmd; batch_cmd; cache_cmd; serve_cmd; client_cmd; stats_cmd; top_cmd ]))
+            telemetry_cmd; batch_cmd; cache_cmd; serve_cmd; route_cmd; client_cmd; stats_cmd;
+            top_cmd ]))

@@ -9,11 +9,17 @@
 
    Negative entries ("this key is known absent") carry an absolute
    expiry so a foreign process writing the backing store is picked up
-   after at most the TTL.  A [put] always supersedes a negative. *)
+   after at most the TTL.  A [put] always supersedes a negative.
+
+   Expiries live on the monotonic clock
+   ({!Dda_telemetry.Telemetry.monotonic}): a TTL is a duration, and wall
+   time steps (NTP slew, suspend/resume) would either pin a tombstone far
+   in the future or expire it instantly.  [?now] injections must come
+   from the same clock. *)
 
 type 'v payload =
   | Value of 'v
-  | Absent of float  (* absolute expiry, Unix.gettimeofday clock *)
+  | Absent of float  (* absolute expiry, monotonic clock *)
 
 type 'v node = {
   n_key : string;
@@ -120,7 +126,7 @@ let find ?now t key =
         sh.hits <- sh.hits + 1;
         `Hit v
       | Absent expiry ->
-        let now = match now with Some f -> f | None -> Unix.gettimeofday () in
+        let now = match now with Some f -> f | None -> Dda_telemetry.Telemetry.monotonic () in
         if now < expiry then `Negative
         else begin
           (* the tombstone aged out: forget it and report a plain miss *)
@@ -152,7 +158,7 @@ let put t key v =
 
 let note_absent ?now t key =
   if t.negative_ttl > 0. then begin
-    let now = match now with Some f -> f | None -> Unix.gettimeofday () in
+    let now = match now with Some f -> f | None -> Dda_telemetry.Telemetry.monotonic () in
     let expiry = now +. t.negative_ttl in
     let sh = shard_of t key in
     Mutex.lock sh.m;

@@ -33,8 +33,10 @@ val create : ?shards:int -> ?negative_ttl:float -> capacity:int -> unit -> 'v t
 val find : ?now:float -> 'v t -> string -> [ `Hit of 'v | `Negative | `Miss ]
 (** [`Hit v] refreshes the entry's recency.  [`Negative] means the key
     was noted absent less than [negative_ttl] ago — the caller can skip
-    the backing store.  [?now] (Unix time) is for tests; it defaults to
-    [Unix.gettimeofday ()]. *)
+    the backing store.  [?now] is for tests; it defaults to
+    {!Dda_telemetry.Telemetry.monotonic} — a TTL is a duration, so
+    expiries live on the monotonic clock, immune to wall-time steps
+    (NTP, suspend).  Inject [?now] from the same clock. *)
 
 val put : 'v t -> string -> 'v -> int
 (** Insert or overwrite, marking the entry most recent.  Returns the
@@ -42,7 +44,8 @@ val put : 'v t -> string -> 'v -> int
 
 val note_absent : ?now:float -> 'v t -> string -> unit
 (** Record a miss against the backing store.  Never overwrites a live
-    value; a no-op when negative caching is disabled. *)
+    value; a no-op when negative caching is disabled.  [?now] as in
+    {!find} (monotonic clock). *)
 
 val remove : 'v t -> string -> unit
 val flush : 'v t -> unit

@@ -13,13 +13,75 @@ let write_all fd s =
   let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
   go 0
 
-let connect ?(version = 1) addr =
+exception Timed_out
+
+(* Connect with an optional monotonic deadline.  Without one this is a
+   plain blocking [Unix.connect].  With one, the socket goes
+   non-blocking, the connect is driven to completion with [select], and
+   the kernel's verdict is read back via [getsockopt_error] — a
+   blackholed TCP peer (SYN never answered) surfaces as [Timed_out]
+   instead of hanging for the kernel's minutes-long default. *)
+let connect_fd ?deadline fd sockaddr =
+  match deadline with
+  | None -> Unix.connect fd sockaddr
+  | Some dl ->
+    Unix.set_nonblock fd;
+    (match Unix.connect fd sockaddr with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+      let rec wait () =
+        let left = dl -. T.monotonic () in
+        if left <= 0. then raise Timed_out;
+        match Unix.select [] [ fd ] [] left with
+        | _, [ _ ], _ -> (
+          match Unix.getsockopt_error fd with
+          | None -> ()
+          | Some e -> raise (Unix.Unix_error (e, "connect", "")))
+        | _ -> wait ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      in
+      wait ());
+    Unix.clear_nonblock fd
+
+(* Read exactly [n] bytes straight off the fd, selecting before every
+   read when a deadline is set.  Used only for the 4-byte negotiation
+   hello, before anything has touched the buffered channel. *)
+let read_exact ?deadline fd n =
+  let buf = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    (match deadline with
+    | None -> ()
+    | Some dl ->
+      let rec wait () =
+        let left = dl -. T.monotonic () in
+        if left <= 0. then raise Timed_out;
+        match Unix.select [ fd ] [] [] left with
+        | [ _ ], _, _ -> ()
+        | _ -> raise Timed_out
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      in
+      wait ());
+    let k = Unix.read fd buf !off (n - !off) in
+    if k = 0 then raise End_of_file;
+    off := !off + k
+  done;
+  Bytes.to_string buf
+
+let connect ?(version = 1) ?timeout addr =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* one deadline spans connect and negotiation: [timeout] bounds the
+     whole call, not each step *)
+  let deadline = Option.map (fun s -> T.monotonic () +. s) timeout in
+  let timed_out_msg step =
+    Printf.sprintf "%s: %s timed out after %.1fs" (Protocol.address_to_string addr) step
+      (Option.value ~default:0. timeout)
+  in
   match
     match addr with
     | Protocol.Unix_socket path ->
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      (try Unix.connect fd (Unix.ADDR_UNIX path)
+      (try connect_fd ?deadline fd (Unix.ADDR_UNIX path)
        with e ->
          (try Unix.close fd with Unix.Unix_error _ -> ());
          raise e);
@@ -38,7 +100,7 @@ let connect ?(version = 1) addr =
           | ai :: rest -> (
             match
               let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype ai.Unix.ai_protocol in
-              (try Unix.connect fd ai.Unix.ai_addr
+              (try connect_fd ?deadline fd ai.Unix.ai_addr
                with e ->
                  (try Unix.close fd with Unix.Unix_error _ -> ());
                  raise e);
@@ -59,7 +121,7 @@ let connect ?(version = 1) addr =
          mismatch is detected immediately rather than on first rpc. *)
       match
         write_all fd Protocol.magic;
-        really_input_string t.ic 4
+        read_exact ?deadline fd 4
       with
       | hello when hello = Protocol.magic -> Ok t
       | hello ->
@@ -72,16 +134,22 @@ let connect ?(version = 1) addr =
         Error
           (Printf.sprintf "%s: connection closed during %s negotiation"
              (Protocol.address_to_string addr) Protocol.schema2)
+      | exception Timed_out ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (timed_out_msg (Protocol.schema2 ^ " negotiation"))
       | exception Unix.Unix_error (e, fn, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         Error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
     | v ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error (Printf.sprintf "unsupported protocol version %d (1 | 2)" v))
+  | exception Timed_out -> Error (timed_out_msg "connect")
   | exception Unix.Unix_error (e, fn, _) ->
     Error
       (Printf.sprintf "%s: %s: %s" (Protocol.address_to_string addr) fn (Unix.error_message e))
   | exception Failure m -> Error m
+
+let fd t = t.fd
 
 let close t =
   if t.open_ then begin

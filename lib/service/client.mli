@@ -16,12 +16,25 @@
 
 type t
 
-val connect : ?version:int -> Protocol.address -> (t, string) result
+val connect : ?version:int -> ?timeout:float -> Protocol.address -> (t, string) result
 (** [version] is 1 (default, JSON lines) or 2 (binary frames).  With 2,
     the connection fails fast — before any request — when the server does
-    not echo the [/2] magic. *)
+    not echo the [/2] magic.
+
+    [timeout] (seconds) bounds the {e whole} call — TCP/Unix connect plus
+    the [/2] negotiation round trip — via non-blocking connect and
+    [select] against one monotonic deadline.  Without it the call blocks
+    indefinitely, so a blackholed peer (SYN unanswered, or accepting but
+    never responding) hangs the caller; the router's probe path always
+    sets it. *)
 
 val close : t -> unit
+
+val fd : t -> Unix.file_descr
+(** The connection's raw descriptor.  After a [~version:2] {!connect}
+    nothing has been read beyond the 4-byte hello, so the descriptor can
+    be handed to an event loop (the router adopts probe connections this
+    way); the {!t} must not be used for {!rpc} afterwards. *)
 
 val rpc : t -> Protocol.request -> (Protocol.response, string) result
 (** One round trip.  [Error] is transport-level (connection refused,

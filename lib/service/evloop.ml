@@ -1,0 +1,138 @@
+(* Shared plumbing for the select()-based single-thread loops: the
+   server (server.ml) and the routing proxy (router.ml) move bytes the
+   same way, through growable byte windows, and live under the same
+   select() descriptor budget. *)
+
+(* A contiguous window [off, off+len) into a growable buffer.  The read
+   side appends socket bytes at the tail and the parser consumes from the
+   head; the write side appends serialised responses and the flusher
+   consumes what [write] accepted.  Compaction is deferred until a grow
+   or a full drain, so steady-state pipelining moves bytes, not buffers. *)
+type iobuf = { mutable buf : Bytes.t; mutable off : int; mutable len : int }
+
+let iobuf_create n = { buf = Bytes.create n; off = 0; len = 0 }
+
+let iobuf_compact b =
+  if b.off > 0 then begin
+    Bytes.blit b.buf b.off b.buf 0 b.len;
+    b.off <- 0
+  end
+
+let iobuf_ensure b extra =
+  if b.off + b.len + extra > Bytes.length b.buf then begin
+    iobuf_compact b;
+    if b.len + extra > Bytes.length b.buf then begin
+      let cap = ref (max 4096 (Bytes.length b.buf)) in
+      while b.len + extra > !cap do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit b.buf 0 nb 0 b.len;
+      b.buf <- nb
+    end
+  end
+
+let iobuf_add_string b s =
+  let n = String.length s in
+  iobuf_ensure b n;
+  Bytes.blit_string s 0 b.buf (b.off + b.len) n;
+  b.len <- b.len + n
+
+let iobuf_consume b n =
+  b.off <- b.off + n;
+  b.len <- b.len - n;
+  if b.len = 0 then b.off <- 0
+
+(* back-pressure: a connection that stops reading its responses stops
+   being read from until its output drains *)
+let max_wbuf = 4 lsl 20
+
+(* a /1 line (or a half-received frame) may not grow without bound *)
+let max_rbuf = 8 lsl 20
+
+let read_chunk = 65536
+
+(* glibc's [Unix.select] silently ignores descriptors >= FD_SETSIZE
+   (1024 on Linux): past that, a connection is simply never reported
+   readable and the loop wedges without an error.  Every loop clamps its
+   connection cap against this at startup instead of discovering it in
+   production. *)
+let fd_setsize = 1024
+
+(* stdin/out/err, cache and log descriptors, and slack for short-lived
+   fds (accept-then-reject, probes mid-handshake) *)
+let fd_headroom = 32
+
+(* Bind one listener.  Raises [Failure] with an operator-readable
+   message; callers surface it as a startup [Error]. *)
+let bind_address addr =
+  match addr with
+  | Protocol.Unix_socket path ->
+    if Sys.file_exists path then begin
+      (* replace a stale socket file, but never steal a live server's *)
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        match Unix.connect probe (Unix.ADDR_UNIX path) with
+        | () -> true
+        | exception Unix.Unix_error _ -> false
+      in
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      if live then failwith (Printf.sprintf "%s: a server is already listening" path);
+      try Sys.remove path with Sys_error _ -> ()
+    end;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (* the socket is the admission door; it must be *born* owner-only —
+       chmod after bind would leave a umask-dependent window in which other
+       local users could connect (doc/SERVICE.md discusses sharing) *)
+    let old_umask = Unix.umask 0o177 in
+    Fun.protect
+      ~finally:(fun () -> ignore (Unix.umask old_umask))
+      (fun () -> Unix.bind fd (Unix.ADDR_UNIX path));
+    Unix.chmod path 0o600;
+    Unix.listen fd 64;
+    fd
+  | Protocol.Tcp (host, port) -> (
+    match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+    | [] -> failwith (Printf.sprintf "cannot resolve %s:%d" host port)
+    | ais ->
+      (* try every resolved address — IPv4 or IPv6 — and keep the first
+         that binds *)
+      let rec go last = function
+        | [] ->
+          let detail =
+            match last with
+            | Some (Unix.Unix_error (e, _, _)) -> ": " ^ Unix.error_message e
+            | _ -> ""
+          in
+          failwith (Printf.sprintf "cannot bind %s:%d%s" host port detail)
+        | ai :: rest -> (
+          match
+            let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype ai.Unix.ai_protocol in
+            (try
+               Unix.setsockopt fd Unix.SO_REUSEADDR true;
+               Unix.bind fd ai.Unix.ai_addr;
+               Unix.listen fd 64
+             with e ->
+               (try Unix.close fd with Unix.Unix_error _ -> ());
+               raise e);
+            fd
+          with
+          | fd -> fd
+          | exception (Unix.Unix_error _ as e) -> go (Some e) rest)
+      in
+      go None ais)
+
+(* [Ok cap] or a startup error naming the budget, for a loop that will
+   select over [cap] connections plus [reserved] loop-owned descriptors
+   (listeners, wake pipe, backend connections). *)
+let check_fd_budget ~reserved cap =
+  let budget = fd_setsize - fd_headroom - reserved in
+  if cap < 1 then Error "max connections must be >= 1"
+  else if cap > budget then
+    Error
+      (Printf.sprintf
+         "max connections %d exceeds the select() budget: FD_SETSIZE %d - %d reserved \
+          descriptors - %d headroom = %d (select silently breaks past FD_SETSIZE; run more \
+          processes behind dda route instead)"
+         cap fd_setsize reserved fd_headroom budget)
+  else Ok cap

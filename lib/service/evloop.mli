@@ -1,0 +1,48 @@
+(** Plumbing shared by the select()-based event loops (the server and the
+    router): growable byte windows for socket I/O, their back-pressure
+    bounds, and the [select] descriptor budget. *)
+
+type iobuf = { mutable buf : Bytes.t; mutable off : int; mutable len : int }
+(** A contiguous window [off, off+len) into a growable buffer.  Readers
+    append at the tail and parsers consume from the head; compaction is
+    deferred until a grow or a full drain. *)
+
+val iobuf_create : int -> iobuf
+val iobuf_compact : iobuf -> unit
+
+val iobuf_ensure : iobuf -> int -> unit
+(** Guarantee room for [extra] more bytes at the tail (compacting or
+    growing as needed). *)
+
+val iobuf_add_string : iobuf -> string -> unit
+val iobuf_consume : iobuf -> int -> unit
+
+val max_wbuf : int
+(** Stop reading a connection whose un-flushed output exceeds this. *)
+
+val max_rbuf : int
+(** Fatal framing error when a single request grows past this. *)
+
+val read_chunk : int
+
+val fd_setsize : int
+(** glibc's FD_SETSIZE (1024 on Linux).  [Unix.select] silently ignores
+    descriptors at or past it — a connection above the limit is never
+    reported readable and the loop wedges without an error — so
+    connection caps are clamped against it at startup. *)
+
+val fd_headroom : int
+(** Descriptors assumed spoken for outside the loop's own accounting
+    (stdio, cache files, logs, short-lived fds). *)
+
+val bind_address : Protocol.address -> Unix.file_descr
+(** Bind and listen on one address.  Unix sockets are born owner-only
+    (umask 0o177, then chmod 0600) and a stale socket file is replaced
+    only when nothing answers on it.  @raise Failure with an
+    operator-readable message on any refusal. *)
+
+val check_fd_budget : reserved:int -> int -> (int, string) result
+(** [check_fd_budget ~reserved cap] is [Ok cap] when a loop can select
+    over [cap] connections plus [reserved] loop-owned descriptors
+    (listeners, wake pipe, backend connections) without crossing
+    [fd_setsize - fd_headroom]; otherwise an [Error] naming the budget. *)

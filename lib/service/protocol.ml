@@ -374,6 +374,46 @@ let encode_response_frame r =
         add_f64 b r.queue_ms;
         add_f64 b r.total_ms)
 
+(* --- Raw frame surgery (the router's fast path) ------------------------------- *)
+
+(* Both payload layouts open the same way — a tag byte (request op or
+   response status) followed by the id as a str16 — so a proxy can match
+   and rewrite ids without decoding the op-specific body. *)
+
+let payload_tag p = if String.length p >= 1 then Char.code p.[0] else -1
+
+let payload_id p =
+  if String.length p < 3 then None
+  else begin
+    let n = (Char.code p.[1] lsl 8) lor Char.code p.[2] in
+    if 3 + n > String.length p then None else Some (String.sub p 3 n)
+  end
+
+let payload_body p =
+  if String.length p < 3 then None
+  else begin
+    let n = (Char.code p.[1] lsl 8) lor Char.code p.[2] in
+    if 3 + n > String.length p then None
+    else Some (String.sub p (3 + n) (String.length p - 3 - n))
+  end
+
+(* one allocation and two blits: length prefix, tag, str16 id, body *)
+let reframe ~tag ~id ~body =
+  let idn = String.length id in
+  if idn > 0xffff then invalid_arg (schema2 ^ ": id exceeds 65535 bytes");
+  let len = 3 + idn + String.length body in
+  let out = Bytes.create (4 + len) in
+  Bytes.set_uint8 out 0 ((len lsr 24) land 0xff);
+  Bytes.set_uint8 out 1 ((len lsr 16) land 0xff);
+  Bytes.set_uint8 out 2 ((len lsr 8) land 0xff);
+  Bytes.set_uint8 out 3 (len land 0xff);
+  Bytes.set_uint8 out 4 (tag land 0xff);
+  Bytes.set_uint8 out 5 ((idn lsr 8) land 0xff);
+  Bytes.set_uint8 out 6 (idn land 0xff);
+  Bytes.blit_string id 0 out 7 idn;
+  Bytes.blit_string body 0 out (7 + idn) (String.length body);
+  Bytes.unsafe_to_string out
+
 (* Defensive decoding: every read is bounds-checked, every failure is a
    [Decode] carried out as [Error] — junk payloads must never raise out of
    the parser (the fuzz test feeds random bytes through here). *)

@@ -157,6 +157,34 @@ val decode_request_payload :
 
 val decode_response_payload : string -> (response, string) result
 
+(** {2 Raw frame surgery}
+
+    Request and response payloads open the same way — a tag byte (the
+    request op or response status) followed by the id as a [u16]-length
+    string — so a proxy can match responses and rewrite ids without
+    decoding the op-specific body.  The router forwards [/2] traffic
+    through these; everything else uses the full codecs above. *)
+
+val op_decide : int
+val op_ping : int
+val op_stats : int
+val op_health : int
+(** Request-payload tag bytes. *)
+
+val payload_tag : string -> int
+(** First byte of a payload, or [-1] when empty. *)
+
+val payload_id : string -> string option
+(** The id string following the tag byte; [None] when truncated. *)
+
+val payload_body : string -> string option
+(** Everything after the id — the op/status-specific body, byte-exact. *)
+
+val reframe : tag:int -> id:string -> body:string -> string
+(** A complete frame (length header included) carrying [tag], [id] and
+    [body]: the id-swap primitive ([payload_tag]/[payload_body] of the
+    result round-trip). *)
+
 (** {1 Addresses} *)
 
 type address =

@@ -1,0 +1,1100 @@
+(* Consistent-hash verdict routing (see router.mli for the design).
+
+   One thread owns everything: a select() loop multiplexing the front
+   listeners, every front connection (both wire formats) and one
+   pipelined /2 connection per backend.  The only other thread is the
+   prober, which performs blocking Client.connect calls (with the PR-8
+   timeout) off the loop and hands negotiated descriptors back through a
+   mutex-protected mailbox plus the wake pipe.
+
+   The /2 fast path never decodes a decide it has routed before: the
+   payload layout (tag byte, id str16, body) lets the loop extract the
+   client id, memoise body -> ring key, and forward by re-framing the
+   raw body under a router-assigned id — two blits per hop. *)
+
+module Spec = Dda_batch.Spec
+module T = Dda_telemetry.Telemetry
+module Json = Dda_telemetry.Json
+module FQ = Stdlib.Queue
+open Evloop
+
+let c_requests = T.counter "router.requests"
+let c_forwarded = T.counter "router.forwarded"
+let c_retries = T.counter "router.retries"
+let c_ejections = T.counter "router.ejections"
+let c_readmissions = T.counter "router.readmissions"
+let c_errors = T.counter "router.errors"
+
+(* ------------------------------------------------------------------ *)
+(* The hash ring                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Ring = struct
+  type t = { points : (int * string) array; members : string list }
+
+  (* 63 bits of MD5: plenty of spread, deterministic across runs and
+     processes (routing must agree between restarts and replicas) *)
+  let hash s =
+    let d = Digest.string s in
+    let v = ref 0 in
+    for i = 0 to 7 do
+      v := (!v lsl 8) lor Char.code d.[i]
+    done;
+    !v land max_int
+
+  let make ?(replicas = 101) members =
+    let members = List.sort_uniq compare members in
+    let pts =
+      List.concat_map
+        (fun m ->
+          List.init (max 1 replicas) (fun i -> (hash (Printf.sprintf "%s#%d" m i), m)))
+        members
+    in
+    let points = Array.of_list pts in
+    Array.sort compare points;
+    { points; members }
+
+  let lookup t key =
+    let n = Array.length t.points in
+    if n = 0 then None
+    else begin
+      let h = hash key in
+      (* first point clockwise from h, wrapping past the top *)
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+      done;
+      Some (snd t.points.(if !lo = n then 0 else !lo))
+    end
+
+  let members t = t.members
+end
+
+(* ------------------------------------------------------------------ *)
+(* Configuration and state                                              *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  listen : Protocol.address list;
+  backends : Protocol.address list;
+  replicas : int;
+  max_connections : int;
+  backend_window : int;
+  backend_backlog : int;
+  connect_timeout : float;
+  probe_interval : float;
+  probe_timeout : float;
+  retry : bool;
+  window_s : int;
+}
+
+let default_config =
+  {
+    listen = [];
+    backends = [];
+    replicas = 101;
+    max_connections = 512;
+    backend_window = 8;
+    backend_backlog = 1024;
+    connect_timeout = 2.0;
+    probe_interval = 1.0;
+    probe_timeout = 3.0;
+    retry = true;
+    window_s = 60;
+  }
+
+type stats = {
+  connections : int;
+  requests : int;
+  forwarded : int;
+  retries : int;
+  ejections : int;
+  readmissions : int;
+  rejected : int;
+  errors : int;
+  backends_up : int;
+}
+
+type mode = Detecting | Json_lines | Binary
+
+(* a front connection: same lifecycle flags as the server's *)
+type fconn = {
+  fd : Unix.file_descr;
+  mutable mode : mode;
+  rbuf : iobuf;
+  wbuf : iobuf;
+  mutable inflight : int;  (* forwards admitted, not yet answered *)
+  mutable eof : bool;
+  mutable dead : bool;
+  mutable closed : bool;
+}
+
+(* one admitted decide in flight between a front and a backend *)
+type fwd = {
+  f_front : fconn;
+  f_id : string;  (* the client's id, restored on the way back *)
+  f_rid : string;  (* router-assigned id on the backend wire *)
+  f_body : string;  (* raw decide body (everything after tag + id) *)
+  f_key : string;  (* ring key: the textual spec identity *)
+  mutable f_sent : float;  (* monotonic, for the latency window *)
+  mutable f_attempts : int;  (* sends so far; retry allows a second *)
+}
+
+type bstate = Up | Ejected
+
+type backend = {
+  b_idx : int;
+  b_addr : Protocol.address;
+  b_name : string;
+  mutable b_state : bstate;
+  mutable b_fd : Unix.file_descr option;
+  mutable b_rbuf : iobuf;
+  mutable b_wbuf : iobuf;
+  b_inflight : (string, fwd) Hashtbl.t;  (* rid -> fwd *)
+  b_queue : fwd FQ.t;  (* admitted, waiting for window space *)
+  mutable b_next_try : float;  (* monotonic: next readmission attempt *)
+  mutable b_backoff : float;
+  mutable b_connecting : bool;  (* a prober dial is outstanding *)
+  mutable b_probe : (string * float) option;  (* outstanding probe id, sent at *)
+  mutable b_last_probe : float;
+  mutable b_forwarded : int;
+  mutable b_ejections : int;
+}
+
+let initial_backoff = 0.25
+let max_backoff = 8.0
+let max_key_memo = 8192
+
+type t = {
+  cfg : config;
+  backends : backend array;
+  mutable ring : Ring.t;  (* over Up backends only; rebuilt on membership change *)
+  stop : bool Atomic.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  m : Mutex.t;  (* stats below + the prober mailbox *)
+  cv : Condition.t;  (* the prober sleeps here *)
+  mutable want : int list;  (* backend indices to dial *)
+  mutable adopted : (int * (Unix.file_descr, string) result) list;
+  mutable prober_stop : bool;
+  mutable s_connections : int;
+  mutable s_requests : int;
+  mutable s_forwarded : int;
+  mutable s_retries : int;
+  mutable s_ejections : int;
+  mutable s_readmissions : int;
+  mutable s_rejected : int;
+  mutable s_errors : int;
+  mutable s_decides : int;
+  mutable s_pings : int;
+  mutable s_stats_rpc : int;
+  mutable s_health_rpc : int;
+  mutable rid_seq : int;
+  key_memo : (string, (string, string) result) Hashtbl.t;  (* /2 body -> ring key *)
+  window : T.Window.t;
+  t0_mono : float;
+  mutable loop_thread : Thread.t option;
+  mutable prober_thread : Thread.t option;
+}
+
+let wake t =
+  try ignore (Unix.write_substring t.wake_w "x" 0 1)
+  with Unix.Unix_error _ -> ()
+
+let up_count t =
+  Array.fold_left (fun a b -> if b.b_state = Up then a + 1 else a) 0 t.backends
+
+let rebuild_ring t =
+  let up =
+    Array.to_list t.backends
+    |> List.filter_map (fun b -> if b.b_state = Up then Some b.b_name else None)
+  in
+  t.ring <- Ring.make ~replicas:t.cfg.replicas up
+
+let backend_by_name t name =
+  let found = ref None in
+  Array.iter (fun b -> if !found = None && b.b_name = name then found := Some b) t.backends;
+  match !found with Some b -> b | None -> assert false (* ring members come from t.backends *)
+
+let stats t =
+  Mutex.lock t.m;
+  let s =
+    {
+      connections = t.s_connections;
+      requests = t.s_requests;
+      forwarded = t.s_forwarded;
+      retries = t.s_retries;
+      ejections = t.s_ejections;
+      readmissions = t.s_readmissions;
+      rejected = t.s_rejected;
+      errors = t.s_errors;
+      backends_up = up_count t;
+    }
+  in
+  Mutex.unlock t.m;
+  s
+
+let bump t f =
+  Mutex.lock t.m;
+  f t;
+  Mutex.unlock t.m
+
+(* ------------------------------------------------------------------ *)
+(* Front responses                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let respond_front conn resp =
+  if not (conn.dead || conn.closed) then
+    match conn.mode with
+    | Binary -> iobuf_add_string conn.wbuf (Protocol.encode_response_frame resp)
+    | Detecting | Json_lines ->
+      iobuf_add_string conn.wbuf (Protocol.response_to_json resp ^ "\n")
+
+let answer conn ~id status =
+  respond_front conn { Protocol.rid = id; status; queue_ms = 0.; total_ms = 0. }
+
+(* ------------------------------------------------------------------ *)
+(* Forwarding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_rid t =
+  t.rid_seq <- t.rid_seq + 1;
+  Printf.sprintf "r%x" t.rid_seq
+
+let send_fwd t b fwd =
+  fwd.f_sent <- T.monotonic ();
+  fwd.f_attempts <- fwd.f_attempts + 1;
+  Hashtbl.replace b.b_inflight fwd.f_rid fwd;
+  iobuf_add_string b.b_wbuf
+    (Protocol.reframe ~tag:Protocol.op_decide ~id:fwd.f_rid ~body:fwd.f_body);
+  b.b_forwarded <- b.b_forwarded + 1;
+  bump t (fun t -> t.s_forwarded <- t.s_forwarded + 1);
+  T.incr c_forwarded
+
+let pump t b =
+  while
+    b.b_state = Up
+    && Hashtbl.length b.b_inflight < t.cfg.backend_window
+    && not (FQ.is_empty b.b_queue)
+  do
+    send_fwd t b (FQ.pop b.b_queue)
+  done
+
+let retire_fwd t fwd =
+  fwd.f_front.inflight <- fwd.f_front.inflight - 1;
+  T.Window.observe t.window ((T.monotonic () -. fwd.f_sent) *. 1000.)
+
+(* route (or re-route) an admitted forward; [Error] when no backend can
+   take it — the caller answers the front *)
+let route_fwd t fwd =
+  match Ring.lookup t.ring fwd.f_key with
+  | None -> Error (Protocol.Rejected "no_backends")
+  | Some name ->
+    let b = backend_by_name t name in
+    if Hashtbl.length b.b_inflight + FQ.length b.b_queue
+       >= t.cfg.backend_window + t.cfg.backend_backlog
+    then Error (Protocol.Rejected "router_backlog")
+    else begin
+      FQ.push fwd b.b_queue;
+      pump t b;
+      Ok ()
+    end
+
+(* the textual spec identity — stable across retries and restarts, and
+   computable without parsing the graph or protocol (router.mli) *)
+let route_key ~protocol ~graph ~regime ~max_configs =
+  String.concat "\x00" [ protocol; graph; regime; string_of_int max_configs ]
+
+let admit_decide t conn ~id ~body ~key =
+  bump t (fun t -> t.s_decides <- t.s_decides + 1);
+  if Atomic.get t.stop then begin
+    bump t (fun t -> t.s_rejected <- t.s_rejected + 1);
+    answer conn ~id (Protocol.Rejected "draining")
+  end
+  else begin
+    let fwd =
+      {
+        f_front = conn;
+        f_id = id;
+        f_rid = fresh_rid t;
+        f_body = body;
+        f_key = key;
+        f_sent = 0.;
+        f_attempts = 0;
+      }
+    in
+    conn.inflight <- conn.inflight + 1;
+    match route_fwd t fwd with
+    | Ok () -> ()
+    | Error status ->
+      conn.inflight <- conn.inflight - 1;
+      bump t (fun t -> t.s_rejected <- t.s_rejected + 1);
+      answer conn ~id status
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Ejection, retry, readmission                                         *)
+(* ------------------------------------------------------------------ *)
+
+let close_backend_fd b =
+  (match b.b_fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  b.b_fd <- None;
+  b.b_rbuf <- iobuf_create 4096;
+  b.b_wbuf <- iobuf_create 4096
+
+(* the backend is gone: drop it from the ring and re-disposition every
+   forward it owed.  Never-sent forwards re-route freely; sent ones get
+   exactly one retry onto the new ring (decide is idempotent), a second
+   loss is answered [error:backend_unavailable]. *)
+let eject t b =
+  if b.b_state = Up then begin
+    b.b_state <- Ejected;
+    b.b_probe <- None;
+    b.b_backoff <- initial_backoff;
+    b.b_next_try <- T.monotonic ();
+    b.b_ejections <- b.b_ejections + 1;
+    bump t (fun t -> t.s_ejections <- t.s_ejections + 1);
+    T.incr c_ejections;
+    close_backend_fd b;
+    rebuild_ring t;
+    let owed = Hashtbl.fold (fun _ f acc -> f :: acc) b.b_inflight [] in
+    Hashtbl.reset b.b_inflight;
+    let owed = ref owed in
+    while not (FQ.is_empty b.b_queue) do
+      owed := FQ.pop b.b_queue :: !owed
+    done;
+    List.iter
+      (fun f ->
+        let fail () =
+          f.f_front.inflight <- f.f_front.inflight - 1;
+          bump t (fun t -> t.s_errors <- t.s_errors + 1);
+          T.incr c_errors;
+          answer f.f_front ~id:f.f_id (Protocol.Error "backend_unavailable")
+        in
+        if f.f_attempts = 0 || (t.cfg.retry && f.f_attempts = 1) then begin
+          if f.f_attempts = 1 then begin
+            bump t (fun t -> t.s_retries <- t.s_retries + 1);
+            T.incr c_retries
+          end;
+          match route_fwd t f with Ok () -> () | Error _ -> fail ()
+        end
+        else fail ())
+      !owed
+  end
+
+let adopt_results t =
+  Mutex.lock t.m;
+  let adopted = t.adopted in
+  t.adopted <- [];
+  Mutex.unlock t.m;
+  List.iter
+    (fun (idx, res) ->
+      let b = t.backends.(idx) in
+      b.b_connecting <- false;
+      match res with
+      | Ok fd ->
+        if Atomic.get t.stop || b.b_state = Up then begin
+          (* draining, or a duplicate dial raced a readmission *)
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end
+        else begin
+          Unix.set_nonblock fd;
+          (match b.b_addr with
+          | Protocol.Tcp _ -> (
+            try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+          | Protocol.Unix_socket _ -> ());
+          b.b_fd <- Some fd;
+          b.b_state <- Up;
+          b.b_backoff <- initial_backoff;
+          b.b_probe <- None;
+          b.b_last_probe <- T.monotonic ();
+          bump t (fun t -> t.s_readmissions <- t.s_readmissions + 1);
+          T.incr c_readmissions;
+          rebuild_ring t
+        end
+      | Error _ ->
+        b.b_backoff <- Float.min (b.b_backoff *. 2.) max_backoff;
+        b.b_next_try <- T.monotonic () +. b.b_backoff)
+    adopted
+
+(* probes ride the forwarding connection, so an answered probe also
+   vouches for the path the real traffic takes *)
+let probe_seq = ref 0
+
+let tick t now =
+  Array.iter
+    (fun b ->
+      match b.b_state with
+      | Up -> (
+        match b.b_probe with
+        | Some (_, sent) when now -. sent > t.cfg.probe_timeout -> eject t b
+        | Some _ -> ()
+        | None ->
+          if now -. b.b_last_probe >= t.cfg.probe_interval then begin
+            incr probe_seq;
+            let id = Printf.sprintf "!p%x" !probe_seq in
+            b.b_probe <- Some (id, now);
+            b.b_last_probe <- now;
+            iobuf_add_string b.b_wbuf (Protocol.encode_request_frame (Protocol.Health id))
+          end)
+      | Ejected ->
+        if (not b.b_connecting) && (not (Atomic.get t.stop)) && now >= b.b_next_try
+        then begin
+          b.b_connecting <- true;
+          Mutex.lock t.m;
+          t.want <- b.b_idx :: t.want;
+          Condition.signal t.cv;
+          Mutex.unlock t.m
+        end)
+    t.backends
+
+let prober t () =
+  let rec loop () =
+    Mutex.lock t.m;
+    while t.want = [] && not t.prober_stop do
+      Condition.wait t.cv t.m
+    done;
+    if t.prober_stop then Mutex.unlock t.m
+    else begin
+      let idx = List.hd t.want in
+      t.want <- List.tl t.want;
+      Mutex.unlock t.m;
+      let b = t.backends.(idx) in
+      (* blocking dial with the PR-8 timeout, off the loop thread; the
+         negotiated fd is adopted by the loop (Client.fd), never rpc'd *)
+      let res =
+        match Client.connect ~version:2 ~timeout:t.cfg.connect_timeout b.b_addr with
+        | Ok c -> Ok (Client.fd c)
+        | Error e -> Error e
+      in
+      Mutex.lock t.m;
+      t.adopted <- (idx, res) :: t.adopted;
+      Mutex.unlock t.m;
+      wake t;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Stats and health                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let health_of t =
+  if Atomic.get t.stop then "draining"
+  else if up_count t = 0 then "overloaded"
+  else "ok"
+
+let stats_doc t fronts =
+  let b = Buffer.create 2048 in
+  let uptime = T.monotonic () -. t.t0_mono in
+  Mutex.lock t.m;
+  let decides = t.s_decides
+  and pings = t.s_pings
+  and stats_rpc = t.s_stats_rpc
+  and health_rpc = t.s_health_rpc in
+  Mutex.unlock t.m;
+  let live = List.filter (fun c -> not c.closed) fronts in
+  let inflight =
+    Array.fold_left (fun a bk -> a + Hashtbl.length bk.b_inflight) 0 t.backends
+  in
+  let queued = Array.fold_left (fun a bk -> a + FQ.length bk.b_queue) 0 t.backends in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":\"dda.stats/1\",\"health\":\"%s\",\"gauges\":{" (health_of t));
+  let first = ref true in
+  let g name v =
+    if not !first then Buffer.add_char b ',';
+    first := false;
+    Buffer.add_string b (Printf.sprintf "\"%s\":%s" name v)
+  in
+  let gi name v = g name (string_of_int v) in
+  g "service.uptime_s" (Printf.sprintf "%.3f" uptime);
+  gi "service.active_connections" (List.length live);
+  gi "service.inflight" inflight;
+  gi "service.backlog_bytes" (List.fold_left (fun a c -> a + c.wbuf.len) 0 live);
+  gi "service.draining" (if Atomic.get t.stop then 1 else 0);
+  gi "router.backends" (Array.length t.backends);
+  gi "router.backends_up" (up_count t);
+  gi "router.queued" queued;
+  gi "service.verb.decide" decides;
+  gi "service.verb.ping" pings;
+  gi "service.verb.stats" stats_rpc;
+  gi "service.verb.health" health_rpc;
+  Buffer.add_string b "},\"windows\":{\"service.window.latency_ms\":";
+  Buffer.add_string b (T.Window.snapshot_json t.window);
+  Buffer.add_string b "},\"backends\":[";
+  Array.iteri
+    (fun i bk ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"addr\":\"%s\",\"state\":\"%s\",\"inflight\":%d,\"queued\":%d,\"forwarded\":%d,\"ejections\":%d}"
+           (Json.escape bk.b_name)
+           (match bk.b_state with Up -> "up" | Ejected -> "ejected")
+           (Hashtbl.length bk.b_inflight) (FQ.length bk.b_queue) bk.b_forwarded
+           bk.b_ejections))
+    t.backends;
+  Buffer.add_string b "],\"telemetry\":";
+  (* single-line, as on the /1 wire (see server.ml) *)
+  String.iter (fun c -> Buffer.add_char b (if c = '\n' then ' ' else c)) (T.metrics_json ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Front request handling                                               *)
+(* ------------------------------------------------------------------ *)
+
+let memo_key t body compute =
+  match Hashtbl.find_opt t.key_memo body with
+  | Some r -> r
+  | None ->
+    let r = compute () in
+    if Hashtbl.length t.key_memo >= max_key_memo then Hashtbl.reset t.key_memo;
+    Hashtbl.add t.key_memo body r;
+    r
+
+(* the /2 fast path: tag dispatch and id extraction on raw bytes *)
+let handle_front_payload t fronts conn payload =
+  bump t (fun t -> t.s_requests <- t.s_requests + 1);
+  T.incr c_requests;
+  let tag = Protocol.payload_tag payload in
+  match Protocol.payload_id payload with
+  | None ->
+    bump t (fun t -> t.s_errors <- t.s_errors + 1);
+    T.incr c_errors;
+    answer conn ~id:"" (Protocol.Error "truncated payload")
+  | Some id ->
+    if tag = Protocol.op_ping then begin
+      bump t (fun t -> t.s_pings <- t.s_pings + 1);
+      answer conn ~id Protocol.Pong
+    end
+    else if tag = Protocol.op_stats then begin
+      bump t (fun t -> t.s_stats_rpc <- t.s_stats_rpc + 1);
+      answer conn ~id (Protocol.Stats_doc (stats_doc t fronts))
+    end
+    else if tag = Protocol.op_health then begin
+      bump t (fun t -> t.s_health_rpc <- t.s_health_rpc + 1);
+      answer conn ~id (Protocol.Health_state (health_of t))
+    end
+    else if tag = Protocol.op_decide then begin
+      match Protocol.payload_body payload with
+      | None ->
+        bump t (fun t -> t.s_errors <- t.s_errors + 1);
+        T.incr c_errors;
+        answer conn ~id (Protocol.Error "truncated payload")
+      | Some body -> (
+        let key =
+          memo_key t body (fun () ->
+              match Protocol.decode_request_payload payload with
+              | Ok (Protocol.Decide d) ->
+                Ok
+                  (route_key ~protocol:d.Protocol.protocol ~graph:d.Protocol.graph
+                     ~regime:(Spec.regime_name d.Protocol.regime)
+                     ~max_configs:d.Protocol.max_configs)
+              | Ok _ -> Error "malformed decide payload"
+              | Error e -> Error e.Protocol.err_reason)
+        in
+        match key with
+        | Ok key -> admit_decide t conn ~id ~body ~key
+        | Error reason ->
+          bump t (fun t -> t.s_errors <- t.s_errors + 1);
+          T.incr c_errors;
+          answer conn ~id (Protocol.Error reason))
+    end
+    else begin
+      bump t (fun t -> t.s_errors <- t.s_errors + 1);
+      T.incr c_errors;
+      answer conn ~id (Protocol.Error (Printf.sprintf "unknown op %d" tag))
+    end
+
+(* strip the frame header, tag and (empty) id off an encoded decide:
+   what remains is the raw body the fast path forwards *)
+let decide_body d =
+  let f = Protocol.encode_request_frame (Protocol.Decide { d with Protocol.id = "" }) in
+  String.sub f 7 (String.length f - 7)
+
+(* the /1 path: full parse, then the same admission *)
+let handle_front_parsed t fronts conn parsed =
+  bump t (fun t -> t.s_requests <- t.s_requests + 1);
+  T.incr c_requests;
+  match parsed with
+  | Error (e : Protocol.parse_error) ->
+    bump t (fun t -> t.s_errors <- t.s_errors + 1);
+    T.incr c_errors;
+    answer conn ~id:e.Protocol.err_id (Protocol.Error e.Protocol.err_reason)
+  | Ok (Protocol.Ping id) ->
+    bump t (fun t -> t.s_pings <- t.s_pings + 1);
+    answer conn ~id Protocol.Pong
+  | Ok (Protocol.Stats id) ->
+    bump t (fun t -> t.s_stats_rpc <- t.s_stats_rpc + 1);
+    answer conn ~id (Protocol.Stats_doc (stats_doc t fronts))
+  | Ok (Protocol.Health id) ->
+    bump t (fun t -> t.s_health_rpc <- t.s_health_rpc + 1);
+    answer conn ~id (Protocol.Health_state (health_of t))
+  | Ok (Protocol.Decide d) ->
+    let key =
+      route_key ~protocol:d.Protocol.protocol ~graph:d.Protocol.graph
+        ~regime:(Spec.regime_name d.Protocol.regime) ~max_configs:d.Protocol.max_configs
+    in
+    admit_decide t conn ~id:d.Protocol.id ~body:(decide_body d) ~key
+
+(* ------------------------------------------------------------------ *)
+(* Backend responses                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let relay_response t b payload =
+  match Protocol.payload_id payload with
+  | None -> eject t b  (* the stream is corrupt; resync by reconnecting *)
+  | Some rid -> (
+    match b.b_probe with
+    | Some (pid, _) when pid = rid -> b.b_probe <- None
+    | _ -> (
+      match Hashtbl.find_opt b.b_inflight rid with
+      | None -> ()  (* answer to a forward this conn no longer owes *)
+      | Some fwd ->
+        Hashtbl.remove b.b_inflight rid;
+        retire_fwd t fwd;
+        (match fwd.f_front.mode with
+        | Binary ->
+          (* raw pass-through: restore the client id, keep the body *)
+          let body = Option.value ~default:"" (Protocol.payload_body payload) in
+          if not (fwd.f_front.dead || fwd.f_front.closed) then
+            iobuf_add_string fwd.f_front.wbuf
+              (Protocol.reframe ~tag:(Protocol.payload_tag payload) ~id:fwd.f_id ~body)
+        | Detecting | Json_lines -> (
+          match Protocol.decode_response_payload payload with
+          | Ok r -> respond_front fwd.f_front { r with Protocol.rid = fwd.f_id }
+          | Error e ->
+            answer fwd.f_front ~id:fwd.f_id
+              (Protocol.Error ("router: backend response: " ^ e))));
+        pump t b))
+
+let parse_backend t b =
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    let buf = b.b_rbuf in
+    if buf.len >= 4 then begin
+      let len =
+        (Char.code (Bytes.get buf.buf buf.off) lsl 24)
+        lor (Char.code (Bytes.get buf.buf (buf.off + 1)) lsl 16)
+        lor (Char.code (Bytes.get buf.buf (buf.off + 2)) lsl 8)
+        lor Char.code (Bytes.get buf.buf (buf.off + 3))
+      in
+      if len < 1 || len > Protocol.max_frame then eject t b
+      else if buf.len >= 4 + len then begin
+        let payload = Bytes.sub_string buf.buf (buf.off + 4) len in
+        iobuf_consume buf (4 + len);
+        relay_response t b payload;
+        continue := b.b_state = Up
+      end
+    end
+  done
+
+let read_backend t b =
+  match b.b_fd with
+  | None -> ()
+  | Some fd -> (
+    iobuf_ensure b.b_rbuf read_chunk;
+    let buf = b.b_rbuf in
+    match Unix.read fd buf.buf (buf.off + buf.len) (Bytes.length buf.buf - buf.off - buf.len) with
+    | 0 -> eject t b
+    | n ->
+      buf.len <- buf.len + n;
+      parse_backend t b
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> eject t b)
+
+let flush_backend t b =
+  match b.b_fd with
+  | None -> ()
+  | Some fd ->
+    let buf = b.b_wbuf in
+    let continue = ref true in
+    while !continue && buf.len > 0 do
+      match Unix.write fd buf.buf buf.off buf.len with
+      | 0 -> continue := false
+      | n -> iobuf_consume buf n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        continue := false
+      | exception Unix.Unix_error _ ->
+        continue := false;
+        eject t b
+    done
+
+(* ------------------------------------------------------------------ *)
+(* Front wire parsing and I/O                                           *)
+(* ------------------------------------------------------------------ *)
+
+let find_nl buf from limit =
+  let i = ref from in
+  while !i < limit && Bytes.get buf !i <> '\n' do
+    incr i
+  done;
+  if !i < limit then !i else -1
+
+let fatal_framing conn reason =
+  answer conn ~id:"" (Protocol.Error reason);
+  conn.eof <- true;
+  iobuf_consume conn.rbuf conn.rbuf.len
+
+let rec parse_front t fronts conn =
+  match conn.mode with
+  | Detecting ->
+    let b = conn.rbuf in
+    if b.len > 0 then begin
+      let n = min b.len 4 in
+      let prefix_matches =
+        let rec go i =
+          i >= n || (Bytes.get b.buf (b.off + i) = Protocol.magic.[i] && go (i + 1))
+        in
+        go 0
+      in
+      if not prefix_matches then begin
+        conn.mode <- Json_lines;
+        parse_front t fronts conn
+      end
+      else if b.len >= 4 then begin
+        iobuf_consume b 4;
+        conn.mode <- Binary;
+        iobuf_add_string conn.wbuf Protocol.magic;
+        parse_front t fronts conn
+      end
+    end
+  | Json_lines ->
+    let b = conn.rbuf in
+    let nl = find_nl b.buf b.off (b.off + b.len) in
+    if nl >= 0 then begin
+      let line = Bytes.sub_string b.buf b.off (nl - b.off) in
+      iobuf_consume b (nl - b.off + 1);
+      if String.trim line <> "" then
+        handle_front_parsed t fronts conn (Protocol.parse_request line);
+      if not conn.eof then parse_front t fronts conn
+    end
+    else if b.len > max_rbuf then
+      fatal_framing conn (Printf.sprintf "request line exceeds %d bytes" max_rbuf)
+  | Binary ->
+    let b = conn.rbuf in
+    if b.len >= 4 then begin
+      let len =
+        (Char.code (Bytes.get b.buf b.off) lsl 24)
+        lor (Char.code (Bytes.get b.buf (b.off + 1)) lsl 16)
+        lor (Char.code (Bytes.get b.buf (b.off + 2)) lsl 8)
+        lor Char.code (Bytes.get b.buf (b.off + 3))
+      in
+      if len < 1 || len > Protocol.max_frame then
+        fatal_framing conn
+          (Printf.sprintf "bad frame length %d (1 ..= %d)" len Protocol.max_frame)
+      else if b.len >= 4 + len then begin
+        let payload = Bytes.sub_string b.buf (b.off + 4) len in
+        iobuf_consume b (4 + len);
+        handle_front_payload t fronts conn payload;
+        if not conn.eof then parse_front t fronts conn
+      end
+    end
+
+let read_front t fronts conn =
+  iobuf_ensure conn.rbuf read_chunk;
+  let b = conn.rbuf in
+  match Unix.read conn.fd b.buf (b.off + b.len) (Bytes.length b.buf - b.off - b.len) with
+  | 0 -> conn.eof <- true
+  | n ->
+    b.len <- b.len + n;
+    parse_front t fronts conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ ->
+    conn.eof <- true;
+    conn.dead <- true
+
+let flush_front conn =
+  if (not conn.closed) && not conn.dead then begin
+    let b = conn.wbuf in
+    let continue = ref true in
+    while !continue && b.len > 0 do
+      match Unix.write conn.fd b.buf b.off b.len with
+      | 0 -> continue := false
+      | n -> iobuf_consume b n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        continue := false
+      | exception Unix.Unix_error _ ->
+        conn.dead <- true;
+        b.off <- 0;
+        b.len <- 0;
+        continue := false
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The loop                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let event_loop t listeners () =
+  let fronts = ref [] in
+  let scratch = Bytes.create 256 in
+  let drain_wake () =
+    let rec go () =
+      match Unix.read t.wake_r scratch 0 (Bytes.length scratch) with
+      | n when n = Bytes.length scratch -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    go ()
+  in
+  let close_listeners () =
+    List.iter
+      (fun (lfd, addr) ->
+        (try Unix.close lfd with Unix.Unix_error _ -> ());
+        match addr with
+        | Protocol.Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+        | Protocol.Tcp _ -> ())
+      listeners
+  in
+  let accept_ready lfd addr =
+    let rec go () =
+      if List.length !fronts >= t.cfg.max_connections then ()
+      else
+        match Unix.accept lfd with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ ->
+          Unix.set_nonblock fd;
+          (match addr with
+          | Protocol.Tcp _ -> (
+            try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+          | Protocol.Unix_socket _ -> ());
+          fronts :=
+            {
+              fd;
+              mode = Detecting;
+              rbuf = iobuf_create 4096;
+              wbuf = iobuf_create 4096;
+              inflight = 0;
+              eof = false;
+              dead = false;
+              closed = false;
+            }
+            :: !fronts;
+          bump t (fun t -> t.s_connections <- t.s_connections + 1);
+          go ()
+    in
+    go ()
+  in
+  let reap () =
+    fronts :=
+      List.filter
+        (fun c ->
+          if c.dead || (c.eof && c.inflight = 0 && c.wbuf.len = 0) then begin
+            c.closed <- true;
+            (try Unix.close c.fd with Unix.Unix_error _ -> ());
+            false
+          end
+          else true)
+        !fronts
+  in
+  let inflight_total () =
+    Array.fold_left
+      (fun a b -> a + Hashtbl.length b.b_inflight + FQ.length b.b_queue)
+      0 t.backends
+  in
+  let rec loop () =
+    let stopping = Atomic.get t.stop in
+    if
+      stopping
+      && inflight_total () = 0
+      && List.for_all (fun c -> c.wbuf.len = 0 || c.dead) !fronts
+      && Array.for_all (fun b -> b.b_wbuf.len = 0 || b.b_state = Ejected) t.backends
+    then ()  (* drained *)
+    else begin
+      let accepting = List.length !fronts < t.cfg.max_connections in
+      let rfds =
+        t.wake_r
+        :: ((if accepting then List.map fst listeners else [])
+           @ List.filter_map
+               (fun c -> if (not c.eof) && c.wbuf.len < max_wbuf then Some c.fd else None)
+               !fronts
+           @ (Array.to_list t.backends
+             |> List.filter_map (fun b -> if b.b_state = Up then b.b_fd else None)))
+      in
+      let wfds =
+        List.filter_map (fun c -> if c.wbuf.len > 0 then Some c.fd else None) !fronts
+        @ (Array.to_list t.backends
+          |> List.filter_map (fun b ->
+                 if b.b_state = Up && b.b_wbuf.len > 0 then b.b_fd else None))
+      in
+      (match Unix.select rfds wfds [] 0.25 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, writable, _ ->
+        if List.memq t.wake_r readable then drain_wake ();
+        adopt_results t;
+        List.iter
+          (fun (lfd, addr) -> if List.memq lfd readable then accept_ready lfd addr)
+          listeners;
+        Array.iter
+          (fun b ->
+            match b.b_fd with
+            | Some fd when List.memq fd readable -> read_backend t b
+            | _ -> ())
+          t.backends;
+        List.iter (fun c -> if List.memq c.fd readable then read_front t !fronts c) !fronts;
+        tick t (T.monotonic ());
+        Array.iter
+          (fun b ->
+            match b.b_fd with
+            | Some fd when b.b_wbuf.len > 0 || List.memq fd writable -> ignore fd; flush_backend t b
+            | _ -> ())
+          t.backends;
+        List.iter
+          (fun c -> if c.wbuf.len > 0 || List.memq c.fd writable then flush_front c)
+          !fronts;
+        reap ());
+      loop ()
+    end
+  in
+  loop ();
+  close_listeners ();
+  List.iter
+    (fun c ->
+      c.closed <- true;
+      try Unix.close c.fd with Unix.Unix_error _ -> ())
+    !fronts;
+  Array.iter (fun b -> close_backend_fd b) t.backends
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let start cfg =
+  if cfg.listen = [] then Error "router: no listen addresses"
+  else if cfg.backends = [] then Error "router: no backends"
+  else begin
+    let backends = List.sort_uniq compare cfg.backends in
+    match
+      check_fd_budget
+        ~reserved:(List.length cfg.listen + 2 + List.length backends)
+        cfg.max_connections
+    with
+    | Error e -> Error ("router: " ^ e)
+    | Ok _ -> (
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+      let cfg =
+        {
+          cfg with
+          backends;
+          replicas = max 1 cfg.replicas;
+          backend_window = max 1 cfg.backend_window;
+          backend_backlog = max 1 cfg.backend_backlog;
+          window_s = max 1 cfg.window_s;
+        }
+      in
+      let listeners = ref [] in
+      match
+        List.iter (fun addr -> listeners := (bind_address addr, addr) :: !listeners) cfg.listen
+      with
+      | exception (Failure msg | Sys_error msg) ->
+        List.iter (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ()) !listeners;
+        Error msg
+      | exception Unix.Unix_error (err, fn, arg) ->
+        List.iter (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ()) !listeners;
+        Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err))
+      | () ->
+        List.iter (fun (lfd, _) -> Unix.set_nonblock lfd) !listeners;
+        let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+        Unix.set_nonblock wake_r;
+        Unix.set_nonblock wake_w;
+        let now = T.monotonic () in
+        let bks =
+          Array.of_list cfg.backends
+          |> Array.mapi (fun i addr ->
+                 {
+                   b_idx = i;
+                   b_addr = addr;
+                   b_name = Protocol.address_to_string addr;
+                   b_state = Ejected;
+                   b_fd = None;
+                   b_rbuf = iobuf_create 4096;
+                   b_wbuf = iobuf_create 4096;
+                   b_inflight = Hashtbl.create 64;
+                   b_queue = FQ.create ();
+                   b_next_try = now;
+                   b_backoff = initial_backoff;
+                   b_connecting = false;
+                   b_probe = None;
+                   b_last_probe = now;
+                   b_forwarded = 0;
+                   b_ejections = 0;
+                 })
+        in
+        (* dial every backend before serving: a live fleet is Up at
+           return; an unreachable member starts ejected on its backoff
+           schedule (never a startup error — the ring heals) *)
+        Array.iter
+          (fun b ->
+            match Client.connect ~version:2 ~timeout:cfg.connect_timeout b.b_addr with
+            | Ok c ->
+              let fd = Client.fd c in
+              Unix.set_nonblock fd;
+              (match b.b_addr with
+              | Protocol.Tcp _ -> (
+                try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+              | Protocol.Unix_socket _ -> ());
+              b.b_fd <- Some fd;
+              b.b_state <- Up
+            | Error _ -> b.b_next_try <- T.monotonic () +. initial_backoff)
+          bks;
+        let t =
+          {
+            cfg;
+            backends = bks;
+            ring = Ring.make ~replicas:cfg.replicas [];
+            stop = Atomic.make false;
+            wake_r;
+            wake_w;
+            m = Mutex.create ();
+            cv = Condition.create ();
+            want = [];
+            adopted = [];
+            prober_stop = false;
+            s_connections = 0;
+            s_requests = 0;
+            s_forwarded = 0;
+            s_retries = 0;
+            s_ejections = 0;
+            s_readmissions = 0;
+            s_rejected = 0;
+            s_errors = 0;
+            s_decides = 0;
+            s_pings = 0;
+            s_stats_rpc = 0;
+            s_health_rpc = 0;
+            rid_seq = 0;
+            key_memo = Hashtbl.create 256;
+            window = T.Window.create ~window_s:cfg.window_s "service.window.latency_ms";
+            t0_mono = now;
+            loop_thread = None;
+            prober_thread = None;
+          }
+        in
+        rebuild_ring t;
+        t.prober_thread <- Some (Thread.create (prober t) ());
+        t.loop_thread <- Some (Thread.create (event_loop t !listeners) ());
+        Ok t)
+  end
+
+let drain t =
+  Atomic.set t.stop true;
+  wake t
+
+let wait t =
+  (match t.loop_thread with Some th -> Thread.join th | None -> ());
+  Mutex.lock t.m;
+  t.prober_stop <- true;
+  Condition.signal t.cv;
+  Mutex.unlock t.m;
+  (match t.prober_thread with Some th -> Thread.join th | None -> ());
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  stats t

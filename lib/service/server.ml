@@ -5,6 +5,7 @@ module Fingerprint = Dda_batch.Fingerprint
 module Decide = Dda_verify.Decide
 module T = Dda_telemetry.Telemetry
 module Json = Dda_telemetry.Json
+open Evloop
 
 let c_conns = T.counter "service.connections"
 let c_requests = T.counter "service.requests"
@@ -21,6 +22,7 @@ type config = {
   workers : int;
   queue_capacity : int;
   conn_limit : int;
+  max_connections : int;
   max_configs_cap : int;
   default_deadline_ms : int option;
   window_s : int;
@@ -36,6 +38,7 @@ let default_config =
     workers = 2;
     queue_capacity = 64;
     conn_limit = 8;
+    max_connections = 512;
     max_configs_cap = 2_000_000;
     default_deadline_ms = None;
     window_s = 60;
@@ -55,50 +58,6 @@ type stats = {
   errors : int;
   pings : int;
 }
-
-(* ------------------------------------------------------------------ *)
-(* Growable byte windows                                                 *)
-(* ------------------------------------------------------------------ *)
-
-(* A contiguous window [off, off+len) into a growable buffer.  The read
-   side appends socket bytes at the tail and the parser consumes from the
-   head; the write side appends serialised responses and the flusher
-   consumes what [write] accepted.  Compaction is deferred until a grow
-   or a full drain, so steady-state pipelining moves bytes, not buffers. *)
-type iobuf = { mutable buf : Bytes.t; mutable off : int; mutable len : int }
-
-let iobuf_create n = { buf = Bytes.create n; off = 0; len = 0 }
-
-let iobuf_compact b =
-  if b.off > 0 then begin
-    Bytes.blit b.buf b.off b.buf 0 b.len;
-    b.off <- 0
-  end
-
-let iobuf_ensure b extra =
-  if b.off + b.len + extra > Bytes.length b.buf then begin
-    iobuf_compact b;
-    if b.len + extra > Bytes.length b.buf then begin
-      let cap = ref (max 4096 (Bytes.length b.buf)) in
-      while b.len + extra > !cap do
-        cap := !cap * 2
-      done;
-      let nb = Bytes.create !cap in
-      Bytes.blit b.buf 0 nb 0 b.len;
-      b.buf <- nb
-    end
-  end
-
-let iobuf_add_string b s =
-  let n = String.length s in
-  iobuf_ensure b n;
-  Bytes.blit_string s 0 b.buf (b.off + b.len) n;
-  b.len <- b.len + n
-
-let iobuf_consume b n =
-  b.off <- b.off + n;
-  b.len <- b.len - n;
-  if b.len = 0 then b.off <- 0
 
 (* ------------------------------------------------------------------ *)
 (* Connections                                                           *)
@@ -208,15 +167,6 @@ let stats t =
 let wake t =
   try ignore (Unix.write_substring t.wake_w "x" 0 1)
   with Unix.Unix_error _ -> ()  (* full pipe already wakes; closed pipe = shutdown *)
-
-(* back-pressure: a connection that stops reading its responses stops
-   being read from until its output drains *)
-let max_wbuf = 4 lsl 20
-
-(* a /1 line (or a half-received frame) may not grow without bound *)
-let max_rbuf = 8 lsl 20
-
-let read_chunk = 65536
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                            *)
@@ -1038,6 +988,8 @@ let event_loop t listeners () =
   in
   let accept_ready lfd addr =
     let rec go () =
+      if List.length ls.ls_conns >= t.cfg.max_connections then ()
+      else
       match Unix.accept lfd with
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
       | exception Unix.Unix_error _ -> ()
@@ -1091,9 +1043,13 @@ let event_loop t listeners () =
       && List.for_all (fun c -> c.wbuf.len = 0 || c.dead) ls.ls_conns
     then ()  (* drained: every admitted request answered and flushed *)
     else begin
+      (* past the connection cap, leave the listeners out of the select
+         set: pending connects wait in the kernel backlog instead of
+         pushing descriptors past the FD_SETSIZE budget *)
+      let accepting = List.length ls.ls_conns < t.cfg.max_connections in
       let rfds =
         t.wake_r
-        :: (List.map fst !listeners
+        :: ((if accepting then List.map fst !listeners else [])
            @ List.filter_map
                (fun c ->
                  if (not c.eof) && c.wbuf.len < max_wbuf then Some c.fd else None)
@@ -1166,66 +1122,16 @@ let event_loop t listeners () =
 (* Lifecycle                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let bind_address addr =
-  match addr with
-  | Protocol.Unix_socket path ->
-    if Sys.file_exists path then begin
-      (* replace a stale socket file, but never steal a live server's *)
-      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      let live =
-        match Unix.connect probe (Unix.ADDR_UNIX path) with
-        | () -> true
-        | exception Unix.Unix_error _ -> false
-      in
-      (try Unix.close probe with Unix.Unix_error _ -> ());
-      if live then failwith (Printf.sprintf "%s: a server is already listening" path);
-      try Sys.remove path with Sys_error _ -> ()
-    end;
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (* the socket is the admission door; it must be *born* owner-only —
-       chmod after bind would leave a umask-dependent window in which other
-       local users could connect (doc/SERVICE.md discusses sharing) *)
-    let old_umask = Unix.umask 0o177 in
-    Fun.protect
-      ~finally:(fun () -> ignore (Unix.umask old_umask))
-      (fun () -> Unix.bind fd (Unix.ADDR_UNIX path));
-    Unix.chmod path 0o600;
-    Unix.listen fd 64;
-    fd
-  | Protocol.Tcp (host, port) -> (
-    match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
-    | [] -> failwith (Printf.sprintf "cannot resolve %s:%d" host port)
-    | ais ->
-      (* try every resolved address — IPv4 or IPv6 — and keep the first
-         that binds *)
-      let rec go last = function
-        | [] ->
-          let detail =
-            match last with
-            | Some (Unix.Unix_error (e, _, _)) -> ": " ^ Unix.error_message e
-            | _ -> ""
-          in
-          failwith (Printf.sprintf "cannot bind %s:%d%s" host port detail)
-        | ai :: rest -> (
-          match
-            let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype ai.Unix.ai_protocol in
-            (try
-               Unix.setsockopt fd Unix.SO_REUSEADDR true;
-               Unix.bind fd ai.Unix.ai_addr;
-               Unix.listen fd 64
-             with e ->
-               (try Unix.close fd with Unix.Unix_error _ -> ());
-               raise e);
-            fd
-          with
-          | fd -> fd
-          | exception (Unix.Unix_error _ as e) -> go (Some e) rest)
-      in
-      go None ais)
-
 let start cfg =
   if cfg.addresses = [] then Error "service: no listen addresses"
   else begin
+    match
+      (* reserved: one listener per address plus the wake pipe's two ends *)
+      check_fd_budget ~reserved:(List.length cfg.addresses + 2) cfg.max_connections
+    with
+    | Error e -> Error ("service: " ^ e)
+    | Ok _ ->
+    (* continue below *)
     (* a client hanging up must surface as EPIPE on write, not kill us *)
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
     let listeners = ref [] in

@@ -65,6 +65,12 @@ type config = {
       (** admission limit: maximum requests admitted but not yet answered
           (queued or computing); the rest are [rejected:queue_full] *)
   conn_limit : int;  (** max in-flight requests per connection *)
+  max_connections : int;
+      (** max simultaneous connections; past it, accepts wait in the
+          kernel backlog.  Clamped at {!start} against the [select]
+          descriptor budget ({!Evloop.fd_setsize}): glibc's [select]
+          silently ignores descriptors past FD_SETSIZE, so a cap that
+          could breach it is a startup [Error], never a wedged loop. *)
   max_configs_cap : int;  (** per-request budgets are clamped to this *)
   default_deadline_ms : int option;  (** for requests that set none *)
   window_s : int;
@@ -80,9 +86,9 @@ type config = {
 
 val default_config : config
 
-(** No listeners, no cache, 2 workers, queue 64, conn limit 8, cap
-    2_000_000 configurations, no default deadline, 60 s stats window, no
-    access log. *)
+(** No listeners, no cache, 2 workers, queue 64, conn limit 8, 512
+    connections, cap 2_000_000 configurations, no default deadline, 60 s
+    stats window, no access log. *)
 
 type stats = {
   connections : int;

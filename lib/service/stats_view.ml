@@ -14,6 +14,33 @@ let sanitize name =
 
 let metric name = "dda_" ^ sanitize name
 
+(* Prometheus exposition format 0.0.4: inside a label value, backslash,
+   double quote and newline must be escaped with a leading backslash
+   (newline becoming backslash-n) — anything else passes through
+   verbatim.  Every string that reaches a label position goes through
+   here; a value that skipped it could splice new sample lines into the
+   scrape. *)
+let escape_label v =
+  let clean = ref true in
+  String.iter (fun c -> if c = '\\' || c = '"' || c = '\n' then clean := false) v;
+  if !clean then v
+  else begin
+    let b = Buffer.create (String.length v + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      v;
+    Buffer.contents b
+  end
+
+(* terminal sink (dda top): strip control bytes so a hostile verb or
+   health string cannot move the cursor or splice frame lines *)
+let printable s = String.map (fun c -> if c < ' ' || c = '\x7f' then '.' else c) s
+
 (* Prometheus accepts any float literal; integral values print without a
    fractional part so counters look like counters. *)
 let fnum f =
@@ -40,11 +67,18 @@ let prometheus doc =
     (* health as a one-hot state vector: the current state is 1, the
        others 0, so alerting rules can match on any state by label *)
     let health = Option.value ~default:"unknown" (str "health" doc) in
+    let known = [ "ok"; "draining"; "overloaded" ] in
     add_metric b ~typ:"gauge" "dda_health"
       (List.map
          (fun s ->
-           Printf.sprintf "dda_health{state=\"%s\"} %d" s (if s = health then 1 else 0))
-         [ "ok"; "draining"; "overloaded" ]);
+           Printf.sprintf "dda_health{state=\"%s\"} %d" (escape_label s)
+             (if s = health then 1 else 0))
+         known
+      @
+      (* an unknown state is still reported — escaped, so a hostile value
+         cannot splice extra sample lines into the scrape *)
+      if List.mem health known then []
+      else [ Printf.sprintf "dda_health{state=\"%s\"} 1" (escape_label health) ]);
     List.iter
       (fun (name, v) ->
         match v with
@@ -58,7 +92,8 @@ let prometheus doc =
         let m = metric name in
         let q label key =
           match num key w with
-          | Some f -> [ Printf.sprintf "%s{quantile=\"%s\"} %s" m label (fnum f) ]
+          | Some f ->
+            [ Printf.sprintf "%s{quantile=\"%s\"} %s" m (escape_label label) (fnum f) ]
           | None -> []
         in
         let sum = Option.value ~default:0. (num "sum" w) in
@@ -73,6 +108,33 @@ let prometheus doc =
         | Some x -> add_metric b ~typ:"gauge" (m ^ "_max") [ m ^ "_max " ^ fnum x ]
         | None -> ())
       (obj "windows" doc);
+    (* router documents carry per-backend rows; backend addresses are
+       operator data (a socket path may contain any byte) so they only
+       ever appear as escaped label values *)
+    (match Json.member "backends" doc with
+    | Some (Json.Arr rows) when rows <> [] ->
+      let label r = escape_label (Option.value ~default:"?" (str "addr" r)) in
+      add_metric b ~typ:"gauge" "dda_router_backend_up"
+        (List.map
+           (fun r ->
+             Printf.sprintf "dda_router_backend_up{backend=\"%s\"} %d" (label r)
+               (if str "state" r = Some "up" then 1 else 0))
+           rows);
+      let per_row ~typ name key =
+        let lines =
+          List.filter_map
+            (fun r ->
+              Option.map
+                (fun f -> Printf.sprintf "%s{backend=\"%s\"} %s" name (label r) (fnum f))
+                (num key r))
+            rows
+        in
+        if lines <> [] then add_metric b ~typ name lines
+      in
+      per_row ~typ:"gauge" "dda_router_backend_inflight" "inflight";
+      per_row ~typ:"counter" "dda_router_backend_forwarded_total" "forwarded";
+      per_row ~typ:"counter" "dda_router_backend_ejections_total" "ejections"
+    | _ -> ());
     let tel = match Json.member "telemetry" doc with Some t -> t | None -> Json.Obj [] in
     List.iter
       (fun (name, v) ->
@@ -110,7 +172,7 @@ let prometheus doc =
           List.map
             (fun (le, c) ->
               cum := !cum +. c;
-              Printf.sprintf "%s_bucket{le=\"%s\"} %s" m le (fnum !cum))
+              Printf.sprintf "%s_bucket{le=\"%s\"} %s" m (escape_label le) (fnum !cum))
             buckets
           @ [
               Printf.sprintf "%s_bucket{le=\"+Inf\"} %s" m (fnum count);
@@ -165,14 +227,14 @@ let render_top ?(spark = []) doc =
     let g = gauge doc in
     let health = Option.value ~default:"unknown" (str "health" doc) in
     Buffer.add_string b
-      (Printf.sprintf "dda top — health %s  uptime %.0fs  conns %.0f\n" health
+      (Printf.sprintf "dda top — health %s  uptime %.0fs  conns %.0f\n" (printable health)
          (g "service.uptime_s") (g "service.active_connections"));
     (match obj "windows" doc with
     | (name, w) :: _ ->
       let n key = Option.value ~default:0. (num key w) in
       Buffer.add_string b
         (Printf.sprintf "%-28s %6.1f rps  p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms (last %.0fs)\n"
-           name (n "rate") (n "p50") (n "p95") (n "p99") (n "max") (n "window_s"))
+           (printable name) (n "rate") (n "p50") (n "p95") (n "p99") (n "max") (n "window_s"))
     | [] -> ());
     Buffer.add_string b
       (Printf.sprintf
@@ -189,7 +251,7 @@ let render_top ?(spark = []) doc =
         (fun (name, v) ->
           match v with
           | Json.Num f when String.length name > 13 && String.sub name 0 13 = "service.verb." ->
-            Some (Printf.sprintf "%s %.0f" (String.sub name 13 (String.length name - 13)) f)
+            Some (Printf.sprintf "%s %.0f" (printable (String.sub name 13 (String.length name - 13))) f)
           | _ -> None)
         (obj "gauges" doc)
     in

@@ -21,9 +21,15 @@ val prometheus : Json.t -> (string, string) result
       derived from the power-of-two [lt_N] buckets, plus [+Inf], [_sum]
       and [_count];
     - [telemetry.spans.*] → [_calls_total] and [_seconds_total] counters;
-    - [telemetry.derived.*] → gauges.
+    - [telemetry.derived.*] → gauges;
+    - [backends] (router documents) → [dda_router_backend_up] plus
+      per-backend in-flight/forwarded/ejection series keyed by a
+      [backend="addr"] label.
 
-    [Error] when the document's schema is not [dda.stats/1]. *)
+    Label values are escaped per the exposition format (backslash,
+    double quote and newline), so hostile state or address strings
+    cannot splice extra sample lines into a scrape.  [Error] when the
+    document's schema is not [dda.stats/1]. *)
 
 val render_top : ?spark:int list -> Json.t -> string
 (** One text frame of the [dda top] dashboard: health and uptime, the

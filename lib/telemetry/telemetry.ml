@@ -578,6 +578,12 @@ module Registry = struct
       "service.bounded";
       "service.errors";
       "service.queue.peak";
+      "router.requests";
+      "router.forwarded";
+      "router.retries";
+      "router.ejections";
+      "router.readmissions";
+      "router.errors";
     ]
 
   let histograms = [ "engine.wave.size"; "sched.selection.size"; "service.latency_ms" ]
@@ -610,6 +616,9 @@ module Registry = struct
       "service.mem_cache.misses";
       "service.mem_cache.evictions";
       "service.mem_cache.hit_rate";
+      "router.backends";
+      "router.backends_up";
+      "router.queued";
     ]
 
   let windows = [ "service.window.latency_ms" ]

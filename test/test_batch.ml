@@ -248,6 +248,28 @@ let test_lru_negative_ttl () =
   | `Miss -> ()
   | _ -> Alcotest.fail "negative caching disabled at ttl 0"
 
+let test_lru_negative_monotonic_clock () =
+  (* regression: the default expiry clock must be the monotonic clock, not
+     wall time.  A tombstone noted with the default clock must expire when
+     probed at [monotonic + ttl + eps] — under the old gettimeofday default
+     the expiry sat ~50 years past any monotonic instant (uptime-based),
+     so tombstones never aged out against an injected monotonic [~now]
+     (and a wall-clock step could pin or instantly expire them). *)
+  let mono = Dda_telemetry.Telemetry.monotonic in
+  let l = Lru.create ~shards:1 ~negative_ttl:5. ~capacity:8 () in
+  Lru.note_absent l "k";
+  (match Lru.find ~now:(mono () +. 1.) l "k" with
+  | `Negative -> ()
+  | _ -> Alcotest.fail "tombstone live within the TTL on the monotonic clock");
+  (match Lru.find ~now:(mono () +. 6.) l "k" with
+  | `Miss -> ()
+  | _ -> Alcotest.fail "tombstone must expire against the monotonic clock");
+  (* and the default-clock probe agrees with the default-clock note *)
+  Lru.note_absent l "j";
+  match Lru.find l "j" with
+  | `Negative -> ()
+  | _ -> Alcotest.fail "fresh tombstone visible on the default clock"
+
 let test_lru_concurrent_readers () =
   (* readers and writers hammering all shards while evictions churn: the
      invariants are "never crashes" and "stays within the bound" *)
@@ -601,6 +623,8 @@ let () =
           Alcotest.test_case "capacity and eviction order" `Quick test_lru_eviction_order;
           Alcotest.test_case "sharding bound" `Quick test_lru_sharding_bound;
           Alcotest.test_case "negative TTL" `Quick test_lru_negative_ttl;
+          Alcotest.test_case "negative TTL on the monotonic clock" `Quick
+            test_lru_negative_monotonic_clock;
           Alcotest.test_case "concurrent readers during eviction" `Quick
             test_lru_concurrent_readers;
         ] );

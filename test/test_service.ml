@@ -516,6 +516,73 @@ let test_drain_no_drop () =
     Alcotest.fail "connect must fail after drain"
   | Error _ -> ())
 
+(* regression: glibc select() silently ignores fds >= FD_SETSIZE (1024),
+   so a connection cap that could push descriptors past it must be a
+   clear startup error, never a wedged loop *)
+let test_max_connections_clamp () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let sock = Filename.concat dir "s.sock" in
+  let cfg =
+    {
+      Server.default_config with
+      addresses = [ Sproto.Unix_socket sock ];
+      max_connections = 5000;
+    }
+  in
+  (match Server.start cfg with
+  | Ok srv ->
+    Server.drain srv;
+    ignore (Server.wait srv);
+    Alcotest.fail "a cap past FD_SETSIZE must fail startup"
+  | Error e ->
+    Alcotest.(check bool) (Printf.sprintf "error names the budget (%s)" e) true
+      (contains "FD_SETSIZE" e));
+  (* the largest admissible cap still starts *)
+  let ok_cap =
+    Dda_service.Evloop.fd_setsize - Dda_service.Evloop.fd_headroom - 3 (* 1 listener + wake pipe *)
+  in
+  match Server.start { cfg with max_connections = ok_cap } with
+  | Error e -> Alcotest.failf "cap %d must start: %s" ok_cap e
+  | Ok srv ->
+    Server.drain srv;
+    ignore (Server.wait srv)
+
+(* regression: a peer that completes the TCP handshake (via the kernel
+   backlog of a bound-but-never-accepting listener) but never speaks used
+   to hang [Client.connect ~version:2] forever in the negotiation read;
+   [?timeout] must bound the whole call *)
+let test_connect_timeout () =
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close lfd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lfd 1;
+  let port =
+    match Unix.getsockname lfd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  let mono = Dda_telemetry.Telemetry.monotonic in
+  let t0 = mono () in
+  (match Client.connect ~version:2 ~timeout:0.3 (Sproto.Tcp ("127.0.0.1", port)) with
+  | Ok c ->
+    Client.close c;
+    Alcotest.fail "connect must not succeed against a silent peer"
+  | Error e ->
+    Alcotest.(check bool) (Printf.sprintf "error mentions the timeout (%s)" e) true
+      (contains "timed out" e));
+  let dt = mono () -. t0 in
+  Alcotest.(check bool) (Printf.sprintf "returned promptly (%.2fs)" dt) true (dt < 5.);
+  (* a live server inside the budget still connects *)
+  with_server { Server.default_config with workers = 1 } (fun sock _srv ->
+      match Client.connect ~version:2 ~timeout:2. (Sproto.Unix_socket sock) with
+      | Ok c ->
+        (match Client.ping c with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "ping over timed connect: %s" e);
+        Client.close c
+      | Error e -> Alcotest.failf "timed connect to a live server: %s" e)
+
 (* --- dda.service/2: binary frames -------------------------------------------- *)
 
 let strip_header frame = String.sub frame 4 (String.length frame - 4)
@@ -978,6 +1045,53 @@ let test_prometheus_exposition () =
   | Ok _ -> Alcotest.fail "prometheus must reject non-stats documents"
   | Error _ -> ()
 
+(* regression: label values (health states, backend addresses) and the
+   structural verb names in the top frame must not be interpolated raw —
+   a hostile string with '"', '\' or newline would splice extra sample
+   lines into a scrape, and control bytes would corrupt the terminal *)
+let test_prometheus_hostile_labels () =
+  let hostile = "bad\"state\\with\nnewline" in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "dda.stats/1");
+        ("health", Json.Str hostile);
+        ( "gauges",
+          Json.Obj [ ("service.verb.evil\x1b[2Jverb", Json.Num 3.); ("service.uptime_s", Json.Num 1.) ] );
+        ( "backends",
+          Json.Arr
+            [
+              Json.Obj
+                [
+                  ("addr", Json.Str "sock\"et\npath");
+                  ("state", Json.Str "up");
+                  ("inflight", Json.Num 2.);
+                  ("forwarded", Json.Num 10.);
+                  ("ejections", Json.Num 1.);
+                ];
+            ] );
+      ]
+  in
+  (match SV.prometheus doc with
+  | Error e -> Alcotest.failf "prometheus render: %s" e
+  | Ok text ->
+    (* every emitted line still parses as a comment or a sample *)
+    List.iter check_prom_line
+      (List.filter (fun l -> l <> "") (String.split_on_char '\n' text));
+    Alcotest.(check bool) "hostile health escaped" true
+      (contains "dda_health{state=\"bad\\\"state\\\\with\\nnewline\"} 1" text);
+    Alcotest.(check bool) "no raw quote inside a label value" false
+      (contains "state=\"bad\"state" text);
+    Alcotest.(check bool) "backend address escaped" true
+      (contains "dda_router_backend_up{backend=\"sock\\\"et\\npath\"} 1" text);
+    Alcotest.(check bool) "backend counters labelled" true
+      (contains "dda_router_backend_forwarded_total{backend=" text));
+  let frame = SV.render_top doc in
+  Alcotest.(check bool) "top frame strips control bytes" false
+    (String.exists (fun c -> (c < ' ' && c <> '\n') || c = '\x7f') frame);
+  Alcotest.(check bool) "hostile verb still listed, defanged" true
+    (contains "evil.[2Jverb 3" frame)
+
 let test_render_top_frame () =
   let dir = fresh_dir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
@@ -1026,6 +1140,10 @@ let () =
           Alcotest.test_case "identical misses coalesce" `Quick test_coalesced_misses;
           Alcotest.test_case "drain drops nothing" `Quick test_drain_no_drop;
           Alcotest.test_case "closed-loop load generator" `Quick test_load_generator;
+          Alcotest.test_case "connect timeout against a silent peer" `Quick
+            test_connect_timeout;
+          Alcotest.test_case "connection cap clamped to FD_SETSIZE" `Quick
+            test_max_connections_clamp;
         ] );
       ( "v2",
         [
@@ -1042,6 +1160,8 @@ let () =
           Alcotest.test_case "access log sampling and slow filter" `Quick
             test_access_log_sampling_and_slow;
           Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+          Alcotest.test_case "hostile label values are escaped" `Quick
+            test_prometheus_hostile_labels;
           Alcotest.test_case "top renders one frame" `Quick test_render_top_frame;
         ] );
     ]
