@@ -390,9 +390,9 @@ let cmd_serve listens cache_dir mem_cache workers queue conn_limit max_connectio
     s.Server.connections s.Server.accepted s.Server.served s.Server.hits s.Server.computed
     s.Server.bounded s.Server.rejected s.Server.errors s.Server.pings
 
-let cmd_route listens backend_args replicas max_connections backend_window backend_backlog
-    connect_timeout probe_interval probe_timeout no_retry window_s trace metrics journal
-    progress =
+let cmd_route listens backend_args replicas max_connections conn_limit backend_window
+    backend_backlog connect_timeout probe_interval probe_timeout no_retry window_s trace
+    metrics journal progress =
   telemetry_init trace metrics journal progress;
   if not (T.enabled ()) then T.enable ();
   let listen = List.map (fun s -> or_die (Sproto.parse_address s)) listens in
@@ -411,6 +411,7 @@ let cmd_route listens backend_args replicas max_connections backend_window backe
       backends;
       replicas;
       max_connections;
+      conn_limit;
       backend_window;
       backend_backlog;
       connect_timeout;
@@ -959,6 +960,16 @@ let route_cmd =
              the select() FD_SETSIZE budget (1024 on Linux) together with the backend \
              connections.")
   in
+  let conn_limit =
+    Arg.(
+      value
+      & opt int Router.default_config.Router.conn_limit
+      & info [ "conn-limit" ] ~docv:"N"
+          ~doc:
+            "Max in-flight forwards admitted per front connection (default 64); past it a \
+             pipelining client is answered rejected:connection_limit rather than filling \
+             every backend's window and backlog.")
+  in
   let backend_window =
     Arg.(
       value
@@ -1019,9 +1030,9 @@ let route_cmd =
          "Route decide requests across dda serve backends by consistent hashing \
           (SIGTERM/SIGINT drain gracefully)")
     Term.(
-      const cmd_route $ listens $ backends $ replicas $ max_connections $ backend_window
-      $ backend_backlog $ connect_timeout $ probe_interval $ probe_timeout $ no_retry
-      $ stats_window $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
+      const cmd_route $ listens $ backends $ replicas $ max_connections $ conn_limit
+      $ backend_window $ backend_backlog $ connect_timeout $ probe_interval $ probe_timeout
+      $ no_retry $ stats_window $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
 
 let client_cmd =
   let connect =

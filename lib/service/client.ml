@@ -26,9 +26,18 @@ let connect_fd ?deadline fd sockaddr =
   | None -> Unix.connect fd sockaddr
   | Some dl ->
     Unix.set_nonblock fd;
+    (* On Linux a non-blocking connect to a unix socket whose listen
+       backlog is full fails with EAGAIN — there is no pending attempt to
+       wait for: select would report the (unconnected) socket writable,
+       [getsockopt_error] nothing, and the failure would resurface later
+       as a baffling ENOTCONN.  Only EINPROGRESS (and its TCP spellings)
+       means "in flight"; unix-socket EAGAIN escapes as a hard error. *)
     (match Unix.connect fd sockaddr with
     | () -> ()
-    | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+    | exception
+        Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN) as err, _, _)
+      when err = Unix.EINPROGRESS
+           || (match sockaddr with Unix.ADDR_UNIX _ -> false | _ -> true) ->
       let rec wait () =
         let left = dl -. T.monotonic () in
         if left <= 0. then raise Timed_out;
@@ -87,6 +96,10 @@ let connect ?(version = 1) ?timeout addr =
          raise e);
       fd
     | Protocol.Tcp (host, port) -> (
+      (* known gap: the deadline does not cover [getaddrinfo] — the OS
+         resolver has no select-able handle, so a hung DNS server still
+         blocks here.  Numeric addresses resolve locally and never stall;
+         latency-sensitive callers (the router's prober) should use them. *)
       match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
       | [] -> failwith (Printf.sprintf "cannot resolve %s:%d" host port)
       | ais ->

@@ -26,7 +26,13 @@ val connect : ?version:int -> ?timeout:float -> Protocol.address -> (t, string) 
     [select] against one monotonic deadline.  Without it the call blocks
     indefinitely, so a blackholed peer (SYN unanswered, or accepting but
     never responding) hangs the caller; the router's probe path always
-    sets it. *)
+    sets it.
+
+    Known gap: the deadline does not cover DNS resolution
+    ([Unix.getaddrinfo] has no select-able handle), so a hung resolver
+    can still stall a TCP connect.  Numeric host addresses never touch
+    the resolver — prefer them on latency-sensitive paths (backend lists
+    probed by the router). *)
 
 val close : t -> unit
 

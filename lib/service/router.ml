@@ -80,6 +80,7 @@ type config = {
   backends : Protocol.address list;
   replicas : int;
   max_connections : int;
+  conn_limit : int;
   backend_window : int;
   backend_backlog : int;
   connect_timeout : float;
@@ -95,6 +96,7 @@ let default_config =
     backends = [];
     replicas = 101;
     max_connections = 512;
+    conn_limit = 64;
     backend_window = 8;
     backend_backlog = 1024;
     connect_timeout = 2.0;
@@ -311,6 +313,12 @@ let admit_decide t conn ~id ~body ~key =
   if Atomic.get t.stop then begin
     bump t (fun t -> t.s_rejected <- t.s_rejected + 1);
     answer conn ~id (Protocol.Rejected "draining")
+  end
+  else if conn.inflight >= t.cfg.conn_limit then begin
+    (* one pipelining front must not monopolise every backend's window
+       and backlog — same admission rule as the server's conn_limit *)
+    bump t (fun t -> t.s_rejected <- t.s_rejected + 1);
+    answer conn ~id (Protocol.Rejected "connection_limit")
   end
   else begin
     let fwd =
@@ -635,11 +643,25 @@ let handle_front_parsed t fronts conn parsed =
     bump t (fun t -> t.s_health_rpc <- t.s_health_rpc + 1);
     answer conn ~id (Protocol.Health_state (health_of t))
   | Ok (Protocol.Decide d) ->
-    let key =
-      route_key ~protocol:d.Protocol.protocol ~graph:d.Protocol.graph
-        ~regime:(Spec.regime_name d.Protocol.regime) ~max_configs:d.Protocol.max_configs
-    in
-    admit_decide t conn ~id:d.Protocol.id ~body:(decide_body d) ~key
+    (* a /1 line can carry fields no /2 frame can (str16 caps each at
+       65535 bytes, while lines run to max_rbuf); re-encoding such a
+       decide for the backend wire would raise [Invalid_argument] out of
+       the loop thread, so answer the protocol error here instead *)
+    let over = function Some s -> String.length s > 0xffff | None -> false in
+    if over (Some d.Protocol.protocol) || over (Some d.Protocol.graph) || over d.Protocol.trace
+    then begin
+      bump t (fun t -> t.s_errors <- t.s_errors + 1);
+      T.incr c_errors;
+      answer conn ~id:d.Protocol.id
+        (Protocol.Error
+           (Printf.sprintf "decide field exceeds the %s limit (65535 bytes)" Protocol.schema2))
+    end
+    else
+      let key =
+        route_key ~protocol:d.Protocol.protocol ~graph:d.Protocol.graph
+          ~regime:(Spec.regime_name d.Protocol.regime) ~max_configs:d.Protocol.max_configs
+      in
+      admit_decide t conn ~id:d.Protocol.id ~body:(decide_body d) ~key
 
 (* ------------------------------------------------------------------ *)
 (* Backend responses                                                    *)
@@ -939,7 +961,20 @@ let event_loop t listeners () =
             | Some fd when List.memq fd readable -> read_backend t b
             | _ -> ())
           t.backends;
-        List.iter (fun c -> if List.memq c.fd readable then read_front t !fronts c) !fronts;
+        List.iter
+          (fun c ->
+            if List.memq c.fd readable then
+              (* belt and braces: no single request may take the loop
+                 thread (and with it every connection) down — an
+                 unexpected exception fails this front only *)
+              try read_front t !fronts c
+              with e ->
+                bump t (fun t -> t.s_errors <- t.s_errors + 1);
+                T.incr c_errors;
+                answer c ~id:"" (Protocol.Error ("router: " ^ Printexc.to_string e));
+                c.eof <- true;
+                iobuf_consume c.rbuf c.rbuf.len)
+          !fronts;
         tick t (T.monotonic ());
         Array.iter
           (fun b ->
@@ -985,6 +1020,7 @@ let start cfg =
           cfg with
           backends;
           replicas = max 1 cfg.replicas;
+          conn_limit = max 1 cfg.conn_limit;
           backend_window = max 1 cfg.backend_window;
           backend_backlog = max 1 cfg.backend_backlog;
           window_s = max 1 cfg.window_s;

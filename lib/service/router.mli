@@ -55,6 +55,10 @@ type config = {
   backends : Protocol.address list;  (** [dda serve] processes to route over *)
   replicas : int;  (** virtual points per backend on the ring *)
   max_connections : int;  (** front-connection cap; clamped per {!Evloop.check_fd_budget} *)
+  conn_limit : int;
+      (** max in-flight forwards admitted per front connection — past it a
+          pipelining client is answered [rejected:connection_limit]
+          instead of filling every backend's window and backlog *)
   backend_window : int;
       (** max in-flight forwards per backend connection — keep it at or
           below the backends' [--conn-limit] or they will reject the
@@ -70,9 +74,9 @@ type config = {
 }
 
 val default_config : config
-(** No listeners or backends, 101 replicas, 512 connections, window 8,
-    backlog 1024, 2 s connect timeout, 1 s probe interval, 3 s probe
-    timeout, retry on, 60 s stats window. *)
+(** No listeners or backends, 101 replicas, 512 connections, 64 in-flight
+    per connection, window 8, backlog 1024, 2 s connect timeout, 1 s probe
+    interval, 3 s probe timeout, retry on, 60 s stats window. *)
 
 type stats = {
   connections : int;  (** front connections accepted *)

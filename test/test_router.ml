@@ -330,6 +330,137 @@ let test_router_all_down () =
       | r -> Alcotest.failf "expected rejected:no_backends, got %s" (Sproto.response_to_json r));
       Client.close c)
 
+(* --- /1 fields beyond the /2 wire --------------------------------------------- *)
+
+(* regression: a /1 decide whose graph exceeds the str16 cap used to raise
+   [Invalid_argument] out of the /2 re-encoder on the event-loop thread —
+   one wire-legal request killed the whole router.  It must be answered
+   as a protocol error, and the loop must keep serving. *)
+let test_router_oversized_field () =
+  with_router ~n:1 (fun ~rsock ~bsock:_ ~restart:_ ~stop_backend:_ rt ->
+      let addr = Sproto.Unix_socket rsock in
+      let c = Result.get_ok (Client.connect addr) in
+      let big =
+        { (quick_job ()) with Batch.graph = "cycle:" ^ String.make 70_000 'a' }
+      in
+      (match rpc_exn c (decide_of ~id:"big" big) with
+      | { Sproto.status = Sproto.Error reason; _ } ->
+        Alcotest.(check bool) (Printf.sprintf "error names the limit (%s)" reason) true
+          (contains "65535" reason)
+      | r -> Alcotest.failf "expected an error, got %s" (Sproto.response_to_json r));
+      (* the loop survived: the same connection and fresh decides still work *)
+      (match Client.ping c with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "ping after oversized decide: %s" e);
+      (match rpc_exn c (decide_of ~id:"after" (quick_job ())) with
+      | { Sproto.status = Sproto.Verdict _; _ } -> ()
+      | r -> Alcotest.failf "decide after oversized decide: %s" (Sproto.response_to_json r));
+      Client.close c;
+      let s = Router.stats rt in
+      Alcotest.(check int) "counted as a request error" 1 s.Router.errors)
+
+(* --- per-front-connection admission ------------------------------------------- *)
+
+(* A backend that negotiates /2 and then swallows everything: forwards
+   accumulate in flight until the probe timeout ejects it.  Accepts the
+   router's one startup dial, then refuses re-admission (listener closed
+   once the router hangs up). *)
+let mute_backend dir =
+  let path = Filename.concat dir "mute.sock" in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 8;
+  let th =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept lfd in
+        (try
+           let b = Bytes.create 4096 in
+           let rec read_exact off n =
+             if off < n then
+               match Unix.read fd b off (n - off) with
+               | 0 -> raise End_of_file
+               | k -> read_exact (off + k) n
+           in
+           read_exact 0 4;
+           if Bytes.sub_string b 0 4 <> Sproto.magic then raise Exit;
+           ignore (Unix.write_substring fd Sproto.magic 0 4);
+           (* swallow frames — forwards and probes alike — until the
+              router ejects us and closes the connection *)
+           while Unix.read fd b 0 (Bytes.length b) > 0 do
+             ()
+           done
+         with End_of_file | Exit | Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (try Unix.close lfd with Unix.Unix_error _ -> ());
+        try Sys.remove path with Sys_error _ -> ())
+      ()
+  in
+  (path, th)
+
+(* one pipelining front must not fill every backend's window and backlog:
+   forwards beyond [conn_limit] are rejected:connection_limit at admission *)
+let test_router_conn_limit () =
+  let dir = fresh_dir () in
+  let rsock = Filename.concat dir "r.sock" in
+  let mute, mute_th = mute_backend dir in
+  let cfg =
+    {
+      Router.default_config with
+      listen = [ Sproto.Unix_socket rsock ];
+      backends = [ Sproto.Unix_socket mute ];
+      conn_limit = 4;
+      connect_timeout = 1.0;
+      probe_interval = 0.2;
+      probe_timeout = 0.6;
+    }
+  in
+  match Router.start cfg with
+  | Error e -> Alcotest.failf "router failed to start: %s" e
+  | Ok rt ->
+    Fun.protect
+      ~finally:(fun () ->
+        Router.drain rt;
+        ignore (Router.wait rt);
+        Thread.join mute_th;
+        rm_rf dir)
+      (fun () ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let ic = Unix.in_channel_of_descr fd in
+        Unix.connect fd (Unix.ADDR_UNIX rsock);
+        (* 8 pipelined decides in one write against a backend that answers
+           nothing: the first 4 are admitted and stuck in flight, so the
+           5th..8th must be rejected at admission, immediately *)
+        let lines =
+          String.concat ""
+            (List.init 8 (fun i ->
+                 Sproto.request_to_json
+                   (decide_of ~id:(Printf.sprintf "p%d" i)
+                      (quick_job ~max_configs:(50_000 + i) ()))
+                 ^ "\n"))
+        in
+        let rec write_all off =
+          if off < String.length lines then
+            write_all (off + Unix.write_substring fd lines off (String.length lines - off))
+        in
+        write_all 0;
+        let rejected = ref 0 and unavailable = ref 0 in
+        for _ = 1 to 8 do
+          match Sproto.parse_response (input_line ic) with
+          | Ok { Sproto.status = Sproto.Rejected "connection_limit"; _ } -> incr rejected
+          | Ok { Sproto.status = Sproto.Error "backend_unavailable"; _ } -> incr unavailable
+          | Ok r -> Alcotest.failf "unexpected response: %s" (Sproto.response_to_json r)
+          | Error e -> Alcotest.failf "unparseable response: %s" e
+        done;
+        Alcotest.(check int) "overflow rejected at admission" 4 !rejected;
+        (* the admitted 4 fail only later, when the probe timeout ejects
+           the mute backend and the empty ring offers no successor *)
+        Alcotest.(check int) "admitted forwards failed on ejection" 4 !unavailable;
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        let s = Router.stats rt in
+        Alcotest.(check int) "rejections counted" 4 s.Router.rejected;
+        Alcotest.(check bool) "the mute backend was ejected" true (s.Router.ejections >= 1))
+
 (* --- retry-once --------------------------------------------------------------- *)
 
 (* A backend that negotiates /2, swallows one decide, and dies — the only
@@ -484,6 +615,10 @@ let () =
           Alcotest.test_case "ejection and readmission" `Quick
             test_router_ejection_readmission;
           Alcotest.test_case "all backends down" `Quick test_router_all_down;
+          Alcotest.test_case "/1 fields beyond the /2 wire answer an error" `Quick
+            test_router_oversized_field;
+          Alcotest.test_case "per-front-connection in-flight cap" `Quick
+            test_router_conn_limit;
           Alcotest.test_case "retry-once onto the ring successor" `Quick
             test_router_retry_once;
           Alcotest.test_case "startup validation" `Quick test_router_startup_errors;

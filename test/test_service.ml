@@ -583,6 +583,44 @@ let test_connect_timeout () =
         Client.close c
       | Error e -> Alcotest.failf "timed connect to a live server: %s" e)
 
+(* regression: on Linux a non-blocking connect to a unix socket whose
+   listen backlog is full fails with EAGAIN — there is no pending attempt.
+   Folding that into the EINPROGRESS wait made [connect ~timeout] report
+   success on an unconnected socket (select: writable, getsockopt_error:
+   nothing), and the failure resurfaced later as a baffling ENOTCONN.
+   It must be a prompt hard error instead. *)
+let test_unix_backlog_full () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+  @@ fun () ->
+  let sock = Filename.concat dir "full.sock" in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close lfd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.bind lfd (Unix.ADDR_UNIX sock);
+  Unix.listen lfd 0;  (* bound but never accepting: the backlog fills at once *)
+  let mono = Dda_telemetry.Telemetry.monotonic in
+  let t0 = mono () in
+  let pending = ref [] in
+  let failure = ref None in
+  (* each connect either parks in the kernel backlog (Ok) or — once the
+     backlog is full — must fail immediately, well before the timeout *)
+  Fun.protect ~finally:(fun () -> List.iter Client.close !pending)
+  @@ fun () ->
+  for _ = 1 to 32 do
+    if !failure = None then
+      match Client.connect ~timeout:5.0 (Sproto.Unix_socket sock) with
+      | Ok c -> pending := c :: !pending
+      | Error e -> failure := Some e
+  done;
+  let dt = mono () -. t0 in
+  match !failure with
+  | None -> Alcotest.fail "connects kept 'succeeding' against a full backlog"
+  | Some e ->
+    Alcotest.(check bool) (Printf.sprintf "hard failure, not a timeout (%s)" e) true
+      (not (contains "timed out" e));
+    Alcotest.(check bool) (Printf.sprintf "returned promptly (%.2fs)" dt) true (dt < 2.5)
+
 (* --- dda.service/2: binary frames -------------------------------------------- *)
 
 let strip_header frame = String.sub frame 4 (String.length frame - 4)
@@ -1142,6 +1180,8 @@ let () =
           Alcotest.test_case "closed-loop load generator" `Quick test_load_generator;
           Alcotest.test_case "connect timeout against a silent peer" `Quick
             test_connect_timeout;
+          Alcotest.test_case "full unix backlog fails hard, not late" `Quick
+            test_unix_backlog_full;
           Alcotest.test_case "connection cap clamped to FD_SETSIZE" `Quick
             test_max_connections_clamp;
         ] );
