@@ -1083,6 +1083,126 @@ let experiment_router () =
       }
 
 (* ------------------------------------------------------------------ *)
+(* E17: the symbolic engine — one family verdict vs per-instance work     *)
+(* ------------------------------------------------------------------ *)
+
+type symbolic_bench = {
+  sy_family : string;
+  sy_protocol : string;
+  (* regime name, family verdict, wall-clock of every rep *)
+  sy_regimes : (string * Dda_symbolic.Certify.t * float list) list;
+  (* n, explicit configs, explicit seconds (explore + decide) *)
+  sy_explicit : (int * int * float) list;
+  sy_hit_n : int;  (* instance size answered from the family entry *)
+  sy_hit_seconds : float;
+}
+
+(* stashed for E11's BENCH_verify.json writer *)
+let symbolic_bench_result : symbolic_bench option ref = ref None
+
+let experiment_symbolic () =
+  section "E17  symbolic engine: one family verdict vs explicit per-instance decisions";
+  let module Batch = Dda_batch.Batch in
+  let module Certify = Dda_symbolic.Certify in
+  let module Family = Dda_symbolic.Family in
+  let m = Dda_protocols.Cutoff_one.exists_label ~alphabet:[ "a"; "b" ] "a" in
+  let fam_spec = "star:ba*" in
+  let fam = match Family.parse fam_spec with Ok f -> f | Error e -> failwith e in
+  let reps = if smoke then 1 else 3 in
+  let time f =
+    let t0 = mono () in
+    let r = f () in
+    (r, mono () -. t0)
+  in
+  (* the family verdict: every instance size at once, certified by the
+     Lemma 3.5 coverability cutoff *)
+  Format.printf "%-18s %-10s %7s %11s %7s %8s %9s@." "regime" "verdict" "from_n"
+    "checked_to" "cutoff" "configs" "seconds";
+  let fam_rows =
+    List.map
+      (fun (name, regime) ->
+        let runs =
+          List.init reps (fun _ ->
+              time (fun () ->
+                  match Certify.decide_family ~max_configs:400_000 ~regime m fam with
+                  | Ok fv -> fv
+                  | Error (`Too_large n) ->
+                    failwith (Printf.sprintf "E17 %s: bounded out at %d" name n)
+                  | Error (`Unsupported msg) -> failwith ("E17 " ^ name ^ ": " ^ msg)))
+        in
+        let fv = fst (List.hd runs) in
+        let times = List.map snd runs in
+        let median =
+          let s = List.sort compare times in
+          List.nth s (List.length s / 2)
+        in
+        Format.printf "%-18s %-10s %7d %11d %7s %8d %8.3fs@." name
+          (Format.asprintf "%a" Decide.pp_verdict fv.Certify.verdict)
+          fv.Certify.from_n fv.Certify.checked_to
+          (match fv.Certify.certificate with
+          | Certify.Cutoff k -> Printf.sprintf "K=%d" k
+          | Certify.Window w -> Printf.sprintf "w=%d" w)
+          fv.Certify.configs median;
+        (name, fv, times))
+      [ ("adversarial", `Adversarial); ("pseudo_stochastic", `Pseudo_stochastic) ]
+  in
+  (* the explicit engine's view of the same family: one instance at a time,
+     |Q|^n configurations each *)
+  let explicit_ns = if smoke then [ 6; 8 ] else if quick then [ 6; 10; 14 ] else [ 6; 12; 18 ] in
+  let explicit_rows =
+    List.map
+      (fun n ->
+        let g = Family.instance fam n in
+        let (configs, verdict), seconds =
+          time (fun () ->
+              let space = Space.explore ~max_configs:6_000_000 m g in
+              (space.Space.size, Decide.adversarial space))
+        in
+        Format.printf "explicit n=%-6d %-10s %36d %8.3fs@." n
+          (Format.asprintf "%a" Decide.pp_verdict verdict)
+          configs seconds;
+        (n, configs, seconds))
+      explicit_ns
+  in
+  (* one family entry in the store answers any larger instance as a cache
+     hit — the memo-tier path `dda verify` reports as `tier: family` *)
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dda_bench_symbolic.%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists root then rm_rf root;
+  let cache = Dda_batch.Store.open_ ~root () in
+  (match Batch.decide_family ~cache ~count:false ~regime:Dda_batch.Spec.Adversarial
+           ~max_configs:400_000 m fam
+   with
+  | Ok _ -> ()
+  | Error e -> failwith ("E17 cache seed: " ^ e));
+  let machine_key = Dda_batch.Fingerprint.machine ~labels:(Family.alphabet fam) m in
+  let hit_n = 40 in
+  let hit, hit_seconds =
+    time (fun () ->
+        Batch.family_hit ~cache ~machine_key ~regime:Dda_batch.Spec.Adversarial
+          ~max_configs:400_000
+          (Family.instance_spec fam hit_n))
+  in
+  (match hit with
+  | Some (_, _) ->
+    Format.printf "family hit: n=%d answered from the family entry in %.6fs (tier: family)@."
+      hit_n hit_seconds
+  | None -> failwith "E17: family entry did not answer the concrete instance");
+  rm_rf root;
+  symbolic_bench_result :=
+    Some
+      {
+        sy_family = fam_spec;
+        sy_protocol = "exists:a";
+        sy_regimes = fam_rows;
+        sy_explicit = explicit_rows;
+        sy_hit_n = hit_n;
+        sy_hit_seconds = hit_seconds;
+      }
+
+(* ------------------------------------------------------------------ *)
 (* E11: the exploration engine vs the legacy explorer (BENCH_verify.json) *)
 (* ------------------------------------------------------------------ *)
 
@@ -1302,23 +1422,56 @@ let experiment_verify_bench () =
             (Dda_analysis.Stats.summary_json (Dda_analysis.Stats.summarise ob.ob_rps_on))
             ob.ob_delta_pct ob.ob_gate_ok;
         ])
+    @ (match !router_bench_result with
+      | None -> []
+      | Some rb ->
+        [
+          Printf.sprintf
+            "\"router\": {\"backends\": %d, \"clients\": %d, \"per_client\": %d, \
+             \"pipeline\": %d, \"total_requests\": %d, \"warm_hit_rate\": %.4f, \
+             \"warm_rps_vs_e14\": %s, \"forwarded\": %d, \"retries\": %d, \"ejections\": %d, \
+             \"cold\": %s, \"warm\": %s}"
+            rb.rb_backends rb.rb_clients rb.rb_per_client rb.rb_pipeline rb.rb_total_requests
+            (Sclient.hit_rate rb.rb_warm)
+            (match !service_v2_bench_result with
+            | Some e14 when e14.s2_warm.Sclient.rps > 0. ->
+              Printf.sprintf "%.2f" (rb.rb_warm.Sclient.rps /. e14.s2_warm.Sclient.rps)
+            | _ -> "null")
+            rb.rb_forwarded rb.rb_retries rb.rb_ejections (pass rb.rb_cold) (pass rb.rb_warm);
+        ])
     @
-    match !router_bench_result with
+    match !symbolic_bench_result with
     | None -> []
-    | Some rb ->
+    | Some sy ->
+      let module Certify = Dda_symbolic.Certify in
+      let regime (name, (fv : Certify.t), times) =
+        Printf.sprintf
+          "\"%s\": {\"verdict\": \"%s\", \"from_n\": %d, \"checked_to\": %d, \
+           \"cutoff\": %s, \"window\": %s, \"configs\": %d, \"seconds_summary\": %s}"
+          name
+          (json_escape (Format.asprintf "%a" Decide.pp_verdict fv.Certify.verdict))
+          fv.Certify.from_n fv.Certify.checked_to
+          (match fv.Certify.certificate with
+          | Certify.Cutoff k -> string_of_int k
+          | Certify.Window _ -> "null")
+          (match fv.Certify.certificate with
+          | Certify.Window w -> string_of_int w
+          | Certify.Cutoff _ -> "null")
+          fv.Certify.configs
+          (Dda_analysis.Stats.summary_json (Dda_analysis.Stats.summarise times))
+      in
+      let explicit (n, configs, seconds) =
+        Printf.sprintf "{\"n\": %d, \"configs\": %d, \"seconds\": %.4f}" n configs seconds
+      in
       [
         Printf.sprintf
-          "\"router\": {\"backends\": %d, \"clients\": %d, \"per_client\": %d, \
-           \"pipeline\": %d, \"total_requests\": %d, \"warm_hit_rate\": %.4f, \
-           \"warm_rps_vs_e14\": %s, \"forwarded\": %d, \"retries\": %d, \"ejections\": %d, \
-           \"cold\": %s, \"warm\": %s}"
-          rb.rb_backends rb.rb_clients rb.rb_per_client rb.rb_pipeline rb.rb_total_requests
-          (Sclient.hit_rate rb.rb_warm)
-          (match !service_v2_bench_result with
-          | Some e14 when e14.s2_warm.Sclient.rps > 0. ->
-            Printf.sprintf "%.2f" (rb.rb_warm.Sclient.rps /. e14.s2_warm.Sclient.rps)
-          | _ -> "null")
-          rb.rb_forwarded rb.rb_retries rb.rb_ejections (pass rb.rb_cold) (pass rb.rb_warm);
+          "\"symbolic\": {\"family\": \"%s\", \"protocol\": \"%s\", %s, %s, \
+           \"explicit_instances\": [%s], \"family_hit_n\": %d, \"family_hit_seconds\": %.6f}"
+          (json_escape sy.sy_family) (json_escape sy.sy_protocol)
+          (regime (List.nth sy.sy_regimes 0))
+          (regime (List.nth sy.sy_regimes 1))
+          (String.concat ", " (List.map explicit sy.sy_explicit))
+          sy.sy_hit_n sy.sy_hit_seconds;
       ]
   in
   (match sections with
@@ -1437,6 +1590,7 @@ let () =
   experiment_service_v2 ();
   experiment_observability ();
   experiment_router ();
+  experiment_symbolic ();
   experiment_verify_bench ();
   bechamel_suite ();
   telemetry_overhead_bench ();

@@ -33,6 +33,7 @@ module Json = Dda_telemetry.Json
 module Spec = Dda_batch.Spec
 module Batch = Dda_batch.Batch
 module Store = Dda_batch.Store
+module Fingerprint = Dda_batch.Fingerprint
 module Sproto = Dda_service.Protocol
 module Server = Dda_service.Server
 module Router = Dda_service.Router
@@ -148,20 +149,151 @@ let symmetry_of_spec graph_spec n =
     Format.eprintf "warning: no symmetry group known for %s; exploring unreduced@." graph_spec;
     None
 
-let cmd_decide proto_spec graph_spec fairness_str max_configs witness jobs reduce trace metrics
-    journal progress =
+let verdict_name = function
+  | Decide.Accepts -> "accepts"
+  | Decide.Rejects -> "rejects"
+  | Decide.Inconsistent _ -> "inconsistent"
+
+let store_verdict_name = function
+  | Store.Accepts -> "accepts"
+  | Store.Rejects -> "rejects"
+  | Store.Inconsistent _ -> "inconsistent"
+  | Store.Bounded _ -> "bounded"
+
+(* A cached entry answering a decide/verify query, with its provenance. *)
+let print_entry (e : Store.entry) ~tier =
+  (match e.Store.verdict with
+  | Store.Bounded n ->
+    Format.printf "state space exceeded %d configurations (cached bound)@." n
+  | v ->
+    Format.printf "verdict: %s (cached, %d configurations, %.2fs original)@."
+      (store_verdict_name v) e.Store.configs e.Store.seconds);
+  if e.Store.engine <> "explicit" then Format.printf "engine: %s@." e.Store.engine;
+  (match e.Store.family with
+  | Some fc ->
+    Format.printf "family: verdict holds for all n >= %d%s, checked to n = %d@."
+      fc.Store.from_n
+      (match fc.Store.cutoff with
+      | Some k -> Printf.sprintf " (certified, coverability cutoff K=%d)" k
+      | None -> " (empirical stabilisation window)")
+      fc.Store.checked_to
+  | None -> ());
+  Format.printf "tier: %s@." tier;
+  match e.Store.verdict with Store.Bounded _ -> exit 1 | _ -> ()
+
+(* Decide a whole clique/star family with the symbolic engine: one counted
+   exploration per instance until the verdict stabilises, emitted as a
+   single certified family verdict (and, with --cache, one store entry). *)
+let cmd_decide_family ?cache proto_spec fam regime max_configs =
+  let rep = Spec.family_representative fam in
+  let (Spec.Packed m) = or_die (parse_protocol proto_spec rep) in
+  Format.printf "automaton: %s   family: %s (n >= %d)   fairness: %s   engine: symbolic@."
+    m.Machine.name
+    (Dda_symbolic.Family.to_string fam)
+    (Dda_symbolic.Family.min_nodes fam)
+    (match regime with Spec.Adversarial -> "adversarial" | _ -> "pseudo-stochastic");
+  match Batch.decide_family ?cache ~regime ~max_configs m fam with
+  | Error msg -> or_die (Error msg)
+  | Ok (d, cert) -> (
+    match (d.Batch.result, cert) with
+    | Batch.Bounded n, _ ->
+      Format.printf "family exploration exceeds %d configurations; raise --max-configs@." n;
+      exit 1
+    | Batch.Verdict v, Some fc ->
+      Format.printf "verdict: %s for all n >= %d %s@." (verdict_name v) fc.Store.from_n
+        (match fc.Store.cutoff with
+        | Some k ->
+          Printf.sprintf "(certified, coverability cutoff K=%d, checked to n = %d)" k
+            fc.Store.checked_to
+        | None ->
+          Printf.sprintf "(empirical stabilisation window, checked to n = %d)"
+            fc.Store.checked_to);
+      Format.printf "space: %d configurations in %.2fs@." d.Batch.configs d.Batch.seconds;
+      Format.printf "tier: %s@." (if d.Batch.cached then "family" else "none")
+    | Batch.Verdict v, None -> Format.printf "verdict: %s@." (verdict_name v))
+
+let cmd_decide proto_spec graph_spec fairness_str engine_str cache_dir max_configs witness jobs
+    reduce trace metrics journal progress =
   telemetry_init trace metrics journal progress;
-  let g = or_die (parse_graph graph_spec) in
-  let (Spec.Packed m) = or_die (parse_protocol proto_spec g) in
   let fairness = or_die (parse_fairness fairness_str) in
+  let regime = Dda_core.Decision.regime_of_fairness fairness in
+  let engine = or_die (Spec.parse_engine engine_str) in
+  let cache = open_cache cache_dir in
+  let _lock = lock_cache `Shared cache in
+  match or_die (Spec.parse_graph_spec graph_spec) with
+  | Spec.Family fam -> cmd_decide_family ?cache proto_spec fam regime max_configs
+  | Spec.Concrete g ->
+  let (Spec.Packed m) = or_die (parse_protocol proto_spec g) in
   let symmetry = if reduce then symmetry_of_spec graph_spec (G.nodes g) else None in
-  Format.printf "automaton: %s   graph: %s (n=%d)   fairness: %s%s%s@." m.Machine.name graph_spec
+  let shape =
+    match engine with
+    | Spec.Explicit -> None
+    | Spec.Symbolic | Spec.Auto -> Dda_symbolic.Counted.shape_of_graph g
+  in
+  (match (engine, shape) with
+  | Spec.Symbolic, None ->
+    or_die (Error "the symbolic engine needs a clique or star graph")
+  | _ -> ());
+  let engine_used = if Option.is_some shape then "symbolic" else "explicit" in
+  Format.printf "automaton: %s   graph: %s (n=%d)   fairness: %s%s%s%s@." m.Machine.name graph_spec
     (G.nodes g)
     (match fairness with Classes.Adversarial -> "adversarial" | _ -> "pseudo-stochastic")
+    (if engine_used <> "explicit" then "   engine: symbolic" else "")
     (if jobs > 1 then Printf.sprintf "   jobs: %d" jobs else "")
     (match symmetry with
     | Some s -> Printf.sprintf "   symmetry: order %d" (Dda_verify.Symmetry.order s)
     | None -> "");
+  match cache with
+  | Some store -> (
+    let mkey = Fingerprint.machine ~labels:(alphabet_of g) m in
+    let key =
+      Fingerprint.key ~engine:engine_used ~machine:mkey ~graph:(Fingerprint.graph g)
+        ~regime:(Spec.regime_name regime) ~max_configs ()
+    in
+    match Store.find_tier store key with
+    | Some (e, tier) ->
+      print_entry e ~tier:(match tier with `Mem -> "mem" | `Disk -> "disk")
+    | None -> (
+      (* a clique/star instance may be covered by a certified family entry
+         even when its own key misses — at any n, including sizes far past
+         the explicit engine's reach *)
+      match Batch.family_hit ~cache:store ~machine_key:mkey ~regime ~max_configs graph_spec with
+      | Some (e, _) -> print_entry e ~tier:"family"
+      | None -> (
+        let d =
+          Batch.decide ~cache:store ~machine_key:mkey ~jobs ?symmetry ~engine ~regime
+            ~max_configs m g
+        in
+        match d.Batch.result with
+        | Batch.Bounded n ->
+          Format.printf "state space exceeds %d configurations; try `dda simulate` instead@." n;
+          exit 1
+        | Batch.Verdict v ->
+          Format.printf "verdict: %s@." (verdict_name v);
+          Format.printf "space: %d configurations in %.2fs@." d.Batch.configs d.Batch.seconds;
+          Format.printf "tier: none@.")))
+  | None ->
+  match shape with
+  | Some shape -> (
+    (* uncached symbolic path: one counted exploration, no witness support *)
+    let t0 = Unix.gettimeofday () in
+    match Dda_symbolic.Counted.of_shape ~max_configs m shape with
+    | exception Dda_symbolic.Counted.Too_large n ->
+      Format.printf "counted space exceeds %d configurations; raise --max-configs@." n;
+      exit 1
+    | c ->
+      let v =
+        match fairness with
+        | Classes.Adversarial -> Dda_symbolic.Analysis.adversarial c
+        | _ -> Dda_symbolic.Analysis.pseudo_stochastic c
+      in
+      Format.printf "verdict: %a@." Decide.pp_verdict v;
+      Format.printf "counted space: %d configurations (%d states interned) in %.2fs@."
+        c.Dda_symbolic.Counted.size c.Dda_symbolic.Counted.state_count
+        (Unix.gettimeofday () -. t0);
+      if witness then
+        Format.printf "witness schedules need the explicit engine; re-run with --engine explicit@.")
+  | None ->
   let t0 = Unix.gettimeofday () in
   match Dda_verify.Space.explore ~jobs ?symmetry ~max_configs m g with
   | exception Dda_verify.Space.Too_large n ->
@@ -689,11 +821,27 @@ let decide_cmd =
              rotation+reflection on cycles, leaf permutation on stars, full symmetric group on \
              cliques up to n=8).  Verdicts are unchanged.")
   in
-  Cmd.v
-    (Cmd.info "decide" ~doc:"Decide acceptance exactly by state-space analysis")
+  let engine =
+    Arg.(
+      value & opt string "explicit"
+      & info [ "engine" ] ~docv:"explicit|symbolic|auto"
+          ~doc:
+            "Configuration-space backend.  $(b,symbolic) decides over counted \
+             configurations (clique and star graphs, including whole families like \
+             $(b,star:ba*)); $(b,auto) picks it whenever the graph allows.")
+  in
+  let term =
     Term.(
-      const cmd_decide $ proto_arg $ graph_arg $ fairness $ max_configs $ witness $ jobs $ reduce
-      $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
+      const cmd_decide $ proto_arg $ graph_arg $ fairness $ engine $ cache_arg $ max_configs
+      $ witness $ jobs $ reduce $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
+  in
+  ( Cmd.v (Cmd.info "decide" ~doc:"Decide acceptance exactly by state-space analysis") term,
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Decide acceptance exactly (alias of decide); accepts graph families \
+            (clique:ab*, star:ba*) via the symbolic engine")
+      term )
 
 let simulate_cmd =
   let sched =
@@ -1212,6 +1360,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ tables_cmd; graph_cmd; decide_cmd; simulate_cmd; auto_cmd; program_cmd; cutoff_cmd;
-            telemetry_cmd; batch_cmd; cache_cmd; serve_cmd; route_cmd; client_cmd; stats_cmd;
-            top_cmd ]))
+          (let decide_cmd, verify_cmd = decide_cmd in
+           [ tables_cmd; graph_cmd; decide_cmd; verify_cmd; simulate_cmd; auto_cmd; program_cmd;
+             cutoff_cmd; telemetry_cmd; batch_cmd; cache_cmd; serve_cmd; route_cmd; client_cmd;
+             stats_cmd; top_cmd ])))

@@ -60,7 +60,8 @@ let time thunk =
   let result, configs = thunk () in
   { result; cached = false; configs; seconds = Unix.gettimeofday () -. t0 }
 
-let store_decision ?(count = true) cache ~key ~machine_key ~graph_key ~regime ~max_configs d =
+let store_decision ?(count = true) ?(engine = "explicit") ?family cache ~key
+    ~machine_key ~graph_key ~regime ~max_configs d =
   Store.put cache
     {
       Store.key;
@@ -71,16 +72,19 @@ let store_decision ?(count = true) cache ~key ~machine_key ~graph_key ~regime ~m
       verdict = verdict_of_result d.result;
       configs = d.configs;
       seconds = d.seconds;
+      engine;
+      family;
     };
   if count then T.incr c_stores
 
-let cached ?cache ?(count = true) ~machine_key ~graph_key ~regime ~max_configs thunk =
+let cached ?cache ?(count = true) ?(engine = "explicit") ~machine_key ~graph_key
+    ~regime ~max_configs thunk =
   match cache with
   | None -> time thunk
   | Some store -> (
     let key =
-      Fingerprint.key ~machine:machine_key ~graph:graph_key
-        ~regime:(Spec.regime_name regime) ~max_configs
+      Fingerprint.key ~engine ~machine:machine_key ~graph:graph_key
+        ~regime:(Spec.regime_name regime) ~max_configs ()
     in
     match Store.find store key with
     | Some e ->
@@ -94,7 +98,8 @@ let cached ?cache ?(count = true) ~machine_key ~graph_key ~regime ~max_configs t
     | None ->
       note_miss count;
       let d = time thunk in
-      store_decision ~count store ~key ~machine_key ~graph_key ~regime ~max_configs d;
+      store_decision ~count ~engine store ~key ~machine_key ~graph_key ~regime
+        ~max_configs d;
       d)
 
 let classify regime space =
@@ -108,8 +113,36 @@ let explore_and_classify ?jobs ?symmetry ~regime ~max_configs m g () =
   | exception Dda_wsts.Coverability.Too_large n -> (Bounded n, n)
   | space -> (Verdict (classify regime space), space.Space.size)
 
-let decide ?cache ?count ?machine_key ?jobs ?symmetry ~regime ~max_configs m g =
-  let thunk = explore_and_classify ?jobs ?symmetry ~regime ~max_configs m g in
+let counted_regime = function
+  | Spec.Adversarial -> `Adversarial
+  | Spec.Pseudo_stochastic -> `Pseudo_stochastic
+
+let explore_and_classify_counted ~regime ~max_configs m shape () =
+  match Dda_symbolic.Counted.of_shape ~max_configs m shape with
+  | exception Dda_symbolic.Counted.Too_large n -> (Bounded n, n)
+  | space ->
+    ( Verdict (Dda_symbolic.Analysis.for_regime (counted_regime regime) space),
+      space.Dda_symbolic.Counted.size )
+
+let decide ?cache ?count ?machine_key ?jobs ?symmetry ?(engine = Spec.Explicit)
+    ~regime ~max_configs m g =
+  (* the symbolic engine only has counted semantics for cliques and stars;
+     Auto falls back to the explicit engine elsewhere *)
+  let shape =
+    match engine with
+    | Spec.Explicit -> None
+    | Spec.Symbolic | Spec.Auto -> Dda_symbolic.Counted.shape_of_graph g
+  in
+  (match (engine, shape) with
+  | Spec.Symbolic, None ->
+    invalid_arg "Batch.decide: the symbolic engine needs a clique or star graph"
+  | _ -> ());
+  let engine_used, thunk =
+    match shape with
+    | Some shape ->
+      ("symbolic", explore_and_classify_counted ~regime ~max_configs m shape)
+    | None -> ("explicit", explore_and_classify ?jobs ?symmetry ~regime ~max_configs m g)
+  in
   match cache with
   | None -> time thunk (* no fingerprint work on the uncached path *)
   | Some _ ->
@@ -118,8 +151,86 @@ let decide ?cache ?count ?machine_key ?jobs ?symmetry ~regime ~max_configs m g =
       | Some k -> k
       | None -> Fingerprint.machine ~labels:(Spec.alphabet_of g) m
     in
-    cached ?cache ?count ~machine_key ~graph_key:(Fingerprint.graph g) ~regime ~max_configs
-      thunk
+    cached ?cache ?count ~engine:engine_used ~machine_key
+      ~graph_key:(Fingerprint.graph g) ~regime ~max_configs thunk
+
+(* --- Family verdicts --------------------------------------------------------- *)
+
+let cert_of_family (fv : Dda_symbolic.Certify.t) =
+  {
+    Store.from_n = fv.Dda_symbolic.Certify.from_n;
+    checked_to = fv.Dda_symbolic.Certify.checked_to;
+    cutoff =
+      (match fv.Dda_symbolic.Certify.certificate with
+      | Dda_symbolic.Certify.Cutoff k -> Some k
+      | Dda_symbolic.Certify.Window _ -> None);
+  }
+
+let family_key ~machine_key ~regime ~max_configs fam =
+  Fingerprint.key ~engine:"symbolic" ~machine:machine_key
+    ~graph:(Fingerprint.family fam) ~regime:(Spec.regime_name regime)
+    ~max_configs ()
+
+let decide_family ?cache ?(count = true) ?machine_key ~regime ~max_configs m fam
+    =
+  let compute () =
+    match
+      Dda_symbolic.Certify.decide_family ~max_configs
+        ~regime:(counted_regime regime) m fam
+    with
+    | Ok fv ->
+      Ok
+        ( time (fun () -> (Verdict fv.Dda_symbolic.Certify.verdict, fv.Dda_symbolic.Certify.configs)),
+          Some (cert_of_family fv) )
+    | Error (`Too_large n) -> Ok (time (fun () -> (Bounded n, n)), None)
+    | Error (`Unsupported msg) -> Error msg
+  in
+  match cache with
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    Result.map
+      (fun (d, cert) -> ({ d with seconds = Unix.gettimeofday () -. t0 }, cert))
+      (compute ())
+  | Some store -> (
+    let machine_key =
+      match machine_key with
+      | Some k -> k
+      | None ->
+        Fingerprint.machine ~labels:(Dda_symbolic.Family.alphabet fam) m
+    in
+    let key = family_key ~machine_key ~regime ~max_configs fam in
+    match Store.find store key with
+    | Some e ->
+      note_hit count;
+      Ok
+        ( {
+            result = result_of_verdict e.Store.verdict;
+            cached = true;
+            configs = e.Store.configs;
+            seconds = e.Store.seconds;
+          },
+          e.Store.family )
+    | None ->
+      note_miss count;
+      let t0 = Unix.gettimeofday () in
+      Result.map
+        (fun (d, cert) ->
+          let d = { d with seconds = Unix.gettimeofday () -. t0 } in
+          store_decision ~count ~engine:"symbolic" ?family:cert store ~key
+            ~machine_key ~graph_key:(Fingerprint.family fam) ~regime ~max_configs
+            d;
+          (d, cert))
+        (compute ()))
+
+let family_hit ~cache ~machine_key ~regime ~max_configs graph_spec =
+  match Spec.family_of_instance graph_spec with
+  | None -> None
+  | Some (fam, n) -> (
+    let key = family_key ~machine_key ~regime ~max_configs fam in
+    match Store.find cache key with
+    | Some ({ Store.family = Some fc; _ } as e) when n >= fc.Store.from_n ->
+      Some (e, key)
+    | Some _ | None -> None)
 
 (* --- Manifests -------------------------------------------------------------- *)
 
@@ -208,33 +319,86 @@ type resolved = {
   r_key : string;  (* "" when running uncached *)
   r_machine : string;
   r_graph : string;
+  r_engine : string;
+  (* filled by family compute thunks on the worker domain; Domain.join
+     publishes it before the main domain reads it back *)
+  r_family : Store.family_cert option ref;
 }
+
+let machine_fp memo ~protocol ~alphabet m =
+  let mkey = (protocol, alphabet) in
+  match Hashtbl.find_opt memo mkey with
+  | Some fp -> fp
+  | None ->
+    let fp = Fingerprint.machine ~labels:alphabet m in
+    Hashtbl.add memo mkey fp;
+    fp
 
 let resolve ?cache memo job =
   let ( let* ) = Result.bind in
-  let* g = Spec.parse_graph job.graph in
-  let* (Spec.Packed m) = Spec.parse_protocol job.protocol g in
-  let r_compute = explore_and_classify ~regime:job.regime ~max_configs:job.max_configs m g in
-  match cache with
-  | None -> Ok { r_compute; r_key = ""; r_machine = ""; r_graph = "" }
-  | Some _ ->
-    (* one machine fingerprint per (protocol, alphabet) pair, not per job *)
-    let alphabet = Spec.alphabet_of g in
-    let mkey = (job.protocol, alphabet) in
-    let r_machine =
-      match Hashtbl.find_opt memo mkey with
-      | Some fp -> fp
-      | None ->
-        let fp = Fingerprint.machine ~labels:alphabet m in
-        Hashtbl.add memo mkey fp;
-        fp
+  let* gspec = Spec.parse_graph_spec job.graph in
+  match gspec with
+  | Spec.Concrete g -> (
+    let* (Spec.Packed m) = Spec.parse_protocol job.protocol g in
+    let r_compute =
+      explore_and_classify ~regime:job.regime ~max_configs:job.max_configs m g
     in
-    let r_graph = Fingerprint.graph g in
-    let r_key =
-      Fingerprint.key ~machine:r_machine ~graph:r_graph
-        ~regime:(Spec.regime_name job.regime) ~max_configs:job.max_configs
+    let r_family = ref None in
+    match cache with
+    | None ->
+      Ok
+        {
+          r_compute;
+          r_key = "";
+          r_machine = "";
+          r_graph = "";
+          r_engine = "explicit";
+          r_family;
+        }
+    | Some _ ->
+      (* one machine fingerprint per (protocol, alphabet) pair, not per job *)
+      let alphabet = Spec.alphabet_of g in
+      let r_machine = machine_fp memo ~protocol:job.protocol ~alphabet m in
+      let r_graph = Fingerprint.graph g in
+      let r_key =
+        Fingerprint.key ~machine:r_machine ~graph:r_graph
+          ~regime:(Spec.regime_name job.regime) ~max_configs:job.max_configs ()
+      in
+      Ok { r_compute; r_key; r_machine; r_graph; r_engine = "explicit"; r_family })
+  | Spec.Family fam ->
+    let rep = Spec.family_representative fam in
+    let* (Spec.Packed m) = Spec.parse_protocol job.protocol rep in
+    let r_family = ref None in
+    let r_compute () =
+      match
+        Dda_symbolic.Certify.decide_family ~max_configs:job.max_configs
+          ~regime:(counted_regime job.regime) m fam
+      with
+      | Ok fv ->
+        r_family := Some (cert_of_family fv);
+        (Verdict fv.Dda_symbolic.Certify.verdict, fv.Dda_symbolic.Certify.configs)
+      | Error (`Too_large n) -> (Bounded n, n)
+      | Error (`Unsupported msg) -> failwith msg
     in
-    Ok { r_compute; r_key; r_machine; r_graph }
+    if cache = None then
+      Ok
+        {
+          r_compute;
+          r_key = "";
+          r_machine = "";
+          r_graph = "";
+          r_engine = "symbolic";
+          r_family;
+        }
+    else
+      let alphabet = Dda_symbolic.Family.alphabet fam in
+      let r_machine = machine_fp memo ~protocol:job.protocol ~alphabet m in
+      let r_graph = Fingerprint.family fam in
+      let r_key =
+        family_key ~machine_key:r_machine ~regime:job.regime
+          ~max_configs:job.max_configs fam
+      in
+      Ok { r_compute; r_key; r_machine; r_graph; r_engine = "symbolic"; r_family }
 
 (* Execute a shard's share of the cache misses.  Runs on a worker domain:
    no cache access, no telemetry counters — only the spans inside the
@@ -272,7 +436,21 @@ let run ?cache ?(shards = 1) ?time_budget ?(interrupted = fun () -> false) jobs 
       | Error msg -> outcomes.(idx) <- Failed msg
       | Ok r -> (
         resolved.(idx) <- Some r;
-        match Option.bind cache (fun store -> Store.find store r.r_key) with
+        let direct =
+          Option.bind cache (fun store -> Store.find store r.r_key)
+        in
+        (* on an exact miss, an instance of a certified family may still be
+           answered by the family's single store entry *)
+        let hit =
+          match (direct, cache) with
+          | (Some _ as h), _ -> h
+          | None, Some store ->
+            Option.map fst
+              (family_hit ~cache:store ~machine_key:r.r_machine
+                 ~regime:job.regime ~max_configs:job.max_configs job.graph)
+          | None, None -> None
+        in
+        match hit with
         | Some e ->
           note_hit true;
           outcomes.(idx) <-
@@ -315,7 +493,8 @@ let run ?cache ?(shards = 1) ?time_budget ?(interrupted = fun () -> false) jobs 
            (match (cache, resolved.(idx)) with
            | Some store, Some r ->
              let job = List.nth jobs idx in
-             store_decision store ~key:r.r_key ~machine_key:r.r_machine ~graph_key:r.r_graph
+             store_decision ~engine:r.r_engine ?family:!(r.r_family) store
+               ~key:r.r_key ~machine_key:r.r_machine ~graph_key:r.r_graph
                ~regime:job.regime ~max_configs:job.max_configs d
            | _ -> ())))
     results;

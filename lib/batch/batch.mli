@@ -34,6 +34,7 @@ val reset_cache_stats : unit -> unit
 val cached :
   ?cache:Store.t ->
   ?count:bool ->
+  ?engine:string ->
   machine_key:string ->
   graph_key:string ->
   regime:Spec.regime ->
@@ -44,7 +45,9 @@ val cached :
     the result and the number of configurations explored), persist, and
     return.  Without [?cache] the thunk just runs.  [count] (default true)
     controls the telemetry counters [cache.hits]/[cache.misses]/
-    [cache.stores] — pass [false] off the main domain. *)
+    [cache.stores] — pass [false] off the main domain.  [engine] (default
+    ["explicit"]) salts the cache key and is recorded as the entry's
+    provenance; verdicts from different engines never share an entry. *)
 
 val decide :
   ?cache:Store.t ->
@@ -52,6 +55,7 @@ val decide :
   ?machine_key:string ->
   ?jobs:int ->
   ?symmetry:Dda_verify.Symmetry.t ->
+  ?engine:Spec.engine ->
   regime:Spec.regime ->
   max_configs:int ->
   (string, 's) Dda_machine.Machine.t ->
@@ -61,13 +65,56 @@ val decide :
     the regime (fair-SCC for adversarial, bottom-SCC for
     pseudo-stochastic).  [machine_key] lets callers amortise the machine
     fingerprint across many graphs; it is only computed (or used) when a
-    cache is present — the uncached path does no fingerprint work. *)
+    cache is present — the uncached path does no fingerprint work.
+
+    [engine] (default [Explicit]) picks the configuration-space backend:
+    [Symbolic] decides over counted configurations (clique/star graphs
+    only — [Invalid_argument] otherwise) and [Auto] uses the counted
+    engine when the graph is a clique or star, the explicit engine
+    otherwise.  Symbolic verdicts are cached under engine-salted keys. *)
+
+(** {1 Family verdicts (symbolic engine)} *)
+
+val decide_family :
+  ?cache:Store.t ->
+  ?count:bool ->
+  ?machine_key:string ->
+  regime:Spec.regime ->
+  max_configs:int ->
+  (string, 's) Dda_machine.Machine.t ->
+  Dda_symbolic.Family.t ->
+  (decision * Store.family_cert option, string) result
+(** Decide a whole graph family ([clique:ab*], [star:ba*]) with the
+    symbolic engine and persist the certified verdict as {e one} store
+    entry (graph slot = {!Fingerprint.family}).  The certification record
+    says from which [n] the verdict holds, how far it was checked, and the
+    coverability cutoff when the stratified-star argument applies
+    ([cutoff = None] marks an empirical stabilisation window).  [Error]
+    carries the reason when the family cannot be stabilised within budget.
+    A bounded-out exploration is still [Ok] with a [Bounded] result and no
+    certification record. *)
+
+val family_hit :
+  cache:Store.t ->
+  machine_key:string ->
+  regime:Spec.regime ->
+  max_configs:int ->
+  string ->
+  (Store.entry * string) option
+(** Answer a {e concrete} clique/star graph spec from its family's cached
+    verdict: collapse the spec to its family ({!Spec.family_of_instance}),
+    look up the family entry, and return it (with its key) when the
+    instance size is within the certified range ([n >= from_n]).  This is
+    how one family entry answers every instance-n query — including sizes
+    far beyond the explicit engine's reach. *)
 
 (** {1 Manifests and the sharded runner} *)
 
 type job = {
   protocol : string;  (** {!Spec.parse_protocol} syntax *)
-  graph : string;  (** {!Spec.parse_graph} syntax *)
+  graph : string;
+      (** {!Spec.parse_graph_spec} syntax — a concrete graph, or a family
+          ([star:ba*]) decided by the symbolic engine *)
   regime : Spec.regime;
   max_configs : int;
 }

@@ -56,7 +56,14 @@ let graph g =
   end
   else "raw:" ^ hex (Printf.sprintf "%d#%s" n (serialise_under g (Array.init n Fun.id)))
 
-let key ~machine ~graph ~regime ~max_configs =
+let family f = "fam:" ^ hex (Dda_symbolic.Family.to_string f)
+
+let key ?(engine = "explicit") ~machine ~graph ~regime ~max_configs () =
+  (* explicit keys keep the historical salt bytes so pre-engine entries
+     stay valid; any other engine is salted apart and can never alias *)
+  let salt =
+    if engine = "explicit" then version_salt else version_salt ^ "+" ^ engine
+  in
   hex
     (String.concat "\x00"
-       [ version_salt; machine; graph; regime; string_of_int max_configs ])
+       [ salt; machine; graph; regime; string_of_int max_configs ])

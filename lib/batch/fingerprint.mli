@@ -38,7 +38,22 @@ val graph : string Dda_graph.Graph.t -> string
 (** Isomorphism-invariant fingerprint of a labelled graph
     (["can:<hex>"] for n ≤ 8, ["raw:<hex>"] beyond). *)
 
+val family : Dda_symbolic.Family.t -> string
+(** Fingerprint of a graph {e family} (["fam:<hex>"] over the canonical
+    family spec).  Family fingerprints share the graph slot of {!key} but
+    can never collide with {!graph} outputs (distinct prefixes). *)
+
 val key :
-  machine:string -> graph:string -> regime:string -> max_configs:int -> string
+  ?engine:string ->
+  machine:string ->
+  graph:string ->
+  regime:string ->
+  max_configs:int ->
+  unit ->
+  string
 (** The cache key: hex digest over salt, machine and graph fingerprints,
-    regime name and budget. *)
+    regime name and budget.  [engine] (default ["explicit"]) is the
+    provenance tag of {!Store.entry}: explicit keys use the historical
+    salt unchanged, so pre-engine cache entries remain valid, while any
+    other engine extends the salt and therefore occupies a disjoint key
+    space — symbolic and explicit verdicts never alias. *)

@@ -109,6 +109,36 @@ let parse_protocol spec g =
   try parse_protocol_exn spec g
   with Invalid_argument msg -> Error (Printf.sprintf "protocol %s: %s" spec msg)
 
+(* --- Engines and graph families ----------------------------------------- *)
+
+type engine = Explicit | Symbolic | Auto
+
+let engine_name = function
+  | Explicit -> "explicit"
+  | Symbolic -> "symbolic"
+  | Auto -> "auto"
+
+let parse_engine = function
+  | "explicit" -> Ok Explicit
+  | "symbolic" -> Ok Symbolic
+  | "auto" -> Ok Auto
+  | s -> Error (Printf.sprintf "unknown engine %S (explicit | symbolic | auto)" s)
+
+type graph_spec =
+  | Concrete of string G.t
+  | Family of Dda_symbolic.Family.t
+
+let parse_graph_spec spec =
+  let n = String.length spec in
+  if n > 0 && spec.[n - 1] = '*' then
+    Result.map (fun f -> Family f) (Dda_symbolic.Family.parse spec)
+  else Result.map (fun g -> Concrete g) (parse_graph spec)
+
+let family_of_instance spec = Dda_symbolic.Family.of_instance_spec spec
+
+let family_representative f =
+  Dda_symbolic.Family.instance f (Dda_symbolic.Family.min_nodes f)
+
 let parse_scheduler spec n =
   match split_on ':' spec with
   | [ "round-robin" ] -> Ok (Scheduler.round_robin ~n)

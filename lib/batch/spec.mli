@@ -33,5 +33,31 @@ val parse_protocol :
 (** The protocol is built over the graph's alphabet, so the graph parses
     first. *)
 
+type engine = Explicit | Symbolic | Auto
+(** Which configuration-space backend decides a query: the explicit packed
+    engine, the counted (symbolic) engine, or automatic selection —
+    symbolic when the graph is a clique or star, explicit otherwise. *)
+
+val engine_name : engine -> string
+val parse_engine : string -> (engine, string) result
+
+type graph_spec =
+  | Concrete of string Dda_graph.Graph.t
+  | Family of Dda_symbolic.Family.t
+
+val parse_graph_spec : string -> (graph_spec, string) result
+(** Like {!parse_graph}, but a spec whose label word ends in [*]
+    ([clique:ab*], [star:ba*]) parses as a graph {e family} — the query
+    object of the symbolic engine's family verdicts. *)
+
+val family_of_instance : string -> (Dda_symbolic.Family.t * int) option
+(** The family a concrete clique/star spec is an instance of (collapse the
+    trailing label run), with the instance size — the cache fallback that
+    lets one family entry answer instance-n queries. *)
+
+val family_representative : Dda_symbolic.Family.t -> string Dda_graph.Graph.t
+(** The smallest instance, used to build the protocol machine for a family
+    query (all instances share the family's alphabet). *)
+
 val parse_scheduler :
   string -> int -> (Dda_scheduler.Scheduler.t, string) result

@@ -10,6 +10,8 @@ type verdict =
   | Inconsistent of string
   | Bounded of int
 
+type family_cert = { from_n : int; checked_to : int; cutoff : int option }
+
 type entry = {
   key : string;
   machine : string;
@@ -19,6 +21,8 @@ type entry = {
   verdict : verdict;
   configs : int;
   seconds : float;
+  engine : string;
+  family : family_cert option;
 }
 
 type t = {
@@ -96,6 +100,17 @@ let entry_json e =
   Buffer.add_char b '}';
   Buffer.add_string b (Printf.sprintf ",\"configs\":%d" e.configs);
   Buffer.add_string b (Printf.sprintf ",\"seconds\":%.6f" e.seconds);
+  if e.engine <> "explicit" then begin
+    Buffer.add_char b ',';
+    str "engine" e.engine
+  end;
+  (match e.family with
+  | None -> ()
+  | Some fc ->
+    Buffer.add_string b
+      (Printf.sprintf ",\"family\":{\"from_n\":%d,\"checked_to\":%d,\"cutoff\":%s}"
+         fc.from_n fc.checked_to
+         (match fc.cutoff with Some k -> string_of_int k | None -> "null")));
   Buffer.add_string b "}\n";
   Buffer.contents b
 
@@ -148,7 +163,42 @@ let entry_of_json doc =
     | Some (Json.Num f) when Float.is_finite f -> Ok f
     | _ -> Error "missing number \"seconds\""
   in
-  Ok { key; machine; graph; regime; max_configs; verdict; configs; seconds }
+  (* the engine field postdates the schema: absent means explicit (every
+     pre-engine entry was computed by the explicit engine) *)
+  let* engine =
+    match Json.member "engine" doc with
+    | None -> Ok "explicit"
+    | Some (Json.Str s) -> Ok s
+    | Some _ -> Error "malformed \"engine\""
+  in
+  let* family =
+    match Json.member "family" doc with
+    | None -> Ok None
+    | Some (Json.Obj _ as f) ->
+      let* from_n = int "from_n" f in
+      let* checked_to = int "checked_to" f in
+      let* cutoff =
+        match Json.member "cutoff" f with
+        | Some Json.Null | None -> Ok None
+        | Some (Json.Num v) when Float.is_integer v -> Ok (Some (int_of_float v))
+        | Some _ -> Error "malformed \"cutoff\""
+      in
+      Ok (Some { from_n; checked_to; cutoff })
+    | Some _ -> Error "malformed \"family\""
+  in
+  Ok
+    {
+      key;
+      machine;
+      graph;
+      regime;
+      max_configs;
+      verdict;
+      configs;
+      seconds;
+      engine;
+      family;
+    }
 
 let read_entry path =
   match Json.parse_file path with

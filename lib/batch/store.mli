@@ -18,6 +18,14 @@ type verdict =
   | Inconsistent of string  (** witness description *)
   | Bounded of int  (** exploration hit the budget after this many configs *)
 
+type family_cert = {
+  from_n : int;  (** the verdict holds for every instance with [n >= from_n] *)
+  checked_to : int;  (** largest instance actually explored *)
+  cutoff : int option;
+      (** [Some k]: certified by the Lemma 3.5 coverability cutoff [k];
+          [None]: stabilisation-window extrapolation, uncertified. *)
+}
+
 type entry = {
   key : string;
   machine : string;  (** machine fingerprint ({!Fingerprint.machine}) *)
@@ -27,6 +35,16 @@ type entry = {
   verdict : verdict;
   configs : int;  (** configurations explored when computed (0 if unknown) *)
   seconds : float;  (** wall-clock seconds of the original computation *)
+  engine : string;
+      (** ["explicit"] or ["symbolic"] — which engine computed the verdict.
+          The engine is also salted into non-explicit cache keys
+          ({!Fingerprint.key}), so the two engines' verdicts can never
+          alias; the field makes provenance visible in the entry itself.
+          Absent in pre-engine entries, which decode as ["explicit"]. *)
+  family : family_cert option;
+      (** Present on family verdicts (graph fingerprint
+          {!Fingerprint.family}): one such entry answers every instance-n
+          query with [n >= from_n]. *)
 }
 
 type t

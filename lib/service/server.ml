@@ -85,16 +85,23 @@ type pending = {
   p_deadline : float option;  (* absolute wall-clock *)
 }
 
+(* What a worker explores: a concrete graph with the explicit engine, or a
+   whole clique/star family with the symbolic engine. *)
+type spec_task =
+  | T_instance of string Dda_graph.Graph.t
+  | T_family of Dda_symbolic.Family.t
+
 type work = {
   wk_pending : pending;
   wk_machine : Spec.packed;
-  wk_graph : string Dda_graph.Graph.t;
+  wk_task : spec_task;
   wk_key : (string * string * string) option;  (* cache key, machine fp, graph fp *)
+  wk_engine : string;  (* provenance recorded with the persisted entry *)
   wk_max_configs : int;
 }
 
 type work_result =
-  | W_decision of Batch.decision
+  | W_decision of Batch.decision * Store.family_cert option
   | W_deadline
   | W_error of string
 
@@ -420,12 +427,24 @@ let worker_loop t () =
         if expired w.wk_pending (Unix.gettimeofday ()) then W_deadline
         else
           let (Spec.Packed m) = w.wk_machine in
-          match
-            Batch.decide ~count:false ~regime:w.wk_pending.p_req.Protocol.regime
-              ~max_configs:w.wk_max_configs m w.wk_graph
-          with
-          | d -> W_decision d
-          | exception e -> W_error (Printexc.to_string e)
+          let regime = w.wk_pending.p_req.Protocol.regime in
+          match w.wk_task with
+          | T_instance g -> (
+            match
+              Batch.decide ~count:false ~regime ~max_configs:w.wk_max_configs m g
+            with
+            | d -> W_decision (d, None)
+            | exception e -> W_error (Printexc.to_string e))
+          | T_family fam -> (
+            (* no cache here: workers never touch the store — the loop
+               thread persists, exactly as for instance verdicts *)
+            match
+              Batch.decide_family ~count:false ~regime
+                ~max_configs:w.wk_max_configs m fam
+            with
+            | Ok (d, cert) -> W_decision (d, cert)
+            | Error msg -> W_error msg
+            | exception e -> W_error (Printexc.to_string e))
       in
       Queue.force_push t.done_q (w, r);
       wake t;
@@ -478,8 +497,12 @@ let store_verdict_of = function
    the steady-state warm path never parses a spec at all. *)
 type spec_info = {
   si_machine : Spec.packed;
-  si_graph : string Dda_graph.Graph.t;
+  si_task : spec_task;
   si_key : (string * string * string) option;  (* cache key, machine fp, graph fp *)
+  si_engine : string;
+  si_family_key : (string * int) option;
+      (* for concrete clique/star specs with a cache: the spec's family
+         cache key and instance size — the family-tier fallback lookup *)
 }
 
 (* workload diversity bounds the memo in practice; reset is the backstop
@@ -503,19 +526,31 @@ let spec_ident (d : Protocol.decide) max_configs =
       string_of_int max_configs ]
 
 let derive_spec t memo (d : Protocol.decide) max_configs =
-  match Spec.parse_graph d.Protocol.graph with
+  match Spec.parse_graph_spec d.Protocol.graph with
   | Error msg -> Error ("graph: " ^ msg)
-  | Ok g -> (
-    match Spec.parse_protocol d.Protocol.protocol g with
+  | Ok gspec -> (
+    (* families build their protocol over the smallest instance — every
+       instance shares the family's alphabet *)
+    let rep =
+      match gspec with
+      | Spec.Concrete g -> g
+      | Spec.Family fam -> Spec.family_representative fam
+    in
+    match Spec.parse_protocol d.Protocol.protocol rep with
     | Error msg -> Error ("protocol: " ^ msg)
     | Ok (Spec.Packed m as packed) ->
-      let key =
+      let task, engine =
+        match gspec with
+        | Spec.Concrete g -> (T_instance g, "explicit")
+        | Spec.Family fam -> (T_family fam, "symbolic")
+      in
+      let key, family_key =
         match t.cfg.cache with
-        | None -> None
+        | None -> (None, None)
         | Some _ ->
           (* amortise the machine fingerprint per (protocol, alphabet),
              as the batch runner does *)
-          let alphabet = Spec.alphabet_of g in
+          let alphabet = Spec.alphabet_of rep in
           let mkey = (d.Protocol.protocol, alphabet) in
           let mfp =
             match Hashtbl.find_opt memo mkey with
@@ -525,14 +560,40 @@ let derive_spec t memo (d : Protocol.decide) max_configs =
               Hashtbl.add memo mkey fp;
               fp
           in
-          let gfp = Fingerprint.graph g in
-          Some
-            ( Fingerprint.key ~machine:mfp ~graph:gfp
-                ~regime:(Spec.regime_name d.Protocol.regime) ~max_configs,
-              mfp,
-              gfp )
+          let regime = Spec.regime_name d.Protocol.regime in
+          (match gspec with
+          | Spec.Concrete g ->
+            let gfp = Fingerprint.graph g in
+            let key =
+              Fingerprint.key ~machine:mfp ~graph:gfp ~regime ~max_configs ()
+            in
+            (* a clique/star instance can also be answered by its family's
+               cached verdict; derive that key once *)
+            let fkey =
+              Option.map
+                (fun (fam, n) ->
+                  ( Fingerprint.key ~engine:"symbolic" ~machine:mfp
+                      ~graph:(Fingerprint.family fam) ~regime ~max_configs (),
+                    n ))
+                (Spec.family_of_instance d.Protocol.graph)
+            in
+            (Some (key, mfp, gfp), fkey)
+          | Spec.Family fam ->
+            let gfp = Fingerprint.family fam in
+            let key =
+              Fingerprint.key ~engine:"symbolic" ~machine:mfp ~graph:gfp ~regime
+                ~max_configs ()
+            in
+            (Some (key, mfp, gfp), None))
       in
-      Ok { si_machine = packed; si_graph = g; si_key = key })
+      Ok
+        {
+          si_machine = packed;
+          si_task = task;
+          si_key = key;
+          si_engine = engine;
+          si_family_key = family_key;
+        })
 
 let handle_incoming t ls p =
   let now = Unix.gettimeofday () in
@@ -556,23 +617,36 @@ let handle_incoming t ls p =
     | Ok si -> (
       let hit =
         match (t.cfg.cache, si.si_key) with
-        | Some store, Some (k, _, _) -> Store.find_tier store k
+        | Some store, Some (k, _, _) -> (
+          match Store.find_tier store k with
+          | Some (e, tier) ->
+            Some (e, (match tier with `Mem -> "mem" | `Disk -> "disk"))
+          | None -> (
+            (* family tier: a clique/star instance answered by its
+               family's single certified entry, whatever the size n *)
+            match si.si_family_key with
+            | Some (fk, n) -> (
+              match Store.find store fk with
+              | Some ({ Store.family = Some fc; _ } as e)
+                when n >= fc.Store.from_n ->
+                Some (e, "family")
+              | Some _ | None -> None)
+            | None -> None))
         | _ -> None
       in
       match hit with
       | Some (e, tier) ->
         let key = match si.si_key with Some (k, _, _) -> Some k | None -> None in
-        respond_admitted t p ?key
-          ~tier:(match tier with `Mem -> "mem" | `Disk -> "disk")
-          (status_of_entry e)
+        respond_admitted t p ?key ~tier (status_of_entry e)
       | None -> (
         let enqueue () =
           Queue.force_push t.work
             {
               wk_pending = p;
               wk_machine = si.si_machine;
-              wk_graph = si.si_graph;
+              wk_task = si.si_task;
               wk_key = si.si_key;
+              wk_engine = si.si_engine;
               wk_max_configs = max_configs;
             }
         in
@@ -630,7 +704,7 @@ let handle_done t ls w r =
   | W_error msg ->
     respond_admitted t p ?key:wkey (Protocol.Error msg);
     requeue_waiters ()
-  | W_decision d ->
+  | W_decision (d, cert) ->
     (* persist on the loop thread: the store never sees concurrent writers
        from this process (budget bounds are deterministic and cacheable;
        deadline expiries never reach this arm) *)
@@ -646,6 +720,8 @@ let handle_done t ls w r =
           verdict = store_verdict_of d.Batch.result;
           configs = d.Batch.configs;
           seconds = d.Batch.seconds;
+          engine = w.wk_engine;
+          family = cert;
         }
     | _ -> ());
     respond_admitted t p ~compute_s:d.Batch.seconds ?key:wkey (status_of_decision d);

@@ -1,0 +1,203 @@
+module Machine = Dda_machine.Machine
+module M = Dda_multiset.Multiset
+module Decide = Dda_verify.Decide
+module Scc = Dda_verify.Scc
+module T = Dda_telemetry.Telemetry
+
+let pseudo_stochastic (c : Counted.t) =
+  Decide.pseudo_stochastic (Counted.to_space c)
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial fairness on the counted quotient                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Streett-style peeling.  A candidate subgraph is fair-supporting iff the
+   move labels of its internal edges cover every member's obligations
+   (support + centre).  Configurations with uncovered obligations cannot
+   recur in a fair run restricted to the subgraph, so they are removed and
+   the SCCs recomputed, until components stabilise.  Any genuinely
+   fair-supporting subgraph survives every peel (its own internal labels
+   are a subset of each enclosing component's), so the procedure finds all
+   maximal fair-supporting subgraphs. *)
+let adversarial (c : Counted.t) =
+  T.with_span "verdict" @@ fun () ->
+  let n = c.Counted.size in
+  let non_acc = ref None and non_rej = ref None in
+  let done_ () = !non_acc <> None && !non_rej <> None in
+  (* move labels are >= -1: shift by one to index a bool array *)
+  let label_seen = Array.make (c.Counted.state_count + 1) false in
+  let rec examine members =
+    if done_ () || List.length members < 1 then ()
+    else begin
+      let inset = Array.make n false in
+      List.iter (fun v -> inset.(v) <- true) members;
+      let sub_succs v =
+        if inset.(v) then
+          List.filter_map
+            (fun (_, j) -> if inset.(j) then Some j else None)
+            c.Counted.succs.(v)
+        else []
+      in
+      let scc = Scc.compute ~vertices:n ~succs:sub_succs in
+      (* visit only components made of live vertices; dead vertices are
+         isolated singletons under sub_succs *)
+      let comps = Hashtbl.create 16 in
+      List.iter
+        (fun v ->
+          let k = scc.Scc.component.(v) in
+          Hashtbl.replace comps k
+            (v :: (try Hashtbl.find comps k with Not_found -> [])))
+        members;
+      Hashtbl.iter
+        (fun k comp_members ->
+          if not (done_ ()) then begin
+            (* internal move labels of this component *)
+            let labels = ref [] in
+            let has_internal = ref false in
+            List.iter
+              (fun v ->
+                List.iter
+                  (fun (lbl, j) ->
+                    if inset.(j) && scc.Scc.component.(j) = k then begin
+                      has_internal := true;
+                      if not label_seen.(lbl + 1) then begin
+                        label_seen.(lbl + 1) <- true;
+                        labels := lbl :: !labels
+                      end
+                    end)
+                  c.Counted.succs.(v))
+              comp_members;
+            let covered lbl = label_seen.(lbl + 1) in
+            let bad =
+              if !has_internal then
+                List.filter
+                  (fun v ->
+                    not (List.for_all covered c.Counted.obligations.(v)))
+                  comp_members
+              else comp_members
+            in
+            List.iter (fun lbl -> label_seen.(lbl + 1) <- false) !labels;
+            if not !has_internal then ()
+            else if bad = [] then begin
+              (* fair-supporting: scan for witnesses *)
+              if !non_acc = None then
+                non_acc :=
+                  List.find_opt (fun v -> not c.Counted.acc.(v)) comp_members;
+              if !non_rej = None then
+                non_rej :=
+                  List.find_opt (fun v -> not c.Counted.rej.(v)) comp_members
+            end
+            else begin
+              let badset = Array.make n false in
+              List.iter (fun v -> badset.(v) <- true) bad;
+              let survivors =
+                List.filter (fun v -> not badset.(v)) comp_members
+              in
+              examine survivors
+            end
+          end)
+        comps
+    end
+  in
+  examine (List.init n (fun i -> i));
+  match (!non_acc, !non_rej) with
+  | None, Some _ -> Decide.Accepts
+  | Some _, None -> Decide.Rejects
+  | Some i, Some j ->
+      Decide.Inconsistent
+        (Format.sprintf
+           "fair runs can revisit the non-accepting configuration %s and the \
+            non-rejecting configuration %s forever"
+           (c.Counted.describe i) (c.Counted.describe j))
+  | None, None ->
+      Decide.Inconsistent
+        "no fair cycle found (finite spaces always have one; this is a bug)"
+
+let for_regime regime c =
+  match regime with
+  | `Adversarial -> adversarial c
+  | `Pseudo_stochastic -> pseudo_stochastic c
+
+(* ------------------------------------------------------------------ *)
+(* Synchronous regime on multisets                                     *)
+(* ------------------------------------------------------------------ *)
+
+let verdict_of_counts (type l s) (m : (l, s) Machine.t) centre counts =
+  let states = M.support counts in
+  let states = match centre with None -> states | Some c -> c :: states in
+  let all f = List.for_all f states in
+  if all m.Machine.accepting then `Accepting
+  else if all m.Machine.rejecting then `Rejecting
+  else `Mixed
+
+let synchronous_shape (type l s) ~max_steps (m : (l, s) Machine.t)
+    (shape : l Counted.shape) =
+  let beta = m.Machine.beta in
+  let cap counts = M.cutoff beta counts in
+  let step =
+    match shape with
+    | Counted.S_clique _ ->
+        fun (_, counts) ->
+          let counts' =
+            M.fold
+              (fun q cnt acc ->
+                let obs = M.to_counts (cap (M.remove q counts)) in
+                M.add ~times:cnt (m.Machine.delta q obs) acc)
+              counts M.empty
+          in
+          (None, counts')
+    | Counted.S_star _ ->
+        fun (centre, counts) ->
+          let ctr = Option.get centre in
+          let ctr' = m.Machine.delta ctr (M.to_counts (cap counts)) in
+          let counts' =
+            M.fold
+              (fun q cnt acc ->
+                M.add ~times:cnt (m.Machine.delta q [ (ctr, 1) ]) acc)
+              counts M.empty
+          in
+          (Some ctr', counts')
+  in
+  let init =
+    match shape with
+    | Counted.S_clique labels -> (None, M.map m.Machine.init labels)
+    | Counted.S_star (c, leaves) ->
+        (Some (m.Machine.init c), M.map m.Machine.init leaves)
+  in
+  let seen = Hashtbl.create 64 in
+  let trace = ref [] in
+  let rec run conf k =
+    match Hashtbl.find_opt seen conf with
+    | Some at ->
+        (* configurations at index >= at form the cycle *)
+        let cycle =
+          List.filteri (fun i _ -> i >= at) (List.rev !trace)
+        in
+        let verdicts =
+          List.map (fun (ctr, counts) -> verdict_of_counts m ctr counts) cycle
+        in
+        let v =
+          if List.for_all (( = ) `Accepting) verdicts then Decide.Accepts
+          else if List.for_all (( = ) `Rejecting) verdicts then Decide.Rejects
+          else
+            Decide.Inconsistent
+              "the synchronous cycle mixes accepting, rejecting or undecided \
+               configurations"
+        in
+        Some v
+    | None ->
+        if k >= max_steps then None
+        else begin
+          Hashtbl.add seen conf k;
+          trace := conf :: !trace;
+          run (step conf) (k + 1)
+        end
+  in
+  run init 0
+
+let synchronous ~max_steps m g =
+  match Counted.shape_of_graph g with
+  | Some shape -> synchronous_shape ~max_steps m shape
+  | None ->
+      invalid_arg
+        "Analysis.synchronous: counted semantics needs a clique or star graph"

@@ -1,0 +1,45 @@
+(** Decision analyses lifted to counted configuration spaces.
+
+    The three scheduler regimes of the paper, evaluated on the counted
+    quotient instead of the explicit space:
+
+    - {!pseudo_stochastic}: bottom-SCC classification.  Counted and
+      explicit spaces have isomorphic SCC structure (the quotient map
+      preserves and reflects reachability), so the existing generic
+      analysis applies via {!Counted.to_space}.
+    - {!adversarial}: exact fair-SCC analysis on the quotient.  Edge
+      labels are moved {e states}, not nodes, so node-fairness must be
+      re-characterised: a strongly connected subgraph [B] supports a
+      concrete fair run iff for every configuration [C ∈ B] and every
+      state [q] in [C]'s support, [B] contains an internal move-[q] edge
+      somewhere (plus, on stars, an internal centre-move edge).
+      Sufficiency is a token-parking argument — unselected agents keep
+      their state and same-state agents are interchangeable, so a
+      round-robin over obligations realises every agent infinitely often;
+      necessity is immediate (a parked agent's state stays in every
+      support).  Maximal fair-supporting subgraphs are found Streett-style:
+      peel configurations whose obligations are not covered by the
+      component's internal move labels, recompute SCCs, repeat.
+    - {!synchronous}: the deterministic simultaneous step is
+      permutation-equivariant, so it descends exactly to multisets;
+      cycle detection is verbatim. *)
+
+val pseudo_stochastic : Counted.t -> Dda_verify.Decide.verdict
+val adversarial : Counted.t -> Dda_verify.Decide.verdict
+
+val synchronous_shape :
+  max_steps:int ->
+  ('l, 's) Dda_machine.Machine.t ->
+  'l Counted.shape ->
+  Dda_verify.Decide.verdict option
+(** [None] when no cycle is reached within [max_steps]. *)
+
+val synchronous :
+  max_steps:int ->
+  ('l, 's) Dda_machine.Machine.t ->
+  'l Dda_graph.Graph.t ->
+  Dda_verify.Decide.verdict option
+(** @raise Invalid_argument when the graph is neither clique nor star. *)
+
+val for_regime :
+  [ `Adversarial | `Pseudo_stochastic ] -> Counted.t -> Dda_verify.Decide.verdict

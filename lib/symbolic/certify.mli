@@ -1,0 +1,52 @@
+(** Family verdicts: one decision for every instance size.
+
+    [decide_family] explores the counted spaces of increasing instances of
+    a family and looks for the verdict to stabilise.  Two certification
+    grades:
+
+    - {b Cutoff} (star families of non-counting machines): Lemma 3.5 makes
+      the star system a WSTS, and [Coverability.cutoff_bound] yields a
+      [K] such that the verdict is a function of the label count capped at
+      [K].  Only the pumped label's count varies along the family, so once
+      [n >= |word| - 1 + K] the capped count — hence the verdict — is
+      constant.  Checking every instance up to that horizon therefore
+      {e certifies} the verdict for all larger [n].
+    - {b Window} (clique families, or counting machines): the buddy
+      argument of Lemma 3.5 does not extend to cliques, so there is no
+      certified cutoff; the verdict is extrapolated from a stabilisation
+      window of consecutive agreeing instances and marked as such.
+
+    The reported [from_n] is the smallest instance from which the verdict
+    is constant up to the horizon. *)
+
+type regime = [ `Adversarial | `Pseudo_stochastic ]
+
+type certificate =
+  | Cutoff of int  (** Certified: coverability cutoff [K]. *)
+  | Window of int  (** Heuristic: stabilisation window width. *)
+
+type t = {
+  verdict : Dda_verify.Decide.verdict;
+  from_n : int;  (** The verdict holds for every instance with [n >= from_n]. *)
+  checked_to : int;  (** Largest instance actually explored. *)
+  certificate : certificate;
+  configs : int;  (** Counted configurations summed over all instances. *)
+  instances : (int * Dda_verify.Decide.verdict) list;  (** Per-n evidence. *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val decide_family :
+  ?max_configs:int ->
+  ?window:int ->
+  regime:regime ->
+  (string, 's) Dda_machine.Machine.t ->
+  Family.t ->
+  (t, [ `Too_large of int | `Unsupported of string ]) result
+(** [max_configs] (default 200_000) bounds the {e total} number of counted
+    configurations across all explored instances, mirroring the budget
+    semantics of a single explicit decision.  [window] (default 6) is the
+    stabilisation window for uncertified families.  [`Unsupported] is
+    returned when no stabilisation window can be found within the
+    exploration horizon — never for certified star families, whose horizon
+    is exact. *)

@@ -1,0 +1,435 @@
+module Machine = Dda_machine.Machine
+module M = Dda_multiset.Multiset
+module G = Dda_graph.Graph
+module Space = Dda_verify.Space
+module T = Dda_telemetry.Telemetry
+
+exception Too_large of int
+
+type topology = Clique | Star
+
+type 'l shape =
+  | S_clique of 'l M.t
+  | S_star of 'l * 'l M.t
+
+let c_configs = T.counter "symbolic.configs"
+let c_edges = T.counter "symbolic.edges"
+let c_deltas = T.counter "symbolic.deltas"
+
+let shape_of_graph g =
+  let n = G.nodes g in
+  if n < 2 then None
+  else if
+    let complete = ref true in
+    for v = 0 to n - 1 do
+      if G.degree g v <> n - 1 then complete := false
+    done;
+    !complete
+  then Some (S_clique (G.label_count g))
+  else if n < 3 then None
+  else begin
+    (* a star has one centre of degree n-1 and n-1 leaves of degree 1 *)
+    let centre = ref (-1) and ok = ref true in
+    for v = 0 to n - 1 do
+      match G.degree g v with
+      | d when d = n - 1 -> if !centre >= 0 then ok := false else centre := v
+      | 1 -> ()
+      | _ -> ok := false
+    done;
+    if (not !ok) || !centre < 0 then None
+    else begin
+      let c = !centre in
+      let leaves = ref [] in
+      for v = n - 1 downto 0 do
+        if v <> c then leaves := G.label g v :: !leaves
+      done;
+      Some (S_star (G.label g c, M.of_list !leaves))
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* State interner                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type 's states = {
+  ids : ('s, int) Hashtbl.t;
+  mutable arr : 's array;  (* id -> state; arr.(0) always valid once non-empty *)
+  mutable flags : Bytes.t;  (* bit 0 accepting, bit 1 rejecting *)
+  mutable n : int;
+}
+
+let intern_state (type s) (m : (_, s) Machine.t) st (q : s) =
+  match Hashtbl.find_opt st.ids q with
+  | Some id -> id
+  | None ->
+      let id = st.n in
+      if id > 0xffff then invalid_arg "Counted: more than 65536 machine states";
+      if id >= Array.length st.arr then begin
+        let cap = max 16 (2 * Array.length st.arr) in
+        let arr = Array.make cap q in
+        Array.blit st.arr 0 arr 0 st.n;
+        st.arr <- arr;
+        let flags = Bytes.make cap '\000' in
+        Bytes.blit st.flags 0 flags 0 st.n;
+        st.flags <- flags
+      end;
+      st.arr.(id) <- q;
+      let f =
+        (if m.Machine.accepting q then 1 else 0)
+        lor (if m.Machine.rejecting q then 2 else 0)
+      in
+      Bytes.set st.flags id (Char.chr f);
+      Hashtbl.add st.ids q id;
+      st.n <- st.n + 1;
+      id
+
+(* ------------------------------------------------------------------ *)
+(* Packed configuration store: FNV-1a hashing, open addressing          *)
+(* ------------------------------------------------------------------ *)
+
+let fnv_prime = 0x100000001b3
+let fnv_seed = 0x14650FB0739D0383
+
+let fnv bytes pos len =
+  let h = ref fnv_seed in
+  for i = pos to pos + len - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get bytes i)) * fnv_prime
+  done;
+  !h land max_int
+
+type store = {
+  mutable arena : Bytes.t;
+  mutable arena_used : int;
+  mutable offs : int array;
+  mutable lens : int array;
+  mutable hashes : int array;
+  mutable table : int array;  (* -1 empty *)
+  mutable mask : int;
+  mutable count : int;
+}
+
+let store_create () =
+  {
+    arena = Bytes.create 4096;
+    arena_used = 0;
+    offs = Array.make 64 0;
+    lens = Array.make 64 0;
+    hashes = Array.make 64 0;
+    table = Array.make 128 (-1);
+    mask = 127;
+    count = 0;
+  }
+
+let store_grow_table s =
+  let cap = 2 * (s.mask + 1) in
+  let table = Array.make cap (-1) in
+  let mask = cap - 1 in
+  for i = 0 to s.count - 1 do
+    let slot = ref (s.hashes.(i) land mask) in
+    while table.(!slot) >= 0 do
+      slot := (!slot + 1) land mask
+    done;
+    table.(!slot) <- i
+  done;
+  s.table <- table;
+  s.mask <- mask
+
+let bytes_match s i buf len =
+  s.lens.(i) = len
+  &&
+  let off = s.offs.(i) in
+  let rec go k = k = len || (Bytes.get s.arena (off + k) = Bytes.get buf k && go (k + 1)) in
+  go 0
+
+(* Intern the first [len] bytes of [buf]; returns (index, fresh). *)
+let store_intern s buf len =
+  let h = fnv buf 0 len in
+  let slot = ref (h land s.mask) in
+  let found = ref (-1) in
+  while !found < 0 && s.table.(!slot) >= 0 do
+    let i = s.table.(!slot) in
+    if s.hashes.(i) = h && bytes_match s i buf len then found := i
+    else slot := (!slot + 1) land s.mask
+  done;
+  if !found >= 0 then (!found, false)
+  else begin
+    let i = s.count in
+    if i >= Array.length s.offs then begin
+      let cap = 2 * Array.length s.offs in
+      let grow a = Array.init cap (fun k -> if k < i then a.(k) else 0) in
+      s.offs <- grow s.offs;
+      s.lens <- grow s.lens;
+      s.hashes <- grow s.hashes
+    end;
+    if s.arena_used + len > Bytes.length s.arena then begin
+      let cap = max (2 * Bytes.length s.arena) (s.arena_used + len) in
+      let arena = Bytes.create cap in
+      Bytes.blit s.arena 0 arena 0 s.arena_used;
+      s.arena <- arena
+    end;
+    Bytes.blit buf 0 s.arena s.arena_used len;
+    s.offs.(i) <- s.arena_used;
+    s.lens.(i) <- len;
+    s.hashes.(i) <- h;
+    s.arena_used <- s.arena_used + len;
+    s.table.(!slot) <- i;
+    s.count <- i + 1;
+    if 10 * s.count > 7 * (s.mask + 1) then store_grow_table s;
+    (i, true)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Configuration encoding                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Clique: sorted (sid, count) u16 LE pairs.  Star: u16 centre sid, then
+   the leaf pairs.  A [prefix] of -1 means "no centre field". *)
+
+let put_u16 buf pos v =
+  if v > 0xffff then invalid_arg "Counted: count exceeds 65535";
+  Bytes.set buf pos (Char.unsafe_chr (v land 0xff));
+  Bytes.set buf (pos + 1) (Char.unsafe_chr ((v lsr 8) land 0xff))
+
+let get_u16 bytes pos =
+  Char.code (Bytes.get bytes pos) lor (Char.code (Bytes.get bytes (pos + 1)) lsl 8)
+
+let encode buf ~prefix pairs =
+  let pos = ref 0 in
+  if prefix >= 0 then begin
+    put_u16 buf 0 prefix;
+    pos := 2
+  end;
+  List.iter
+    (fun (sid, cnt) ->
+      put_u16 buf !pos sid;
+      put_u16 buf (!pos + 2) cnt;
+      pos := !pos + 4)
+    pairs;
+  !pos
+
+(* Decode config [i] of the store into (prefix, pairs). *)
+let decode s ~has_prefix i =
+  let off = s.offs.(i) and len = s.lens.(i) in
+  let prefix, start =
+    if has_prefix then (get_u16 s.arena off, off + 2) else (-1, off)
+  in
+  let stop = off + len in
+  let rec pairs p =
+    if p >= stop then []
+    else (get_u16 s.arena p, get_u16 s.arena (p + 2)) :: pairs (p + 4)
+  in
+  (prefix, pairs start)
+
+(* ------------------------------------------------------------------ *)
+(* Exploration                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  topology : topology;
+  node_count : int;
+  size : int;
+  edge_count : int;
+  initial : int;
+  state_count : int;
+  succs : (int * int) list array;
+  acc : bool array;
+  rej : bool array;
+  obligations : int list array;
+  describe : int -> string;
+}
+
+(* Insert (sid, cnt) into a sorted pair list, merging equal sids and
+   dropping zero counts. *)
+let rec pairs_add sid delta = function
+  | [] -> if delta = 0 then [] else [ (sid, delta) ]
+  | (s, c) :: rest when s = sid ->
+      let c = c + delta in
+      if c = 0 then rest else (s, c) :: rest
+  | (s, c) :: rest when s < sid -> (s, c) :: pairs_add sid delta rest
+  | rest -> if delta = 0 then rest else (sid, delta) :: rest
+
+let explore (type l s) ~max_configs (m : (l, s) Machine.t) (shape : l shape) : t =
+  let topology, centre0, counts0 =
+    match shape with
+    | S_clique counts -> (Clique, None, counts)
+    | S_star (c, leaves) -> (Star, Some c, leaves)
+  in
+  let has_prefix = topology = Star in
+  let st =
+    { ids = Hashtbl.create 64; arr = [||]; flags = Bytes.empty; n = 0 }
+  in
+  let sid q = intern_state m st q in
+  let state id = st.arr.(id) in
+  let acc_sid id = Char.code (Bytes.get st.flags id) land 1 <> 0 in
+  let rej_sid id = Char.code (Bytes.get st.flags id) land 2 <> 0 in
+  (* Initial configuration. *)
+  let init_prefix =
+    match centre0 with None -> -1 | Some l -> sid (m.Machine.init l)
+  in
+  let init_pairs =
+    M.to_counts (M.map (fun l -> sid (m.Machine.init l)) counts0)
+    |> List.sort compare
+  in
+  let node_count = M.size counts0 + (if has_prefix then 1 else 0) in
+  let store = store_create () in
+  let buf = Bytes.create (4 * (node_count + 2)) in
+  let intern_config ~prefix pairs =
+    let len = encode buf ~prefix pairs in
+    let i, fresh = store_intern store buf len in
+    if fresh then begin
+      T.incr c_configs;
+      if store.count > max_configs then raise (Too_large store.count)
+    end;
+    (i, fresh)
+  in
+  let initial, _ = intern_config ~prefix:init_prefix init_pairs in
+  (* Observation of a capped (sid, count) list, in machine order. *)
+  let beta = m.Machine.beta in
+  let observation pairs =
+    List.map (fun (s, c) -> (state s, min c beta)) pairs
+    |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+  in
+  (* Memoised delta over interned ids: key = mover sid + capped pairs. *)
+  let memo : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let kbuf = Buffer.create 32 in
+  let delta_sid mover capped =
+    Buffer.clear kbuf;
+    Buffer.add_string kbuf (string_of_int mover);
+    List.iter
+      (fun (s, c) ->
+        Buffer.add_char kbuf ',';
+        Buffer.add_string kbuf (string_of_int s);
+        Buffer.add_char kbuf ':';
+        Buffer.add_string kbuf (string_of_int c))
+      capped;
+    let k = Buffer.contents kbuf in
+    match Hashtbl.find_opt memo k with
+    | Some id -> id
+    | None ->
+        T.incr c_deltas;
+        let q' = m.Machine.delta (state mover) (observation capped) in
+        let id = sid q' in
+        Hashtbl.add memo k id;
+        id
+  in
+  let cap_pairs pairs = List.map (fun (s, c) -> (s, min c beta)) pairs in
+  (* Successors of a decoded configuration. *)
+  let expand prefix pairs =
+    match topology with
+    | Clique ->
+        List.map
+          (fun (q, _) ->
+            (* the mover observes the others: one copy of q removed *)
+            let nbh = cap_pairs (pairs_add q (-1) pairs) in
+            let q' = delta_sid q nbh in
+            let pairs' = pairs_add q' 1 (pairs_add q (-1) pairs) in
+            let j, _ = intern_config ~prefix pairs' in
+            (q, j))
+          pairs
+    | Star ->
+        let centre_move =
+          let c' = delta_sid prefix (cap_pairs pairs) in
+          let j, _ = intern_config ~prefix:c' pairs in
+          (-1, j)
+        in
+        let leaf_moves =
+          List.map
+            (fun (q, _) ->
+              (* a leaf observes only the centre *)
+              let q' = delta_sid q [ (prefix, 1) ] in
+              let pairs' = pairs_add q' 1 (pairs_add q (-1) pairs) in
+              let j, _ = intern_config ~prefix pairs' in
+              (q, j))
+            pairs
+        in
+        centre_move :: leaf_moves
+  in
+  (* BFS worklist over store indices. *)
+  let succs_rev = ref [] and edge_count = ref 0 in
+  let next = ref 0 in
+  while !next < store.count do
+    let i = !next in
+    incr next;
+    let prefix, pairs = decode store ~has_prefix i in
+    let es = expand prefix pairs in
+    edge_count := !edge_count + List.length es;
+    T.add c_edges (List.length es);
+    succs_rev := es :: !succs_rev
+  done;
+  let size = store.count in
+  let succs = Array.make size [] in
+  List.iteri (fun k es -> succs.(size - 1 - k) <- es) !succs_rev;
+  let acc = Array.make size false and rej = Array.make size false in
+  let obligations = Array.make size [] in
+  for i = 0 to size - 1 do
+    let prefix, pairs = decode store ~has_prefix i in
+    let sids = List.map fst pairs in
+    let all f =
+      List.for_all f sids && (prefix < 0 || f prefix)
+    in
+    acc.(i) <- all acc_sid;
+    rej.(i) <- all rej_sid;
+    obligations.(i) <- (if has_prefix then -1 :: sids else sids)
+  done;
+  let describe i =
+    let prefix, pairs = decode store ~has_prefix i in
+    let pp_pairs b =
+      Buffer.add_char b '{';
+      List.iteri
+        (fun k (s, c) ->
+          if k > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b
+            (Format.asprintf "%a:%d" m.Machine.pp_state (state s) c))
+        pairs;
+      Buffer.add_char b '}'
+    in
+    let b = Buffer.create 32 in
+    if prefix >= 0 then begin
+      Buffer.add_string b
+        (Format.asprintf "centre=%a leaves=" m.Machine.pp_state (state prefix));
+      pp_pairs b
+    end
+    else pp_pairs b;
+    Buffer.contents b
+  in
+  {
+    topology;
+    node_count;
+    size;
+    edge_count = !edge_count;
+    initial;
+    state_count = st.n;
+    succs;
+    acc;
+    rej;
+    obligations;
+    describe;
+  }
+
+let of_shape ~max_configs m shape =
+  let topo = match shape with S_clique _ -> "clique" | S_star _ -> "star" in
+  T.with_span
+    ~args:[ ("topology", T.S topo) ]
+    "symbolic.explore"
+    (fun () -> explore ~max_configs m shape)
+
+let clique ~max_configs m counts = of_shape ~max_configs m (S_clique counts)
+
+let star ~max_configs m ~centre ~leaves =
+  of_shape ~max_configs m (S_star (centre, leaves))
+
+let of_graph ~max_configs m g =
+  Option.map (of_shape ~max_configs m) (shape_of_graph g)
+
+let to_space (c : t) : Space.t =
+  {
+    Space.kind = Space.Counted;
+    node_count = c.node_count;
+    size = c.size;
+    initial = c.initial;
+    succs = (fun i -> c.succs.(i));
+    accepting = (fun i -> c.acc.(i));
+    rejecting = (fun i -> c.rej.(i));
+    describe = c.describe;
+    backend = Space.Generic;
+  }

@@ -1,0 +1,75 @@
+(** Counted configuration spaces (Prop D.2), packed.
+
+    On cliques and stars, node identity is irrelevant: a configuration is
+    the multiset of agent states (plus the centre state for stars), and
+    the reachable space has at most [(n+1)^{|Q|}] configurations instead
+    of [|Q|^n] — the logarithmic-space object behind the paper's NL upper
+    bound.  This module explores that space with the same discipline as
+    the explicit packed engine: states are interned to small ids,
+    configurations are encoded as sorted [(state id, count)] byte vectors
+    in a growable arena, and membership is an FNV-1a open-addressing
+    table over the arena.
+
+    Edges are labelled with the {e moved state id} ([-1] for a centre
+    move on stars), never with a node: that is exactly the information
+    the lifted analyses need — a fair scheduler must move every state
+    present in a configuration infinitely often, and which of several
+    interchangeable same-state agents moved is unobservable. *)
+
+exception Too_large of int
+(** Raised when exploration exceeds the configuration budget. *)
+
+type topology = Clique | Star
+
+type 'l shape =
+  | S_clique of 'l Dda_multiset.Multiset.t
+  | S_star of 'l * 'l Dda_multiset.Multiset.t
+
+val shape_of_graph : 'l Dda_graph.Graph.t -> 'l shape option
+(** Recognise a clique ([n >= 2], all pairs adjacent) or a star ([n >= 3],
+    one centre of degree [n-1], leaves of degree 1).  [None] for any other
+    topology — those have no counted semantics. *)
+
+type t = {
+  topology : topology;
+  node_count : int;
+  size : int;  (** Reachable counted configurations. *)
+  edge_count : int;
+  initial : int;
+  state_count : int;  (** Distinct machine states interned. *)
+  succs : (int * int) list array;
+      (** [(moved state id, target)] per configuration; [-1] is the star
+          centre.  Silent moves contribute self-loops, exactly as node
+          selections do in explicit spaces. *)
+  acc : bool array;  (** All agents accepting. *)
+  rej : bool array;
+  obligations : int list array;
+      (** Per configuration: the move labels a fair scheduler owes it —
+          the support of the state multiset, plus [-1] for stars. *)
+  describe : int -> string;
+}
+
+val clique :
+  max_configs:int -> ('l, 's) Dda_machine.Machine.t -> 'l Dda_multiset.Multiset.t -> t
+(** Counted exploration of the machine on a clique with the given label
+    count.  @raise Too_large over budget. *)
+
+val star :
+  max_configs:int ->
+  ('l, 's) Dda_machine.Machine.t ->
+  centre:'l ->
+  leaves:'l Dda_multiset.Multiset.t ->
+  t
+(** Counted exploration on a star.  @raise Too_large over budget. *)
+
+val of_shape :
+  max_configs:int -> ('l, 's) Dda_machine.Machine.t -> 'l shape -> t
+
+val of_graph :
+  max_configs:int -> ('l, 's) Dda_machine.Machine.t -> 'l Dda_graph.Graph.t -> t option
+(** [clique]/[star] via {!shape_of_graph}; [None] when the graph is
+    neither. *)
+
+val to_space : t -> Dda_verify.Space.t
+(** View as a generic counted {!Dda_verify.Space.t}, so the existing
+    bottom-SCC and synchronous analyses apply unchanged. *)

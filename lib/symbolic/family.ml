@@ -1,0 +1,111 @@
+module G = Dda_graph.Graph
+module M = Dda_multiset.Multiset
+
+type topology = Clique | Star
+
+type t = { topology : topology; word : string }
+
+let topology_name = function Clique -> "clique" | Star -> "star"
+
+(* Collapse the trailing run of the last character to one occurrence:
+   "abbb" -> "ab".  The collapsed word regenerates every instance
+   identically, so this is the canonical form. *)
+let collapse word =
+  let n = String.length word in
+  if n = 0 then word
+  else begin
+    let c = word.[n - 1] in
+    let i = ref (n - 1) in
+    while !i > 0 && word.[!i - 1] = c do
+      decr i
+    done;
+    String.sub word 0 (!i + 1)
+  end
+
+let make topology word =
+  if String.length word = 0 then Error "family: empty label word"
+  else if String.contains word '*' then
+    Error "family: '*' may only terminate the spec"
+  else Ok { topology; word = collapse word }
+
+let parse spec =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "family %S: expected clique:<labels>* or star:<labels>*" spec)
+  in
+  match String.index_opt spec ':' with
+  | None -> fail ()
+  | Some i ->
+      let topo = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let n = String.length rest in
+      if n = 0 || rest.[n - 1] <> '*' then fail ()
+      else
+        let word = String.sub rest 0 (n - 1) in
+        (match topo with
+        | "clique" -> make Clique word
+        | "star" -> make Star word
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "family %S: only clique and star graphs have counted \
+                  configurations"
+                 spec))
+
+let to_string f = Printf.sprintf "%s:%s*" (topology_name f.topology) f.word
+
+let pumped f = String.make 1 f.word.[String.length f.word - 1]
+
+let alphabet f =
+  List.init (String.length f.word) (fun i -> String.make 1 f.word.[i])
+  |> List.sort_uniq compare
+
+let min_nodes f = max (String.length f.word) 3
+
+let instance_labels f n =
+  if n < min_nodes f then
+    invalid_arg
+      (Printf.sprintf "Family.instance: n = %d below minimum %d for %s" n
+         (min_nodes f) (to_string f));
+  f.word ^ String.make (n - String.length f.word) f.word.[String.length f.word - 1]
+
+let instance_spec f n =
+  Printf.sprintf "%s:%s" (topology_name f.topology) (instance_labels f n)
+
+let chars word = List.init (String.length word) (fun i -> String.make 1 word.[i])
+
+let instance f n =
+  let labels = chars (instance_labels f n) in
+  match f.topology with
+  | Clique -> G.clique labels
+  | Star -> (
+      match labels with
+      | centre :: leaves -> G.star ~centre ~leaves
+      | [] -> assert false)
+
+let leaf_multiset f n =
+  let labels = chars (instance_labels f n) in
+  match f.topology with
+  | Clique -> M.of_list labels
+  | Star -> M.of_list (List.tl labels)
+
+let of_instance_spec spec =
+  match String.index_opt spec ':' with
+  | None -> None
+  | Some i ->
+      let topo = String.sub spec 0 i in
+      let word = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let topology =
+        match topo with
+        | "clique" -> Some Clique
+        | "star" -> Some Star
+        | _ -> None
+      in
+      (match topology with
+      | None -> None
+      | Some topology -> (
+          let n = String.length word in
+          match make topology word with
+          | Ok f when n >= min_nodes f -> Some (f, n)
+          | Ok _ | Error _ -> None))

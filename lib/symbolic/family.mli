@@ -1,0 +1,66 @@
+(** Graph families: unbounded clique and star instance sets.
+
+    A {e family spec} is a graph spec whose label word ends in [*]:
+    [clique:ab*] denotes the cliques [ab], [abb], [abbb], ... and
+    [star:ba*] the stars with centre [b] and leaf words [a], [aa], ...
+    The character before the [*] is the {e pumped} label; instance [n]
+    carries the fixed word plus enough pumped copies to reach [n] nodes.
+
+    Families are the query objects of the symbolic engine: a single
+    {e family verdict} ("φ holds for every instance with n ≥ k") answers
+    every instance-n query, which is why families get their own
+    fingerprint ({!Dda_batch.Fingerprint.family}) and store entries carry
+    a certification record.
+
+    The label word is kept in canonical form — the trailing run of the
+    pumped character is collapsed to a single occurrence — so that
+    [clique:abb*] and [clique:ab*] denote the same family and fingerprint
+    identically, and so that {!of_instance_spec} inverts
+    {!instance_spec}. *)
+
+type topology = Clique | Star
+
+type t = private {
+  topology : topology;
+  word : string;
+      (** Canonical label word; the last character is the pumped label.
+          For stars the first character is the centre. *)
+}
+
+val parse : string -> (t, string) result
+(** Parse a family spec ([clique:<labels>*] or [star:<labels>*]).  Only
+    these two topologies admit counted configurations, so only they can
+    be families. *)
+
+val to_string : t -> string
+(** Canonical round-trip form, e.g. ["star:ba*"]. *)
+
+val pumped : t -> string
+(** The pumped label, as a one-character string. *)
+
+val alphabet : t -> string list
+(** Sorted, deduplicated labels of the word, as one-character strings. *)
+
+val min_nodes : t -> int
+(** Smallest instance size (at least 3, the paper's graph convention). *)
+
+val instance_labels : t -> int -> string
+(** The label word of instance [n].
+    @raise Invalid_argument if [n < min_nodes]. *)
+
+val instance_spec : t -> int -> string
+(** Concrete graph spec of instance [n], e.g. ["star:baaa"]. *)
+
+val instance : t -> int -> string Dda_graph.Graph.t
+(** Instance [n] as a graph with one-character string labels.
+    @raise Invalid_argument if [n < min_nodes]. *)
+
+val leaf_multiset : t -> int -> string Dda_multiset.Multiset.t
+(** For star families: the leaf label count of instance [n].  For clique
+    families: the full label count. *)
+
+val of_instance_spec : string -> (t * int) option
+(** [of_instance_spec "clique:abbb"] is [Some (clique:ab*, 4)]: the family
+    obtained by collapsing the trailing label run, together with the
+    instance size.  [None] for non-clique/star specs, malformed specs, or
+    specs that already denote families. *)

@@ -571,6 +571,13 @@ module Registry = struct
       "batch.jobs";
       "batch.bounded";
       "batch.errors";
+      "symbolic.configs";
+      "symbolic.edges";
+      "symbolic.deltas";
+      "symbolic.instances";
+      "wsts.pre.candidates";
+      "wsts.basis.grown";
+      "wsts.basis.width";
       "service.connections";
       "service.requests";
       "service.hits";
@@ -590,7 +597,8 @@ module Registry = struct
 
   let spans =
     [ "explore"; "scc"; "verdict"; "simulate"; "synthesise"; "telemetry.selftest"; "batch";
-      "batch.job"; "service.request" ]
+      "batch.job"; "service.request"; "symbolic.explore"; "symbolic.certify";
+      "wsts.pre_star" ]
 
   let tracks = [ "engine.frontier"; "service.queue" ]
 

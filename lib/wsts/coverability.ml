@@ -1,6 +1,11 @@
 module M = Dda_multiset.Multiset
 module Machine = Dda_machine.Machine
 module Listx = Dda_util.Listx
+module T = Dda_telemetry.Telemetry
+
+let c_candidates = T.counter "wsts.pre.candidates"
+let c_grown = T.counter "wsts.basis.grown"
+let c_width = T.counter "wsts.basis.width"
 
 exception Too_large of int
 
@@ -106,8 +111,19 @@ let pre_basis ~states machine m =
     states;
   !candidates
 
+let basis_width b =
+  List.fold_left (fun acc c -> max acc (size c)) 1 (basis_elements b)
+
 let pre_star ~states machine targets =
   check_non_counting machine;
+  T.with_span
+    ~args:
+      [
+        ("targets", T.I (List.length targets));
+        ("states", T.I (List.length states));
+      ]
+    "wsts.pre_star"
+  @@ fun () ->
   let basis = ref (basis_of_list targets) in
   let queue = Queue.create () in
   List.iter (fun c -> Queue.add c queue) (basis_elements !basis);
@@ -115,13 +131,19 @@ let pre_star ~states machine targets =
     let m = Queue.pop queue in
     (* m may have been removed from the basis by a smaller later element;
        processing it anyway is sound (its predecessors are covered). *)
+    let candidates = pre_basis ~states machine m in
+    T.add c_candidates (List.length candidates);
     List.iter
       (fun cand ->
         let basis', grew = basis_insert cand !basis in
         basis := basis';
-        if grew then Queue.add cand queue)
-      (pre_basis ~states machine m)
+        if grew then begin
+          T.incr c_grown;
+          Queue.add cand queue
+        end)
+      candidates
   done;
+  T.max_gauge c_width (basis_width !basis);
   !basis
 
 let strata_targets ~states keep =
@@ -152,15 +174,13 @@ let non_accepting_targets ~states m =
 
 let stably_rejecting ~states:_ _m pre c = not (covers (Lazy.force pre) c)
 
+let cutoff_of_width ~states width = (width * (List.length states - 1)) + 2
+
 let cutoff_bound ~states m =
-  let widest targets =
-    let b = pre_star ~states m targets in
-    List.fold_left (fun acc c -> max acc (size c)) 1 (basis_elements b)
-  in
+  let widest targets = basis_width (pre_star ~states m targets) in
   let m_rej = widest (non_rejecting_targets ~states m) in
   let m_acc = widest (non_accepting_targets ~states m) in
-  let widest_basis = max m_rej m_acc in
-  (widest_basis * (List.length states - 1)) + 2
+  cutoff_of_width ~states (max m_rej m_acc)
 
 (* NOTE: this machinery deliberately does NOT offer a clique variant.  The
    paper remarks (proof of Lemma 3.5) that the buddy argument "does not

@@ -77,7 +77,18 @@ val reachable_covers :
     closure of the basis?  Explicit search, bounded by [max_configs]
     (default 100_000). @raise Too_large when the bound is hit. *)
 
+val basis_width : 's basis -> int
+(** Size ({!size}) of the largest configuration in the basis — the [m] of
+    the Lemma 3.5 cutoff bound. *)
+
 (** {1 Backward coverability} *)
+
+val pre_basis :
+  states:'s list -> ('l, 's) Dda_machine.Machine.t -> 's config -> 's config list
+(** Candidate minimal one-step predecessors of the upward closure of a
+    single configuration: the [pre] of the backward saturation, exposed for
+    tests and telemetry.  Candidates are not minimised; {!pre_star} feeds
+    them through {!basis_insert}. *)
 
 val pre_star :
   states:'s list -> ('l, 's) Dda_machine.Machine.t -> 's config list -> 's basis
@@ -100,8 +111,12 @@ val stably_rejecting :
     configuration is stably rejecting iff it cannot reach a non-rejecting
     configuration. *)
 
+val cutoff_of_width : states:'s list -> int -> int
+(** [cutoff_of_width ~states m] is the Lemma 3.5 bound [K = m(|Q| - 1) + 2]
+    as a function of the basis width [m]; monotone in [m]. *)
+
 val cutoff_bound : states:'s list -> ('l, 's) Dda_machine.Machine.t -> int
-(** The Lemma 3.5 bound [K = m(|Q| - 1) + 2], where [m] is the size of the
-    largest configuration in the bases of [pre_star] applied to the
+(** The Lemma 3.5 bound [K = m(|Q| - 1) + 2], where [m] is the width
+    ({!basis_width}) of the bases of [pre_star] applied to the
     non-rejecting and non-accepting targets. *)
 

@@ -85,15 +85,15 @@ let test_graph_fingerprint_isomorphism () =
 let test_key_sensitivity () =
   let m = Fp.machine ~labels:ab exists_a in
   let g = Fp.graph (G.cycle [ "a"; "b"; "b" ]) in
-  let key = Fp.key ~machine:m ~graph:g ~regime:"F" ~max_configs:1000 in
+  let key = Fp.key ~machine:m ~graph:g ~regime:"F" ~max_configs:1000 () in
   Alcotest.(check string) "deterministic" key
-    (Fp.key ~machine:m ~graph:g ~regime:"F" ~max_configs:1000);
+    (Fp.key ~machine:m ~graph:g ~regime:"F" ~max_configs:1000 ());
   Alcotest.(check bool) "regime enters the key" true
-    (key <> Fp.key ~machine:m ~graph:g ~regime:"f" ~max_configs:1000);
+    (key <> Fp.key ~machine:m ~graph:g ~regime:"f" ~max_configs:1000 ());
   Alcotest.(check bool) "budget enters the key" true
-    (key <> Fp.key ~machine:m ~graph:g ~regime:"F" ~max_configs:1001);
+    (key <> Fp.key ~machine:m ~graph:g ~regime:"F" ~max_configs:1001 ());
   Alcotest.(check bool) "machine enters the key" true
-    (key <> Fp.key ~machine:(m ^ "x") ~graph:g ~regime:"F" ~max_configs:1000)
+    (key <> Fp.key ~machine:(m ^ "x") ~graph:g ~regime:"F" ~max_configs:1000 ())
 
 (* --- the store ------------------------------------------------------------- *)
 
@@ -107,6 +107,8 @@ let entry ?(verdict = Store.Accepts) key =
     verdict;
     configs = 42;
     seconds = 0.5;
+    engine = "explicit";
+    family = None;
   }
 
 let some_key = String.make 32 'a'
@@ -394,7 +396,7 @@ let test_decide_cached_recovers_from_corruption () =
       let key =
         Fp.key
           ~machine:(Fp.machine ~labels:ab exists_a)
-          ~graph:(Fp.graph g) ~regime:(Spec.regime_name regime) ~max_configs
+          ~graph:(Fp.graph g) ~regime:(Spec.regime_name regime) ~max_configs ()
       in
       Out_channel.with_open_bin (corrupt_path store key) (fun oc ->
           Out_channel.output_string oc "]]not json");

@@ -1,0 +1,293 @@
+(* Differential suite: the symbolic (counted) engine must agree with the
+   explicit engine on every clique and star instance it claims to cover —
+   the protocol corpus, all n <= 6, all three scheduler regimes.  Any
+   disagreement is a hard failure. *)
+
+module M = Dda_multiset.Multiset
+module Machine = Dda_machine.Machine
+module Space = Dda_verify.Space
+module Decide = Dda_verify.Decide
+module Spec = Dda_batch.Spec
+module Store = Dda_batch.Store
+module Batch = Dda_batch.Batch
+module Fingerprint = Dda_batch.Fingerprint
+module Family = Dda_symbolic.Family
+module Counted = Dda_symbolic.Counted
+module Analysis = Dda_symbolic.Analysis
+module Certify = Dda_symbolic.Certify
+
+let max_configs = 400_000
+(* the differential sweep visits many instances whose spaces bound out;
+   a tighter budget keeps the corpus wide without paying for exploration
+   that ends in Too_large anyway *)
+let diff_max_configs = 60_000
+let max_steps = 200_000
+
+let verdict_class = function
+  | Decide.Accepts -> "accepts"
+  | Decide.Rejects -> "rejects"
+  | Decide.Inconsistent _ -> "inconsistent"
+
+(* The corpus: every protocol family the spec language exposes, at small
+   parameters.  §6.1's homogeneous majority automaton is "slp-majority". *)
+let protocols =
+  [
+    "exists:a";
+    "cutoff1:a";
+    "threshold:a,2";
+    "majority-bounded:2";
+    "weak-majority-bounded:2";
+    "majority-pop";
+    "slp-majority";
+    "slp-mod:3,1";
+    "odd-a-token";
+  ]
+
+(* All two-letter label words of length n, as clique and star specs. *)
+let words n =
+  let rec go k =
+    if k = 0 then [ "" ]
+    else List.concat_map (fun w -> [ w ^ "a"; w ^ "b" ]) (go (k - 1))
+  in
+  go n
+
+let graph_specs =
+  List.concat_map
+    (fun n ->
+      let cliques =
+        (* cliques are node-permutation invariant: one spec per label
+           multiset is enough *)
+        List.sort_uniq compare
+          (List.map
+             (fun w ->
+               let cs = List.sort compare (List.init n (String.get w)) in
+               "clique:" ^ String.init n (List.nth cs))
+             (words n))
+      in
+      let stars =
+        (* a star is determined by centre label + leaf multiset *)
+        List.sort_uniq compare
+          (List.concat_map
+             (fun c ->
+               List.map
+                 (fun w ->
+                   let cs = List.sort compare (List.init (n - 1) (String.get w)) in
+                   "star:" ^ c ^ String.init (n - 1) (List.nth cs))
+                 (words (n - 1)))
+             [ "a"; "b" ])
+      in
+      cliques @ stars)
+    [ 3; 4; 5; 6 ]
+
+let or_fail = function Ok v -> v | Error e -> Alcotest.fail e
+
+let check_instance proto gspec =
+  let g = or_fail (Spec.parse_graph gspec) in
+  match Spec.parse_protocol proto g with
+  | Error _ -> ()  (* e.g. exists:a over an all-b graph: no such protocol *)
+  | Ok (Spec.Packed m) ->
+  let ctx fmt = Printf.sprintf "%s on %s %s" proto gspec fmt in
+  match Counted.of_graph ~max_configs:diff_max_configs m g with
+  | exception Counted.Too_large _ -> ()  (* both engines bounded out here *)
+  | None -> Alcotest.fail (ctx "not recognised as clique/star")
+  | Some counted ->
+  (match Space.explore ~max_configs:diff_max_configs m g with
+  | exception Space.Too_large _ ->
+    (* beyond the explicit engine's reach: nothing to compare against —
+       exactly the sizes the symbolic engine exists for *)
+    ()
+  | explicit ->
+    (* adversarial *)
+    Alcotest.(check string)
+      (ctx "adversarial")
+      (verdict_class (Decide.adversarial explicit))
+      (verdict_class (Analysis.adversarial counted));
+    (* pseudo-stochastic *)
+    Alcotest.(check string)
+      (ctx "pseudo-stochastic")
+      (verdict_class (Decide.pseudo_stochastic explicit))
+      (verdict_class (Analysis.pseudo_stochastic counted)));
+  (* synchronous *)
+  let cls = function None -> "no-cycle" | Some v -> verdict_class v in
+  Alcotest.(check string)
+    (ctx "synchronous")
+    (cls (Decide.synchronous ~max_steps m g))
+    (cls (Analysis.synchronous ~max_steps m g))
+
+let test_differential_corpus () =
+  List.iter
+    (fun proto -> List.iter (fun gspec -> check_instance proto gspec) graph_specs)
+    protocols
+
+(* --- family specs ------------------------------------------------------- *)
+
+let test_family_parse () =
+  let f = or_fail (Family.parse "star:ba*") in
+  Alcotest.(check string) "canonical" "star:ba*" (Family.to_string f);
+  Alcotest.(check int) "min" 3 (Family.min_nodes f);
+  Alcotest.(check string) "instance" "star:baaa" (Family.instance_spec f 4);
+  (* trailing runs collapse to the same family *)
+  let f' = or_fail (Family.parse "star:baaa*") in
+  Alcotest.(check string) "collapsed" (Family.to_string f) (Family.to_string f');
+  (match Family.of_instance_spec "star:baaaa" with
+  | Some (f'', n) ->
+      Alcotest.(check string) "inverse" (Family.to_string f) (Family.to_string f'');
+      Alcotest.(check int) "inverse n" 5 n
+  | None -> Alcotest.fail "of_instance_spec");
+  Alcotest.(check bool) "line rejected" true
+    (Result.is_error (Family.parse "line:ab*"));
+  Alcotest.(check bool) "empty rejected" true
+    (Result.is_error (Family.parse "clique:*"))
+
+(* A certified family verdict must agree with the explicit engine on every
+   instance the explicit engine can still reach. *)
+let explicit_decide regime m g =
+  let space = Space.explore ~max_configs m g in
+  match regime with
+  | `Adversarial -> Decide.adversarial space
+  | `Pseudo_stochastic -> Decide.pseudo_stochastic space
+
+let check_family proto fspec regime =
+  let fam = or_fail (Family.parse fspec) in
+  let rep = Family.instance fam (Family.min_nodes fam) in
+  let (Spec.Packed m) = or_fail (Spec.parse_protocol proto rep) in
+  match Certify.decide_family ~max_configs ~regime m fam with
+  | Error _ -> Alcotest.fail (Printf.sprintf "%s on %s: no family verdict" proto fspec)
+  | Ok fv ->
+      for n = Family.min_nodes fam to 7 do
+        if n >= fv.Certify.from_n then begin
+          let g = Family.instance fam n in
+          let (Spec.Packed mi) = or_fail (Spec.parse_protocol proto g) in
+          let ev = explicit_decide regime mi g in
+          Alcotest.(check string)
+            (Printf.sprintf "%s on %s at n=%d" proto fspec n)
+            (verdict_class ev)
+            (verdict_class fv.Certify.verdict)
+        end
+      done;
+      fv
+
+let test_family_certified_star () =
+  (* §6.1-adjacent: existence of an [a] on a star — certified cutoff *)
+  let fv = check_family "exists:a" "star:ba*" `Pseudo_stochastic in
+  (match fv.Certify.certificate with
+  | Certify.Cutoff k -> Alcotest.(check bool) "cutoff positive" true (k >= 2)
+  | Certify.Window _ -> Alcotest.fail "expected a certified cutoff");
+  Alcotest.(check string) "verdict" "accepts" (verdict_class fv.Certify.verdict);
+  (* "a occurs and b does not": every star:ab* instance has b leaves *)
+  let fv = check_family "cutoff1:a" "star:ab*" `Adversarial in
+  Alcotest.(check string) "rejects" "rejects" (verdict_class fv.Certify.verdict)
+
+let test_family_window_clique () =
+  let fv = check_family "exists:a" "clique:ab*" `Pseudo_stochastic in
+  (match fv.Certify.certificate with
+  | Certify.Window _ -> ()
+  | Certify.Cutoff _ -> Alcotest.fail "cliques cannot be certified");
+  Alcotest.(check string) "verdict" "accepts" (verdict_class fv.Certify.verdict)
+
+(* --- cache threading ----------------------------------------------------- *)
+
+let with_store f =
+  let dir =
+    Filename.temp_file "dda_symbolic_cache" ""
+  in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let store = Store.open_ ~root:dir () in
+  Fun.protect ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote dir)))
+    (fun () -> f store)
+
+let test_family_cache_roundtrip () =
+  with_store @@ fun store ->
+  let fam = or_fail (Family.parse "star:ba*") in
+  let rep = Family.instance fam 3 in
+  let (Spec.Packed m) = or_fail (Spec.parse_protocol "exists:a" rep) in
+  let regime = Spec.Pseudo_stochastic in
+  let run () =
+    or_fail
+      (Batch.decide_family ~cache:store ~count:false ~regime
+         ~max_configs:max_configs m fam)
+  in
+  let d1, cert1 = run () in
+  Alcotest.(check bool) "first computes" false d1.Batch.cached;
+  (match cert1 with
+  | Some fc -> Alcotest.(check bool) "has cutoff" true (fc.Store.cutoff <> None)
+  | None -> Alcotest.fail "no certification record");
+  let d2, cert2 = run () in
+  Alcotest.(check bool) "second cached" true d2.Batch.cached;
+  Alcotest.(check bool) "cert survives" true (cert2 = cert1);
+  (* an instance query far beyond the explicit engine's reach is answered
+     from the family entry *)
+  let mkey = Fingerprint.machine ~labels:[ "a"; "b" ] m in
+  (match
+     Batch.family_hit ~cache:store ~machine_key:mkey ~regime
+       ~max_configs:max_configs "star:baaaaaaaaaaaaaaa"
+   with
+  | Some (entry, _) ->
+      Alcotest.(check bool) "verdict is accepts" true
+        (entry.Store.verdict = Store.Accepts)
+  | None -> Alcotest.fail "family entry did not answer the instance query");
+  (* below from_n, or for a different family, it must not answer *)
+  (match
+     Batch.family_hit ~cache:store ~machine_key:mkey ~regime
+       ~max_configs:max_configs "star:bb"
+   with
+  | Some _ -> Alcotest.fail "wrong family answered"
+  | None -> ())
+
+let test_engine_salting () =
+  (* explicit keys are byte-identical to the pre-engine format; symbolic
+     keys never collide with them *)
+  let k_explicit =
+    Fingerprint.key ~machine:"m" ~graph:"g" ~regime:"F" ~max_configs:1 ()
+  in
+  let k_explicit' =
+    Fingerprint.key ~engine:"explicit" ~machine:"m" ~graph:"g" ~regime:"F"
+      ~max_configs:1 ()
+  in
+  let k_symbolic =
+    Fingerprint.key ~engine:"symbolic" ~machine:"m" ~graph:"g" ~regime:"F"
+      ~max_configs:1 ()
+  in
+  Alcotest.(check string) "explicit default" k_explicit k_explicit';
+  Alcotest.(check bool) "salted apart" true (k_explicit <> k_symbolic)
+
+let test_store_migration () =
+  (* entries written before the engine field default to engine="explicit"
+     and no certification record *)
+  with_store @@ fun store ->
+  let key = Fingerprint.key ~machine:"m" ~graph:"g" ~regime:"F" ~max_configs:9 () in
+  let legacy =
+    Printf.sprintf
+      {|{"schema":"dda.cache/1","salt":"%s","key":"%s","machine":"m","graph":"g","regime":"F","max_configs":9,"verdict":{"kind":"accepts"},"configs":4,"seconds":0.1}|}
+      Fingerprint.version_salt key
+  in
+  let dir = Filename.concat (Store.root store) (String.sub key 0 2) in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let oc = open_out (Filename.concat dir (key ^ ".json")) in
+  output_string oc legacy;
+  close_out oc;
+  match Store.find store key with
+  | Some e ->
+      Alcotest.(check string) "engine defaults" "explicit" e.Store.engine;
+      Alcotest.(check bool) "no family" true (e.Store.family = None)
+  | None -> Alcotest.fail "legacy entry unreadable"
+
+let () =
+  Alcotest.run "symbolic"
+    [
+      ( "differential",
+        [ Alcotest.test_case "corpus n<=6, all regimes" `Slow test_differential_corpus ] );
+      ( "family",
+        [
+          Alcotest.test_case "parse/canonical" `Quick test_family_parse;
+          Alcotest.test_case "certified star" `Quick test_family_certified_star;
+          Alcotest.test_case "window clique" `Quick test_family_window_clique;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "family round-trip" `Quick test_family_cache_roundtrip;
+          Alcotest.test_case "engine salting" `Quick test_engine_salting;
+          Alcotest.test_case "store migration" `Quick test_store_migration;
+        ] );
+    ]

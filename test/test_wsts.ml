@@ -135,6 +135,105 @@ let test_cutoff_bound () =
   Alcotest.(check bool) "bound is a valid cutoff" true
     (Dda_presburger.Predicate.respects_cutoff ~alphabet:[ "a"; "b" ] ~box:(k + 2) ~k p)
 
+(* --- Property tests for the stratified order and its bases -------------- *)
+
+(* Random star configurations over three states, small counts: enough to
+   exercise every stratum (centre × support) many times per run. *)
+let gen_config =
+  QCheck.Gen.(
+    let* centre = int_range 0 2 in
+    let* counts = list_size (int_range 1 3) (pair (int_range 0 2) (int_range 0 4)) in
+    let leaves = List.filter (fun (_, c) -> c > 0) counts in
+    let leaves = if leaves = [] then [ (centre, 1) ] else leaves in
+    return (cfg centre leaves))
+
+let arb_config =
+  QCheck.make ~print:(Format.asprintf "%a" (C.pp Format.pp_print_int)) gen_config
+
+let prop_leq_reflexive =
+  QCheck.Test.make ~name:"leq reflexive" ~count:300 arb_config (fun c -> C.leq c c)
+
+let prop_leq_transitive =
+  (* constructive: grow c twice within its stratum, so the antecedent
+     c1 <= c2 <= c3 actually fires instead of being vacuously rare *)
+  QCheck.Test.make ~name:"leq transitive (constructive)" ~count:300
+    (QCheck.pair arb_config (QCheck.make QCheck.Gen.(pair (int_range 0 3) (int_range 0 3))))
+    (fun (c1, (g1, g2)) ->
+      let grow c k =
+        match M.support c.C.leaves with
+        | [] -> c
+        | q :: _ -> { c with C.leaves = M.add ~times:k q c.C.leaves }
+      in
+      let c2 = grow c1 g1 in
+      let c3 = grow c2 g2 in
+      C.leq c1 c2 && C.leq c2 c3 && C.leq c1 c3)
+
+let prop_leq_antisymmetric =
+  QCheck.Test.make ~name:"leq antisymmetric" ~count:300
+    (QCheck.pair arb_config arb_config)
+    (fun (c1, c2) -> if C.leq c1 c2 && C.leq c2 c1 then c1 = c2 else true)
+
+let prop_upward_closure =
+  (* covers is the upward closure: anything above a covered element is
+     covered, and every basis element covers itself *)
+  QCheck.Test.make ~name:"covers respects upward closure" ~count:300
+    (QCheck.pair (QCheck.list_of_size (QCheck.Gen.int_range 1 5) arb_config)
+       (QCheck.make QCheck.Gen.(int_range 0 4)))
+    (fun (cs, k) ->
+      let b = C.basis_of_list cs in
+      List.for_all
+        (fun c ->
+          let bigger =
+            match M.support c.C.leaves with
+            | [] -> c
+            | q :: _ -> { c with C.leaves = M.add ~times:k q c.C.leaves }
+          in
+          C.covers b c && C.covers b bigger)
+        cs)
+
+let prop_basis_minimal =
+  (* after minimisation no element covers another *)
+  QCheck.Test.make ~name:"basis pairwise incomparable" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 8) arb_config)
+    (fun cs ->
+      let els = C.basis_elements (C.basis_of_list cs) in
+      List.for_all
+        (fun c1 ->
+          List.for_all (fun c2 -> c1 == c2 || not (C.leq c1 c2)) els)
+        els)
+
+let prop_basis_insert_grow =
+  QCheck.Test.make ~name:"basis_insert grows iff uncovered" ~count:300
+    (QCheck.pair (QCheck.list_of_size (QCheck.Gen.int_range 1 5) arb_config) arb_config)
+    (fun (cs, c) ->
+      let b = C.basis_of_list cs in
+      let covered = C.covers b c in
+      let b', grew = C.basis_insert c b in
+      grew = not covered && C.covers b' c)
+
+let prop_cutoff_monotone =
+  (* Lemma 3.5's K = m(|Q|-1)+2 is monotone in the basis width m *)
+  QCheck.Test.make ~name:"cutoff_of_width monotone" ~count:300
+    QCheck.(pair (int_range 1 40) (int_range 0 40))
+    (fun (m, d) ->
+      C.cutoff_of_width ~states:climber_states m
+      <= C.cutoff_of_width ~states:climber_states (m + d))
+
+let test_cutoff_bound_from_widths () =
+  (* cutoff_bound is exactly cutoff_of_width of the wider of the two
+     pre* bases — the satellite contract tying the pieces together *)
+  let width targets =
+    C.basis_width (C.pre_star ~states:yn_states exists_a targets)
+  in
+  let m =
+    max
+      (width (C.non_rejecting_targets ~states:yn_states exists_a))
+      (width (C.non_accepting_targets ~states:yn_states exists_a))
+  in
+  Alcotest.(check int) "bound = width formula"
+    (C.cutoff_of_width ~states:yn_states m)
+    (C.cutoff_bound ~states:yn_states exists_a)
+
 let () =
   Alcotest.run "wsts"
     [
@@ -142,6 +241,17 @@ let () =
         [
           Alcotest.test_case "stratified order" `Quick test_leq;
           Alcotest.test_case "basis minimisation" `Quick test_basis_minimisation;
+        ] );
+      ( "order properties",
+        [
+          QCheck_alcotest.to_alcotest prop_leq_reflexive;
+          QCheck_alcotest.to_alcotest prop_leq_transitive;
+          QCheck_alcotest.to_alcotest prop_leq_antisymmetric;
+          QCheck_alcotest.to_alcotest prop_upward_closure;
+          QCheck_alcotest.to_alcotest prop_basis_minimal;
+          QCheck_alcotest.to_alcotest prop_basis_insert_grow;
+          QCheck_alcotest.to_alcotest prop_cutoff_monotone;
+          Alcotest.test_case "cutoff_bound from widths" `Quick test_cutoff_bound_from_widths;
         ] );
       ( "star system",
         [
