@@ -50,6 +50,205 @@ let quick = mode <> Full
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
 
+(* Spill segments written by budgeted runs go to the system temp dir, not
+   the repo checkout. *)
+let () =
+  Unix.putenv "DDA_SPILL_DIR"
+    (Filename.concat (Filename.get_temp_dir_name ()) "dda_bench_spill")
+
+(* ------------------------------------------------------------------ *)
+(* Peak-RSS measurement and fork-per-row isolation (E11 rows, E18)      *)
+(* ------------------------------------------------------------------ *)
+
+(* VmHWM from /proc/self/status: the peak resident set of the whole
+   process.  None on systems without procfs (the portable fallback). *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec go () =
+      match input_line ic with
+      | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" ->
+        String.fold_left
+          (fun acc c -> if c >= '0' && c <= '9' then Some ((Option.value ~default:0 acc * 10) + Char.code c - Char.code '0') else acc)
+          None line
+      | _ -> go ()
+      | exception End_of_file -> None
+    in
+    Fun.protect ~finally:(fun () -> close_in ic) go
+
+(* Run [f] in a forked child and marshal its result back together with the
+   child's own VmHWM, so each measurement sees its own high-water mark
+   rather than the maximum over every experiment before it.  A forked
+   child's VmHWM starts at the parent's *current* RSS, so rows that gate on
+   absolute numbers (E18) run first, while the bench process is still
+   small.  Returns None where fork is unavailable; callers then measure
+   in-process (peak_rss becomes the portable whole-process fallback). *)
+let in_fork (f : unit -> 'a) : ('a * int option) option =
+  match Unix.pipe ~cloexec:false () with
+  | exception _ -> None
+  | rd, wr ->
+    (* catch-all: OCaml 5 refuses to fork once any domain has ever been
+       spawned in the process (Failure, not Unix_error), so forked
+       measurements must run before the domain-spawning experiments *)
+    (match Unix.fork () with
+    | exception _ ->
+      Unix.close rd;
+      Unix.close wr;
+      None
+    | 0 ->
+      Unix.close rd;
+      let payload =
+        match f () with
+        | v -> Ok (v, peak_rss_kb ())
+        | exception e -> Error (Printexc.to_string e)
+      in
+      let oc = Unix.out_channel_of_descr wr in
+      Marshal.to_channel oc payload [];
+      flush oc;
+      (* _exit: the child must not flush the stdio buffers (and must not run
+         the at_exit handlers) it inherited from the parent *)
+      Unix._exit 0
+    | pid ->
+      Unix.close wr;
+      let ic = Unix.in_channel_of_descr rd in
+      let payload = (Marshal.from_channel ic : ('a * int option, string) result) in
+      close_in ic;
+      ignore (Unix.waitpid [] pid);
+      (match payload with
+      | Ok (v, rss) -> Some (v, rss)
+      | Error msg -> failwith ("forked bench child failed: " ^ msg)))
+
+(* ------------------------------------------------------------------ *)
+(* E18: external-memory exploration under --mem-budget                  *)
+(* ------------------------------------------------------------------ *)
+
+type spill_row = {
+  sp_backend : string;
+  sp_budget : int option;
+  sp_configs : int;
+  sp_edges : int;
+  sp_seconds : float;
+  sp_verdict : string;
+  sp_peak_rss_kb : int option;
+  sp_segments_out : int;
+  sp_bytes_out : int;
+  sp_resident_peak : int;
+}
+
+type spill_bench = {
+  spb_instance : string;
+  spb_resident : spill_row;
+  spb_budgeted : spill_row;
+  spb_rss_ratio : float option;
+  spb_wall_ratio : float;
+  spb_identical : bool;
+  spb_n8 : (string * spill_row) option;
+}
+
+(* stashed for E11's BENCH_verify.json writer *)
+let spill_bench_result : spill_bench option ref = ref None
+
+(* Runs FIRST: each measurement forks, and a forked child's VmHWM baseline
+   is the parent's RSS at fork time — forking before the heavyweight
+   experiments keeps that baseline at the bench's startup footprint, so the
+   resident-vs-budgeted RSS ratio reflects the engine, not the harness. *)
+let experiment_spill () =
+  section "E18  external-memory exploration: --mem-budget vs resident";
+  let module E = Dda_verify.Engine in
+  let module A = Dda_verify.Arena in
+  let module Sym = Dda_verify.Symmetry in
+  let hom = H.majority ~degree_bound:2 in
+  let line word = G.line (List.init (String.length word) (fun i -> String.make 1 word.[i])) in
+  let run ?mem_budget ?symmetry ~regime word () =
+    let t0 = mono () in
+    let space = Space.explore ?symmetry ?mem_budget ~max_configs:60_000_000 hom (line word) in
+    let verdict =
+      match regime with
+      | `Adversarial -> Decide.adversarial space
+      | `Pseudo -> Decide.pseudo_stochastic space
+    in
+    let seconds = mono () -. t0 in
+    let so, bo, rp =
+      match Option.bind (Space.engine space) E.spill_stats with
+      | Some s -> (s.A.segments_out, s.A.bytes_out, s.A.resident_peak)
+      | None -> (0, 0, 0)
+    in
+    let row =
+      {
+        sp_backend = (match mem_budget with Some _ -> "budget" | None -> "resident");
+        sp_budget = mem_budget;
+        sp_configs = space.Space.size;
+        sp_edges = space.Space.size * space.Space.node_count;
+        sp_seconds = seconds;
+        sp_verdict = Format.asprintf "%a" Decide.pp_verdict verdict;
+        sp_peak_rss_kb = None;
+        sp_segments_out = so;
+        sp_bytes_out = bo;
+        sp_resident_peak = rp;
+      }
+    in
+    Option.iter E.release (Space.engine space);
+    row
+  in
+  let forked ?mem_budget ?symmetry ~regime word =
+    match in_fork (run ?mem_budget ?symmetry ~regime word) with
+    | Some (row, rss) -> { row with sp_peak_rss_kb = rss }
+    | None -> { (run ?mem_budget ?symmetry ~regime word ()) with sp_peak_rss_kb = peak_rss_kb () }
+  in
+  let pr word r =
+    Format.printf "%-22s %-9s %-10s %9d %9d %8.2fs %11s %8d %s@." word r.sp_backend
+      (match r.sp_budget with Some b -> Printf.sprintf "%dM" (b / (1024 * 1024)) | None -> "-")
+      r.sp_configs r.sp_edges r.sp_seconds
+      (match r.sp_peak_rss_kb with Some kb -> Printf.sprintf "%d" kb | None -> "-")
+      r.sp_segments_out r.sp_verdict
+  in
+  Format.printf "%-22s %-9s %-10s %9s %9s %9s %11s %8s %s@." "instance" "backend" "budget"
+    "configs" "edges" "seconds" "peak_rss_kb" "seg_out" "verdict";
+  (* the full §6.1 automaton on the n=8 palindromic line under the
+     reflection quotient: 11.58 M orbit representatives — resident, the
+     edge and group-element arrays alone need GBs; under a 256 MB budget
+     the run spills them and completes in comparable wall time.  (Smoke:
+     a seconds-long n=4 stand-in.)  Pseudo-stochastic regime: the
+     budgeted side exercises the streaming backward reaches. *)
+  let word, symmetry, budget =
+    if smoke then ("abab", None, 256 * 1024)
+    else ("abbaabba", Some (Sym.line 8), 256 * 1024 * 1024)
+  in
+  let resident = forked ?symmetry ~regime:`Pseudo word in
+  pr word resident;
+  let budgeted = forked ?symmetry ~mem_budget:budget ~regime:`Pseudo word in
+  pr word budgeted;
+  let rss_ratio =
+    match (resident.sp_peak_rss_kb, budgeted.sp_peak_rss_kb) with
+    | Some a, Some b when b > 0 -> Some (float_of_int a /. float_of_int b)
+    | _ -> None
+  in
+  let wall_ratio = budgeted.sp_seconds /. Float.max 1e-9 resident.sp_seconds in
+  let identical =
+    resident.sp_configs = budgeted.sp_configs
+    && resident.sp_edges = budgeted.sp_edges
+    && resident.sp_verdict = budgeted.sp_verdict
+  in
+  Format.printf "rss_ratio: %s (gate: >= 4x)   wall_ratio: %.2fx (gate: <= 2x)   identical: %b@."
+    (match rss_ratio with Some r -> Printf.sprintf "%.2fx" r | None -> "n/a")
+    wall_ratio identical;
+  (* the budgeted row doubles as the "n=8 completes under a budget" row *)
+  let n8 = if smoke then None else Some (word, budgeted) in
+  spill_bench_result :=
+    Some
+      {
+        spb_instance =
+          Printf.sprintf "s6.1 line n=%d %s%s" (String.length word) word
+            (match symmetry with Some _ -> " (reduced)" | None -> "");
+        spb_resident = resident;
+        spb_budgeted = budgeted;
+        spb_rss_ratio = rss_ratio;
+        spb_wall_ratio = wall_ratio;
+        spb_identical = identical;
+        spb_n8 = n8;
+      }
+
 (* ------------------------------------------------------------------ *)
 (* E1 / E2: the Figure 1 decision-power tables                          *)
 (* ------------------------------------------------------------------ *)
@@ -609,23 +808,8 @@ type service_v2_bench = {
 (* stashed for E11's BENCH_verify.json writer *)
 let service_v2_bench_result : service_v2_bench option ref = ref None
 
-(* VmHWM from /proc/self/status: the peak resident set of the whole
-   process (server, workers and load generator run in-process here) *)
-let peak_rss_kb () =
-  match open_in "/proc/self/status" with
-  | exception Sys_error _ -> None
-  | ic ->
-    let rec go () =
-      match input_line ic with
-      | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" ->
-        String.fold_left
-          (fun acc c -> if c >= '0' && c <= '9' then Some ((Option.value ~default:0 acc * 10) + Char.code c - Char.code '0') else acc)
-          None line
-      | _ -> go ()
-      | exception End_of_file -> None
-    in
-    Fun.protect ~finally:(fun () -> close_in ic) go
-
+(* peak_rss_kb is hoisted above E18: here it reports the whole process
+   (server, workers and load generator run in-process) *)
 let experiment_service_v2 () =
   section "E14  service /2: pipelined binary frames over the in-memory verdict tier";
   let module Server = Dda_service.Server in
@@ -1216,6 +1400,7 @@ type bench_row = {
   r_speedup : float option;
   r_verdict : string;
   r_stats : Dda_verify.Engine.stats option;  (* None for the legacy backend *)
+  r_peak_rss_kb : int option;  (* the row's forked child's own VmHWM *)
 }
 
 let memo_hit_rate (s : Dda_verify.Engine.stats) =
@@ -1233,6 +1418,10 @@ let domain_utilisation (s : Dda_verify.Engine.stats) =
   let busiest = Array.fold_left max 0 items in
   if busiest = 0 then 1.
   else float_of_int total /. (float_of_int busiest *. float_of_int (Array.length items))
+
+(* measured early (fork-per-row needs a domain-free process, see [in_fork]);
+   written to BENCH_verify.json by [write_bench_json] at the end of the run *)
+let verify_rows : bench_row list ref = ref []
 
 let experiment_verify_bench () =
   section "E11  exploration engine: legacy vs packed vs packed+symmetry";
@@ -1254,41 +1443,50 @@ let experiment_verify_bench () =
     let sorted = List.sort compare times in
     (space, List.nth sorted (List.length sorted / 2), times)
   in
-  let rows = ref [] in
+  let rows = verify_rows in
+  (* each row measures in a forked child so peak_rss_kb is per-row, not the
+     running maximum over every experiment so far (note the baseline caveat
+     on [in_fork]: the child inherits the parent's RSS at fork) *)
   let row ~instance ~backend ~reps ~baseline explore =
-    let space, seconds, times = measure ~reps explore in
-    let verdict = Format.asprintf "%a" Decide.pp_verdict (Decide.adversarial space) in
-    let speedup = Option.map (fun base -> base /. seconds) baseline in
-    let stats =
-      Option.map (fun e -> e.Dda_verify.Engine.stats) (Space.engine space)
+    let compute () =
+      let space, seconds, times = measure ~reps explore in
+      let verdict = Format.asprintf "%a" Decide.pp_verdict (Decide.adversarial space) in
+      let stats = Option.map (fun e -> e.Dda_verify.Engine.stats) (Space.engine space) in
+      (space.Space.size, space.Space.size * space.Space.node_count, seconds, times, verdict, stats)
     in
-    Format.printf "%-24s %-14s %10d %10d %9.3fs %-10s %-8s %-7s %s@." instance backend
-      space.Space.size
-      (space.Space.size * space.Space.node_count)
-      seconds verdict
+    let (configs, edges, seconds, times, verdict, stats), rss =
+      match in_fork compute with
+      | Some (v, rss) -> (v, rss)
+      | None -> (compute (), peak_rss_kb ())
+    in
+    let speedup = Option.map (fun base -> base /. seconds) baseline in
+    Format.printf "%-24s %-14s %10d %10d %9.3fs %-10s %-8s %-7s %-5s %s@." instance backend
+      configs edges seconds verdict
       (match speedup with Some s -> Printf.sprintf "%.1fx" s | None -> "-")
       (match stats with Some s -> Printf.sprintf "%.1f%%" (100. *. memo_hit_rate s) | None -> "-")
       (match stats with
       | Some s when Array.length s.Dda_verify.Engine.domain_items > 1 ->
         Printf.sprintf "%.2f" (domain_utilisation s)
-      | _ -> "-");
+      | _ -> "-")
+      (match rss with Some kb -> Printf.sprintf "%d" kb | None -> "-");
     rows :=
       {
         r_instance = instance;
         r_backend = backend;
-        r_configs = space.Space.size;
-        r_edges = space.Space.size * space.Space.node_count;
+        r_configs = configs;
+        r_edges = edges;
         r_seconds = seconds;
         r_times = times;
         r_speedup = speedup;
         r_verdict = verdict;
         r_stats = stats;
+        r_peak_rss_kb = rss;
       }
       :: !rows;
     seconds
   in
-  Format.printf "%-24s %-14s %10s %10s %10s %-10s %-8s %-7s %s@." "instance" "backend" "configs"
-    "edges" "seconds" "verdict" "speedup" "memo%" "util";
+  Format.printf "%-24s %-14s %10s %10s %10s %-10s %-8s %-7s %-5s %s@." "instance" "backend"
+    "configs" "edges" "seconds" "verdict" "speedup" "memo%" "util" "rss_kb";
   let budget = 6_000_000 in
   let bench_instance ~instance ~reps ?symmetry m g =
     let legacy = row ~instance ~backend:"legacy" ~reps ~baseline:None (fun () ->
@@ -1321,8 +1519,12 @@ let experiment_verify_bench () =
       ignore
         (row ~instance:"s6.1 line n=7 abbabba" ~backend:"engine+sym" ~reps:1 ~baseline:None
            (fun () -> Space.explore ~symmetry:(Sym.line 7) ~max_configs:budget hom (line "abbabba")))
-  end;
-  (* machine-readable perf trajectory *)
+  end
+
+(* machine-readable perf trajectory; runs at the very end so the section
+   refs stashed by the other experiments are all populated *)
+let write_bench_json () =
+  let rows = verify_rows in
   let oc = open_out "BENCH_verify.json" in
   let out = Format.formatter_of_out_channel oc in
   let json_escape s =
@@ -1348,15 +1550,46 @@ let experiment_verify_bench () =
       Format.fprintf out
         "    {\"instance\": \"%s\", \"backend\": \"%s\", \"configs\": %d, \"edges\": %d, \
          \"seconds\": %.4f, \"seconds_summary\": %s, \"speedup_vs_legacy\": %s, \
-         \"verdict\": \"%s\"%s}%s@."
+         \"peak_rss_kb\": %s, \"verdict\": \"%s\"%s}%s@."
         (json_escape r.r_instance) (json_escape r.r_backend) r.r_configs r.r_edges r.r_seconds
         (Dda_analysis.Stats.summary_json (Dda_analysis.Stats.summarise r.r_times))
         (match r.r_speedup with Some s -> Printf.sprintf "%.2f" s | None -> "null")
+        (match r.r_peak_rss_kb with Some kb -> string_of_int kb | None -> "null")
         (json_escape r.r_verdict) metrics
         (if i = List.length !rows - 1 then "" else ","))
     (List.rev !rows);
   let sections =
-    (match !cache_bench_result with
+    (match !spill_bench_result with
+    | None -> []
+    | Some sp ->
+      let spill_row r =
+        Printf.sprintf
+          "{\"backend\": \"%s\", \"mem_budget\": %s, \"configs\": %d, \"edges\": %d, \
+           \"seconds\": %.4f, \"peak_rss_kb\": %s, \"segments_out\": %d, \"bytes_out\": %d, \
+           \"resident_peak\": %d, \"verdict\": \"%s\"}"
+          r.sp_backend
+          (match r.sp_budget with Some b -> string_of_int b | None -> "null")
+          r.sp_configs r.sp_edges r.sp_seconds
+          (match r.sp_peak_rss_kb with Some kb -> string_of_int kb | None -> "null")
+          r.sp_segments_out r.sp_bytes_out r.sp_resident_peak (json_escape r.sp_verdict)
+      in
+      [
+        Printf.sprintf
+          "\"spill\": {\"instance\": \"%s\", \"resident\": %s, \"budgeted\": %s, \
+           \"rss_ratio\": %s, \"wall_ratio\": %.2f, \"identical\": %b, \
+           \"gate_rss_4x_ok\": %s, \"gate_wall_2x_ok\": %b%s}"
+          (json_escape sp.spb_instance) (spill_row sp.spb_resident) (spill_row sp.spb_budgeted)
+          (match sp.spb_rss_ratio with Some r -> Printf.sprintf "%.2f" r | None -> "null")
+          sp.spb_wall_ratio sp.spb_identical
+          (match sp.spb_rss_ratio with Some r -> string_of_bool (r >= 4.) | None -> "null")
+          (sp.spb_wall_ratio <= 2.)
+          (match sp.spb_n8 with
+          | None -> ""
+          | Some (w, r) ->
+            Printf.sprintf ", \"n8\": {\"word\": \"%s\", \"row\": %s}" (json_escape w)
+              (spill_row r));
+      ])
+    @ (match !cache_bench_result with
     | None -> []
     | Some cb ->
       [
@@ -1576,6 +1809,11 @@ let telemetry_overhead_bench () =
 let () =
   Format.printf "Decision Power of Weak Asynchronous Models — experiment harness%s@."
     (if quick then " (quick mode)" else "");
+  (* E18 and the forked E11 rows first: a forked child's RSS baseline is
+     the parent's footprint, and OCaml 5 cannot fork at all once the
+     domain-spawning experiments below have run *)
+  experiment_spill ();
+  experiment_verify_bench ();
   experiment_figure1 ();
   experiment_broadcast_overhead ();
   experiment_chain ();
@@ -1591,7 +1829,7 @@ let () =
   experiment_observability ();
   experiment_router ();
   experiment_symbolic ();
-  experiment_verify_bench ();
+  write_bench_json ();
   bechamel_suite ();
   telemetry_overhead_bench ();
   Format.printf "@.done.@."

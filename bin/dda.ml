@@ -106,7 +106,14 @@ let stop_on_signals () =
     [ Sys.sigint; Sys.sigterm ];
   stop
 
-let cmd_tables bounded max_nodes cache_dir =
+(* --mem-budget flows through the environment so every exploration below a
+   command — direct, batch-sharded, or cache-refill — picks it up. *)
+let set_mem_budget = function
+  | Some b when b > 0 -> Unix.putenv "DDA_MEM_BUDGET" (string_of_int b)
+  | _ -> ()
+
+let cmd_tables bounded max_nodes cache_dir mem_budget =
+  set_mem_budget mem_budget;
   let cache = open_cache cache_dir in
   if not bounded then begin
     Format.printf "Figure 1 (middle): arbitrary communication graphs@.";
@@ -213,8 +220,9 @@ let cmd_decide_family ?cache proto_spec fam regime max_configs =
     | Batch.Verdict v, None -> Format.printf "verdict: %s@." (verdict_name v))
 
 let cmd_decide proto_spec graph_spec fairness_str engine_str cache_dir max_configs witness jobs
-    reduce trace metrics journal progress =
+    reduce mem_budget trace metrics journal progress =
   telemetry_init trace metrics journal progress;
+  set_mem_budget mem_budget;
   let fairness = or_die (parse_fairness fairness_str) in
   let regime = Dda_core.Decision.regime_of_fairness fairness in
   let engine = or_die (Spec.parse_engine engine_str) in
@@ -311,7 +319,15 @@ let cmd_decide proto_spec graph_spec fairness_str engine_str cache_dir max_confi
     | Some e ->
       Format.printf "space: %d configurations (%d states interned, %d delta evaluations) in %.2fs@."
         space.Dda_verify.Space.size e.Dda_verify.Engine.stats.Dda_verify.Engine.state_count
-        e.Dda_verify.Engine.stats.Dda_verify.Engine.delta_evals dt
+        e.Dda_verify.Engine.stats.Dda_verify.Engine.delta_evals dt;
+      (match Dda_verify.Engine.spill_stats e with
+      | Some s ->
+        Format.printf
+          "spill: budget %d bytes, peak resident %d, %d segments out / %d in (%d / %d bytes)@."
+          s.Dda_verify.Arena.mem_budget s.Dda_verify.Arena.resident_peak
+          s.Dda_verify.Arena.segments_out s.Dda_verify.Arena.segments_in
+          s.Dda_verify.Arena.bytes_out s.Dda_verify.Arena.bytes_in
+      | None -> ())
     | None -> Format.printf "space: %d configurations in %.2fs@." space.Dda_verify.Space.size dt);
     if witness then begin
       if reduce then
@@ -411,9 +427,10 @@ let cmd_cutoff () =
     (List.length (C.basis_elements pre));
   Format.printf "Lemma 3.5 cutoff bound: K = %d@." (C.cutoff_bound ~states exists_a)
 
-let cmd_batch manifest shards time_budget max_configs cache_dir report_file trace metrics journal
-    progress =
+let cmd_batch manifest shards time_budget max_configs cache_dir report_file mem_budget trace
+    metrics journal progress =
   telemetry_init trace metrics journal progress;
+  set_mem_budget mem_budget;
   let jobs = or_die (Batch.manifest_of_file ?default_max_configs:max_configs manifest) in
   let cache = open_cache cache_dir in
   let lock = lock_cache `Shared cache in
@@ -782,6 +799,18 @@ let cache_arg =
           "Persist verdicts in an on-disk cache.  With no $(docv), uses \\$DDA_CACHE or \
            _dda_cache.")
 
+let mem_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-budget" ] ~docv:"BYTES"
+        ~doc:
+          "Explore under an external-memory budget: the configuration and edge stores spill \
+           cold segments to \\$DDA_SPILL_DIR (default _dda_spill) once resident bytes exceed \
+           $(docv), and the SCC analyses run in streaming mode.  Defaults to \
+           \\$DDA_MEM_BUDGET; unset means fully resident.  Verdicts and counts are \
+           unchanged.")
+
 let tables_cmd =
   let bounded = Arg.(value & flag & info [ "bounded" ] ~doc:"The degree-bounded table.") in
   let max_nodes =
@@ -789,7 +818,7 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the Figure 1 decision-power tables")
-    Term.(const cmd_tables $ bounded $ max_nodes $ cache_arg)
+    Term.(const cmd_tables $ bounded $ max_nodes $ cache_arg $ mem_budget_arg)
 
 let graph_cmd =
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.") in
@@ -833,7 +862,8 @@ let decide_cmd =
   let term =
     Term.(
       const cmd_decide $ proto_arg $ graph_arg $ fairness $ engine $ cache_arg $ max_configs
-      $ witness $ jobs $ reduce $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
+      $ witness $ jobs $ reduce $ mem_budget_arg $ trace_arg $ metrics_arg $ journal_arg
+      $ progress_arg)
   in
   ( Cmd.v (Cmd.info "decide" ~doc:"Decide acceptance exactly by state-space analysis") term,
     Cmd.v
@@ -979,7 +1009,7 @@ let batch_cmd =
        ~doc:"Verify a manifest of jobs, sharded across domains, through the verdict cache")
     Term.(
       const cmd_batch $ manifest $ shards $ time_budget $ max_configs $ cache_arg $ report
-      $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
+      $ mem_budget_arg $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
 
 let serve_cmd =
   let listens =

@@ -801,6 +801,9 @@ let stats_doc t ls =
   gi "service.verb.ping" pings;
   gi "service.verb.stats" stats_rpc;
   gi "service.verb.health" health_rpc;
+  (* external-memory engine residency: live while a budgeted decide runs *)
+  gi "engine.resident_bytes" (Dda_verify.Arena.resident_bytes ());
+  gi "engine.spill.segments" (Dda_verify.Arena.spill_segments ());
   (match t.cfg.cache with
   | None -> ()
   | Some store -> (

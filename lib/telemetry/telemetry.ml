@@ -561,6 +561,10 @@ module Registry = struct
       "engine.table.resizes";
       "engine.waves";
       "engine.frontier.peak";
+      "engine.spill.segments_out";
+      "engine.spill.segments_in";
+      "engine.spill.bytes_out";
+      "engine.spill.bytes_in";
       "sched.steps";
       "sched.resets";
       "cache.hits";
@@ -598,9 +602,9 @@ module Registry = struct
   let spans =
     [ "explore"; "scc"; "verdict"; "simulate"; "synthesise"; "telemetry.selftest"; "batch";
       "batch.job"; "service.request"; "symbolic.explore"; "symbolic.certify";
-      "wsts.pre_star" ]
+      "wsts.pre_star"; "spill" ]
 
-  let tracks = [ "engine.frontier"; "service.queue" ]
+  let tracks = [ "engine.frontier"; "engine.resident_bytes"; "service.queue" ]
 
   (* Gauges are point-in-time values reported by the service's live stats
      document ([dda.stats/1]) — not cumulative counters.  Totals that the
@@ -627,6 +631,8 @@ module Registry = struct
       "router.backends";
       "router.backends_up";
       "router.queued";
+      "engine.resident_bytes";
+      "engine.spill.segments";
     ]
 
   let windows = [ "service.window.latency_ms" ]

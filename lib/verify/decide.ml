@@ -61,11 +61,11 @@ let packed_pseudo_stochastic e describe =
     for k = 0 to n - 1 do
       if comp.(Engine.target e i k) <> c then bottom.(c) <- false
     done;
-    if not e.Engine.acc.(i) then begin
+    if not (Engine.acc e i) then begin
       all_acc.(c) <- false;
       witness.(c) <- i (* downward loop: ends at the least non-accepting member *)
     end;
-    if not e.Engine.rej.(i) then all_rej.(c) <- false
+    if not (Engine.rej e i) then all_rej.(c) <- false
   done;
   let mixed = ref None in
   let accs = ref false in
@@ -124,8 +124,8 @@ let packed_adversarial_core e =
     for k = 0 to n - 1 do
       if comp.(succ x k) = c then cov.(c) <- cov.(c) lor (1 lsl perms.(t).(k))
     done;
-    if not e.Engine.acc.(i) then wit_non_acc.(c) <- i;
-    if not e.Engine.rej.(i) then wit_non_rej.(c) <- i
+    if not (Engine.acc e i) then wit_non_acc.(c) <- i;
+    if not (Engine.rej e i) then wit_non_rej.(c) <- i
   done;
   let fair_non_accepting = ref None in
   let fair_non_rejecting = ref None in
@@ -150,9 +150,132 @@ let adversarial_verdict describe = function
          (describe i) (describe j))
   | None, None -> Inconsistent "no fair cycle found (should be impossible)"
 
+(* ------------------------------------------------------------------ *)
+(* Streaming paths                                                      *)
+(*                                                                      *)
+(* External-memory spaces keep their CSR in spillable arenas, and        *)
+(* Tarjan's DFS order is the worst case for an LRU of segments.  The     *)
+(* analyses below re-derive the same three verdicts from edge-sweep      *)
+(* primitives (Scc.backward_reach / Scc.fair_cycle) that touch each      *)
+(* segment at most once per sweep.  Verdict constructors always agree    *)
+(* with the packed analyses (the spilled-vs-resident differential        *)
+(* checks this); witness examples may differ, since no condensation is   *)
+(* materialised to pick canonical members from.                          *)
+(* ------------------------------------------------------------------ *)
+
+let use_streaming e = Engine.spilled e || Sys.getenv_opt "DDA_STREAM_SCC" = Some "1"
+
+let timed_streaming ~vertices f =
+  T.with_span ~args:[ ("vertices", T.I vertices); ("mode", T.S "streaming") ] "scc" f
+
+(* Bottom-SCC classification without the condensation:
+   - an all-accepting bottom SCC exists iff some configuration cannot reach
+     a non-accepting one (then everything below it is accepting, including
+     its bottom SCC; conversely any member of such a bottom qualifies);
+   - dually for all-rejecting;
+   - a mixed bottom SCC exists iff some configuration cannot reach the set
+     S = { j : j cannot reach a non-accepting, or cannot reach a
+     non-rejecting }: below such a configuration every j reaches both
+     polarities, so every bottom SCC below it contains both; conversely any
+     member of a mixed bottom cannot leave it, and inside it S is empty. *)
+let streaming_pseudo_stochastic e describe =
+  let n = Engine.out_degree e in
+  let sz = e.Engine.size in
+  let degree _ = n in
+  let succ i k = Engine.target e i k in
+  timed_streaming ~vertices:sz (fun () ->
+      let na =
+        Scc.backward_reach ~vertices:sz ~degree ~succ ~seed:(fun i -> not (Engine.acc e i))
+      in
+      let nr =
+        Scc.backward_reach ~vertices:sz ~degree ~succ ~seed:(fun i -> not (Engine.rej e i))
+      in
+      let pure j = Bytes.get na j = '\000' || Bytes.get nr j = '\000' in
+      let rs = Scc.backward_reach ~vertices:sz ~degree ~succ ~seed:pure in
+      let mixed = ref None in
+      let accs = ref false in
+      let rejs = ref false in
+      for i = sz - 1 downto 0 do
+        if Bytes.get rs i = '\000' then mixed := Some i;
+        if Bytes.get na i = '\000' then accs := true;
+        if Bytes.get nr i = '\000' then rejs := true
+      done;
+      match !mixed with
+      | Some w ->
+        Inconsistent
+          (Printf.sprintf
+             "fair runs from %s settle into a bottom SCC that is neither all-accepting nor \
+              all-rejecting"
+             (describe w))
+      | None ->
+        if !accs && !rejs then
+          Inconsistent "some pseudo-stochastic fair runs accept while others reject"
+        else if !accs then Accepts
+        else if !rejs then Rejects
+        else Inconsistent "no bottom SCC found")
+
+(* Adversarial fairness as two fair-cycle queries on the lifted graph (same
+   lift as [packed_adversarial_core]): a label-covering SCC containing a
+   non-accepting (resp. non-rejecting) member exists iff some cycle carries
+   all node labels and visits such a vertex. *)
+let streaming_adversarial e describe =
+  let n = Engine.out_degree e in
+  let ord, mul, perms =
+    match e.Engine.symmetry with
+    | None -> (1, [| [| 0 |] |], [| Array.init n (fun v -> v) |])
+    | Some g -> (Symmetry.order g, Symmetry.mul g, Symmetry.perms g)
+  in
+  let sz = e.Engine.size * ord in
+  let degree _ = n in
+  let succ x k =
+    let i = x / ord and t = x mod ord in
+    (Engine.target e i k * ord) + mul.(t).(Engine.edge_sigma e i k)
+  in
+  let label x k = perms.(x mod ord).(k) in
+  timed_streaming ~vertices:sz (fun () ->
+      let fna =
+        Scc.fair_cycle ~vertices:sz ~degree ~succ ~label ~labels:n ~target:(fun x ->
+            not (Engine.acc e (x / ord)))
+      in
+      let fnr =
+        Scc.fair_cycle ~vertices:sz ~degree ~succ ~label ~labels:n ~target:(fun x ->
+            not (Engine.rej e (x / ord)))
+      in
+      let unlift = Option.map (fun x -> x / ord) in
+      adversarial_verdict describe (unlift fna, unlift fnr))
+
+(* Unconditional fairness: a cycle through a non-accepting (resp.
+   non-rejecting) configuration, label-free.  Sound on symmetry quotients
+   for the same reason the generic path is: quotient cycles lift to
+   concrete cycles and acceptance is automorphism-invariant. *)
+let streaming_unconditional e describe =
+  let n = Engine.out_degree e in
+  let sz = e.Engine.size in
+  let degree _ = n in
+  let succ i k = Engine.target e i k in
+  let no_label _ _ = 0 in
+  timed_streaming ~vertices:sz (fun () ->
+      let bad_acc =
+        Scc.fair_cycle ~vertices:sz ~degree ~succ ~label:no_label ~labels:0 ~target:(fun i ->
+            not (Engine.acc e i))
+      in
+      let bad_rej =
+        Scc.fair_cycle ~vertices:sz ~degree ~succ ~label:no_label ~labels:0 ~target:(fun i ->
+            not (Engine.rej e i))
+      in
+      match (bad_acc, bad_rej) with
+      | None, Some _ -> Accepts
+      | Some _, None -> Rejects
+      | Some i, Some j ->
+        Inconsistent
+          (Printf.sprintf "runs can loop through non-accepting %s and non-rejecting %s"
+             (describe i) (describe j))
+      | None, None -> Inconsistent "no cycle found (space must model idling as self-loops)")
+
 let rec pseudo_stochastic space =
   T.with_span ~args:[ ("analysis", T.S "pseudo-stochastic") ] "verdict" (fun () ->
       match space.Space.backend with
+      | Space.Packed e when use_streaming e -> streaming_pseudo_stochastic e space.Space.describe
       | Space.Packed e -> packed_pseudo_stochastic e space.Space.describe
       | Space.Generic -> generic_pseudo_stochastic space)
 
@@ -383,13 +506,17 @@ let unconditional_body space =
 
 let unconditional space =
   T.with_span ~args:[ ("analysis", T.S "unconditional") ] "verdict" (fun () ->
-      unconditional_body space)
+      match space.Space.backend with
+      | Space.Packed e when use_streaming e -> streaming_unconditional e space.Space.describe
+      | _ -> unconditional_body space)
 
 let rec adversarial space =
   if space.Space.kind <> Space.Explicit then
     invalid_arg "Decide.adversarial: needs an explicit space (node identity)";
   T.with_span ~args:[ ("analysis", T.S "adversarial") ] "verdict" (fun () ->
       match space.Space.backend with
+      | Space.Packed e when use_streaming e && Engine.out_degree e <= 61 ->
+        streaming_adversarial e space.Space.describe
       | Space.Packed e -> adversarial_verdict space.Space.describe (packed_adversarial_core e)
       | Space.Generic -> generic_adversarial space)
 

@@ -52,21 +52,32 @@ type stats = {
   domain_items : int array;  (* configurations expanded per domain slot *)
 }
 
+(* Edge storage: fully resident implicit-CSR int arrays (the default), or —
+   under a memory budget — little-endian u32 arenas that spill cold
+   segments to disk.  Both are addressed as edge k of config i at
+   i * node_count + k. *)
+type edges =
+  | Flat_edges of { targets : int array; sigmas : int array (* [||] when unreduced *) }
+  | Ext_edges of { targets : Arena.t; sigmas : Arena.t option }
+
 type t = {
   node_count : int;
   size : int;
   initial : int;
   initial_sigma : int;  (* group element canonicalising the initial config *)
-  targets : int array;  (* implicit CSR: edge k of config i at i*node_count + k *)
-  sigmas : int array;  (* per-edge group element; [||] when unreduced *)
-  acc : bool array;  (* all nodes accepting *)
-  rej : bool array;
+  edges : edges;
+  flags : Bytes.t;  (* per config: bit 0 all-accepting, bit 1 all-rejecting *)
   describe : int -> string;
   symmetry : Symmetry.t option;  (* Some g with order > 1 when reduced *)
   stats : stats;
+  spill : Arena.spill_stats option;  (* Some iff explored under a budget *)
 }
 
 let reduced e = e.symmetry <> None
+let spilled e = e.spill <> None
+let spill_stats e = e.spill
+let acc e i = Char.code (Bytes.unsafe_get e.flags i) land 1 <> 0
+let rej e i = Char.code (Bytes.unsafe_get e.flags i) land 2 <> 0
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry counters (inert single-branch no-ops until enabled)        *)
@@ -103,11 +114,20 @@ let par_cores = lazy (getenv_int "DDA_PAR_CORES" (Domain.recommended_domain_coun
    sequentially.  A memoised work item costs ~0.1-0.6 us; a Domain.spawn/
    join pair costs tens of microseconds on an idle multicore host (and
    ~3.3 ms measured on the project's 1-core CI container, where the cores
-   cap above already forces sequential execution).  16384 items = ms-scale
-   waves, keeping spawn overhead in the low percent on hosts where
-   parallelism can help at all.  Overridable via DDA_PAR_THRESHOLD; see
-   doc/INTERNALS.md "Parallel frontier expansion". *)
-let par_threshold = lazy (getenv_int "DDA_PAR_THRESHOLD" 16384)
+   cap above already forces sequential execution).  The default scales with
+   the packed cell width: one work item on a 4-byte-wide space decodes and
+   hashes 4x the bytes of a 1-byte-wide one, so the break-even point in
+   *items* drops accordingly — 16384 items at width 1 (ms-scale waves),
+   8192 at width 2, 4096 at width 4.  Tiny spaces therefore never pay the
+   domain fan-out at any width.  An explicit DDA_PAR_THRESHOLD wins over
+   the scaling; see doc/INTERNALS.md "Parallel frontier expansion". *)
+let par_threshold_env = lazy (
+  match Sys.getenv_opt "DDA_PAR_THRESHOLD" with
+  | Some s -> (match int_of_string_opt s with Some v when v >= 1 -> Some v | _ -> None)
+  | None -> None)
+
+let par_threshold ~width =
+  match Lazy.force par_threshold_env with Some v -> v | None -> 16384 / max 1 width
 
 (* ------------------------------------------------------------------ *)
 (* Growable buffers                                                     *)
@@ -557,7 +577,33 @@ let canonicalise perms ids best scratch =
 
 let chunk_size = 4096
 
-let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
+(* Per-call worker slots.  Slot 0 is created eagerly; the rest only when a
+   wave actually clears the parallel gate — a ctx owns a fresh memo table
+   (~200 KB of arrays), which small instances should never pay for (the
+   residual "engine-j2" penalty on tiny rings in BENCH_verify.json came
+   from exactly this eager allocation). *)
+type 's slots = { ctxs : 's ctx option array; mk : unit -> 's ctx }
+
+let slots_create jobs m nbr interner =
+  let ctxs = Array.make jobs None in
+  let mk () = ctx_create m nbr interner in
+  ctxs.(0) <- Some (mk ());
+  { ctxs; mk }
+
+(* Worker [w]'s ctx, created on first use.  Safe from the worker domain
+   itself: every worker touches only its own slot. *)
+let slot s w =
+  match s.ctxs.(w) with
+  | Some c -> c
+  | None ->
+    let c = s.mk () in
+    s.ctxs.(w) <- Some c;
+    c
+
+let slot_list s = List.filter_map Fun.id (Array.to_list s.ctxs)
+
+(* Preamble shared by the resident and external-memory explorers. *)
+let explore_setup ?symmetry ~states m g =
   let n = Graph.nodes g in
   if n < 1 then invalid_arg "Engine.explore: empty graph";
   let sym =
@@ -572,6 +618,10 @@ let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
   let c0 = Array.init n (fun v -> m.Machine.init (Graph.label g v)) in
   let interner = interner_create ~acc:m.Machine.accepting ~rej:m.Machine.rejecting c0.(0) in
   List.iter (fun s -> ignore (intern_state interner s)) states;
+  (n, sym, perms, nbr, c0, interner)
+
+let explore_flat ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
+  let n, sym, perms, nbr, c0, interner = explore_setup ?symmetry ~states m g in
   let st = store_create n in
   let targets = ibuf_create (n * 1024) in
   let sigmas = ibuf_create (if sym = None then 16 else n * 1024) in
@@ -579,8 +629,7 @@ let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
      single-core host the spawn/join and GC barriers make jobs > cores a
      strict loss (the gate of satellite measurement, doc/INTERNALS.md) *)
   let jobs = max 1 (min (min jobs 64) (Lazy.force par_cores)) in
-  let seq_threshold = Lazy.force par_threshold in
-  let ctxs = Array.init jobs (fun _ -> ctx_create m nbr interner) in
+  let slots = slots_create jobs m nbr interner in
   (* flag bits of a configuration from per-state flags *)
   let config_flags ids =
     let a = ref true and r = ref true in
@@ -626,16 +675,17 @@ let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
         done
       done
     in
-    if jobs = 1 || len * n < seq_threshold then run_slice ctxs.(0) 0 len
+    let seq_threshold = par_threshold ~width:st.width in
+    if jobs = 1 || len * n < seq_threshold then run_slice (slot slots 0) 0 len
     else begin
       let per = (len + jobs - 1) / jobs in
       let domains =
         List.init (jobs - 1) (fun w ->
             let a = (w + 1) * per in
             let b = min len ((w + 2) * per) in
-            Domain.spawn (fun () -> if a < b then run_slice ctxs.(w + 1) a b))
+            Domain.spawn (fun () -> if a < b then run_slice (slot slots (w + 1)) a b))
       in
-      run_slice ctxs.(0) 0 (min per len);
+      run_slice (slot slots 0) 0 (min per len);
       List.iter Domain.join domains
     end;
     (* phase B: canonicalise + intern successors, append edges (sequential,
@@ -667,8 +717,6 @@ let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
   done;
   let size = st.count in
   let flag_bytes = Buffer.to_bytes st.cflags in
-  let acc = Array.init size (fun i -> Char.code (Bytes.get flag_bytes i) land 1 <> 0) in
-  let rej = Array.init size (fun i -> Char.code (Bytes.get flag_bytes i) land 2 <> 0) in
   let describe i =
     let ids = Array.make n 0 in
     decode st i ids;
@@ -676,9 +724,10 @@ let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
       (Dda_runtime.Config.pp m.Machine.pp_state)
       (Dda_runtime.Config.of_states (Array.map (fun id -> interner.states.(id)) ids))
   in
-  let evals = Array.fold_left (fun a c -> a + c.evals) 0 ctxs in
-  let lookups = Array.fold_left (fun a c -> a + c.lookups) 0 ctxs in
-  let domain_items = Array.map (fun c -> c.items) ctxs in
+  let created = slot_list slots in
+  let evals = List.fold_left (fun a c -> a + c.evals) 0 created in
+  let lookups = List.fold_left (fun a c -> a + c.lookups) 0 created in
+  let domain_items = Array.of_list (List.map (fun c -> c.items) created) in
   if T.enabled () then begin
     T.add c_configs st.count;
     T.add c_dedup st.dedup_hits;
@@ -697,10 +746,13 @@ let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
     size;
     initial;
     initial_sigma;
-    targets = ibuf_contents targets;
-    sigmas = (if sym = None then [||] else ibuf_contents sigmas);
-    acc;
-    rej;
+    edges =
+      Flat_edges
+        {
+          targets = ibuf_contents targets;
+          sigmas = (if sym = None then [||] else ibuf_contents sigmas);
+        };
+    flags = flag_bytes;
     describe;
     symmetry = sym;
     stats =
@@ -715,15 +767,420 @@ let explore ?(jobs = 1) ?symmetry ?(states = []) ~max_configs m g =
         peak_frontier = !peak_frontier;
         domain_items;
       };
+    spill = None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* External-memory configuration store                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Under a memory budget, configurations live in a spillable arena as
+   varint records instead of the fixed-width resident pack:
+
+     keyframe:  0x00, cells x varint(state id)
+     delta:     depth in 1..ext_max_depth, varint(parent id),
+                varint(ndiffs), ndiffs x (varint(node), varint(id))
+
+   A successor differs from the configuration it was expanded from in one
+   node state (canonicalisation can scatter that into a few positions, in
+   which case the encoder falls back to a keyframe), so deltas are tiny;
+   decoding chases at most [ext_max_depth] parents.  The resident index is
+   5 bytes of record offset + 1 byte of chain depth + 4 bytes of hash per
+   configuration plus the u32 open-addressing table — the only per-config
+   state that cannot spill. *)
+
+let ext_max_depth = 8
+
+type ext_store = {
+  xcells : int;
+  carena : Arena.t;
+  mutable offsets : Bytes.t;  (* 5-byte LE record positions *)
+  mutable depths : Bytes.t;  (* delta-chain depth, 0 = keyframe *)
+  mutable xhashes : Bytes.t;  (* u32 per config: low 32 bits of hash_ids *)
+  mutable xcap : int;  (* configs the three index buffers can hold *)
+  mutable xtable : Bytes.t;  (* u32 slots: 0 = empty, else config id + 1 *)
+  mutable xmask : int;
+  mutable xcount : int;
+  xflags : Buffer.t;
+  rec_buf : Bytes.t;  (* scratch: one encoded record *)
+  dec_buf : int array;  (* scratch: probe-time decode (phase B only) *)
+  mutable xprobes : int;
+  mutable xresizes : int;
+  mutable xdedup : int;
+}
+
+(* worst case: delta touching every cell *)
+let ext_rec_max cells = 1 + ((2 + (2 * cells)) * Arena.varint_max)
+
+let ext_store_create budget cells ~seg_bytes =
+  let cap = 1024 in
+  {
+    xcells = cells;
+    carena = Arena.create budget ~name:"configs" ~seg_bytes;
+    offsets = Bytes.make (cap * 5) '\000';
+    depths = Bytes.make cap '\000';
+    xhashes = Bytes.make (cap * 4) '\000';
+    xcap = cap;
+    xtable = Bytes.make (1024 * 4) '\000';
+    xmask = 1023;
+    xcount = 0;
+    xflags = Buffer.create 1024;
+    rec_buf = Bytes.create (ext_rec_max cells);
+    dec_buf = Array.make cells 0;
+    xprobes = 0;
+    xresizes = 0;
+    xdedup = 0;
+  }
+
+let off_get st i =
+  let p = i * 5 in
+  let b k = Char.code (Bytes.unsafe_get st.offsets (p + k)) in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) lor (b 4 lsl 32)
+
+let off_set st i v =
+  let p = i * 5 in
+  Bytes.unsafe_set st.offsets p (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set st.offsets (p + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bytes.unsafe_set st.offsets (p + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Bytes.unsafe_set st.offsets (p + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF));
+  Bytes.unsafe_set st.offsets (p + 4) (Char.unsafe_chr ((v lsr 32) land 0xFF))
+
+let ext_grow_index st =
+  let cap = st.xcap * 2 in
+  let g old elt =
+    let b = Bytes.make (cap * elt) '\000' in
+    Bytes.blit old 0 b 0 (st.xcap * elt);
+    b
+  in
+  st.offsets <- g st.offsets 5;
+  st.depths <- g st.depths 1;
+  st.xhashes <- g st.xhashes 4;
+  st.xcap <- cap
+
+(* Thread-safe for concurrent readers: [out] is caller-owned scratch and
+   arena views pin their segment. *)
+let rec ext_decode st i out =
+  let seg, off = Arena.view st.carena (off_get st i) in
+  let tag = Char.code (Bytes.unsafe_get seg off) in
+  if tag = 0 then begin
+    let p = ref (off + 1) in
+    for v = 0 to st.xcells - 1 do
+      let id, p' = Arena.get_varint seg !p in
+      out.(v) <- id;
+      p := p'
+    done
+  end
+  else begin
+    let parent, q0 = Arena.get_varint seg (off + 1) in
+    ext_decode st parent out;
+    (* [seg] stays valid across the recursive call even if the arena
+       evicts it meanwhile: we hold the Bytes. *)
+    let nd, q1 = Arena.get_varint seg q0 in
+    let q = ref q1 in
+    for _ = 1 to nd do
+      let v, qa = Arena.get_varint seg !q in
+      let id, qb = Arena.get_varint seg qa in
+      out.(v) <- id;
+      q := qb
+    done
+  end
+
+let ext_resize st =
+  st.xresizes <- st.xresizes + 1;
+  let cap = 2 * (st.xmask + 1) in
+  let t = Bytes.make (cap * 4) '\000' in
+  let m = cap - 1 in
+  for i = 0 to st.xcount - 1 do
+    let s = ref (get32 st.xhashes (i * 4) land m) in
+    while get32 t (!s * 4) <> 0 do
+      s := (!s + 1) land m
+    done;
+    put32 t (!s * 4) (i + 1)
+  done;
+  st.xtable <- t;
+  st.xmask <- m
+
+let varint_size v =
+  let rec go v n = if v < 0x80 then n else go (v lsr 7) (n + 1) in
+  go v 1
+
+(* Encode [ids] into [st.rec_buf]: a delta against [parent] when one is
+   available, shallow enough, and strictly smaller than a keyframe.
+   Returns (record length, chain depth). *)
+let ext_encode st ids ~parent ~parent_ids ~parent_depth =
+  let cells = st.xcells in
+  let keyframe () =
+    Bytes.unsafe_set st.rec_buf 0 '\000';
+    let p = ref 1 in
+    for v = 0 to cells - 1 do
+      p := Arena.put_varint st.rec_buf !p ids.(v)
+    done;
+    (!p, 0)
+  in
+  if parent < 0 || parent_depth >= ext_max_depth then keyframe ()
+  else begin
+    let kf = ref 1 in
+    let nd = ref 0 in
+    for v = 0 to cells - 1 do
+      kf := !kf + varint_size ids.(v);
+      if ids.(v) <> parent_ids.(v) then incr nd
+    done;
+    let q = ref (Arena.put_varint st.rec_buf 1 parent) in
+    q := Arena.put_varint st.rec_buf !q !nd;
+    for v = 0 to cells - 1 do
+      if ids.(v) <> parent_ids.(v) then begin
+        q := Arena.put_varint st.rec_buf !q v;
+        q := Arena.put_varint st.rec_buf !q ids.(v)
+      end
+    done;
+    if !q < !kf then begin
+      Bytes.unsafe_set st.rec_buf 0 (Char.unsafe_chr (parent_depth + 1));
+      (!q, parent_depth + 1)
+    end
+    else keyframe ()
+  end
+
+(* Sequential (phase B) only: probes decode through [st.dec_buf]. *)
+let ext_intern st ~max_configs ids flags ~parent ~parent_ids ~parent_depth =
+  let h32 = hash_ids ids st.xcells land 0xFFFFFFFF in
+  let m = st.xmask in
+  let slot = ref (h32 land m) in
+  let found = ref (-2) in
+  while !found = -2 do
+    st.xprobes <- st.xprobes + 1;
+    let e = get32 st.xtable (!slot * 4) in
+    if e = 0 then found := -1
+    else begin
+      let j = e - 1 in
+      if get32 st.xhashes (j * 4) = h32 then begin
+        ext_decode st j st.dec_buf;
+        let eq = ref true in
+        let v = ref 0 in
+        while !eq && !v < st.xcells do
+          if st.dec_buf.(!v) <> ids.(!v) then eq := false;
+          incr v
+        done;
+        if !eq then found := j else slot := (!slot + 1) land m
+      end
+      else slot := (!slot + 1) land m
+    end
+  done;
+  if !found >= 0 then begin
+    st.xdedup <- st.xdedup + 1;
+    (!found, false)
+  end
+  else begin
+    if st.xcount >= max_configs then raise (Too_large st.xcount);
+    let len, depth = ext_encode st ids ~parent ~parent_ids ~parent_depth in
+    let pos = Arena.append st.carena st.rec_buf 0 len in
+    if st.xcount >= st.xcap then ext_grow_index st;
+    let i = st.xcount in
+    off_set st i pos;
+    Bytes.unsafe_set st.depths i (Char.unsafe_chr depth);
+    put32 st.xhashes (i * 4) h32;
+    Buffer.add_char st.xflags (Char.chr flags);
+    put32 st.xtable (!slot * 4) (i + 1);
+    st.xcount <- i + 1;
+    if 2 * st.xcount > st.xmask then ext_resize st;
+    (i, true)
+  end
+
+let explore_ext ?(jobs = 1) ?symmetry ?(states = []) ~limit ~max_configs m g =
+  let n, sym, perms, nbr, c0, interner = explore_setup ?symmetry ~states m g in
+  let budget = Arena.budget_create ~limit in
+  let seg_bytes =
+    let s = max 65536 (min (1 lsl 20) (limit / 8)) in
+    (max s (ext_rec_max n) + 3) land -4
+  in
+  let st = ext_store_create budget n ~seg_bytes in
+  let earena = Arena.create budget ~name:"targets" ~seg_bytes in
+  let sarena = if sym = None then None else Some (Arena.create budget ~name:"sigmas" ~seg_bytes) in
+  let u32 = Bytes.create 4 in
+  let push_u32 a v =
+    put32 u32 0 v;
+    ignore (Arena.append a u32 0 4)
+  in
+  let jobs = max 1 (min (min jobs 64) (Lazy.force par_cores)) in
+  let slots = slots_create jobs m nbr interner in
+  let config_flags ids =
+    let a = ref true and r = ref true in
+    for v = 0 to n - 1 do
+      a := !a && state_acc interner ids.(v);
+      r := !r && state_rej interner ids.(v)
+    done;
+    (if !a then 1 else 0) lor if !r then 2 else 0
+  in
+  let best = Array.make n 0 and scratch = Array.make n 0 in
+  let intern_canonical ~parent ~parent_ids ~parent_depth ids =
+    let sigma = if sym = None then (Array.blit ids 0 best 0 n; 0) else canonicalise perms ids best scratch in
+    let i, _fresh =
+      ext_intern st ~max_configs best (config_flags best) ~parent ~parent_ids ~parent_depth
+    in
+    (i, sigma)
+  in
+  let ids0 = Array.map (intern_state interner) c0 in
+  let initial, initial_sigma = intern_canonical ~parent:(-1) ~parent_ids:[||] ~parent_depth:0 ids0 in
+  let next = ref 0 in
+  let wave = ref 0 in
+  let peak_frontier = ref 0 in
+  let sids = Array.make (chunk_size * jobs * n) 0 in
+  let cur = Array.make n 0 in
+  let succ = Array.make n 0 in
+  while !next < st.xcount do
+    let lo = !next in
+    let hi = min st.xcount (lo + (chunk_size * jobs)) in
+    let len = hi - lo in
+    let snapshot = (interner.states, interner.n) in
+    let run_slice ctx a b =
+      ctx.items <- ctx.items + (b - a);
+      let c = Array.make n 0 in
+      for i = a to b - 1 do
+        ext_decode st (lo + i) c;
+        let base = i * n in
+        for v = 0 to n - 1 do
+          sids.(base + v) <- delta_id ctx ~snapshot c v
+        done
+      done
+    in
+    (* delta-chain decoding makes each item pricier than the packed
+       store's, so gate parallelism as if cells were full-width *)
+    let seq_threshold = par_threshold ~width:4 in
+    if jobs = 1 || len * n < seq_threshold then run_slice (slot slots 0) 0 len
+    else begin
+      let per = (len + jobs - 1) / jobs in
+      let domains =
+        List.init (jobs - 1) (fun w ->
+            let a = (w + 1) * per in
+            let b = min len ((w + 2) * per) in
+            Domain.spawn (fun () -> if a < b then run_slice (slot slots (w + 1)) a b))
+      in
+      run_slice (slot slots 0) 0 (min per len);
+      List.iter Domain.join domains
+    end;
+    for i = 0 to len - 1 do
+      ext_decode st (lo + i) cur;
+      let pdepth = Char.code (Bytes.unsafe_get st.depths (lo + i)) in
+      let base = i * n in
+      for v = 0 to n - 1 do
+        Array.blit cur 0 succ 0 n;
+        succ.(v) <- sids.(base + v);
+        let j, sigma = intern_canonical ~parent:(lo + i) ~parent_ids:cur ~parent_depth:pdepth succ in
+        push_u32 earena j;
+        match sarena with None -> () | Some a -> push_u32 a sigma
+      done
+    done;
+    incr wave;
+    let frontier = st.xcount - hi in
+    if frontier > !peak_frontier then peak_frontier := frontier;
+    if T.enabled () then begin
+      T.incr c_waves;
+      T.observe h_wave len;
+      T.emit_value "engine.frontier" frontier;
+      T.emit_value "engine.resident_bytes" (Arena.resident_bytes ());
+      T.progress_tick ~label:"explore" ~expanded:hi ~discovered:st.xcount ~budget:max_configs
+        ~wave:!wave ~frontier
+    end;
+    next := hi
+  done;
+  let size = st.xcount in
+  let flag_bytes = Buffer.to_bytes st.xflags in
+  let describe i =
+    let ids = Array.make n 0 in
+    ext_decode st i ids;
+    Format.asprintf "%a"
+      (Dda_runtime.Config.pp m.Machine.pp_state)
+      (Dda_runtime.Config.of_states (Array.map (fun id -> interner.states.(id)) ids))
+  in
+  (* the hash table, hashes and delta depths are exploration-only; drop
+     them so the analyses run against the smallest possible residency *)
+  st.xtable <- Bytes.empty;
+  st.xhashes <- Bytes.empty;
+  st.depths <- Bytes.empty;
+  let created = slot_list slots in
+  let evals = List.fold_left (fun a c -> a + c.evals) 0 created in
+  let lookups = List.fold_left (fun a c -> a + c.lookups) 0 created in
+  let domain_items = Array.of_list (List.map (fun c -> c.items) created) in
+  if T.enabled () then begin
+    T.add c_configs st.xcount;
+    T.add c_dedup st.xdedup;
+    T.add c_states interner.n;
+    T.add c_memo_misses evals;
+    T.add c_memo_hits (lookups - evals);
+    T.add c_probes st.xprobes;
+    T.add c_resizes st.xresizes;
+    T.max_gauge c_peak !peak_frontier;
+    Array.iteri
+      (fun w items -> T.add (T.counter (Printf.sprintf "engine.domain.%d.items" w)) items)
+      domain_items
+  end;
+  {
+    node_count = n;
+    size;
+    initial;
+    initial_sigma;
+    edges = Ext_edges { targets = earena; sigmas = sarena };
+    flags = flag_bytes;
+    describe;
+    symmetry = sym;
+    stats =
+      {
+        state_count = interner.n;
+        delta_evals = evals;
+        delta_lookups = lookups;
+        table_probes = st.xprobes;
+        table_resizes = st.xresizes;
+        dedup_hits = st.xdedup;
+        waves = !wave;
+        peak_frontier = !peak_frontier;
+        domain_items;
+      };
+    spill = Some (Arena.budget_stats budget);
+  }
+
+let env_mem_budget () =
+  match Sys.getenv_opt "DDA_MEM_BUDGET" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some v when v > 0 -> Some v
+    | _ -> None)
+  | None -> None
+
+let explore ?jobs ?symmetry ?states ?mem_budget ~max_configs m g =
+  let budget =
+    match mem_budget with
+    | Some b when b > 0 -> Some b
+    | Some _ -> None
+    | None -> env_mem_budget ()
+  in
+  match budget with
+  | None -> explore_flat ?jobs ?symmetry ?states ~max_configs m g
+  | Some limit -> explore_ext ?jobs ?symmetry ?states ~limit ~max_configs m g
 
 (* ------------------------------------------------------------------ *)
 (* Accessors                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let out_degree e = e.node_count
-let target e i k = e.targets.((i * e.node_count) + k)
-let edge_sigma e i k = if e.sigmas = [||] then 0 else e.sigmas.((i * e.node_count) + k)
+
+let target e i k =
+  match e.edges with
+  | Flat_edges { targets; _ } -> targets.((i * e.node_count) + k)
+  | Ext_edges { targets; _ } -> Arena.read_u32 targets (((i * e.node_count) + k) * 4)
+
+let edge_sigma e i k =
+  match e.edges with
+  | Flat_edges { sigmas; _ } -> if sigmas = [||] then 0 else sigmas.((i * e.node_count) + k)
+  | Ext_edges { sigmas; _ } -> (
+    match sigmas with
+    | None -> 0
+    | Some a -> Arena.read_u32 a (((i * e.node_count) + k) * 4))
 
 let succs e i =
   List.init e.node_count (fun k -> (k, target e i k))
+
+let release e =
+  match e.edges with
+  | Flat_edges _ -> ()
+  | Ext_edges { targets; sigmas } ->
+    Arena.release targets;
+    Option.iter Arena.release sigmas

@@ -44,28 +44,41 @@ type stats = {
           run was sequential. *)
 }
 
+type edges =
+  | Flat_edges of {
+      targets : int array;  (** Implicit CSR; see {!target}. *)
+      sigmas : int array;
+          (** Per-edge group element indices; [[||]] when unreduced.  Edge
+              [k] of [i] went to successor [S] with representative
+              [perms.(sigmas.(i * node_count + k)) . S]. *)
+    }
+  | Ext_edges of { targets : Arena.t; sigmas : Arena.t option }
+      (** Same layout as little-endian u32 records in spillable arenas
+          (explored under a memory budget). *)
+
 type t = {
   node_count : int;
   size : int;  (** Stored configurations (orbit representatives if reduced). *)
   initial : int;
   initial_sigma : int;
       (** Index of the group element [p] with [p . c0 = representative]. *)
-  targets : int array;  (** Implicit CSR; see {!target}. *)
-  sigmas : int array;
-      (** Per-edge group element indices; [[||]] when unreduced.  Edge [k] of
-          [i] went to successor [S] with representative
-          [perms.(sigmas.(i * node_count + k)) . S]. *)
-  acc : bool array;  (** All nodes accepting. *)
-  rej : bool array;
+  edges : edges;
+  flags : Bytes.t;
+      (** Per configuration: bit 0 = all nodes accepting, bit 1 = all
+          rejecting.  Use {!acc}/{!rej}. *)
   describe : int -> string;
   symmetry : Symmetry.t option;  (** The group, when reduced (order > 1). *)
   stats : stats;
+  spill : Arena.spill_stats option;
+      (** [Some] iff explored under a memory budget (snapshot taken at the
+          end of exploration; analyses may fault further segments). *)
 }
 
 val explore :
   ?jobs:int ->
   ?symmetry:Symmetry.t ->
   ?states:'s list ->
+  ?mem_budget:int ->
   max_configs:int ->
   ('l, 's) Dda_machine.Machine.t ->
   'l Dda_graph.Graph.t ->
@@ -75,11 +88,14 @@ val explore :
     [jobs] (default 1): domains used for the delta/memo phase.  The
     effective value is capped at the machine's core count
     ([Domain.recommended_domain_count], override with [DDA_PAR_CORES]),
-    and waves with fewer than [DDA_PAR_THRESHOLD] work items (frontier
-    length x node count, default 16384) run sequentially — see
-    doc/INTERNALS.md "Parallel frontier expansion".  Verdict-relevant
-    output (sizes, edges up to renumbering, analyses) does not depend on
-    [jobs]; exact ids are guaranteed stable only for [jobs = 1].
+    and waves with fewer than a threshold of work items (frontier length x
+    node count) run sequentially.  The threshold defaults to
+    [16384 / width] where [width] is the current packed cell width in
+    bytes, so tiny spaces never pay domain fan-out; [DDA_PAR_THRESHOLD]
+    overrides it with a fixed value — see doc/INTERNALS.md "Parallel
+    frontier expansion".  Verdict-relevant output (sizes, edges up to
+    renumbering, analyses) does not depend on [jobs]; exact ids are
+    guaranteed stable only for [jobs = 1].
 
     [symmetry]: a permutation group whose elements must all be automorphisms
     of [g]'s adjacency (labels need not be preserved; soundness needs
@@ -88,12 +104,35 @@ val explore :
     [states]: optional pre-enumeration (e.g. from [Tabulate]) interned
     first, giving those states the lowest ids.
 
+    [mem_budget] (bytes; default: [DDA_MEM_BUDGET], else fully resident):
+    explore under an external-memory regime — configurations are
+    delta-encoded varint records and edges u32 records in {!Arena}s that
+    spill cold segments to disk once the budget is exceeded.  Verdicts,
+    sizes and edge counts are identical to the resident engine;
+    configuration ids can differ from the packed numbering only in how
+    symmetry ties are broken (they don't: canonicalisation is shared), and
+    exploration order is the same BFS.
+
     @raise Too_large when more than [max_configs] configurations are found.
     @raise Invalid_argument if [symmetry]'s degree differs from the graph
     size. *)
 
 val reduced : t -> bool
 (** The space is a proper quotient (a non-trivial group was applied). *)
+
+val spilled : t -> bool
+(** Explored under a memory budget (external-memory representation). *)
+
+val spill_stats : t -> Arena.spill_stats option
+
+val acc : t -> int -> bool
+(** All nodes of configuration [i] accepting. *)
+
+val rej : t -> int -> bool
+
+val release : t -> unit
+(** Drop external-memory edge arenas (closes spill files).  No-op on
+    resident spaces; the space must not be used afterwards. *)
 
 val out_degree : t -> int
 (** = [node_count]: every configuration has one edge per node. *)

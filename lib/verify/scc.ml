@@ -138,3 +138,119 @@ let is_bottom r ~succs c =
 
 let has_internal_edge r ~succs c =
   List.exists (fun v -> List.exists (fun w -> r.component.(w) = c) (succs v)) r.members.(c)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming primitives                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The two functions below visit edges only in sweeps over the vertex range
+   (monotone ascending or descending), never by random walk.  On an
+   external-memory space whose CSR rows live in spilled segments this is
+   the difference between one sequential pass per sweep and a page fault
+   per DFS edge — Tarjan's traversal order is adversarial for an LRU of
+   segments, a sweep is its best case.  Vertex ids come from BFS discovery,
+   so most edges point from lower to higher ids and both fixpoints below
+   converge in a handful of alternating sweeps. *)
+
+let backward_reach ~vertices ~degree ~succ ~seed =
+  let r = Bytes.make (max vertices 1) '\000' in
+  for v = 0 to vertices - 1 do
+    if seed v then Bytes.unsafe_set r v '\001'
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = vertices - 1 downto 0 do
+      if Bytes.unsafe_get r v = '\000' then begin
+        let d = degree v in
+        let hit = ref false in
+        let k = ref 0 in
+        while (not !hit) && !k < d do
+          if Bytes.unsafe_get r (succ v !k) = '\001' then hit := true;
+          incr k
+        done;
+        if !hit then begin
+          Bytes.unsafe_set r v '\001';
+          changed := true
+        end
+      end
+    done
+  done;
+  r
+
+(* Emerson–Lei-style greatest fixpoint.  Z starts as all vertices; each
+   round computes, for every v in Z, the set R(v) of labels collectible
+   along non-empty Z-internal paths from v (plus one extra bit recording
+   that such a path meets a [target] endpoint), then discards vertices
+   whose R is not full.  A vertex of the final Z can reach, within Z, every
+   label and a target vertex; iterating that path and applying pigeonhole
+   on revisits yields a single cycle carrying all labels and a target —
+   and conversely any such cycle has full R at each of its vertices in
+   every round, so it survives.  With [labels = 0] the check degenerates to
+   "some cycle through a target vertex" (the extra bit still requires an
+   edge, so isolated vertices never qualify; idling must be modelled as
+   self-loops, as everywhere else in this module's callers). *)
+let fair_cycle ~vertices ~degree ~succ ~label ~labels ~target =
+  if labels > 61 then invalid_arg "Scc.fair_cycle: more than 61 labels";
+  let bit_p = 1 lsl labels in
+  let full = bit_p lor (bit_p - 1) in
+  let nz = ref vertices in
+  let in_z = Bytes.make (max vertices 1) '\001' in
+  let r = Array.make (max vertices 1) 0 in
+  let stable = ref false in
+  while (not !stable) && !nz > 0 do
+    Array.fill r 0 vertices 0;
+    let changed = ref true in
+    let descending = ref true in
+    while !changed do
+      changed := false;
+      let lo, hi, step = if !descending then (vertices - 1, -1, -1) else (0, vertices, 1) in
+      descending := not !descending;
+      let v = ref lo in
+      while !v <> hi do
+        if Bytes.unsafe_get in_z !v = '\001' then begin
+          let acc = ref r.(!v) in
+          let d = degree !v in
+          for k = 0 to d - 1 do
+            let w = succ !v k in
+            if Bytes.unsafe_get in_z w = '\001' then
+              acc :=
+                !acc lor r.(w)
+                lor (if labels > 0 then 1 lsl label !v k else 0)
+                lor (if target !v || target w then bit_p else 0)
+          done;
+          if !acc <> r.(!v) then begin
+            r.(!v) <- !acc;
+            changed := true
+          end
+        end;
+        v := !v + step
+      done
+    done;
+    stable := true;
+    for v = 0 to vertices - 1 do
+      if Bytes.unsafe_get in_z v = '\001' && r.(v) <> full then begin
+        Bytes.unsafe_set in_z v '\000';
+        decr nz;
+        stable := false
+      end
+    done
+  done;
+  if !nz = 0 then None
+  else begin
+    let w = ref (-1) in
+    let v = ref 0 in
+    while !w < 0 && !v < vertices do
+      if Bytes.unsafe_get in_z !v = '\001' && target !v then w := !v;
+      incr v
+    done;
+    if !w >= 0 then Some !w
+    else begin
+      (* unreachable: a full target bit forces a target endpoint inside Z *)
+      let v = ref 0 in
+      while Bytes.unsafe_get in_z !v <> '\001' do
+        incr v
+      done;
+      Some !v
+    end
+  end

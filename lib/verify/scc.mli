@@ -37,3 +37,42 @@ val is_bottom : result -> succs:(int -> int list) -> int -> bool
 val has_internal_edge : result -> succs:(int -> int list) -> int -> bool
 (** Component [c] contains an edge (it supports a cycle; single vertices with
     a self-loop count). *)
+
+(** {2 Streaming variants}
+
+    Edge-sweep algorithms for external-memory spaces: they only ever visit
+    the successor relation in monotone passes over the vertex range, so on
+    a spilled CSR each fixpoint sweep faults every segment at most once —
+    unlike Tarjan's DFS, whose traversal order is adversarial for an LRU
+    of resident segments.  See doc/INTERNALS.md "External-memory
+    exploration". *)
+
+val backward_reach :
+  vertices:int ->
+  degree:(int -> int) ->
+  succ:(int -> int -> int) ->
+  seed:(int -> bool) ->
+  Bytes.t
+(** [backward_reach ~vertices ~degree ~succ ~seed] marks (byte ['\001'])
+    every vertex from which some vertex satisfying [seed] is reachable
+    (seeds included), by alternating forward/backward sweeps to a
+    fixpoint. *)
+
+val fair_cycle :
+  vertices:int ->
+  degree:(int -> int) ->
+  succ:(int -> int -> int) ->
+  label:(int -> int -> int) ->
+  labels:int ->
+  target:(int -> bool) ->
+  int option
+(** [fair_cycle ~vertices ~degree ~succ ~label ~labels ~target] decides
+    whether the graph (all vertices assumed reachable) has a cycle that
+    carries every edge label in [0 .. labels - 1] ([label v k] is the label
+    of edge [k] of [v]) and visits a vertex satisfying [target]; with
+    [labels = 0] the label requirement is vacuous and the check is "some
+    cycle through a [target] vertex".  Returns a [target] vertex on such a
+    cycle, or [None].  Emerson–Lei-style greatest fixpoint; every sweep is
+    monotone over the vertex range.
+    @raise Invalid_argument when [labels > 61] (label sets are bit masks in
+    one OCaml [int]). *)

@@ -111,13 +111,13 @@ let explore_legacy ~max_configs m g =
     backend = Generic;
   }
 
-let explore ?jobs ?symmetry ?states ~max_configs m g =
+let explore ?jobs ?symmetry ?states ?mem_budget ~max_configs m g =
   let e =
     try
       T.with_span
         ~args:[ ("nodes", T.I (Graph.nodes g)); ("max_configs", T.I max_configs) ]
         "explore"
-        (fun () -> Engine.explore ?jobs ?symmetry ?states ~max_configs m g)
+        (fun () -> Engine.explore ?jobs ?symmetry ?states ?mem_budget ~max_configs m g)
     with Engine.Too_large n -> raise (Too_large n)
   in
   {
@@ -126,8 +126,8 @@ let explore ?jobs ?symmetry ?states ~max_configs m g =
     size = e.Engine.size;
     initial = e.Engine.initial;
     succs = Engine.succs e;
-    accepting = (fun i -> e.Engine.acc.(i));
-    rejecting = (fun i -> e.Engine.rej.(i));
+    accepting = (fun i -> Engine.acc e i);
+    rejecting = (fun i -> Engine.rej e i);
     describe = e.Engine.describe;
     backend = Packed e;
   }

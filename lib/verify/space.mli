@@ -77,6 +77,7 @@ val explore :
   ?jobs:int ->
   ?symmetry:Symmetry.t ->
   ?states:'s list ->
+  ?mem_budget:int ->
   max_configs:int ->
   ('l, 's) Dda_machine.Machine.t ->
   'l Dda_graph.Graph.t ->
@@ -88,7 +89,10 @@ val explore :
     edges.  [symmetry] quotients the space by a group of adjacency
     automorphisms of [g]; [jobs > 1] parallelises delta evaluation over
     OCaml 5 domains.  [states] pre-interns an enumeration (e.g. from
-    [Tabulate]).
+    [Tabulate]).  [mem_budget] (bytes; default [DDA_MEM_BUDGET], else fully
+    resident) switches to the external-memory engine: delta-encoded
+    configurations and edges in spill-to-disk arenas, and streaming
+    (edge-sweep) analyses in {!Decide} — verdicts and counts are unchanged.
     @raise Too_large when more than [max_configs] configurations are found. *)
 
 val explore_legacy :
